@@ -1,0 +1,91 @@
+// Experiment BASE (DESIGN.md): in-DBMS coordination (Youtopia entangled
+// queries) versus the middle-tier polling baseline the paper argues
+// developers are otherwise forced to write (§1). Measures end-to-end
+// wall time for P pairs coordinating concurrently from 2P session
+// threads. Expected shape: Youtopia wins on latency (no polling delay)
+// and the gap widens with the polling interval.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "baseline/middle_tier_coordinator.h"
+#include "bench_common.h"
+
+namespace youtopia::bench {
+namespace {
+
+using std::chrono::milliseconds;
+
+void BM_YoutopiaPairs(benchmark::State& state) {
+  const int pairs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto db = MakeFlightDb(/*num_flights=*/128, /*num_dests=*/4);
+    state.ResumeTiming();
+    std::vector<std::thread> threads;
+    threads.reserve(pairs * 2);
+    for (int p = 0; p < pairs; ++p) {
+      const std::string a = "A" + std::to_string(p);
+      const std::string b = "B" + std::to_string(p);
+      threads.emplace_back([&db, a, b] {
+        auto h = db->Submit(PairSql(a, b), a);
+        if (!h.ok() || !h->Wait(milliseconds(30000)).ok()) std::abort();
+      });
+      threads.emplace_back([&db, a, b] {
+        auto h = db->Submit(PairSql(b, a), b);
+        if (!h.ok() || !h->Wait(milliseconds(30000)).ok()) std::abort();
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  state.counters["pairs"] = benchmark::Counter(static_cast<double>(pairs));
+  state.counters["bookings_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * pairs * 2),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_YoutopiaPairs)->Arg(2)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_MiddleTierPollingPairs(benchmark::State& state) {
+  const int pairs = static_cast<int>(state.range(0));
+  const auto poll_interval = milliseconds(state.range(1));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto db = MakeFlightDb(/*num_flights=*/128, /*num_dests=*/4);
+    baseline::MiddleTierCoordinator coordinator(db.get());
+    if (!coordinator.Setup().ok()) std::abort();
+    state.ResumeTiming();
+    std::vector<std::thread> threads;
+    threads.reserve(pairs * 2);
+    for (int p = 0; p < pairs; ++p) {
+      const std::string a = "A" + std::to_string(p);
+      const std::string b = "B" + std::to_string(p);
+      auto session = [&coordinator, poll_interval](const std::string& self,
+                                                   const std::string& peer) {
+        auto ticket = coordinator.RequestSameFlight(self, peer, "City0");
+        if (!ticket.ok()) std::abort();
+        if (ticket->completed) return;
+        auto fno = coordinator.WaitForMatch(ticket->pid, milliseconds(30000),
+                                            poll_interval);
+        if (!fno.ok()) std::abort();
+      };
+      threads.emplace_back(session, a, b);
+      threads.emplace_back(session, b, a);
+    }
+    for (auto& t : threads) t.join();
+  }
+  state.counters["pairs"] = benchmark::Counter(static_cast<double>(pairs));
+  state.counters["poll_ms"] =
+      benchmark::Counter(static_cast<double>(state.range(1)));
+  state.counters["bookings_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * pairs * 2),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MiddleTierPollingPairs)
+    ->Args({2, 1})->Args({8, 1})->Args({32, 1})
+    ->Args({8, 10})->Args({8, 50})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace youtopia::bench

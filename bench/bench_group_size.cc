@@ -1,0 +1,117 @@
+// Experiments S4/S5 (DESIGN.md): group flight (and hotel) booking —
+// matching cost versus group size. Joint satisfiability is NP-hard in
+// general (companion paper [2]); this bench shows where the cost curve
+// bends for all-to-all groups, and the unify-before-ground ablation
+// (design decision #2 is implicit: grounding runs once per closed
+// group, so symbolic closure dominates as groups grow).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace youtopia::bench {
+namespace {
+
+std::string GroupMemberSql(const std::vector<std::string>& group,
+                           size_t self_index, bool with_hotel) {
+  const std::string& self = group[self_index];
+  std::string heads = "'" + self + "', fno INTO ANSWER Reservation";
+  std::string where =
+      "fno IN (SELECT fno FROM Flights WHERE dest='City0')";
+  if (with_hotel) {
+    heads += ", '" + self + "', hid INTO ANSWER HotelReservation";
+    where += " AND hid IN (SELECT hid FROM Hotels WHERE city='City0')";
+  }
+  for (size_t i = 0; i < group.size(); ++i) {
+    if (i == self_index) continue;
+    where += " AND ('" + group[i] + "', fno) IN ANSWER Reservation";
+    if (with_hotel) {
+      where += " AND ('" + group[i] + "', hid) IN ANSWER HotelReservation";
+    }
+  }
+  return "SELECT " + heads + " WHERE " + where + " CHOOSE 1";
+}
+
+std::unique_ptr<Youtopia> MakeGroupDb(bool prefer_most_constrained = true) {
+  YoutopiaConfig config;
+  config.coordinator.match.prefer_most_constrained = prefer_most_constrained;
+  auto db = std::make_unique<Youtopia>(config);
+  Status setup = db->ExecuteScript(
+      "CREATE TABLE Flights (fno INT NOT NULL, dest TEXT NOT NULL);"
+      "CREATE TABLE Reservation (traveler TEXT NOT NULL, fno INT NOT NULL);"
+      "CREATE INDEX ON Flights (dest);"
+      "CREATE INDEX ON Reservation (traveler);");
+  if (!setup.ok()) std::abort();
+  for (int f = 0; f < 64; ++f) {
+    auto rid = db->storage().Insert(
+        "Flights", Tuple({Value::Int64(100 + f),
+                          Value::String("City" + std::to_string(f % 4))}));
+    if (!rid.ok()) std::abort();
+  }
+  Status s = db->ExecuteScript(
+      "CREATE TABLE Hotels (hid INT NOT NULL, city TEXT NOT NULL);"
+      "CREATE TABLE HotelReservation (traveler TEXT NOT NULL, hid INT NOT "
+      "NULL);"
+      "CREATE INDEX ON Hotels (city);");
+  if (!s.ok()) std::abort();
+  for (int h = 0; h < 16; ++h) {
+    auto rid = db->storage().Insert(
+        "Hotels", Tuple({Value::Int64(500 + h),
+                         Value::String("City" + std::to_string(h % 4))}));
+    if (!rid.ok()) std::abort();
+  }
+  return db;
+}
+
+void RunGroup(benchmark::State& state, bool with_hotel,
+              bool prefer_most_constrained = true) {
+  const int group_size = static_cast<int>(state.range(0));
+  auto db = MakeGroupDb(prefer_most_constrained);
+  int64_t round = 0;
+  for (auto _ : state) {
+    std::vector<std::string> group;
+    group.reserve(group_size);
+    for (int i = 0; i < group_size; ++i) {
+      group.push_back("g" + std::to_string(round) + "_" + std::to_string(i));
+    }
+    ++round;
+    for (size_t i = 0; i < group.size(); ++i) {
+      auto handle = db->Submit(GroupMemberSql(group, i, with_hotel),
+                               group[i]);
+      if (!handle.ok()) std::abort();
+      const bool last = i + 1 == group.size();
+      if (last != handle->Done()) std::abort();
+    }
+  }
+  state.counters["group_size"] =
+      benchmark::Counter(static_cast<double>(group_size));
+  state.counters["groups_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+
+void BM_GroupFlightBooking(benchmark::State& state) {
+  RunGroup(state, /*with_hotel=*/false);
+}
+BENCHMARK(BM_GroupFlightBooking)
+    ->Arg(2)->Arg(3)->Arg(4)->Arg(6)->Arg(8)->Arg(12)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GroupFlightAndHotelBooking(benchmark::State& state) {
+  RunGroup(state, /*with_hotel=*/true);
+}
+BENCHMARK(BM_GroupFlightAndHotelBooking)
+    ->Arg(2)->Arg(3)->Arg(4)->Arg(6)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Ablation of the fail-first grounding heuristic (design decision #2):
+/// the naive order grounds the first evaluable class instead of the
+/// most constrained one.
+void BM_GroupFlightBooking_NaiveGroundingOrder(benchmark::State& state) {
+  RunGroup(state, /*with_hotel=*/false, /*prefer_most_constrained=*/false);
+}
+BENCHMARK(BM_GroupFlightBooking_NaiveGroundingOrder)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace youtopia::bench

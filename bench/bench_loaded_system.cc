@@ -1,0 +1,108 @@
+// Experiments S3 + SCALE (DESIGN.md): coordination on a loaded system.
+// The paper demonstrates "the scalability of our coordination algorithm
+// by allowing our examples to be run on a loaded system, where a large
+// number of entangled queries are trying to coordinate simultaneously"
+// (§3). Here the load is a pool of N waiting queries whose partners have
+// not arrived; we measure how the cost of coordinating a fresh pair
+// grows with N — with and without the signature-partitioned pool
+// (ablation of design decision #1).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace youtopia::bench {
+namespace {
+
+std::unique_ptr<Youtopia> MakeLoadedDb(int pool_size, bool signature_index) {
+  YoutopiaConfig config;
+  config.coordinator.match.use_signature_index = signature_index;
+  auto db = std::make_unique<Youtopia>(config);
+  Status s = db->ExecuteScript(
+      "CREATE TABLE Flights (fno INT NOT NULL, dest TEXT NOT NULL);"
+      "CREATE TABLE Reservation (traveler TEXT NOT NULL, fno INT NOT NULL);"
+      "CREATE INDEX ON Flights (dest);"
+      "CREATE INDEX ON Reservation (traveler);");
+  if (!s.ok()) std::abort();
+  for (int f = 0; f < 256; ++f) {
+    auto rid = db->storage().Insert(
+        "Flights", Tuple({Value::Int64(100 + f),
+                          Value::String("City" + std::to_string(f % 4))}));
+    if (!rid.ok()) std::abort();
+  }
+  // N lonely queries: partners never arrive, so they stay pending and
+  // every future matching round must consider (and reject) them.
+  for (int i = 0; i < pool_size; ++i) {
+    const std::string self = "lonely" + std::to_string(i);
+    const std::string partner = "ghost" + std::to_string(i);
+    auto handle = db->Submit(PairSql(self, partner), self);
+    if (!handle.ok() || handle->Done()) std::abort();
+  }
+  return db;
+}
+
+void RunLoadedPair(benchmark::State& state, bool signature_index) {
+  auto db = MakeLoadedDb(static_cast<int>(state.range(0)), signature_index);
+  int64_t pair = 0;
+  for (auto _ : state) {
+    const std::string a = "A" + std::to_string(pair);
+    const std::string b = "B" + std::to_string(pair);
+    ++pair;
+    auto ha = db->Submit(PairSql(a, b), a);
+    auto hb = db->Submit(PairSql(b, a), b);
+    if (!ha.ok() || !hb.ok() || !hb->Done()) std::abort();
+  }
+  state.counters["pending_pool"] =
+      benchmark::Counter(static_cast<double>(state.range(0)));
+  state.counters["matches_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+
+void BM_LoadedSystem_SignatureIndex(benchmark::State& state) {
+  RunLoadedPair(state, /*signature_index=*/true);
+}
+BENCHMARK(BM_LoadedSystem_SignatureIndex)
+    ->Arg(10)->Arg(100)->Arg(1000)->Arg(5000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Ablation: every pending query is considered as a candidate provider
+/// for every obligation.
+void BM_LoadedSystem_NoSignatureIndex(benchmark::State& state) {
+  RunLoadedPair(state, /*signature_index=*/false);
+}
+BENCHMARK(BM_LoadedSystem_NoSignatureIndex)
+    ->Arg(10)->Arg(100)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Throughput with an all-matching load: 2N queries arrive interleaved
+/// (all firsts, then all partners); reports end-to-end matches/sec.
+void BM_LoadedSystem_DrainThroughput(benchmark::State& state) {
+  const int pairs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto db = MakeLoadedDb(/*pool_size=*/0, /*signature_index=*/true);
+    state.ResumeTiming();
+    for (int i = 0; i < pairs; ++i) {
+      auto h = db->Submit(PairSql("A" + std::to_string(i),
+                                  "B" + std::to_string(i)),
+                          "A");
+      if (!h.ok()) std::abort();
+    }
+    for (int i = 0; i < pairs; ++i) {
+      auto h = db->Submit(PairSql("B" + std::to_string(i),
+                                  "A" + std::to_string(i)),
+                          "B");
+      if (!h.ok() || !h->Done()) std::abort();
+    }
+    if (db->coordinator().pending_count() != 0) std::abort();
+  }
+  state.counters["queries_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * pairs * 2),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LoadedSystem_DrainThroughput)
+    ->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace youtopia::bench

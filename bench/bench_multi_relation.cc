@@ -1,0 +1,76 @@
+// Experiment S2 (DESIGN.md): "Book a flight and a hotel with a friend" —
+// cost of coordinating over one answer relation versus two (the query
+// carries two heads and two partner constraints). Also sweeps hotel
+// inventory to show grounding cost tracks candidate-set size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace youtopia::bench {
+namespace {
+
+std::unique_ptr<Youtopia> MakeTravelDb(int num_hotels) {
+  auto db = MakeFlightDb(/*num_flights=*/256, /*num_dests=*/4);
+  Status s = db->ExecuteScript(
+      "CREATE TABLE Hotels (hid INT NOT NULL, city TEXT NOT NULL);"
+      "CREATE TABLE HotelReservation (traveler TEXT NOT NULL, hid INT NOT "
+      "NULL);"
+      "CREATE INDEX ON Hotels (city);");
+  if (!s.ok()) std::abort();
+  for (int h = 0; h < num_hotels; ++h) {
+    auto rid = db->storage().Insert(
+        "Hotels", Tuple({Value::Int64(500 + h),
+                         Value::String("City" + std::to_string(h % 4))}));
+    if (!rid.ok()) std::abort();
+  }
+  return db;
+}
+
+std::string PairFlightHotelSql(const std::string& self,
+                               const std::string& other) {
+  return "SELECT '" + self + "', fno INTO ANSWER Reservation, '" + self +
+         "', hid INTO ANSWER HotelReservation WHERE "
+         "fno IN (SELECT fno FROM Flights WHERE dest='City0') AND "
+         "hid IN (SELECT hid FROM Hotels WHERE city='City0') AND "
+         "('" + other + "', fno) IN ANSWER Reservation AND "
+         "('" + other + "', hid) IN ANSWER HotelReservation CHOOSE 1";
+}
+
+/// Baseline series: single relation (flight only).
+void BM_PairFlightOnly(benchmark::State& state) {
+  auto db = MakeTravelDb(/*num_hotels=*/64);
+  int64_t pair = 0;
+  for (auto _ : state) {
+    const std::string a = "A" + std::to_string(pair);
+    const std::string b = "B" + std::to_string(pair);
+    ++pair;
+    auto ha = db->Submit(PairSql(a, b), a);
+    auto hb = db->Submit(PairSql(b, a), b);
+    if (!ha.ok() || !hb.ok() || !hb->Done()) std::abort();
+  }
+  state.counters["answer_relations"] = benchmark::Counter(1);
+}
+BENCHMARK(BM_PairFlightOnly)->Unit(benchmark::kMicrosecond);
+
+/// Two answer relations per query (flight + hotel).
+void BM_PairFlightAndHotel(benchmark::State& state) {
+  auto db = MakeTravelDb(static_cast<int>(state.range(0)));
+  int64_t pair = 0;
+  for (auto _ : state) {
+    const std::string a = "A" + std::to_string(pair);
+    const std::string b = "B" + std::to_string(pair);
+    ++pair;
+    auto ha = db->Submit(PairFlightHotelSql(a, b), a);
+    auto hb = db->Submit(PairFlightHotelSql(b, a), b);
+    if (!ha.ok() || !hb.ok() || !hb->Done()) std::abort();
+  }
+  state.counters["answer_relations"] = benchmark::Counter(2);
+  state.counters["hotels"] =
+      benchmark::Counter(static_cast<double>(state.range(0)));
+}
+BENCHMARK(BM_PairFlightAndHotel)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace youtopia::bench

@@ -1,0 +1,81 @@
+// Experiment SUB (DESIGN.md): query-compiler throughput — lexing,
+// parsing and normalizing the paper's entangled query (§2.1), which is
+// on the critical path of every submission.
+
+#include <benchmark/benchmark.h>
+
+#include "entangle/normalizer.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace youtopia::bench {
+namespace {
+
+const char* kPaperQuery =
+    "SELECT 'Kramer', fno INTO ANSWER Reservation "
+    "WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris') "
+    "AND ('Jerry', fno) IN ANSWER Reservation "
+    "CHOOSE 1";
+
+const char* kMultiHeadQuery =
+    "SELECT 'J', fno INTO ANSWER Reservation, 'J', hid INTO ANSWER "
+    "HotelReservation WHERE fno IN (SELECT fno FROM Flights WHERE "
+    "dest='Paris' AND price <= 900) AND hid IN (SELECT hid FROM Hotels "
+    "WHERE city='Paris') AND ('K', fno) IN ANSWER Reservation AND "
+    "('K', hid) IN ANSWER HotelReservation CHOOSE 1";
+
+void BM_LexPaperQuery(benchmark::State& state) {
+  for (auto _ : state) {
+    Lexer lexer(kPaperQuery);
+    auto tokens = lexer.Tokenize();
+    if (!tokens.ok()) std::abort();
+    benchmark::DoNotOptimize(tokens);
+  }
+}
+BENCHMARK(BM_LexPaperQuery);
+
+void BM_ParsePaperQuery(benchmark::State& state) {
+  for (auto _ : state) {
+    auto stmt = Parser::ParseStatement(kPaperQuery);
+    if (!stmt.ok()) std::abort();
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_ParsePaperQuery);
+
+void BM_ParseMultiHeadQuery(benchmark::State& state) {
+  for (auto _ : state) {
+    auto stmt = Parser::ParseStatement(kMultiHeadQuery);
+    if (!stmt.ok()) std::abort();
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_ParseMultiHeadQuery);
+
+void BM_NormalizePaperQuery(benchmark::State& state) {
+  auto stmt = Parser::ParseStatement(kPaperQuery);
+  if (!stmt.ok()) std::abort();
+  const auto& select = static_cast<const SelectStatement&>(*stmt.value());
+  for (auto _ : state) {
+    auto query = Normalizer::Normalize(select, 1, "Kramer", kPaperQuery);
+    if (!query.ok()) std::abort();
+    benchmark::DoNotOptimize(query);
+  }
+}
+BENCHMARK(BM_NormalizePaperQuery);
+
+void BM_ParseAndNormalizeEndToEnd(benchmark::State& state) {
+  for (auto _ : state) {
+    auto stmt = Parser::ParseStatement(kMultiHeadQuery);
+    if (!stmt.ok()) std::abort();
+    auto query = Normalizer::Normalize(
+        static_cast<const SelectStatement&>(*stmt.value()), 1, "J",
+        kMultiHeadQuery);
+    if (!query.ok()) std::abort();
+    benchmark::DoNotOptimize(query);
+  }
+}
+BENCHMARK(BM_ParseAndNormalizeEndToEnd);
+
+}  // namespace
+}  // namespace youtopia::bench

@@ -1,0 +1,54 @@
+// Experiment SCALE, end-to-end view: the loaded-system workload driver
+// (mixed pairwise/group/hotel coordination from concurrent sessions)
+// swept over session counts. Complements bench_loaded_system, which
+// isolates matcher cost — this one includes the full middle-tier path
+// and reports coordination throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "travel/data_generator.h"
+#include "travel/travel_schema.h"
+#include "travel/workload.h"
+
+namespace youtopia::bench {
+namespace {
+
+void BM_LoadedWorkload(benchmark::State& state) {
+  const int sessions = static_cast<int>(state.range(0));
+  size_t satisfied = 0;
+  uint64_t p95 = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Youtopia db;
+    if (!travel::CreateTravelSchema(&db).ok()) std::abort();
+    travel::DataGeneratorConfig data;
+    data.cities = {"NewYork", "Paris", "Rome"};
+    data.flights_per_route_per_day = 4;
+    data.days = 3;
+    if (!travel::GenerateTravelData(&db, data).ok()) std::abort();
+    travel::WorkloadConfig config;
+    config.sessions = sessions;
+    config.requests_per_session = 25;
+    config.group_fraction = 0.2;
+    config.hotel_fraction = 0.3;
+    state.ResumeTiming();
+
+    auto report = travel::RunLoadedWorkload(&db, "Paris", config);
+    if (!report.ok() || report->timed_out > 0 || report->errors > 0) {
+      std::abort();
+    }
+    satisfied += report->satisfied;
+    p95 = report->latency.Percentile(95);
+  }
+  state.counters["sessions"] =
+      benchmark::Counter(static_cast<double>(sessions));
+  state.counters["satisfied_per_sec"] = benchmark::Counter(
+      static_cast<double>(satisfied), benchmark::Counter::kIsRate);
+  state.counters["p95_latency_us"] =
+      benchmark::Counter(static_cast<double>(p95));
+}
+BENCHMARK(BM_LoadedWorkload)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace youtopia::bench

@@ -1,0 +1,70 @@
+// The demo's third application (paper §2.2/§3.2): "an administrative
+// interface which allows us to show the internal state of the system
+// and to visualize the state created by the matching algorithms."
+//
+// This console builds a small coordination scene step by step and dumps
+// the internal state after each step: tables, pending queries with
+// their compiled IR, the match graph with candidate edges and connected
+// components, and coordination statistics.
+
+#include <cstdio>
+
+#include "server/admin.h"
+#include "server/youtopia.h"
+#include "travel/travel_schema.h"
+
+namespace {
+
+using youtopia::Youtopia;
+
+void Dump(const Youtopia& db, const char* moment) {
+  std::printf("\n############ %s ############\n", moment);
+  std::printf("%s", youtopia::TakeAdminSnapshot(db).ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  Youtopia db;
+  if (!youtopia::travel::SetupFigure1(&db).ok()) return 1;
+
+  Dump(db, "fresh system (Figure 1 database loaded)");
+
+  // Kramer's query arrives and parks.
+  auto kramer = db.Submit(
+      "SELECT 'Kramer', fno INTO ANSWER Reservation "
+      "WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris') "
+      "AND ('Jerry', fno) IN ANSWER Reservation CHOOSE 1",
+      "Kramer");
+  if (!kramer.ok()) return 1;
+  Dump(db, "after Kramer's entangled query (pending, no partner)");
+
+  // An unrelated pair floats in the pool — the match graph shows two
+  // disconnected components.
+  auto elaine = db.Submit(
+      "SELECT 'Elaine', fno INTO ANSWER Reservation "
+      "WHERE fno IN (SELECT fno FROM Flights WHERE dest='Rome') "
+      "AND ('George', fno) IN ANSWER Reservation CHOOSE 1",
+      "Elaine");
+  if (!elaine.ok()) return 1;
+  Dump(db, "after Elaine's unrelated query (two components)");
+
+  // Jerry arrives: his query and Kramer's form a closed component and
+  // coordinate immediately.
+  auto jerry = db.Submit(
+      "SELECT 'Jerry', fno INTO ANSWER Reservation "
+      "WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris') "
+      "AND ('Kramer', fno) IN ANSWER Reservation CHOOSE 1",
+      "Jerry");
+  if (!jerry.ok()) return 1;
+  std::printf("\nJerry + Kramer coordinated: %s and %s\n",
+              jerry->Answers()[0].ToString().c_str(),
+              kramer->Answers()[0].ToString().c_str());
+  Dump(db, "after the joint answer (Elaine still waiting)");
+
+  // Cancel Elaine's query to show pool withdrawal.
+  if (db.coordinator().Cancel(elaine->id()).ok()) {
+    Dump(db, "after cancelling Elaine's query");
+  }
+  return 0;
+}

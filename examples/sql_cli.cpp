@@ -1,0 +1,141 @@
+// The demo's second application (paper §2.2): "an SQL command line
+// interface which allows SQL and entangled queries to be input directly
+// to the system by the user."
+//
+// Usage:
+//   sql_cli [--figure1 | --travel]     # optional preloaded database
+//
+// Regular statements print result tables; entangled queries are
+// registered and report their query id; when a submission completes a
+// coordination group, all completed queries are announced. Meta
+// commands: \admin (system state), \pending, \graph, \help, \quit.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "server/admin.h"
+#include "server/youtopia.h"
+#include "travel/data_generator.h"
+#include "travel/travel_schema.h"
+
+namespace {
+
+using youtopia::EntangledHandle;
+using youtopia::QueryId;
+using youtopia::Youtopia;
+
+void PrintHelp() {
+  std::printf(
+      "Youtopia SQL command line.\n"
+      "  Regular SQL: CREATE TABLE / CREATE INDEX / DROP TABLE / INSERT /\n"
+      "               DELETE / UPDATE / SELECT\n"
+      "  Entangled:   SELECT ... INTO ANSWER Rel [, ...]\n"
+      "               [WHERE ... IN (SELECT ...) AND (...) IN ANSWER Rel]\n"
+      "               CHOOSE 1\n"
+      "  Meta:        \\admin  \\pending  \\graph  \\help  \\quit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Youtopia db;
+  if (argc > 1 && std::strcmp(argv[1], "--figure1") == 0) {
+    if (!youtopia::travel::SetupFigure1(&db).ok()) return 1;
+    std::printf("Loaded the Figure 1 database.\n");
+  } else if (argc > 1 && std::strcmp(argv[1], "--travel") == 0) {
+    if (!youtopia::travel::CreateTravelSchema(&db).ok()) return 1;
+    youtopia::travel::DataGeneratorConfig config;
+    auto generated = youtopia::travel::GenerateTravelData(&db, config);
+    if (!generated.ok()) return 1;
+    std::printf("Loaded the travel database: %zu flights, %zu hotels.\n",
+                generated->flights, generated->hotels);
+  }
+  PrintHelp();
+
+  // Handles of not-yet-answered entangled queries, polled after every
+  // statement so the user sees coordinations complete.
+  std::map<QueryId, EntangledHandle> waiting;
+
+  std::string line;
+  std::string statement;
+  std::printf("youtopia> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    if (!line.empty() && line[0] == '\\') {
+      if (line == "\\quit" || line == "\\q") break;
+      if (line == "\\help") {
+        PrintHelp();
+      } else if (line == "\\admin") {
+        std::printf("%s", youtopia::TakeAdminSnapshot(db).ToString().c_str());
+      } else if (line == "\\pending") {
+        for (const auto& p : db.coordinator().Pending()) {
+          std::printf("#%llu (%s): %s\n",
+                      static_cast<unsigned long long>(p.id),
+                      p.owner.c_str(), p.sql.c_str());
+        }
+      } else if (line == "\\graph") {
+        std::printf("%s", db.coordinator().RenderGraph().c_str());
+      } else {
+        std::printf("unknown meta command (try \\help)\n");
+      }
+      std::printf("youtopia> ");
+      std::fflush(stdout);
+      continue;
+    }
+
+    statement += line;
+    // Statements end with ';'. Accumulate lines until then.
+    auto end = statement.find_last_not_of(" \t\r\n");
+    if (end == std::string::npos || statement[end] != ';') {
+      statement += "\n";
+      std::printf("      ...> ");
+      std::fflush(stdout);
+      continue;
+    }
+    statement.erase(end);  // drop the ';'
+
+    auto outcome = db.Run(statement, "cli");
+    if (!outcome.ok()) {
+      std::printf("error: %s\n", outcome.status().ToString().c_str());
+    } else if (outcome->entangled) {
+      EntangledHandle handle = *outcome->handle;
+      if (handle.Done()) {
+        std::printf("entangled query #%llu answered immediately:\n",
+                    static_cast<unsigned long long>(handle.id()));
+        for (const auto& tuple : handle.Answers()) {
+          std::printf("  %s\n", tuple.ToString().c_str());
+        }
+      } else {
+        std::printf("entangled query #%llu registered; waiting for "
+                    "coordination partners\n",
+                    static_cast<unsigned long long>(handle.id()));
+        waiting.emplace(handle.id(), std::move(handle));
+      }
+    } else {
+      std::printf("%s\n", outcome->result.ToString().c_str());
+    }
+
+    // Announce any earlier queries this statement completed.
+    for (auto it = waiting.begin(); it != waiting.end();) {
+      if (it->second.Done()) {
+        std::printf("entangled query #%llu is now answered:\n",
+                    static_cast<unsigned long long>(it->first));
+        for (const auto& tuple : it->second.Answers()) {
+          std::printf("  %s\n", tuple.ToString().c_str());
+        }
+        it = waiting.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    statement.clear();
+    std::printf("youtopia> ");
+    std::fflush(stdout);
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

@@ -1,0 +1,206 @@
+// The travel web site of the demonstration (paper §3.1), driven end to
+// end through the middle tier: all six scenarios, with friend-graph
+// validation, inventory enforcement, and notification delivery.
+
+#include <cstdio>
+
+#include "server/admin.h"
+#include "travel/data_generator.h"
+#include "travel/middle_tier.h"
+#include "travel/travel_schema.h"
+
+namespace {
+
+using youtopia::EntangledHandle;
+using youtopia::Result;
+using youtopia::Youtopia;
+namespace travel = youtopia::travel;
+
+void Banner(const char* title) { std::printf("\n=== %s ===\n", title); }
+
+bool Check(const youtopia::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+void ReportBooking(const char* who, const EntangledHandle& handle) {
+  if (!handle.Done()) {
+    std::printf("  %s: still pending\n", who);
+    return;
+  }
+  std::printf("  %s:", who);
+  for (const auto& tuple : handle.Answers()) {
+    std::printf(" %s", tuple.ToString().c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Youtopia db;
+  if (!Check(travel::CreateTravelSchema(&db), "schema")) return 1;
+
+  travel::DataGeneratorConfig data_config;
+  data_config.cities = {"NewYork", "Paris", "Rome", "London"};
+  data_config.flights_per_route_per_day = 3;
+  data_config.days = 3;
+  auto generated = travel::GenerateTravelData(&db, data_config);
+  if (!generated.ok()) return 1;
+  std::printf("Generated %zu flights, %zu hotels, %zu seats\n",
+              generated->flights, generated->hotels, generated->seats);
+
+  // Friend import — the demo pulls this from Facebook; we substitute a
+  // deterministic social graph (see DESIGN.md).
+  travel::NotificationBus bus;
+  bus.Subscribe([](const std::string& user, const std::string& message) {
+    std::printf("  [message to %s] %s\n", user.c_str(), message.c_str());
+  });
+  travel::TravelService service(
+      &db,
+      travel::FriendGraph::Clique(
+          {"Jerry", "Kramer", "Elaine", "George", "Newman", "Susan"}),
+      &bus);
+  service.EnableInventoryEnforcement();
+
+  Banner("Scenario 1: book a flight with a friend");
+  auto jerry = service.BookFlightWithFriend("Jerry", "Kramer", "Paris");
+  if (!Check(jerry.status(), "Jerry's request")) return 1;
+  std::printf("Jerry submitted; pending queries: %zu\n",
+              db.coordinator().pending_count());
+  auto kramer = service.BookFlightWithFriend("Kramer", "Jerry", "Paris");
+  if (!Check(kramer.status(), "Kramer's request")) return 1;
+  ReportBooking("Jerry", *jerry);
+  ReportBooking("Kramer", *kramer);
+  (void)service.WaitAndNotify(*jerry, "Jerry");
+  (void)service.WaitAndNotify(*kramer, "Kramer");
+
+  Banner("Scenario 1b: browse flights, see friends' bookings, book direct");
+  auto flights = service.BrowseFlights("Paris", /*day=*/0, /*max_price=*/0);
+  if (flights.ok() && !flights->rows.empty()) {
+    const int64_t fno = jerry->Answers()[0].at(1).int64_value();
+    auto friends = service.FriendsOnFlight("Elaine", fno);
+    if (friends.ok()) {
+      std::printf("Elaine sees on flight %lld:", static_cast<long long>(fno));
+      for (const auto& f : *friends) std::printf(" %s", f.c_str());
+      std::printf("\n");
+    }
+    auto elaine = service.BookFlightDirect("Elaine", fno);
+    if (elaine.ok()) ReportBooking("Elaine", *elaine);
+  }
+
+  Banner("Scenario 2: book a flight and a hotel with a friend");
+  auto george =
+      service.BookFlightAndHotelWithFriend("George", "Susan", "Rome");
+  auto susan =
+      service.BookFlightAndHotelWithFriend("Susan", "George", "Rome");
+  if (george.ok() && susan.ok()) {
+    ReportBooking("George", *george);
+    ReportBooking("Susan", *susan);
+  }
+
+  Banner("Scenario 3: multiple simultaneous bookings");
+  {
+    auto a1 = service.BookFlightWithFriend("Jerry", "Elaine", "London");
+    auto b1 = service.BookFlightWithFriend("Kramer", "Newman", "London");
+    std::printf("Two half-pairs pending: %zu\n",
+                db.coordinator().pending_count());
+    auto a2 = service.BookFlightWithFriend("Elaine", "Jerry", "London");
+    auto b2 = service.BookFlightWithFriend("Newman", "Kramer", "London");
+    if (a1.ok() && a2.ok() && b1.ok() && b2.ok()) {
+      ReportBooking("Jerry", *a1);
+      ReportBooking("Elaine", *a2);
+      ReportBooking("Kramer", *b1);
+      ReportBooking("Newman", *b2);
+    }
+  }
+
+  Banner("Scenario 4: group flight booking (four friends)");
+  {
+    const std::vector<std::string> group = {"Jerry", "Kramer", "Elaine",
+                                            "George"};
+    std::vector<EntangledHandle> handles;
+    for (const auto& self : group) {
+      travel::TravelRequest request;
+      request.user = self;
+      for (const auto& other : group) {
+        if (other != self) request.flight_companions.push_back(other);
+      }
+      request.dest = "Rome";
+      request.day = 2;
+      auto handle = service.SubmitRequest(request);
+      if (!Check(handle.status(), "group request")) return 1;
+      handles.push_back(handle.TakeValue());
+    }
+    for (size_t i = 0; i < group.size(); ++i) {
+      ReportBooking(group[i].c_str(), handles[i]);
+    }
+  }
+
+  Banner("Scenario 5: group flight and hotel booking (three friends)");
+  {
+    const std::vector<std::string> group = {"Kramer", "Newman", "Susan"};
+    std::vector<EntangledHandle> handles;
+    for (const auto& self : group) {
+      travel::TravelRequest request;
+      request.user = self;
+      for (const auto& other : group) {
+        if (other != self) {
+          request.flight_companions.push_back(other);
+          request.hotel_companions.push_back(other);
+        }
+      }
+      request.dest = "London";
+      request.want_hotel = true;
+      auto handle = service.SubmitRequest(request);
+      if (!Check(handle.status(), "group request")) return 1;
+      handles.push_back(handle.TakeValue());
+    }
+    for (size_t i = 0; i < group.size(); ++i) {
+      ReportBooking(group[i].c_str(), handles[i]);
+    }
+  }
+
+  Banner("Scenario 6: ad-hoc coordination topology");
+  {
+    // Jerry <-> Kramer flights only; Kramer <-> Elaine flights + hotels.
+    auto j = service.BookFlightWithFriend("Jerry", "Kramer", "NewYork");
+    travel::TravelRequest kramer_request;
+    kramer_request.user = "Kramer";
+    kramer_request.flight_companions = {"Jerry", "Elaine"};
+    kramer_request.hotel_companions = {"Elaine"};
+    kramer_request.dest = "NewYork";
+    kramer_request.want_hotel = true;
+    auto k = service.SubmitRequest(kramer_request);
+    travel::TravelRequest elaine_request;
+    elaine_request.user = "Elaine";
+    elaine_request.flight_companions = {"Kramer"};
+    elaine_request.hotel_companions = {"Kramer"};
+    elaine_request.dest = "NewYork";
+    elaine_request.want_hotel = true;
+    auto e = service.SubmitRequest(elaine_request);
+    if (j.ok() && k.ok() && e.ok()) {
+      ReportBooking("Jerry", *j);
+      ReportBooking("Kramer", *k);
+      ReportBooking("Elaine", *e);
+    }
+  }
+
+  Banner("Account view (Jerry)");
+  auto account = service.AccountView("Jerry");
+  if (account.ok()) {
+    std::printf("flights:\n%s\n", account->flights.ToString().c_str());
+  }
+
+  Banner("Coordination statistics");
+  auto stats = db.coordinator().stats();
+  std::printf(
+      "submitted=%zu matched=%zu groups=%zu failed_installs=%zu "
+      "from_stored=%zu\n",
+      stats.submitted, stats.matched_queries, stats.matched_groups,
+      stats.failed_installs, stats.constraints_from_stored);
+  return 0;
+}

@@ -1,0 +1,75 @@
+#ifndef YOUTOPIA_BASELINE_MIDDLE_TIER_COORDINATOR_H_
+#define YOUTOPIA_BASELINE_MIDDLE_TIER_COORDINATOR_H_
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "server/youtopia.h"
+
+namespace youtopia::baseline {
+
+/// What application developers build *without* Youtopia (paper §1: the
+/// alternative is "coordinating out-of-band ... and trying to make
+/// near-simultaneous bookings"): pairwise same-flight coordination
+/// implemented in the middle tier over ordinary tables, transactions and
+/// polling.
+///
+/// Protocol: a request first looks for an open reciprocal proposal from
+/// the partner. If present, it picks a flight, books both seats and
+/// marks the proposal accepted — all in one transaction. Otherwise it
+/// files its own proposal and the caller polls until a partner arrives.
+///
+/// The class exists to be measured against the in-DBMS coordinator
+/// (bench_baseline_comparison) and to illustrate the code burden the
+/// paper argues Youtopia removes: deadlock-retry loops, polling
+/// latency, and manual two-sided state management.
+class MiddleTierCoordinator {
+ public:
+  explicit MiddleTierCoordinator(Youtopia* db) : db_(db) {}
+
+  MiddleTierCoordinator(const MiddleTierCoordinator&) = delete;
+  MiddleTierCoordinator& operator=(const MiddleTierCoordinator&) = delete;
+
+  /// Creates the CoordProposals working table.
+  Status Setup();
+
+  /// Outcome of filing a request.
+  struct Ticket {
+    /// Proposal row id to poll on; 0 when completed immediately.
+    uint64_t pid = 0;
+    bool completed = false;
+    int64_t fno = 0;  ///< Booked flight when completed.
+  };
+
+  /// Requests a same-flight booking for `user` with `partner` to
+  /// `dest`. Either completes both bookings immediately (reciprocal
+  /// proposal found) or files a proposal.
+  Result<Ticket> RequestSameFlight(const std::string& user,
+                                   const std::string& partner,
+                                   const std::string& dest);
+
+  /// Checks whether the proposal was accepted; returns the flight
+  /// number when it was.
+  Result<std::optional<int64_t>> Poll(uint64_t pid);
+
+  /// Polls until accepted or timeout.
+  Result<int64_t> WaitForMatch(
+      uint64_t pid, std::chrono::milliseconds timeout,
+      std::chrono::milliseconds poll_interval = std::chrono::milliseconds(2));
+
+ private:
+  /// One attempt of the accept-or-propose transaction; kTimedOut means
+  /// a lock conflict and the caller retries.
+  Result<Ticket> TryRequest(const std::string& user,
+                            const std::string& partner,
+                            const std::string& dest);
+
+  Youtopia* db_;
+};
+
+}  // namespace youtopia::baseline
+
+#endif  // YOUTOPIA_BASELINE_MIDDLE_TIER_COORDINATOR_H_

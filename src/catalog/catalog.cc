@@ -1,0 +1,83 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace youtopia {
+
+Result<TableId> Catalog::CreateTable(const std::string& name, Schema schema) {
+  if (name.empty()) {
+    return Status::InvalidArgument("table name may not be empty");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = ToLowerAscii(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  TableInfo info;
+  info.id = next_id_++;
+  info.name = name;
+  info.schema = std::move(schema);
+  tables_.emplace(key, info);
+  return info.id;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = ToLowerAscii(name);
+  if (tables_.erase(key) == 0) {
+    return Status::NotFound("no table named " + name);
+  }
+  return Status::OK();
+}
+
+Result<TableInfo> Catalog::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(ToLowerAscii(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named " + name);
+  }
+  return it->second;
+}
+
+Result<TableInfo> Catalog::GetTable(TableId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, info] : tables_) {
+    if (info.id == id) return info;
+  }
+  return Status::NotFound("no table with id " + std::to_string(id));
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.count(ToLowerAscii(name)) > 0;
+}
+
+Status Catalog::AddIndexedColumn(const std::string& table,
+                                 size_t column_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(ToLowerAscii(table));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named " + table);
+  }
+  if (column_index >= it->second.schema.num_columns()) {
+    return Status::OutOfRange("column index out of range for " + table);
+  }
+  auto& cols = it->second.indexed_columns;
+  if (std::find(cols.begin(), cols.end(), column_index) != cols.end()) {
+    return Status::AlreadyExists("column already indexed");
+  }
+  cols.push_back(column_index);
+  return Status::OK();
+}
+
+std::vector<TableInfo> Catalog::ListTables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TableInfo> out;
+  out.reserve(tables_.size());
+  for (const auto& [key, info] : tables_) out.push_back(info);
+  return out;
+}
+
+}  // namespace youtopia

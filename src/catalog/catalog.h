@@ -1,0 +1,66 @@
+#ifndef YOUTOPIA_CATALOG_CATALOG_H_
+#define YOUTOPIA_CATALOG_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/schema.h"
+
+namespace youtopia {
+
+/// Unique id of a table within one Youtopia instance.
+using TableId = uint32_t;
+
+/// Catalog entry for one table.
+struct TableInfo {
+  TableId id = 0;
+  std::string name;          ///< Original-case name as created.
+  Schema schema;
+  /// Column indexes that carry a hash index (maintained by the storage
+  /// engine). Kept here so the planner can pick index scans.
+  std::vector<size_t> indexed_columns;
+};
+
+/// Name → table metadata registry. Names are case-insensitive. The catalog
+/// is thread-safe: the coordination component resolves table metadata from
+/// concurrent sessions.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers a new table; fails with AlreadyExists on duplicate names.
+  Result<TableId> CreateTable(const std::string& name, Schema schema);
+
+  /// Unregisters; fails with NotFound if absent.
+  Status DropTable(const std::string& name);
+
+  /// Metadata lookup by name (copy; metadata is small).
+  Result<TableInfo> GetTable(const std::string& name) const;
+
+  /// Metadata lookup by id.
+  Result<TableInfo> GetTable(TableId id) const;
+
+  bool HasTable(const std::string& name) const;
+
+  /// Records that `column_index` of `table` now has a hash index.
+  Status AddIndexedColumn(const std::string& table, size_t column_index);
+
+  /// All tables, sorted by name (for the admin interface).
+  std::vector<TableInfo> ListTables() const;
+
+ private:
+  mutable std::mutex mu_;
+  TableId next_id_ = 1;
+  /// Keyed by lowercase name.
+  std::map<std::string, TableInfo> tables_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_CATALOG_CATALOG_H_

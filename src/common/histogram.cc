@@ -1,0 +1,120 @@
+#include "common/histogram.h"
+
+#include "common/string_util.h"
+
+namespace youtopia {
+
+Histogram::Histogram(const Histogram& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  buckets_ = other.buckets_;
+  count_ = other.count_;
+  sum_ = other.sum_;
+  min_ = other.min_;
+  max_ = other.max_;
+}
+
+Histogram& Histogram::operator=(const Histogram& other) {
+  if (this == &other) return *this;
+  // Snapshot the source first to keep a single-lock discipline.
+  Histogram snapshot(other);
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_ = snapshot.buckets_;
+  count_ = snapshot.count_;
+  sum_ = snapshot.sum_;
+  min_ = snapshot.min_;
+  max_ = snapshot.max_;
+  return *this;
+}
+
+size_t Histogram::BucketFor(uint64_t micros) {
+  size_t bucket = 0;
+  while (micros >= 2 && bucket + 1 < kBuckets) {
+    micros >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+void Histogram::Record(uint64_t micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_[BucketFor(micros)] += 1;
+  ++count_;
+  sum_ += micros;
+  if (micros < min_) min_ = micros;
+  if (micros > max_) max_ = micros;
+}
+
+size_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+uint64_t Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0 : min_;
+}
+
+uint64_t Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0;
+  if (p <= 0) return min_;
+  if (p >= 100) return max_;
+  const auto target = static_cast<uint64_t>(
+      static_cast<double>(count_) * p / 100.0 + 0.5);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      // Upper bound of the bucket, clamped to the observed extremes.
+      const uint64_t upper = i + 1 >= 64 ? UINT64_MAX : (1ull << (i + 1));
+      return std::min(std::max(upper, min_), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  return StringPrintf(
+      "count=%zu mean=%.1fus p50=%lluus p95=%lluus p99=%lluus max=%lluus",
+      count(), mean(),
+      static_cast<unsigned long long>(Percentile(50)),
+      static_cast<unsigned long long>(Percentile(95)),
+      static_cast<unsigned long long>(Percentile(99)),
+      static_cast<unsigned long long>(max()));
+}
+
+void Histogram::Merge(const Histogram& other) {
+  // Copy the other's state first to avoid lock-order issues.
+  std::vector<uint64_t> other_buckets;
+  size_t other_count;
+  uint64_t other_sum, other_min, other_max;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    other_buckets = other.buckets_;
+    other_count = other.count_;
+    other_sum = other.sum_;
+    other_min = other.min_;
+    other_max = other.max_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < kBuckets; ++i) buckets_[i] += other_buckets[i];
+  count_ += other_count;
+  sum_ += other_sum;
+  if (other_count > 0) {
+    if (other_min < min_) min_ = other_min;
+    if (other_max > max_) max_ = other_max;
+  }
+}
+
+}  // namespace youtopia

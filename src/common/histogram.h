@@ -1,0 +1,55 @@
+#ifndef YOUTOPIA_COMMON_HISTOGRAM_H_
+#define YOUTOPIA_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace youtopia {
+
+/// Thread-safe log-bucketed latency histogram (microsecond samples).
+/// Used by the loaded-system workload driver to report percentile
+/// latencies without retaining every sample.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// Copyable (snapshot semantics) so reports can be returned by value;
+  /// the internal mutex is not copied.
+  Histogram(const Histogram& other);
+  Histogram& operator=(const Histogram& other);
+
+  void Record(uint64_t micros);
+
+  size_t count() const;
+  uint64_t min() const;
+  uint64_t max() const;
+  double mean() const;
+
+  /// Approximate percentile (0 < p <= 100) from the bucket boundaries.
+  uint64_t Percentile(double p) const;
+
+  /// "count=... mean=...us p50=... p95=... p99=... max=..." summary.
+  std::string ToString() const;
+
+  /// Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+ private:
+  /// Bucket i covers [2^i, 2^(i+1)) microseconds; bucket 0 covers
+  /// [0, 2).
+  static constexpr size_t kBuckets = 40;
+  static size_t BucketFor(uint64_t micros);
+
+  mutable std::mutex mu_;
+  std::vector<uint64_t> buckets_ = std::vector<uint64_t>(kBuckets, 0);
+  size_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_COMMON_HISTOGRAM_H_

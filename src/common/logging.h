@@ -1,0 +1,67 @@
+#ifndef YOUTOPIA_COMMON_LOGGING_H_
+#define YOUTOPIA_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace youtopia {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Defaults to
+/// kWarning so library users see nothing unless something is wrong.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits on destruction. When `fatal` the
+/// destructor aborts the process after flushing.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the stream when the level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+#define YOUTOPIA_LOG(level)                                              \
+  if (::youtopia::LogLevel::level < ::youtopia::GetLogLevel()) {         \
+  } else                                                                 \
+    ::youtopia::internal_logging::LogMessage(::youtopia::LogLevel::level, \
+                                             __FILE__, __LINE__)         \
+        .stream()
+
+/// Fatal invariant check: prints and aborts. Used only for internal
+/// programming errors, never for user input (which returns Status).
+#define YOUTOPIA_CHECK(cond)                                          \
+  if (cond) {                                                         \
+  } else                                                              \
+    ::youtopia::internal_logging::LogMessage(                         \
+        ::youtopia::LogLevel::kError, __FILE__, __LINE__,             \
+        /*fatal=*/true)                                               \
+        .stream()                                                     \
+        << "CHECK failed: " #cond " "
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_COMMON_LOGGING_H_

@@ -1,0 +1,53 @@
+#include "common/random.h"
+
+namespace youtopia {
+
+namespace {
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t x = seed;
+  state0_ = SplitMix64(x);
+  state1_ = SplitMix64(x);
+  if (state0_ == 0 && state1_ == 0) state1_ = 1;  // avoid the all-zero orbit
+}
+
+uint64_t Random::Next() {
+  uint64_t s1 = state0_;
+  const uint64_t s0 = state1_;
+  const uint64_t result = s0 + s1;
+  state0_ = s0;
+  s1 ^= s1 << 23;
+  state1_ = s1 ^ s0 ^ (s1 >> 18) ^ (s0 >> 5);
+  return result;
+}
+
+uint64_t Random::NextBelow(uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Random::NextInRange(int64_t lo, int64_t hi) {
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBelow(span));
+}
+
+double Random::NextDouble() {
+  // 53 high-quality bits -> [0,1).
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Random::NextBool(double p) { return NextDouble() < p; }
+
+}  // namespace youtopia

@@ -1,0 +1,37 @@
+#ifndef YOUTOPIA_COMMON_RANDOM_H_
+#define YOUTOPIA_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace youtopia {
+
+/// Deterministic xorshift128+ generator. Used wherever the system makes a
+/// nondeterministic choice (e.g., CHOOSE 1 among valid groundings) so that
+/// tests can pin a seed and get reproducible runs.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). `bound` must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli with probability `p` of true.
+  bool NextBool(double p = 0.5);
+
+ private:
+  uint64_t state0_;
+  uint64_t state1_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_COMMON_RANDOM_H_

@@ -1,0 +1,156 @@
+#ifndef YOUTOPIA_COMMON_STATUS_H_
+#define YOUTOPIA_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace youtopia {
+
+/// Error categories used across the system. Mirrors the coarse error
+/// taxonomy of embedded database engines (RocksDB/Arrow style).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed input (bad SQL, bad schema, bad value).
+  kNotFound,          ///< Missing table/column/query/row.
+  kAlreadyExists,     ///< Duplicate table/index/query id.
+  kOutOfRange,        ///< Index or CHOOSE bound out of range.
+  kUnsatisfiable,     ///< Entangled query can never be satisfied.
+  kAborted,           ///< Transaction or coordination round aborted.
+  kTimedOut,          ///< Lock wait or coordination deadline expired.
+  kInternal,          ///< Invariant violation inside the engine.
+  kNotImplemented,    ///< Feature intentionally out of scope.
+};
+
+/// Returns a stable human-readable name ("Ok", "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap, copyable success-or-error value. All fallible public APIs in
+/// youtopia return `Status` (or `Result<T>` below) instead of throwing.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unsatisfiable(std::string msg) {
+    return Status(StatusCode::kUnsatisfiable, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Holds either a value of type `T` or an error `Status`. Semantics follow
+/// `arrow::Result` / `absl::StatusOr`: access to the value when holding an
+/// error is a programming bug (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversions from both sides keep call sites terse:
+  /// `return some_value;` and `return Status::NotFound(...);` both work.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status)                          // NOLINT(google-explicit-constructor)
+      : data_(std::move(status)) {}
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// Error status; `Status::OK()` when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Moves the value out, leaving the Result in a valid but unspecified
+  /// state. Caller must have checked `ok()`.
+  T TakeValue() { return std::get<T>(std::move(data_)); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define YOUTOPIA_RETURN_IF_ERROR(expr)             \
+  do {                                             \
+    ::youtopia::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+/// Evaluates a Result-returning expression; on error propagates the status,
+/// otherwise moves the value into `lhs`.
+#define YOUTOPIA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).TakeValue();
+
+#define YOUTOPIA_ASSIGN_OR_RETURN_CONCAT_(a, b) a##b
+#define YOUTOPIA_ASSIGN_OR_RETURN_CONCAT(a, b) \
+  YOUTOPIA_ASSIGN_OR_RETURN_CONCAT_(a, b)
+
+#define YOUTOPIA_ASSIGN_OR_RETURN(lhs, expr)   \
+  YOUTOPIA_ASSIGN_OR_RETURN_IMPL(              \
+      YOUTOPIA_ASSIGN_OR_RETURN_CONCAT(_result_tmp_, __LINE__), lhs, expr)
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_COMMON_STATUS_H_

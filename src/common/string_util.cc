@@ -1,0 +1,103 @@
+#include "common/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace youtopia {
+
+namespace {
+char LowerChar(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+char UpperChar(char c) {
+  return (c >= 'a' && c <= 'z') ? static_cast<char>(c - 'a' + 'A') : c;
+}
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+}  // namespace
+
+std::string ToLowerAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = LowerChar(c);
+  return out;
+}
+
+std::string ToUpperAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = UpperChar(c);
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (LowerChar(a[i]) != LowerChar(b[i])) return false;
+  }
+  return true;
+}
+
+std::string_view TrimWhitespace(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() && IsSpace(s[begin])) ++begin;
+  size_t end = s.size();
+  while (end > begin && IsSpace(s[end - 1])) --end;
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string> SplitString(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string QuoteSqlString(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('\'');
+  for (char c : s) {
+    if (c == '\'') out.push_back('\'');
+    out.push_back(c);
+  }
+  out.push_back('\'');
+  return out;
+}
+
+std::string StringPrintf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace youtopia

@@ -1,0 +1,43 @@
+#ifndef YOUTOPIA_COMMON_STRING_UTIL_H_
+#define YOUTOPIA_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace youtopia {
+
+/// Lower-cases ASCII characters only (SQL keywords are ASCII).
+std::string ToLowerAscii(std::string_view s);
+
+/// Upper-cases ASCII characters only.
+std::string ToUpperAscii(std::string_view s);
+
+/// Case-insensitive ASCII equality, used for SQL keyword matching.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Quotes a string as a SQL literal: wraps in single quotes and doubles
+/// embedded quotes ('Jer''ry').
+std::string QuoteSqlString(std::string_view s);
+
+/// Formats like printf into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_COMMON_STRING_UTIL_H_

@@ -1,0 +1,41 @@
+#include "entangle/answer_atom.h"
+
+namespace youtopia {
+
+std::string Term::ToString(const std::vector<std::string>* var_names) const {
+  if (is_constant()) return constant.ToString();
+  std::string name;
+  if (var_names != nullptr && var < var_names->size()) {
+    name = (*var_names)[var];
+  } else {
+    name = "$" + std::to_string(var);
+  }
+  if (offset > 0) return name + " + " + std::to_string(offset);
+  if (offset < 0) return name + " - " + std::to_string(-offset);
+  return name;
+}
+
+bool AnswerAtom::IsGround() const {
+  for (const Term& t : terms) {
+    if (!t.is_constant()) return false;
+  }
+  return true;
+}
+
+Tuple AnswerAtom::ToTuple() const {
+  Tuple out;
+  for (const Term& t : terms) out.Append(t.constant);
+  return out;
+}
+
+std::string AnswerAtom::ToString(
+    const std::vector<std::string>* var_names) const {
+  std::string out = relation + "(";
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += terms[i].ToString(var_names);
+  }
+  return out + ")";
+}
+
+}  // namespace youtopia

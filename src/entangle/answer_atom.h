@@ -1,0 +1,83 @@
+#ifndef YOUTOPIA_ENTANGLE_ANSWER_ATOM_H_
+#define YOUTOPIA_ENTANGLE_ANSWER_ATOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace youtopia {
+
+/// Index of a coordination variable within one entangled query.
+using VarId = uint32_t;
+
+/// A term of an answer atom: either a constant or a coordination
+/// variable, optionally with an integer offset (`seat + 1`, used by the
+/// demo's adjacent-seat coordination). Non-integer variables must carry
+/// offset 0.
+struct Term {
+  enum class Kind { kConstant, kVariable };
+
+  static Term Constant(Value v) {
+    Term t;
+    t.kind = Kind::kConstant;
+    t.constant = std::move(v);
+    return t;
+  }
+  static Term Variable(VarId var, int64_t offset = 0) {
+    Term t;
+    t.kind = Kind::kVariable;
+    t.var = var;
+    t.offset = offset;
+    return t;
+  }
+
+  bool is_constant() const { return kind == Kind::kConstant; }
+  bool is_variable() const { return kind == Kind::kVariable; }
+
+  bool operator==(const Term& other) const {
+    if (kind != other.kind) return false;
+    if (is_constant()) return constant == other.constant;
+    return var == other.var && offset == other.offset;
+  }
+
+  /// Rendering with variable names supplied by the owning query
+  /// (nullptr -> "$<id>").
+  std::string ToString(const std::vector<std::string>* var_names = nullptr) const;
+
+  Kind kind = Kind::kConstant;
+  Value constant;
+  VarId var = 0;
+  int64_t offset = 0;
+};
+
+/// An atom over an answer relation, e.g. Reservation('Kramer', fno).
+/// Appears in two roles (paper §2.1): as a *head* — the tuple a query
+/// contributes INTO ANSWER — and as a *constraint* — a tuple the query
+/// requires to be present in the system-wide answer relation.
+struct AnswerAtom {
+  std::string relation;
+  std::vector<Term> terms;
+
+  size_t arity() const { return terms.size(); }
+
+  /// True when every term is a constant.
+  bool IsGround() const;
+
+  /// Converts a fully ground atom to a tuple. Caller must check
+  /// IsGround().
+  Tuple ToTuple() const;
+
+  /// "Relation(t1, ..., tn)".
+  std::string ToString(const std::vector<std::string>* var_names = nullptr) const;
+
+  bool operator==(const AnswerAtom& other) const {
+    return relation == other.relation && terms == other.terms;
+  }
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_ENTANGLE_ANSWER_ATOM_H_

@@ -1,0 +1,46 @@
+#ifndef YOUTOPIA_ENTANGLE_ANSWER_RELATION_H_
+#define YOUTOPIA_ENTANGLE_ANSWER_RELATION_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/storage_engine.h"
+#include "txn/txn_manager.h"
+
+namespace youtopia {
+
+/// Manages the system-wide answer relations (paper §2.1: "the answer to
+/// the query is returned through an answer relation that is shared among
+/// multiple queries in the system").
+///
+/// Answer relations are materialized as ordinary tables in the storage
+/// engine. That is what makes the demo's browse-then-book path work:
+/// regular SELECTs over `Reservation` see coordinated answers, and
+/// `IN ANSWER Reservation` constraints can be satisfied by rows
+/// installed in earlier rounds.
+class AnswerRelationManager {
+ public:
+  explicit AnswerRelationManager(StorageEngine* storage,
+                                 bool auto_create = true)
+      : storage_(storage), auto_create_(auto_create) {}
+
+  /// Ensures a table exists that can hold `prototype`. When the table
+  /// pre-exists (the travel schema creates typed Reservation tables),
+  /// checks arity compatibility. Otherwise, when auto-create is on,
+  /// creates one with columns c0..cn-1 typed from the prototype.
+  Status EnsureRelation(const std::string& relation, const Tuple& prototype);
+
+  /// Inserts an answer tuple inside `txn`. Duplicate tuples are not
+  /// inserted twice (the answer relation is a set — two queries
+  /// contributing the same tuple share it).
+  Status Install(Transaction* txn, TxnManager* txn_manager,
+                 const std::string& relation, const Tuple& tuple);
+
+ private:
+  StorageEngine* storage_;
+  bool auto_create_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_ENTANGLE_ANSWER_RELATION_H_

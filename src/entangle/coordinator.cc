@@ -1,0 +1,282 @@
+#include "entangle/coordinator.h"
+
+#include <deque>
+
+#include "common/logging.h"
+
+namespace youtopia {
+
+QueryId EntangledHandle::id() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->id;
+}
+
+bool EntangledHandle::Done() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+Status EntangledHandle::Wait(std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  if (!state_->cv.wait_for(lock, timeout, [this] { return state_->done; })) {
+    return Status::TimedOut("entangled query " + std::to_string(state_->id) +
+                            " still pending");
+  }
+  return state_->outcome;
+}
+
+std::vector<Tuple> EntangledHandle::Answers() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->answers;
+}
+
+std::optional<std::chrono::steady_clock::time_point>
+EntangledHandle::CompletedAt() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (!state_->done) return std::nullopt;
+  return state_->completed_at;
+}
+
+Coordinator::Coordinator(StorageEngine* storage, TxnManager* txn_manager,
+                         CoordinatorConfig config)
+    : storage_(storage),
+      txn_manager_(txn_manager),
+      config_(config),
+      answers_(storage, config.auto_create_answer_tables),
+      matcher_(storage, config.match) {}
+
+Result<EntangledHandle> Coordinator::Submit(EntangledQuery query) {
+  if (query.heads.empty()) {
+    return Status::InvalidArgument("entangled query has no heads");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  query.id = next_id_++;
+  const QueryId id = query.id;
+
+  auto state = std::make_shared<EntangledHandle::State>();
+  state->id = id;
+  handles_.emplace(id, state);
+  arrivals_.emplace(id, std::chrono::steady_clock::now());
+  pool_.Add(std::make_shared<const EntangledQuery>(std::move(query)));
+  ++stats_.submitted;
+
+  auto satisfied = MatchAndInstallLocked(id);
+  if (!satisfied.ok()) return satisfied.status();
+  return EntangledHandle(state);
+}
+
+Status Coordinator::WithdrawLocked(QueryId id, Status outcome) {
+  auto query = pool_.Remove(id);
+  if (query == nullptr) {
+    return Status::NotFound("query " + std::to_string(id) +
+                            " is not pending");
+  }
+  ++stats_.cancelled;
+  arrivals_.erase(id);
+  auto it = handles_.find(id);
+  if (it != handles_.end()) {
+    auto& state = it->second;
+    {
+      std::lock_guard<std::mutex> hlock(state->mu);
+      state->done = true;
+      state->outcome = std::move(outcome);
+      state->completed_at = std::chrono::steady_clock::now();
+    }
+    state->cv.notify_all();
+    handles_.erase(it);
+  }
+  return Status::OK();
+}
+
+Status Coordinator::Cancel(QueryId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return WithdrawLocked(id, Status::Aborted("query cancelled"));
+}
+
+Result<size_t> Coordinator::ExpireOlderThan(
+    std::chrono::milliseconds max_age) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto cutoff = std::chrono::steady_clock::now() - max_age;
+  std::vector<QueryId> expired;
+  for (const auto& [id, arrival] : arrivals_) {
+    if (arrival <= cutoff && pool_.Contains(id)) expired.push_back(id);
+  }
+  for (QueryId id : expired) {
+    YOUTOPIA_RETURN_IF_ERROR(WithdrawLocked(
+        id, Status::TimedOut("entangled query expired without a partner")));
+  }
+  return expired.size();
+}
+
+Result<size_t> Coordinator::RetriggerDependentsOf(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t satisfied = 0;
+  for (QueryId id : pool_.QueriesWithDomainOn(table)) {
+    if (!pool_.Contains(id)) continue;
+    auto n = MatchAndInstallLocked(id);
+    if (!n.ok()) return n.status();
+    satisfied += n.value();
+  }
+  return satisfied;
+}
+
+Result<size_t> Coordinator::RetriggerAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t satisfied = 0;
+  // Snapshot ids up front; matches mutate the pool.
+  for (QueryId id : pool_.AllIds()) {
+    if (!pool_.Contains(id)) continue;  // satisfied by an earlier round
+    auto n = MatchAndInstallLocked(id);
+    if (!n.ok()) return n.status();
+    satisfied += n.value();
+  }
+  return satisfied;
+}
+
+Result<size_t> Coordinator::MatchAndInstallLocked(QueryId id) {
+  size_t satisfied = 0;
+  // Worklist of match roots: the triggering query first, then queries
+  // whose constraints touch relations that received new answers.
+  std::deque<QueryId> worklist = {id};
+  while (!worklist.empty()) {
+    const QueryId root = worklist.front();
+    worklist.pop_front();
+    if (!pool_.Contains(root)) continue;
+
+    const auto start = std::chrono::steady_clock::now();
+    auto match = matcher_.TryMatch(root, pool_);
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start);
+    ++stats_.match_calls;
+    stats_.match_micros_total += static_cast<uint64_t>(elapsed.count());
+    if (!match.ok()) return match.status();
+    if (!match->has_value()) continue;
+
+    const MatchResult& result = match->value();
+    stats_.search_steps_total += result.steps;
+    auto installed = InstallLocked(result);
+    if (!installed.ok()) return installed.status();
+    if (!installed.value()) continue;  // install aborted; stays pending
+
+    satisfied += result.group.size();
+    ++stats_.matched_groups;
+    stats_.matched_queries += result.group.size();
+    stats_.constraints_from_stored += result.from_stored;
+
+    // New answers may unblock pending queries — but only those with a
+    // constraint that the newly installed tuples could satisfy. The
+    // prefilter keeps retriggering O(affected) instead of O(pool),
+    // which is what makes the loaded-system demo scale (paper §3).
+    ++stats_.retrigger_rounds;
+    for (const auto& [relation, tuple] : result.installed) {
+      for (QueryId qid : pool_.QueriesUnblockedBy(relation, tuple)) {
+        worklist.push_back(qid);
+      }
+    }
+  }
+  return satisfied;
+}
+
+Result<bool> Coordinator::InstallLocked(const MatchResult& match) {
+  auto txn = txn_manager_->Begin();
+  Status status = Status::OK();
+
+  for (const QueryId qid : match.group) {
+    auto query = pool_.Get(qid);
+    if (query == nullptr) {
+      status = Status::Internal("matched query " + std::to_string(qid) +
+                                " vanished from the pool");
+      break;
+    }
+    const auto& tuples = match.answers.at(qid);
+    for (size_t h = 0; h < query->heads.size() && status.ok(); ++h) {
+      status = answers_.Install(txn.get(), txn_manager_,
+                                query->heads[h].relation, tuples[h]);
+    }
+    if (!status.ok()) break;
+  }
+
+  if (status.ok() && install_hook_) {
+    status = install_hook_(txn.get(), txn_manager_, match);
+  }
+
+  if (!status.ok()) {
+    ++stats_.failed_installs;
+    YOUTOPIA_LOG(kInfo) << "coordination install aborted: "
+                        << status.ToString();
+    Status abort = txn_manager_->Abort(txn.get());
+    if (!abort.ok()) return abort;
+    return false;
+  }
+
+  YOUTOPIA_RETURN_IF_ERROR(txn_manager_->Commit(txn.get()));
+
+  // Point of no return: complete the group.
+  for (const QueryId qid : match.group) {
+    pool_.Remove(qid);
+    arrivals_.erase(qid);
+    auto it = handles_.find(qid);
+    if (it == handles_.end()) continue;
+    auto& state = it->second;
+    {
+      std::lock_guard<std::mutex> hlock(state->mu);
+      state->done = true;
+      state->outcome = Status::OK();
+      state->answers = match.answers.at(qid);
+      state->completed_at = std::chrono::steady_clock::now();
+    }
+    state->cv.notify_all();
+    handles_.erase(it);
+  }
+  return true;
+}
+
+size_t Coordinator::pending_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pool_.size();
+}
+
+std::vector<PendingQueryInfo> Coordinator::Pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<PendingQueryInfo> out;
+  for (QueryId id : pool_.AllIds()) {
+    auto query = pool_.Get(id);
+    PendingQueryInfo info;
+    info.id = id;
+    info.owner = query->owner;
+    info.sql = query->sql;
+    info.ir = query->ToString();
+    auto arrival = arrivals_.find(id);
+    if (arrival != arrivals_.end()) {
+      info.age_micros = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              now - arrival->second)
+              .count());
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+MatchGraph Coordinator::BuildGraph() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return BuildMatchGraph(pool_);
+}
+
+std::string Coordinator::RenderGraph() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return BuildMatchGraph(pool_).ToString(pool_);
+}
+
+CoordinatorStats Coordinator::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Coordinator::SetInstallHook(InstallHook hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  install_hook_ = std::move(hook);
+}
+
+}  // namespace youtopia

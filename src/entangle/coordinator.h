@@ -1,0 +1,190 @@
+#ifndef YOUTOPIA_ENTANGLE_COORDINATOR_H_
+#define YOUTOPIA_ENTANGLE_COORDINATOR_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "entangle/answer_relation.h"
+#include "entangle/match_graph.h"
+#include "entangle/matcher.h"
+#include "entangle/pending_pool.h"
+#include "storage/storage_engine.h"
+#include "txn/txn_manager.h"
+
+namespace youtopia {
+
+/// Aggregate counters exposed to the administrative interface and the
+/// scalability benchmarks.
+struct CoordinatorStats {
+  size_t submitted = 0;
+  size_t matched_queries = 0;
+  size_t matched_groups = 0;
+  size_t cancelled = 0;
+  size_t failed_installs = 0;
+  size_t retrigger_rounds = 0;
+  size_t constraints_from_stored = 0;
+  size_t match_calls = 0;
+  uint64_t match_micros_total = 0;
+  size_t search_steps_total = 0;
+};
+
+/// Future-like handle to a submitted entangled query. The query is
+/// answered when the coordinator matches it into a group; until then it
+/// waits — "a query whose postcondition is not satisfied is not
+/// rejected but waits for an opportunity to retry" (paper §1).
+class EntangledHandle {
+ public:
+  QueryId id() const;
+
+  /// True once the query is satisfied or cancelled.
+  bool Done() const;
+
+  /// Blocks until done or timeout. Returns OK when satisfied, Aborted
+  /// when cancelled, TimedOut when still pending at the deadline.
+  Status Wait(std::chrono::milliseconds timeout) const;
+
+  /// Grounded answer tuples, one per head atom. Valid when Done() and
+  /// satisfied.
+  std::vector<Tuple> Answers() const;
+
+  /// Completion timestamp (satisfaction, cancellation or expiry);
+  /// nullopt while pending. Lets load drivers measure exact
+  /// submission-to-answer latency.
+  std::optional<std::chrono::steady_clock::time_point> CompletedAt() const;
+
+ private:
+  friend class Coordinator;
+  struct State {
+    mutable std::mutex mu;
+    mutable std::condition_variable cv;
+    QueryId id = 0;
+    bool done = false;
+    Status outcome = Status::TimedOut("still pending");
+    std::vector<Tuple> answers;
+    std::chrono::steady_clock::time_point completed_at;
+  };
+  explicit EntangledHandle(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+struct CoordinatorConfig {
+  MatchConfig match;
+  /// Create missing answer-relation tables on first install.
+  bool auto_create_answer_tables = true;
+};
+
+/// Summary of one pending query for introspection.
+struct PendingQueryInfo {
+  QueryId id = 0;
+  std::string owner;
+  std::string sql;
+  std::string ir;
+  /// Time spent waiting so far.
+  uint64_t age_micros = 0;
+};
+
+/// The coordination component of the paper's architecture (§2.2): "runs
+/// whenever an entangled query arrives in the system", consulting both
+/// regular tables and the pending-query tables, and directing the
+/// execution engine to install coordinated answers.
+///
+/// Concurrency model: submissions may come from many threads; matching
+/// rounds are serialized under one mutex (a matching round must see a
+/// stable pending pool and database snapshot). Installation runs inside
+/// a transaction from the TxnManager, so a concurrent regular workload
+/// observes coordinated answers atomically — design decision #3.
+class Coordinator {
+ public:
+  /// Optional hook executed inside the installation transaction, after
+  /// the answer tuples are inserted. A non-OK return aborts the whole
+  /// installation (all answers roll back) and the group stays pending.
+  /// The travel application uses this for seat-inventory enforcement;
+  /// tests use it for failure injection.
+  using InstallHook =
+      std::function<Status(Transaction*, TxnManager*, const MatchResult&)>;
+
+  Coordinator(StorageEngine* storage, TxnManager* txn_manager,
+              CoordinatorConfig config = {});
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Registers the query (assigning it a fresh id) and immediately runs
+  /// a matching round. Returns a handle that completes when the query
+  /// is eventually answered.
+  Result<EntangledHandle> Submit(EntangledQuery query);
+
+  /// Withdraws a pending query. Fails with NotFound when it already
+  /// matched or never existed.
+  Status Cancel(QueryId id);
+
+  /// Re-runs matching for every pending query (e.g. after regular DML
+  /// changed the database so previously ungroundable queries may now
+  /// ground). Returns the number of queries newly satisfied.
+  Result<size_t> RetriggerAll();
+
+  /// Re-runs matching only for pending queries whose domain predicates
+  /// read `table` — the targeted retry after regular DML touches that
+  /// table. The server layer calls this automatically when
+  /// YoutopiaConfig::retrigger_on_dml is set.
+  Result<size_t> RetriggerDependentsOf(const std::string& table);
+
+  /// Withdraws every pending query that has waited longer than
+  /// `max_age`; their handles complete with kTimedOut. Returns the
+  /// number expired. Gives deployments a lever against queries whose
+  /// partners never arrive.
+  Result<size_t> ExpireOlderThan(std::chrono::milliseconds max_age);
+
+  size_t pending_count() const;
+  std::vector<PendingQueryInfo> Pending() const;
+  MatchGraph BuildGraph() const;
+
+  /// Text rendering of the current match graph (admin interface).
+  std::string RenderGraph() const;
+  CoordinatorStats stats() const;
+  const CoordinatorConfig& config() const { return config_; }
+
+  void SetInstallHook(InstallHook hook);
+
+ private:
+  /// Runs one matching round rooted at `id` and, on success, installs
+  /// the group and retriggers affected queries. Caller holds mu_.
+  /// Returns number of queries satisfied (group sizes summed over the
+  /// retrigger cascade).
+  Result<size_t> MatchAndInstallLocked(QueryId id);
+
+  /// Installs a matched group atomically. On success removes members
+  /// from the pool and completes their handles. Caller holds mu_.
+  Result<bool> InstallLocked(const MatchResult& match);
+
+  /// Removes `id` from pool/handles, completing the handle with
+  /// `outcome` (cancellation, expiry). Caller holds mu_.
+  Status WithdrawLocked(QueryId id, Status outcome);
+
+  StorageEngine* storage_;
+  TxnManager* txn_manager_;
+  CoordinatorConfig config_;
+  AnswerRelationManager answers_;
+  Matcher matcher_;
+
+  mutable std::mutex mu_;
+  PendingPool pool_;
+  QueryId next_id_ = 1;
+  std::map<QueryId, std::shared_ptr<EntangledHandle::State>> handles_;
+  std::map<QueryId, std::chrono::steady_clock::time_point> arrivals_;
+  CoordinatorStats stats_;
+  InstallHook install_hook_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_ENTANGLE_COORDINATOR_H_

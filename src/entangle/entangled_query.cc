@@ -1,0 +1,70 @@
+#include "entangle/entangled_query.h"
+
+#include <set>
+
+namespace youtopia {
+
+std::string DomainPredicate::ToString(
+    const std::vector<std::string>* var_names) const {
+  std::string out = Term::Variable(output_var).ToString(var_names);
+  out += " IN pi_" + output_column + "(" + table;
+  if (!conditions.empty()) {
+    out += " WHERE ";
+    for (size_t i = 0; i < conditions.size(); ++i) {
+      if (i > 0) out += " AND ";
+      out += conditions[i].column;
+      out += " ";
+      out += BinaryOpToString(conditions[i].op);
+      out += " ";
+      out += conditions[i].rhs.ToString(var_names);
+    }
+  }
+  out += ")";
+  return out;
+}
+
+std::string VarComparison::ToString(
+    const std::vector<std::string>* var_names) const {
+  return lhs.ToString(var_names) + " " + BinaryOpToString(op) + " " +
+         rhs.ToString(var_names);
+}
+
+std::vector<VarId> EntangledQuery::UnboundVars() const {
+  std::set<VarId> bound;
+  for (const DomainPredicate& d : domains) bound.insert(d.output_var);
+  std::set<VarId> used;
+  auto collect = [&used](const AnswerAtom& atom) {
+    for (const Term& t : atom.terms) {
+      if (t.is_variable()) used.insert(t.var);
+    }
+  };
+  for (const AnswerAtom& h : heads) collect(h);
+  for (const AnswerAtom& c : constraints) collect(c);
+  std::vector<VarId> out;
+  for (VarId v : used) {
+    if (bound.count(v) == 0) out.push_back(v);
+  }
+  return out;
+}
+
+std::string EntangledQuery::ToString() const {
+  std::string out = "EntangledQuery #" + std::to_string(id);
+  if (!owner.empty()) out += " (owner: " + owner + ")";
+  out += "\n";
+  for (const AnswerAtom& h : heads) {
+    out += "  head:       " + h.ToString(&var_names) + "\n";
+  }
+  for (const AnswerAtom& c : constraints) {
+    out += "  constraint: " + c.ToString(&var_names) + "\n";
+  }
+  for (const DomainPredicate& d : domains) {
+    out += "  domain:     " + d.ToString(&var_names) + "\n";
+  }
+  for (const VarComparison& c : comparisons) {
+    out += "  compare:    " + c.ToString(&var_names) + "\n";
+  }
+  out += "  choose:     " + std::to_string(choose) + "\n";
+  return out;
+}
+
+}  // namespace youtopia

@@ -1,0 +1,92 @@
+#ifndef YOUTOPIA_ENTANGLE_ENTANGLED_QUERY_H_
+#define YOUTOPIA_ENTANGLE_ENTANGLED_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "entangle/answer_atom.h"
+#include "sql/ast.h"
+
+namespace youtopia {
+
+/// Unique id of an entangled query within one Youtopia instance.
+using QueryId = uint64_t;
+
+/// Binds a coordination variable to database content: the translated
+/// form of `var IN (SELECT output_column FROM table WHERE ...)`.
+/// Semantics: binding(output_var) must be one of the values of
+/// `output_column` over rows of `table` satisfying all conditions.
+struct DomainPredicate {
+  /// One `column op rhs` condition of the subquery's WHERE; rhs is a
+  /// constant or another coordination variable (correlated subquery —
+  /// this is how adjacent-seat coordination references the chosen
+  /// flight).
+  struct Condition {
+    std::string column;
+    BinaryOp op = BinaryOp::kEq;
+    Term rhs;
+  };
+
+  VarId output_var = 0;
+  std::string table;
+  std::string output_column;
+  std::vector<Condition> conditions;
+
+  /// "var IN pi_col(sigma_{...}(Table))" display form.
+  std::string ToString(const std::vector<std::string>* var_names = nullptr) const;
+};
+
+/// A comparison between two terms evaluated after grounding, e.g.
+/// `price <= 500` or `seat1 != seat2` where the variables are bound by
+/// domain predicates.
+struct VarComparison {
+  Term lhs;
+  BinaryOp op = BinaryOp::kEq;
+  Term rhs;
+
+  std::string ToString(const std::vector<std::string>* var_names = nullptr) const;
+};
+
+/// The intermediate representation of one entangled query (paper §2.2:
+/// "the query compiler ... translates them to an intermediate
+/// representation inside Youtopia for processing by the coordination
+/// component").
+///
+/// Semantics: the query asks the system to add, for each head atom, one
+/// ground instance (under a single grounding of its variables) to the
+/// system-wide answer relation, such that (a) every domain predicate
+/// holds, (b) every comparison holds, and (c) every constraint atom's
+/// ground instance is present in the answer relation — contributed by
+/// this query, by other queries answered jointly with it, or already
+/// installed by earlier coordination rounds.
+struct EntangledQuery {
+  QueryId id = 0;
+  /// Display owner (the travel app uses the traveler's name).
+  std::string owner;
+  /// Original SQL, kept for the administrative interface.
+  std::string sql;
+
+  std::vector<AnswerAtom> heads;
+  std::vector<AnswerAtom> constraints;
+  std::vector<DomainPredicate> domains;
+  std::vector<VarComparison> comparisons;
+  int64_t choose = 1;
+
+  /// VarId -> source-level variable name.
+  std::vector<std::string> var_names;
+
+  size_t num_vars() const { return var_names.size(); }
+
+  /// Variables not bound by any domain predicate. They can still be
+  /// grounded through unification with partners' bound variables or
+  /// constants; queries where that never happens are unsatisfiable.
+  std::vector<VarId> UnboundVars() const;
+
+  /// Multi-line human-readable dump (admin interface).
+  std::string ToString() const;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_ENTANGLE_ENTANGLED_QUERY_H_

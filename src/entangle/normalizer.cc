@@ -1,0 +1,327 @@
+#include "entangle/normalizer.h"
+
+#include <map>
+
+#include "common/string_util.h"
+#include "exec/planner.h"
+#include "sql/unparser.h"
+
+namespace youtopia {
+
+namespace {
+
+/// Variable registry for one query: identifier spelling -> VarId.
+class VarRegistry {
+ public:
+  VarId Intern(const std::string& name) {
+    const std::string key = ToLowerAscii(name);
+    auto it = ids_.find(key);
+    if (it != ids_.end()) return it->second;
+    const VarId id = static_cast<VarId>(names_.size());
+    ids_.emplace(key, id);
+    names_.push_back(name);
+    return id;
+  }
+
+  std::vector<std::string> TakeNames() { return std::move(names_); }
+
+ private:
+  std::map<std::string, VarId> ids_;
+  std::vector<std::string> names_;
+};
+
+/// Normalizes an expression to a Term: constant literal, variable, or
+/// variable +/- integer constant.
+Result<Term> ExprToTerm(const Expr& expr, VarRegistry* vars) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return Term::Constant(As<LiteralExpr>(expr).value);
+    case ExprKind::kColumnRef: {
+      const auto& ref = As<ColumnRefExpr>(expr);
+      if (!ref.qualifier.empty()) {
+        return Status::InvalidArgument(
+            "qualified name " + ref.qualifier + "." + ref.column +
+            " cannot be a coordination variable (entangled queries bind "
+            "database values via IN (SELECT ...) predicates)");
+      }
+      return Term::Variable(vars->Intern(ref.column));
+    }
+    case ExprKind::kUnary: {
+      const auto& u = As<UnaryExpr>(expr);
+      if (u.op == UnaryOp::kNeg) {
+        auto inner = ExprToTerm(*u.operand, vars);
+        if (!inner.ok()) return inner.status();
+        if (inner->is_constant() &&
+            inner->constant.type() == DataType::kInt64) {
+          return Term::Constant(Value::Int64(-inner->constant.int64_value()));
+        }
+        if (inner->is_constant() &&
+            inner->constant.type() == DataType::kDouble) {
+          return Term::Constant(
+              Value::Double(-inner->constant.double_value()));
+        }
+      }
+      return Status::InvalidArgument("expression '" + ExprToSql(expr) +
+                                     "' is not a valid entangled term");
+    }
+    case ExprKind::kBinary: {
+      const auto& b = As<BinaryExpr>(expr);
+      if (b.op == BinaryOp::kAdd || b.op == BinaryOp::kSub) {
+        auto lhs = ExprToTerm(*b.left, vars);
+        if (!lhs.ok()) return lhs.status();
+        auto rhs = ExprToTerm(*b.right, vars);
+        if (!rhs.ok()) return rhs.status();
+        const int64_t sign = b.op == BinaryOp::kAdd ? 1 : -1;
+        // var +/- int constant (either side for +).
+        if (lhs->is_variable() && rhs->is_constant() &&
+            rhs->constant.type() == DataType::kInt64) {
+          return Term::Variable(lhs->var,
+                                lhs->offset +
+                                    sign * rhs->constant.int64_value());
+        }
+        if (b.op == BinaryOp::kAdd && lhs->is_constant() &&
+            rhs->is_variable() &&
+            lhs->constant.type() == DataType::kInt64) {
+          return Term::Variable(rhs->var,
+                                rhs->offset + lhs->constant.int64_value());
+        }
+        if (lhs->is_constant() && rhs->is_constant()) {
+          // Constant folding over integers.
+          if (lhs->constant.type() == DataType::kInt64 &&
+              rhs->constant.type() == DataType::kInt64) {
+            return Term::Constant(Value::Int64(
+                lhs->constant.int64_value() +
+                sign * rhs->constant.int64_value()));
+          }
+        }
+      }
+      return Status::InvalidArgument(
+          "expression '" + ExprToSql(expr) +
+          "' is not a valid entangled term (supported: constants, "
+          "variables, var +/- integer)");
+    }
+    default:
+      return Status::InvalidArgument("expression '" + ExprToSql(expr) +
+                                     "' is not a valid entangled term");
+  }
+}
+
+/// Translates `needle IN (SELECT col FROM T WHERE ...)` to a
+/// DomainPredicate.
+Result<DomainPredicate> TranslateDomain(const InSubqueryExpr& in,
+                                        VarRegistry* vars) {
+  if (in.negated) {
+    return Status::NotImplemented(
+        "NOT IN (subquery) is not supported in entangled queries");
+  }
+  auto needle = ExprToTerm(*in.needle, vars);
+  if (!needle.ok()) return needle.status();
+  if (!needle->is_variable() || needle->offset != 0) {
+    return Status::InvalidArgument(
+        "the left side of IN (SELECT ...) must be a plain coordination "
+        "variable, got '" + ExprToSql(*in.needle) + "'");
+  }
+  const SelectStatement& sub = *in.subquery;
+  if (sub.IsEntangled()) {
+    return Status::InvalidArgument(
+        "subqueries of entangled queries must be regular SELECTs");
+  }
+  if (sub.from.size() != 1) {
+    return Status::NotImplemented(
+        "domain subqueries must select from exactly one table");
+  }
+  if (sub.select_list.size() != 1 ||
+      sub.select_list[0]->kind != ExprKind::kColumnRef) {
+    return Status::InvalidArgument(
+        "domain subqueries must select exactly one column");
+  }
+  const auto& out_col = As<ColumnRefExpr>(*sub.select_list[0]);
+
+  DomainPredicate domain;
+  domain.output_var = needle->var;
+  domain.table = sub.from[0].table;
+  domain.output_column = out_col.column;
+
+  for (const Expr* conjunct : SplitConjuncts(sub.where.get())) {
+    if (conjunct->kind != ExprKind::kBinary) {
+      return Status::NotImplemented(
+          "domain subquery condition '" + ExprToSql(*conjunct) +
+          "' is not a supported comparison");
+    }
+    const auto& cmp = As<BinaryExpr>(*conjunct);
+    switch (cmp.op) {
+      case BinaryOp::kEq:
+      case BinaryOp::kNeq:
+      case BinaryOp::kLt:
+      case BinaryOp::kLte:
+      case BinaryOp::kGt:
+      case BinaryOp::kGte:
+        break;
+      default:
+        return Status::NotImplemented(
+            "domain subquery condition '" + ExprToSql(*conjunct) +
+            "' is not a supported comparison");
+    }
+    // One side must be a column of the subquery table, the other a
+    // constant or an outer coordination variable. When both sides are
+    // bare identifiers (e.g. `fno = fno` in the adjacent-seat query),
+    // the left side is resolved as the subquery table's column and the
+    // right as the outer variable — a documented dialect rule.
+    DomainPredicate::Condition cond;
+    const Expr* col_side = nullptr;
+    const Expr* term_side = nullptr;
+    BinaryOp op = cmp.op;
+
+    auto is_column = [&](const Expr& e) {
+      return e.kind == ExprKind::kColumnRef;
+    };
+    if (is_column(*cmp.left)) {
+      col_side = cmp.left.get();
+      term_side = cmp.right.get();
+    } else if (is_column(*cmp.right)) {
+      col_side = cmp.right.get();
+      term_side = cmp.left.get();
+      // Flip the comparison: c op t written as t op' c.
+      switch (op) {
+        case BinaryOp::kLt:
+          op = BinaryOp::kGt;
+          break;
+        case BinaryOp::kLte:
+          op = BinaryOp::kGte;
+          break;
+        case BinaryOp::kGt:
+          op = BinaryOp::kLt;
+          break;
+        case BinaryOp::kGte:
+          op = BinaryOp::kLte;
+          break;
+        default:
+          break;
+      }
+    } else {
+      return Status::InvalidArgument(
+          "domain subquery condition '" + ExprToSql(*conjunct) +
+          "' must compare a column with a constant or variable");
+    }
+    cond.column = As<ColumnRefExpr>(*col_side).column;
+    cond.op = op;
+    auto rhs = ExprToTerm(*term_side, vars);
+    if (!rhs.ok()) return rhs.status();
+    cond.rhs = rhs.TakeValue();
+    domain.conditions.push_back(std::move(cond));
+  }
+  return domain;
+}
+
+}  // namespace
+
+Result<EntangledQuery> Normalizer::Normalize(const SelectStatement& stmt,
+                                             QueryId id, std::string owner,
+                                             std::string sql) {
+  if (!stmt.IsEntangled()) {
+    return Status::InvalidArgument(
+        "statement has no INTO ANSWER clause; it is a regular query");
+  }
+  if (!stmt.from.empty()) {
+    return Status::InvalidArgument(
+        "entangled queries bind database values through IN (SELECT ...) "
+        "predicates, not a FROM clause");
+  }
+
+  EntangledQuery query;
+  query.id = id;
+  query.owner = std::move(owner);
+  query.sql = std::move(sql);
+  query.choose = stmt.choose == 0 ? 1 : stmt.choose;
+  if (query.choose != 1) {
+    return Status::NotImplemented(
+        "CHOOSE k with k > 1 is not supported; each entangled query "
+        "receives exactly one answer per head (paper semantics)");
+  }
+
+  VarRegistry vars;
+
+  for (const auto& head : stmt.heads) {
+    AnswerAtom atom;
+    atom.relation = head.answer_relation;
+    for (const auto& e : head.exprs) {
+      auto term = ExprToTerm(*e, &vars);
+      if (!term.ok()) return term.status();
+      atom.terms.push_back(term.TakeValue());
+    }
+    query.heads.push_back(std::move(atom));
+  }
+
+  for (const Expr* conjunct : SplitConjuncts(stmt.where.get())) {
+    switch (conjunct->kind) {
+      case ExprKind::kInSubquery: {
+        auto domain =
+            TranslateDomain(As<InSubqueryExpr>(*conjunct), &vars);
+        if (!domain.ok()) return domain.status();
+        query.domains.push_back(domain.TakeValue());
+        break;
+      }
+      case ExprKind::kInAnswer: {
+        const auto& in = As<InAnswerExpr>(*conjunct);
+        if (in.negated) {
+          return Status::NotImplemented(
+              "NOT IN ANSWER constraints are not supported (negative "
+              "coordination is future work in the paper)");
+        }
+        AnswerAtom atom;
+        atom.relation = in.relation;
+        for (const auto& e : in.tuple) {
+          auto term = ExprToTerm(*e, &vars);
+          if (!term.ok()) return term.status();
+          atom.terms.push_back(term.TakeValue());
+        }
+        query.constraints.push_back(std::move(atom));
+        break;
+      }
+      case ExprKind::kBinary: {
+        const auto& cmp = As<BinaryExpr>(*conjunct);
+        switch (cmp.op) {
+          case BinaryOp::kEq:
+          case BinaryOp::kNeq:
+          case BinaryOp::kLt:
+          case BinaryOp::kLte:
+          case BinaryOp::kGt:
+          case BinaryOp::kGte:
+            break;
+          default:
+            return Status::InvalidArgument(
+                "unsupported entangled WHERE conjunct: " +
+                ExprToSql(*conjunct));
+        }
+        VarComparison comparison;
+        auto lhs = ExprToTerm(*cmp.left, &vars);
+        if (!lhs.ok()) return lhs.status();
+        auto rhs = ExprToTerm(*cmp.right, &vars);
+        if (!rhs.ok()) return rhs.status();
+        comparison.lhs = lhs.TakeValue();
+        comparison.op = cmp.op;
+        comparison.rhs = rhs.TakeValue();
+        query.comparisons.push_back(std::move(comparison));
+        break;
+      }
+      default:
+        return Status::InvalidArgument(
+            "unsupported entangled WHERE conjunct: " + ExprToSql(*conjunct));
+    }
+  }
+
+  query.var_names = vars.TakeNames();
+
+  // Sanity: every head must have at least one term; at least one head.
+  if (query.heads.empty()) {
+    return Status::InvalidArgument("entangled query has no INTO ANSWER head");
+  }
+  for (const AnswerAtom& h : query.heads) {
+    if (h.terms.empty()) {
+      return Status::InvalidArgument("head of " + h.relation + " is empty");
+    }
+  }
+  return query;
+}
+
+}  // namespace youtopia

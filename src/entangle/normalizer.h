@@ -1,0 +1,37 @@
+#ifndef YOUTOPIA_ENTANGLE_NORMALIZER_H_
+#define YOUTOPIA_ENTANGLE_NORMALIZER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "entangle/entangled_query.h"
+#include "sql/ast.h"
+
+namespace youtopia {
+
+/// The query-compiler half of the paper's architecture (§2.2): translates
+/// a parsed entangled SELECT into the coordination component's
+/// intermediate representation.
+///
+/// Mapping:
+///   - select items of each INTO ANSWER group  -> head AnswerAtom terms
+///   - `x IN (SELECT col FROM T WHERE ...)`    -> DomainPredicate
+///   - `(e1, ..., en) IN ANSWER R`             -> constraint AnswerAtom
+///   - `term op term` comparisons              -> VarComparison
+///
+/// Unqualified identifiers are coordination variables (the paper's
+/// `fno`); the same spelling names the same variable everywhere in the
+/// query, case-insensitively. Terms may be `var`, `var + k`, `var - k`,
+/// or constants.
+class Normalizer {
+ public:
+  /// `id`, `owner` and `sql` are carried into the result for the pending
+  /// pool and administrative interface.
+  static Result<EntangledQuery> Normalize(const SelectStatement& stmt,
+                                          QueryId id, std::string owner,
+                                          std::string sql);
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_ENTANGLE_NORMALIZER_H_

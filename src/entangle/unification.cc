@@ -1,0 +1,149 @@
+#include "entangle/unification.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace youtopia {
+
+Substitution::Substitution(size_t num_vars) { AddVars(num_vars); }
+
+void Substitution::AddVars(size_t count) {
+  const size_t old = parent_.size();
+  parent_.resize(old + count);
+  offset_.resize(old + count, 0);
+  binding_.resize(old + count);
+  for (size_t i = old; i < parent_.size(); ++i) parent_[i] = i;
+}
+
+Substitution::FindResult Substitution::Find(size_t v) const {
+  YOUTOPIA_CHECK(v < parent_.size()) << "variable out of range";
+  if (parent_[v] == v) return {v, 0};
+  FindResult up = Find(parent_[v]);
+  // Path compression with offset accumulation.
+  parent_[v] = up.root;
+  offset_[v] += up.offset;
+  return {up.root, offset_[v]};
+}
+
+bool Substitution::BindRoot(size_t root, const Value& v) {
+  if (binding_[root].has_value()) return *binding_[root] == v;
+  binding_[root] = v;
+  return true;
+}
+
+bool Substitution::UnifyVars(size_t a, int64_t offset_a, size_t b,
+                             int64_t offset_b) {
+  FindResult fa = Find(a);
+  FindResult fb = Find(b);
+  // value(a) = value(ra) + fa.offset; constraint:
+  //   value(ra) + fa.offset + offset_a == value(rb) + fb.offset + offset_b
+  const int64_t delta = fb.offset + offset_b - fa.offset - offset_a;
+  // => value(ra) = value(rb) + delta
+  if (fa.root == fb.root) return delta == 0;
+
+  const auto& bind_a = binding_[fa.root];
+  const auto& bind_b = binding_[fb.root];
+  if (bind_a.has_value() && bind_b.has_value()) {
+    if (delta == 0) return *bind_a == *bind_b;
+    if (bind_a->type() != DataType::kInt64 ||
+        bind_b->type() != DataType::kInt64) {
+      return false;  // offsets require integers
+    }
+    if (bind_a->int64_value() != bind_b->int64_value() + delta) return false;
+  }
+
+  // Link ra under rb: value(ra) = value(rb) + delta.
+  parent_[fa.root] = fb.root;
+  offset_[fa.root] = delta;
+  if (bind_a.has_value() && !bind_b.has_value()) {
+    if (delta != 0 && bind_a->type() != DataType::kInt64) return false;
+    const Value implied = delta == 0
+                              ? *bind_a
+                              : Value::Int64(bind_a->int64_value() - delta);
+    binding_[fb.root] = implied;
+  }
+  if (bind_a.has_value()) binding_[fa.root].reset();  // roots own bindings
+  return true;
+}
+
+bool Substitution::UnifyConstant(size_t a, int64_t offset, const Value& v) {
+  FindResult fa = Find(a);
+  // value(ra) + fa.offset + offset == v
+  const int64_t total = fa.offset + offset;
+  if (total == 0) return BindRoot(fa.root, v);
+  if (v.type() != DataType::kInt64) return false;
+  return BindRoot(fa.root, Value::Int64(v.int64_value() - total));
+}
+
+bool Substitution::UnifyTerms(const Term& a, const Term& b) {
+  if (a.is_constant() && b.is_constant()) return a.constant == b.constant;
+  if (a.is_constant()) return UnifyConstant(b.var, b.offset, a.constant);
+  if (b.is_constant()) return UnifyConstant(a.var, a.offset, b.constant);
+  return UnifyVars(a.var, a.offset, b.var, b.offset);
+}
+
+std::optional<Value> Substitution::Lookup(size_t v) const {
+  FindResult f = Find(v);
+  if (!binding_[f.root].has_value()) return std::nullopt;
+  const Value& bound = *binding_[f.root];
+  if (f.offset == 0) return bound;
+  if (bound.type() != DataType::kInt64) return std::nullopt;
+  return Value::Int64(bound.int64_value() + f.offset);
+}
+
+size_t Substitution::Root(size_t v) const { return Find(v).root; }
+
+int64_t Substitution::OffsetToRoot(size_t v) const { return Find(v).offset; }
+
+bool Substitution::SameClass(size_t a, size_t b) const {
+  return Find(a).root == Find(b).root;
+}
+
+bool UnifyAtoms(const AnswerAtom& a, const AnswerAtom& b,
+                Substitution* subst) {
+  if (!EqualsIgnoreCase(a.relation, b.relation)) return false;
+  if (a.arity() != b.arity()) return false;
+  for (size_t i = 0; i < a.arity(); ++i) {
+    if (!subst->UnifyTerms(a.terms[i], b.terms[i])) return false;
+  }
+  return true;
+}
+
+bool UnifyAtomWithTuple(const AnswerAtom& atom, const Tuple& tuple,
+                        Substitution* subst) {
+  if (atom.arity() != tuple.size()) return false;
+  for (size_t i = 0; i < atom.arity(); ++i) {
+    const Term& t = atom.terms[i];
+    if (t.is_constant()) {
+      if (t.constant != tuple.at(i)) return false;
+    } else if (!subst->UnifyConstant(t.var, t.offset, tuple.at(i))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool AtomMayMatchTuple(const AnswerAtom& atom, const Tuple& tuple) {
+  if (atom.arity() != tuple.size()) return false;
+  for (size_t i = 0; i < atom.arity(); ++i) {
+    if (atom.terms[i].is_constant() &&
+        atom.terms[i].constant != tuple.at(i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool AtomsMayUnify(const AnswerAtom& a, const AnswerAtom& b) {
+  if (!EqualsIgnoreCase(a.relation, b.relation)) return false;
+  if (a.arity() != b.arity()) return false;
+  for (size_t i = 0; i < a.arity(); ++i) {
+    if (a.terms[i].is_constant() && b.terms[i].is_constant() &&
+        a.terms[i].constant != b.terms[i].constant) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace youtopia

@@ -1,0 +1,95 @@
+#ifndef YOUTOPIA_ENTANGLE_UNIFICATION_H_
+#define YOUTOPIA_ENTANGLE_UNIFICATION_H_
+
+#include <optional>
+#include <vector>
+
+#include "entangle/answer_atom.h"
+#include "types/value.h"
+
+namespace youtopia {
+
+/// A substitution over a dense space of *global* variables (the matcher
+/// maps each participating query's local VarIds into this space).
+///
+/// Implementation: union-find with integer edge weights. The invariant
+/// for node v with parent p is value(v) = value(p) + offset(v); a class
+/// root may carry a constant binding. Offsets express the affine terms
+/// `var + k` used by adjacent-seat coordination; classes containing a
+/// non-integer binding must have all-zero offsets.
+///
+/// The object is copyable — the matcher snapshots it at each choice
+/// point and restores by assignment on backtrack.
+class Substitution {
+ public:
+  explicit Substitution(size_t num_vars);
+
+  /// Grows the variable space (new variables are free singletons).
+  void AddVars(size_t count);
+
+  size_t num_vars() const { return parent_.size(); }
+
+  /// Imposes value(a) + offset_a == value(b) + offset_b.
+  /// Returns false on conflict (contradictory constants or offsets).
+  bool UnifyVars(size_t a, int64_t offset_a, size_t b, int64_t offset_b);
+
+  /// Imposes value(a) + offset == v.
+  bool UnifyConstant(size_t a, int64_t offset, const Value& v);
+
+  /// Unifies two terms already mapped into the global space.
+  bool UnifyTerms(const Term& a, const Term& b);
+
+  /// The constant value of `v` if its class is bound (adjusted for
+  /// offsets), else nullopt.
+  std::optional<Value> Lookup(size_t v) const;
+
+  /// Representative of v's class (stable while no unions happen).
+  size_t Root(size_t v) const;
+
+  /// Offset of v relative to its root: value(v) = value(root) + offset.
+  int64_t OffsetToRoot(size_t v) const;
+
+  /// True if a and b are in the same class.
+  bool SameClass(size_t a, size_t b) const;
+
+ private:
+  struct FindResult {
+    size_t root;
+    int64_t offset;  ///< value(v) = value(root) + offset
+  };
+  FindResult Find(size_t v) const;
+
+  /// Binds the class root to a constant; false on conflict.
+  bool BindRoot(size_t root, const Value& v);
+
+  // Mutable for path compression in const Find.
+  mutable std::vector<size_t> parent_;
+  mutable std::vector<int64_t> offset_;
+  std::vector<std::optional<Value>> binding_;  ///< Root-indexed.
+};
+
+/// Attempts to unify two answer atoms whose terms are already expressed
+/// in global variable ids. Returns false (leaving `subst` possibly
+/// partially updated — callers snapshot first) if relations, arities or
+/// terms conflict. Relation names compare case-insensitively.
+bool UnifyAtoms(const AnswerAtom& a, const AnswerAtom& b,
+                Substitution* subst);
+
+/// Unifies an atom against a ground tuple (an already-installed answer).
+bool UnifyAtomWithTuple(const AnswerAtom& atom, const Tuple& tuple,
+                        Substitution* subst);
+
+/// Cheap symbolic pre-filter: can these atoms possibly unify? Checks
+/// relation, arity and constant/constant positions only. Never updates
+/// state; used to prune candidate providers before real unification.
+bool AtomsMayUnify(const AnswerAtom& a, const AnswerAtom& b);
+
+/// Cheap pre-filter against a ground tuple: arity matches and every
+/// constant position of `atom` equals the tuple's value. (Relation is
+/// the caller's concern.) Used to decide which pending queries a newly
+/// installed answer could possibly unblock.
+bool AtomMayMatchTuple(const AnswerAtom& atom, const Tuple& tuple);
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_ENTANGLE_UNIFICATION_H_

@@ -1,0 +1,68 @@
+#ifndef YOUTOPIA_EXEC_EXECUTOR_H_
+#define YOUTOPIA_EXEC_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/planner.h"
+#include "sql/ast.h"
+#include "storage/storage_engine.h"
+
+namespace youtopia {
+
+/// Result of executing one statement.
+struct QueryResult {
+  std::vector<std::string> column_names;
+  std::vector<Tuple> rows;
+  /// For DML: number of rows inserted/updated/deleted.
+  size_t affected_rows = 0;
+
+  /// ASCII table rendering (used by the SQL command-line interface).
+  std::string ToString() const;
+};
+
+/// The execution engine of the paper's architecture (§2.2): "evaluates
+/// queries on the database as required by the coordination component, as
+/// well as executing any other queries and updates that may be
+/// necessary." Handles all regular (non-entangled) statements; entangled
+/// SELECTs are rejected here and routed to the Coordinator by the server
+/// layer.
+class Executor {
+ public:
+  explicit Executor(StorageEngine* storage)
+      : storage_(storage), planner_(storage) {}
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Executes any regular statement.
+  Result<QueryResult> Execute(const Statement& stmt);
+
+  /// Regular SELECT only.
+  Result<QueryResult> ExecuteSelect(const SelectStatement& stmt);
+
+  /// Evaluates a single-column subquery to its value list (domain
+  /// predicates / IN membership).
+  Result<std::vector<Value>> EvaluateSubquery(const SelectStatement& stmt);
+
+  /// True if the stored answer relation `relation` contains `probe`
+  /// (exact tuple). Backs `IN ANSWER` in regular queries: browsing
+  /// already-coordinated answers.
+  Result<bool> AnswerContains(const std::string& relation, const Tuple& probe);
+
+ private:
+  Result<QueryResult> ExecuteCreateTable(const CreateTableStatement& stmt);
+  Result<QueryResult> ExecuteCreateIndex(const CreateIndexStatement& stmt);
+  Result<QueryResult> ExecuteDropTable(const DropTableStatement& stmt);
+  Result<QueryResult> ExecuteInsert(const InsertStatement& stmt);
+  Result<QueryResult> ExecuteDelete(const DeleteStatement& stmt);
+  Result<QueryResult> ExecuteUpdate(const UpdateStatement& stmt);
+
+  StorageEngine* storage_;
+  Planner planner_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_EXEC_EXECUTOR_H_

@@ -1,0 +1,45 @@
+#ifndef YOUTOPIA_EXEC_PLANNER_H_
+#define YOUTOPIA_EXEC_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/plan.h"
+#include "sql/ast.h"
+
+namespace youtopia {
+
+/// A planned regular SELECT: the physical tree plus the name-resolution
+/// table it references and the output column names. The plan borrows
+/// expression nodes from the statement, so the SelectStatement must
+/// outlive execution.
+struct PlannedSelect {
+  std::unique_ptr<PlanNode> root;
+  std::unique_ptr<BoundColumns> columns;
+  std::vector<std::string> column_names;
+};
+
+/// Translates regular SELECT ASTs to physical plans. Planning picks an
+/// index scan when the single FROM table has an equality conjunct
+/// `col = constant` over an indexed column; everything else becomes
+/// scan → cross join → filter → project.
+class Planner {
+ public:
+  explicit Planner(const StorageEngine* storage) : storage_(storage) {}
+
+  /// Fails with InvalidArgument for entangled statements — those go to
+  /// the coordination component, not the executor.
+  Result<PlannedSelect> PlanSelect(const SelectStatement& stmt) const;
+
+ private:
+  const StorageEngine* storage_;
+};
+
+/// Splits a predicate into top-level AND conjuncts (borrowed pointers).
+std::vector<const Expr*> SplitConjuncts(const Expr* predicate);
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_EXEC_PLANNER_H_

@@ -1,0 +1,70 @@
+#include "server/admin.h"
+
+#include "common/string_util.h"
+
+namespace youtopia {
+
+std::string AdminSnapshot::ToString() const {
+  std::string out;
+  out += "================ Youtopia system state ================\n";
+  out += "-- Tables --\n";
+  for (const TableEntry& t : tables) {
+    out += StringPrintf("  %-24s %6zu row(s)  %s", t.name.c_str(), t.rows,
+                        t.schema.c_str());
+    if (!t.indexed_columns.empty()) {
+      out += "  [indexed: " + JoinStrings(t.indexed_columns, ", ") + "]";
+    }
+    out += "\n";
+  }
+  out += "-- Pending entangled queries --\n";
+  if (pending.empty()) out += "  (none)\n";
+  for (const PendingQueryInfo& p : pending) {
+    out += "  #" + std::to_string(p.id);
+    if (!p.owner.empty()) out += " owner=" + p.owner;
+    out += StringPrintf(" waiting=%.1fms",
+                        static_cast<double>(p.age_micros) / 1000.0);
+    out += "\n    sql: " + p.sql + "\n";
+    // Indent the IR dump.
+    for (const std::string& line : SplitString(p.ir, '\n')) {
+      if (!line.empty()) out += "    " + line + "\n";
+    }
+  }
+  out += "-- Coordination statistics --\n";
+  out += StringPrintf(
+      "  submitted=%zu matched=%zu groups=%zu cancelled=%zu "
+      "failed_installs=%zu\n",
+      stats.submitted, stats.matched_queries, stats.matched_groups,
+      stats.cancelled, stats.failed_installs);
+  out += StringPrintf(
+      "  match_calls=%zu search_steps=%zu from_stored=%zu "
+      "match_time_us=%llu\n",
+      stats.match_calls, stats.search_steps_total,
+      stats.constraints_from_stored,
+      static_cast<unsigned long long>(stats.match_micros_total));
+  out += "-- Match graph --\n";
+  out += match_graph;
+  out += "=======================================================\n";
+  return out;
+}
+
+AdminSnapshot TakeAdminSnapshot(const Youtopia& db) {
+  AdminSnapshot snapshot;
+  const StorageEngine& storage = db.storage();
+  for (const TableInfo& info : storage.catalog().ListTables()) {
+    AdminSnapshot::TableEntry entry;
+    entry.name = info.name;
+    entry.schema = info.schema.ToString();
+    auto size = storage.TableSize(info.name);
+    entry.rows = size.ok() ? size.value() : 0;
+    for (size_t col : info.indexed_columns) {
+      entry.indexed_columns.push_back(info.schema.column(col).name);
+    }
+    snapshot.tables.push_back(std::move(entry));
+  }
+  snapshot.pending = db.coordinator().Pending();
+  snapshot.stats = db.coordinator().stats();
+  snapshot.match_graph = db.coordinator().RenderGraph();
+  return snapshot;
+}
+
+}  // namespace youtopia

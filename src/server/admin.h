@@ -1,0 +1,37 @@
+#ifndef YOUTOPIA_SERVER_ADMIN_H_
+#define YOUTOPIA_SERVER_ADMIN_H_
+
+#include <string>
+#include <vector>
+
+#include "server/youtopia.h"
+
+namespace youtopia {
+
+/// A point-in-time view of the system internals — the backend of the
+/// demo's administrative ("debugging") interface (paper §3.2): tables,
+/// pending entangled queries with their IR, coordination statistics, and
+/// the match-graph visualization.
+struct AdminSnapshot {
+  struct TableEntry {
+    std::string name;
+    std::string schema;
+    size_t rows = 0;
+    std::vector<std::string> indexed_columns;
+  };
+
+  std::vector<TableEntry> tables;
+  std::vector<PendingQueryInfo> pending;
+  CoordinatorStats stats;
+  std::string match_graph;
+
+  /// Full multi-section text rendering for the admin console.
+  std::string ToString() const;
+};
+
+/// Captures the current state of `db`.
+AdminSnapshot TakeAdminSnapshot(const Youtopia& db);
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_SERVER_ADMIN_H_

@@ -1,0 +1,72 @@
+#include "server/dump.h"
+
+#include "common/string_util.h"
+
+namespace youtopia {
+
+namespace {
+
+/// SQL type keyword for a column type.
+const char* SqlTypeName(DataType type) {
+  switch (type) {
+    case DataType::kBool:
+      return "BOOL";
+    case DataType::kInt64:
+      return "INT";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+    case DataType::kNull:
+      return "TEXT";
+  }
+  return "TEXT";
+}
+
+}  // namespace
+
+Result<std::string> DumpToScript(const Youtopia& db) {
+  std::string script;
+  const StorageEngine& storage = db.storage();
+  for (const TableInfo& info : storage.catalog().ListTables()) {
+    // Schema.
+    script += "CREATE TABLE " + info.name + " (";
+    for (size_t i = 0; i < info.schema.num_columns(); ++i) {
+      const Column& col = info.schema.column(i);
+      if (i > 0) script += ", ";
+      script += col.name;
+      script += " ";
+      script += SqlTypeName(col.type);
+      if (!col.nullable) script += " NOT NULL";
+    }
+    script += ");\n";
+
+    // Rows, batched into one INSERT per table.
+    auto rows = storage.Scan(info.name);
+    if (!rows.ok()) return rows.status();
+    if (!rows->empty()) {
+      script += "INSERT INTO " + info.name + " VALUES ";
+      for (size_t r = 0; r < rows->size(); ++r) {
+        if (r > 0) script += ", ";
+        script += (*rows)[r].second.ToString();
+      }
+      script += ";\n";
+    }
+
+    // Indexes (recreated after the data loads, backfill handles rows).
+    for (size_t col : info.indexed_columns) {
+      script += "CREATE INDEX ON " + info.name + " (" +
+                info.schema.column(col).name + ");\n";
+    }
+  }
+  return script;
+}
+
+Status RestoreFromScript(Youtopia* db, const std::string& script) {
+  if (!db->storage().catalog().ListTables().empty()) {
+    return Status::InvalidArgument(
+        "restore target must be an empty Youtopia instance");
+  }
+  return db->ExecuteScript(script);
+}
+
+}  // namespace youtopia

@@ -1,0 +1,26 @@
+#ifndef YOUTOPIA_SERVER_DUMP_H_
+#define YOUTOPIA_SERVER_DUMP_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "server/youtopia.h"
+
+namespace youtopia {
+
+/// Serializes the whole database (schemas, indexes, rows — including
+/// answer relations, which are ordinary tables) to a ';'-separated SQL
+/// script that `Youtopia::ExecuteScript` restores. Pending entangled
+/// queries are *not* part of the dump: they are session state, and their
+/// handles cannot outlive the process.
+///
+/// This is the engine's checkpoint story — the in-memory substrate
+/// (DESIGN.md §2) gains save/restore without a WAL.
+Result<std::string> DumpToScript(const Youtopia& db);
+
+/// Restores a dump into an empty Youtopia instance.
+Status RestoreFromScript(Youtopia* db, const std::string& script);
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_SERVER_DUMP_H_

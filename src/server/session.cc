@@ -1,0 +1,81 @@
+#include "server/session.h"
+
+#include <algorithm>
+
+namespace youtopia {
+
+void Session::Record(const std::string& sql) {
+  std::lock_guard<std::mutex> lock(mu_);
+  history_.push_back(sql);
+}
+
+void Session::Track(const EntangledHandle& handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  outstanding_.push_back(handle);
+}
+
+Result<RunOutcome> Session::Run(const std::string& sql) {
+  Record(sql);
+  auto outcome = db_->Run(sql, user_);
+  if (outcome.ok() && outcome->entangled && outcome->handle.has_value() &&
+      !outcome->handle->Done()) {
+    Track(*outcome->handle);
+  }
+  return outcome;
+}
+
+Result<QueryResult> Session::Execute(const std::string& sql) {
+  Record(sql);
+  return db_->Execute(sql);
+}
+
+Result<EntangledHandle> Session::Submit(const std::string& sql) {
+  Record(sql);
+  auto handle = db_->Submit(sql, user_);
+  if (handle.ok() && !handle->Done()) Track(*handle);
+  return handle;
+}
+
+std::vector<EntangledHandle> Session::Outstanding() {
+  std::lock_guard<std::mutex> lock(mu_);
+  outstanding_.erase(
+      std::remove_if(outstanding_.begin(), outstanding_.end(),
+                     [](const EntangledHandle& h) { return h.Done(); }),
+      outstanding_.end());
+  return outstanding_;
+}
+
+Status Session::WaitForAll(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (const EntangledHandle& handle : Outstanding()) {
+    const auto now = std::chrono::steady_clock::now();
+    const auto remaining =
+        now >= deadline
+            ? std::chrono::milliseconds(0)
+            : std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - now);
+    Status status = handle.Wait(remaining);
+    if (!status.ok() && status.code() == StatusCode::kTimedOut) {
+      return status;
+    }
+  }
+  return Status::OK();
+}
+
+Status Session::CancelAll() {
+  for (const EntangledHandle& handle : Outstanding()) {
+    Status status = db_->coordinator().Cancel(handle.id());
+    // NotFound just means it completed concurrently.
+    if (!status.ok() && status.code() != StatusCode::kNotFound) {
+      return status;
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Session::History() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_;
+}
+
+}  // namespace youtopia

@@ -1,0 +1,68 @@
+#ifndef YOUTOPIA_SERVER_SESSION_H_
+#define YOUTOPIA_SERVER_SESSION_H_
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "server/youtopia.h"
+
+namespace youtopia {
+
+/// A user session against a shared Youtopia instance — what each
+/// middle-tier connection of the demo's web application holds. The
+/// session carries the user identity (owner tag for entangled queries),
+/// tracks the user's outstanding coordination handles, and records a
+/// statement history for the admin interface.
+///
+/// Thread-compatible: one session per thread; the underlying Youtopia
+/// instance is shared and thread-safe.
+class Session {
+ public:
+  Session(Youtopia* db, std::string user)
+      : db_(db), user_(std::move(user)) {}
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const std::string& user() const { return user_; }
+
+  /// Runs any statement; entangled queries are tagged with this
+  /// session's user and their handles retained (see Outstanding).
+  Result<RunOutcome> Run(const std::string& sql);
+
+  /// Regular statement convenience.
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// Entangled submission convenience.
+  Result<EntangledHandle> Submit(const std::string& sql);
+
+  /// Handles of this session's not-yet-answered entangled queries.
+  /// Completed handles are pruned on each call.
+  std::vector<EntangledHandle> Outstanding();
+
+  /// Waits until every outstanding query completes or `timeout` passes.
+  /// Returns OK when none remain pending.
+  Status WaitForAll(std::chrono::milliseconds timeout);
+
+  /// Withdraws all of this session's pending queries.
+  Status CancelAll();
+
+  /// The statements this session ran, in order.
+  std::vector<std::string> History() const;
+
+ private:
+  void Track(const EntangledHandle& handle);
+  void Record(const std::string& sql);
+
+  Youtopia* db_;
+  std::string user_;
+  mutable std::mutex mu_;
+  std::vector<EntangledHandle> outstanding_;
+  std::vector<std::string> history_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_SERVER_SESSION_H_

@@ -1,0 +1,122 @@
+#include "server/youtopia.h"
+
+#include "sql/table_refs.h"
+
+namespace youtopia {
+
+namespace {
+
+/// Runs one regular statement under an auto-commit transaction that
+/// holds S locks on read tables and X locks on written tables for the
+/// statement's duration. This is what makes regular queries observe
+/// coordination installs atomically (reservations appear group-at-a-
+/// time, never half a pair). Lock-wait timeouts are surfaced as
+/// kTimedOut; callers may retry.
+Result<QueryResult> ExecuteLocked(Executor* executor, TxnManager* txns,
+                                  const Statement& stmt) {
+  const TableRefs refs = CollectTableRefs(stmt);
+  auto txn = txns->Begin();
+  // std::set iteration is sorted, giving a global acquisition order
+  // that avoids lock-order deadlocks between regular statements.
+  for (const std::string& table : refs.writes) {
+    Status s = txns->lock_manager().Acquire(txn->id(), table,
+                                            LockMode::kExclusive);
+    if (!s.ok()) {
+      (void)txns->Abort(txn.get());
+      return s;
+    }
+  }
+  for (const std::string& table : refs.reads) {
+    if (refs.writes.count(table) > 0) continue;
+    Status s =
+        txns->lock_manager().Acquire(txn->id(), table, LockMode::kShared);
+    if (!s.ok()) {
+      (void)txns->Abort(txn.get());
+      return s;
+    }
+  }
+  auto result = executor->Execute(stmt);
+  // The executor applied changes directly to storage; the transaction
+  // only held the locks. Commit releases them.
+  (void)txns->Commit(txn.get());
+  return result;
+}
+
+}  // namespace
+
+Youtopia::Youtopia(YoutopiaConfig config)
+    : config_(config),
+      executor_(&storage_),
+      txn_manager_(&storage_),
+      coordinator_(&storage_, &txn_manager_, config.coordinator) {}
+
+Result<QueryResult> Youtopia::ExecuteRegular(const Statement& stmt) {
+  auto result = ExecuteLocked(&executor_, &txn_manager_, stmt);
+  if (!result.ok()) return result;
+  if (config_.retrigger_on_dml && result->affected_rows > 0 &&
+      coordinator_.pending_count() > 0) {
+    for (const std::string& table : CollectTableRefs(stmt).writes) {
+      auto retriggered = coordinator_.RetriggerDependentsOf(table);
+      if (!retriggered.ok()) return retriggered.status();
+    }
+  }
+  return result;
+}
+
+Result<QueryResult> Youtopia::Execute(const std::string& sql) {
+  auto stmt = Parser::ParseStatement(sql);
+  if (!stmt.ok()) return stmt.status();
+  if (stmt.value()->kind == StatementKind::kSelect &&
+      static_cast<const SelectStatement&>(*stmt.value()).IsEntangled()) {
+    return Status::InvalidArgument(
+        "entangled query submitted to Execute(); use Submit() or Run()");
+  }
+  return ExecuteRegular(*stmt.value());
+}
+
+Status Youtopia::ExecuteScript(const std::string& sql) {
+  auto stmts = Parser::ParseScript(sql);
+  if (!stmts.ok()) return stmts.status();
+  for (const auto& stmt : *stmts) {
+    auto result = ExecuteRegular(*stmt);
+    if (!result.ok()) return result.status();
+  }
+  return Status::OK();
+}
+
+Result<EntangledHandle> Youtopia::Submit(const std::string& sql,
+                                         const std::string& owner) {
+  auto stmt = Parser::ParseStatement(sql);
+  if (!stmt.ok()) return stmt.status();
+  if (stmt.value()->kind != StatementKind::kSelect) {
+    return Status::InvalidArgument("not a SELECT statement");
+  }
+  const auto& select = static_cast<const SelectStatement&>(*stmt.value());
+  auto query = Normalizer::Normalize(select, /*id=*/0, owner, sql);
+  if (!query.ok()) return query.status();
+  return coordinator_.Submit(query.TakeValue());
+}
+
+Result<RunOutcome> Youtopia::Run(const std::string& sql,
+                                 const std::string& owner) {
+  auto stmt = Parser::ParseStatement(sql);
+  if (!stmt.ok()) return stmt.status();
+  RunOutcome outcome;
+  if (stmt.value()->kind == StatementKind::kSelect &&
+      static_cast<const SelectStatement&>(*stmt.value()).IsEntangled()) {
+    const auto& select = static_cast<const SelectStatement&>(*stmt.value());
+    auto query = Normalizer::Normalize(select, /*id=*/0, owner, sql);
+    if (!query.ok()) return query.status();
+    auto handle = coordinator_.Submit(query.TakeValue());
+    if (!handle.ok()) return handle.status();
+    outcome.entangled = true;
+    outcome.handle = handle.TakeValue();
+    return outcome;
+  }
+  auto result = ExecuteRegular(*stmt.value());
+  if (!result.ok()) return result.status();
+  outcome.result = result.TakeValue();
+  return outcome;
+}
+
+}  // namespace youtopia

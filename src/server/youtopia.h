@@ -1,0 +1,91 @@
+#ifndef YOUTOPIA_SERVER_YOUTOPIA_H_
+#define YOUTOPIA_SERVER_YOUTOPIA_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "entangle/coordinator.h"
+#include "entangle/normalizer.h"
+#include "exec/executor.h"
+#include "sql/parser.h"
+#include "storage/storage_engine.h"
+#include "txn/txn_manager.h"
+
+namespace youtopia {
+
+/// Whole-system configuration.
+struct YoutopiaConfig {
+  CoordinatorConfig coordinator;
+  /// After regular DML changes a table, automatically re-run matching
+  /// for pending entangled queries whose domain predicates read it —
+  /// the paper's "waits for an opportunity to retry" without manual
+  /// RetriggerAll calls.
+  bool retrigger_on_dml = true;
+};
+
+/// Outcome of running one SQL string that may be regular or entangled.
+struct RunOutcome {
+  bool entangled = false;
+  /// Set for regular statements.
+  QueryResult result;
+  /// Set for entangled statements.
+  std::optional<EntangledHandle> handle;
+};
+
+/// The embedded Youtopia database system — the top of the architecture
+/// in Figure 2 of the paper. One object owns the storage engine, the
+/// execution engine, the transaction manager and the coordination
+/// component; sessions (threads) share it.
+///
+/// Regular SQL goes to the execution engine; entangled queries (SELECT
+/// ... INTO ANSWER ...) are compiled to the coordination IR and
+/// registered with the coordinator, returning a waitable handle.
+class Youtopia {
+ public:
+  explicit Youtopia(YoutopiaConfig config = {});
+
+  Youtopia(const Youtopia&) = delete;
+  Youtopia& operator=(const Youtopia&) = delete;
+
+  /// Executes one *regular* statement. Entangled statements are
+  /// rejected with InvalidArgument (use Submit or Run).
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// Executes a ';'-separated batch of regular statements, discarding
+  /// results (schema/data setup scripts).
+  Status ExecuteScript(const std::string& sql);
+
+  /// Submits one *entangled* query. `owner` tags the query for the
+  /// admin interface and notifications.
+  Result<EntangledHandle> Submit(const std::string& sql,
+                                 const std::string& owner = "");
+
+  /// Runs any single statement, auto-detecting entangled queries —
+  /// what the demo's SQL command-line interface does.
+  Result<RunOutcome> Run(const std::string& sql,
+                         const std::string& owner = "");
+
+  StorageEngine& storage() { return storage_; }
+  const StorageEngine& storage() const { return storage_; }
+  Executor& executor() { return executor_; }
+  TxnManager& txn_manager() { return txn_manager_; }
+  Coordinator& coordinator() { return coordinator_; }
+  const Coordinator& coordinator() const { return coordinator_; }
+
+ private:
+  /// Runs a regular statement under table locks, then (for DML, when
+  /// configured) retriggers pending queries reading the written tables.
+  Result<QueryResult> ExecuteRegular(const Statement& stmt);
+
+  YoutopiaConfig config_;
+  StorageEngine storage_;
+  Executor executor_;
+  TxnManager txn_manager_;
+  Coordinator coordinator_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_SERVER_YOUTOPIA_H_

@@ -1,0 +1,58 @@
+#include "sql/ast.h"
+
+namespace youtopia {
+
+const char* BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNeq:
+      return "!=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLte:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGte:
+      return ">=";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+std::unique_ptr<Expr> InSubqueryExpr::Clone() const {
+  return std::make_unique<InSubqueryExpr>(needle->Clone(), subquery->Clone(),
+                                          negated);
+}
+
+std::unique_ptr<SelectStatement> SelectStatement::Clone() const {
+  auto copy = std::make_unique<SelectStatement>();
+  copy->select_list.reserve(select_list.size());
+  for (const auto& e : select_list) copy->select_list.push_back(e->Clone());
+  copy->heads.reserve(heads.size());
+  for (const auto& h : heads) {
+    Head hc;
+    hc.answer_relation = h.answer_relation;
+    hc.exprs.reserve(h.exprs.size());
+    for (const auto& e : h.exprs) hc.exprs.push_back(e->Clone());
+    copy->heads.push_back(std::move(hc));
+  }
+  copy->from = from;
+  if (where) copy->where = where->Clone();
+  copy->choose = choose;
+  return copy;
+}
+
+}  // namespace youtopia

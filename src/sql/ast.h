@@ -1,0 +1,255 @@
+#ifndef YOUTOPIA_SQL_AST_H_
+#define YOUTOPIA_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace youtopia {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kUnary,
+  kBinary,
+  kInSubquery,
+  kInAnswer,
+};
+
+enum class BinaryOp {
+  kEq,
+  kNeq,
+  kLt,
+  kLte,
+  kGt,
+  kGte,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kAnd,
+  kOr,
+};
+
+enum class UnaryOp { kNot, kNeg };
+
+/// Spelled operator ("=", "AND", ...).
+const char* BinaryOpToString(BinaryOp op);
+
+struct SelectStatement;
+
+/// Base of the expression tree. Nodes are identified by `kind` and
+/// down-cast with the As<T>() helpers; a full visitor would be overkill
+/// for the handful of consumers (evaluator, normalizer, unparser).
+struct Expr {
+  explicit Expr(ExprKind k) : kind(k) {}
+  virtual ~Expr() = default;
+
+  /// Deep copy. Needed because the paper's `INTO ANSWER a, ANSWER b`
+  /// form repeats one select list into several answer relations.
+  virtual std::unique_ptr<Expr> Clone() const = 0;
+
+  ExprKind kind;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// A constant literal.
+struct LiteralExpr : Expr {
+  explicit LiteralExpr(Value v) : Expr(ExprKind::kLiteral), value(std::move(v)) {}
+  std::unique_ptr<Expr> Clone() const override {
+    return std::make_unique<LiteralExpr>(value);
+  }
+  Value value;
+};
+
+/// A (possibly qualified) identifier. In a regular query this names a
+/// column; in an entangled query an unqualified identifier that matches
+/// no FROM column is a *coordination variable* (paper §2.1: `fno`).
+struct ColumnRefExpr : Expr {
+  ColumnRefExpr(std::string qualifier_in, std::string column_in)
+      : Expr(ExprKind::kColumnRef),
+        qualifier(std::move(qualifier_in)),
+        column(std::move(column_in)) {}
+  std::unique_ptr<Expr> Clone() const override {
+    return std::make_unique<ColumnRefExpr>(qualifier, column);
+  }
+  std::string qualifier;  ///< Table name or alias; empty if unqualified.
+  std::string column;
+};
+
+struct UnaryExpr : Expr {
+  UnaryExpr(UnaryOp op_in, ExprPtr operand_in)
+      : Expr(ExprKind::kUnary), op(op_in), operand(std::move(operand_in)) {}
+  std::unique_ptr<Expr> Clone() const override {
+    return std::make_unique<UnaryExpr>(op, operand->Clone());
+  }
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+struct BinaryExpr : Expr {
+  BinaryExpr(BinaryOp op_in, ExprPtr left_in, ExprPtr right_in)
+      : Expr(ExprKind::kBinary),
+        op(op_in),
+        left(std::move(left_in)),
+        right(std::move(right_in)) {}
+  std::unique_ptr<Expr> Clone() const override {
+    return std::make_unique<BinaryExpr>(op, left->Clone(), right->Clone());
+  }
+  BinaryOp op;
+  ExprPtr left;
+  ExprPtr right;
+};
+
+/// `needle IN (SELECT ...)` — in entangled queries this is the *domain
+/// predicate* binding a coordination variable to database content.
+struct InSubqueryExpr : Expr {
+  InSubqueryExpr(ExprPtr needle_in, std::unique_ptr<SelectStatement> sub,
+                 bool negated_in)
+      : Expr(ExprKind::kInSubquery),
+        needle(std::move(needle_in)),
+        subquery(std::move(sub)),
+        negated(negated_in) {}
+  std::unique_ptr<Expr> Clone() const override;
+  ExprPtr needle;
+  std::unique_ptr<SelectStatement> subquery;
+  bool negated;
+};
+
+/// `(e1, ..., en) IN ANSWER Rel` — the *answer constraint* of the paper:
+/// the system-wide answer relation must contain the tuple for this query
+/// to be answered.
+struct InAnswerExpr : Expr {
+  InAnswerExpr(std::vector<ExprPtr> tuple_in, std::string relation_in,
+               bool negated_in)
+      : Expr(ExprKind::kInAnswer),
+        tuple(std::move(tuple_in)),
+        relation(std::move(relation_in)),
+        negated(negated_in) {}
+  std::unique_ptr<Expr> Clone() const override {
+    std::vector<ExprPtr> copy;
+    copy.reserve(tuple.size());
+    for (const auto& e : tuple) copy.push_back(e->Clone());
+    return std::make_unique<InAnswerExpr>(std::move(copy), relation, negated);
+  }
+  std::vector<ExprPtr> tuple;
+  std::string relation;
+  bool negated;
+};
+
+template <typename T>
+const T& As(const Expr& e) {
+  return static_cast<const T&>(e);
+}
+template <typename T>
+T& As(Expr& e) {
+  return static_cast<T&>(e);
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StatementKind {
+  kCreateTable,
+  kCreateIndex,
+  kDropTable,
+  kInsert,
+  kDelete,
+  kUpdate,
+  kSelect,
+};
+
+struct Statement {
+  explicit Statement(StatementKind k) : kind(k) {}
+  virtual ~Statement() = default;
+  StatementKind kind;
+};
+
+using StatementPtr = std::unique_ptr<Statement>;
+
+/// One `name TYPE [NOT NULL]` column definition.
+struct ColumnDefAst {
+  std::string name;
+  std::string type_name;
+  bool not_null = false;
+};
+
+struct CreateTableStatement : Statement {
+  CreateTableStatement() : Statement(StatementKind::kCreateTable) {}
+  std::string table;
+  std::vector<ColumnDefAst> columns;
+};
+
+struct CreateIndexStatement : Statement {
+  CreateIndexStatement() : Statement(StatementKind::kCreateIndex) {}
+  std::string table;
+  std::string column;
+};
+
+struct DropTableStatement : Statement {
+  DropTableStatement() : Statement(StatementKind::kDropTable) {}
+  std::string table;
+};
+
+struct InsertStatement : Statement {
+  InsertStatement() : Statement(StatementKind::kInsert) {}
+  std::string table;
+  /// Each row is a list of constant expressions.
+  std::vector<std::vector<ExprPtr>> rows;
+};
+
+struct DeleteStatement : Statement {
+  DeleteStatement() : Statement(StatementKind::kDelete) {}
+  std::string table;
+  ExprPtr where;  ///< May be null (delete all).
+};
+
+struct UpdateStatement : Statement {
+  UpdateStatement() : Statement(StatementKind::kUpdate) {}
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  ///< May be null.
+};
+
+/// SELECT — both regular queries and entangled queries share this node.
+/// The statement is *entangled* iff `heads` is non-empty (paper §2.1
+/// grammar: SELECT select_expr INTO ANSWER tbl [, ANSWER tbl]...).
+struct SelectStatement : Statement {
+  SelectStatement() : Statement(StatementKind::kSelect) {}
+
+  /// One `exprs INTO ANSWER relation` contribution.
+  struct Head {
+    std::vector<ExprPtr> exprs;
+    std::string answer_relation;
+  };
+
+  struct TableRef {
+    std::string table;
+    std::string alias;  ///< Empty if none; resolution falls back to table.
+  };
+
+  /// Plain projection list (regular SELECT). `*` is a single ColumnRef
+  /// with column == "*".
+  std::vector<ExprPtr> select_list;
+  /// Entangled contributions; non-empty makes this an entangled query.
+  std::vector<Head> heads;
+  std::vector<TableRef> from;
+  ExprPtr where;     ///< May be null.
+  int64_t choose = 0;  ///< 0 = unspecified (defaults to 1 for entangled).
+
+  bool IsEntangled() const { return !heads.empty(); }
+
+  std::unique_ptr<SelectStatement> Clone() const;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_SQL_AST_H_

@@ -1,0 +1,231 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace youtopia {
+
+namespace {
+
+const std::unordered_map<std::string, TokenType>& KeywordMap() {
+  static const auto* kMap = new std::unordered_map<std::string, TokenType>{
+      {"select", TokenType::kSelect},   {"into", TokenType::kInto},
+      {"answer", TokenType::kAnswer},   {"from", TokenType::kFrom},
+      {"where", TokenType::kWhere},     {"and", TokenType::kAnd},
+      {"or", TokenType::kOr},           {"not", TokenType::kNot},
+      {"in", TokenType::kIn},           {"choose", TokenType::kChoose},
+      {"create", TokenType::kCreate},   {"table", TokenType::kTable},
+      {"index", TokenType::kIndex},     {"on", TokenType::kOn},
+      {"drop", TokenType::kDrop},       {"insert", TokenType::kInsert},
+      {"values", TokenType::kValues},   {"delete", TokenType::kDelete},
+      {"update", TokenType::kUpdate},   {"set", TokenType::kSet},
+      {"null", TokenType::kNull},       {"true", TokenType::kTrue},
+      {"false", TokenType::kFalse},     {"between", TokenType::kBetween},
+      {"as", TokenType::kAs},           {"by", TokenType::kBy},
+  };
+  return *kMap;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentCont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+char Lexer::Peek(size_t ahead) const {
+  return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  for (;;) {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+    if (Peek() == '-' && Peek(1) == '-') {
+      while (!AtEnd() && Peek() != '\n') ++pos_;
+      continue;
+    }
+    break;
+  }
+}
+
+Result<Token> Lexer::LexNumber() {
+  const size_t start = pos_;
+  while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+  bool is_double = false;
+  if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+    is_double = true;
+    ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+  }
+  if (Peek() == 'e' || Peek() == 'E') {
+    size_t save = pos_;
+    ++pos_;
+    if (Peek() == '+' || Peek() == '-') ++pos_;
+    if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+      is_double = true;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    } else {
+      pos_ = save;  // 'e' belongs to a following identifier
+    }
+  }
+  const std::string text(input_.substr(start, pos_ - start));
+  Token tok;
+  tok.offset = start;
+  if (is_double) {
+    tok.type = TokenType::kDoubleLiteral;
+    tok.double_value = std::strtod(text.c_str(), nullptr);
+  } else {
+    tok.type = TokenType::kIntLiteral;
+    errno = 0;
+    tok.int_value = std::strtoll(text.c_str(), nullptr, 10);
+    if (errno == ERANGE) {
+      return Status::InvalidArgument("integer literal out of range: " + text);
+    }
+  }
+  return tok;
+}
+
+Result<Token> Lexer::LexString() {
+  const size_t start = pos_;
+  ++pos_;  // opening quote
+  std::string decoded;
+  for (;;) {
+    if (AtEnd()) {
+      return Status::InvalidArgument(
+          "unterminated string literal starting at offset " +
+          std::to_string(start));
+    }
+    char c = input_[pos_++];
+    if (c == '\'') {
+      if (Peek() == '\'') {  // escaped quote
+        decoded.push_back('\'');
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    decoded.push_back(c);
+  }
+  Token tok;
+  tok.type = TokenType::kStringLiteral;
+  tok.text = std::move(decoded);
+  tok.offset = start;
+  return tok;
+}
+
+Token Lexer::LexIdentifierOrKeyword() {
+  const size_t start = pos_;
+  while (IsIdentCont(Peek())) ++pos_;
+  const std::string text(input_.substr(start, pos_ - start));
+  Token tok;
+  tok.offset = start;
+  auto it = KeywordMap().find(ToLowerAscii(text));
+  if (it != KeywordMap().end()) {
+    tok.type = it->second;
+    tok.text = text;
+  } else {
+    tok.type = TokenType::kIdentifier;
+    tok.text = text;
+  }
+  return tok;
+}
+
+Result<Token> Lexer::NextToken() {
+  SkipWhitespaceAndComments();
+  Token tok;
+  tok.offset = pos_;
+  if (AtEnd()) {
+    tok.type = TokenType::kEndOfInput;
+    return tok;
+  }
+  const char c = Peek();
+  if (std::isdigit(static_cast<unsigned char>(c))) return LexNumber();
+  if (c == '\'') return LexString();
+  if (IsIdentStart(c)) return LexIdentifierOrKeyword();
+
+  ++pos_;
+  switch (c) {
+    case '(':
+      tok.type = TokenType::kLParen;
+      return tok;
+    case ')':
+      tok.type = TokenType::kRParen;
+      return tok;
+    case ',':
+      tok.type = TokenType::kComma;
+      return tok;
+    case '.':
+      tok.type = TokenType::kDot;
+      return tok;
+    case ';':
+      tok.type = TokenType::kSemicolon;
+      return tok;
+    case '=':
+      tok.type = TokenType::kEq;
+      return tok;
+    case '!':
+      if (Peek() == '=') {
+        ++pos_;
+        tok.type = TokenType::kNeq;
+        return tok;
+      }
+      return Status::InvalidArgument("unexpected '!' at offset " +
+                                     std::to_string(tok.offset));
+    case '<':
+      if (Peek() == '=') {
+        ++pos_;
+        tok.type = TokenType::kLte;
+      } else if (Peek() == '>') {
+        ++pos_;
+        tok.type = TokenType::kNeq;
+      } else {
+        tok.type = TokenType::kLt;
+      }
+      return tok;
+    case '>':
+      if (Peek() == '=') {
+        ++pos_;
+        tok.type = TokenType::kGte;
+      } else {
+        tok.type = TokenType::kGt;
+      }
+      return tok;
+    case '+':
+      tok.type = TokenType::kPlus;
+      return tok;
+    case '-':
+      tok.type = TokenType::kMinus;
+      return tok;
+    case '*':
+      tok.type = TokenType::kStar;
+      return tok;
+    case '/':
+      tok.type = TokenType::kSlash;
+      return tok;
+    default:
+      return Status::InvalidArgument(std::string("unexpected character '") +
+                                     c + "' at offset " +
+                                     std::to_string(tok.offset));
+  }
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  for (;;) {
+    auto tok = NextToken();
+    if (!tok.ok()) return tok.status();
+    const bool done = tok->type == TokenType::kEndOfInput;
+    tokens.push_back(tok.TakeValue());
+    if (done) break;
+  }
+  return tokens;
+}
+
+}  // namespace youtopia

@@ -1,0 +1,40 @@
+#ifndef YOUTOPIA_SQL_LEXER_H_
+#define YOUTOPIA_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/token.h"
+
+namespace youtopia {
+
+/// Tokenizes one SQL statement (or a ';'-separated batch). Keywords are
+/// case-insensitive; identifiers keep their original spelling. String
+/// literals use single quotes with '' as the escape. `--` starts a
+/// comment to end of line.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  /// Tokenizes the whole input, ending with a kEndOfInput token.
+  Result<std::vector<Token>> Tokenize();
+
+ private:
+  Result<Token> NextToken();
+  void SkipWhitespaceAndComments();
+  Result<Token> LexNumber();
+  Result<Token> LexString();
+  Token LexIdentifierOrKeyword();
+
+  char Peek(size_t ahead = 0) const;
+  bool AtEnd() const { return pos_ >= input_.size(); }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_SQL_LEXER_H_

@@ -1,0 +1,559 @@
+#include "sql/parser.h"
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace youtopia {
+
+Result<StatementPtr> Parser::ParseStatement(std::string_view sql) {
+  Lexer lexer(sql);
+  auto tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(tokens.TakeValue());
+  auto stmt = parser.ParseOneStatement();
+  if (!stmt.ok()) return stmt.status();
+  parser.Match(TokenType::kSemicolon);
+  if (!parser.Check(TokenType::kEndOfInput)) {
+    return parser.ErrorHere("trailing input after statement");
+  }
+  return stmt;
+}
+
+Result<std::vector<StatementPtr>> Parser::ParseScript(std::string_view sql) {
+  Lexer lexer(sql);
+  auto tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(tokens.TakeValue());
+  std::vector<StatementPtr> out;
+  while (!parser.Check(TokenType::kEndOfInput)) {
+    if (parser.Match(TokenType::kSemicolon)) continue;  // empty statement
+    auto stmt = parser.ParseOneStatement();
+    if (!stmt.ok()) return stmt.status();
+    out.push_back(stmt.TakeValue());
+    if (!parser.Match(TokenType::kSemicolon) &&
+        !parser.Check(TokenType::kEndOfInput)) {
+      return parser.ErrorHere("expected ';' between statements");
+    }
+  }
+  return out;
+}
+
+const Token& Parser::Peek(size_t ahead) const {
+  const size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+  return tokens_[i];
+}
+
+const Token& Parser::Advance() {
+  const Token& tok = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return tok;
+}
+
+bool Parser::Match(TokenType type) {
+  if (Check(type)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Result<Token> Parser::Expect(TokenType type, const char* what) {
+  if (Check(type)) return Advance();
+  return ErrorHere(std::string("expected ") + what + " but found '" +
+                   Peek().ToString() + "'");
+}
+
+Status Parser::ErrorHere(const std::string& message) const {
+  return Status::InvalidArgument(message + " (at offset " +
+                                 std::to_string(Peek().offset) + ")");
+}
+
+Result<StatementPtr> Parser::ParseOneStatement() {
+  switch (Peek().type) {
+    case TokenType::kCreate:
+      return ParseCreate();
+    case TokenType::kDrop:
+      return ParseDrop();
+    case TokenType::kInsert:
+      return ParseInsert();
+    case TokenType::kDelete:
+      return ParseDelete();
+    case TokenType::kUpdate:
+      return ParseUpdate();
+    case TokenType::kSelect: {
+      auto sel = ParseSelect();
+      if (!sel.ok()) return sel.status();
+      return StatementPtr(sel.TakeValue().release());
+    }
+    default:
+      return ErrorHere("expected a statement keyword, found '" +
+                       Peek().ToString() + "'");
+  }
+}
+
+Result<StatementPtr> Parser::ParseCreate() {
+  Advance();  // CREATE
+  if (Match(TokenType::kTable)) {
+    auto stmt = std::make_unique<CreateTableStatement>();
+    auto name = Expect(TokenType::kIdentifier, "table name");
+    if (!name.ok()) return name.status();
+    stmt->table = name->text;
+    YOUTOPIA_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('").status());
+    do {
+      ColumnDefAst col;
+      auto cname = Expect(TokenType::kIdentifier, "column name");
+      if (!cname.ok()) return cname.status();
+      col.name = cname->text;
+      auto ctype = Expect(TokenType::kIdentifier, "column type");
+      if (!ctype.ok()) return ctype.status();
+      col.type_name = ctype->text;
+      if (Match(TokenType::kNot)) {
+        YOUTOPIA_RETURN_IF_ERROR(
+            Expect(TokenType::kNull, "NULL after NOT").status());
+        col.not_null = true;
+      }
+      stmt->columns.push_back(std::move(col));
+    } while (Match(TokenType::kComma));
+    YOUTOPIA_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'").status());
+    return StatementPtr(std::move(stmt));
+  }
+  if (Match(TokenType::kIndex)) {
+    auto stmt = std::make_unique<CreateIndexStatement>();
+    YOUTOPIA_RETURN_IF_ERROR(Expect(TokenType::kOn, "ON").status());
+    auto table = Expect(TokenType::kIdentifier, "table name");
+    if (!table.ok()) return table.status();
+    stmt->table = table->text;
+    YOUTOPIA_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('").status());
+    auto column = Expect(TokenType::kIdentifier, "column name");
+    if (!column.ok()) return column.status();
+    stmt->column = column->text;
+    YOUTOPIA_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'").status());
+    return StatementPtr(std::move(stmt));
+  }
+  return ErrorHere("expected TABLE or INDEX after CREATE");
+}
+
+Result<StatementPtr> Parser::ParseDrop() {
+  Advance();  // DROP
+  YOUTOPIA_RETURN_IF_ERROR(Expect(TokenType::kTable, "TABLE").status());
+  auto stmt = std::make_unique<DropTableStatement>();
+  auto name = Expect(TokenType::kIdentifier, "table name");
+  if (!name.ok()) return name.status();
+  stmt->table = name->text;
+  return StatementPtr(std::move(stmt));
+}
+
+Result<StatementPtr> Parser::ParseInsert() {
+  Advance();  // INSERT
+  YOUTOPIA_RETURN_IF_ERROR(Expect(TokenType::kInto, "INTO").status());
+  auto stmt = std::make_unique<InsertStatement>();
+  auto name = Expect(TokenType::kIdentifier, "table name");
+  if (!name.ok()) return name.status();
+  stmt->table = name->text;
+  YOUTOPIA_RETURN_IF_ERROR(Expect(TokenType::kValues, "VALUES").status());
+  do {
+    YOUTOPIA_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('").status());
+    std::vector<ExprPtr> row;
+    do {
+      auto e = ParseExpr();
+      if (!e.ok()) return e.status();
+      row.push_back(e.TakeValue());
+    } while (Match(TokenType::kComma));
+    YOUTOPIA_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'").status());
+    stmt->rows.push_back(std::move(row));
+  } while (Match(TokenType::kComma));
+  return StatementPtr(std::move(stmt));
+}
+
+Result<StatementPtr> Parser::ParseDelete() {
+  Advance();  // DELETE
+  YOUTOPIA_RETURN_IF_ERROR(Expect(TokenType::kFrom, "FROM").status());
+  auto stmt = std::make_unique<DeleteStatement>();
+  auto name = Expect(TokenType::kIdentifier, "table name");
+  if (!name.ok()) return name.status();
+  stmt->table = name->text;
+  if (Match(TokenType::kWhere)) {
+    auto e = ParseExpr();
+    if (!e.ok()) return e.status();
+    stmt->where = e.TakeValue();
+  }
+  return StatementPtr(std::move(stmt));
+}
+
+Result<StatementPtr> Parser::ParseUpdate() {
+  Advance();  // UPDATE
+  auto stmt = std::make_unique<UpdateStatement>();
+  auto name = Expect(TokenType::kIdentifier, "table name");
+  if (!name.ok()) return name.status();
+  stmt->table = name->text;
+  YOUTOPIA_RETURN_IF_ERROR(Expect(TokenType::kSet, "SET").status());
+  do {
+    auto col = Expect(TokenType::kIdentifier, "column name");
+    if (!col.ok()) return col.status();
+    YOUTOPIA_RETURN_IF_ERROR(Expect(TokenType::kEq, "'='").status());
+    auto e = ParseExpr();
+    if (!e.ok()) return e.status();
+    stmt->assignments.emplace_back(col->text, e.TakeValue());
+  } while (Match(TokenType::kComma));
+  if (Match(TokenType::kWhere)) {
+    auto e = ParseExpr();
+    if (!e.ok()) return e.status();
+    stmt->where = e.TakeValue();
+  }
+  return StatementPtr(std::move(stmt));
+}
+
+Result<std::unique_ptr<SelectStatement>> Parser::ParseSelect() {
+  YOUTOPIA_RETURN_IF_ERROR(Expect(TokenType::kSelect, "SELECT").status());
+  auto stmt = std::make_unique<SelectStatement>();
+
+  // Select items, possibly grouped into INTO ANSWER heads.
+  std::vector<ExprPtr> current;
+  for (;;) {
+    if (Check(TokenType::kStar)) {
+      Advance();
+      current.push_back(std::make_unique<ColumnRefExpr>("", "*"));
+    } else {
+      auto e = ParseExpr();
+      if (!e.ok()) return e.status();
+      current.push_back(e.TakeValue());
+    }
+    if (Match(TokenType::kInto)) {
+      YOUTOPIA_RETURN_IF_ERROR(
+          Expect(TokenType::kAnswer, "ANSWER after INTO").status());
+      auto rel = Expect(TokenType::kIdentifier, "answer relation name");
+      if (!rel.ok()) return rel.status();
+      std::vector<std::string> relations = {rel->text};
+      // Paper form: INTO ANSWER a, ANSWER b — same exprs into several
+      // answer relations.
+      while (Check(TokenType::kComma) &&
+             Peek(1).type == TokenType::kAnswer) {
+        Advance();  // ','
+        Advance();  // ANSWER
+        auto rel2 = Expect(TokenType::kIdentifier, "answer relation name");
+        if (!rel2.ok()) return rel2.status();
+        relations.push_back(rel2->text);
+      }
+      for (const std::string& r : relations) {
+        SelectStatement::Head head;
+        head.answer_relation = r;
+        head.exprs.reserve(current.size());
+        for (const auto& e : current) head.exprs.push_back(e->Clone());
+        stmt->heads.push_back(std::move(head));
+      }
+      current.clear();
+      if (Match(TokenType::kComma)) continue;  // next head group
+      break;
+    }
+    if (Match(TokenType::kComma)) continue;
+    break;
+  }
+  if (!stmt->heads.empty() && !current.empty()) {
+    return ErrorHere(
+        "entangled SELECT has trailing expressions without INTO ANSWER");
+  }
+  stmt->select_list = std::move(current);
+
+  if (Match(TokenType::kFrom)) {
+    do {
+      auto table = Expect(TokenType::kIdentifier, "table name");
+      if (!table.ok()) return table.status();
+      SelectStatement::TableRef ref;
+      ref.table = table->text;
+      if (Match(TokenType::kAs)) {
+        auto alias = Expect(TokenType::kIdentifier, "alias");
+        if (!alias.ok()) return alias.status();
+        ref.alias = alias->text;
+      } else if (Check(TokenType::kIdentifier)) {
+        ref.alias = Advance().text;
+      }
+      stmt->from.push_back(std::move(ref));
+    } while (Match(TokenType::kComma));
+  }
+
+  if (Match(TokenType::kWhere)) {
+    auto e = ParseExpr();
+    if (!e.ok()) return e.status();
+    stmt->where = e.TakeValue();
+  }
+
+  if (Match(TokenType::kChoose)) {
+    auto k = Expect(TokenType::kIntLiteral, "integer after CHOOSE");
+    if (!k.ok()) return k.status();
+    if (k->int_value < 1) {
+      return Status::InvalidArgument("CHOOSE count must be >= 1");
+    }
+    stmt->choose = k->int_value;
+  }
+  return stmt;
+}
+
+Result<ExprPtr> Parser::ParseExpr() { return ParseOr(); }
+
+Result<ExprPtr> Parser::ParseOr() {
+  auto left = ParseAnd();
+  if (!left.ok()) return left.status();
+  ExprPtr node = left.TakeValue();
+  while (Match(TokenType::kOr)) {
+    auto right = ParseAnd();
+    if (!right.ok()) return right.status();
+    node = std::make_unique<BinaryExpr>(BinaryOp::kOr, std::move(node),
+                                        right.TakeValue());
+  }
+  return node;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  auto left = ParseNot();
+  if (!left.ok()) return left.status();
+  ExprPtr node = left.TakeValue();
+  while (Match(TokenType::kAnd)) {
+    auto right = ParseNot();
+    if (!right.ok()) return right.status();
+    node = std::make_unique<BinaryExpr>(BinaryOp::kAnd, std::move(node),
+                                        right.TakeValue());
+  }
+  return node;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (Match(TokenType::kNot)) {
+    auto operand = ParseNot();
+    if (!operand.ok()) return operand.status();
+    return ExprPtr(
+        std::make_unique<UnaryExpr>(UnaryOp::kNot, operand.TakeValue()));
+  }
+  return ParsePredicate();
+}
+
+Result<ExprPtr> Parser::ParseInSuffix(std::vector<ExprPtr> tuple,
+                                      bool negated) {
+  if (Match(TokenType::kAnswer)) {
+    auto rel = Expect(TokenType::kIdentifier, "answer relation name");
+    if (!rel.ok()) return rel.status();
+    return ExprPtr(std::make_unique<InAnswerExpr>(std::move(tuple), rel->text,
+                                                  negated));
+  }
+  YOUTOPIA_RETURN_IF_ERROR(
+      Expect(TokenType::kLParen, "'(' or ANSWER after IN").status());
+  if (Check(TokenType::kSelect)) {
+    if (tuple.size() != 1) {
+      return ErrorHere("tuple IN (subquery) is not supported");
+    }
+    auto sub = ParseSelect();
+    if (!sub.ok()) return sub.status();
+    YOUTOPIA_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'").status());
+    return ExprPtr(std::make_unique<InSubqueryExpr>(
+        std::move(tuple[0]), sub.TakeValue(), negated));
+  }
+  // Literal IN list: desugar to a chain of equality comparisons.
+  if (tuple.size() != 1) {
+    return ErrorHere("tuple IN (value list) is not supported");
+  }
+  ExprPtr disjunction;
+  do {
+    auto item = ParseExpr();
+    if (!item.ok()) return item.status();
+    auto eq = std::make_unique<BinaryExpr>(BinaryOp::kEq, tuple[0]->Clone(),
+                                           item.TakeValue());
+    if (disjunction) {
+      disjunction = std::make_unique<BinaryExpr>(
+          BinaryOp::kOr, std::move(disjunction), std::move(eq));
+    } else {
+      disjunction = std::move(eq);
+    }
+  } while (Match(TokenType::kComma));
+  YOUTOPIA_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'").status());
+  if (negated) {
+    disjunction =
+        std::make_unique<UnaryExpr>(UnaryOp::kNot, std::move(disjunction));
+  }
+  return disjunction;
+}
+
+Result<ExprPtr> Parser::ParsePredicate() {
+  auto left = ParseAdditive();
+  if (!left.ok()) return left.status();
+  ExprPtr node = left.TakeValue();
+
+  // [NOT] IN / [NOT] BETWEEN suffixes.
+  bool negated = false;
+  if (Check(TokenType::kNot) && (Peek(1).type == TokenType::kIn ||
+                                 Peek(1).type == TokenType::kBetween)) {
+    Advance();
+    negated = true;
+  }
+  if (Match(TokenType::kIn)) {
+    std::vector<ExprPtr> tuple;
+    tuple.push_back(std::move(node));
+    return ParseInSuffix(std::move(tuple), negated);
+  }
+  if (Match(TokenType::kBetween)) {
+    auto lo = ParseAdditive();
+    if (!lo.ok()) return lo.status();
+    YOUTOPIA_RETURN_IF_ERROR(
+        Expect(TokenType::kAnd, "AND in BETWEEN").status());
+    auto hi = ParseAdditive();
+    if (!hi.ok()) return hi.status();
+    auto ge = std::make_unique<BinaryExpr>(BinaryOp::kGte, node->Clone(),
+                                           lo.TakeValue());
+    auto le = std::make_unique<BinaryExpr>(BinaryOp::kLte, std::move(node),
+                                           hi.TakeValue());
+    ExprPtr both = std::make_unique<BinaryExpr>(BinaryOp::kAnd, std::move(ge),
+                                                std::move(le));
+    if (negated) {
+      both = std::make_unique<UnaryExpr>(UnaryOp::kNot, std::move(both));
+    }
+    return both;
+  }
+  if (negated) return ErrorHere("expected IN or BETWEEN after NOT");
+
+  // Comparison operators (non-associative).
+  BinaryOp op;
+  switch (Peek().type) {
+    case TokenType::kEq:
+      op = BinaryOp::kEq;
+      break;
+    case TokenType::kNeq:
+      op = BinaryOp::kNeq;
+      break;
+    case TokenType::kLt:
+      op = BinaryOp::kLt;
+      break;
+    case TokenType::kLte:
+      op = BinaryOp::kLte;
+      break;
+    case TokenType::kGt:
+      op = BinaryOp::kGt;
+      break;
+    case TokenType::kGte:
+      op = BinaryOp::kGte;
+      break;
+    default:
+      return node;
+  }
+  Advance();
+  auto right = ParseAdditive();
+  if (!right.ok()) return right.status();
+  return ExprPtr(std::make_unique<BinaryExpr>(op, std::move(node),
+                                              right.TakeValue()));
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  auto left = ParseMultiplicative();
+  if (!left.ok()) return left.status();
+  ExprPtr node = left.TakeValue();
+  for (;;) {
+    BinaryOp op;
+    if (Check(TokenType::kPlus)) {
+      op = BinaryOp::kAdd;
+    } else if (Check(TokenType::kMinus)) {
+      op = BinaryOp::kSub;
+    } else {
+      return node;
+    }
+    Advance();
+    auto right = ParseMultiplicative();
+    if (!right.ok()) return right.status();
+    node = std::make_unique<BinaryExpr>(op, std::move(node),
+                                        right.TakeValue());
+  }
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  auto left = ParseUnary();
+  if (!left.ok()) return left.status();
+  ExprPtr node = left.TakeValue();
+  for (;;) {
+    BinaryOp op;
+    if (Check(TokenType::kStar)) {
+      op = BinaryOp::kMul;
+    } else if (Check(TokenType::kSlash)) {
+      op = BinaryOp::kDiv;
+    } else {
+      return node;
+    }
+    Advance();
+    auto right = ParseUnary();
+    if (!right.ok()) return right.status();
+    node = std::make_unique<BinaryExpr>(op, std::move(node),
+                                        right.TakeValue());
+  }
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (Match(TokenType::kMinus)) {
+    auto operand = ParseUnary();
+    if (!operand.ok()) return operand.status();
+    return ExprPtr(
+        std::make_unique<UnaryExpr>(UnaryOp::kNeg, operand.TakeValue()));
+  }
+  return ParsePrimary();
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& tok = Peek();
+  switch (tok.type) {
+    case TokenType::kIntLiteral: {
+      Advance();
+      return ExprPtr(
+          std::make_unique<LiteralExpr>(Value::Int64(tok.int_value)));
+    }
+    case TokenType::kDoubleLiteral: {
+      Advance();
+      return ExprPtr(
+          std::make_unique<LiteralExpr>(Value::Double(tok.double_value)));
+    }
+    case TokenType::kStringLiteral: {
+      Advance();
+      return ExprPtr(std::make_unique<LiteralExpr>(Value::String(tok.text)));
+    }
+    case TokenType::kNull: {
+      Advance();
+      return ExprPtr(std::make_unique<LiteralExpr>(Value::Null()));
+    }
+    case TokenType::kTrue: {
+      Advance();
+      return ExprPtr(std::make_unique<LiteralExpr>(Value::Bool(true)));
+    }
+    case TokenType::kFalse: {
+      Advance();
+      return ExprPtr(std::make_unique<LiteralExpr>(Value::Bool(false)));
+    }
+    case TokenType::kIdentifier: {
+      Advance();
+      if (Match(TokenType::kDot)) {
+        auto col = Expect(TokenType::kIdentifier, "column after '.'");
+        if (!col.ok()) return col.status();
+        return ExprPtr(std::make_unique<ColumnRefExpr>(tok.text, col->text));
+      }
+      return ExprPtr(std::make_unique<ColumnRefExpr>("", tok.text));
+    }
+    case TokenType::kLParen: {
+      Advance();
+      std::vector<ExprPtr> exprs;
+      do {
+        auto e = ParseExpr();
+        if (!e.ok()) return e.status();
+        exprs.push_back(e.TakeValue());
+      } while (Match(TokenType::kComma));
+      YOUTOPIA_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'").status());
+      if (exprs.size() == 1) return std::move(exprs[0]);
+      // Row constructor: must be followed by [NOT] IN ANSWER / IN.
+      bool negated = false;
+      if (Check(TokenType::kNot) && Peek(1).type == TokenType::kIn) {
+        Advance();
+        negated = true;
+      }
+      if (!Match(TokenType::kIn)) {
+        return ErrorHere("tuple constructor must be followed by IN");
+      }
+      return ParseInSuffix(std::move(exprs), negated);
+    }
+    default:
+      return ErrorHere("expected an expression, found '" + tok.ToString() +
+                       "'");
+  }
+}
+
+}  // namespace youtopia

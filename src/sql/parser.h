@@ -1,0 +1,86 @@
+#ifndef YOUTOPIA_SQL_PARSER_H_
+#define YOUTOPIA_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/token.h"
+
+namespace youtopia {
+
+/// Recursive-descent parser for the Youtopia SQL dialect:
+///
+///   CREATE TABLE t (col TYPE [NOT NULL], ...)
+///   CREATE INDEX ON t (col)
+///   DROP TABLE t
+///   INSERT INTO t VALUES (lit, ...) [, (lit, ...)]...
+///   DELETE FROM t [WHERE expr]
+///   UPDATE t SET col = expr [, ...] [WHERE expr]
+///   SELECT exprs [FROM t [alias] [, ...]] [WHERE expr]            -- regular
+///   SELECT exprs INTO ANSWER r [, ANSWER r2]...                   -- entangled
+///          [, exprs INTO ANSWER r3]... [WHERE cond] [CHOOSE k]
+///
+/// Entangled WHERE conditions may contain `x IN (SELECT ...)` domain
+/// predicates and `(e, ...) IN ANSWER R` answer constraints (paper §2.1).
+class Parser {
+ public:
+  /// Parses exactly one statement (a trailing ';' is allowed).
+  static Result<StatementPtr> ParseStatement(std::string_view sql);
+
+  /// Parses a ';'-separated batch.
+  static Result<std::vector<StatementPtr>> ParseScript(std::string_view sql);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(size_t ahead = 0) const;
+  const Token& Advance();
+  bool Check(TokenType type) const { return Peek().type == type; }
+  bool Match(TokenType type);
+  Result<Token> Expect(TokenType type, const char* what);
+  Status ErrorHere(const std::string& message) const;
+
+  Result<StatementPtr> ParseOneStatement();
+  Result<StatementPtr> ParseCreate();
+  Result<StatementPtr> ParseDrop();
+  Result<StatementPtr> ParseInsert();
+  Result<StatementPtr> ParseDelete();
+  Result<StatementPtr> ParseUpdate();
+  Result<std::unique_ptr<SelectStatement>> ParseSelect();
+
+  // Expression grammar (lowest to highest precedence):
+  //   or_expr := and_expr (OR and_expr)*
+  //   and_expr := not_expr (AND not_expr)*
+  //   not_expr := NOT not_expr | predicate
+  //   predicate := additive [((=|!=|<|<=|>|>=) additive)
+  //                | [NOT] IN (subquery | ANSWER rel)
+  //                | [NOT] BETWEEN additive AND additive]
+  //   additive := multiplicative ((+|-) multiplicative)*
+  //   multiplicative := unary ((*|/) unary)*
+  //   unary := - unary | primary
+  //   primary := literal | ident[.ident] | ( expr ) | (e, e, ...) IN ...
+  Result<ExprPtr> ParseExpr();
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParsePredicate();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+
+  /// Shared suffix handling for `IN (subquery)`, `IN ANSWER rel`,
+  /// and `BETWEEN`. `tuple` holds 1+ expressions (the left side).
+  Result<ExprPtr> ParseInSuffix(std::vector<ExprPtr> tuple, bool negated);
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_SQL_PARSER_H_

@@ -1,0 +1,92 @@
+#include "sql/table_refs.h"
+
+#include "common/string_util.h"
+
+namespace youtopia {
+
+namespace {
+
+void CollectFromExpr(const Expr& expr, TableRefs* refs);
+
+void CollectFromSelect(const SelectStatement& select, TableRefs* refs) {
+  for (const auto& ref : select.from) {
+    refs->reads.insert(ToLowerAscii(ref.table));
+  }
+  for (const auto& e : select.select_list) CollectFromExpr(*e, refs);
+  for (const auto& head : select.heads) {
+    for (const auto& e : head.exprs) CollectFromExpr(*e, refs);
+    // Entangled heads write the answer relation, but entangled queries
+    // never reach the regular execution path; record as read for
+    // completeness.
+    refs->reads.insert(ToLowerAscii(head.answer_relation));
+  }
+  if (select.where) CollectFromExpr(*select.where, refs);
+}
+
+void CollectFromExpr(const Expr& expr, TableRefs* refs) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+    case ExprKind::kColumnRef:
+      return;
+    case ExprKind::kUnary:
+      CollectFromExpr(*As<UnaryExpr>(expr).operand, refs);
+      return;
+    case ExprKind::kBinary: {
+      const auto& b = As<BinaryExpr>(expr);
+      CollectFromExpr(*b.left, refs);
+      CollectFromExpr(*b.right, refs);
+      return;
+    }
+    case ExprKind::kInSubquery: {
+      const auto& in = As<InSubqueryExpr>(expr);
+      CollectFromExpr(*in.needle, refs);
+      CollectFromSelect(*in.subquery, refs);
+      return;
+    }
+    case ExprKind::kInAnswer: {
+      const auto& in = As<InAnswerExpr>(expr);
+      for (const auto& e : in.tuple) CollectFromExpr(*e, refs);
+      refs->reads.insert(ToLowerAscii(in.relation));
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+TableRefs CollectTableRefs(const Statement& stmt) {
+  TableRefs refs;
+  switch (stmt.kind) {
+    case StatementKind::kCreateTable:
+    case StatementKind::kCreateIndex:
+    case StatementKind::kDropTable:
+      // DDL is serialized by the storage engine's own latches; the
+      // 2PL layer does not cover schema changes.
+      return refs;
+    case StatementKind::kInsert:
+      refs.writes.insert(
+          ToLowerAscii(static_cast<const InsertStatement&>(stmt).table));
+      return refs;
+    case StatementKind::kDelete: {
+      const auto& del = static_cast<const DeleteStatement&>(stmt);
+      refs.writes.insert(ToLowerAscii(del.table));
+      if (del.where) CollectFromExpr(*del.where, &refs);
+      return refs;
+    }
+    case StatementKind::kUpdate: {
+      const auto& update = static_cast<const UpdateStatement&>(stmt);
+      refs.writes.insert(ToLowerAscii(update.table));
+      for (const auto& [col, e] : update.assignments) {
+        CollectFromExpr(*e, &refs);
+      }
+      if (update.where) CollectFromExpr(*update.where, &refs);
+      return refs;
+    }
+    case StatementKind::kSelect:
+      CollectFromSelect(static_cast<const SelectStatement&>(stmt), &refs);
+      return refs;
+  }
+  return refs;
+}
+
+}  // namespace youtopia

@@ -1,0 +1,27 @@
+#ifndef YOUTOPIA_SQL_TABLE_REFS_H_
+#define YOUTOPIA_SQL_TABLE_REFS_H_
+
+#include <set>
+#include <string>
+
+#include "sql/ast.h"
+
+namespace youtopia {
+
+/// Tables a statement reads and writes, collected from the AST: FROM
+/// clauses (including subqueries), IN ANSWER relations, and DML targets.
+/// Names are lower-cased. The server layer locks `writes` exclusively
+/// and `reads` shared before executing, giving regular statements
+/// atomicity against coordination installs (strict 2PL, auto-commit).
+struct TableRefs {
+  std::set<std::string> reads;
+  std::set<std::string> writes;
+};
+
+/// Walks the statement. Unknown/missing tables are still listed — the
+/// executor reports those errors, locking them is harmless.
+TableRefs CollectTableRefs(const Statement& stmt);
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_SQL_TABLE_REFS_H_

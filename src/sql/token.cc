@@ -1,0 +1,118 @@
+#include "sql/token.h"
+
+namespace youtopia {
+
+const char* TokenTypeToString(TokenType type) {
+  switch (type) {
+    case TokenType::kIdentifier:
+      return "identifier";
+    case TokenType::kStringLiteral:
+      return "string literal";
+    case TokenType::kIntLiteral:
+      return "integer literal";
+    case TokenType::kDoubleLiteral:
+      return "double literal";
+    case TokenType::kSelect:
+      return "SELECT";
+    case TokenType::kInto:
+      return "INTO";
+    case TokenType::kAnswer:
+      return "ANSWER";
+    case TokenType::kFrom:
+      return "FROM";
+    case TokenType::kWhere:
+      return "WHERE";
+    case TokenType::kAnd:
+      return "AND";
+    case TokenType::kOr:
+      return "OR";
+    case TokenType::kNot:
+      return "NOT";
+    case TokenType::kIn:
+      return "IN";
+    case TokenType::kChoose:
+      return "CHOOSE";
+    case TokenType::kCreate:
+      return "CREATE";
+    case TokenType::kTable:
+      return "TABLE";
+    case TokenType::kIndex:
+      return "INDEX";
+    case TokenType::kOn:
+      return "ON";
+    case TokenType::kDrop:
+      return "DROP";
+    case TokenType::kInsert:
+      return "INSERT";
+    case TokenType::kValues:
+      return "VALUES";
+    case TokenType::kDelete:
+      return "DELETE";
+    case TokenType::kUpdate:
+      return "UPDATE";
+    case TokenType::kSet:
+      return "SET";
+    case TokenType::kNull:
+      return "NULL";
+    case TokenType::kTrue:
+      return "TRUE";
+    case TokenType::kFalse:
+      return "FALSE";
+    case TokenType::kBetween:
+      return "BETWEEN";
+    case TokenType::kAs:
+      return "AS";
+    case TokenType::kBy:
+      return "BY";
+    case TokenType::kLParen:
+      return "(";
+    case TokenType::kRParen:
+      return ")";
+    case TokenType::kComma:
+      return ",";
+    case TokenType::kDot:
+      return ".";
+    case TokenType::kSemicolon:
+      return ";";
+    case TokenType::kEq:
+      return "=";
+    case TokenType::kNeq:
+      return "!=";
+    case TokenType::kLt:
+      return "<";
+    case TokenType::kLte:
+      return "<=";
+    case TokenType::kGt:
+      return ">";
+    case TokenType::kGte:
+      return ">=";
+    case TokenType::kPlus:
+      return "+";
+    case TokenType::kMinus:
+      return "-";
+    case TokenType::kStar:
+      return "*";
+    case TokenType::kSlash:
+      return "/";
+    case TokenType::kEndOfInput:
+      return "end of input";
+  }
+  return "?";
+}
+
+std::string Token::ToString() const {
+  switch (type) {
+    case TokenType::kIdentifier:
+      return text;
+    case TokenType::kStringLiteral:
+      return "'" + text + "'";
+    case TokenType::kIntLiteral:
+      return std::to_string(int_value);
+    case TokenType::kDoubleLiteral:
+      return std::to_string(double_value);
+    default:
+      return TokenTypeToString(type);
+  }
+}
+
+}  // namespace youtopia

@@ -1,0 +1,83 @@
+#ifndef YOUTOPIA_SQL_TOKEN_H_
+#define YOUTOPIA_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace youtopia {
+
+/// Lexical token kinds for the SQL dialect, including the entangled-query
+/// extensions of the paper (§2.1): INTO ANSWER, IN ANSWER, CHOOSE.
+enum class TokenType {
+  // Literals and names.
+  kIdentifier,
+  kStringLiteral,
+  kIntLiteral,
+  kDoubleLiteral,
+
+  // Keywords.
+  kSelect,
+  kInto,
+  kAnswer,
+  kFrom,
+  kWhere,
+  kAnd,
+  kOr,
+  kNot,
+  kIn,
+  kChoose,
+  kCreate,
+  kTable,
+  kIndex,
+  kOn,
+  kDrop,
+  kInsert,
+  kValues,
+  kDelete,
+  kUpdate,
+  kSet,
+  kNull,
+  kTrue,
+  kFalse,
+  kBetween,
+  kAs,
+  kBy,
+
+  // Punctuation and operators.
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kSemicolon,
+  kEq,
+  kNeq,
+  kLt,
+  kLte,
+  kGt,
+  kGte,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+
+  kEndOfInput,
+};
+
+/// Human-readable token-kind name for error messages.
+const char* TokenTypeToString(TokenType type);
+
+/// One lexical token with source position (1-based) for diagnostics.
+struct Token {
+  TokenType type = TokenType::kEndOfInput;
+  /// Identifier spelling (original case), or decoded string literal.
+  std::string text;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t offset = 0;  ///< Byte offset into the statement.
+
+  std::string ToString() const;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_SQL_TOKEN_H_

@@ -1,0 +1,159 @@
+#include "sql/unparser.h"
+
+#include "common/logging.h"
+
+namespace youtopia {
+
+namespace {
+
+/// Parenthesizes operands of lower-precedence subtrees conservatively:
+/// any nested binary expression is wrapped. Output is re-parseable, which
+/// is all the admin display and round-trip tests need.
+std::string MaybeParen(const Expr& e) {
+  if (e.kind == ExprKind::kBinary) return "(" + ExprToSql(e) + ")";
+  return ExprToSql(e);
+}
+
+}  // namespace
+
+std::string ExprToSql(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return As<LiteralExpr>(expr).value.ToString();
+    case ExprKind::kColumnRef: {
+      const auto& c = As<ColumnRefExpr>(expr);
+      if (c.qualifier.empty()) return c.column;
+      return c.qualifier + "." + c.column;
+    }
+    case ExprKind::kUnary: {
+      const auto& u = As<UnaryExpr>(expr);
+      if (u.op == UnaryOp::kNot) return "NOT " + MaybeParen(*u.operand);
+      return "-" + MaybeParen(*u.operand);
+    }
+    case ExprKind::kBinary: {
+      const auto& b = As<BinaryExpr>(expr);
+      return MaybeParen(*b.left) + " " + BinaryOpToString(b.op) + " " +
+             MaybeParen(*b.right);
+    }
+    case ExprKind::kInSubquery: {
+      const auto& in = As<InSubqueryExpr>(expr);
+      return MaybeParen(*in.needle) + (in.negated ? " NOT IN (" : " IN (") +
+             SelectToSql(*in.subquery) + ")";
+    }
+    case ExprKind::kInAnswer: {
+      const auto& in = As<InAnswerExpr>(expr);
+      std::string out;
+      if (in.tuple.size() == 1) {
+        out = MaybeParen(*in.tuple[0]);
+      } else {
+        out = "(";
+        for (size_t i = 0; i < in.tuple.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += ExprToSql(*in.tuple[i]);
+        }
+        out += ")";
+      }
+      out += in.negated ? " NOT IN ANSWER " : " IN ANSWER ";
+      out += in.relation;
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string ExprToName(const Expr* expr) {
+  if (expr->kind == ExprKind::kColumnRef) {
+    return As<ColumnRefExpr>(*expr).column;
+  }
+  return ExprToSql(*expr);
+}
+
+std::string SelectToSql(const SelectStatement& stmt) {
+  std::string out = "SELECT ";
+  if (stmt.IsEntangled()) {
+    for (size_t h = 0; h < stmt.heads.size(); ++h) {
+      if (h > 0) out += ", ";
+      const auto& head = stmt.heads[h];
+      for (size_t i = 0; i < head.exprs.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ExprToSql(*head.exprs[i]);
+      }
+      out += " INTO ANSWER " + head.answer_relation;
+    }
+  } else {
+    for (size_t i = 0; i < stmt.select_list.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += ExprToSql(*stmt.select_list[i]);
+    }
+  }
+  if (!stmt.from.empty()) {
+    out += " FROM ";
+    for (size_t i = 0; i < stmt.from.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += stmt.from[i].table;
+      if (!stmt.from[i].alias.empty()) out += " " + stmt.from[i].alias;
+    }
+  }
+  if (stmt.where) out += " WHERE " + ExprToSql(*stmt.where);
+  if (stmt.choose > 0) out += " CHOOSE " + std::to_string(stmt.choose);
+  return out;
+}
+
+std::string StatementToSql(const Statement& stmt) {
+  switch (stmt.kind) {
+    case StatementKind::kCreateTable: {
+      const auto& s = static_cast<const CreateTableStatement&>(stmt);
+      std::string out = "CREATE TABLE " + s.table + " (";
+      for (size_t i = 0; i < s.columns.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += s.columns[i].name + " " + s.columns[i].type_name;
+        if (s.columns[i].not_null) out += " NOT NULL";
+      }
+      return out + ")";
+    }
+    case StatementKind::kCreateIndex: {
+      const auto& s = static_cast<const CreateIndexStatement&>(stmt);
+      return "CREATE INDEX ON " + s.table + " (" + s.column + ")";
+    }
+    case StatementKind::kDropTable: {
+      const auto& s = static_cast<const DropTableStatement&>(stmt);
+      return "DROP TABLE " + s.table;
+    }
+    case StatementKind::kInsert: {
+      const auto& s = static_cast<const InsertStatement&>(stmt);
+      std::string out = "INSERT INTO " + s.table + " VALUES ";
+      for (size_t r = 0; r < s.rows.size(); ++r) {
+        if (r > 0) out += ", ";
+        out += "(";
+        for (size_t i = 0; i < s.rows[r].size(); ++i) {
+          if (i > 0) out += ", ";
+          out += ExprToSql(*s.rows[r][i]);
+        }
+        out += ")";
+      }
+      return out;
+    }
+    case StatementKind::kDelete: {
+      const auto& s = static_cast<const DeleteStatement&>(stmt);
+      std::string out = "DELETE FROM " + s.table;
+      if (s.where) out += " WHERE " + ExprToSql(*s.where);
+      return out;
+    }
+    case StatementKind::kUpdate: {
+      const auto& s = static_cast<const UpdateStatement&>(stmt);
+      std::string out = "UPDATE " + s.table + " SET ";
+      for (size_t i = 0; i < s.assignments.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += s.assignments[i].first + " = " +
+               ExprToSql(*s.assignments[i].second);
+      }
+      if (s.where) out += " WHERE " + ExprToSql(*s.where);
+      return out;
+    }
+    case StatementKind::kSelect:
+      return SelectToSql(static_cast<const SelectStatement&>(stmt));
+  }
+  return "?";
+}
+
+}  // namespace youtopia

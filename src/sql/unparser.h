@@ -1,0 +1,23 @@
+#ifndef YOUTOPIA_SQL_UNPARSER_H_
+#define YOUTOPIA_SQL_UNPARSER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace youtopia {
+
+/// Renders AST nodes back to SQL text. Used by the administrative
+/// interface (paper §3.2) to display pending entangled queries, and by
+/// tests to assert parse round-trips.
+std::string ExprToSql(const Expr& expr);
+
+/// Output column name for a projection expression: the bare column name
+/// for references, otherwise the SQL text of the expression.
+std::string ExprToName(const Expr* expr);
+std::string SelectToSql(const SelectStatement& stmt);
+std::string StatementToSql(const Statement& stmt);
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_SQL_UNPARSER_H_

@@ -1,0 +1,88 @@
+#include "storage/heap_table.h"
+
+#include <mutex>
+
+namespace youtopia {
+
+Result<RowId> HeapTable::Insert(const Tuple& tuple) {
+  auto validated = tuple.ValidateAgainst(schema_);
+  if (!validated.ok()) return validated.status();
+  std::unique_lock lock(latch_);
+  slots_.emplace_back(validated.TakeValue());
+  ++live_count_;
+  return static_cast<RowId>(slots_.size() - 1);
+}
+
+Result<Tuple> HeapTable::Get(RowId rid) const {
+  std::shared_lock lock(latch_);
+  if (rid >= slots_.size() || !slots_[rid].has_value()) {
+    return Status::NotFound("no row " + std::to_string(rid) + " in " + name_);
+  }
+  return *slots_[rid];
+}
+
+bool HeapTable::Contains(RowId rid) const {
+  std::shared_lock lock(latch_);
+  return rid < slots_.size() && slots_[rid].has_value();
+}
+
+Status HeapTable::Delete(RowId rid) {
+  std::unique_lock lock(latch_);
+  if (rid >= slots_.size() || !slots_[rid].has_value()) {
+    return Status::NotFound("no row " + std::to_string(rid) + " in " + name_);
+  }
+  slots_[rid].reset();
+  --live_count_;
+  return Status::OK();
+}
+
+Status HeapTable::Update(RowId rid, const Tuple& tuple) {
+  auto validated = tuple.ValidateAgainst(schema_);
+  if (!validated.ok()) return validated.status();
+  std::unique_lock lock(latch_);
+  if (rid >= slots_.size() || !slots_[rid].has_value()) {
+    return Status::NotFound("no row " + std::to_string(rid) + " in " + name_);
+  }
+  slots_[rid] = validated.TakeValue();
+  return Status::OK();
+}
+
+Status HeapTable::Restore(RowId rid, const Tuple& tuple) {
+  auto validated = tuple.ValidateAgainst(schema_);
+  if (!validated.ok()) return validated.status();
+  std::unique_lock lock(latch_);
+  if (rid >= slots_.size()) {
+    return Status::OutOfRange("slot " + std::to_string(rid) +
+                              " was never allocated in " + name_);
+  }
+  if (slots_[rid].has_value()) {
+    return Status::AlreadyExists("slot " + std::to_string(rid) + " in " +
+                                 name_ + " is live");
+  }
+  slots_[rid] = validated.TakeValue();
+  ++live_count_;
+  return Status::OK();
+}
+
+size_t HeapTable::size() const {
+  std::shared_lock lock(latch_);
+  return live_count_;
+}
+
+std::vector<std::pair<RowId, Tuple>> HeapTable::Scan() const {
+  std::shared_lock lock(latch_);
+  std::vector<std::pair<RowId, Tuple>> out;
+  out.reserve(live_count_);
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].has_value()) out.emplace_back(i, *slots_[i]);
+  }
+  return out;
+}
+
+void HeapTable::Clear() {
+  std::unique_lock lock(latch_);
+  for (auto& slot : slots_) slot.reset();
+  live_count_ = 0;
+}
+
+}  // namespace youtopia

@@ -1,0 +1,76 @@
+#ifndef YOUTOPIA_STORAGE_HEAP_TABLE_H_
+#define YOUTOPIA_STORAGE_HEAP_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace youtopia {
+
+/// Position of a row within its heap table. Row ids are never reused, so a
+/// stale RowId reliably reports NotFound rather than aliasing a new row.
+using RowId = uint64_t;
+
+/// In-memory slotted heap: an append-only vector of slots with tombstoned
+/// deletes. This is the physical layer every scan and index probe bottoms
+/// out in. Thread-safe via a reader/writer latch; multi-statement atomicity
+/// is layered on top by the transaction manager.
+class HeapTable {
+ public:
+  HeapTable(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  HeapTable(const HeapTable&) = delete;
+  HeapTable& operator=(const HeapTable&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Validates against the schema (coercing as needed) and appends.
+  Result<RowId> Insert(const Tuple& tuple);
+
+  /// Row lookup; NotFound for tombstoned or out-of-range ids.
+  Result<Tuple> Get(RowId rid) const;
+
+  /// True iff `rid` holds a live row.
+  bool Contains(RowId rid) const;
+
+  /// Tombstones the row; NotFound if already dead or out of range.
+  Status Delete(RowId rid);
+
+  /// Replaces the row in place (same RowId). Validates the new tuple.
+  Status Update(RowId rid, const Tuple& tuple);
+
+  /// Resurrects a tombstoned slot with `tuple` under its original RowId.
+  /// Used exclusively by transaction rollback to undo a delete exactly;
+  /// fails if the slot is out of range or still live.
+  Status Restore(RowId rid, const Tuple& tuple);
+
+  /// Number of live rows.
+  size_t size() const;
+
+  /// Materialized snapshot of all live (rid, tuple) pairs in rid order.
+  /// Scans copy: the engine is in-memory and tuples are small, and a
+  /// snapshot keeps iterator semantics trivial under concurrent writers.
+  std::vector<std::pair<RowId, Tuple>> Scan() const;
+
+  /// Removes all rows (admin/test helper). Row ids continue to advance.
+  void Clear();
+
+ private:
+  std::string name_;
+  Schema schema_;
+  mutable std::shared_mutex latch_;
+  std::vector<std::optional<Tuple>> slots_;
+  size_t live_count_ = 0;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_STORAGE_HEAP_TABLE_H_

@@ -1,0 +1,181 @@
+#include "storage/storage_engine.h"
+
+#include "common/string_util.h"
+
+namespace youtopia {
+
+Status StorageEngine::CreateTable(const std::string& name, Schema schema) {
+  auto id = catalog_.CreateTable(name, schema);
+  if (!id.ok()) return id.status();
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  TableData data;
+  data.heap = std::make_unique<HeapTable>(name, std::move(schema));
+  tables_.emplace(ToLowerAscii(name), std::move(data));
+  return Status::OK();
+}
+
+Status StorageEngine::DropTable(const std::string& name) {
+  YOUTOPIA_RETURN_IF_ERROR(catalog_.DropTable(name));
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  tables_.erase(ToLowerAscii(name));
+  return Status::OK();
+}
+
+Result<StorageEngine::TableData*> StorageEngine::FindTable(
+    const std::string& name) {
+  auto it = tables_.find(ToLowerAscii(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named " + name);
+  }
+  return &it->second;
+}
+
+Result<const StorageEngine::TableData*> StorageEngine::FindTable(
+    const std::string& name) const {
+  auto it = tables_.find(ToLowerAscii(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named " + name);
+  }
+  return &it->second;
+}
+
+Status StorageEngine::CreateIndex(const std::string& table,
+                                  const std::string& column) {
+  auto info = catalog_.GetTable(table);
+  if (!info.ok()) return info.status();
+  auto col = info->schema.ColumnIndex(column);
+  if (!col.ok()) return col.status();
+
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  auto td = FindTable(table);
+  if (!td.ok()) return td.status();
+  TableData* data = td.value();
+  if (data->indexes.count(col.value()) > 0) {
+    return Status::AlreadyExists("index already exists on " + table + "." +
+                                 column);
+  }
+  auto index = std::make_unique<HashIndex>(col.value());
+  for (const auto& [rid, tuple] : data->heap->Scan()) {
+    index->Insert(tuple.at(col.value()), rid);
+  }
+  data->indexes.emplace(col.value(), std::move(index));
+  YOUTOPIA_RETURN_IF_ERROR(catalog_.AddIndexedColumn(table, col.value()));
+  return Status::OK();
+}
+
+Result<RowId> StorageEngine::Insert(const std::string& table,
+                                    const Tuple& tuple) {
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  auto td = FindTable(table);
+  if (!td.ok()) return td.status();
+  TableData* data = td.value();
+  auto rid = data->heap->Insert(tuple);
+  if (!rid.ok()) return rid.status();
+  // The heap validated/coerced the tuple; index the stored form.
+  auto stored = data->heap->Get(rid.value());
+  if (!stored.ok()) return stored.status();
+  for (auto& [col, index] : data->indexes) {
+    index->Insert(stored->at(col), rid.value());
+  }
+  return rid.value();
+}
+
+Status StorageEngine::Delete(const std::string& table, RowId rid) {
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  auto td = FindTable(table);
+  if (!td.ok()) return td.status();
+  TableData* data = td.value();
+  auto old = data->heap->Get(rid);
+  if (!old.ok()) return old.status();
+  YOUTOPIA_RETURN_IF_ERROR(data->heap->Delete(rid));
+  for (auto& [col, index] : data->indexes) {
+    index->Erase(old->at(col), rid);
+  }
+  return Status::OK();
+}
+
+Status StorageEngine::Update(const std::string& table, RowId rid,
+                             const Tuple& tuple) {
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  auto td = FindTable(table);
+  if (!td.ok()) return td.status();
+  TableData* data = td.value();
+  auto old = data->heap->Get(rid);
+  if (!old.ok()) return old.status();
+  YOUTOPIA_RETURN_IF_ERROR(data->heap->Update(rid, tuple));
+  auto stored = data->heap->Get(rid);
+  if (!stored.ok()) return stored.status();
+  for (auto& [col, index] : data->indexes) {
+    index->Erase(old->at(col), rid);
+    index->Insert(stored->at(col), rid);
+  }
+  return Status::OK();
+}
+
+Status StorageEngine::Restore(const std::string& table, RowId rid,
+                              const Tuple& tuple) {
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  auto td = FindTable(table);
+  if (!td.ok()) return td.status();
+  TableData* data = td.value();
+  YOUTOPIA_RETURN_IF_ERROR(data->heap->Restore(rid, tuple));
+  auto stored = data->heap->Get(rid);
+  if (!stored.ok()) return stored.status();
+  for (auto& [col, index] : data->indexes) {
+    index->Insert(stored->at(col), rid);
+  }
+  return Status::OK();
+}
+
+Result<Tuple> StorageEngine::Get(const std::string& table, RowId rid) const {
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  auto td = FindTable(table);
+  if (!td.ok()) return td.status();
+  return td.value()->heap->Get(rid);
+}
+
+Result<std::vector<std::pair<RowId, Tuple>>> StorageEngine::Scan(
+    const std::string& table) const {
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  auto td = FindTable(table);
+  if (!td.ok()) return td.status();
+  return td.value()->heap->Scan();
+}
+
+Result<std::vector<RowId>> StorageEngine::IndexLookup(
+    const std::string& table, const std::string& column,
+    const Value& key) const {
+  auto info = catalog_.GetTable(table);
+  if (!info.ok()) return info.status();
+  auto col = info->schema.ColumnIndex(column);
+  if (!col.ok()) return col.status();
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  auto td = FindTable(table);
+  if (!td.ok()) return td.status();
+  auto it = td.value()->indexes.find(col.value());
+  if (it == td.value()->indexes.end()) {
+    return Status::NotFound("no index on " + table + "." + column);
+  }
+  return it->second->Lookup(key);
+}
+
+bool StorageEngine::HasIndex(const std::string& table,
+                             const std::string& column) const {
+  auto info = catalog_.GetTable(table);
+  if (!info.ok()) return false;
+  auto col = info->schema.FindColumn(column);
+  if (!col) return false;
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  auto td = FindTable(table);
+  if (!td.ok()) return false;
+  return td.value()->indexes.count(*col) > 0;
+}
+
+Result<size_t> StorageEngine::TableSize(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  auto td = FindTable(table);
+  if (!td.ok()) return td.status();
+  return td.value()->heap->size();
+}
+
+}  // namespace youtopia

@@ -1,0 +1,88 @@
+#ifndef YOUTOPIA_STORAGE_STORAGE_ENGINE_H_
+#define YOUTOPIA_STORAGE_STORAGE_ENGINE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "storage/hash_index.h"
+#include "storage/heap_table.h"
+
+namespace youtopia {
+
+/// Facade tying together catalog, heap tables and secondary indexes.
+/// All writes go through here so indexes stay consistent with the heaps.
+/// This is the "regular database tables" substrate the Youtopia
+/// coordination component reads and writes (paper §2.2).
+class StorageEngine {
+ public:
+  StorageEngine() = default;
+  StorageEngine(const StorageEngine&) = delete;
+  StorageEngine& operator=(const StorageEngine&) = delete;
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Creates the table in the catalog and its backing heap.
+  Status CreateTable(const std::string& name, Schema schema);
+
+  /// Drops catalog entry, heap and indexes.
+  Status DropTable(const std::string& name);
+
+  /// Builds a hash index over `column` of `table`, backfilling from
+  /// existing rows.
+  Status CreateIndex(const std::string& table, const std::string& column);
+
+  /// Validated insert, maintaining all indexes on the table.
+  Result<RowId> Insert(const std::string& table, const Tuple& tuple);
+
+  /// Deletes by rid, maintaining indexes.
+  Status Delete(const std::string& table, RowId rid);
+
+  /// In-place update, maintaining indexes.
+  Status Update(const std::string& table, RowId rid, const Tuple& tuple);
+
+  /// Resurrects a deleted row under its original RowId (transaction
+  /// rollback only), maintaining indexes.
+  Status Restore(const std::string& table, RowId rid, const Tuple& tuple);
+
+  Result<Tuple> Get(const std::string& table, RowId rid) const;
+
+  /// Snapshot scan of live rows.
+  Result<std::vector<std::pair<RowId, Tuple>>> Scan(
+      const std::string& table) const;
+
+  /// Row ids whose `column` equals `key`, via the hash index.
+  /// NotFound if no such index exists.
+  Result<std::vector<RowId>> IndexLookup(const std::string& table,
+                                         const std::string& column,
+                                         const Value& key) const;
+
+  /// True if `table`.`column` has a hash index.
+  bool HasIndex(const std::string& table, const std::string& column) const;
+
+  Result<size_t> TableSize(const std::string& table) const;
+
+ private:
+  struct TableData {
+    std::unique_ptr<HeapTable> heap;
+    /// Keyed by column index.
+    std::unordered_map<size_t, std::unique_ptr<HashIndex>> indexes;
+  };
+
+  /// Returns the TableData for a (lowercased) name under tables_mu_.
+  Result<TableData*> FindTable(const std::string& name);
+  Result<const TableData*> FindTable(const std::string& name) const;
+
+  Catalog catalog_;
+  mutable std::mutex tables_mu_;
+  std::unordered_map<std::string, TableData> tables_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_STORAGE_STORAGE_ENGINE_H_

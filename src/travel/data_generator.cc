@@ -1,0 +1,74 @@
+#include "travel/data_generator.h"
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "travel/travel_schema.h"
+
+namespace youtopia::travel {
+
+Result<GeneratedData> GenerateTravelData(Youtopia* db,
+                                         const DataGeneratorConfig& config) {
+  Random rng(config.seed);
+  GeneratedData generated;
+
+  static const char* kAirlines[] = {"United", "Lufthansa", "Alitalia",
+                                    "AirFrance", "Iberia", "Delta"};
+  constexpr size_t kNumAirlines = sizeof(kAirlines) / sizeof(kAirlines[0]);
+
+  StorageEngine& storage = db->storage();
+  int64_t fno = 100;
+  for (const std::string& origin : config.cities) {
+    for (const std::string& dest : config.cities) {
+      if (origin == dest) continue;
+      for (int day = 1; day <= config.days; ++day) {
+        for (int k = 0; k < config.flights_per_route_per_day; ++k) {
+          const int64_t price =
+              rng.NextInRange(config.min_price, config.max_price);
+          auto rid = storage.Insert(
+              kFlightsTable,
+              Tuple({Value::Int64(fno), Value::String(origin),
+                     Value::String(dest), Value::Int64(day),
+                     Value::Int64(price),
+                     Value::Int64(config.seats_per_flight)}));
+          if (!rid.ok()) return rid.status();
+          auto arid = storage.Insert(
+              kAirlinesTable,
+              Tuple({Value::Int64(fno),
+                     Value::String(
+                         kAirlines[rng.NextBelow(kNumAirlines)])}));
+          if (!arid.ok()) return arid.status();
+          for (int seat = 1; seat <= config.seats_per_flight; ++seat) {
+            auto srid = storage.Insert(
+                kSeatsTable,
+                Tuple({Value::Int64(fno), Value::Int64(seat)}));
+            if (!srid.ok()) return srid.status();
+            ++generated.seats;
+          }
+          ++generated.flights;
+          ++fno;
+        }
+      }
+    }
+  }
+
+  int64_t hid = 500;
+  for (const std::string& city : config.cities) {
+    for (int h = 0; h < config.hotels_per_city; ++h) {
+      for (int day = 1; day <= config.days; ++day) {
+        const int64_t price =
+            rng.NextInRange(config.min_hotel_price, config.max_hotel_price);
+        auto rid = storage.Insert(
+            kHotelsTable,
+            Tuple({Value::Int64(hid), Value::String(city), Value::Int64(day),
+                   Value::Int64(price),
+                   Value::Int64(config.rooms_per_hotel)}));
+        if (!rid.ok()) return rid.status();
+      }
+      ++generated.hotels;
+      ++hid;
+    }
+  }
+  return generated;
+}
+
+}  // namespace youtopia::travel

@@ -1,0 +1,51 @@
+#ifndef YOUTOPIA_TRAVEL_DATA_GENERATOR_H_
+#define YOUTOPIA_TRAVEL_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "server/youtopia.h"
+
+namespace youtopia::travel {
+
+/// Parameters of the synthetic travel database. The demo ran against the
+/// authors' private travel dataset; this generator is the documented
+/// substitution (DESIGN.md §2) — it produces the same *shape* of data
+/// the coordination workload exercises: many flights per (origin, dest,
+/// day) so pairwise constraints have multiple groundings, hotels per
+/// city, and per-flight seat inventories for the adjacent-seat scenario.
+struct DataGeneratorConfig {
+  uint64_t seed = 7;
+  std::vector<std::string> cities = {"NewYork", "Paris",  "Rome",
+                                     "London",  "Berlin", "Madrid"};
+  /// Flights generated per ordered city pair per day.
+  int flights_per_route_per_day = 3;
+  int days = 5;
+  int min_price = 180;
+  int max_price = 1400;
+  int seats_per_flight = 6;
+  /// Hotels per city; each hotel has `days` rows? No — one row per
+  /// hotel; `rooms` bounds concurrent bookings.
+  int hotels_per_city = 4;
+  int min_hotel_price = 60;
+  int max_hotel_price = 420;
+  int rooms_per_hotel = 8;
+};
+
+/// Summary of what was generated.
+struct GeneratedData {
+  size_t flights = 0;
+  size_t hotels = 0;
+  size_t seats = 0;
+};
+
+/// Populates Flights/Airlines/Hotels/Seats. Requires CreateTravelSchema
+/// to have run. Deterministic under `config.seed`.
+Result<GeneratedData> GenerateTravelData(Youtopia* db,
+                                         const DataGeneratorConfig& config);
+
+}  // namespace youtopia::travel
+
+#endif  // YOUTOPIA_TRAVEL_DATA_GENERATOR_H_

@@ -1,0 +1,65 @@
+#include "travel/friend_graph.h"
+
+#include "common/random.h"
+
+namespace youtopia::travel {
+
+void FriendGraph::AddUser(const std::string& user) { adjacency_[user]; }
+
+void FriendGraph::AddFriendship(const std::string& a, const std::string& b) {
+  if (a == b) return;
+  const bool inserted = adjacency_[a].insert(b).second;
+  adjacency_[b].insert(a);
+  if (inserted) ++edge_count_;
+}
+
+bool FriendGraph::AreFriends(const std::string& a,
+                             const std::string& b) const {
+  auto it = adjacency_.find(a);
+  return it != adjacency_.end() && it->second.count(b) > 0;
+}
+
+std::vector<std::string> FriendGraph::FriendsOf(
+    const std::string& user) const {
+  auto it = adjacency_.find(user);
+  if (it == adjacency_.end()) return {};
+  return std::vector<std::string>(it->second.begin(), it->second.end());
+}
+
+std::vector<std::string> FriendGraph::Users() const {
+  std::vector<std::string> out;
+  out.reserve(adjacency_.size());
+  for (const auto& [user, friends] : adjacency_) out.push_back(user);
+  return out;
+}
+
+FriendGraph FriendGraph::Random(size_t n, double p, uint64_t seed) {
+  // Qualified: the method name shadows the youtopia::Random class here.
+  ::youtopia::Random rng(seed);
+  FriendGraph graph;
+  std::vector<std::string> users;
+  users.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    users.push_back("user" + std::to_string(i));
+    graph.AddUser(users.back());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (rng.NextBool(p)) graph.AddFriendship(users[i], users[j]);
+    }
+  }
+  return graph;
+}
+
+FriendGraph FriendGraph::Clique(const std::vector<std::string>& users) {
+  FriendGraph graph;
+  for (size_t i = 0; i < users.size(); ++i) {
+    graph.AddUser(users[i]);
+    for (size_t j = i + 1; j < users.size(); ++j) {
+      graph.AddFriendship(users[i], users[j]);
+    }
+  }
+  return graph;
+}
+
+}  // namespace youtopia::travel

@@ -1,0 +1,50 @@
+#ifndef YOUTOPIA_TRAVEL_FRIEND_GRAPH_H_
+#define YOUTOPIA_TRAVEL_FRIEND_GRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace youtopia::travel {
+
+/// In-process stand-in for the demo's Facebook friend import (DESIGN.md
+/// §2 substitution): an undirected social graph the middle tier consults
+/// before allowing coordination requests. Deterministic random graphs
+/// support the loaded-system benchmarks.
+class FriendGraph {
+ public:
+  FriendGraph() = default;
+
+  /// Adds both users (if new) and the undirected edge.
+  void AddFriendship(const std::string& a, const std::string& b);
+
+  void AddUser(const std::string& user);
+
+  bool AreFriends(const std::string& a, const std::string& b) const;
+
+  /// Sorted friend list; empty for unknown users.
+  std::vector<std::string> FriendsOf(const std::string& user) const;
+
+  std::vector<std::string> Users() const;
+
+  size_t num_users() const { return adjacency_.size(); }
+  size_t num_friendships() const { return edge_count_; }
+
+  /// Erdos–Renyi-style random graph over users "user0".."user<n-1>"
+  /// where each pair is connected with probability `p`.
+  static FriendGraph Random(size_t n, double p, uint64_t seed);
+
+  /// A clique over the given users (every pair friends) — the group
+  /// booking scenarios assume the whole group is mutually connected.
+  static FriendGraph Clique(const std::vector<std::string>& users);
+
+ private:
+  std::map<std::string, std::set<std::string>> adjacency_;
+  size_t edge_count_ = 0;
+};
+
+}  // namespace youtopia::travel
+
+#endif  // YOUTOPIA_TRAVEL_FRIEND_GRAPH_H_

@@ -1,0 +1,295 @@
+#include "travel/middle_tier.h"
+
+#include "common/string_util.h"
+#include "travel/travel_schema.h"
+
+namespace youtopia::travel {
+
+namespace {
+
+/// Flight domain subquery for the request's filters.
+std::string FlightDomain(const TravelRequest& request) {
+  std::string sql = "fno IN (SELECT fno FROM Flights WHERE dest = " +
+                    QuoteSqlString(request.dest);
+  if (!request.origin.empty()) {
+    sql += " AND origin = " + QuoteSqlString(request.origin);
+  }
+  if (request.day > 0) sql += " AND day = " + std::to_string(request.day);
+  if (request.max_price > 0) {
+    sql += " AND price <= " + std::to_string(request.max_price);
+  }
+  sql += ")";
+  return sql;
+}
+
+std::string HotelDomain(const TravelRequest& request) {
+  std::string sql = "hid IN (SELECT hid FROM Hotels WHERE city = " +
+                    QuoteSqlString(request.dest);
+  if (request.day > 0) sql += " AND day = " + std::to_string(request.day);
+  if (request.max_hotel_price > 0) {
+    sql += " AND price <= " + std::to_string(request.max_hotel_price);
+  }
+  sql += ")";
+  return sql;
+}
+
+}  // namespace
+
+Result<std::string> TravelService::BuildEntangledSql(
+    const TravelRequest& request) {
+  if (request.user.empty()) {
+    return Status::InvalidArgument("request has no user");
+  }
+  if (request.dest.empty()) {
+    return Status::InvalidArgument("request has no destination");
+  }
+  if (request.adjacent_seat && request.flight_companions.size() != 1) {
+    return Status::InvalidArgument(
+        "adjacent-seat coordination requires exactly one companion");
+  }
+  if (request.want_hotel && request.adjacent_seat) {
+    return Status::NotImplemented(
+        "combined adjacent-seat and hotel coordination is not offered by "
+        "the travel frontend");
+  }
+
+  const std::string user_lit = QuoteSqlString(request.user);
+  std::string heads;
+  std::string where;
+
+  if (request.adjacent_seat) {
+    // Seat-level coordination into SeatReservation. The lexicographically
+    // smaller traveler sits on the lower-numbered seat so that two
+    // independently submitted symmetric requests agree.
+    const std::string& companion = request.flight_companions[0];
+    const std::string offset =
+        request.user < companion ? "seat + 1" : "seat - 1";
+    heads = user_lit + ", fno, seat INTO ANSWER " +
+            std::string(kSeatReservationTable);
+    where = FlightDomain(request);
+    where += " AND seat IN (SELECT seat FROM Seats WHERE fno = fno)";
+    where += " AND (" + QuoteSqlString(companion) + ", fno, " + offset +
+             ") IN ANSWER " + kSeatReservationTable;
+  } else {
+    heads = user_lit + ", fno INTO ANSWER " + std::string(kReservationTable);
+    where = FlightDomain(request);
+    for (const std::string& companion : request.flight_companions) {
+      where += " AND (" + QuoteSqlString(companion) + ", fno) IN ANSWER " +
+               kReservationTable;
+    }
+  }
+
+  if (request.want_hotel) {
+    heads += ", " + user_lit + ", hid INTO ANSWER " +
+             std::string(kHotelReservationTable);
+    where += " AND " + HotelDomain(request);
+    for (const std::string& companion : request.hotel_companions) {
+      where += " AND (" + QuoteSqlString(companion) + ", hid) IN ANSWER " +
+               kHotelReservationTable;
+    }
+  }
+
+  return "SELECT " + heads + " WHERE " + where + " CHOOSE 1";
+}
+
+Status TravelService::ValidateFriends(
+    const std::string& user,
+    const std::vector<std::string>& companions) const {
+  for (const std::string& companion : companions) {
+    if (!friends_.AreFriends(user, companion)) {
+      return Status::InvalidArgument(user + " and " + companion +
+                                     " are not friends");
+    }
+  }
+  return Status::OK();
+}
+
+Result<EntangledHandle> TravelService::SubmitRequest(
+    const TravelRequest& request) {
+  YOUTOPIA_RETURN_IF_ERROR(
+      ValidateFriends(request.user, request.flight_companions));
+  YOUTOPIA_RETURN_IF_ERROR(
+      ValidateFriends(request.user, request.hotel_companions));
+  auto sql = BuildEntangledSql(request);
+  if (!sql.ok()) return sql.status();
+  return db_->Submit(sql.value(), request.user);
+}
+
+Result<EntangledHandle> TravelService::BookFlightWithFriend(
+    const std::string& user, const std::string& friend_name,
+    const std::string& dest, int day, int max_price) {
+  TravelRequest request;
+  request.user = user;
+  request.flight_companions = {friend_name};
+  request.dest = dest;
+  request.day = day;
+  request.max_price = max_price;
+  return SubmitRequest(request);
+}
+
+Result<EntangledHandle> TravelService::BookFlightAndHotelWithFriend(
+    const std::string& user, const std::string& friend_name,
+    const std::string& dest, int day) {
+  TravelRequest request;
+  request.user = user;
+  request.flight_companions = {friend_name};
+  request.hotel_companions = {friend_name};
+  request.dest = dest;
+  request.day = day;
+  request.want_hotel = true;
+  return SubmitRequest(request);
+}
+
+Result<QueryResult> TravelService::BrowseFlights(const std::string& dest,
+                                                 int day, int max_price) {
+  std::string sql =
+      "SELECT fno, origin, dest, day, price, seats FROM Flights WHERE "
+      "dest = " +
+      QuoteSqlString(dest);
+  if (day > 0) sql += " AND day = " + std::to_string(day);
+  if (max_price > 0) sql += " AND price <= " + std::to_string(max_price);
+  return db_->Execute(sql);
+}
+
+Result<std::vector<std::string>> TravelService::FriendsOnFlight(
+    const std::string& user, int64_t fno) {
+  auto result = db_->Execute(
+      "SELECT traveler FROM Reservation WHERE fno = " + std::to_string(fno));
+  if (!result.ok()) return result.status();
+  std::vector<std::string> out;
+  for (const Tuple& row : result->rows) {
+    const std::string& traveler = row.at(0).string_value();
+    if (friends_.AreFriends(user, traveler)) out.push_back(traveler);
+  }
+  return out;
+}
+
+Result<EntangledHandle> TravelService::BookFlightDirect(
+    const std::string& user, int64_t fno) {
+  const std::string sql =
+      "SELECT " + QuoteSqlString(user) + ", fno INTO ANSWER " +
+      kReservationTable + " WHERE fno IN (SELECT fno FROM Flights WHERE "
+      "fno = " + std::to_string(fno) + ") CHOOSE 1";
+  return db_->Submit(sql, user);
+}
+
+Result<AccountInfo> TravelService::AccountView(const std::string& user) {
+  AccountInfo info;
+  auto flights = db_->Execute(
+      "SELECT fno FROM Reservation WHERE traveler = " + QuoteSqlString(user));
+  if (!flights.ok()) return flights.status();
+  info.flights = flights.TakeValue();
+  auto hotels = db_->Execute(
+      "SELECT hid FROM HotelReservation WHERE traveler = " +
+      QuoteSqlString(user));
+  if (!hotels.ok()) return hotels.status();
+  info.hotels = hotels.TakeValue();
+  auto seats = db_->Execute(
+      "SELECT fno, seat FROM SeatReservation WHERE traveler = " +
+      QuoteSqlString(user));
+  if (!seats.ok()) return seats.status();
+  info.seats = seats.TakeValue();
+  return info;
+}
+
+Status TravelService::WaitAndNotify(const EntangledHandle& handle,
+                                    const std::string& user,
+                                    std::chrono::milliseconds timeout) {
+  Status outcome = handle.Wait(timeout);
+  if (bus_ != nullptr) {
+    if (outcome.ok()) {
+      std::string message = "Your coordinated booking is confirmed:";
+      for (const Tuple& answer : handle.Answers()) {
+        message += " " + answer.ToString();
+      }
+      bus_->Publish(user, message);
+    } else {
+      bus_->Publish(user, "Your booking request is still pending: " +
+                              outcome.ToString());
+    }
+  }
+  return outcome;
+}
+
+void TravelService::EnableInventoryEnforcement() {
+  Youtopia* db = db_;
+  db_->coordinator().SetInstallHook(
+      [db](Transaction* txn, TxnManager* txn_manager,
+           const MatchResult& match) -> Status {
+        for (const auto& [relation, tuple] : match.installed) {
+          if (EqualsIgnoreCase(relation, kReservationTable)) {
+            // (traveler, fno): consume one seat on the flight.
+            const Value& fno = tuple.at(1);
+            auto rids = txn_manager->IndexLookup(txn, kFlightsTable, "fno",
+                                                 fno);
+            if (!rids.ok()) return rids.status();
+            if (rids->empty()) {
+              return Status::Aborted("no such flight " + fno.ToString());
+            }
+            auto flight = txn_manager->Get(txn, kFlightsTable, (*rids)[0]);
+            if (!flight.ok()) return flight.status();
+            const int64_t seats = flight->at(5).int64_value();
+            if (seats <= 0) {
+              return Status::Aborted("flight " + fno.ToString() +
+                                     " is sold out");
+            }
+            Tuple updated = flight.TakeValue();
+            updated.at(5) = Value::Int64(seats - 1);
+            YOUTOPIA_RETURN_IF_ERROR(txn_manager->Update(
+                txn, kFlightsTable, (*rids)[0], updated));
+          } else if (EqualsIgnoreCase(relation, kHotelReservationTable)) {
+            // (traveler, hid): consume one room (any day row works —
+            // rooms are tracked per hotel on the first row found).
+            const Value& hid = tuple.at(1);
+            auto rows = txn_manager->Scan(txn, kHotelsTable);
+            if (!rows.ok()) return rows.status();
+            bool found = false;
+            for (const auto& [rid, hotel] : *rows) {
+              if (hotel.at(0) != hid) continue;
+              found = true;
+              const int64_t rooms = hotel.at(4).int64_value();
+              if (rooms <= 0) {
+                return Status::Aborted("hotel " + hid.ToString() +
+                                       " is fully booked");
+              }
+              Tuple updated = hotel;
+              updated.at(4) = Value::Int64(rooms - 1);
+              YOUTOPIA_RETURN_IF_ERROR(
+                  txn_manager->Update(txn, kHotelsTable, rid, updated));
+              break;
+            }
+            if (!found) {
+              return Status::Aborted("no such hotel " + hid.ToString());
+            }
+          } else if (EqualsIgnoreCase(relation, kSeatReservationTable)) {
+            // (traveler, fno, seat): claim the seat by removing it from
+            // the open inventory; a vanished row means another group
+            // took it and this round must abort.
+            const Value& fno = tuple.at(1);
+            const Value& seat = tuple.at(2);
+            auto rids = txn_manager->IndexLookup(txn, kSeatsTable, "fno",
+                                                 fno);
+            if (!rids.ok()) return rids.status();
+            bool claimed = false;
+            for (RowId rid : *rids) {
+              auto row = txn_manager->Get(txn, kSeatsTable, rid);
+              if (!row.ok()) continue;
+              if (row->at(1) == seat) {
+                YOUTOPIA_RETURN_IF_ERROR(
+                    txn_manager->Delete(txn, kSeatsTable, rid));
+                claimed = true;
+                break;
+              }
+            }
+            if (!claimed) {
+              return Status::Aborted("seat " + seat.ToString() +
+                                     " on flight " + fno.ToString() +
+                                     " is no longer available");
+            }
+          }
+        }
+        return Status::OK();
+      });
+}
+
+}  // namespace youtopia::travel

@@ -1,0 +1,119 @@
+#ifndef YOUTOPIA_TRAVEL_MIDDLE_TIER_H_
+#define YOUTOPIA_TRAVEL_MIDDLE_TIER_H_
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "server/youtopia.h"
+#include "travel/friend_graph.h"
+#include "travel/notification_bus.h"
+
+namespace youtopia::travel {
+
+/// One coordination request as the travel site's frontend produces it.
+/// The middle tier translates it into an entangled query (paper §3.1:
+/// "He submits his request, and the system translates it into an
+/// entangled query which is processed by Youtopia").
+struct TravelRequest {
+  std::string user;
+  /// Friends to share the flight with (empty = solo booking).
+  std::vector<std::string> flight_companions;
+  /// Friends to share the hotel with (may differ from the flight set —
+  /// the ad-hoc scenario).
+  std::vector<std::string> hotel_companions;
+
+  std::string dest;
+  std::string origin;   ///< Empty = any.
+  int day = 0;          ///< 0 = any day.
+  int max_price = 0;    ///< 0 = unlimited.
+  bool want_hotel = false;
+  int max_hotel_price = 0;
+
+  /// Adjacent-seat coordination; requires exactly one flight companion.
+  bool adjacent_seat = false;
+};
+
+/// Per-user account view (the demo's "account view" page).
+struct AccountInfo {
+  QueryResult flights;
+  QueryResult hotels;
+  QueryResult seats;
+};
+
+/// The application (middle) tier of the travel web site. Validates
+/// friendships, builds entangled SQL, submits it to Youtopia, and
+/// delivers notifications — everything the demo's three-tier app does
+/// above the DBMS, minus the browser frontend.
+class TravelService {
+ public:
+  TravelService(Youtopia* db, FriendGraph friends, NotificationBus* bus)
+      : db_(db), friends_(std::move(friends)), bus_(bus) {}
+
+  TravelService(const TravelService&) = delete;
+  TravelService& operator=(const TravelService&) = delete;
+
+  /// Validates and submits a request; returns the coordination handle.
+  Result<EntangledHandle> SubmitRequest(const TravelRequest& request);
+
+  /// Scenario 1 convenience: same flight with one friend.
+  Result<EntangledHandle> BookFlightWithFriend(const std::string& user,
+                                               const std::string& friend_name,
+                                               const std::string& dest,
+                                               int day = 0, int max_price = 0);
+
+  /// Scenario 2 convenience: same flight and same hotel with one friend.
+  Result<EntangledHandle> BookFlightAndHotelWithFriend(
+      const std::string& user, const std::string& friend_name,
+      const std::string& dest, int day = 0);
+
+  /// Browse path: available flights to `dest`.
+  Result<QueryResult> BrowseFlights(const std::string& dest, int day = 0,
+                                    int max_price = 0);
+
+  /// Browse path: which of `user`'s friends already hold a reservation
+  /// on flight `fno` (paper Figure 4).
+  Result<std::vector<std::string>> FriendsOnFlight(const std::string& user,
+                                                   int64_t fno);
+
+  /// Direct booking on a concrete flight (no partner constraint); used
+  /// after browsing. Still flows through the coordinator so inventory
+  /// hooks and answer-relation semantics apply.
+  Result<EntangledHandle> BookFlightDirect(const std::string& user,
+                                           int64_t fno);
+
+  /// Pending and confirmed state for `user`.
+  Result<AccountInfo> AccountView(const std::string& user);
+
+  /// Waits for a handle and publishes the outcome to the notification
+  /// bus as the demo's "Facebook message".
+  Status WaitAndNotify(const EntangledHandle& handle, const std::string& user,
+                       std::chrono::milliseconds timeout =
+                           std::chrono::milliseconds(2000));
+
+  /// Registers the seat/room-inventory install hook on the coordinator:
+  /// each Reservation consumes a Flights seat, each HotelReservation a
+  /// Hotels room, each SeatReservation removes its Seats row. Exhausted
+  /// inventory aborts the whole coordination round atomically (design
+  /// decision #3).
+  void EnableInventoryEnforcement();
+
+  /// Entangled SQL text for a request (exposed for tests and the admin
+  /// interface).
+  static Result<std::string> BuildEntangledSql(const TravelRequest& request);
+
+  const FriendGraph& friends() const { return friends_; }
+
+ private:
+  Status ValidateFriends(const std::string& user,
+                         const std::vector<std::string>& companions) const;
+
+  Youtopia* db_;
+  FriendGraph friends_;
+  NotificationBus* bus_;
+};
+
+}  // namespace youtopia::travel
+
+#endif  // YOUTOPIA_TRAVEL_MIDDLE_TIER_H_

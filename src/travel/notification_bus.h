@@ -1,0 +1,45 @@
+#ifndef YOUTOPIA_TRAVEL_NOTIFICATION_BUS_H_
+#define YOUTOPIA_TRAVEL_NOTIFICATION_BUS_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace youtopia::travel {
+
+/// In-process stand-in for the demo's "notified via a Facebook message"
+/// delivery channel (DESIGN.md §2 substitution). Messages are recorded
+/// per user and optionally forwarded to registered callbacks.
+/// Thread-safe: coordination completions publish from whichever session
+/// thread triggered the final match.
+class NotificationBus {
+ public:
+  using Callback = std::function<void(const std::string& user,
+                                      const std::string& message)>;
+
+  NotificationBus() = default;
+  NotificationBus(const NotificationBus&) = delete;
+  NotificationBus& operator=(const NotificationBus&) = delete;
+
+  void Publish(const std::string& user, const std::string& message);
+
+  /// All messages delivered to `user`, in publish order.
+  std::vector<std::string> MessagesFor(const std::string& user) const;
+
+  size_t total_messages() const;
+
+  /// Registers a global observer (e.g. the demo frontend).
+  void Subscribe(Callback callback);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<std::string>> inbox_;
+  std::vector<Callback> callbacks_;
+  size_t total_ = 0;
+};
+
+}  // namespace youtopia::travel
+
+#endif  // YOUTOPIA_TRAVEL_NOTIFICATION_BUS_H_

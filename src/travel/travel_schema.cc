@@ -1,0 +1,79 @@
+#include "travel/travel_schema.h"
+
+namespace youtopia::travel {
+
+Status CreateTravelSchema(Youtopia* db) {
+  const char* kSchemaScript = R"sql(
+    CREATE TABLE Flights (
+      fno INT NOT NULL,
+      origin TEXT NOT NULL,
+      dest TEXT NOT NULL,
+      day INT NOT NULL,
+      price INT NOT NULL,
+      seats INT NOT NULL
+    );
+    CREATE TABLE Airlines (
+      fno INT NOT NULL,
+      airline TEXT NOT NULL
+    );
+    CREATE TABLE Hotels (
+      hid INT NOT NULL,
+      city TEXT NOT NULL,
+      day INT NOT NULL,
+      price INT NOT NULL,
+      rooms INT NOT NULL
+    );
+    CREATE TABLE Seats (
+      fno INT NOT NULL,
+      seat INT NOT NULL
+    );
+    CREATE TABLE Reservation (
+      traveler TEXT NOT NULL,
+      fno INT NOT NULL
+    );
+    CREATE TABLE HotelReservation (
+      traveler TEXT NOT NULL,
+      hid INT NOT NULL
+    );
+    CREATE TABLE SeatReservation (
+      traveler TEXT NOT NULL,
+      fno INT NOT NULL,
+      seat INT NOT NULL
+    );
+    CREATE INDEX ON Flights (dest);
+    CREATE INDEX ON Flights (fno);
+    CREATE INDEX ON Hotels (city);
+    CREATE INDEX ON Seats (fno);
+    CREATE INDEX ON Reservation (traveler);
+    CREATE INDEX ON Reservation (fno);
+    CREATE INDEX ON HotelReservation (traveler);
+    CREATE INDEX ON SeatReservation (traveler);
+  )sql";
+  return db->ExecuteScript(kSchemaScript);
+}
+
+Status SetupFigure1(Youtopia* db) {
+  const char* kFigure1Script = R"sql(
+    CREATE TABLE Flights (
+      fno INT NOT NULL,
+      dest TEXT NOT NULL
+    );
+    CREATE TABLE Airlines (
+      fno INT NOT NULL,
+      airline TEXT NOT NULL
+    );
+    CREATE TABLE Reservation (
+      traveler TEXT NOT NULL,
+      fno INT NOT NULL
+    );
+    INSERT INTO Flights VALUES (122, 'Paris'), (123, 'Paris'),
+                               (134, 'Paris'), (136, 'Rome');
+    INSERT INTO Airlines VALUES (122, 'United'), (123, 'United'),
+                                (134, 'Lufthansa'), (136, 'Alitalia');
+    CREATE INDEX ON Flights (dest);
+    CREATE INDEX ON Reservation (traveler);
+  )sql";
+  return db->ExecuteScript(kFigure1Script);
+}
+
+}  // namespace youtopia::travel

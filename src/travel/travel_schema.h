@@ -1,0 +1,37 @@
+#ifndef YOUTOPIA_TRAVEL_TRAVEL_SCHEMA_H_
+#define YOUTOPIA_TRAVEL_TRAVEL_SCHEMA_H_
+
+#include "common/status.h"
+#include "server/youtopia.h"
+
+namespace youtopia::travel {
+
+/// Table names used by the travel application.
+inline constexpr const char* kFlightsTable = "Flights";
+inline constexpr const char* kAirlinesTable = "Airlines";
+inline constexpr const char* kHotelsTable = "Hotels";
+inline constexpr const char* kSeatsTable = "Seats";
+inline constexpr const char* kReservationTable = "Reservation";
+inline constexpr const char* kHotelReservationTable = "HotelReservation";
+inline constexpr const char* kSeatReservationTable = "SeatReservation";
+
+/// Creates the full travel schema:
+///   Flights(fno, origin, dest, day, price, seats)
+///   Airlines(fno, airline)
+///   Hotels(hid, city, day, price, rooms)
+///   Seats(fno, seat)                      -- open seat inventory
+///   Reservation(traveler, fno)            -- answer relation
+///   HotelReservation(traveler, hid)       -- answer relation
+///   SeatReservation(traveler, fno, seat)  -- answer relation
+/// plus hash indexes on the columns the coordination workload probes.
+Status CreateTravelSchema(Youtopia* db);
+
+/// Creates exactly the database of Figure 1(a) of the paper:
+///   Flights(fno, dest):   122/123/134 -> Paris, 136 -> Rome
+///   Airlines(fno, airline): 122/123 United, 134 Lufthansa, 136 Alitalia
+/// and an empty Reservation(traveler, fno) answer relation.
+Status SetupFigure1(Youtopia* db);
+
+}  // namespace youtopia::travel
+
+#endif  // YOUTOPIA_TRAVEL_TRAVEL_SCHEMA_H_

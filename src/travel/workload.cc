@@ -1,0 +1,150 @@
+#include "travel/workload.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace youtopia::travel {
+
+std::string WorkloadReport::ToString() const {
+  return StringPrintf(
+      "submitted=%zu satisfied=%zu timed_out=%zu errors=%zu "
+      "throughput=%.1f satisfied/s latency{%s}",
+      submitted, satisfied, timed_out, errors, SatisfiedPerSecond(),
+      latency.ToString().c_str());
+}
+
+namespace {
+
+/// One request a session will submit.
+struct PlannedRequest {
+  TravelRequest request;
+};
+
+/// Expands the workload's coordination units (pairs and groups) into
+/// per-member requests and shuffles them so that partners land on
+/// different sessions at different times.
+std::vector<PlannedRequest> PlanRequests(const std::string& dest,
+                                         const WorkloadConfig& config,
+                                         FriendGraph* graph) {
+  Random rng(config.seed);
+  std::vector<PlannedRequest> planned;
+  const int total_requests = config.sessions * config.requests_per_session;
+
+  int unit = 0;
+  while (static_cast<int>(planned.size()) < total_requests) {
+    const bool group =
+        rng.NextDouble() < config.group_fraction && config.group_size > 2;
+    const int members = group ? config.group_size : 2;
+    std::vector<std::string> users;
+    users.reserve(members);
+    for (int m = 0; m < members; ++m) {
+      users.push_back("wl" + std::to_string(unit) + "_" + std::to_string(m));
+    }
+    for (size_t i = 0; i < users.size(); ++i) {
+      graph->AddUser(users[i]);
+      for (size_t j = i + 1; j < users.size(); ++j) {
+        graph->AddFriendship(users[i], users[j]);
+      }
+    }
+    const bool hotel = !group && rng.NextDouble() < config.hotel_fraction;
+    for (size_t i = 0; i < users.size(); ++i) {
+      PlannedRequest pr;
+      pr.request.user = users[i];
+      for (size_t j = 0; j < users.size(); ++j) {
+        if (i == j) continue;
+        pr.request.flight_companions.push_back(users[j]);
+        if (hotel) pr.request.hotel_companions.push_back(users[j]);
+      }
+      pr.request.dest = dest;
+      pr.request.want_hotel = hotel;
+      planned.push_back(std::move(pr));
+    }
+    ++unit;
+  }
+
+  // Fisher-Yates shuffle for cross-session interleaving.
+  for (size_t i = planned.size(); i > 1; --i) {
+    std::swap(planned[i - 1], planned[rng.NextBelow(i)]);
+  }
+  return planned;
+}
+
+}  // namespace
+
+Result<WorkloadReport> RunLoadedWorkload(Youtopia* db,
+                                         const std::string& dest,
+                                         const WorkloadConfig& config) {
+  if (config.sessions < 1 || config.requests_per_session < 1) {
+    return Status::InvalidArgument("workload needs >= 1 session and request");
+  }
+
+  FriendGraph graph;
+  auto planned = PlanRequests(dest, config, &graph);
+  TravelService service(db, std::move(graph), nullptr);
+
+  WorkloadReport report;
+  std::atomic<size_t> satisfied{0}, timed_out{0}, errors{0};
+  Histogram latency;
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> sessions;
+  sessions.reserve(config.sessions);
+  for (int s = 0; s < config.sessions; ++s) {
+    sessions.emplace_back([&, s] {
+      struct InFlight {
+        EntangledHandle handle;
+        std::chrono::steady_clock::time_point submitted_at;
+      };
+      std::vector<InFlight> in_flight;
+      // Round-robin assignment of the shuffled plan.
+      for (size_t i = s; i < planned.size();
+           i += static_cast<size_t>(config.sessions)) {
+        auto handle = service.SubmitRequest(planned[i].request);
+        if (!handle.ok()) {
+          ++errors;
+          continue;
+        }
+        in_flight.push_back(
+            {handle.TakeValue(), std::chrono::steady_clock::now()});
+      }
+      // Closed loop tail: wait for everything this session submitted.
+      for (InFlight& f : in_flight) {
+        Status outcome = f.handle.Wait(config.deadline);
+        if (outcome.ok()) {
+          ++satisfied;
+          auto completed = f.handle.CompletedAt();
+          const auto end =
+              completed.value_or(std::chrono::steady_clock::now());
+          const auto micros =
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  end - f.submitted_at)
+                  .count();
+          latency.Record(micros < 0 ? 0 : static_cast<uint64_t>(micros));
+        } else if (outcome.code() == StatusCode::kTimedOut) {
+          ++timed_out;
+        } else {
+          ++errors;
+        }
+      }
+    });
+  }
+  for (auto& t : sessions) t.join();
+
+  report.wall_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  report.submitted = planned.size();
+  report.satisfied = satisfied.load();
+  report.timed_out = timed_out.load();
+  report.errors = errors.load();
+  report.latency.Merge(latency);
+  return report;
+}
+
+}  // namespace youtopia::travel

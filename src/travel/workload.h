@@ -1,0 +1,65 @@
+#ifndef YOUTOPIA_TRAVEL_WORKLOAD_H_
+#define YOUTOPIA_TRAVEL_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "travel/middle_tier.h"
+
+namespace youtopia::travel {
+
+/// Parameters of the closed-loop loaded-system workload (paper §3: "we
+/// also demonstrate the scalability of our coordination algorithm by
+/// allowing our examples to be run on a loaded system").
+struct WorkloadConfig {
+  uint64_t seed = 99;
+  /// Concurrent session threads.
+  int sessions = 8;
+  /// Coordination requests per session.
+  int requests_per_session = 50;
+  /// Probability that a request is a group booking (else pairwise).
+  double group_fraction = 0.2;
+  /// Group size for group bookings.
+  int group_size = 4;
+  /// Probability that a pairwise request also coordinates a hotel.
+  double hotel_fraction = 0.3;
+  /// Per-request completion deadline.
+  std::chrono::milliseconds deadline = std::chrono::milliseconds(10000);
+};
+
+/// Aggregate outcome of one workload run.
+struct WorkloadReport {
+  size_t submitted = 0;
+  size_t satisfied = 0;
+  size_t timed_out = 0;
+  size_t errors = 0;
+  /// Submission-to-answer latency of satisfied requests.
+  Histogram latency;
+  /// Wall-clock duration of the whole run.
+  uint64_t wall_micros = 0;
+
+  double SatisfiedPerSecond() const {
+    if (wall_micros == 0) return 0.0;
+    return static_cast<double>(satisfied) * 1e6 /
+           static_cast<double>(wall_micros);
+  }
+
+  std::string ToString() const;
+};
+
+/// Drives a randomized coordination workload against `db`: session
+/// threads submit pairwise/group/hotel requests through an internal
+/// TravelService (with a synthetic friend clique over the workload's
+/// users). Every participant of a pair or group eventually submits, in
+/// a shuffled interleaving across sessions, so requests complete unless
+/// they exceed the deadline. The database must have been set up with
+/// CreateTravelSchema + GenerateTravelData.
+Result<WorkloadReport> RunLoadedWorkload(Youtopia* db,
+                                         const std::string& dest,
+                                         const WorkloadConfig& config);
+
+}  // namespace youtopia::travel
+
+#endif  // YOUTOPIA_TRAVEL_WORKLOAD_H_

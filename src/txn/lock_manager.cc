@@ -1,0 +1,69 @@
+#include "txn/lock_manager.h"
+
+#include "common/string_util.h"
+
+namespace youtopia {
+
+bool LockManager::Compatible(const TableLock& state, TxnId txn,
+                             LockMode mode) {
+  if (state.exclusive_holder == txn) return true;  // re-entrant under X
+  if (mode == LockMode::kShared) {
+    return state.exclusive_holder == 0;
+  }
+  // Exclusive: no other X holder and no other S holders.
+  if (state.exclusive_holder != 0) return false;
+  if (state.shared_holders.empty()) return true;
+  // Upgrade allowed when txn is the only S holder.
+  return state.shared_holders.size() == 1 &&
+         state.shared_holders.count(txn) == 1;
+}
+
+Status LockManager::Acquire(TxnId txn, const std::string& table,
+                            LockMode mode,
+                            std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  // Table names are case-insensitive everywhere in the engine; the lock
+  // key must agree or two spellings would not exclude each other.
+  TableLock& state = locks_[ToLowerAscii(table)];
+  while (!Compatible(state, txn, mode)) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        !Compatible(state, txn, mode)) {
+      return Status::TimedOut("lock wait timeout on table " + table +
+                              " (possible deadlock)");
+    }
+  }
+  if (mode == LockMode::kShared) {
+    if (state.exclusive_holder != txn) state.shared_holders.insert(txn);
+  } else {
+    state.shared_holders.erase(txn);  // S->X upgrade consumes the S lock
+    state.exclusive_holder = txn;
+  }
+  return Status::OK();
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Entries are never erased: waiters blocked in Acquire hold
+    // references into the map. The map is bounded by the number of
+    // distinct table names, so this does not grow without bound.
+    for (auto& [table, state] : locks_) {
+      state.shared_holders.erase(txn);
+      if (state.exclusive_holder == txn) state.exclusive_holder = 0;
+    }
+  }
+  cv_.notify_all();
+}
+
+bool LockManager::Holds(TxnId txn, const std::string& table,
+                        LockMode mode) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = locks_.find(ToLowerAscii(table));
+  if (it == locks_.end()) return false;
+  const TableLock& state = it->second;
+  if (state.exclusive_holder == txn) return true;
+  return mode == LockMode::kShared && state.shared_holders.count(txn) == 1;
+}
+
+}  // namespace youtopia

@@ -1,0 +1,62 @@
+#ifndef YOUTOPIA_TXN_LOCK_MANAGER_H_
+#define YOUTOPIA_TXN_LOCK_MANAGER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "common/status.h"
+
+namespace youtopia {
+
+using TxnId = uint64_t;
+
+/// Lock modes for table-level two-phase locking.
+enum class LockMode { kShared, kExclusive };
+
+/// Table-granularity S/X lock manager with wait timeouts. Deadlocks are
+/// broken by timeout: a waiter that exceeds its deadline gets kTimedOut
+/// and its transaction aborts and (for coordination rounds) retries.
+/// Table granularity is deliberate — entangled-query installation touches
+/// few tables and the matcher serializes rounds, so finer granularity
+/// would buy little here.
+class LockManager {
+ public:
+  LockManager() = default;
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Acquires `mode` on `table` for `txn`. Re-entrant: a holder of X may
+  /// take S or X again; a sole S holder may upgrade to X. Blocks up to
+  /// `timeout`; returns kTimedOut on expiry.
+  Status Acquire(TxnId txn, const std::string& table, LockMode mode,
+                 std::chrono::milliseconds timeout =
+                     std::chrono::milliseconds(500));
+
+  /// Releases every lock held by `txn` (commit/abort time; strict 2PL).
+  void ReleaseAll(TxnId txn);
+
+  /// True if `txn` holds at least `mode` on `table` (X satisfies S).
+  bool Holds(TxnId txn, const std::string& table, LockMode mode) const;
+
+ private:
+  struct TableLock {
+    std::set<TxnId> shared_holders;
+    TxnId exclusive_holder = 0;  ///< 0 = none.
+  };
+
+  /// True if `txn` may be granted `mode` on `state` right now.
+  static bool Compatible(const TableLock& state, TxnId txn, LockMode mode);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, TableLock> locks_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_TXN_LOCK_MANAGER_H_

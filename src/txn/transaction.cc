@@ -1,0 +1,21 @@
+#include "txn/transaction.h"
+
+namespace youtopia {
+
+void Transaction::RecordInsert(const std::string& table, RowId rid) {
+  undo_log_.push_back({UndoEntry::Kind::kInsert, table, rid, Tuple()});
+}
+
+void Transaction::RecordDelete(const std::string& table, RowId rid,
+                               Tuple old_tuple) {
+  undo_log_.push_back(
+      {UndoEntry::Kind::kDelete, table, rid, std::move(old_tuple)});
+}
+
+void Transaction::RecordUpdate(const std::string& table, RowId rid,
+                               Tuple old_tuple) {
+  undo_log_.push_back(
+      {UndoEntry::Kind::kUpdate, table, rid, std::move(old_tuple)});
+}
+
+}  // namespace youtopia

@@ -1,0 +1,53 @@
+#ifndef YOUTOPIA_TXN_TRANSACTION_H_
+#define YOUTOPIA_TXN_TRANSACTION_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/heap_table.h"
+#include "txn/lock_manager.h"
+#include "types/tuple.h"
+
+namespace youtopia {
+
+enum class TxnState { kActive, kCommitted, kAborted };
+
+/// One undo-log record. On abort the records are replayed in reverse.
+struct UndoEntry {
+  enum class Kind { kInsert, kDelete, kUpdate };
+  Kind kind;
+  std::string table;
+  RowId rid = 0;
+  /// Pre-image for kDelete/kUpdate (empty for kInsert).
+  Tuple old_tuple;
+};
+
+/// Book-keeping for one transaction: id, state, and the undo log.
+/// Transactions are created and driven by TxnManager; this struct holds
+/// no locks itself (the LockManager tracks holders by TxnId).
+class Transaction {
+ public:
+  explicit Transaction(TxnId id) : id_(id) {}
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  TxnId id() const { return id_; }
+  TxnState state() const { return state_; }
+  void set_state(TxnState s) { state_ = s; }
+
+  void RecordInsert(const std::string& table, RowId rid);
+  void RecordDelete(const std::string& table, RowId rid, Tuple old_tuple);
+  void RecordUpdate(const std::string& table, RowId rid, Tuple old_tuple);
+
+  const std::vector<UndoEntry>& undo_log() const { return undo_log_; }
+
+ private:
+  TxnId id_;
+  TxnState state_ = TxnState::kActive;
+  std::vector<UndoEntry> undo_log_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_TXN_TRANSACTION_H_

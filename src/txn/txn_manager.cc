@@ -1,0 +1,125 @@
+#include "txn/txn_manager.h"
+
+#include "common/logging.h"
+
+namespace youtopia {
+
+std::unique_ptr<Transaction> TxnManager::Begin() {
+  return std::make_unique<Transaction>(
+      next_txn_id_.fetch_add(1, std::memory_order_relaxed));
+}
+
+Status TxnManager::EnsureActive(const Transaction* txn) const {
+  if (txn == nullptr) return Status::InvalidArgument("null transaction");
+  if (txn->state() != TxnState::kActive) {
+    return Status::Aborted("transaction " + std::to_string(txn->id()) +
+                           " is not active");
+  }
+  return Status::OK();
+}
+
+Result<RowId> TxnManager::Insert(Transaction* txn, const std::string& table,
+                                 const Tuple& tuple) {
+  YOUTOPIA_RETURN_IF_ERROR(EnsureActive(txn));
+  YOUTOPIA_RETURN_IF_ERROR(
+      lock_manager_.Acquire(txn->id(), table, LockMode::kExclusive));
+  auto rid = storage_->Insert(table, tuple);
+  if (!rid.ok()) return rid.status();
+  txn->RecordInsert(table, rid.value());
+  return rid.value();
+}
+
+Status TxnManager::Delete(Transaction* txn, const std::string& table,
+                          RowId rid) {
+  YOUTOPIA_RETURN_IF_ERROR(EnsureActive(txn));
+  YOUTOPIA_RETURN_IF_ERROR(
+      lock_manager_.Acquire(txn->id(), table, LockMode::kExclusive));
+  auto old = storage_->Get(table, rid);
+  if (!old.ok()) return old.status();
+  YOUTOPIA_RETURN_IF_ERROR(storage_->Delete(table, rid));
+  txn->RecordDelete(table, rid, old.TakeValue());
+  return Status::OK();
+}
+
+Status TxnManager::Update(Transaction* txn, const std::string& table,
+                          RowId rid, const Tuple& tuple) {
+  YOUTOPIA_RETURN_IF_ERROR(EnsureActive(txn));
+  YOUTOPIA_RETURN_IF_ERROR(
+      lock_manager_.Acquire(txn->id(), table, LockMode::kExclusive));
+  auto old = storage_->Get(table, rid);
+  if (!old.ok()) return old.status();
+  YOUTOPIA_RETURN_IF_ERROR(storage_->Update(table, rid, tuple));
+  txn->RecordUpdate(table, rid, old.TakeValue());
+  return Status::OK();
+}
+
+Result<Tuple> TxnManager::Get(Transaction* txn, const std::string& table,
+                              RowId rid) {
+  YOUTOPIA_RETURN_IF_ERROR(EnsureActive(txn));
+  YOUTOPIA_RETURN_IF_ERROR(
+      lock_manager_.Acquire(txn->id(), table, LockMode::kShared));
+  return storage_->Get(table, rid);
+}
+
+Result<std::vector<std::pair<RowId, Tuple>>> TxnManager::Scan(
+    Transaction* txn, const std::string& table) {
+  YOUTOPIA_RETURN_IF_ERROR(EnsureActive(txn));
+  YOUTOPIA_RETURN_IF_ERROR(
+      lock_manager_.Acquire(txn->id(), table, LockMode::kShared));
+  return storage_->Scan(table);
+}
+
+Result<std::vector<RowId>> TxnManager::IndexLookup(Transaction* txn,
+                                                   const std::string& table,
+                                                   const std::string& column,
+                                                   const Value& key) {
+  YOUTOPIA_RETURN_IF_ERROR(EnsureActive(txn));
+  YOUTOPIA_RETURN_IF_ERROR(
+      lock_manager_.Acquire(txn->id(), table, LockMode::kShared));
+  return storage_->IndexLookup(table, column, key);
+}
+
+Status TxnManager::Commit(Transaction* txn) {
+  YOUTOPIA_RETURN_IF_ERROR(EnsureActive(txn));
+  txn->set_state(TxnState::kCommitted);
+  lock_manager_.ReleaseAll(txn->id());
+  return Status::OK();
+}
+
+Status TxnManager::Abort(Transaction* txn) {
+  YOUTOPIA_RETURN_IF_ERROR(EnsureActive(txn));
+  const auto& log = txn->undo_log();
+  for (auto it = log.rbegin(); it != log.rend(); ++it) {
+    switch (it->kind) {
+      case UndoEntry::Kind::kInsert: {
+        Status s = storage_->Delete(it->table, it->rid);
+        if (!s.ok()) {
+          YOUTOPIA_LOG(kWarning)
+              << "undo insert failed on " << it->table << ": " << s;
+        }
+        break;
+      }
+      case UndoEntry::Kind::kDelete: {
+        Status s = storage_->Restore(it->table, it->rid, it->old_tuple);
+        if (!s.ok()) {
+          YOUTOPIA_LOG(kWarning)
+              << "undo delete failed on " << it->table << ": " << s;
+        }
+        break;
+      }
+      case UndoEntry::Kind::kUpdate: {
+        Status s = storage_->Update(it->table, it->rid, it->old_tuple);
+        if (!s.ok()) {
+          YOUTOPIA_LOG(kWarning)
+              << "undo update failed on " << it->table << ": " << s;
+        }
+        break;
+      }
+    }
+  }
+  txn->set_state(TxnState::kAborted);
+  lock_manager_.ReleaseAll(txn->id());
+  return Status::OK();
+}
+
+}  // namespace youtopia

@@ -1,0 +1,68 @@
+#ifndef YOUTOPIA_TXN_TXN_MANAGER_H_
+#define YOUTOPIA_TXN_TXN_MANAGER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/storage_engine.h"
+#include "txn/lock_manager.h"
+#include "txn/transaction.h"
+
+namespace youtopia {
+
+/// Strict two-phase-locking transaction layer over the storage engine.
+/// Provides the classical *isolation* abstraction the paper contrasts with
+/// coordination (§1): Youtopia keeps transactions and layers entangled
+/// queries beside them — the coordinator installs each matched group's
+/// answers inside one transaction from this manager.
+class TxnManager {
+ public:
+  explicit TxnManager(StorageEngine* storage) : storage_(storage) {}
+
+  TxnManager(const TxnManager&) = delete;
+  TxnManager& operator=(const TxnManager&) = delete;
+
+  /// Starts a transaction. The returned object stays owned by the caller
+  /// and must end via Commit or Abort.
+  std::unique_ptr<Transaction> Begin();
+
+  /// Write operations; acquire X table locks and append undo records.
+  Result<RowId> Insert(Transaction* txn, const std::string& table,
+                       const Tuple& tuple);
+  Status Delete(Transaction* txn, const std::string& table, RowId rid);
+  Status Update(Transaction* txn, const std::string& table, RowId rid,
+                const Tuple& tuple);
+
+  /// Read operations; acquire S table locks.
+  Result<Tuple> Get(Transaction* txn, const std::string& table, RowId rid);
+  Result<std::vector<std::pair<RowId, Tuple>>> Scan(Transaction* txn,
+                                                    const std::string& table);
+  Result<std::vector<RowId>> IndexLookup(Transaction* txn,
+                                         const std::string& table,
+                                         const std::string& column,
+                                         const Value& key);
+
+  /// Releases locks; the transaction's effects become permanent.
+  Status Commit(Transaction* txn);
+
+  /// Rolls back via the undo log (reverse order), then releases locks.
+  /// Undo of a delete resurrects the row under its original RowId, so
+  /// row identity is preserved across aborts.
+  Status Abort(Transaction* txn);
+
+  LockManager& lock_manager() { return lock_manager_; }
+
+ private:
+  Status EnsureActive(const Transaction* txn) const;
+
+  StorageEngine* storage_;
+  LockManager lock_manager_;
+  std::atomic<TxnId> next_txn_id_{1};
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_TXN_TXN_MANAGER_H_

@@ -1,0 +1,53 @@
+#include "types/schema.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace youtopia {
+
+Result<Schema> Schema::Create(std::vector<Column> columns) {
+  std::unordered_set<std::string> seen;
+  for (const Column& c : columns) {
+    if (c.name.empty()) {
+      return Status::InvalidArgument("column name may not be empty");
+    }
+    if (!seen.insert(ToLowerAscii(c.name)).second) {
+      return Status::InvalidArgument("duplicate column name: " + c.name);
+    }
+  }
+  return Schema(std::move(columns));
+}
+
+std::optional<size_t> Schema::FindColumn(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> Schema::ColumnIndex(std::string_view name) const {
+  if (auto idx = FindColumn(name)) return *idx;
+  return Status::NotFound("no column named " + std::string(name));
+}
+
+Schema Schema::Concat(const Schema& other) const {
+  std::vector<Column> cols = columns_;
+  cols.insert(cols.end(), other.columns_.begin(), other.columns_.end());
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += DataTypeToString(columns_[i].type);
+    if (!columns_[i].nullable) out += " NOT NULL";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace youtopia

@@ -1,0 +1,62 @@
+#ifndef YOUTOPIA_TYPES_SCHEMA_H_
+#define YOUTOPIA_TYPES_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/type.h"
+
+namespace youtopia {
+
+/// One column of a relation schema.
+struct Column {
+  std::string name;
+  DataType type = DataType::kNull;
+  bool nullable = true;
+
+  bool operator==(const Column& other) const {
+    return name == other.name && type == other.type &&
+           nullable == other.nullable;
+  }
+};
+
+/// An ordered list of named, typed columns. Column names are compared
+/// case-insensitively, matching SQL identifier semantics.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  /// Validates uniqueness of column names (case-insensitive).
+  static Result<Schema> Create(std::vector<Column> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or nullopt.
+  std::optional<size_t> FindColumn(std::string_view name) const;
+
+  /// Like FindColumn but returns a NotFound status naming the column.
+  Result<size_t> ColumnIndex(std::string_view name) const;
+
+  /// Concatenation, used by joins. Duplicate names are permitted in the
+  /// output (resolution is by position downstream).
+  Schema Concat(const Schema& other) const;
+
+  bool operator==(const Schema& other) const {
+    return columns_ == other.columns_;
+  }
+
+  /// "(name type, ...)" rendering for admin output and errors.
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_TYPES_SCHEMA_H_

@@ -1,0 +1,78 @@
+#include "types/tuple.h"
+
+#include "common/string_util.h"
+
+namespace youtopia {
+
+Tuple Tuple::Concat(const Tuple& other) const {
+  std::vector<Value> vals = values_;
+  vals.insert(vals.end(), other.values_.begin(), other.values_.end());
+  return Tuple(std::move(vals));
+}
+
+Tuple Tuple::Project(const std::vector<size_t>& indexes) const {
+  std::vector<Value> vals;
+  vals.reserve(indexes.size());
+  for (size_t i : indexes) vals.push_back(values_[i]);
+  return Tuple(std::move(vals));
+}
+
+Result<Tuple> Tuple::ValidateAgainst(const Schema& schema) const {
+  if (values_.size() != schema.num_columns()) {
+    return Status::InvalidArgument(StringPrintf(
+        "tuple has %zu values but schema %s has %zu columns", values_.size(),
+        schema.ToString().c_str(), schema.num_columns()));
+  }
+  std::vector<Value> coerced;
+  coerced.reserve(values_.size());
+  for (size_t i = 0; i < values_.size(); ++i) {
+    const Column& col = schema.column(i);
+    if (values_[i].is_null()) {
+      if (!col.nullable) {
+        return Status::InvalidArgument("NULL in NOT NULL column " + col.name);
+      }
+      coerced.push_back(Value::Null());
+      continue;
+    }
+    auto cv = values_[i].CoerceTo(col.type);
+    if (!cv.ok()) {
+      return Status::InvalidArgument("column " + col.name + ": " +
+                                     cv.status().message());
+    }
+    coerced.push_back(cv.TakeValue());
+  }
+  return Tuple(std::move(coerced));
+}
+
+bool Tuple::operator<(const Tuple& other) const {
+  const size_t n = std::min(values_.size(), other.values_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (values_[i] < other.values_[i]) return true;
+    if (other.values_[i] < values_[i]) return false;
+  }
+  return values_.size() < other.values_.size();
+}
+
+size_t Tuple::Hash() const {
+  size_t h = 0x811c9dc5u;
+  for (const Value& v : values_) {
+    h ^= v.Hash() + 0x9e3779b9u + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Tuple& t) {
+  return os << t.ToString();
+}
+
+}  // namespace youtopia

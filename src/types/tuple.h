@@ -1,0 +1,61 @@
+#ifndef YOUTOPIA_TYPES_TUPLE_H_
+#define YOUTOPIA_TYPES_TUPLE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace youtopia {
+
+/// A row of values. Tuples are schema-agnostic; validation against a
+/// Schema happens at insertion (see ValidateAgainst).
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  Value& at(size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  /// Concatenation (joins).
+  Tuple Concat(const Tuple& other) const;
+
+  /// Projection onto the given column indexes. Indexes must be in range.
+  Tuple Project(const std::vector<size_t>& indexes) const;
+
+  /// Checks arity, per-column type coercibility, and NOT NULL
+  /// constraints; returns the (possibly coerced) tuple.
+  Result<Tuple> ValidateAgainst(const Schema& schema) const;
+
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+  bool operator<(const Tuple& other) const;
+
+  size_t Hash() const;
+
+  /// "(v1, v2, ...)" rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Tuple& t);
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_TYPES_TUPLE_H_

@@ -1,0 +1,49 @@
+#include "types/type.h"
+
+#include "common/string_util.h"
+
+namespace youtopia {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "null";
+    case DataType::kBool:
+      return "bool";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+Result<DataType> DataTypeFromString(std::string_view name) {
+  const std::string lower = ToLowerAscii(name);
+  if (lower == "int" || lower == "integer" || lower == "bigint" ||
+      lower == "int64") {
+    return DataType::kInt64;
+  }
+  if (lower == "double" || lower == "float" || lower == "real") {
+    return DataType::kDouble;
+  }
+  if (lower == "varchar" || lower == "text" || lower == "string" ||
+      lower == "char") {
+    return DataType::kString;
+  }
+  if (lower == "bool" || lower == "boolean") {
+    return DataType::kBool;
+  }
+  return Status::InvalidArgument("unknown type name: " + std::string(name));
+}
+
+bool IsCoercible(DataType from, DataType to) {
+  if (from == to) return true;
+  if (from == DataType::kNull) return true;
+  if (from == DataType::kInt64 && to == DataType::kDouble) return true;
+  return false;
+}
+
+}  // namespace youtopia

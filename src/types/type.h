@@ -1,0 +1,36 @@
+#ifndef YOUTOPIA_TYPES_TYPE_H_
+#define YOUTOPIA_TYPES_TYPE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace youtopia {
+
+/// Column data types supported by the engine. The travel workloads of the
+/// paper use integers (flight numbers, prices as cents), strings (names,
+/// destinations) and dates (stored as int64 days-since-epoch by the
+/// application layer); DOUBLE and BOOL round out expression evaluation.
+enum class DataType {
+  kNull = 0,  ///< Type of the SQL NULL literal before coercion.
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+/// Stable lowercase name ("int64", "string", ...).
+const char* DataTypeToString(DataType type);
+
+/// Parses a SQL type name (INT/INTEGER/BIGINT/INT64, DOUBLE/FLOAT/REAL,
+/// VARCHAR/TEXT/STRING, BOOL/BOOLEAN). Case-insensitive.
+Result<DataType> DataTypeFromString(std::string_view name);
+
+/// True if a value of `from` may be stored in a column of `to`
+/// (identity, int64->double widening, and NULL into anything).
+bool IsCoercible(DataType from, DataType to);
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_TYPES_TYPE_H_

@@ -1,0 +1,132 @@
+#include "types/value.h"
+
+#include <cmath>
+#include <functional>
+
+#include "common/string_util.h"
+
+namespace youtopia {
+
+DataType Value::type() const {
+  switch (data_.index()) {
+    case 0:
+      return DataType::kNull;
+    case 1:
+      return DataType::kBool;
+    case 2:
+      return DataType::kInt64;
+    case 3:
+      return DataType::kDouble;
+    case 4:
+      return DataType::kString;
+  }
+  return DataType::kNull;
+}
+
+Result<double> Value::AsDouble() const {
+  switch (type()) {
+    case DataType::kInt64:
+      return static_cast<double>(int64_value());
+    case DataType::kDouble:
+      return double_value();
+    default:
+      return Status::InvalidArgument("value " + ToString() +
+                                     " is not numeric");
+  }
+}
+
+Result<Value> Value::CoerceTo(DataType target) const {
+  if (is_null()) return Value::Null();
+  if (type() == target) return *this;
+  if (type() == DataType::kInt64 && target == DataType::kDouble) {
+    return Value::Double(static_cast<double>(int64_value()));
+  }
+  return Status::InvalidArgument("cannot coerce " +
+                                 std::string(DataTypeToString(type())) +
+                                 " to " + DataTypeToString(target));
+}
+
+namespace {
+/// Rank used to interleave numerics in the total order.
+int TypeRank(DataType t) {
+  switch (t) {
+    case DataType::kNull:
+      return 0;
+    case DataType::kBool:
+      return 1;
+    case DataType::kInt64:
+    case DataType::kDouble:
+      return 2;
+    case DataType::kString:
+      return 3;
+  }
+  return 4;
+}
+}  // namespace
+
+bool Value::operator<(const Value& other) const {
+  const int ra = TypeRank(type());
+  const int rb = TypeRank(other.type());
+  if (ra != rb) return ra < rb;
+  switch (type()) {
+    case DataType::kNull:
+      return false;  // NULL == NULL in the total order
+    case DataType::kBool:
+      return !bool_value() && other.bool_value();
+    case DataType::kInt64:
+    case DataType::kDouble: {
+      // Both numeric; compare as double (exact for the int64 range used
+      // by workloads; full i64 precision comparison when both are int64).
+      if (type() == DataType::kInt64 && other.type() == DataType::kInt64) {
+        return int64_value() < other.int64_value();
+      }
+      return AsDouble().value() < other.AsDouble().value();
+    }
+    case DataType::kString:
+      return string_value() < other.string_value();
+  }
+  return false;
+}
+
+size_t Value::Hash() const {
+  const size_t kTypeSalt[] = {0x9e3779b9u, 0x7f4a7c15u, 0x85ebca6bu,
+                              0xc2b2ae35u, 0x27d4eb2fu};
+  size_t h = kTypeSalt[data_.index()];
+  switch (type()) {
+    case DataType::kNull:
+      return h;
+    case DataType::kBool:
+      return h ^ (bool_value() ? 0x1u : 0x2u);
+    case DataType::kInt64:
+      return h ^ std::hash<int64_t>{}(int64_value());
+    case DataType::kDouble:
+      return h ^ std::hash<double>{}(double_value());
+    case DataType::kString:
+      return h ^ std::hash<std::string>{}(string_value());
+  }
+  return h;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return bool_value() ? "TRUE" : "FALSE";
+    case DataType::kInt64:
+      return std::to_string(int64_value());
+    case DataType::kDouble: {
+      std::string s = StringPrintf("%g", double_value());
+      return s;
+    }
+    case DataType::kString:
+      return QuoteSqlString(string_value());
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace youtopia

@@ -1,0 +1,84 @@
+#ifndef YOUTOPIA_TYPES_VALUE_H_
+#define YOUTOPIA_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+#include "types/type.h"
+
+namespace youtopia {
+
+/// A dynamically typed SQL value. Small, copyable, hashable; the unit of
+/// data everywhere in the engine (tuples, expression evaluation, answer
+/// atoms, index keys).
+class Value {
+ public:
+  /// NULL value.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Payload(v)); }
+  static Value Int64(int64_t v) { return Value(Payload(v)); }
+  static Value Double(double v) { return Value(Payload(v)); }
+  static Value String(std::string v) { return Value(Payload(std::move(v))); }
+
+  Value(const Value&) = default;
+  Value& operator=(const Value&) = default;
+  Value(Value&&) = default;
+  Value& operator=(Value&&) = default;
+
+  DataType type() const;
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+
+  /// Typed accessors; calling the wrong one is a programming bug
+  /// (std::get throws std::bad_variant_access).
+  bool bool_value() const { return std::get<bool>(data_); }
+  int64_t int64_value() const { return std::get<int64_t>(data_); }
+  double double_value() const { return std::get<double>(data_); }
+  const std::string& string_value() const { return std::get<std::string>(data_); }
+
+  /// Numeric view: int64 widened to double. Error for non-numeric types.
+  Result<double> AsDouble() const;
+
+  /// Coerces to `target` per IsCoercible. NULL stays NULL.
+  Result<Value> CoerceTo(DataType target) const;
+
+  /// Deep equality: same type and same payload. NULL == NULL here
+  /// (this is *identity* equality used by containers, not SQL ternary
+  /// logic — the expression evaluator layers SQL semantics on top).
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total order for sorting/index keys: NULL < bool < int64/double
+  /// (numerically interleaved) < string.
+  bool operator<(const Value& other) const;
+
+  /// Stable hash compatible with operator== (int64 and the equal double
+  /// hash differently — callers index on identical types per column, so
+  /// cross-type probes are not required).
+  size_t Hash() const;
+
+  /// SQL-literal rendering: NULL, TRUE, 42, 3.5, 'text' (quotes doubled).
+  std::string ToString() const;
+
+ private:
+  using Payload =
+      std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Payload data) : data_(std::move(data)) {}
+
+  Payload data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+/// Hash functor for unordered containers keyed by Value.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_TYPES_VALUE_H_

@@ -1,0 +1,137 @@
+#include "baseline/middle_tier_coordinator.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "travel/travel_schema.h"
+
+namespace youtopia::baseline {
+namespace {
+
+using std::chrono::milliseconds;
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(travel::SetupFigure1(&db_).ok());
+    coordinator_ = std::make_unique<MiddleTierCoordinator>(&db_);
+    ASSERT_TRUE(coordinator_->Setup().ok());
+  }
+
+  Youtopia db_;
+  std::unique_ptr<MiddleTierCoordinator> coordinator_;
+};
+
+TEST_F(BaselineTest, SetupIsIdempotent) {
+  EXPECT_TRUE(coordinator_->Setup().ok());
+}
+
+TEST_F(BaselineTest, FirstRequestFilesProposal) {
+  auto ticket = coordinator_->RequestSameFlight("Kramer", "Jerry", "Paris");
+  ASSERT_TRUE(ticket.ok()) << ticket.status();
+  EXPECT_FALSE(ticket->completed);
+  auto poll = coordinator_->Poll(ticket->pid);
+  ASSERT_TRUE(poll.ok());
+  EXPECT_FALSE(poll->has_value());
+}
+
+TEST_F(BaselineTest, ReciprocalRequestCompletesBoth) {
+  auto kramer = coordinator_->RequestSameFlight("Kramer", "Jerry", "Paris");
+  ASSERT_TRUE(kramer.ok());
+  auto jerry = coordinator_->RequestSameFlight("Jerry", "Kramer", "Paris");
+  ASSERT_TRUE(jerry.ok());
+  EXPECT_TRUE(jerry->completed);
+
+  auto resolved = coordinator_->Poll(kramer->pid);
+  ASSERT_TRUE(resolved.ok());
+  ASSERT_TRUE(resolved->has_value());
+  EXPECT_EQ(resolved->value(), jerry->fno);
+
+  // Both reservations exist on the same flight.
+  auto reservations = db_.Execute("SELECT traveler, fno FROM Reservation");
+  ASSERT_TRUE(reservations.ok());
+  ASSERT_EQ(reservations->rows.size(), 2u);
+  EXPECT_EQ(reservations->rows[0].at(1), reservations->rows[1].at(1));
+}
+
+TEST_F(BaselineTest, WaitForMatchTimesOutWithoutPartner) {
+  auto ticket = coordinator_->RequestSameFlight("Kramer", "Jerry", "Paris");
+  ASSERT_TRUE(ticket.ok());
+  auto result = coordinator_->WaitForMatch(ticket->pid, milliseconds(50),
+                                           milliseconds(5));
+  EXPECT_EQ(result.status().code(), StatusCode::kTimedOut);
+}
+
+TEST_F(BaselineTest, WaitForMatchSeesLatePartner) {
+  auto ticket = coordinator_->RequestSameFlight("Kramer", "Jerry", "Paris");
+  ASSERT_TRUE(ticket.ok());
+  std::thread partner([this] {
+    std::this_thread::sleep_for(milliseconds(30));
+    auto jerry = coordinator_->RequestSameFlight("Jerry", "Kramer", "Paris");
+    ASSERT_TRUE(jerry.ok());
+    EXPECT_TRUE(jerry->completed);
+  });
+  auto fno = coordinator_->WaitForMatch(ticket->pid, milliseconds(2000),
+                                        milliseconds(5));
+  partner.join();
+  ASSERT_TRUE(fno.ok()) << fno.status();
+  EXPECT_GT(fno.value(), 0);
+}
+
+TEST_F(BaselineTest, NoFlightToDestinationFails) {
+  ASSERT_TRUE(
+      coordinator_->RequestSameFlight("Kramer", "Jerry", "Atlantis").ok());
+  auto jerry = coordinator_->RequestSameFlight("Jerry", "Kramer", "Atlantis");
+  EXPECT_EQ(jerry.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(BaselineTest, DistinctPairsDoNotInterfere) {
+  ASSERT_TRUE(coordinator_->RequestSameFlight("A", "B", "Paris").ok());
+  auto elaine = coordinator_->RequestSameFlight("Elaine", "George", "Rome");
+  ASSERT_TRUE(elaine.ok());
+  EXPECT_FALSE(elaine->completed);  // wrong pair, no cross-matching
+  auto george = coordinator_->RequestSameFlight("George", "Elaine", "Rome");
+  ASSERT_TRUE(george.ok());
+  EXPECT_TRUE(george->completed);
+  EXPECT_EQ(george->fno, 136);  // the only Rome flight
+}
+
+TEST_F(BaselineTest, ConcurrentPairsAllComplete) {
+  constexpr int kPairs = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> completed{0};
+  for (int p = 0; p < kPairs; ++p) {
+    threads.emplace_back([this, p, &completed] {
+      const std::string a = "userA" + std::to_string(p);
+      const std::string b = "userB" + std::to_string(p);
+      auto mine = coordinator_->RequestSameFlight(a, b, "Paris");
+      ASSERT_TRUE(mine.ok()) << mine.status();
+      if (mine->completed) {
+        ++completed;
+        return;
+      }
+      auto fno = coordinator_->WaitForMatch(mine->pid, milliseconds(5000));
+      if (fno.ok()) ++completed;
+    });
+    threads.emplace_back([this, p, &completed] {
+      const std::string a = "userA" + std::to_string(p);
+      const std::string b = "userB" + std::to_string(p);
+      auto mine = coordinator_->RequestSameFlight(b, a, "Paris");
+      ASSERT_TRUE(mine.ok()) << mine.status();
+      if (mine->completed) {
+        ++completed;
+        return;
+      }
+      auto fno = coordinator_->WaitForMatch(mine->pid, milliseconds(5000));
+      if (fno.ok()) ++completed;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(completed.load(), kPairs * 2);
+  auto reservations = db_.Execute("SELECT * FROM Reservation");
+  EXPECT_EQ(reservations->rows.size(), static_cast<size_t>(kPairs * 2));
+}
+
+}  // namespace
+}  // namespace youtopia::baseline

@@ -1,0 +1,88 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace youtopia {
+namespace {
+
+Schema TwoColumns() {
+  return Schema({{"a", DataType::kInt64, false},
+                 {"b", DataType::kString, true}});
+}
+
+TEST(CatalogTest, CreateAndGet) {
+  Catalog catalog;
+  auto id = catalog.CreateTable("Flights", TwoColumns());
+  ASSERT_TRUE(id.ok());
+  auto info = catalog.GetTable("Flights");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->name, "Flights");
+  EXPECT_EQ(info->id, id.value());
+  EXPECT_EQ(info->schema.num_columns(), 2u);
+}
+
+TEST(CatalogTest, NamesAreCaseInsensitive) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("Flights", TwoColumns()).ok());
+  EXPECT_TRUE(catalog.GetTable("FLIGHTS").ok());
+  EXPECT_TRUE(catalog.HasTable("flights"));
+  auto dup = catalog.CreateTable("fLIGHTs", TwoColumns());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, GetMissingIsNotFound) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.GetTable("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(catalog.HasTable("nope"));
+}
+
+TEST(CatalogTest, EmptyNameRejected) {
+  Catalog catalog;
+  EXPECT_FALSE(catalog.CreateTable("", TwoColumns()).ok());
+}
+
+TEST(CatalogTest, DropTable) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("T", TwoColumns()).ok());
+  EXPECT_TRUE(catalog.DropTable("t").ok());
+  EXPECT_FALSE(catalog.HasTable("T"));
+  EXPECT_EQ(catalog.DropTable("T").code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, GetById) {
+  Catalog catalog;
+  auto id1 = catalog.CreateTable("A", TwoColumns());
+  auto id2 = catalog.CreateTable("B", TwoColumns());
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  EXPECT_NE(id1.value(), id2.value());
+  EXPECT_EQ(catalog.GetTable(id2.value())->name, "B");
+  EXPECT_FALSE(catalog.GetTable(TableId{999}).ok());
+}
+
+TEST(CatalogTest, IndexedColumns) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("T", TwoColumns()).ok());
+  EXPECT_TRUE(catalog.AddIndexedColumn("T", 1).ok());
+  EXPECT_EQ(catalog.GetTable("T")->indexed_columns,
+            std::vector<size_t>{1});
+  EXPECT_EQ(catalog.AddIndexedColumn("T", 1).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog.AddIndexedColumn("T", 9).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(catalog.AddIndexedColumn("missing", 0).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, ListTablesSortedByName) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("zeta", TwoColumns()).ok());
+  ASSERT_TRUE(catalog.CreateTable("Alpha", TwoColumns()).ok());
+  auto tables = catalog.ListTables();
+  ASSERT_EQ(tables.size(), 2u);
+  EXPECT_EQ(tables[0].name, "Alpha");
+  EXPECT_EQ(tables[1].name, "zeta");
+}
+
+}  // namespace
+}  // namespace youtopia

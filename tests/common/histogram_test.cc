@@ -1,0 +1,102 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace youtopia {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0u);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (uint64_t v : {10, 20, 30, 40}) h.Record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 40u);
+  EXPECT_DOUBLE_EQ(h.mean(), 25.0);
+}
+
+TEST(HistogramTest, PercentilesAreMonotoneAndBounded) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  uint64_t prev = 0;
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    uint64_t value = h.Percentile(p);
+    EXPECT_GE(value, prev) << p;
+    EXPECT_GE(value, h.min());
+    EXPECT_LE(value, h.max());
+    prev = value;
+  }
+  // Log-bucketed: p50 of uniform 1..1000 is within a factor-2 bucket of
+  // 500.
+  EXPECT_GE(h.Percentile(50), 256u);
+  EXPECT_LE(h.Percentile(50), 1000u);
+}
+
+TEST(HistogramTest, PercentileExtremes) {
+  Histogram h;
+  h.Record(7);
+  EXPECT_EQ(h.Percentile(0), 7u);
+  EXPECT_EQ(h.Percentile(100), 7u);
+  EXPECT_EQ(h.Percentile(50), 7u);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Record(10);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+  // Merging an empty histogram changes nothing.
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(HistogramTest, ToStringHasFields) {
+  Histogram h;
+  h.Record(100);
+  const std::string s = h.ToString();
+  EXPECT_NE(s.find("count=1"), std::string::npos);
+  EXPECT_NE(s.find("p95="), std::string::npos);
+}
+
+TEST(HistogramTest, ConcurrentRecording) {
+  Histogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 1; i <= 1000; ++i) {
+        h.Record(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), 8000u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1000u);
+}
+
+TEST(HistogramTest, ZeroAndHugeValues) {
+  Histogram h;
+  h.Record(0);
+  h.Record(UINT64_MAX);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+  EXPECT_LE(h.Percentile(10), h.Percentile(90));
+}
+
+}  // namespace
+}  // namespace youtopia

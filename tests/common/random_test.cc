@@ -1,0 +1,83 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace youtopia {
+namespace {
+
+TEST(RandomTest, DeterministicUnderSeed) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1);
+  Random b(2);
+  bool differed = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Next() != b.Next()) differed = true;
+  }
+  EXPECT_TRUE(differed);
+}
+
+TEST(RandomTest, NextBelowInRange) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(10), 10u);
+    EXPECT_EQ(rng.NextBelow(1), 0u);
+  }
+}
+
+TEST(RandomTest, NextBelowCoversAllResidues) {
+  Random rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBelow(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RandomTest, NextInRangeInclusive) {
+  Random rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RandomTest, NextDoubleUnitInterval) {
+  Random rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, NextBoolRespectsProbabilityExtremes) {
+  Random rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(RandomTest, NextBoolRoughlyFair) {
+  Random rng(19);
+  int trues = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBool(0.5)) ++trues;
+  }
+  EXPECT_GT(trues, 4500);
+  EXPECT_LT(trues, 5500);
+}
+
+}  // namespace
+}  // namespace youtopia

@@ -1,0 +1,66 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace youtopia {
+namespace {
+
+TEST(StringUtilTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("SELECT"), "select");
+  EXPECT_EQ(ToLowerAscii("MiXeD123_x"), "mixed123_x");
+  EXPECT_EQ(ToLowerAscii(""), "");
+}
+
+TEST(StringUtilTest, ToUpperAscii) {
+  EXPECT_EQ(ToUpperAscii("select"), "SELECT");
+  EXPECT_EQ(ToUpperAscii("aB9"), "AB9");
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("Reservation", "reservation"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abcd"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  x  "), "x");
+  EXPECT_EQ(TrimWhitespace("\t\na b\r\n"), "a b");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace(""), "");
+}
+
+TEST(StringUtilTest, SplitString) {
+  auto parts = SplitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(SplitString("", ',').size(), 1u);  // one empty field
+}
+
+TEST(StringUtilTest, JoinStrings) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("SELECT 1", "SELECT"));
+  EXPECT_FALSE(StartsWith("SEL", "SELECT"));
+}
+
+TEST(StringUtilTest, QuoteSqlStringDoublesQuotes) {
+  EXPECT_EQ(QuoteSqlString("Paris"), "'Paris'");
+  EXPECT_EQ(QuoteSqlString("O'Hare"), "'O''Hare'");
+  EXPECT_EQ(QuoteSqlString(""), "''");
+}
+
+TEST(StringUtilTest, StringPrintf) {
+  EXPECT_EQ(StringPrintf("%d rows from %s", 3, "Flights"),
+            "3 rows from Flights");
+  EXPECT_EQ(StringPrintf("%s", ""), "");
+}
+
+}  // namespace
+}  // namespace youtopia

@@ -1,0 +1,109 @@
+#include "entangle/answer_relation.h"
+
+#include <gtest/gtest.h>
+
+namespace youtopia {
+namespace {
+
+class AnswerRelationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    txns_ = std::make_unique<TxnManager>(&storage_);
+    manager_ = std::make_unique<AnswerRelationManager>(&storage_, true);
+  }
+
+  Tuple Reservation(const std::string& who, int64_t fno) {
+    return Tuple({Value::String(who), Value::Int64(fno)});
+  }
+
+  StorageEngine storage_;
+  std::unique_ptr<TxnManager> txns_;
+  std::unique_ptr<AnswerRelationManager> manager_;
+};
+
+TEST_F(AnswerRelationTest, AutoCreatesTypedFromPrototype) {
+  ASSERT_TRUE(
+      manager_->EnsureRelation("Reservation", Reservation("K", 122)).ok());
+  auto info = storage_.catalog().GetTable("Reservation");
+  ASSERT_TRUE(info.ok());
+  ASSERT_EQ(info->schema.num_columns(), 2u);
+  EXPECT_EQ(info->schema.column(0).type, DataType::kString);
+  EXPECT_EQ(info->schema.column(1).type, DataType::kInt64);
+  EXPECT_EQ(info->schema.column(0).name, "c0");
+}
+
+TEST_F(AnswerRelationTest, EnsureChecksArityOfExistingTable) {
+  ASSERT_TRUE(storage_
+                  .CreateTable("Reservation",
+                               Schema({{"traveler", DataType::kString, false}}))
+                  .ok());
+  EXPECT_FALSE(
+      manager_->EnsureRelation("Reservation", Reservation("K", 122)).ok());
+}
+
+TEST_F(AnswerRelationTest, AutoCreateDisabled) {
+  AnswerRelationManager strict(&storage_, /*auto_create=*/false);
+  EXPECT_EQ(strict.EnsureRelation("Missing", Reservation("K", 1)).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(AnswerRelationTest, NullPrototypeColumnDefaultsToString) {
+  Tuple with_null({Value::Null(), Value::Int64(1)});
+  ASSERT_TRUE(manager_->EnsureRelation("R", with_null).ok());
+  EXPECT_EQ(storage_.catalog().GetTable("R")->schema.column(0).type,
+            DataType::kString);
+}
+
+TEST_F(AnswerRelationTest, InstallInsertsOnce) {
+  auto txn = txns_->Begin();
+  ASSERT_TRUE(manager_->Install(txn.get(), txns_.get(), "Reservation",
+                                Reservation("K", 122)).ok());
+  ASSERT_TRUE(manager_->Install(txn.get(), txns_.get(), "Reservation",
+                                Reservation("K", 122)).ok());
+  ASSERT_TRUE(manager_->Install(txn.get(), txns_.get(), "Reservation",
+                                Reservation("J", 122)).ok());
+  ASSERT_TRUE(txns_->Commit(txn.get()).ok());
+  EXPECT_EQ(storage_.TableSize("Reservation").value(), 2u);
+}
+
+TEST_F(AnswerRelationTest, InstallDedupUsesIndexWhenPresent) {
+  ASSERT_TRUE(storage_
+                  .CreateTable("Reservation",
+                               Schema({{"traveler", DataType::kString, false},
+                                       {"fno", DataType::kInt64, false}}))
+                  .ok());
+  ASSERT_TRUE(storage_.CreateIndex("Reservation", "traveler").ok());
+  auto txn = txns_->Begin();
+  ASSERT_TRUE(manager_->Install(txn.get(), txns_.get(), "Reservation",
+                                Reservation("K", 122)).ok());
+  // Same traveler, different flight: index bucket shared, must insert.
+  ASSERT_TRUE(manager_->Install(txn.get(), txns_.get(), "Reservation",
+                                Reservation("K", 123)).ok());
+  // Exact duplicate: skipped.
+  ASSERT_TRUE(manager_->Install(txn.get(), txns_.get(), "Reservation",
+                                Reservation("K", 122)).ok());
+  ASSERT_TRUE(txns_->Commit(txn.get()).ok());
+  EXPECT_EQ(storage_.TableSize("Reservation").value(), 2u);
+}
+
+TEST_F(AnswerRelationTest, InstallRollsBackWithTxn) {
+  auto txn = txns_->Begin();
+  ASSERT_TRUE(manager_->Install(txn.get(), txns_.get(), "Reservation",
+                                Reservation("K", 122)).ok());
+  ASSERT_TRUE(txns_->Abort(txn.get()).ok());
+  EXPECT_EQ(storage_.TableSize("Reservation").value(), 0u);
+}
+
+TEST_F(AnswerRelationTest, InstallValidatesAgainstExistingSchema) {
+  ASSERT_TRUE(storage_
+                  .CreateTable("Typed",
+                               Schema({{"n", DataType::kInt64, false}}))
+                  .ok());
+  auto txn = txns_->Begin();
+  EXPECT_FALSE(manager_->Install(txn.get(), txns_.get(), "Typed",
+                                 Tuple({Value::String("oops")})).ok());
+  ASSERT_TRUE(txns_->Abort(txn.get()).ok());
+}
+
+}  // namespace
+}  // namespace youtopia

@@ -1,0 +1,335 @@
+#include "entangle/coordinator.h"
+
+#include <gtest/gtest.h>
+
+#include "entangle/normalizer.h"
+#include "sql/parser.h"
+
+namespace youtopia {
+namespace {
+
+using std::chrono::milliseconds;
+
+class CoordinatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(storage_
+                    .CreateTable("Flights",
+                                 Schema({{"fno", DataType::kInt64, false},
+                                         {"dest", DataType::kString, false}}))
+                    .ok());
+    for (auto [fno, dest] : std::vector<std::pair<int64_t, const char*>>{
+             {122, "Paris"}, {123, "Paris"}, {136, "Rome"}}) {
+      ASSERT_TRUE(storage_
+                      .Insert("Flights", Tuple({Value::Int64(fno),
+                                                Value::String(dest)}))
+                      .ok());
+    }
+    ASSERT_TRUE(storage_
+                    .CreateTable("Reservation",
+                                 Schema({{"traveler", DataType::kString, false},
+                                         {"fno", DataType::kInt64, false}}))
+                    .ok());
+    txns_ = std::make_unique<TxnManager>(&storage_);
+    coordinator_ =
+        std::make_unique<Coordinator>(&storage_, txns_.get(),
+                                      CoordinatorConfig{});
+  }
+
+  EntangledQuery Parse(const std::string& sql, const std::string& owner) {
+    auto stmt = Parser::ParseStatement(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status();
+    auto q = Normalizer::Normalize(
+        static_cast<const SelectStatement&>(*stmt.value()), 0, owner, sql);
+    EXPECT_TRUE(q.ok()) << q.status();
+    return q.TakeValue();
+  }
+
+  static std::string PairQuery(const std::string& self,
+                               const std::string& other) {
+    return "SELECT '" + self + "', fno INTO ANSWER Reservation WHERE fno IN "
+           "(SELECT fno FROM Flights WHERE dest='Paris') AND ('" + other +
+           "', fno) IN ANSWER Reservation CHOOSE 1";
+  }
+
+  StorageEngine storage_;
+  std::unique_ptr<TxnManager> txns_;
+  std::unique_ptr<Coordinator> coordinator_;
+};
+
+TEST_F(CoordinatorTest, PairCoordination) {
+  auto kramer =
+      coordinator_->Submit(Parse(PairQuery("Kramer", "Jerry"), "Kramer"));
+  ASSERT_TRUE(kramer.ok()) << kramer.status();
+  EXPECT_FALSE(kramer->Done());
+  EXPECT_EQ(coordinator_->pending_count(), 1u);
+  EXPECT_EQ(kramer->Wait(milliseconds(10)).code(), StatusCode::kTimedOut);
+
+  auto jerry =
+      coordinator_->Submit(Parse(PairQuery("Jerry", "Kramer"), "Jerry"));
+  ASSERT_TRUE(jerry.ok());
+  EXPECT_TRUE(kramer->Done());
+  EXPECT_TRUE(jerry->Done());
+  EXPECT_TRUE(kramer->Wait(milliseconds(0)).ok());
+  EXPECT_TRUE(jerry->Wait(milliseconds(0)).ok());
+  EXPECT_EQ(coordinator_->pending_count(), 0u);
+
+  ASSERT_EQ(kramer->Answers().size(), 1u);
+  ASSERT_EQ(jerry->Answers().size(), 1u);
+  EXPECT_EQ(kramer->Answers()[0].at(1), jerry->Answers()[0].at(1));
+
+  // Answers are durably stored in the answer relation.
+  EXPECT_EQ(storage_.TableSize("Reservation").value(), 2u);
+
+  auto stats = coordinator_->stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.matched_queries, 2u);
+  EXPECT_EQ(stats.matched_groups, 1u);
+}
+
+TEST_F(CoordinatorTest, IdsAreSequential) {
+  auto h1 = coordinator_->Submit(Parse(PairQuery("A", "B"), "A"));
+  auto h2 = coordinator_->Submit(Parse(PairQuery("C", "D"), "C"));
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(h2.ok());
+  EXPECT_LT(h1->id(), h2->id());
+}
+
+TEST_F(CoordinatorTest, CancelPendingQuery) {
+  auto handle = coordinator_->Submit(Parse(PairQuery("K", "J"), "K"));
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(coordinator_->Cancel(handle->id()).ok());
+  EXPECT_TRUE(handle->Done());
+  EXPECT_EQ(handle->Wait(milliseconds(0)).code(), StatusCode::kAborted);
+  EXPECT_EQ(coordinator_->pending_count(), 0u);
+  EXPECT_EQ(coordinator_->Cancel(handle->id()).code(), StatusCode::kNotFound);
+  EXPECT_EQ(coordinator_->stats().cancelled, 1u);
+
+  // The cancelled query can no longer partner.
+  auto other = coordinator_->Submit(Parse(PairQuery("J", "K"), "J"));
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(other->Done());
+}
+
+TEST_F(CoordinatorTest, PendingIntrospection) {
+  ASSERT_TRUE(coordinator_->Submit(Parse(PairQuery("K", "J"), "Kramer")).ok());
+  auto pending = coordinator_->Pending();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].owner, "Kramer");
+  EXPECT_NE(pending[0].sql.find("INTO ANSWER Reservation"),
+            std::string::npos);
+  EXPECT_NE(pending[0].ir.find("head:"), std::string::npos);
+}
+
+TEST_F(CoordinatorTest, InstallHookAbortRollsBackAndKeepsPending) {
+  coordinator_->SetInstallHook(
+      [](Transaction*, TxnManager*, const MatchResult&) {
+        return Status::Aborted("injected failure");
+      });
+  auto h1 = coordinator_->Submit(Parse(PairQuery("K", "J"), "K"));
+  auto h2 = coordinator_->Submit(Parse(PairQuery("J", "K"), "J"));
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(h2.ok());
+  // Match found but install failed: nothing visible, both still pending.
+  EXPECT_FALSE(h1->Done());
+  EXPECT_FALSE(h2->Done());
+  EXPECT_EQ(coordinator_->pending_count(), 2u);
+  EXPECT_EQ(storage_.TableSize("Reservation").value(), 0u);
+  EXPECT_GE(coordinator_->stats().failed_installs, 1u);
+
+  // Removing the hook and retriggering completes the pair.
+  coordinator_->SetInstallHook(nullptr);
+  auto satisfied = coordinator_->RetriggerAll();
+  ASSERT_TRUE(satisfied.ok()) << satisfied.status();
+  EXPECT_EQ(satisfied.value(), 2u);
+  EXPECT_TRUE(h1->Done());
+  EXPECT_TRUE(h2->Done());
+}
+
+TEST_F(CoordinatorTest, InstallHookSuccessRuns) {
+  size_t hook_calls = 0;
+  coordinator_->SetInstallHook(
+      [&hook_calls](Transaction*, TxnManager*, const MatchResult& match) {
+        ++hook_calls;
+        EXPECT_EQ(match.installed.size(), 2u);
+        return Status::OK();
+      });
+  ASSERT_TRUE(coordinator_->Submit(Parse(PairQuery("K", "J"), "K")).ok());
+  ASSERT_TRUE(coordinator_->Submit(Parse(PairQuery("J", "K"), "J")).ok());
+  EXPECT_EQ(hook_calls, 1u);
+}
+
+TEST_F(CoordinatorTest, RetriggerAfterDataChange) {
+  // No flight to Berlin yet: the pair cannot ground.
+  auto h1 = coordinator_->Submit(Parse(
+      "SELECT 'K', fno INTO ANSWER Reservation WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE dest='Berlin') AND "
+      "('J', fno) IN ANSWER Reservation CHOOSE 1", "K"));
+  auto h2 = coordinator_->Submit(Parse(
+      "SELECT 'J', fno INTO ANSWER Reservation WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE dest='Berlin') AND "
+      "('K', fno) IN ANSWER Reservation CHOOSE 1", "J"));
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(h2.ok());
+  EXPECT_EQ(coordinator_->pending_count(), 2u);
+
+  // A Berlin flight appears; retriggering matches the waiting pair —
+  // "waits for an opportunity to retry" (paper §1).
+  ASSERT_TRUE(storage_
+                  .Insert("Flights", Tuple({Value::Int64(200),
+                                            Value::String("Berlin")}))
+                  .ok());
+  auto satisfied = coordinator_->RetriggerAll();
+  ASSERT_TRUE(satisfied.ok());
+  EXPECT_EQ(satisfied.value(), 2u);
+  EXPECT_TRUE(h1->Done());
+  EXPECT_EQ(h1->Answers()[0].at(1).int64_value(), 200);
+}
+
+TEST_F(CoordinatorTest, CascadeRetriggerOnInstall) {
+  // C constrains on B's reservation; B pairs with A. When A completes
+  // the (A, B) pair, C's constraint is satisfiable from storage.
+  auto c = coordinator_->Submit(Parse(
+      "SELECT 'C', fno INTO ANSWER Reservation WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE dest='Paris') AND "
+      "('B', fno) IN ANSWER Reservation CHOOSE 1", "C"));
+  ASSERT_TRUE(c.ok());
+  auto b = coordinator_->Submit(Parse(PairQuery("B", "A"), "B"));
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(c->Done());
+  auto a = coordinator_->Submit(Parse(PairQuery("A", "B"), "A"));
+  ASSERT_TRUE(a.ok());
+
+  // The A/B install retriggers C (possibly matched in the same group or
+  // from stored answers in the cascade).
+  EXPECT_TRUE(a->Done());
+  EXPECT_TRUE(b->Done());
+  EXPECT_TRUE(c->Done());
+  EXPECT_EQ(c->Answers()[0].at(1), b->Answers()[0].at(1));
+  EXPECT_EQ(coordinator_->pending_count(), 0u);
+}
+
+TEST_F(CoordinatorTest, AutoCreatesAnswerRelation) {
+  ASSERT_TRUE(coordinator_
+                  ->Submit(Parse(
+                      "SELECT 'Solo', fno INTO ANSWER BrandNew WHERE fno IN "
+                      "(SELECT fno FROM Flights WHERE dest='Rome') CHOOSE 1",
+                      "Solo"))
+                  .ok());
+  EXPECT_TRUE(storage_.catalog().HasTable("BrandNew"));
+  EXPECT_EQ(storage_.TableSize("BrandNew").value(), 1u);
+}
+
+TEST_F(CoordinatorTest, AutoCreateDisabledFails) {
+  CoordinatorConfig config;
+  config.auto_create_answer_tables = false;
+  Coordinator strict(&storage_, txns_.get(), config);
+  auto handle = strict.Submit(Parse(
+      "SELECT 'Solo', fno INTO ANSWER Missing WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE dest='Rome') CHOOSE 1", "Solo"));
+  // The match is found but installation fails; query stays pending.
+  ASSERT_TRUE(handle.ok());
+  EXPECT_FALSE(handle->Done());
+  EXPECT_GE(strict.stats().failed_installs, 1u);
+}
+
+TEST_F(CoordinatorTest, DuplicateTupleSharedBetweenQueries) {
+  // Two identical direct bookings produce one stored tuple (set
+  // semantics of the answer relation).
+  const std::string sql =
+      "SELECT 'Solo', fno INTO ANSWER Reservation WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE dest='Rome') CHOOSE 1";
+  ASSERT_TRUE(coordinator_->Submit(Parse(sql, "Solo")).ok());
+  ASSERT_TRUE(coordinator_->Submit(Parse(sql, "Solo")).ok());
+  EXPECT_EQ(storage_.TableSize("Reservation").value(), 1u);
+}
+
+TEST_F(CoordinatorTest, StatsAccumulateMatchEffort) {
+  ASSERT_TRUE(coordinator_->Submit(Parse(PairQuery("K", "J"), "K")).ok());
+  ASSERT_TRUE(coordinator_->Submit(Parse(PairQuery("J", "K"), "J")).ok());
+  auto stats = coordinator_->stats();
+  EXPECT_GE(stats.match_calls, 2u);
+  EXPECT_GT(stats.search_steps_total, 0u);
+}
+
+TEST_F(CoordinatorTest, RetriggerDependentsOfTargetsDomainTable) {
+  auto pending = coordinator_->Submit(Parse(
+      "SELECT 'K', fno INTO ANSWER Reservation WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE dest='Berlin') CHOOSE 1", "K"));
+  ASSERT_TRUE(pending.ok());
+  EXPECT_FALSE(pending->Done());
+
+  // Retriggering an unrelated table does nothing.
+  auto unrelated = coordinator_->RetriggerDependentsOf("Hotels");
+  ASSERT_TRUE(unrelated.ok());
+  EXPECT_EQ(unrelated.value(), 0u);
+
+  ASSERT_TRUE(storage_
+                  .Insert("Flights", Tuple({Value::Int64(300),
+                                            Value::String("Berlin")}))
+                  .ok());
+  auto satisfied = coordinator_->RetriggerDependentsOf("Flights");
+  ASSERT_TRUE(satisfied.ok());
+  EXPECT_EQ(satisfied.value(), 1u);
+  EXPECT_TRUE(pending->Done());
+}
+
+TEST_F(CoordinatorTest, ExpireOlderThanWithdrawsStaleQueries) {
+  auto stale = coordinator_->Submit(Parse(PairQuery("K", "J"), "K"));
+  ASSERT_TRUE(stale.ok());
+  // Nothing has aged past an hour.
+  auto none = coordinator_->ExpireOlderThan(std::chrono::hours(1));
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none.value(), 0u);
+  EXPECT_EQ(coordinator_->pending_count(), 1u);
+
+  // Zero max-age expires everything pending.
+  auto expired = coordinator_->ExpireOlderThan(milliseconds(0));
+  ASSERT_TRUE(expired.ok());
+  EXPECT_EQ(expired.value(), 1u);
+  EXPECT_TRUE(stale->Done());
+  EXPECT_EQ(stale->Wait(milliseconds(0)).code(), StatusCode::kTimedOut);
+  EXPECT_EQ(coordinator_->pending_count(), 0u);
+
+  // Expired queries no longer partner.
+  auto partner = coordinator_->Submit(Parse(PairQuery("J", "K"), "J"));
+  ASSERT_TRUE(partner.ok());
+  EXPECT_FALSE(partner->Done());
+}
+
+TEST_F(CoordinatorTest, CompletedAtTracksOutcome) {
+  auto kramer = coordinator_->Submit(Parse(PairQuery("K", "J"), "K"));
+  ASSERT_TRUE(kramer.ok());
+  EXPECT_FALSE(kramer->CompletedAt().has_value());
+  const auto before = std::chrono::steady_clock::now();
+  auto jerry = coordinator_->Submit(Parse(PairQuery("J", "K"), "J"));
+  ASSERT_TRUE(jerry.ok());
+  const auto after = std::chrono::steady_clock::now();
+  auto completed = kramer->CompletedAt();
+  ASSERT_TRUE(completed.has_value());
+  EXPECT_GE(*completed, before);
+  EXPECT_LE(*completed, after);
+
+  // Cancellation also stamps completion.
+  auto lone = coordinator_->Submit(Parse(PairQuery("X", "Y"), "X"));
+  ASSERT_TRUE(lone.ok());
+  ASSERT_TRUE(coordinator_->Cancel(lone->id()).ok());
+  EXPECT_TRUE(lone->CompletedAt().has_value());
+}
+
+TEST_F(CoordinatorTest, PendingReportsAge) {
+  ASSERT_TRUE(coordinator_->Submit(Parse(PairQuery("K", "J"), "K")).ok());
+  auto pending = coordinator_->Pending();
+  ASSERT_EQ(pending.size(), 1u);
+  // Age is small but strictly tracked (measured from submission).
+  EXPECT_LT(pending[0].age_micros, 10'000'000u);
+}
+
+TEST_F(CoordinatorTest, SubmitRejectsHeadlessQuery) {
+  EntangledQuery empty;
+  EXPECT_EQ(coordinator_->Submit(std::move(empty)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace youtopia

@@ -1,0 +1,109 @@
+#include "entangle/match_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "entangle/normalizer.h"
+#include "sql/parser.h"
+
+namespace youtopia {
+namespace {
+
+void AddQuery(PendingPool* pool, QueryId id, const std::string& sql) {
+  auto stmt = Parser::ParseStatement(sql);
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  auto q = Normalizer::Normalize(
+      static_cast<const SelectStatement&>(*stmt.value()), id, "", sql);
+  ASSERT_TRUE(q.ok()) << q.status();
+  pool->Add(std::make_shared<const EntangledQuery>(q.TakeValue()));
+}
+
+std::string PairQuery(const std::string& self, const std::string& other) {
+  return "SELECT '" + self + "', fno INTO ANSWER Reservation WHERE fno IN "
+         "(SELECT fno FROM Flights WHERE dest='Paris') AND ('" + other +
+         "', fno) IN ANSWER Reservation CHOOSE 1";
+}
+
+TEST(MatchGraphTest, EmptyPool) {
+  PendingPool pool;
+  MatchGraph graph = BuildMatchGraph(pool);
+  EXPECT_TRUE(graph.nodes.empty());
+  EXPECT_TRUE(graph.edges.empty());
+  EXPECT_TRUE(graph.Components().empty());
+}
+
+TEST(MatchGraphTest, SymmetricPairProducesBothEdges) {
+  PendingPool pool;
+  AddQuery(&pool, 1, PairQuery("Kramer", "Jerry"));
+  AddQuery(&pool, 2, PairQuery("Jerry", "Kramer"));
+  MatchGraph graph = BuildMatchGraph(pool);
+  EXPECT_EQ(graph.nodes.size(), 2u);
+  ASSERT_EQ(graph.edges.size(), 2u);
+  // 1's constraint (about Jerry) is provided by 2's head and vice versa.
+  EXPECT_EQ(graph.edges[0].from, 1u);
+  EXPECT_EQ(graph.edges[0].to, 2u);
+  EXPECT_EQ(graph.edges[1].from, 2u);
+  EXPECT_EQ(graph.edges[1].to, 1u);
+}
+
+TEST(MatchGraphTest, IncompatibleConstantsProduceNoEdge) {
+  PendingPool pool;
+  AddQuery(&pool, 1, PairQuery("Kramer", "Jerry"));
+  AddQuery(&pool, 2, PairQuery("Elaine", "Newman"));
+  MatchGraph graph = BuildMatchGraph(pool);
+  EXPECT_TRUE(graph.edges.empty());
+  EXPECT_EQ(graph.Components().size(), 2u);
+}
+
+TEST(MatchGraphTest, ComponentsGroupNeighbourhoods) {
+  PendingPool pool;
+  AddQuery(&pool, 1, PairQuery("A", "B"));
+  AddQuery(&pool, 2, PairQuery("B", "A"));
+  AddQuery(&pool, 3, PairQuery("C", "D"));
+  AddQuery(&pool, 4, PairQuery("D", "C"));
+  MatchGraph graph = BuildMatchGraph(pool);
+  auto components = graph.Components();
+  ASSERT_EQ(components.size(), 2u);
+  EXPECT_EQ(components[0].size(), 2u);
+  EXPECT_EQ(components[1].size(), 2u);
+}
+
+TEST(MatchGraphTest, SelfEdgeWhenOwnHeadMatchesOwnConstraint) {
+  PendingPool pool;
+  AddQuery(&pool, 1,
+           "SELECT 'Solo', fno INTO ANSWER Reservation WHERE fno IN "
+           "(SELECT fno FROM Flights) AND ('Solo', fno) IN ANSWER "
+           "Reservation CHOOSE 1");
+  MatchGraph graph = BuildMatchGraph(pool);
+  ASSERT_EQ(graph.edges.size(), 1u);
+  EXPECT_EQ(graph.edges[0].from, 1u);
+  EXPECT_EQ(graph.edges[0].to, 1u);
+}
+
+TEST(MatchGraphTest, ToStringListsNodesEdgesComponents) {
+  PendingPool pool;
+  AddQuery(&pool, 1, PairQuery("Kramer", "Jerry"));
+  AddQuery(&pool, 2, PairQuery("Jerry", "Kramer"));
+  MatchGraph graph = BuildMatchGraph(pool);
+  const std::string rendered = graph.ToString(pool);
+  EXPECT_NE(rendered.find("2 pending queries"), std::string::npos);
+  EXPECT_NE(rendered.find("2 candidate edges"), std::string::npos);
+  EXPECT_NE(rendered.find("components:"), std::string::npos);
+  EXPECT_NE(rendered.find("Reservation('Jerry', fno)"), std::string::npos);
+}
+
+TEST(MatchGraphTest, ArityMismatchNoEdge) {
+  PendingPool pool;
+  AddQuery(&pool, 1,
+           "SELECT 'A', fno, seat INTO ANSWER R WHERE fno IN "
+           "(SELECT fno FROM F) AND seat IN (SELECT s FROM S) AND "
+           "('B', fno) IN ANSWER R CHOOSE 1");
+  AddQuery(&pool, 2,
+           "SELECT 'B', fno, seat INTO ANSWER R WHERE fno IN "
+           "(SELECT fno FROM F) AND seat IN (SELECT s FROM S) CHOOSE 1");
+  MatchGraph graph = BuildMatchGraph(pool);
+  // 1's binary constraint cannot unify with 2's ternary head.
+  EXPECT_TRUE(graph.edges.empty());
+}
+
+}  // namespace
+}  // namespace youtopia

@@ -1,0 +1,450 @@
+#include "entangle/matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "entangle/normalizer.h"
+#include "sql/parser.h"
+
+namespace youtopia {
+namespace {
+
+class MatcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Figure 1(a) database.
+    ASSERT_TRUE(storage_
+                    .CreateTable("Flights",
+                                 Schema({{"fno", DataType::kInt64, false},
+                                         {"dest", DataType::kString, false}}))
+                    .ok());
+    for (auto [fno, dest] : std::vector<std::pair<int64_t, const char*>>{
+             {122, "Paris"}, {123, "Paris"}, {134, "Paris"}, {136, "Rome"}}) {
+      ASSERT_TRUE(storage_
+                      .Insert("Flights", Tuple({Value::Int64(fno),
+                                                Value::String(dest)}))
+                      .ok());
+    }
+    ASSERT_TRUE(storage_
+                    .CreateTable("Reservation",
+                                 Schema({{"traveler", DataType::kString, false},
+                                         {"fno", DataType::kInt64, false}}))
+                    .ok());
+  }
+
+  /// Normalizes SQL into the pool under the given id.
+  void AddQuery(QueryId id, const std::string& sql) {
+    auto stmt = Parser::ParseStatement(sql);
+    ASSERT_TRUE(stmt.ok()) << stmt.status();
+    auto q = Normalizer::Normalize(
+        static_cast<const SelectStatement&>(*stmt.value()), id, "", sql);
+    ASSERT_TRUE(q.ok()) << q.status();
+    pool_.Add(std::make_shared<const EntangledQuery>(q.TakeValue()));
+  }
+
+  static std::string PairQuery(const std::string& self,
+                               const std::string& other,
+                               const std::string& dest = "Paris") {
+    return "SELECT '" + self + "', fno INTO ANSWER Reservation WHERE fno IN "
+           "(SELECT fno FROM Flights WHERE dest = '" + dest + "') AND ('" +
+           other + "', fno) IN ANSWER Reservation CHOOSE 1";
+  }
+
+  StorageEngine storage_;
+  PendingPool pool_;
+  MatchConfig config_;
+};
+
+TEST_F(MatcherTest, LoneQueryWithPartnerConstraintStaysPending) {
+  AddQuery(1, PairQuery("Kramer", "Jerry"));
+  Matcher matcher(&storage_, config_);
+  auto match = matcher.TryMatch(1, pool_);
+  ASSERT_TRUE(match.ok()) << match.status();
+  EXPECT_FALSE(match->has_value());
+}
+
+TEST_F(MatcherTest, SymmetricPairMatches) {
+  AddQuery(1, PairQuery("Kramer", "Jerry"));
+  AddQuery(2, PairQuery("Jerry", "Kramer"));
+  Matcher matcher(&storage_, config_);
+  auto match = matcher.TryMatch(2, pool_);
+  ASSERT_TRUE(match.ok()) << match.status();
+  ASSERT_TRUE(match->has_value());
+  const MatchResult& result = match->value();
+  EXPECT_EQ(result.group.size(), 2u);
+
+  // Both queries receive the same flight number, and it goes to Paris.
+  const Tuple& kramer = result.answers.at(1)[0];
+  const Tuple& jerry = result.answers.at(2)[0];
+  EXPECT_EQ(kramer.at(0).string_value(), "Kramer");
+  EXPECT_EQ(jerry.at(0).string_value(), "Jerry");
+  EXPECT_EQ(kramer.at(1), jerry.at(1));
+  const int64_t fno = kramer.at(1).int64_value();
+  EXPECT_TRUE(fno == 122 || fno == 123 || fno == 134);
+  EXPECT_EQ(result.installed.size(), 2u);
+  EXPECT_EQ(result.relations, std::vector<std::string>{"reservation"});
+}
+
+TEST_F(MatcherTest, MismatchedDestinationsDoNotMatch) {
+  AddQuery(1, PairQuery("Kramer", "Jerry", "Paris"));
+  AddQuery(2, PairQuery("Jerry", "Kramer", "Rome"));
+  Matcher matcher(&storage_, config_);
+  auto match = matcher.TryMatch(2, pool_);
+  ASSERT_TRUE(match.ok());
+  // Symbolically they unify, but grounding fails: no flight is both in
+  // Paris-domain and Rome-domain.
+  EXPECT_FALSE(match->has_value());
+}
+
+TEST_F(MatcherTest, WrongPartnerNameDoesNotMatch) {
+  AddQuery(1, PairQuery("Kramer", "Jerry"));
+  AddQuery(2, PairQuery("Elaine", "Kramer"));
+  // Kramer wants Jerry, Elaine wants Kramer. Kramer's constraint
+  // ('Jerry', f) has no provider.
+  Matcher matcher(&storage_, config_);
+  auto match = matcher.TryMatch(2, pool_);
+  ASSERT_TRUE(match.ok());
+  EXPECT_FALSE(match->has_value());
+}
+
+TEST_F(MatcherTest, SelfSatisfyingQueryMatchesAlone) {
+  AddQuery(1,
+           "SELECT 'Solo', fno INTO ANSWER Reservation WHERE fno IN "
+           "(SELECT fno FROM Flights WHERE dest = 'Rome') CHOOSE 1");
+  Matcher matcher(&storage_, config_);
+  auto match = matcher.TryMatch(1, pool_);
+  ASSERT_TRUE(match.ok());
+  ASSERT_TRUE(match->has_value());
+  EXPECT_EQ(match->value().group, std::vector<QueryId>{1});
+  EXPECT_EQ(match->value().answers.at(1)[0].at(1).int64_value(), 136);
+}
+
+TEST_F(MatcherTest, OwnHeadSatisfiesOwnConstraint) {
+  // The constraint references the query's own contribution.
+  AddQuery(1,
+           "SELECT 'Solo', fno INTO ANSWER Reservation WHERE fno IN "
+           "(SELECT fno FROM Flights WHERE dest = 'Rome') AND "
+           "('Solo', fno) IN ANSWER Reservation CHOOSE 1");
+  Matcher matcher(&storage_, config_);
+  auto match = matcher.TryMatch(1, pool_);
+  ASSERT_TRUE(match.ok());
+  ASSERT_TRUE(match->has_value());
+}
+
+TEST_F(MatcherTest, StoredAnswerSatisfiesConstraint) {
+  // Kramer already holds a reservation on 123 from an earlier round.
+  ASSERT_TRUE(storage_
+                  .Insert("Reservation", Tuple({Value::String("Kramer"),
+                                                Value::Int64(123)}))
+                  .ok());
+  AddQuery(1, PairQuery("Jerry", "Kramer"));
+  Matcher matcher(&storage_, config_);
+  auto match = matcher.TryMatch(1, pool_);
+  ASSERT_TRUE(match.ok());
+  ASSERT_TRUE(match->has_value());
+  EXPECT_EQ(match->value().group, std::vector<QueryId>{1});
+  EXPECT_EQ(match->value().answers.at(1)[0].at(1).int64_value(), 123);
+  EXPECT_EQ(match->value().from_stored, 1u);
+}
+
+TEST_F(MatcherTest, StoredAnswersDisabledByConfig) {
+  ASSERT_TRUE(storage_
+                  .Insert("Reservation", Tuple({Value::String("Kramer"),
+                                                Value::Int64(123)}))
+                  .ok());
+  config_.allow_stored_answers = false;
+  AddQuery(1, PairQuery("Jerry", "Kramer"));
+  Matcher matcher(&storage_, config_);
+  auto match = matcher.TryMatch(1, pool_);
+  ASSERT_TRUE(match.ok());
+  EXPECT_FALSE(match->has_value());
+}
+
+TEST_F(MatcherTest, GroupOfFourMatches) {
+  const std::vector<std::string> group = {"A", "B", "C", "D"};
+  QueryId id = 1;
+  for (const auto& self : group) {
+    std::string sql = "SELECT '" + self +
+                      "', fno INTO ANSWER Reservation WHERE fno IN "
+                      "(SELECT fno FROM Flights WHERE dest = 'Paris')";
+    for (const auto& other : group) {
+      if (other == self) continue;
+      sql += " AND ('" + other + "', fno) IN ANSWER Reservation";
+    }
+    sql += " CHOOSE 1";
+    AddQuery(id++, sql);
+  }
+  Matcher matcher(&storage_, config_);
+  auto match = matcher.TryMatch(4, pool_);
+  ASSERT_TRUE(match.ok()) << match.status();
+  ASSERT_TRUE(match->has_value());
+  EXPECT_EQ(match->value().group.size(), 4u);
+  // Everyone on the same flight.
+  const Value& fno = match->value().answers.at(1)[0].at(1);
+  for (QueryId q = 1; q <= 4; ++q) {
+    EXPECT_EQ(match->value().answers.at(q)[0].at(1), fno);
+  }
+}
+
+TEST_F(MatcherTest, PriceComparisonRestrictsChoice) {
+  ASSERT_TRUE(storage_
+                  .CreateTable("Prices",
+                               Schema({{"fno", DataType::kInt64, false},
+                                       {"price", DataType::kInt64, false}}))
+                  .ok());
+  for (auto [f, p] : std::vector<std::pair<int64_t, int64_t>>{
+           {122, 900}, {123, 400}, {134, 950}}) {
+    ASSERT_TRUE(storage_
+                    .Insert("Prices",
+                            Tuple({Value::Int64(f), Value::Int64(p)}))
+                    .ok());
+  }
+  // Both want the same flight; Jerry additionally requires price <= 500
+  // via a second domain on the same variable.
+  AddQuery(1, PairQuery("Kramer", "Jerry"));
+  AddQuery(2,
+           "SELECT 'Jerry', fno INTO ANSWER Reservation WHERE fno IN "
+           "(SELECT fno FROM Flights WHERE dest = 'Paris') AND fno IN "
+           "(SELECT fno FROM Prices WHERE price <= 500) AND "
+           "('Kramer', fno) IN ANSWER Reservation CHOOSE 1");
+  Matcher matcher(&storage_, config_);
+  auto match = matcher.TryMatch(2, pool_);
+  ASSERT_TRUE(match.ok()) << match.status();
+  ASSERT_TRUE(match->has_value());
+  EXPECT_EQ(match->value().answers.at(2)[0].at(1).int64_value(), 123);
+}
+
+TEST_F(MatcherTest, AdjacentSeatCoordination) {
+  ASSERT_TRUE(storage_
+                  .CreateTable("Seats",
+                               Schema({{"fno", DataType::kInt64, false},
+                                       {"seat", DataType::kInt64, false}}))
+                  .ok());
+  for (int64_t seat = 1; seat <= 4; ++seat) {
+    ASSERT_TRUE(storage_
+                    .Insert("Seats",
+                            Tuple({Value::Int64(122), Value::Int64(seat)}))
+                    .ok());
+  }
+  ASSERT_TRUE(storage_
+                  .CreateTable("SeatReservation",
+                               Schema({{"traveler", DataType::kString, false},
+                                       {"fno", DataType::kInt64, false},
+                                       {"seat", DataType::kInt64, false}}))
+                  .ok());
+  // A < B so A takes the +1 constraint, B the -1 (middle-tier policy).
+  AddQuery(1,
+           "SELECT 'A', fno, seat INTO ANSWER SeatReservation WHERE "
+           "fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') AND "
+           "seat IN (SELECT seat FROM Seats WHERE fno = fno) AND "
+           "('B', fno, seat + 1) IN ANSWER SeatReservation CHOOSE 1");
+  AddQuery(2,
+           "SELECT 'B', fno, seat INTO ANSWER SeatReservation WHERE "
+           "fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') AND "
+           "seat IN (SELECT seat FROM Seats WHERE fno = fno) AND "
+           "('A', fno, seat - 1) IN ANSWER SeatReservation CHOOSE 1");
+  Matcher matcher(&storage_, config_);
+  auto match = matcher.TryMatch(2, pool_);
+  ASSERT_TRUE(match.ok()) << match.status();
+  ASSERT_TRUE(match->has_value());
+  const Tuple& a = match->value().answers.at(1)[0];
+  const Tuple& b = match->value().answers.at(2)[0];
+  EXPECT_EQ(a.at(1), b.at(1));  // same flight (122: only one with seats)
+  EXPECT_EQ(b.at(2).int64_value(), a.at(2).int64_value() + 1);
+}
+
+TEST_F(MatcherTest, UnsafeQueryNeverGrounds) {
+  // Variable with no domain predicate and no partner to bind it.
+  AddQuery(1, "SELECT 'u', mystery INTO ANSWER Reservation CHOOSE 1");
+  Matcher matcher(&storage_, config_);
+  auto match = matcher.TryMatch(1, pool_);
+  ASSERT_TRUE(match.ok());
+  EXPECT_FALSE(match->has_value());
+}
+
+TEST_F(MatcherTest, EmptyDomainNeverMatches) {
+  AddQuery(1,
+           "SELECT 'u', fno INTO ANSWER Reservation WHERE fno IN "
+           "(SELECT fno FROM Flights WHERE dest = 'Atlantis') CHOOSE 1");
+  Matcher matcher(&storage_, config_);
+  auto match = matcher.TryMatch(1, pool_);
+  ASSERT_TRUE(match.ok());
+  EXPECT_FALSE(match->has_value());
+}
+
+TEST_F(MatcherTest, GroupSizeCapPreventsMatch) {
+  config_.max_group_size = 1;
+  AddQuery(1, PairQuery("Kramer", "Jerry"));
+  AddQuery(2, PairQuery("Jerry", "Kramer"));
+  Matcher matcher(&storage_, config_);
+  auto match = matcher.TryMatch(2, pool_);
+  ASSERT_TRUE(match.ok());
+  EXPECT_FALSE(match->has_value());
+}
+
+TEST_F(MatcherTest, SignatureIndexOffStillMatches) {
+  config_.use_signature_index = false;
+  AddQuery(1, PairQuery("Kramer", "Jerry"));
+  AddQuery(2, PairQuery("Jerry", "Kramer"));
+  Matcher matcher(&storage_, config_);
+  auto match = matcher.TryMatch(2, pool_);
+  ASSERT_TRUE(match.ok());
+  EXPECT_TRUE(match->has_value());
+}
+
+TEST_F(MatcherTest, ChooseIsSeededNondeterminism) {
+  AddQuery(1, PairQuery("Kramer", "Jerry"));
+  AddQuery(2, PairQuery("Jerry", "Kramer"));
+  // Same seed -> same choice.
+  config_.rng_seed = 5;
+  Matcher m1(&storage_, config_);
+  Matcher m2(&storage_, config_);
+  auto r1 = m1.TryMatch(2, pool_);
+  auto r2 = m2.TryMatch(2, pool_);
+  ASSERT_TRUE(r1->has_value());
+  ASSERT_TRUE(r2->has_value());
+  EXPECT_EQ(r1->value().answers.at(1)[0], r2->value().answers.at(1)[0]);
+}
+
+TEST_F(MatcherTest, DifferentSeedsCoverMultipleFlights) {
+  AddQuery(1, PairQuery("Kramer", "Jerry"));
+  AddQuery(2, PairQuery("Jerry", "Kramer"));
+  std::set<int64_t> seen;
+  for (uint64_t seed = 0; seed < 32; ++seed) {
+    config_.rng_seed = seed;
+    Matcher matcher(&storage_, config_);
+    auto match = matcher.TryMatch(2, pool_);
+    ASSERT_TRUE(match.ok());
+    ASSERT_TRUE(match->has_value());
+    seen.insert(match->value().answers.at(1)[0].at(1).int64_value());
+  }
+  // CHOOSE 1 nondeterminism: over 32 seeds we should see at least two of
+  // the three Paris flights.
+  EXPECT_GE(seen.size(), 2u);
+}
+
+TEST_F(MatcherTest, BacktracksOverUngroundableProvider) {
+  // Two candidate partners claim to be 'Jerry': one wants Rome (cannot
+  // share a Paris flight), one wants Paris. The matcher must reject the
+  // Rome Jerry after grounding fails and settle on the Paris Jerry.
+  AddQuery(1, PairQuery("Jerry", "Kramer", "Rome"));   // wrong Jerry
+  AddQuery(2, PairQuery("Jerry", "Kramer", "Paris"));  // right Jerry
+  AddQuery(3, PairQuery("Kramer", "Jerry", "Paris"));
+  Matcher matcher(&storage_, config_);
+  auto match = matcher.TryMatch(3, pool_);
+  ASSERT_TRUE(match.ok()) << match.status();
+  ASSERT_TRUE(match->has_value());
+  ASSERT_EQ(match->value().group.size(), 2u);
+  // Group is {3, 2}; query 1 remains out.
+  EXPECT_EQ(std::count(match->value().group.begin(),
+                       match->value().group.end(), QueryId{1}),
+            0);
+}
+
+TEST_F(MatcherTest, StarTopologyHubAndSpokes) {
+  // Hub H constrains three spokes; each spoke constrains only H.
+  // Arrival order: spokes first, hub last closes the group of four.
+  const std::vector<std::string> spokes = {"S1", "S2", "S3"};
+  QueryId id = 1;
+  for (const auto& s : spokes) {
+    AddQuery(id++,
+             "SELECT '" + s + "', fno INTO ANSWER Reservation WHERE fno IN "
+             "(SELECT fno FROM Flights WHERE dest = 'Paris') AND "
+             "('Hub', fno) IN ANSWER Reservation CHOOSE 1");
+  }
+  std::string hub =
+      "SELECT 'Hub', fno INTO ANSWER Reservation WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE dest = 'Paris')";
+  for (const auto& s : spokes) {
+    hub += " AND ('" + s + "', fno) IN ANSWER Reservation";
+  }
+  hub += " CHOOSE 1";
+  AddQuery(id, hub);
+  Matcher matcher(&storage_, config_);
+  auto match = matcher.TryMatch(id, pool_);
+  ASSERT_TRUE(match.ok()) << match.status();
+  ASSERT_TRUE(match->has_value());
+  EXPECT_EQ(match->value().group.size(), 4u);
+  const Value& fno = match->value().answers.at(id)[0].at(1);
+  for (QueryId q = 1; q <= id; ++q) {
+    EXPECT_EQ(match->value().answers.at(q)[0].at(1), fno);
+  }
+}
+
+TEST_F(MatcherTest, OneSpokeMatchesHubWithoutOthers) {
+  // The hub requires all three spokes; one spoke alone must NOT match.
+  AddQuery(1,
+           "SELECT 'S1', fno INTO ANSWER Reservation WHERE fno IN "
+           "(SELECT fno FROM Flights WHERE dest = 'Paris') AND "
+           "('Hub', fno) IN ANSWER Reservation CHOOSE 1");
+  AddQuery(2,
+           "SELECT 'Hub', fno INTO ANSWER Reservation WHERE fno IN "
+           "(SELECT fno FROM Flights WHERE dest = 'Paris') AND "
+           "('S1', fno) IN ANSWER Reservation AND "
+           "('S2', fno) IN ANSWER Reservation CHOOSE 1");
+  Matcher matcher(&storage_, config_);
+  // Hub's S2 constraint has no provider: no match from either root.
+  auto from_spoke = matcher.TryMatch(1, pool_);
+  ASSERT_TRUE(from_spoke.ok());
+  EXPECT_FALSE(from_spoke->has_value());
+  auto from_hub = matcher.TryMatch(2, pool_);
+  ASSERT_TRUE(from_hub.ok());
+  EXPECT_FALSE(from_hub->has_value());
+}
+
+TEST_F(MatcherTest, SharedHeadSatisfiesTwoConstraints) {
+  // Two distinct queries both require Kramer's tuple; Kramer requires
+  // both of theirs. One Kramer head serves both constraints.
+  AddQuery(1,
+           "SELECT 'A', fno INTO ANSWER Reservation WHERE fno IN "
+           "(SELECT fno FROM Flights WHERE dest = 'Paris') AND "
+           "('Kramer', fno) IN ANSWER Reservation CHOOSE 1");
+  AddQuery(2,
+           "SELECT 'B', fno INTO ANSWER Reservation WHERE fno IN "
+           "(SELECT fno FROM Flights WHERE dest = 'Paris') AND "
+           "('Kramer', fno) IN ANSWER Reservation CHOOSE 1");
+  AddQuery(3,
+           "SELECT 'Kramer', fno INTO ANSWER Reservation WHERE fno IN "
+           "(SELECT fno FROM Flights WHERE dest = 'Paris') AND "
+           "('A', fno) IN ANSWER Reservation AND "
+           "('B', fno) IN ANSWER Reservation CHOOSE 1");
+  Matcher matcher(&storage_, config_);
+  auto match = matcher.TryMatch(3, pool_);
+  ASSERT_TRUE(match.ok()) << match.status();
+  ASSERT_TRUE(match->has_value());
+  EXPECT_EQ(match->value().group.size(), 3u);
+  // Kramer contributed one tuple but discharged two constraints; the
+  // installed list holds exactly three tuples.
+  EXPECT_EQ(match->value().installed.size(), 3u);
+}
+
+TEST_F(MatcherTest, NaiveGroundingOrderStillCorrect) {
+  config_.prefer_most_constrained = false;
+  AddQuery(1, PairQuery("Kramer", "Jerry"));
+  AddQuery(2, PairQuery("Jerry", "Kramer"));
+  Matcher matcher(&storage_, config_);
+  auto match = matcher.TryMatch(2, pool_);
+  ASSERT_TRUE(match.ok());
+  ASSERT_TRUE(match->has_value());
+  EXPECT_EQ(match->value().answers.at(1)[0].at(1),
+            match->value().answers.at(2)[0].at(1));
+}
+
+TEST_F(MatcherTest, StepBudgetLeavesQueriesPending) {
+  config_.max_steps = 1;
+  // A provider chain long enough to exceed one step.
+  AddQuery(1, PairQuery("Kramer", "Jerry"));
+  AddQuery(2, PairQuery("Jerry", "Kramer"));
+  Matcher matcher(&storage_, config_);
+  auto match = matcher.TryMatch(2, pool_);
+  ASSERT_TRUE(match.ok());
+  EXPECT_FALSE(match->has_value());
+}
+
+TEST_F(MatcherTest, MissingRootIsNotFound) {
+  Matcher matcher(&storage_, config_);
+  EXPECT_EQ(matcher.TryMatch(99, pool_).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace youtopia

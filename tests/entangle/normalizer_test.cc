@@ -1,0 +1,204 @@
+#include "entangle/normalizer.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace youtopia {
+namespace {
+
+Result<EntangledQuery> Normalize(const std::string& sql) {
+  auto stmt = Parser::ParseStatement(sql);
+  if (!stmt.ok()) return stmt.status();
+  const auto& select = static_cast<const SelectStatement&>(*stmt.value());
+  return Normalizer::Normalize(select, 1, "tester", sql);
+}
+
+TEST(NormalizerTest, PaperQueryTranslates) {
+  auto q = Normalize(
+      "SELECT 'Kramer', fno INTO ANSWER Reservation "
+      "WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris') "
+      "AND ('Jerry', fno) IN ANSWER Reservation CHOOSE 1");
+  ASSERT_TRUE(q.ok()) << q.status();
+
+  ASSERT_EQ(q->heads.size(), 1u);
+  EXPECT_EQ(q->heads[0].relation, "Reservation");
+  ASSERT_EQ(q->heads[0].terms.size(), 2u);
+  EXPECT_EQ(q->heads[0].terms[0].constant.string_value(), "Kramer");
+  EXPECT_TRUE(q->heads[0].terms[1].is_variable());
+
+  ASSERT_EQ(q->constraints.size(), 1u);
+  EXPECT_EQ(q->constraints[0].terms[0].constant.string_value(), "Jerry");
+  // Same variable in head and constraint.
+  EXPECT_EQ(q->constraints[0].terms[1].var, q->heads[0].terms[1].var);
+
+  ASSERT_EQ(q->domains.size(), 1u);
+  EXPECT_EQ(q->domains[0].table, "Flights");
+  EXPECT_EQ(q->domains[0].output_column, "fno");
+  ASSERT_EQ(q->domains[0].conditions.size(), 1u);
+  EXPECT_EQ(q->domains[0].conditions[0].column, "dest");
+  EXPECT_EQ(q->domains[0].conditions[0].op, BinaryOp::kEq);
+  EXPECT_EQ(q->domains[0].conditions[0].rhs.constant.string_value(), "Paris");
+
+  EXPECT_EQ(q->choose, 1);
+  EXPECT_EQ(q->owner, "tester");
+  EXPECT_EQ(q->num_vars(), 1u);
+  EXPECT_EQ(q->var_names[0], "fno");
+  EXPECT_TRUE(q->UnboundVars().empty());
+}
+
+TEST(NormalizerTest, VariableIdentityIsCaseInsensitive) {
+  auto q = Normalize(
+      "SELECT 'u', FNO INTO ANSWER R WHERE fno IN (SELECT fno FROM F)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_vars(), 1u);
+}
+
+TEST(NormalizerTest, MultiHeadMultiRelation) {
+  auto q = Normalize(
+      "SELECT 'J', fno INTO ANSWER Reservation, "
+      "'J', hid INTO ANSWER HotelReservation "
+      "WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris') "
+      "AND hid IN (SELECT hid FROM Hotels WHERE city='Paris') "
+      "AND ('K', fno) IN ANSWER Reservation "
+      "AND ('K', hid) IN ANSWER HotelReservation CHOOSE 1");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->heads.size(), 2u);
+  EXPECT_EQ(q->constraints.size(), 2u);
+  EXPECT_EQ(q->domains.size(), 2u);
+  EXPECT_EQ(q->num_vars(), 2u);
+}
+
+TEST(NormalizerTest, AffineTermsInConstraints) {
+  auto q = Normalize(
+      "SELECT 'u', fno, seat INTO ANSWER S "
+      "WHERE fno IN (SELECT fno FROM Flights) "
+      "AND seat IN (SELECT seat FROM Seats WHERE fno = fno) "
+      "AND ('v', fno, seat + 1) IN ANSWER S");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->constraints.size(), 1u);
+  const Term& seat_term = q->constraints[0].terms[2];
+  EXPECT_TRUE(seat_term.is_variable());
+  EXPECT_EQ(seat_term.offset, 1);
+  // Correlated domain condition references the fno variable.
+  ASSERT_EQ(q->domains.size(), 2u);
+  const auto& seats = q->domains[1];
+  ASSERT_EQ(seats.conditions.size(), 1u);
+  EXPECT_TRUE(seats.conditions[0].rhs.is_variable());
+}
+
+TEST(NormalizerTest, SeatMinusOffset) {
+  auto q = Normalize(
+      "SELECT 'u', seat INTO ANSWER S WHERE "
+      "seat IN (SELECT seat FROM Seats) AND ('v', seat - 1) IN ANSWER S");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->constraints[0].terms[1].offset, -1);
+}
+
+TEST(NormalizerTest, ComparisonsBecomeVarComparisons) {
+  auto q = Normalize(
+      "SELECT 'u', p INTO ANSWER R WHERE p IN (SELECT price FROM Flights) "
+      "AND p <= 500");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->comparisons.size(), 1u);
+  EXPECT_EQ(q->comparisons[0].op, BinaryOp::kLte);
+  EXPECT_EQ(q->comparisons[0].rhs.constant.int64_value(), 500);
+}
+
+TEST(NormalizerTest, DomainConditionComparisonsAllowed) {
+  auto q = Normalize(
+      "SELECT 'u', fno INTO ANSWER R WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE price <= 500 AND day = 3)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->domains[0].conditions.size(), 2u);
+  EXPECT_EQ(q->domains[0].conditions[0].op, BinaryOp::kLte);
+}
+
+TEST(NormalizerTest, FlippedDomainConditionNormalized) {
+  // `500 >= price` is stored as `price <= 500`.
+  auto q = Normalize(
+      "SELECT 'u', fno INTO ANSWER R WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE 500 >= price)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->domains[0].conditions[0].column, "price");
+  EXPECT_EQ(q->domains[0].conditions[0].op, BinaryOp::kLte);
+}
+
+TEST(NormalizerTest, DefaultChooseIsOne) {
+  auto q = Normalize(
+      "SELECT 'u', fno INTO ANSWER R WHERE fno IN (SELECT fno FROM F)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->choose, 1);
+}
+
+TEST(NormalizerTest, ChooseGreaterThanOneUnsupported) {
+  auto q = Normalize(
+      "SELECT 'u', fno INTO ANSWER R WHERE fno IN (SELECT fno FROM F) "
+      "CHOOSE 2");
+  EXPECT_EQ(q.status().code(), StatusCode::kNotImplemented);
+}
+
+TEST(NormalizerTest, RegularSelectRejected) {
+  auto q = Normalize("SELECT fno FROM Flights");
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NormalizerTest, FromClauseRejected) {
+  auto q = Normalize("SELECT 'u', fno INTO ANSWER R FROM Flights");
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NormalizerTest, NegatedAnswerConstraintRejected) {
+  auto q = Normalize(
+      "SELECT 'u', fno INTO ANSWER R WHERE fno IN (SELECT fno FROM F) "
+      "AND ('v', fno) NOT IN ANSWER R");
+  EXPECT_EQ(q.status().code(), StatusCode::kNotImplemented);
+}
+
+TEST(NormalizerTest, NegatedSubqueryRejected) {
+  auto q = Normalize(
+      "SELECT 'u', fno INTO ANSWER R WHERE fno NOT IN (SELECT fno FROM F)");
+  EXPECT_EQ(q.status().code(), StatusCode::kNotImplemented);
+}
+
+TEST(NormalizerTest, DisjunctionInWhereRejected) {
+  auto q = Normalize(
+      "SELECT 'u', fno INTO ANSWER R WHERE fno IN (SELECT fno FROM F) "
+      "OR fno IN (SELECT fno FROM G)");
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NormalizerTest, QualifiedVariableRejected) {
+  auto q = Normalize("SELECT 'u', t.fno INTO ANSWER R");
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NormalizerTest, MultiTableSubqueryRejected) {
+  auto q = Normalize(
+      "SELECT 'u', fno INTO ANSWER R WHERE fno IN "
+      "(SELECT fno FROM A, B)");
+  EXPECT_EQ(q.status().code(), StatusCode::kNotImplemented);
+}
+
+TEST(NormalizerTest, UnboundVarsDetected) {
+  auto q = Normalize("SELECT 'u', mystery INTO ANSWER R");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->UnboundVars().size(), 1u);
+}
+
+TEST(NormalizerTest, ToStringMentionsEverything) {
+  auto q = Normalize(
+      "SELECT 'Kramer', fno INTO ANSWER Reservation "
+      "WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris') "
+      "AND ('Jerry', fno) IN ANSWER Reservation AND fno < 200 CHOOSE 1");
+  ASSERT_TRUE(q.ok());
+  const std::string dump = q->ToString();
+  EXPECT_NE(dump.find("head:"), std::string::npos);
+  EXPECT_NE(dump.find("constraint:"), std::string::npos);
+  EXPECT_NE(dump.find("domain:"), std::string::npos);
+  EXPECT_NE(dump.find("compare:"), std::string::npos);
+  EXPECT_NE(dump.find("Reservation('Kramer', fno)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace youtopia

@@ -1,0 +1,173 @@
+#include "entangle/pending_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace youtopia {
+namespace {
+
+std::shared_ptr<const EntangledQuery> MakeQuery(
+    QueryId id, const std::string& head_rel,
+    const std::string& constraint_rel = "") {
+  EntangledQuery q;
+  q.id = id;
+  q.heads.push_back(AnswerAtom{head_rel, {Term::Variable(0)}});
+  if (!constraint_rel.empty()) {
+    q.constraints.push_back(AnswerAtom{constraint_rel, {Term::Variable(0)}});
+  }
+  q.var_names = {"x"};
+  return std::make_shared<const EntangledQuery>(std::move(q));
+}
+
+TEST(PendingPoolTest, AddGetRemove) {
+  PendingPool pool;
+  pool.Add(MakeQuery(1, "R"));
+  EXPECT_TRUE(pool.Contains(1));
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_NE(pool.Get(1), nullptr);
+  auto removed = pool.Remove(1);
+  ASSERT_NE(removed, nullptr);
+  EXPECT_EQ(removed->id, 1u);
+  EXPECT_FALSE(pool.Contains(1));
+  EXPECT_EQ(pool.Remove(1), nullptr);
+  EXPECT_EQ(pool.Get(1), nullptr);
+}
+
+TEST(PendingPoolTest, AllIdsInOrder) {
+  PendingPool pool;
+  pool.Add(MakeQuery(3, "R"));
+  pool.Add(MakeQuery(1, "R"));
+  pool.Add(MakeQuery(2, "R"));
+  EXPECT_EQ(pool.AllIds(), (std::vector<QueryId>{1, 2, 3}));
+}
+
+TEST(PendingPoolTest, HeadSignatureIndex) {
+  PendingPool pool;
+  pool.Add(MakeQuery(1, "Reservation"));
+  pool.Add(MakeQuery(2, "HotelReservation"));
+  pool.Add(MakeQuery(3, "Reservation"));
+  EXPECT_EQ(pool.QueriesWithHeadOn("Reservation"),
+            (std::vector<QueryId>{1, 3}));
+  // Case-insensitive.
+  EXPECT_EQ(pool.QueriesWithHeadOn("RESERVATION"),
+            (std::vector<QueryId>{1, 3}));
+  EXPECT_TRUE(pool.QueriesWithHeadOn("Nope").empty());
+}
+
+TEST(PendingPoolTest, ConstraintSignatureIndex) {
+  PendingPool pool;
+  pool.Add(MakeQuery(1, "R", "S"));
+  pool.Add(MakeQuery(2, "R", "R"));
+  EXPECT_EQ(pool.QueriesWithConstraintOn("S"), (std::vector<QueryId>{1}));
+  EXPECT_EQ(pool.QueriesWithConstraintOn("R"), (std::vector<QueryId>{2}));
+}
+
+TEST(PendingPoolTest, RemoveCleansIndexes) {
+  PendingPool pool;
+  pool.Add(MakeQuery(1, "R", "S"));
+  pool.Remove(1);
+  EXPECT_TRUE(pool.QueriesWithHeadOn("R").empty());
+  EXPECT_TRUE(pool.QueriesWithConstraintOn("S").empty());
+}
+
+std::shared_ptr<const EntangledQuery> PairQueryIr(QueryId id,
+                                                  const std::string& self,
+                                                  const std::string& other) {
+  EntangledQuery q;
+  q.id = id;
+  q.heads.push_back(AnswerAtom{
+      "Reservation",
+      {Term::Constant(Value::String(self)), Term::Variable(0)}});
+  q.constraints.push_back(AnswerAtom{
+      "Reservation",
+      {Term::Constant(Value::String(other)), Term::Variable(0)}});
+  q.var_names = {"fno"};
+  return std::make_shared<const EntangledQuery>(std::move(q));
+}
+
+TEST(PendingPoolTest, CandidateProvidersFilterByConstant) {
+  PendingPool pool;
+  pool.Add(PairQueryIr(1, "Kramer", "Jerry"));
+  pool.Add(PairQueryIr(2, "Elaine", "George"));
+  pool.Add(PairQueryIr(3, "Jerry", "Kramer"));
+
+  // Jerry's constraint is about 'Kramer': only query 1 has a head
+  // contributing a 'Kramer' tuple.
+  AnswerAtom about_kramer{
+      "Reservation",
+      {Term::Constant(Value::String("Kramer")), Term::Variable(0)}};
+  EXPECT_EQ(pool.CandidateProviders(about_kramer),
+            (std::vector<QueryId>{1}));
+
+  AnswerAtom about_nobody{
+      "Reservation",
+      {Term::Constant(Value::String("Newman")), Term::Variable(0)}};
+  EXPECT_TRUE(pool.CandidateProviders(about_nobody).empty());
+
+  // A constraint with no constants falls back to all heads on the
+  // relation.
+  AnswerAtom all_vars{"Reservation",
+                      {Term::Variable(0), Term::Variable(1)}};
+  EXPECT_EQ(pool.CandidateProviders(all_vars).size(), 3u);
+
+  AnswerAtom wrong_relation{
+      "Hotel", {Term::Constant(Value::String("Kramer")), Term::Variable(0)}};
+  EXPECT_TRUE(pool.CandidateProviders(wrong_relation).empty());
+}
+
+TEST(PendingPoolTest, CandidateProvidersIncludeVariableHeads) {
+  // A head with a variable in position 0 can provide any constant.
+  EntangledQuery q;
+  q.id = 9;
+  q.heads.push_back(
+      AnswerAtom{"Reservation", {Term::Variable(0), Term::Variable(1)}});
+  q.var_names = {"who", "fno"};
+  PendingPool pool;
+  pool.Add(std::make_shared<const EntangledQuery>(std::move(q)));
+  AnswerAtom constraint{
+      "Reservation",
+      {Term::Constant(Value::String("Kramer")), Term::Variable(0)}};
+  EXPECT_EQ(pool.CandidateProviders(constraint), (std::vector<QueryId>{9}));
+}
+
+TEST(PendingPoolTest, QueriesUnblockedByMatchesInstalledTuple) {
+  PendingPool pool;
+  pool.Add(PairQueryIr(1, "Kramer", "Jerry"));   // waits for Jerry
+  pool.Add(PairQueryIr(2, "Elaine", "George"));  // waits for George
+
+  // Installing ('Jerry', 122) can only unblock query 1.
+  Tuple installed({Value::String("Jerry"), Value::Int64(122)});
+  EXPECT_EQ(pool.QueriesUnblockedBy("Reservation", installed),
+            (std::vector<QueryId>{1}));
+  // Wrong relation: nobody.
+  EXPECT_TRUE(pool.QueriesUnblockedBy("Hotel", installed).empty());
+  // Arity mismatch: nobody.
+  Tuple wrong_arity({Value::String("Jerry")});
+  EXPECT_TRUE(pool.QueriesUnblockedBy("Reservation", wrong_arity).empty());
+}
+
+TEST(PendingPoolTest, IndexesCleanedOnRemove) {
+  PendingPool pool;
+  pool.Add(PairQueryIr(1, "Kramer", "Jerry"));
+  pool.Remove(1);
+  AnswerAtom about_kramer{
+      "Reservation",
+      {Term::Constant(Value::String("Kramer")), Term::Variable(0)}};
+  EXPECT_TRUE(pool.CandidateProviders(about_kramer).empty());
+  Tuple installed({Value::String("Jerry"), Value::Int64(1)});
+  EXPECT_TRUE(pool.QueriesUnblockedBy("Reservation", installed).empty());
+}
+
+TEST(PendingPoolTest, MultiHeadQueryIndexedUnderAllRelations) {
+  EntangledQuery q;
+  q.id = 7;
+  q.heads.push_back(AnswerAtom{"A", {Term::Variable(0)}});
+  q.heads.push_back(AnswerAtom{"B", {Term::Variable(0)}});
+  q.var_names = {"x"};
+  PendingPool pool;
+  pool.Add(std::make_shared<const EntangledQuery>(std::move(q)));
+  EXPECT_EQ(pool.QueriesWithHeadOn("A"), (std::vector<QueryId>{7}));
+  EXPECT_EQ(pool.QueriesWithHeadOn("B"), (std::vector<QueryId>{7}));
+}
+
+}  // namespace
+}  // namespace youtopia

@@ -1,0 +1,217 @@
+#include "entangle/unification.h"
+
+#include <gtest/gtest.h>
+
+namespace youtopia {
+namespace {
+
+TEST(SubstitutionTest, FreshVarsAreUnbound) {
+  Substitution s(3);
+  EXPECT_EQ(s.num_vars(), 3u);
+  EXPECT_FALSE(s.Lookup(0).has_value());
+  EXPECT_FALSE(s.SameClass(0, 1));
+}
+
+TEST(SubstitutionTest, UnifyVarsMergesClasses) {
+  Substitution s(3);
+  EXPECT_TRUE(s.UnifyVars(0, 0, 1, 0));
+  EXPECT_TRUE(s.SameClass(0, 1));
+  EXPECT_FALSE(s.SameClass(0, 2));
+  EXPECT_TRUE(s.UnifyVars(1, 0, 2, 0));
+  EXPECT_TRUE(s.SameClass(0, 2));
+}
+
+TEST(SubstitutionTest, ConstantPropagatesThroughClass) {
+  Substitution s(2);
+  ASSERT_TRUE(s.UnifyVars(0, 0, 1, 0));
+  ASSERT_TRUE(s.UnifyConstant(0, 0, Value::Int64(122)));
+  EXPECT_EQ(s.Lookup(1)->int64_value(), 122);
+}
+
+TEST(SubstitutionTest, ConflictingConstantsFail) {
+  Substitution s(2);
+  ASSERT_TRUE(s.UnifyConstant(0, 0, Value::Int64(122)));
+  EXPECT_FALSE(s.UnifyConstant(0, 0, Value::Int64(123)));
+  ASSERT_TRUE(s.UnifyConstant(1, 0, Value::Int64(123)));
+  EXPECT_FALSE(s.UnifyVars(0, 0, 1, 0));
+}
+
+TEST(SubstitutionTest, OffsetsRelateIntegerVars) {
+  // value(0) + 1 == value(1)  (i.e. var1 = var0 + 1)
+  Substitution s(2);
+  ASSERT_TRUE(s.UnifyVars(0, 1, 1, 0));
+  ASSERT_TRUE(s.UnifyConstant(0, 0, Value::Int64(10)));
+  EXPECT_EQ(s.Lookup(1)->int64_value(), 11);
+}
+
+TEST(SubstitutionTest, OffsetChainAccumulates) {
+  // v1 = v0 + 1, v2 = v1 + 1 => v2 = v0 + 2.
+  Substitution s(3);
+  ASSERT_TRUE(s.UnifyVars(0, 1, 1, 0));
+  ASSERT_TRUE(s.UnifyVars(1, 1, 2, 0));
+  ASSERT_TRUE(s.UnifyConstant(2, 0, Value::Int64(7)));
+  EXPECT_EQ(s.Lookup(0)->int64_value(), 5);
+  EXPECT_EQ(s.Lookup(1)->int64_value(), 6);
+}
+
+TEST(SubstitutionTest, InconsistentOffsetCycleFails) {
+  // v1 = v0 + 1 and v1 = v0 + 2 is contradictory.
+  Substitution s(2);
+  ASSERT_TRUE(s.UnifyVars(0, 1, 1, 0));
+  EXPECT_FALSE(s.UnifyVars(0, 2, 1, 0));
+  // Zero-offset self-cycle is fine.
+  EXPECT_TRUE(s.UnifyVars(0, 1, 1, 0));
+}
+
+TEST(SubstitutionTest, OffsetWithNonIntegerFails) {
+  Substitution s(2);
+  ASSERT_TRUE(s.UnifyVars(0, 1, 1, 0));
+  EXPECT_FALSE(s.UnifyConstant(0, 0, Value::String("Paris")));
+}
+
+TEST(SubstitutionTest, ZeroOffsetWithStringsWorks) {
+  Substitution s(2);
+  ASSERT_TRUE(s.UnifyVars(0, 0, 1, 0));
+  ASSERT_TRUE(s.UnifyConstant(1, 0, Value::String("Paris")));
+  EXPECT_EQ(s.Lookup(0)->string_value(), "Paris");
+}
+
+TEST(SubstitutionTest, ConstantOffsetArithmetic) {
+  // value(v) + 2 == 10  =>  v = 8.
+  Substitution s(1);
+  ASSERT_TRUE(s.UnifyConstant(0, 2, Value::Int64(10)));
+  EXPECT_EQ(s.Lookup(0)->int64_value(), 8);
+}
+
+TEST(SubstitutionTest, BoundClassesMergeWithConsistentOffsets) {
+  Substitution s(2);
+  ASSERT_TRUE(s.UnifyConstant(0, 0, Value::Int64(5)));
+  ASSERT_TRUE(s.UnifyConstant(1, 0, Value::Int64(6)));
+  // v0 + 1 == v1 holds (5 + 1 == 6).
+  EXPECT_TRUE(s.UnifyVars(0, 1, 1, 0));
+  // And the bindings survive the merge.
+  EXPECT_EQ(s.Lookup(0)->int64_value(), 5);
+  EXPECT_EQ(s.Lookup(1)->int64_value(), 6);
+}
+
+TEST(SubstitutionTest, CopySemanticsForBacktracking) {
+  Substitution s(2);
+  Substitution snapshot = s;
+  ASSERT_TRUE(s.UnifyConstant(0, 0, Value::Int64(1)));
+  EXPECT_TRUE(s.Lookup(0).has_value());
+  EXPECT_FALSE(snapshot.Lookup(0).has_value());
+}
+
+TEST(SubstitutionTest, AddVarsExtends) {
+  Substitution s(1);
+  s.AddVars(2);
+  EXPECT_EQ(s.num_vars(), 3u);
+  EXPECT_FALSE(s.Lookup(2).has_value());
+}
+
+TEST(UnifyTermsTest, AllCombinations) {
+  Substitution s(2);
+  EXPECT_TRUE(s.UnifyTerms(Term::Constant(Value::Int64(1)),
+                           Term::Constant(Value::Int64(1))));
+  EXPECT_FALSE(s.UnifyTerms(Term::Constant(Value::Int64(1)),
+                            Term::Constant(Value::Int64(2))));
+  EXPECT_TRUE(
+      s.UnifyTerms(Term::Variable(0), Term::Constant(Value::Int64(5))));
+  EXPECT_EQ(s.Lookup(0)->int64_value(), 5);
+  EXPECT_TRUE(s.UnifyTerms(Term::Constant(Value::Int64(9)),
+                           Term::Variable(1)));
+  EXPECT_EQ(s.Lookup(1)->int64_value(), 9);
+}
+
+TEST(UnifyAtomsTest, PaperFigure1Unification) {
+  // Kramer's constraint R('Jerry', f_K) vs Jerry's head R('Jerry', f_J):
+  // global vars f_K = 0, f_J = 1.
+  Substitution s(2);
+  AnswerAtom constraint{"Reservation",
+                        {Term::Constant(Value::String("Jerry")),
+                         Term::Variable(0)}};
+  AnswerAtom head{"Reservation",
+                  {Term::Constant(Value::String("Jerry")),
+                   Term::Variable(1)}};
+  EXPECT_TRUE(UnifyAtoms(constraint, head, &s));
+  EXPECT_TRUE(s.SameClass(0, 1));
+}
+
+TEST(UnifyAtomsTest, RelationAndArityMustMatch) {
+  Substitution s(2);
+  AnswerAtom a{"R", {Term::Variable(0)}};
+  AnswerAtom b{"S", {Term::Variable(1)}};
+  EXPECT_FALSE(UnifyAtoms(a, b, &s));
+  AnswerAtom c{"R", {Term::Variable(0), Term::Variable(1)}};
+  EXPECT_FALSE(UnifyAtoms(a, c, &s));
+  // Case-insensitive relation names unify.
+  AnswerAtom d{"r", {Term::Variable(1)}};
+  EXPECT_TRUE(UnifyAtoms(a, d, &s));
+}
+
+TEST(UnifyAtomsTest, ConstantMismatchFails) {
+  Substitution s(0);
+  AnswerAtom a{"R", {Term::Constant(Value::String("Jerry"))}};
+  AnswerAtom b{"R", {Term::Constant(Value::String("Kramer"))}};
+  EXPECT_FALSE(UnifyAtoms(a, b, &s));
+}
+
+TEST(UnifyAtomWithTupleTest, GroundsVariables) {
+  Substitution s(1);
+  AnswerAtom atom{"R",
+                  {Term::Constant(Value::String("Kramer")),
+                   Term::Variable(0)}};
+  Tuple stored({Value::String("Kramer"), Value::Int64(122)});
+  EXPECT_TRUE(UnifyAtomWithTuple(atom, stored, &s));
+  EXPECT_EQ(s.Lookup(0)->int64_value(), 122);
+
+  Tuple wrong({Value::String("Jerry"), Value::Int64(122)});
+  Substitution s2(1);
+  EXPECT_FALSE(UnifyAtomWithTuple(atom, wrong, &s2));
+}
+
+TEST(UnifyAtomWithTupleTest, OffsetTermAgainstTuple) {
+  // atom term is var+1; tuple value 10 => var = 9.
+  Substitution s(1);
+  AnswerAtom atom{"R", {Term::Variable(0, 1)}};
+  EXPECT_TRUE(UnifyAtomWithTuple(atom, Tuple({Value::Int64(10)}), &s));
+  EXPECT_EQ(s.Lookup(0)->int64_value(), 9);
+}
+
+TEST(AtomsMayUnifyTest, SymbolicPrefilter) {
+  AnswerAtom a{"R",
+               {Term::Constant(Value::String("Jerry")), Term::Variable(0)}};
+  AnswerAtom b{"R",
+               {Term::Constant(Value::String("Jerry")), Term::Variable(3)}};
+  AnswerAtom c{"R",
+               {Term::Constant(Value::String("Kramer")), Term::Variable(0)}};
+  EXPECT_TRUE(AtomsMayUnify(a, b));
+  EXPECT_FALSE(AtomsMayUnify(a, c));  // constant clash
+  // Variables are compatible with anything at prefilter level.
+  AnswerAtom d{"R", {Term::Variable(1), Term::Variable(2)}};
+  EXPECT_TRUE(AtomsMayUnify(a, d));
+}
+
+TEST(TermTest, ToStringUsesNamesAndOffsets) {
+  std::vector<std::string> names = {"fno", "seat"};
+  EXPECT_EQ(Term::Variable(0).ToString(&names), "fno");
+  EXPECT_EQ(Term::Variable(1, 1).ToString(&names), "seat + 1");
+  EXPECT_EQ(Term::Variable(1, -2).ToString(&names), "seat - 2");
+  EXPECT_EQ(Term::Variable(5).ToString(&names), "$5");
+  EXPECT_EQ(Term::Constant(Value::Int64(122)).ToString(), "122");
+}
+
+TEST(AnswerAtomTest, GroundnessAndTupleConversion) {
+  AnswerAtom ground{"R",
+                    {Term::Constant(Value::String("Jerry")),
+                     Term::Constant(Value::Int64(122))}};
+  EXPECT_TRUE(ground.IsGround());
+  EXPECT_EQ(ground.ToTuple(), Tuple({Value::String("Jerry"),
+                                     Value::Int64(122)}));
+  AnswerAtom open{"R", {Term::Variable(0)}};
+  EXPECT_FALSE(open.IsGround());
+  EXPECT_EQ(ground.ToString(), "R('Jerry', 122)");
+}
+
+}  // namespace
+}  // namespace youtopia

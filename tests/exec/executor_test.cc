@@ -1,0 +1,177 @@
+#include "exec/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace youtopia {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    executor_ = std::make_unique<Executor>(&storage_);
+    Run("CREATE TABLE Flights (fno INT NOT NULL, dest TEXT NOT NULL, "
+        "price INT NOT NULL)");
+    Run("INSERT INTO Flights VALUES (122, 'Paris', 400), "
+        "(123, 'Paris', 900), (134, 'Paris', 350), (136, 'Rome', 500)");
+  }
+
+  QueryResult Run(const std::string& sql) {
+    auto stmt = Parser::ParseStatement(sql);
+    EXPECT_TRUE(stmt.ok()) << sql << " -> " << stmt.status();
+    auto result = executor_->Execute(*stmt.value());
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status();
+    return result.ok() ? result.TakeValue() : QueryResult{};
+  }
+
+  Result<QueryResult> TryRun(const std::string& sql) {
+    auto stmt = Parser::ParseStatement(sql);
+    if (!stmt.ok()) return stmt.status();
+    return executor_->Execute(*stmt.value());
+  }
+
+  StorageEngine storage_;
+  std::unique_ptr<Executor> executor_;
+};
+
+TEST_F(ExecutorTest, SelectWithFilter) {
+  auto result = Run("SELECT fno FROM Flights WHERE dest = 'Paris'");
+  EXPECT_EQ(result.rows.size(), 3u);
+}
+
+TEST_F(ExecutorTest, SelectProjectionExpressions) {
+  auto result = Run("SELECT fno, price / 2 FROM Flights WHERE fno = 122");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0].at(1).int64_value(), 200);
+  EXPECT_EQ(result.column_names[1], "price / 2");
+}
+
+TEST_F(ExecutorTest, SelectStar) {
+  auto result = Run("SELECT * FROM Flights");
+  EXPECT_EQ(result.rows.size(), 4u);
+  EXPECT_EQ(result.column_names.size(), 3u);
+}
+
+TEST_F(ExecutorTest, ConstantSelect) {
+  auto result = Run("SELECT 2 + 3, 'hi'");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0].at(0).int64_value(), 5);
+  EXPECT_EQ(result.rows[0].at(1).string_value(), "hi");
+}
+
+TEST_F(ExecutorTest, JoinTwoTables) {
+  Run("CREATE TABLE Airlines (fno INT NOT NULL, airline TEXT NOT NULL)");
+  Run("INSERT INTO Airlines VALUES (122, 'United'), (136, 'Alitalia')");
+  auto result = Run(
+      "SELECT f.fno, a.airline FROM Flights f, Airlines a "
+      "WHERE f.fno = a.fno AND f.dest = 'Paris'");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0].at(0).int64_value(), 122);
+  EXPECT_EQ(result.rows[0].at(1).string_value(), "United");
+}
+
+TEST_F(ExecutorTest, InsertReportsAffectedRows) {
+  auto result = Run("INSERT INTO Flights VALUES (200, 'Berlin', 100), "
+                    "(201, 'Berlin', 120)");
+  EXPECT_EQ(result.affected_rows, 2u);
+  EXPECT_EQ(Run("SELECT * FROM Flights").rows.size(), 6u);
+}
+
+TEST_F(ExecutorTest, InsertTypeMismatchFails) {
+  EXPECT_FALSE(TryRun("INSERT INTO Flights VALUES ('x', 'Paris', 1)").ok());
+  EXPECT_FALSE(TryRun("INSERT INTO Flights VALUES (1, 'Paris')").ok());
+}
+
+TEST_F(ExecutorTest, DeleteWithPredicate) {
+  auto result = Run("DELETE FROM Flights WHERE dest = 'Paris'");
+  EXPECT_EQ(result.affected_rows, 3u);
+  EXPECT_EQ(Run("SELECT * FROM Flights").rows.size(), 1u);
+}
+
+TEST_F(ExecutorTest, DeleteAll) {
+  EXPECT_EQ(Run("DELETE FROM Flights").affected_rows, 4u);
+  EXPECT_TRUE(Run("SELECT * FROM Flights").rows.empty());
+}
+
+TEST_F(ExecutorTest, UpdateComputedAssignment) {
+  auto result = Run("UPDATE Flights SET price = price + 50 "
+                    "WHERE dest = 'Paris'");
+  EXPECT_EQ(result.affected_rows, 3u);
+  auto check = Run("SELECT price FROM Flights WHERE fno = 122");
+  EXPECT_EQ(check.rows[0].at(0).int64_value(), 450);
+  // Non-matching rows untouched.
+  auto rome = Run("SELECT price FROM Flights WHERE fno = 136");
+  EXPECT_EQ(rome.rows[0].at(0).int64_value(), 500);
+}
+
+TEST_F(ExecutorTest, UpdateUnknownColumnFails) {
+  EXPECT_FALSE(TryRun("UPDATE Flights SET nope = 1").ok());
+}
+
+TEST_F(ExecutorTest, CreateIndexAndUseIt) {
+  Run("CREATE INDEX ON Flights (dest)");
+  auto result = Run("SELECT fno FROM Flights WHERE dest = 'Rome'");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0].at(0).int64_value(), 136);
+}
+
+TEST_F(ExecutorTest, DropTable) {
+  Run("DROP TABLE Flights");
+  EXPECT_FALSE(TryRun("SELECT * FROM Flights").ok());
+}
+
+TEST_F(ExecutorTest, InSubquery) {
+  Run("CREATE TABLE Cheap (fno INT NOT NULL)");
+  Run("INSERT INTO Cheap VALUES (122), (134)");
+  auto result = Run(
+      "SELECT fno FROM Flights WHERE fno IN (SELECT fno FROM Cheap)");
+  EXPECT_EQ(result.rows.size(), 2u);
+  auto negated = Run(
+      "SELECT fno FROM Flights WHERE fno NOT IN (SELECT fno FROM Cheap)");
+  EXPECT_EQ(negated.rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, SubqueryMustBeSingleColumn) {
+  EXPECT_FALSE(
+      TryRun("SELECT fno FROM Flights WHERE fno IN (SELECT * FROM Flights)")
+          .ok());
+}
+
+TEST_F(ExecutorTest, InAnswerAgainstStoredRelation) {
+  Run("CREATE TABLE Reservation (traveler TEXT NOT NULL, fno INT NOT NULL)");
+  Run("INSERT INTO Reservation VALUES ('Kramer', 122)");
+  // Browse-then-book: regular query probing the answer relation.
+  auto result = Run(
+      "SELECT fno FROM Flights WHERE ('Kramer', fno) IN ANSWER Reservation");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0].at(0).int64_value(), 122);
+}
+
+TEST_F(ExecutorTest, InAnswerArityMismatchFails) {
+  Run("CREATE TABLE Reservation (traveler TEXT NOT NULL, fno INT NOT NULL)");
+  EXPECT_FALSE(
+      TryRun("SELECT fno FROM Flights WHERE (fno) IN ANSWER Reservation")
+          .ok());
+}
+
+TEST_F(ExecutorTest, InAnswerMissingRelationFails) {
+  EXPECT_FALSE(
+      TryRun("SELECT fno FROM Flights WHERE ('K', fno) IN ANSWER Nope").ok());
+}
+
+TEST_F(ExecutorTest, QueryResultToStringRendersTable) {
+  auto result = Run("SELECT fno FROM Flights WHERE fno = 122");
+  const std::string rendered = result.ToString();
+  EXPECT_NE(rendered.find("fno"), std::string::npos);
+  EXPECT_NE(rendered.find("122"), std::string::npos);
+  EXPECT_NE(rendered.find("1 row(s)"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, DmlResultToString) {
+  auto result = Run("DELETE FROM Flights WHERE fno = 122");
+  EXPECT_NE(result.ToString().find("1 row(s) affected"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace youtopia

@@ -1,0 +1,163 @@
+#include "exec/expression_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace youtopia {
+namespace {
+
+/// Parses `expr_sql` via a dummy SELECT and evaluates it with no row.
+Result<Value> EvalConst(const std::string& expr_sql) {
+  auto stmt = Parser::ParseStatement("SELECT " + expr_sql);
+  if (!stmt.ok()) return stmt.status();
+  const auto& select = static_cast<const SelectStatement&>(*stmt.value());
+  return EvaluateConstant(*select.select_list[0]);
+}
+
+TEST(ExpressionEvalTest, Literals) {
+  EXPECT_EQ(EvalConst("42")->int64_value(), 42);
+  EXPECT_EQ(EvalConst("'x'")->string_value(), "x");
+  EXPECT_TRUE(EvalConst("TRUE")->bool_value());
+  EXPECT_TRUE(EvalConst("NULL")->is_null());
+}
+
+TEST(ExpressionEvalTest, IntegerArithmetic) {
+  EXPECT_EQ(EvalConst("1 + 2 * 3")->int64_value(), 7);
+  EXPECT_EQ(EvalConst("10 - 4")->int64_value(), 6);
+  EXPECT_EQ(EvalConst("7 / 2")->int64_value(), 3);  // integer division
+  EXPECT_EQ(EvalConst("-5 + 1")->int64_value(), -4);
+}
+
+TEST(ExpressionEvalTest, DoubleArithmetic) {
+  EXPECT_DOUBLE_EQ(EvalConst("1.5 + 2")->double_value(), 3.5);
+  EXPECT_DOUBLE_EQ(EvalConst("7.0 / 2")->double_value(), 3.5);
+  EXPECT_DOUBLE_EQ(EvalConst("-1.5")->double_value(), -1.5);
+}
+
+TEST(ExpressionEvalTest, DivisionByZeroFails) {
+  EXPECT_FALSE(EvalConst("1 / 0").ok());
+  EXPECT_FALSE(EvalConst("1.0 / 0.0").ok());
+}
+
+TEST(ExpressionEvalTest, StringConcatenationViaPlus) {
+  EXPECT_EQ(EvalConst("'a' + 'b'")->string_value(), "ab");
+}
+
+TEST(ExpressionEvalTest, Comparisons) {
+  EXPECT_TRUE(EvalConst("1 < 2")->bool_value());
+  EXPECT_TRUE(EvalConst("2 <= 2")->bool_value());
+  EXPECT_FALSE(EvalConst("2 > 2")->bool_value());
+  EXPECT_TRUE(EvalConst("2 >= 2")->bool_value());
+  EXPECT_TRUE(EvalConst("1 != 2")->bool_value());
+  EXPECT_TRUE(EvalConst("'Paris' = 'Paris'")->bool_value());
+  EXPECT_TRUE(EvalConst("'Paris' < 'Rome'")->bool_value());
+  EXPECT_TRUE(EvalConst("1 < 1.5")->bool_value());  // mixed numeric
+}
+
+TEST(ExpressionEvalTest, CrossTypeComparisonFails) {
+  EXPECT_FALSE(EvalConst("1 = 'x'").ok());
+  EXPECT_FALSE(EvalConst("TRUE < 1").ok());
+}
+
+TEST(ExpressionEvalTest, NullPropagatesThroughComparisons) {
+  EXPECT_TRUE(EvalConst("NULL = 1")->is_null());
+  EXPECT_TRUE(EvalConst("NULL + 1")->is_null());
+  EXPECT_TRUE(EvalConst("-(NULL)")->is_null());
+}
+
+TEST(ExpressionEvalTest, KleeneLogic) {
+  // FALSE AND NULL = FALSE; TRUE AND NULL = NULL.
+  EXPECT_FALSE(EvalConst("FALSE AND NULL = 1")->bool_value());
+  EXPECT_TRUE(EvalConst("TRUE AND NULL = 1")->is_null());
+  // TRUE OR NULL = TRUE; FALSE OR NULL = NULL.
+  EXPECT_TRUE(EvalConst("TRUE OR NULL = 1")->bool_value());
+  EXPECT_TRUE(EvalConst("FALSE OR NULL = 1")->is_null());
+  EXPECT_TRUE(EvalConst("NOT FALSE")->bool_value());
+  EXPECT_TRUE(EvalConst("NOT NULL")->is_null());
+}
+
+TEST(ExpressionEvalTest, BooleanTypeErrors) {
+  EXPECT_FALSE(EvalConst("1 AND 2").ok());
+  EXPECT_FALSE(EvalConst("NOT 5").ok());
+}
+
+TEST(ExpressionEvalTest, ColumnRefInConstantContextFails) {
+  EXPECT_FALSE(EvalConst("fno").ok());
+}
+
+TEST(ExpressionEvalTest, BoundColumnsResolution) {
+  BoundColumns columns;
+  Schema flights({{"fno", DataType::kInt64, false},
+                  {"dest", DataType::kString, false}});
+  Schema airlines({{"fno", DataType::kInt64, false},
+                   {"airline", DataType::kString, false}});
+  columns.AddSource("f", flights, 0);
+  columns.AddSource("a", airlines, 2);
+
+  EXPECT_EQ(columns.Resolve("f", "fno").value(), 0u);
+  EXPECT_EQ(columns.Resolve("a", "fno").value(), 2u);
+  EXPECT_EQ(columns.Resolve("", "dest").value(), 1u);
+  EXPECT_EQ(columns.Resolve("", "airline").value(), 3u);
+  // Unqualified fno is ambiguous across sources.
+  EXPECT_EQ(columns.Resolve("", "fno").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(columns.Resolve("", "nope").status().code(),
+            StatusCode::kNotFound);
+  // Case-insensitive.
+  EXPECT_EQ(columns.Resolve("F", "DEST").value(), 1u);
+}
+
+TEST(ExpressionEvalTest, EvaluatesAgainstRow) {
+  BoundColumns columns;
+  Schema schema({{"fno", DataType::kInt64, false},
+                 {"dest", DataType::kString, false}});
+  columns.AddSource("Flights", schema, 0);
+  ExpressionEvaluator eval(&columns, nullptr);
+
+  auto stmt = Parser::ParseStatement(
+      "SELECT fno + 1000 FROM Flights WHERE dest = 'Paris'");
+  ASSERT_TRUE(stmt.ok());
+  const auto& select = static_cast<const SelectStatement&>(*stmt.value());
+  Tuple row({Value::Int64(122), Value::String("Paris")});
+
+  auto projected = eval.Evaluate(*select.select_list[0], &row);
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->int64_value(), 1122);
+  auto keep = eval.EvaluatePredicate(*select.where, &row);
+  ASSERT_TRUE(keep.ok());
+  EXPECT_TRUE(keep.value());
+
+  Tuple rome({Value::Int64(136), Value::String("Rome")});
+  EXPECT_FALSE(eval.EvaluatePredicate(*select.where, &rome).value());
+}
+
+TEST(ExpressionEvalTest, PredicateRejectsNullAndNonBool) {
+  ExpressionEvaluator eval(nullptr, nullptr);
+  auto stmt = Parser::ParseStatement("SELECT NULL = 1");
+  const auto& select = static_cast<const SelectStatement&>(*stmt.value());
+  auto keep = eval.EvaluatePredicate(*select.select_list[0], nullptr);
+  ASSERT_TRUE(keep.ok());
+  EXPECT_FALSE(keep.value());  // NULL is not TRUE
+
+  auto num = Parser::ParseStatement("SELECT 5");
+  const auto& sel2 = static_cast<const SelectStatement&>(*num.value());
+  EXPECT_FALSE(eval.EvaluatePredicate(*sel2.select_list[0], nullptr).ok());
+}
+
+TEST(CompareValuesTest, SharedHelperAgreesWithSqlSemantics) {
+  EXPECT_TRUE(CompareValues(BinaryOp::kEq, Value::Int64(1), Value::Null())
+                  ->is_null());
+  EXPECT_TRUE(CompareValuesBool(BinaryOp::kLt, Value::Int64(1),
+                                Value::Int64(2))
+                  .value());
+  EXPECT_FALSE(CompareValuesBool(BinaryOp::kEq, Value::Int64(1),
+                                 Value::Null())
+                   .value());  // NULL folds to false
+  EXPECT_FALSE(
+      CompareValuesBool(BinaryOp::kEq, Value::Int64(1), Value::String("1"))
+          .ok());
+}
+
+}  // namespace
+}  // namespace youtopia

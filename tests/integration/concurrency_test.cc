@@ -1,0 +1,130 @@
+// Threaded coordination: sessions submit entangled queries from many
+// threads, as the demo's loaded system does (paper §3: "a large number
+// of entangled queries are trying to coordinate simultaneously").
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "server/youtopia.h"
+#include "travel/travel_schema.h"
+
+namespace youtopia {
+namespace {
+
+using std::chrono::milliseconds;
+
+std::string PairSql(const std::string& self, const std::string& other) {
+  return "SELECT '" + self + "', fno INTO ANSWER Reservation WHERE fno IN "
+         "(SELECT fno FROM Flights WHERE dest='Paris') AND ('" + other +
+         "', fno) IN ANSWER Reservation CHOOSE 1";
+}
+
+TEST(ConcurrencyTest, ManyPairsFromManyThreads) {
+  Youtopia db;
+  ASSERT_TRUE(travel::SetupFigure1(&db).ok());
+
+  constexpr int kPairs = 24;
+  std::atomic<int> satisfied{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kPairs * 2);
+  for (int p = 0; p < kPairs; ++p) {
+    const std::string a = "A" + std::to_string(p);
+    const std::string b = "B" + std::to_string(p);
+    threads.emplace_back([&db, a, b, &satisfied] {
+      auto handle = db.Submit(PairSql(a, b), a);
+      ASSERT_TRUE(handle.ok()) << handle.status();
+      if (handle->Wait(milliseconds(10000)).ok()) ++satisfied;
+    });
+    threads.emplace_back([&db, a, b, &satisfied] {
+      auto handle = db.Submit(PairSql(b, a), b);
+      ASSERT_TRUE(handle.ok()) << handle.status();
+      if (handle->Wait(milliseconds(10000)).ok()) ++satisfied;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(satisfied.load(), kPairs * 2);
+  EXPECT_EQ(db.coordinator().pending_count(), 0u);
+
+  // Every pair shares a flight: check via SQL.
+  for (int p = 0; p < kPairs; ++p) {
+    auto a_row = db.Execute("SELECT fno FROM Reservation WHERE traveler = "
+                            "'A" + std::to_string(p) + "'");
+    auto b_row = db.Execute("SELECT fno FROM Reservation WHERE traveler = "
+                            "'B" + std::to_string(p) + "'");
+    ASSERT_TRUE(a_row.ok());
+    ASSERT_TRUE(b_row.ok());
+    ASSERT_EQ(a_row->rows.size(), 1u);
+    ASSERT_EQ(b_row->rows.size(), 1u);
+    EXPECT_EQ(a_row->rows[0].at(0), b_row->rows[0].at(0)) << "pair " << p;
+  }
+}
+
+TEST(ConcurrencyTest, RegularQueriesInterleaveWithCoordination) {
+  Youtopia db;
+  ASSERT_TRUE(travel::SetupFigure1(&db).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> read_errors{0};
+  // Readers hammer the Reservation table while coordination happens.
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&db, &stop, &read_errors] {
+      while (!stop.load()) {
+        auto rows = db.Execute("SELECT traveler, fno FROM Reservation");
+        if (!rows.ok()) {
+          ++read_errors;
+          continue;
+        }
+        // Atomic installation: reservations always arrive in pairs.
+        EXPECT_EQ(rows->rows.size() % 2, 0u);
+      }
+    });
+  }
+
+  constexpr int kPairs = 10;
+  for (int p = 0; p < kPairs; ++p) {
+    const std::string a = "A" + std::to_string(p);
+    const std::string b = "B" + std::to_string(p);
+    auto h1 = db.Submit(PairSql(a, b), a);
+    auto h2 = db.Submit(PairSql(b, a), b);
+    ASSERT_TRUE(h1.ok());
+    ASSERT_TRUE(h2.ok());
+    ASSERT_TRUE(h2->Wait(milliseconds(5000)).ok());
+  }
+  stop = true;
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(read_errors.load(), 0);
+  EXPECT_EQ(db.Execute("SELECT * FROM Reservation")->rows.size(),
+            static_cast<size_t>(kPairs * 2));
+}
+
+TEST(ConcurrencyTest, CancelRacesWithPartnerArrival) {
+  // Either the cancel wins (partner stays pending) or the match wins
+  // (cancel reports NotFound); never a crash or a half-coordinated state.
+  for (int round = 0; round < 20; ++round) {
+    Youtopia db;
+    ASSERT_TRUE(travel::SetupFigure1(&db).ok());
+    auto kramer = db.Submit(PairSql("Kramer", "Jerry"), "Kramer");
+    ASSERT_TRUE(kramer.ok());
+
+    std::thread canceller([&db, &kramer] {
+      (void)db.coordinator().Cancel(kramer->id());
+    });
+    auto jerry = db.Submit(PairSql("Jerry", "Kramer"), "Jerry");
+    canceller.join();
+    ASSERT_TRUE(jerry.ok());
+
+    auto reservations = db.Execute("SELECT * FROM Reservation");
+    ASSERT_TRUE(reservations.ok());
+    if (jerry->Done() && jerry->Wait(milliseconds(0)).ok()) {
+      EXPECT_EQ(reservations->rows.size(), 2u);
+    } else {
+      EXPECT_TRUE(reservations->rows.empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace youtopia

@@ -1,0 +1,175 @@
+// Failure injection around atomic installation (design decision #3 in
+// DESIGN.md): when any part of installing a matched group fails, the
+// whole group rolls back and every member stays pending.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "server/youtopia.h"
+#include "travel/middle_tier.h"
+#include "travel/travel_schema.h"
+
+namespace youtopia {
+namespace {
+
+using std::chrono::milliseconds;
+
+std::string PairSql(const std::string& self, const std::string& other) {
+  return "SELECT '" + self + "', fno INTO ANSWER Reservation WHERE fno IN "
+         "(SELECT fno FROM Flights WHERE dest='Paris') AND ('" + other +
+         "', fno) IN ANSWER Reservation CHOOSE 1";
+}
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(travel::SetupFigure1(&db_).ok()); }
+  Youtopia db_;
+};
+
+TEST_F(FailureInjectionTest, HookFailureRollsBackAllInserts) {
+  db_.coordinator().SetInstallHook(
+      [](Transaction*, TxnManager*, const MatchResult&) {
+        return Status::Aborted("chaos");
+      });
+  auto h1 = db_.Submit(PairSql("K", "J"), "K");
+  auto h2 = db_.Submit(PairSql("J", "K"), "J");
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(h2.ok());
+  EXPECT_FALSE(h1->Done());
+  EXPECT_FALSE(h2->Done());
+  EXPECT_TRUE(db_.Execute("SELECT * FROM Reservation")->rows.empty());
+  EXPECT_EQ(db_.coordinator().pending_count(), 2u);
+}
+
+TEST_F(FailureInjectionTest, IntermittentFailureEventuallySucceeds) {
+  std::atomic<int> calls{0};
+  db_.coordinator().SetInstallHook(
+      [&calls](Transaction*, TxnManager*, const MatchResult&) {
+        // Fail the first three attempts, then succeed. One attempt
+        // happens at submission; each RetriggerAll round attempts once
+        // per remaining pending query (two here).
+        if (calls.fetch_add(1) < 3) return Status::Aborted("transient");
+        return Status::OK();
+      });
+  auto h1 = db_.Submit(PairSql("K", "J"), "K");
+  auto h2 = db_.Submit(PairSql("J", "K"), "J");
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(h2.ok());
+  EXPECT_FALSE(h2->Done());
+
+  // First retrigger: still failing.
+  auto round1 = db_.coordinator().RetriggerAll();
+  ASSERT_TRUE(round1.ok());
+  EXPECT_EQ(round1.value(), 0u);
+  // Second retrigger: hook succeeds now.
+  auto round2 = db_.coordinator().RetriggerAll();
+  ASSERT_TRUE(round2.ok());
+  EXPECT_EQ(round2.value(), 2u);
+  EXPECT_TRUE(h1->Done());
+  EXPECT_TRUE(h2->Done());
+  EXPECT_EQ(db_.Execute("SELECT * FROM Reservation")->rows.size(), 2u);
+}
+
+TEST_F(FailureInjectionTest, HookMutationsRollBackToo) {
+  // The hook writes to a side table, then fails; its writes must
+  // disappear with the rest of the transaction.
+  ASSERT_TRUE(db_.Execute("CREATE TABLE Audit (note TEXT NOT NULL)").ok());
+  db_.coordinator().SetInstallHook(
+      [](Transaction* txn, TxnManager* txns, const MatchResult&) -> Status {
+        auto rid = txns->Insert(txn, "Audit",
+                                Tuple({Value::String("about to fail")}));
+        if (!rid.ok()) return rid.status();
+        return Status::Aborted("after side effect");
+      });
+  auto h1 = db_.Submit(PairSql("K", "J"), "K");
+  auto h2 = db_.Submit(PairSql("J", "K"), "J");
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(h2.ok());
+  EXPECT_TRUE(db_.Execute("SELECT * FROM Audit")->rows.empty());
+  EXPECT_TRUE(db_.Execute("SELECT * FROM Reservation")->rows.empty());
+}
+
+TEST_F(FailureInjectionTest, SeatExhaustionLeavesConsistentInventory) {
+  // Full travel stack: 2-seat flight, two competing pairs.
+  Youtopia db;
+  ASSERT_TRUE(travel::CreateTravelSchema(&db).ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO Flights VALUES "
+                         "(1, 'NewYork', 'Paris', 1, 500, 2)")
+                  .ok());
+  travel::TravelService service(
+      &db, travel::FriendGraph::Clique({"A", "B", "C", "D"}), nullptr);
+  service.EnableInventoryEnforcement();
+
+  auto a = service.BookFlightWithFriend("A", "B", "Paris");
+  auto b = service.BookFlightWithFriend("B", "A", "Paris");
+  auto c = service.BookFlightWithFriend("C", "D", "Paris");
+  auto d = service.BookFlightWithFriend("D", "C", "Paris");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(d.ok());
+
+  // Exactly one pair fits.
+  EXPECT_TRUE(a->Done());
+  EXPECT_TRUE(b->Done());
+  EXPECT_FALSE(c->Done());
+  EXPECT_FALSE(d->Done());
+  auto seats = db.Execute("SELECT seats FROM Flights WHERE fno = 1");
+  EXPECT_EQ(seats->rows[0].at(0).int64_value(), 0);
+  EXPECT_EQ(db.Execute("SELECT * FROM Reservation")->rows.size(), 2u);
+
+  // Capacity restored: the UPDATE itself retriggers the stranded pair
+  // (retrigger_on_dml), no manual intervention needed.
+  ASSERT_TRUE(db.Execute("UPDATE Flights SET seats = 2 WHERE fno = 1").ok());
+  EXPECT_TRUE(c->Done());
+  EXPECT_TRUE(d->Done());
+  auto nothing_left = db.coordinator().RetriggerAll();
+  ASSERT_TRUE(nothing_left.ok());
+  EXPECT_EQ(nothing_left.value(), 0u);
+}
+
+TEST_F(FailureInjectionTest, SeatRaceBetweenAdjacentSeatPairs) {
+  // Two adjacent-seat pairs race for a 2-seat row; the seat-claim hook
+  // must never hand the same physical seat to two travelers.
+  Youtopia db;
+  ASSERT_TRUE(travel::CreateTravelSchema(&db).ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO Flights VALUES "
+                         "(1, 'NewYork', 'Paris', 1, 500, 4)")
+                  .ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO Seats VALUES (1, 1), (1, 2)").ok());
+  travel::TravelService service(
+      &db, travel::FriendGraph::Clique({"A", "B", "C", "D"}), nullptr);
+  service.EnableInventoryEnforcement();
+
+  auto submit_adjacent = [&service](const std::string& user,
+                                    const std::string& companion) {
+    travel::TravelRequest request;
+    request.user = user;
+    request.flight_companions = {companion};
+    request.dest = "Paris";
+    request.adjacent_seat = true;
+    return service.SubmitRequest(request);
+  };
+
+  auto a = submit_adjacent("A", "B");
+  auto b = submit_adjacent("B", "A");
+  auto c = submit_adjacent("C", "D");
+  auto d = submit_adjacent("D", "C");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(d.ok());
+
+  EXPECT_TRUE(a->Done());
+  EXPECT_TRUE(b->Done());
+  // Only two seats existed; the second pair must be left pending.
+  EXPECT_FALSE(c->Done());
+  EXPECT_FALSE(d->Done());
+  EXPECT_TRUE(db.Execute("SELECT * FROM Seats")->rows.empty());
+  auto reservations = db.Execute("SELECT * FROM SeatReservation");
+  EXPECT_EQ(reservations->rows.size(), 2u);
+}
+
+}  // namespace
+}  // namespace youtopia

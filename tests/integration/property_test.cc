@@ -1,0 +1,294 @@
+// Property-based suites: randomized workloads checked against the
+// semantic invariants of entangled-query evaluation (companion paper
+// [2] semantics, DESIGN.md §4):
+//
+//   I1. Every satisfied query's answer tuples are present in the stored
+//       answer relation (its heads were installed).
+//   I2. Every satisfied query's constraints hold against the stored
+//       answer relation (postcondition satisfaction).
+//   I3. Every answer value respects its domain predicates (grounding
+//       soundness — e.g. coordinated fno really flies to the right dest).
+//   I4. Installation is atomic: a pairwise group is satisfied for both
+//       members or neither.
+//   I5. A fixed seed makes the whole run deterministic.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "server/youtopia.h"
+
+namespace youtopia {
+namespace {
+
+using std::chrono::milliseconds;
+
+struct WorkloadParams {
+  uint64_t seed;
+  int num_pairs;
+  int num_dests;
+  int flights_per_dest;
+  /// Fraction of second-halves withheld (those pairs must stay pending).
+  double withhold = 0.0;
+};
+
+std::string DestName(int d) { return "City" + std::to_string(d); }
+
+std::string PairSql(const std::string& self, const std::string& other,
+                    const std::string& dest) {
+  return "SELECT '" + self + "', fno INTO ANSWER Reservation WHERE fno IN "
+         "(SELECT fno FROM Flights WHERE dest='" + dest + "') AND ('" +
+         other + "', fno) IN ANSWER Reservation CHOOSE 1";
+}
+
+/// Runs a randomized pairwise workload and returns the final Reservation
+/// contents keyed by traveler.
+struct WorkloadOutcome {
+  std::map<std::string, int64_t> booked;
+  size_t pending = 0;
+  size_t satisfied = 0;
+};
+
+WorkloadOutcome RunWorkload(const WorkloadParams& params) {
+  Random rng(params.seed);
+  YoutopiaConfig config;
+  config.coordinator.match.rng_seed = params.seed;
+  Youtopia db(config);
+
+  EXPECT_TRUE(db.ExecuteScript(
+                    "CREATE TABLE Flights (fno INT NOT NULL, dest TEXT NOT "
+                    "NULL);"
+                    "CREATE TABLE Reservation (traveler TEXT NOT NULL, fno "
+                    "INT NOT NULL);"
+                    "CREATE INDEX ON Flights (dest);")
+                  .ok());
+  int64_t fno = 100;
+  for (int d = 0; d < params.num_dests; ++d) {
+    for (int f = 0; f < params.flights_per_dest; ++f) {
+      EXPECT_TRUE(db.Execute("INSERT INTO Flights VALUES (" +
+                             std::to_string(fno++) + ", '" + DestName(d) +
+                             "')")
+                      .ok());
+    }
+  }
+
+  struct Submission {
+    std::string user;
+    std::string dest;
+    EntangledHandle handle;
+  };
+  std::vector<Submission> submissions;
+
+  for (int p = 0; p < params.num_pairs; ++p) {
+    const std::string a = "A" + std::to_string(p);
+    const std::string b = "B" + std::to_string(p);
+    const std::string dest =
+        DestName(static_cast<int>(rng.NextBelow(params.num_dests)));
+    auto ha = db.Submit(PairSql(a, b, dest), a);
+    EXPECT_TRUE(ha.ok()) << ha.status();
+    submissions.push_back({a, dest, ha.TakeValue()});
+    if (rng.NextDouble() >= params.withhold) {
+      auto hb = db.Submit(PairSql(b, a, dest), b);
+      EXPECT_TRUE(hb.ok()) << hb.status();
+      submissions.push_back({b, dest, hb.TakeValue()});
+    }
+  }
+
+  WorkloadOutcome outcome;
+  auto stored = db.Execute("SELECT traveler, fno FROM Reservation");
+  EXPECT_TRUE(stored.ok());
+  std::map<std::string, int64_t> reservation;
+  for (const Tuple& row : stored->rows) {
+    reservation[row.at(0).string_value()] = row.at(1).int64_value();
+  }
+  outcome.booked = reservation;
+
+  // Flight -> dest lookup for I3.
+  std::map<int64_t, std::string> flight_dest;
+  auto flights = db.Execute("SELECT fno, dest FROM Flights");
+  EXPECT_TRUE(flights.ok());
+  for (const Tuple& row : flights->rows) {
+    flight_dest[row.at(0).int64_value()] = row.at(1).string_value();
+  }
+
+  for (const Submission& s : submissions) {
+    if (!s.handle.Done()) {
+      ++outcome.pending;
+      // Pending queries must have contributed nothing (I4 half).
+      EXPECT_EQ(reservation.count(s.user), 0u) << s.user;
+      continue;
+    }
+    ++outcome.satisfied;
+    const auto answers = s.handle.Answers();
+    EXPECT_EQ(answers.size(), 1u);
+    if (answers.size() != 1) continue;
+    const std::string traveler = answers[0].at(0).string_value();
+    const int64_t fno_answer = answers[0].at(1).int64_value();
+    EXPECT_EQ(traveler, s.user);
+    // I1: answer tuple is stored.
+    EXPECT_EQ(reservation.count(traveler), 1u) << traveler;
+    EXPECT_EQ(reservation[traveler], fno_answer);
+    // I3: domain predicate respected.
+    EXPECT_EQ(flight_dest.count(fno_answer), 1u);
+    EXPECT_EQ(flight_dest[fno_answer], s.dest) << traveler;
+  }
+
+  // I2 + I4: for each pair either both or neither booked, on the same
+  // flight.
+  for (int p = 0; p < params.num_pairs; ++p) {
+    const std::string a = "A" + std::to_string(p);
+    const std::string b = "B" + std::to_string(p);
+    const bool has_a = reservation.count(a) > 0;
+    const bool has_b = reservation.count(b) > 0;
+    EXPECT_EQ(has_a, has_b) << "pair " << p;
+    if (has_a && has_b) {
+      EXPECT_EQ(reservation[a], reservation[b]) << "pair " << p;
+    }
+  }
+  return outcome;
+}
+
+class PairwiseWorkloadProperty
+    : public ::testing::TestWithParam<WorkloadParams> {};
+
+TEST_P(PairwiseWorkloadProperty, InvariantsHold) {
+  const WorkloadOutcome outcome = RunWorkload(GetParam());
+  if (GetParam().withhold == 0.0) {
+    EXPECT_EQ(outcome.pending, 0u);
+    EXPECT_EQ(outcome.booked.size(),
+              static_cast<size_t>(GetParam().num_pairs) * 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CompleteWorkloads, PairwiseWorkloadProperty,
+    ::testing::Values(WorkloadParams{1, 4, 2, 3, 0.0},
+                      WorkloadParams{2, 10, 3, 2, 0.0},
+                      WorkloadParams{3, 20, 5, 4, 0.0},
+                      WorkloadParams{4, 40, 2, 1, 0.0},
+                      WorkloadParams{5, 8, 1, 8, 0.0}));
+
+INSTANTIATE_TEST_SUITE_P(
+    PartialWorkloads, PairwiseWorkloadProperty,
+    ::testing::Values(WorkloadParams{11, 10, 3, 3, 0.5},
+                      WorkloadParams{12, 20, 4, 2, 0.3},
+                      WorkloadParams{13, 16, 2, 2, 0.8},
+                      WorkloadParams{14, 12, 3, 2, 1.0}));
+
+TEST(PairwiseWorkloadDeterminism, SameSeedSameOutcome) {
+  WorkloadParams params{99, 12, 3, 3, 0.4};
+  auto first = RunWorkload(params);
+  auto second = RunWorkload(params);
+  EXPECT_EQ(first.booked, second.booked);
+  EXPECT_EQ(first.pending, second.pending);
+}
+
+/// Group workloads: random group sizes, all-to-all constraints.
+class GroupWorkloadProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GroupWorkloadProperty, WholeGroupSharesOneFlight) {
+  const int group_size = GetParam();
+  Youtopia db;
+  ASSERT_TRUE(db.ExecuteScript(
+                    "CREATE TABLE Flights (fno INT NOT NULL, dest TEXT NOT "
+                    "NULL);"
+                    "CREATE TABLE Reservation (traveler TEXT NOT NULL, fno "
+                    "INT NOT NULL);"
+                    "INSERT INTO Flights VALUES (1, 'Paris'), (2, 'Paris');")
+                  .ok());
+  std::vector<std::string> users;
+  for (int i = 0; i < group_size; ++i) {
+    users.push_back("u" + std::to_string(i));
+  }
+  std::vector<EntangledHandle> handles;
+  for (const auto& self : users) {
+    std::string sql = "SELECT '" + self +
+                      "', fno INTO ANSWER Reservation WHERE fno IN "
+                      "(SELECT fno FROM Flights WHERE dest='Paris')";
+    for (const auto& other : users) {
+      if (other != self) {
+        sql += " AND ('" + other + "', fno) IN ANSWER Reservation";
+      }
+    }
+    sql += " CHOOSE 1";
+    auto h = db.Submit(sql, self);
+    ASSERT_TRUE(h.ok()) << h.status();
+    handles.push_back(h.TakeValue());
+    if (&self != &users.back()) {
+      EXPECT_FALSE(handles.back().Done());
+    }
+  }
+  Value fno;
+  for (size_t i = 0; i < handles.size(); ++i) {
+    ASSERT_TRUE(handles[i].Done()) << "user " << i;
+    if (i == 0) {
+      fno = handles[i].Answers()[0].at(1);
+    } else {
+      EXPECT_EQ(handles[i].Answers()[0].at(1), fno);
+    }
+  }
+  EXPECT_EQ(db.Execute("SELECT * FROM Reservation")->rows.size(),
+            static_cast<size_t>(group_size));
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, GroupWorkloadProperty,
+                         ::testing::Values(2, 3, 4, 5, 6, 8));
+
+/// Unification soundness over affine cycles: user u_i demands u_{i+1}
+/// one seat to the right, and the last user closes the cycle with a
+/// -(n-1) offset back to u_0. All n queries must be answered as one
+/// group with consecutive seats — exercising offset propagation through
+/// a whole equivalence class.
+class OffsetChainProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(OffsetChainProperty, ClosedSeatLadderIsConsistent) {
+  const int n = GetParam();
+  Youtopia db;
+  ASSERT_TRUE(db.ExecuteScript(
+                    "CREATE TABLE Seats (seat INT NOT NULL);"
+                    "CREATE TABLE SeatRes (u TEXT NOT NULL, seat INT NOT "
+                    "NULL);")
+                  .ok());
+  for (int s = 1; s <= n + 2; ++s) {
+    ASSERT_TRUE(
+        db.Execute("INSERT INTO Seats VALUES (" + std::to_string(s) + ")")
+            .ok());
+  }
+  std::vector<EntangledHandle> handles;
+  for (int i = 0; i < n; ++i) {
+    std::string sql = "SELECT 'u" + std::to_string(i) +
+                      "', seat INTO ANSWER SeatRes WHERE seat IN "
+                      "(SELECT seat FROM Seats)";
+    if (i + 1 < n) {
+      sql += " AND ('u" + std::to_string(i + 1) +
+             "', seat + 1) IN ANSWER SeatRes";
+    } else {
+      // Close the cycle: u_0 sits n-1 seats left of u_{n-1}.
+      sql += " AND ('u0', seat - " + std::to_string(n - 1) +
+             ") IN ANSWER SeatRes";
+    }
+    sql += " CHOOSE 1";
+    auto h = db.Submit(sql, "u" + std::to_string(i));
+    ASSERT_TRUE(h.ok()) << h.status();
+    handles.push_back(h.TakeValue());
+    // Nobody completes until the cycle closes.
+    if (i + 1 < n) EXPECT_FALSE(handles.back().Done());
+  }
+  for (auto& h : handles) ASSERT_TRUE(h.Done());
+  for (int i = 0; i + 1 < n; ++i) {
+    const int64_t mine = handles[i].Answers()[0].at(1).int64_value();
+    const int64_t next = handles[i + 1].Answers()[0].at(1).int64_value();
+    EXPECT_EQ(next, mine + 1) << "link " << i;
+  }
+  // Seats stay within the inventory.
+  const int64_t first = handles[0].Answers()[0].at(1).int64_value();
+  EXPECT_GE(first, 1);
+  EXPECT_LE(first + n - 1, n + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChainLengths, OffsetChainProperty,
+                         ::testing::Values(2, 3, 4, 5));
+
+}  // namespace
+}  // namespace youtopia

@@ -1,0 +1,229 @@
+// Experiments S1-S6 (DESIGN.md): the six demonstration scenarios of
+// paper §3.1, driven through the travel middle tier exactly as the demo
+// drives them through its web frontend.
+
+#include <gtest/gtest.h>
+
+#include "travel/data_generator.h"
+#include "travel/middle_tier.h"
+#include "travel/travel_schema.h"
+
+namespace youtopia::travel {
+namespace {
+
+class ScenariosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(CreateTravelSchema(&db_).ok());
+    DataGeneratorConfig config;
+    config.cities = {"NewYork", "Paris", "Rome"};
+    config.flights_per_route_per_day = 2;
+    config.days = 2;
+    config.hotels_per_city = 2;
+    ASSERT_TRUE(GenerateTravelData(&db_, config).ok());
+    service_ = std::make_unique<TravelService>(
+        &db_,
+        FriendGraph::Clique(
+            {"Jerry", "Kramer", "Elaine", "George", "Newman", "Susan"}),
+        &bus_);
+  }
+
+  Youtopia db_;
+  NotificationBus bus_;
+  std::unique_ptr<TravelService> service_;
+};
+
+// S1: "Book a flight with a friend".
+TEST_F(ScenariosTest, S1_BookFlightWithFriend) {
+  auto jerry = service_->BookFlightWithFriend("Jerry", "Kramer", "Paris");
+  ASSERT_TRUE(jerry.ok()) << jerry.status();
+  EXPECT_FALSE(jerry->Done());
+
+  auto kramer = service_->BookFlightWithFriend("Kramer", "Jerry", "Paris");
+  ASSERT_TRUE(kramer.ok());
+  ASSERT_TRUE(jerry->Done());
+  ASSERT_TRUE(kramer->Done());
+  EXPECT_EQ(jerry->Answers()[0].at(1), kramer->Answers()[0].at(1));
+
+  // Notification via the (substituted) Facebook message channel.
+  ASSERT_TRUE(service_->WaitAndNotify(*jerry, "Jerry").ok());
+  EXPECT_EQ(bus_.MessagesFor("Jerry").size(), 1u);
+}
+
+// S1 alternate path: browse, inspect friends' bookings, book directly.
+TEST_F(ScenariosTest, S1_BrowseThenBookDirectly) {
+  auto flights = service_->BrowseFlights("Paris");
+  ASSERT_TRUE(flights.ok());
+  ASSERT_FALSE(flights->rows.empty());
+  const int64_t fno = flights->rows[0].at(0).int64_value();
+
+  auto kramer = service_->BookFlightDirect("Kramer", fno);
+  ASSERT_TRUE(kramer.ok());
+  ASSERT_TRUE(kramer->Done());
+
+  auto friends = service_->FriendsOnFlight("Jerry", fno);
+  ASSERT_TRUE(friends.ok());
+  EXPECT_EQ(*friends, std::vector<std::string>{"Kramer"});
+
+  auto jerry = service_->BookFlightDirect("Jerry", fno);
+  ASSERT_TRUE(jerry.ok());
+  EXPECT_TRUE(jerry->Done());
+  EXPECT_EQ(jerry->Answers()[0].at(1).int64_value(), fno);
+}
+
+// S2: "Book a flight and a hotel with a friend".
+TEST_F(ScenariosTest, S2_FlightAndHotel) {
+  auto jerry =
+      service_->BookFlightAndHotelWithFriend("Jerry", "Kramer", "Paris");
+  ASSERT_TRUE(jerry.ok()) << jerry.status();
+  EXPECT_FALSE(jerry->Done());
+  auto kramer =
+      service_->BookFlightAndHotelWithFriend("Kramer", "Jerry", "Paris");
+  ASSERT_TRUE(kramer.ok());
+  ASSERT_TRUE(jerry->Done());
+  ASSERT_TRUE(kramer->Done());
+  EXPECT_EQ(jerry->Answers()[0].at(1), kramer->Answers()[0].at(1));
+  EXPECT_EQ(jerry->Answers()[1].at(1), kramer->Answers()[1].at(1));
+  // Hotel is in the destination city.
+  auto hotel_city = db_.Execute(
+      "SELECT city FROM Hotels WHERE hid = " +
+      jerry->Answers()[1].at(1).ToString());
+  ASSERT_TRUE(hotel_city.ok());
+  ASSERT_FALSE(hotel_city->rows.empty());
+  EXPECT_EQ(hotel_city->rows[0].at(0).string_value(), "Paris");
+}
+
+// S3: "Multiple simultaneous bookings" — several pairs, interleaved
+// submission order.
+TEST_F(ScenariosTest, S3_MultipleSimultaneousPairs) {
+  struct Pair {
+    std::string a, b;
+    std::optional<EntangledHandle> ha, hb;
+  };
+  std::vector<Pair> pairs = {{"Jerry", "Kramer", {}, {}},
+                             {"Elaine", "George", {}, {}},
+                             {"Newman", "Susan", {}, {}}};
+  // First halves arrive...
+  for (auto& p : pairs) {
+    auto h = service_->BookFlightWithFriend(p.a, p.b, "Paris");
+    ASSERT_TRUE(h.ok());
+    p.ha = h.TakeValue();
+  }
+  EXPECT_EQ(db_.coordinator().pending_count(), 3u);
+  // ...then the partners, in reverse order.
+  for (auto it = pairs.rbegin(); it != pairs.rend(); ++it) {
+    auto h = service_->BookFlightWithFriend(it->b, it->a, "Paris");
+    ASSERT_TRUE(h.ok());
+    it->hb = h.TakeValue();
+  }
+  for (auto& p : pairs) {
+    ASSERT_TRUE(p.ha->Done()) << p.a;
+    ASSERT_TRUE(p.hb->Done()) << p.b;
+    EXPECT_EQ(p.ha->Answers()[0].at(1), p.hb->Answers()[0].at(1));
+  }
+  EXPECT_EQ(db_.coordinator().pending_count(), 0u);
+  EXPECT_EQ(db_.coordinator().stats().matched_groups, 3u);
+}
+
+// S4: "Group flight booking" — four friends on one flight.
+TEST_F(ScenariosTest, S4_GroupFlightBooking) {
+  const std::vector<std::string> group = {"Jerry", "Kramer", "Elaine",
+                                          "George"};
+  std::vector<EntangledHandle> handles;
+  for (const auto& self : group) {
+    TravelRequest request;
+    request.user = self;
+    for (const auto& other : group) {
+      if (other != self) request.flight_companions.push_back(other);
+    }
+    request.dest = "Paris";
+    auto h = service_->SubmitRequest(request);
+    ASSERT_TRUE(h.ok()) << h.status();
+    handles.push_back(h.TakeValue());
+  }
+  // All done once the last member submits.
+  for (auto& h : handles) ASSERT_TRUE(h.Done());
+  const Value fno = handles[0].Answers()[0].at(1);
+  for (auto& h : handles) EXPECT_EQ(h.Answers()[0].at(1), fno);
+}
+
+// S5: "Group flight and hotel booking".
+TEST_F(ScenariosTest, S5_GroupFlightAndHotel) {
+  const std::vector<std::string> group = {"Jerry", "Kramer", "Elaine"};
+  std::vector<EntangledHandle> handles;
+  for (const auto& self : group) {
+    TravelRequest request;
+    request.user = self;
+    for (const auto& other : group) {
+      if (other != self) {
+        request.flight_companions.push_back(other);
+        request.hotel_companions.push_back(other);
+      }
+    }
+    request.dest = "Rome";
+    request.want_hotel = true;
+    auto h = service_->SubmitRequest(request);
+    ASSERT_TRUE(h.ok()) << h.status();
+    handles.push_back(h.TakeValue());
+  }
+  for (auto& h : handles) ASSERT_TRUE(h.Done());
+  const Value fno = handles[0].Answers()[0].at(1);
+  const Value hid = handles[0].Answers()[1].at(1);
+  for (auto& h : handles) {
+    EXPECT_EQ(h.Answers()[0].at(1), fno);
+    EXPECT_EQ(h.Answers()[1].at(1), hid);
+  }
+}
+
+// S6: "Ad-hoc examples" — Jerry/Kramer coordinate flights only,
+// Kramer/Elaine flights and hotels.
+TEST_F(ScenariosTest, S6_AdHocMixedTopology) {
+  auto jerry = service_->BookFlightWithFriend("Jerry", "Kramer", "Paris");
+  ASSERT_TRUE(jerry.ok());
+
+  TravelRequest kramer_request;
+  kramer_request.user = "Kramer";
+  kramer_request.flight_companions = {"Jerry", "Elaine"};
+  kramer_request.hotel_companions = {"Elaine"};
+  kramer_request.dest = "Paris";
+  kramer_request.want_hotel = true;
+  auto kramer = service_->SubmitRequest(kramer_request);
+  ASSERT_TRUE(kramer.ok());
+  EXPECT_FALSE(kramer->Done());
+
+  TravelRequest elaine_request;
+  elaine_request.user = "Elaine";
+  elaine_request.flight_companions = {"Kramer"};
+  elaine_request.hotel_companions = {"Kramer"};
+  elaine_request.dest = "Paris";
+  elaine_request.want_hotel = true;
+  auto elaine = service_->SubmitRequest(elaine_request);
+  ASSERT_TRUE(elaine.ok());
+
+  ASSERT_TRUE(jerry->Done());
+  ASSERT_TRUE(kramer->Done());
+  ASSERT_TRUE(elaine->Done());
+  EXPECT_EQ(jerry->Answers()[0].at(1), kramer->Answers()[0].at(1));
+  EXPECT_EQ(elaine->Answers()[0].at(1), kramer->Answers()[0].at(1));
+  EXPECT_EQ(elaine->Answers()[1].at(1), kramer->Answers()[1].at(1));
+  // Jerry booked no hotel.
+  EXPECT_EQ(jerry->Answers().size(), 1u);
+}
+
+// The demo's account view shows pending and confirmed reservations.
+TEST_F(ScenariosTest, AccountViewReflectsConfirmedBookings) {
+  auto jerry = service_->BookFlightWithFriend("Jerry", "Kramer", "Rome");
+  ASSERT_TRUE(jerry.ok());
+  auto before = service_->AccountView("Jerry");
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(before->flights.rows.empty());
+
+  auto kramer = service_->BookFlightWithFriend("Kramer", "Jerry", "Rome");
+  ASSERT_TRUE(kramer.ok());
+  auto after = service_->AccountView("Jerry");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->flights.rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace youtopia::travel

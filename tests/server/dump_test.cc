@@ -1,0 +1,114 @@
+#include "server/dump.h"
+
+#include <gtest/gtest.h>
+
+#include "travel/travel_schema.h"
+
+namespace youtopia {
+namespace {
+
+TEST(DumpTest, EmptyDatabaseDumpsEmptyScript) {
+  Youtopia db;
+  auto script = DumpToScript(db);
+  ASSERT_TRUE(script.ok());
+  EXPECT_TRUE(script->empty());
+}
+
+TEST(DumpTest, RoundTripsFigure1) {
+  Youtopia original;
+  ASSERT_TRUE(travel::SetupFigure1(&original).ok());
+  // Add a coordinated answer so the dump covers answer relations too.
+  auto solo = original.Submit(
+      "SELECT 'Solo', fno INTO ANSWER Reservation WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE dest='Rome') CHOOSE 1", "Solo");
+  ASSERT_TRUE(solo.ok());
+  ASSERT_TRUE(solo->Done());
+
+  auto script = DumpToScript(original);
+  ASSERT_TRUE(script.ok()) << script.status();
+
+  Youtopia restored;
+  ASSERT_TRUE(RestoreFromScript(&restored, script.value()).ok());
+
+  for (const char* table : {"Flights", "Airlines", "Reservation"}) {
+    auto before = original.Execute(std::string("SELECT * FROM ") + table);
+    auto after = restored.Execute(std::string("SELECT * FROM ") + table);
+    ASSERT_TRUE(before.ok());
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(before->rows, after->rows) << table;
+  }
+  // Indexes recreated.
+  EXPECT_TRUE(restored.storage().HasIndex("Flights", "dest"));
+  EXPECT_TRUE(restored.storage().HasIndex("Reservation", "traveler"));
+}
+
+TEST(DumpTest, RestoredDatabaseCoordinates) {
+  Youtopia original;
+  ASSERT_TRUE(travel::SetupFigure1(&original).ok());
+  auto script = DumpToScript(original);
+  ASSERT_TRUE(script.ok());
+
+  Youtopia restored;
+  ASSERT_TRUE(RestoreFromScript(&restored, script.value()).ok());
+  auto kramer = restored.Submit(
+      "SELECT 'Kramer', fno INTO ANSWER Reservation WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE dest='Paris') AND "
+      "('Jerry', fno) IN ANSWER Reservation CHOOSE 1", "Kramer");
+  auto jerry = restored.Submit(
+      "SELECT 'Jerry', fno INTO ANSWER Reservation WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE dest='Paris') AND "
+      "('Kramer', fno) IN ANSWER Reservation CHOOSE 1", "Jerry");
+  ASSERT_TRUE(kramer.ok());
+  ASSERT_TRUE(jerry.ok());
+  EXPECT_TRUE(jerry->Done());
+}
+
+TEST(DumpTest, PreservesTypesAndNullability) {
+  Youtopia original;
+  ASSERT_TRUE(original.ExecuteScript(
+                  "CREATE TABLE T (i INT NOT NULL, d DOUBLE, s TEXT, "
+                  "b BOOL);"
+                  "INSERT INTO T VALUES (1, 2.5, 'x', TRUE), "
+                  "(2, NULL, NULL, FALSE);")
+                  .ok());
+  auto script = DumpToScript(original);
+  ASSERT_TRUE(script.ok());
+  Youtopia restored;
+  ASSERT_TRUE(RestoreFromScript(&restored, script.value()).ok());
+  auto info = restored.storage().catalog().GetTable("T");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->schema.column(0).type, DataType::kInt64);
+  EXPECT_FALSE(info->schema.column(0).nullable);
+  EXPECT_EQ(info->schema.column(1).type, DataType::kDouble);
+  EXPECT_EQ(info->schema.column(3).type, DataType::kBool);
+  auto rows = restored.Execute("SELECT * FROM T");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->rows.size(), 2u);
+  EXPECT_TRUE(rows->rows[1].at(1).is_null());
+}
+
+TEST(DumpTest, EscapesAwkwardStrings) {
+  Youtopia original;
+  ASSERT_TRUE(original.ExecuteScript(
+                  "CREATE TABLE T (s TEXT NOT NULL);"
+                  "INSERT INTO T VALUES ('O''Hare; DROP TABLE T');")
+                  .ok());
+  auto script = DumpToScript(original);
+  ASSERT_TRUE(script.ok());
+  Youtopia restored;
+  ASSERT_TRUE(RestoreFromScript(&restored, script.value()).ok());
+  auto rows = restored.Execute("SELECT s FROM T");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->rows.size(), 1u);
+  EXPECT_EQ(rows->rows[0].at(0).string_value(), "O'Hare; DROP TABLE T");
+}
+
+TEST(DumpTest, RestoreIntoNonEmptyFails) {
+  Youtopia target;
+  ASSERT_TRUE(target.Execute("CREATE TABLE existing (x INT)").ok());
+  EXPECT_EQ(RestoreFromScript(&target, "").code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace youtopia

@@ -1,0 +1,114 @@
+#include "server/session.h"
+
+#include <gtest/gtest.h>
+
+#include "travel/travel_schema.h"
+
+namespace youtopia {
+namespace {
+
+using std::chrono::milliseconds;
+
+class SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(travel::SetupFigure1(&db_).ok()); }
+
+  static std::string PairSql(const std::string& self,
+                             const std::string& other) {
+    return "SELECT '" + self + "', fno INTO ANSWER Reservation WHERE fno IN "
+           "(SELECT fno FROM Flights WHERE dest='Paris') AND ('" + other +
+           "', fno) IN ANSWER Reservation CHOOSE 1";
+  }
+
+  Youtopia db_;
+};
+
+TEST_F(SessionTest, ExecuteAndHistory) {
+  Session session(&db_, "Kramer");
+  ASSERT_TRUE(session.Execute("SELECT * FROM Flights").ok());
+  ASSERT_TRUE(session.Execute("SELECT * FROM Airlines").ok());
+  auto history = session.History();
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0], "SELECT * FROM Flights");
+}
+
+TEST_F(SessionTest, SubmitTagsOwnerAndTracks) {
+  Session kramer(&db_, "Kramer");
+  auto handle = kramer.Submit(PairSql("Kramer", "Jerry"));
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(kramer.Outstanding().size(), 1u);
+  auto pending = db_.coordinator().Pending();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].owner, "Kramer");
+}
+
+TEST_F(SessionTest, OutstandingPrunesCompleted) {
+  Session kramer(&db_, "Kramer");
+  Session jerry(&db_, "Jerry");
+  ASSERT_TRUE(kramer.Submit(PairSql("Kramer", "Jerry")).ok());
+  EXPECT_EQ(kramer.Outstanding().size(), 1u);
+  ASSERT_TRUE(jerry.Submit(PairSql("Jerry", "Kramer")).ok());
+  EXPECT_TRUE(kramer.Outstanding().empty());
+  EXPECT_TRUE(jerry.Outstanding().empty());
+}
+
+TEST_F(SessionTest, RunTracksOnlyPendingEntangled) {
+  Session solo(&db_, "Solo");
+  auto direct = solo.Run(
+      "SELECT 'Solo', fno INTO ANSWER Reservation WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE dest='Rome') CHOOSE 1");
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(direct->handle->Done());
+  EXPECT_TRUE(solo.Outstanding().empty());
+
+  auto waiting = solo.Run(PairSql("Solo", "Ghost"));
+  ASSERT_TRUE(waiting.ok());
+  EXPECT_EQ(solo.Outstanding().size(), 1u);
+}
+
+TEST_F(SessionTest, WaitForAllTimesOutOnStuckQuery) {
+  Session kramer(&db_, "Kramer");
+  ASSERT_TRUE(kramer.Submit(PairSql("Kramer", "Ghost")).ok());
+  EXPECT_EQ(kramer.WaitForAll(milliseconds(30)).code(),
+            StatusCode::kTimedOut);
+}
+
+TEST_F(SessionTest, WaitForAllSucceedsWhenCoordinated) {
+  Session kramer(&db_, "Kramer");
+  Session jerry(&db_, "Jerry");
+  ASSERT_TRUE(kramer.Submit(PairSql("Kramer", "Jerry")).ok());
+  ASSERT_TRUE(jerry.Submit(PairSql("Jerry", "Kramer")).ok());
+  EXPECT_TRUE(kramer.WaitForAll(milliseconds(100)).ok());
+  EXPECT_TRUE(jerry.WaitForAll(milliseconds(100)).ok());
+}
+
+TEST_F(SessionTest, CancelAllWithdrawsPending) {
+  Session kramer(&db_, "Kramer");
+  ASSERT_TRUE(kramer.Submit(PairSql("Kramer", "Ghost1")).ok());
+  ASSERT_TRUE(kramer.Submit(PairSql("Kramer", "Ghost2")).ok());
+  EXPECT_EQ(db_.coordinator().pending_count(), 2u);
+  ASSERT_TRUE(kramer.CancelAll().ok());
+  EXPECT_EQ(db_.coordinator().pending_count(), 0u);
+  EXPECT_TRUE(kramer.Outstanding().empty());
+}
+
+TEST_F(SessionTest, TwoSessionsCoordinateAcrossThreads) {
+  Session kramer(&db_, "Kramer");
+  Session jerry(&db_, "Jerry");
+  std::thread t1([&kramer] {
+    auto h = kramer.Submit(SessionTest::PairSql("Kramer", "Jerry"));
+    ASSERT_TRUE(h.ok());
+    EXPECT_TRUE(h->Wait(milliseconds(5000)).ok());
+  });
+  std::thread t2([&jerry] {
+    auto h = jerry.Submit(SessionTest::PairSql("Jerry", "Kramer"));
+    ASSERT_TRUE(h.ok());
+    EXPECT_TRUE(h->Wait(milliseconds(5000)).ok());
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(db_.Execute("SELECT * FROM Reservation")->rows.size(), 2u);
+}
+
+}  // namespace
+}  // namespace youtopia

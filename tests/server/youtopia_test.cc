@@ -1,0 +1,166 @@
+#include "server/youtopia.h"
+
+#include <gtest/gtest.h>
+
+#include "travel/travel_schema.h"
+
+namespace youtopia {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(YoutopiaTest, ExecuteRegularStatements) {
+  Youtopia db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (x INT)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1), (2)").ok());
+  auto rows = db.Execute("SELECT x FROM t WHERE x > 1");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.size(), 1u);
+}
+
+TEST(YoutopiaTest, ExecuteRejectsEntangled) {
+  Youtopia db;
+  auto result = db.Execute("SELECT 'u', x INTO ANSWER R WHERE x IN "
+                           "(SELECT x FROM t)");
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(YoutopiaTest, ExecuteRejectsBadSql) {
+  Youtopia db;
+  EXPECT_FALSE(db.Execute("GARBAGE").ok());
+  EXPECT_FALSE(db.ExecuteScript("CREATE TABLE t (x INT); GARBAGE;").ok());
+}
+
+TEST(YoutopiaTest, ExecuteScriptRunsBatch) {
+  Youtopia db;
+  ASSERT_TRUE(db.ExecuteScript("CREATE TABLE a (x INT);"
+                               "CREATE TABLE b (y INT);"
+                               "INSERT INTO a VALUES (1);")
+                  .ok());
+  EXPECT_TRUE(db.storage().catalog().HasTable("a"));
+  EXPECT_TRUE(db.storage().catalog().HasTable("b"));
+}
+
+TEST(YoutopiaTest, SubmitRejectsNonSelect) {
+  Youtopia db;
+  EXPECT_FALSE(db.Submit("CREATE TABLE t (x INT)").ok());
+}
+
+TEST(YoutopiaTest, SubmitRejectsRegularSelect) {
+  Youtopia db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (x INT)").ok());
+  EXPECT_FALSE(db.Submit("SELECT x FROM t").ok());
+}
+
+TEST(YoutopiaTest, EndToEndFigure1ThroughSubmit) {
+  Youtopia db;
+  ASSERT_TRUE(travel::SetupFigure1(&db).ok());
+  auto kramer = db.Submit(
+      "SELECT 'Kramer', fno INTO ANSWER Reservation WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE dest='Paris') AND "
+      "('Jerry', fno) IN ANSWER Reservation CHOOSE 1",
+      "Kramer");
+  ASSERT_TRUE(kramer.ok()) << kramer.status();
+  auto jerry = db.Submit(
+      "SELECT 'Jerry', fno INTO ANSWER Reservation WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE dest='Paris') AND "
+      "('Kramer', fno) IN ANSWER Reservation CHOOSE 1",
+      "Jerry");
+  ASSERT_TRUE(jerry.ok());
+  EXPECT_TRUE(kramer->Wait(milliseconds(100)).ok());
+  EXPECT_TRUE(jerry->Wait(milliseconds(100)).ok());
+  EXPECT_EQ(kramer->Answers()[0].at(1), jerry->Answers()[0].at(1));
+}
+
+TEST(YoutopiaTest, RunAutoDetectsKind) {
+  Youtopia db;
+  ASSERT_TRUE(travel::SetupFigure1(&db).ok());
+
+  auto regular = db.Run("SELECT fno FROM Flights WHERE dest='Rome'");
+  ASSERT_TRUE(regular.ok());
+  EXPECT_FALSE(regular->entangled);
+  EXPECT_EQ(regular->result.rows.size(), 1u);
+
+  auto entangled = db.Run(
+      "SELECT 'Solo', fno INTO ANSWER Reservation WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE dest='Rome') CHOOSE 1",
+      "Solo");
+  ASSERT_TRUE(entangled.ok()) << entangled.status();
+  EXPECT_TRUE(entangled->entangled);
+  ASSERT_TRUE(entangled->handle.has_value());
+  EXPECT_TRUE(entangled->handle->Done());
+}
+
+TEST(YoutopiaTest, DmlAutoRetriggersDependentQueries) {
+  // A pair waits for a Berlin flight; a regular INSERT creating one
+  // completes them without any manual retrigger call.
+  Youtopia db;
+  ASSERT_TRUE(travel::SetupFigure1(&db).ok());
+  auto k = db.Submit(
+      "SELECT 'K', fno INTO ANSWER Reservation WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE dest='Berlin') AND "
+      "('J', fno) IN ANSWER Reservation CHOOSE 1", "K");
+  auto j = db.Submit(
+      "SELECT 'J', fno INTO ANSWER Reservation WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE dest='Berlin') AND "
+      "('K', fno) IN ANSWER Reservation CHOOSE 1", "J");
+  ASSERT_TRUE(k.ok());
+  ASSERT_TRUE(j.ok());
+  EXPECT_FALSE(j->Done());
+
+  ASSERT_TRUE(db.Execute("INSERT INTO Flights VALUES (777, 'Berlin')").ok());
+  EXPECT_TRUE(k->Done());
+  EXPECT_TRUE(j->Done());
+  EXPECT_EQ(k->Answers()[0].at(1).int64_value(), 777);
+}
+
+TEST(YoutopiaTest, DmlRetriggerCanBeDisabled) {
+  YoutopiaConfig config;
+  config.retrigger_on_dml = false;
+  Youtopia db(config);
+  ASSERT_TRUE(travel::SetupFigure1(&db).ok());
+  auto solo = db.Submit(
+      "SELECT 'S', fno INTO ANSWER Reservation WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE dest='Berlin') CHOOSE 1", "S");
+  ASSERT_TRUE(solo.ok());
+  EXPECT_FALSE(solo->Done());
+  ASSERT_TRUE(db.Execute("INSERT INTO Flights VALUES (777, 'Berlin')").ok());
+  EXPECT_FALSE(solo->Done());  // stays pending until explicit retrigger
+  auto satisfied = db.coordinator().RetriggerAll();
+  ASSERT_TRUE(satisfied.ok());
+  EXPECT_EQ(satisfied.value(), 1u);
+  EXPECT_TRUE(solo->Done());
+}
+
+TEST(YoutopiaTest, BrowseThenBookPath) {
+  // The demo's alternate path (Figure 4): browse friends' bookings with
+  // a regular query, then book directly.
+  Youtopia db;
+  ASSERT_TRUE(travel::SetupFigure1(&db).ok());
+  auto direct = db.Submit(
+      "SELECT 'Kramer', fno INTO ANSWER Reservation WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE fno = 122) CHOOSE 1",
+      "Kramer");
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(direct->Done());
+
+  // Jerry browses: who is on flight 122?
+  auto who = db.Execute("SELECT traveler FROM Reservation WHERE fno = 122");
+  ASSERT_TRUE(who.ok());
+  ASSERT_EQ(who->rows.size(), 1u);
+  EXPECT_EQ(who->rows[0].at(0).string_value(), "Kramer");
+
+  // Jerry books with the partner constraint satisfied from storage.
+  auto jerry = db.Submit(
+      "SELECT 'Jerry', fno INTO ANSWER Reservation WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE dest='Paris') AND "
+      "('Kramer', fno) IN ANSWER Reservation CHOOSE 1",
+      "Jerry");
+  ASSERT_TRUE(jerry.ok());
+  EXPECT_TRUE(jerry->Done());
+  EXPECT_EQ(jerry->Answers()[0].at(1).int64_value(), 122);
+  EXPECT_GE(db.coordinator().stats().constraints_from_stored, 1u);
+}
+
+}  // namespace
+}  // namespace youtopia

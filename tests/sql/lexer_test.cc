@@ -1,0 +1,125 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace youtopia {
+namespace {
+
+std::vector<Token> Lex(const std::string& sql) {
+  Lexer lexer(sql);
+  auto tokens = lexer.Tokenize();
+  EXPECT_TRUE(tokens.ok()) << tokens.status();
+  return tokens.ok() ? tokens.TakeValue() : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInput) {
+  auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEndOfInput);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Lex("select SELECT SeLeCt into answer choose");
+  ASSERT_EQ(tokens.size(), 7u);
+  EXPECT_EQ(tokens[0].type, TokenType::kSelect);
+  EXPECT_EQ(tokens[1].type, TokenType::kSelect);
+  EXPECT_EQ(tokens[2].type, TokenType::kSelect);
+  EXPECT_EQ(tokens[3].type, TokenType::kInto);
+  EXPECT_EQ(tokens[4].type, TokenType::kAnswer);
+  EXPECT_EQ(tokens[5].type, TokenType::kChoose);
+}
+
+TEST(LexerTest, IdentifiersKeepCase) {
+  auto tokens = Lex("Reservation fno _private x9");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "Reservation");
+  EXPECT_EQ(tokens[1].text, "fno");
+  EXPECT_EQ(tokens[2].text, "_private");
+  EXPECT_EQ(tokens[3].text, "x9");
+}
+
+TEST(LexerTest, IntLiterals) {
+  auto tokens = Lex("0 42 9999999999");
+  EXPECT_EQ(tokens[0].int_value, 0);
+  EXPECT_EQ(tokens[1].int_value, 42);
+  EXPECT_EQ(tokens[2].int_value, 9999999999LL);
+  EXPECT_EQ(tokens[0].type, TokenType::kIntLiteral);
+}
+
+TEST(LexerTest, DoubleLiterals) {
+  auto tokens = Lex("1.5 0.25 2e3 1.5e-2");
+  EXPECT_EQ(tokens[0].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[0].double_value, 1.5);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 0.25);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 2000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].double_value, 0.015);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  auto tokens = Lex("'Paris' 'O''Hare' ''");
+  EXPECT_EQ(tokens[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "Paris");
+  EXPECT_EQ(tokens[1].text, "O'Hare");
+  EXPECT_EQ(tokens[2].text, "");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  Lexer lexer("'oops");
+  EXPECT_FALSE(lexer.Tokenize().ok());
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  auto tokens = Lex("( ) , . ; = != <> < <= > >= + - * /");
+  std::vector<TokenType> expected = {
+      TokenType::kLParen, TokenType::kRParen, TokenType::kComma,
+      TokenType::kDot,    TokenType::kSemicolon, TokenType::kEq,
+      TokenType::kNeq,    TokenType::kNeq,    TokenType::kLt,
+      TokenType::kLte,    TokenType::kGt,     TokenType::kGte,
+      TokenType::kPlus,   TokenType::kMinus,  TokenType::kStar,
+      TokenType::kSlash,  TokenType::kEndOfInput};
+  ASSERT_EQ(tokens.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(tokens[i].type, expected[i]) << "at " << i;
+  }
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto tokens = Lex("SELECT -- this is a comment\n 1");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, TokenType::kSelect);
+  EXPECT_EQ(tokens[1].type, TokenType::kIntLiteral);
+}
+
+TEST(LexerTest, MinusVersusNegativeNumber) {
+  // The lexer emits '-' and the number separately; the parser folds.
+  auto tokens = Lex("5-3");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ(tokens[1].type, TokenType::kMinus);
+  EXPECT_EQ(tokens[2].type, TokenType::kIntLiteral);
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  Lexer lexer("SELECT @");
+  EXPECT_FALSE(lexer.Tokenize().ok());
+  Lexer bang("a ! b");
+  EXPECT_FALSE(bang.Tokenize().ok());
+}
+
+TEST(LexerTest, OffsetsTrackPositions) {
+  auto tokens = Lex("SELECT fno");
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 7u);
+}
+
+TEST(LexerTest, PaperExampleTokenizes) {
+  auto tokens = Lex(
+      "SELECT 'Kramer', fno INTO ANSWER Reservation "
+      "WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris') "
+      "AND ('Jerry', fno) IN ANSWER Reservation CHOOSE 1");
+  EXPECT_GT(tokens.size(), 20u);
+  EXPECT_EQ(tokens.back().type, TokenType::kEndOfInput);
+}
+
+}  // namespace
+}  // namespace youtopia

@@ -1,0 +1,258 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/unparser.h"
+
+namespace youtopia {
+namespace {
+
+StatementPtr Parse(const std::string& sql) {
+  auto stmt = Parser::ParseStatement(sql);
+  EXPECT_TRUE(stmt.ok()) << sql << " -> " << stmt.status();
+  return stmt.ok() ? stmt.TakeValue() : nullptr;
+}
+
+const SelectStatement& AsSelect(const StatementPtr& stmt) {
+  return static_cast<const SelectStatement&>(*stmt);
+}
+
+TEST(ParserTest, CreateTable) {
+  auto stmt = Parse("CREATE TABLE Flights (fno INT NOT NULL, dest TEXT)");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->kind, StatementKind::kCreateTable);
+  const auto& create = static_cast<const CreateTableStatement&>(*stmt);
+  EXPECT_EQ(create.table, "Flights");
+  ASSERT_EQ(create.columns.size(), 2u);
+  EXPECT_EQ(create.columns[0].name, "fno");
+  EXPECT_TRUE(create.columns[0].not_null);
+  EXPECT_FALSE(create.columns[1].not_null);
+}
+
+TEST(ParserTest, CreateIndex) {
+  auto stmt = Parse("CREATE INDEX ON Flights (dest)");
+  ASSERT_EQ(stmt->kind, StatementKind::kCreateIndex);
+  const auto& create = static_cast<const CreateIndexStatement&>(*stmt);
+  EXPECT_EQ(create.table, "Flights");
+  EXPECT_EQ(create.column, "dest");
+}
+
+TEST(ParserTest, DropTable) {
+  auto stmt = Parse("DROP TABLE Flights");
+  ASSERT_EQ(stmt->kind, StatementKind::kDropTable);
+  EXPECT_EQ(static_cast<const DropTableStatement&>(*stmt).table, "Flights");
+}
+
+TEST(ParserTest, InsertMultipleRows) {
+  auto stmt = Parse("INSERT INTO Flights VALUES (122, 'Paris'), (136, 'Rome')");
+  ASSERT_EQ(stmt->kind, StatementKind::kInsert);
+  const auto& insert = static_cast<const InsertStatement&>(*stmt);
+  EXPECT_EQ(insert.table, "Flights");
+  ASSERT_EQ(insert.rows.size(), 2u);
+  EXPECT_EQ(insert.rows[0].size(), 2u);
+}
+
+TEST(ParserTest, DeleteWithWhere) {
+  auto stmt = Parse("DELETE FROM Flights WHERE fno = 122");
+  ASSERT_EQ(stmt->kind, StatementKind::kDelete);
+  EXPECT_NE(static_cast<const DeleteStatement&>(*stmt).where, nullptr);
+  auto all = Parse("DELETE FROM Flights");
+  EXPECT_EQ(static_cast<const DeleteStatement&>(*all).where, nullptr);
+}
+
+TEST(ParserTest, Update) {
+  auto stmt = Parse("UPDATE Flights SET price = price + 10, dest = 'Rome' "
+                    "WHERE fno = 1");
+  ASSERT_EQ(stmt->kind, StatementKind::kUpdate);
+  const auto& update = static_cast<const UpdateStatement&>(*stmt);
+  ASSERT_EQ(update.assignments.size(), 2u);
+  EXPECT_EQ(update.assignments[0].first, "price");
+  EXPECT_NE(update.where, nullptr);
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = Parse("SELECT fno, dest FROM Flights WHERE price <= 500");
+  const auto& select = AsSelect(stmt);
+  EXPECT_FALSE(select.IsEntangled());
+  EXPECT_EQ(select.select_list.size(), 2u);
+  ASSERT_EQ(select.from.size(), 1u);
+  EXPECT_EQ(select.from[0].table, "Flights");
+}
+
+TEST(ParserTest, SelectStar) {
+  auto stmt = Parse("SELECT * FROM Flights");
+  const auto& select = AsSelect(stmt);
+  ASSERT_EQ(select.select_list.size(), 1u);
+  EXPECT_EQ(As<ColumnRefExpr>(*select.select_list[0]).column, "*");
+}
+
+TEST(ParserTest, SelectWithAliasesAndJoin) {
+  auto stmt = Parse(
+      "SELECT f.fno, a.airline FROM Flights f, Airlines AS a "
+      "WHERE f.fno = a.fno");
+  const auto& select = AsSelect(stmt);
+  ASSERT_EQ(select.from.size(), 2u);
+  EXPECT_EQ(select.from[0].alias, "f");
+  EXPECT_EQ(select.from[1].alias, "a");
+  const auto& col = As<ColumnRefExpr>(*select.select_list[0]);
+  EXPECT_EQ(col.qualifier, "f");
+  EXPECT_EQ(col.column, "fno");
+}
+
+TEST(ParserTest, PaperEntangledQuery) {
+  auto stmt = Parse(
+      "SELECT 'Kramer', fno INTO ANSWER Reservation "
+      "WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris') "
+      "AND ('Jerry', fno) IN ANSWER Reservation "
+      "CHOOSE 1");
+  const auto& select = AsSelect(stmt);
+  ASSERT_TRUE(select.IsEntangled());
+  ASSERT_EQ(select.heads.size(), 1u);
+  EXPECT_EQ(select.heads[0].answer_relation, "Reservation");
+  EXPECT_EQ(select.heads[0].exprs.size(), 2u);
+  EXPECT_EQ(select.choose, 1);
+  ASSERT_NE(select.where, nullptr);
+}
+
+TEST(ParserTest, MultiHeadEntangledQuery) {
+  auto stmt = Parse(
+      "SELECT 'J', fno INTO ANSWER Reservation, "
+      "'J', hid INTO ANSWER HotelReservation "
+      "WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris') "
+      "AND hid IN (SELECT hid FROM Hotels WHERE city='Paris') CHOOSE 1");
+  const auto& select = AsSelect(stmt);
+  ASSERT_EQ(select.heads.size(), 2u);
+  EXPECT_EQ(select.heads[0].answer_relation, "Reservation");
+  EXPECT_EQ(select.heads[1].answer_relation, "HotelReservation");
+}
+
+TEST(ParserTest, PaperFormIntoAnswerList) {
+  // Grammar of §2.1: INTO ANSWER tbl [, ANSWER tbl]... duplicates the
+  // same select list into several answer relations.
+  auto stmt = Parse("SELECT 'J', x INTO ANSWER A, ANSWER B WHERE x IN "
+                    "(SELECT c FROM T)");
+  const auto& select = AsSelect(stmt);
+  ASSERT_EQ(select.heads.size(), 2u);
+  EXPECT_EQ(select.heads[0].answer_relation, "A");
+  EXPECT_EQ(select.heads[1].answer_relation, "B");
+  EXPECT_EQ(select.heads[0].exprs.size(), 2u);
+  EXPECT_EQ(select.heads[1].exprs.size(), 2u);
+}
+
+TEST(ParserTest, TupleInAnswer) {
+  auto stmt = Parse("SELECT x INTO ANSWER R WHERE ('a', x, x + 1) IN ANSWER R");
+  const auto& select = AsSelect(stmt);
+  ASSERT_NE(select.where, nullptr);
+  ASSERT_EQ(select.where->kind, ExprKind::kInAnswer);
+  const auto& in = As<InAnswerExpr>(*select.where);
+  EXPECT_EQ(in.tuple.size(), 3u);
+  EXPECT_EQ(in.relation, "R");
+  EXPECT_FALSE(in.negated);
+}
+
+TEST(ParserTest, NotInAnswer) {
+  auto stmt = Parse("SELECT x INTO ANSWER R WHERE ('a', x) NOT IN ANSWER R");
+  const auto& in = As<InAnswerExpr>(*AsSelect(stmt).where);
+  EXPECT_TRUE(in.negated);
+}
+
+TEST(ParserTest, InLiteralListDesugarsToDisjunction) {
+  auto stmt = Parse("SELECT * FROM T WHERE dest IN ('Paris', 'Rome')");
+  const auto& where = *AsSelect(stmt).where;
+  ASSERT_EQ(where.kind, ExprKind::kBinary);
+  EXPECT_EQ(As<BinaryExpr>(where).op, BinaryOp::kOr);
+}
+
+TEST(ParserTest, BetweenDesugarsToConjunction) {
+  auto stmt = Parse("SELECT * FROM T WHERE price BETWEEN 100 AND 200");
+  const auto& where = *AsSelect(stmt).where;
+  ASSERT_EQ(where.kind, ExprKind::kBinary);
+  EXPECT_EQ(As<BinaryExpr>(where).op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, NotBetween) {
+  auto stmt = Parse("SELECT * FROM T WHERE price NOT BETWEEN 100 AND 200");
+  EXPECT_EQ(AsSelect(stmt).where->kind, ExprKind::kUnary);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto stmt = Parse("SELECT 1 + 2 * 3");
+  const auto& e = As<BinaryExpr>(*AsSelect(stmt).select_list[0]);
+  EXPECT_EQ(e.op, BinaryOp::kAdd);
+  EXPECT_EQ(As<BinaryExpr>(*e.right).op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, AndBindsTighterThanOr) {
+  auto stmt = Parse("SELECT * FROM T WHERE a = 1 OR b = 2 AND c = 3");
+  const auto& e = As<BinaryExpr>(*AsSelect(stmt).where);
+  EXPECT_EQ(e.op, BinaryOp::kOr);
+  EXPECT_EQ(As<BinaryExpr>(*e.right).op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  auto stmt = Parse("SELECT (1 + 2) * 3");
+  const auto& e = As<BinaryExpr>(*AsSelect(stmt).select_list[0]);
+  EXPECT_EQ(e.op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, UnaryMinusAndNot) {
+  auto stmt = Parse("SELECT -x FROM T WHERE NOT a = 1");
+  EXPECT_EQ(AsSelect(stmt).select_list[0]->kind, ExprKind::kUnary);
+  EXPECT_EQ(AsSelect(stmt).where->kind, ExprKind::kUnary);
+}
+
+TEST(ParserTest, ChooseMustBePositive) {
+  EXPECT_FALSE(Parser::ParseStatement("SELECT x INTO ANSWER R CHOOSE 0").ok());
+}
+
+TEST(ParserTest, ErrorsOnGarbage) {
+  EXPECT_FALSE(Parser::ParseStatement("FROBNICATE").ok());
+  EXPECT_FALSE(Parser::ParseStatement("SELECT").ok());
+  EXPECT_FALSE(Parser::ParseStatement("SELECT 1 extra garbage").ok());
+  EXPECT_FALSE(Parser::ParseStatement("CREATE TABLE (x INT)").ok());
+  EXPECT_FALSE(Parser::ParseStatement("INSERT INTO t VALUES 1").ok());
+  EXPECT_FALSE(Parser::ParseStatement("SELECT (1, 2) FROM t").ok());
+}
+
+TEST(ParserTest, EntangledTrailingExprsRejected) {
+  EXPECT_FALSE(
+      Parser::ParseStatement("SELECT x INTO ANSWER R, y WHERE x = y").ok());
+}
+
+TEST(ParserTest, ParseScriptSplitsOnSemicolons) {
+  auto stmts = Parser::ParseScript(
+      "CREATE TABLE t (x INT); INSERT INTO t VALUES (1);; "
+      "SELECT * FROM t;");
+  ASSERT_TRUE(stmts.ok()) << stmts.status();
+  EXPECT_EQ(stmts->size(), 3u);
+}
+
+TEST(ParserTest, ParseScriptRejectsMissingSemicolon) {
+  EXPECT_FALSE(Parser::ParseScript("SELECT 1 SELECT 2").ok());
+}
+
+TEST(ParserTest, TrailingSemicolonAllowed) {
+  EXPECT_TRUE(Parser::ParseStatement("SELECT 1;").ok());
+}
+
+TEST(ParserTest, NestedSubqueryInEntangledWhere) {
+  auto stmt = Parse(
+      "SELECT 'u', seat INTO ANSWER S "
+      "WHERE seat IN (SELECT seat FROM Seats WHERE fno = fno) "
+      "AND ('v', seat + 1) IN ANSWER S");
+  const auto& select = AsSelect(stmt);
+  EXPECT_TRUE(select.IsEntangled());
+}
+
+TEST(ParserTest, CloneRoundTripsThroughUnparser) {
+  auto stmt = Parse(
+      "SELECT 'Kramer', fno INTO ANSWER Reservation "
+      "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
+      "AND ('Jerry', fno) IN ANSWER Reservation CHOOSE 1");
+  const auto& select = AsSelect(stmt);
+  auto clone = select.Clone();
+  EXPECT_EQ(SelectToSql(select), SelectToSql(*clone));
+}
+
+}  // namespace
+}  // namespace youtopia

@@ -1,0 +1,76 @@
+#include "sql/table_refs.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace youtopia {
+namespace {
+
+TableRefs Collect(const std::string& sql) {
+  auto stmt = Parser::ParseStatement(sql);
+  EXPECT_TRUE(stmt.ok()) << stmt.status();
+  return CollectTableRefs(*stmt.value());
+}
+
+TEST(TableRefsTest, SimpleSelectReads) {
+  auto refs = Collect("SELECT fno FROM Flights WHERE price < 100");
+  EXPECT_EQ(refs.reads, (std::set<std::string>{"flights"}));
+  EXPECT_TRUE(refs.writes.empty());
+}
+
+TEST(TableRefsTest, JoinReadsBothTables) {
+  auto refs = Collect("SELECT f.fno FROM Flights f, Airlines a "
+                      "WHERE f.fno = a.fno");
+  EXPECT_EQ(refs.reads, (std::set<std::string>{"airlines", "flights"}));
+}
+
+TEST(TableRefsTest, SubqueryTablesIncluded) {
+  auto refs = Collect("SELECT fno FROM Flights WHERE fno IN "
+                      "(SELECT fno FROM Cheap WHERE price < 100)");
+  EXPECT_EQ(refs.reads, (std::set<std::string>{"cheap", "flights"}));
+}
+
+TEST(TableRefsTest, InAnswerRelationIncluded) {
+  auto refs = Collect("SELECT fno FROM Flights WHERE "
+                      "('K', fno) IN ANSWER Reservation");
+  EXPECT_EQ(refs.reads, (std::set<std::string>{"flights", "reservation"}));
+}
+
+TEST(TableRefsTest, DmlTargetsAreWrites) {
+  auto insert = Collect("INSERT INTO Flights VALUES (1, 'Paris')");
+  EXPECT_EQ(insert.writes, (std::set<std::string>{"flights"}));
+  EXPECT_TRUE(insert.reads.empty());
+
+  auto del = Collect("DELETE FROM Flights WHERE fno IN "
+                     "(SELECT fno FROM Old)");
+  EXPECT_EQ(del.writes, (std::set<std::string>{"flights"}));
+  EXPECT_EQ(del.reads, (std::set<std::string>{"old"}));
+
+  auto update = Collect("UPDATE Flights SET price = price + 1 "
+                        "WHERE fno IN (SELECT fno FROM Old)");
+  EXPECT_EQ(update.writes, (std::set<std::string>{"flights"}));
+  EXPECT_EQ(update.reads, (std::set<std::string>{"old"}));
+}
+
+TEST(TableRefsTest, DdlTakesNoLocks) {
+  EXPECT_TRUE(Collect("CREATE TABLE t (x INT)").reads.empty());
+  EXPECT_TRUE(Collect("CREATE TABLE t (x INT)").writes.empty());
+  EXPECT_TRUE(Collect("DROP TABLE t").writes.empty());
+  EXPECT_TRUE(Collect("CREATE INDEX ON t (x)").writes.empty());
+}
+
+TEST(TableRefsTest, NamesLowerCased) {
+  auto refs = Collect("SELECT x FROM FLIGHTS");
+  EXPECT_EQ(refs.reads, (std::set<std::string>{"flights"}));
+}
+
+TEST(TableRefsTest, NestedExpressionsWalked) {
+  auto refs = Collect(
+      "SELECT x FROM A WHERE NOT (x IN (SELECT y FROM B) OR "
+      "(x, 1) IN ANSWER C) AND -x < 5");
+  EXPECT_EQ(refs.reads, (std::set<std::string>{"a", "b", "c"}));
+}
+
+}  // namespace
+}  // namespace youtopia

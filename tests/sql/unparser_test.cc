@@ -1,0 +1,93 @@
+#include "sql/unparser.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace youtopia {
+namespace {
+
+/// Parses, unparses, re-parses, unparses again; both renderings must
+/// agree (idempotent round trip).
+void ExpectRoundTrip(const std::string& sql) {
+  auto stmt = Parser::ParseStatement(sql);
+  ASSERT_TRUE(stmt.ok()) << sql << " -> " << stmt.status();
+  const std::string rendered = StatementToSql(*stmt.value());
+  auto reparsed = Parser::ParseStatement(rendered);
+  ASSERT_TRUE(reparsed.ok()) << rendered << " -> " << reparsed.status();
+  EXPECT_EQ(StatementToSql(*reparsed.value()), rendered) << "input: " << sql;
+}
+
+TEST(UnparserTest, RoundTripsCreateTable) {
+  ExpectRoundTrip("CREATE TABLE Flights (fno INT NOT NULL, dest TEXT)");
+}
+
+TEST(UnparserTest, RoundTripsCreateIndex) {
+  ExpectRoundTrip("CREATE INDEX ON Flights (dest)");
+}
+
+TEST(UnparserTest, RoundTripsDrop) { ExpectRoundTrip("DROP TABLE t"); }
+
+TEST(UnparserTest, RoundTripsInsert) {
+  ExpectRoundTrip("INSERT INTO Flights VALUES (122, 'Paris'), (136, 'Rome')");
+}
+
+TEST(UnparserTest, RoundTripsDeleteAndUpdate) {
+  ExpectRoundTrip("DELETE FROM t WHERE x = 1");
+  ExpectRoundTrip("UPDATE t SET a = 1, b = 'x' WHERE c < 3");
+}
+
+TEST(UnparserTest, RoundTripsSimpleSelect) {
+  ExpectRoundTrip("SELECT fno, dest FROM Flights WHERE price <= 500");
+  ExpectRoundTrip("SELECT * FROM Flights");
+  ExpectRoundTrip("SELECT f.fno FROM Flights f, Airlines a WHERE f.fno = a.fno");
+}
+
+TEST(UnparserTest, RoundTripsPaperQuery) {
+  ExpectRoundTrip(
+      "SELECT 'Kramer', fno INTO ANSWER Reservation "
+      "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
+      "AND ('Jerry', fno) IN ANSWER Reservation CHOOSE 1");
+}
+
+TEST(UnparserTest, RoundTripsMultiHead) {
+  ExpectRoundTrip(
+      "SELECT 'J', fno INTO ANSWER R, 'J', hid INTO ANSWER H "
+      "WHERE fno IN (SELECT fno FROM Flights) AND "
+      "hid IN (SELECT hid FROM Hotels) CHOOSE 1");
+}
+
+TEST(UnparserTest, RoundTripsArithmeticAndLogic) {
+  ExpectRoundTrip("SELECT 1 + 2 * 3 - 4 / 2");
+  ExpectRoundTrip("SELECT * FROM t WHERE NOT (a = 1 OR b = 2) AND c != 3");
+  ExpectRoundTrip("SELECT -x FROM t");
+}
+
+TEST(UnparserTest, RoundTripsAdjacentSeatQuery) {
+  ExpectRoundTrip(
+      "SELECT 'u', fno, seat INTO ANSWER SeatReservation "
+      "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
+      "AND seat IN (SELECT seat FROM Seats WHERE fno = fno) "
+      "AND ('v', fno, seat + 1) IN ANSWER SeatReservation CHOOSE 1");
+}
+
+TEST(UnparserTest, ExprToName) {
+  auto stmt = Parser::ParseStatement("SELECT fno, price + 1 FROM t");
+  ASSERT_TRUE(stmt.ok());
+  const auto& select = static_cast<const SelectStatement&>(*stmt.value());
+  EXPECT_EQ(ExprToName(select.select_list[0].get()), "fno");
+  EXPECT_EQ(ExprToName(select.select_list[1].get()), "price + 1");
+}
+
+TEST(UnparserTest, StringLiteralsEscaped) {
+  auto stmt = Parser::ParseStatement("SELECT 'O''Hare'");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(StatementToSql(*stmt.value()), "SELECT 'O''Hare'");
+}
+
+TEST(UnparserTest, NullTrueFalseLiterals) {
+  ExpectRoundTrip("SELECT NULL, TRUE, FALSE");
+}
+
+}  // namespace
+}  // namespace youtopia

@@ -1,0 +1,61 @@
+#include "storage/hash_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace youtopia {
+namespace {
+
+TEST(HashIndexTest, InsertAndLookup) {
+  HashIndex index(0);
+  index.Insert(Value::String("Paris"), 1);
+  index.Insert(Value::String("Paris"), 2);
+  index.Insert(Value::String("Rome"), 3);
+  auto paris = index.Lookup(Value::String("Paris"));
+  std::sort(paris.begin(), paris.end());
+  EXPECT_EQ(paris, (std::vector<RowId>{1, 2}));
+  EXPECT_EQ(index.Lookup(Value::String("Rome")),
+            std::vector<RowId>{3});
+  EXPECT_TRUE(index.Lookup(Value::String("Berlin")).empty());
+  EXPECT_EQ(index.size(), 3u);
+  EXPECT_EQ(index.column_index(), 0u);
+}
+
+TEST(HashIndexTest, EraseRemovesOnePosting) {
+  HashIndex index(1);
+  index.Insert(Value::Int64(122), 5);
+  index.Insert(Value::Int64(122), 6);
+  index.Erase(Value::Int64(122), 5);
+  EXPECT_EQ(index.Lookup(Value::Int64(122)), std::vector<RowId>{6});
+  index.Erase(Value::Int64(122), 6);
+  EXPECT_TRUE(index.Lookup(Value::Int64(122)).empty());
+  EXPECT_EQ(index.size(), 0u);
+}
+
+TEST(HashIndexTest, EraseMissingIsNoOp) {
+  HashIndex index(0);
+  index.Erase(Value::Int64(1), 1);  // empty index
+  index.Insert(Value::Int64(1), 1);
+  index.Erase(Value::Int64(1), 99);  // wrong rid
+  EXPECT_EQ(index.size(), 1u);
+  index.Erase(Value::Int64(2), 1);  // wrong key
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(HashIndexTest, DistinguishesValueTypes) {
+  HashIndex index(0);
+  index.Insert(Value::Int64(1), 10);
+  index.Insert(Value::String("1"), 20);
+  EXPECT_EQ(index.Lookup(Value::Int64(1)), std::vector<RowId>{10});
+  EXPECT_EQ(index.Lookup(Value::String("1")), std::vector<RowId>{20});
+}
+
+TEST(HashIndexTest, NullKeysWork) {
+  HashIndex index(0);
+  index.Insert(Value::Null(), 7);
+  EXPECT_EQ(index.Lookup(Value::Null()), std::vector<RowId>{7});
+}
+
+}  // namespace
+}  // namespace youtopia

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "travel/data_generator.h"
+#include "travel/friend_graph.h"
+#include "travel/notification_bus.h"
+#include "travel/travel_schema.h"
+
+namespace youtopia::travel {
+namespace {
+
+TEST(TravelSchemaTest, CreatesAllTables) {
+  Youtopia db;
+  ASSERT_TRUE(CreateTravelSchema(&db).ok());
+  for (const char* table :
+       {kFlightsTable, kAirlinesTable, kHotelsTable, kSeatsTable,
+        kReservationTable, kHotelReservationTable, kSeatReservationTable}) {
+    EXPECT_TRUE(db.storage().catalog().HasTable(table)) << table;
+  }
+  EXPECT_TRUE(db.storage().HasIndex("Flights", "dest"));
+  EXPECT_TRUE(db.storage().HasIndex("Reservation", "traveler"));
+}
+
+TEST(TravelSchemaTest, Figure1DataExact) {
+  Youtopia db;
+  ASSERT_TRUE(SetupFigure1(&db).ok());
+  auto flights = db.Execute("SELECT fno FROM Flights WHERE dest = 'Paris'");
+  ASSERT_TRUE(flights.ok());
+  EXPECT_EQ(flights->rows.size(), 3u);
+  auto airlines = db.Execute(
+      "SELECT airline FROM Airlines WHERE fno = 134");
+  ASSERT_TRUE(airlines.ok());
+  ASSERT_EQ(airlines->rows.size(), 1u);
+  EXPECT_EQ(airlines->rows[0].at(0).string_value(), "Lufthansa");
+}
+
+TEST(DataGeneratorTest, GeneratesConfiguredShape) {
+  Youtopia db;
+  ASSERT_TRUE(CreateTravelSchema(&db).ok());
+  DataGeneratorConfig config;
+  config.cities = {"A", "B", "C"};
+  config.flights_per_route_per_day = 2;
+  config.days = 2;
+  config.hotels_per_city = 2;
+  config.seats_per_flight = 3;
+  auto generated = GenerateTravelData(&db, config);
+  ASSERT_TRUE(generated.ok()) << generated.status();
+  // 3 cities -> 6 ordered pairs, 2 flights/day, 2 days = 24 flights.
+  EXPECT_EQ(generated->flights, 24u);
+  EXPECT_EQ(generated->seats, 24u * 3u);
+  EXPECT_EQ(generated->hotels, 6u);
+  EXPECT_EQ(db.storage().TableSize("Flights").value(), 24u);
+  EXPECT_EQ(db.storage().TableSize("Airlines").value(), 24u);
+  EXPECT_EQ(db.storage().TableSize("Hotels").value(), 6u * 2u);  // per day
+  EXPECT_EQ(db.storage().TableSize("Seats").value(), 72u);
+}
+
+TEST(DataGeneratorTest, DeterministicUnderSeed) {
+  auto run = [](uint64_t seed) {
+    Youtopia db;
+    EXPECT_TRUE(CreateTravelSchema(&db).ok());
+    DataGeneratorConfig config;
+    config.seed = seed;
+    config.cities = {"A", "B"};
+    config.days = 1;
+    EXPECT_TRUE(GenerateTravelData(&db, config).ok());
+    auto rows = db.Execute("SELECT price FROM Flights");
+    std::vector<int64_t> prices;
+    for (const auto& row : rows->rows) {
+      prices.push_back(row.at(0).int64_value());
+    }
+    return prices;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(DataGeneratorTest, PricesWithinBounds) {
+  Youtopia db;
+  ASSERT_TRUE(CreateTravelSchema(&db).ok());
+  DataGeneratorConfig config;
+  config.cities = {"A", "B"};
+  config.days = 2;
+  ASSERT_TRUE(GenerateTravelData(&db, config).ok());
+  auto rows = db.Execute("SELECT price FROM Flights");
+  for (const auto& row : rows->rows) {
+    EXPECT_GE(row.at(0).int64_value(), config.min_price);
+    EXPECT_LE(row.at(0).int64_value(), config.max_price);
+  }
+}
+
+TEST(FriendGraphTest, BasicOperations) {
+  FriendGraph graph;
+  graph.AddFriendship("Jerry", "Kramer");
+  graph.AddFriendship("Kramer", "Elaine");
+  EXPECT_TRUE(graph.AreFriends("Jerry", "Kramer"));
+  EXPECT_TRUE(graph.AreFriends("Kramer", "Jerry"));  // undirected
+  EXPECT_FALSE(graph.AreFriends("Jerry", "Elaine"));
+  EXPECT_EQ(graph.FriendsOf("Kramer"),
+            (std::vector<std::string>{"Elaine", "Jerry"}));
+  EXPECT_TRUE(graph.FriendsOf("Newman").empty());
+  EXPECT_EQ(graph.num_users(), 3u);
+  EXPECT_EQ(graph.num_friendships(), 2u);
+}
+
+TEST(FriendGraphTest, SelfAndDuplicateEdgesIgnored) {
+  FriendGraph graph;
+  graph.AddFriendship("A", "A");
+  EXPECT_EQ(graph.num_friendships(), 0u);
+  graph.AddFriendship("A", "B");
+  graph.AddFriendship("B", "A");
+  EXPECT_EQ(graph.num_friendships(), 1u);
+}
+
+TEST(FriendGraphTest, CliqueConnectsEveryPair) {
+  auto graph = FriendGraph::Clique({"A", "B", "C", "D"});
+  EXPECT_EQ(graph.num_friendships(), 6u);
+  EXPECT_TRUE(graph.AreFriends("A", "D"));
+  EXPECT_TRUE(graph.AreFriends("B", "C"));
+}
+
+TEST(FriendGraphTest, RandomGraphDeterministic) {
+  auto a = FriendGraph::Random(20, 0.3, 42);
+  auto b = FriendGraph::Random(20, 0.3, 42);
+  EXPECT_EQ(a.num_friendships(), b.num_friendships());
+  EXPECT_EQ(a.num_users(), 20u);
+  auto dense = FriendGraph::Random(20, 1.0, 1);
+  EXPECT_EQ(dense.num_friendships(), 190u);
+  auto sparse = FriendGraph::Random(20, 0.0, 1);
+  EXPECT_EQ(sparse.num_friendships(), 0u);
+}
+
+TEST(NotificationBusTest, PublishAndRead) {
+  NotificationBus bus;
+  bus.Publish("Jerry", "booking confirmed");
+  bus.Publish("Jerry", "second message");
+  bus.Publish("Kramer", "hello");
+  EXPECT_EQ(bus.MessagesFor("Jerry").size(), 2u);
+  EXPECT_EQ(bus.MessagesFor("Jerry")[0], "booking confirmed");
+  EXPECT_EQ(bus.MessagesFor("Kramer").size(), 1u);
+  EXPECT_TRUE(bus.MessagesFor("Newman").empty());
+  EXPECT_EQ(bus.total_messages(), 3u);
+}
+
+TEST(NotificationBusTest, SubscribersReceiveCallbacks) {
+  NotificationBus bus;
+  std::vector<std::string> seen;
+  bus.Subscribe([&seen](const std::string& user, const std::string& msg) {
+    seen.push_back(user + ":" + msg);
+  });
+  bus.Publish("Jerry", "hi");
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "Jerry:hi");
+}
+
+}  // namespace
+}  // namespace youtopia::travel

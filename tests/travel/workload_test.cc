@@ -1,0 +1,101 @@
+#include "travel/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "travel/data_generator.h"
+#include "travel/travel_schema.h"
+
+namespace youtopia::travel {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(CreateTravelSchema(&db_).ok());
+    DataGeneratorConfig data;
+    data.cities = {"NewYork", "Paris"};
+    data.flights_per_route_per_day = 4;
+    data.days = 2;
+    ASSERT_TRUE(GenerateTravelData(&db_, data).ok());
+  }
+
+  Youtopia db_;
+};
+
+TEST_F(WorkloadTest, AllPairsComplete) {
+  WorkloadConfig config;
+  config.sessions = 4;
+  config.requests_per_session = 10;
+  config.group_fraction = 0.0;
+  config.hotel_fraction = 0.0;
+  auto report = RunLoadedWorkload(&db_, "Paris", config);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GE(report->submitted, 40u);
+  EXPECT_EQ(report->timed_out, 0u);
+  EXPECT_EQ(report->errors, 0u);
+  EXPECT_EQ(report->satisfied, report->submitted);
+  EXPECT_EQ(report->latency.count(), report->satisfied);
+  EXPECT_GT(report->SatisfiedPerSecond(), 0.0);
+  EXPECT_EQ(db_.coordinator().pending_count(), 0u);
+}
+
+TEST_F(WorkloadTest, MixedGroupsAndHotelsComplete) {
+  WorkloadConfig config;
+  config.sessions = 4;
+  config.requests_per_session = 8;
+  config.group_fraction = 0.4;
+  config.group_size = 3;
+  config.hotel_fraction = 0.5;
+  auto report = RunLoadedWorkload(&db_, "Paris", config);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->timed_out, 0u);
+  EXPECT_EQ(report->errors, 0u);
+  EXPECT_EQ(report->satisfied, report->submitted);
+
+  // Every workload pair/group really shares flights: spot-check via the
+  // invariant that reservations equal satisfied requests.
+  auto reservations = db_.Execute("SELECT * FROM Reservation");
+  ASSERT_TRUE(reservations.ok());
+  EXPECT_EQ(reservations->rows.size(), report->satisfied);
+}
+
+TEST_F(WorkloadTest, DeterministicUnderSeed) {
+  WorkloadConfig config;
+  config.sessions = 2;
+  config.requests_per_session = 6;
+  config.seed = 123;
+  auto first = RunLoadedWorkload(&db_, "Paris", config);
+  ASSERT_TRUE(first.ok());
+
+  Youtopia db2;
+  ASSERT_TRUE(CreateTravelSchema(&db2).ok());
+  DataGeneratorConfig data;
+  data.cities = {"NewYork", "Paris"};
+  data.flights_per_route_per_day = 4;
+  data.days = 2;
+  ASSERT_TRUE(GenerateTravelData(&db2, data).ok());
+  auto second = RunLoadedWorkload(&db2, "Paris", config);
+  ASSERT_TRUE(second.ok());
+  // Same plan shape (thread scheduling varies, outcomes should not).
+  EXPECT_EQ(first->submitted, second->submitted);
+  EXPECT_EQ(first->satisfied, second->satisfied);
+}
+
+TEST_F(WorkloadTest, RejectsDegenerateConfig) {
+  WorkloadConfig config;
+  config.sessions = 0;
+  EXPECT_FALSE(RunLoadedWorkload(&db_, "Paris", config).ok());
+}
+
+TEST_F(WorkloadTest, ReportToStringMentionsThroughput) {
+  WorkloadConfig config;
+  config.sessions = 1;
+  config.requests_per_session = 2;
+  config.group_fraction = 0.0;
+  auto report = RunLoadedWorkload(&db_, "Paris", config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->ToString().find("satisfied/s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace youtopia::travel

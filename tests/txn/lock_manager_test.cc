@@ -1,0 +1,120 @@
+#include "txn/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace youtopia {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, "t", LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, "t", LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Holds(1, "t", LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(2, "t", LockMode::kShared));
+  EXPECT_FALSE(lm.Holds(1, "t", LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, ExclusiveBlocksOthers) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, "t", LockMode::kExclusive).ok());
+  EXPECT_EQ(lm.Acquire(2, "t", LockMode::kShared, milliseconds(30)).code(),
+            StatusCode::kTimedOut);
+  EXPECT_EQ(lm.Acquire(2, "t", LockMode::kExclusive, milliseconds(30)).code(),
+            StatusCode::kTimedOut);
+}
+
+TEST(LockManagerTest, ReentrantUnderExclusive) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, "t", LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(1, "t", LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(1, "t", LockMode::kShared).ok());
+}
+
+TEST(LockManagerTest, SoleSharedHolderUpgrades) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, "t", LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(1, "t", LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Holds(1, "t", LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, UpgradeBlockedByOtherReader) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, "t", LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, "t", LockMode::kShared).ok());
+  EXPECT_EQ(lm.Acquire(1, "t", LockMode::kExclusive, milliseconds(30)).code(),
+            StatusCode::kTimedOut);
+}
+
+TEST(LockManagerTest, ReleaseAllWakesWaiters) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "t", LockMode::kExclusive).ok());
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    Status s = lm.Acquire(2, "t", LockMode::kExclusive, milliseconds(2000));
+    acquired = s.ok();
+  });
+  std::this_thread::sleep_for(milliseconds(20));
+  EXPECT_FALSE(acquired.load());
+  lm.ReleaseAll(1);
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  EXPECT_FALSE(lm.Holds(1, "t", LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(2, "t", LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, LocksArePerTable) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, "a", LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(2, "b", LockMode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, DeadlockResolvedByTimeout) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "a", LockMode::kExclusive).ok());
+  ASSERT_TRUE(lm.Acquire(2, "b", LockMode::kExclusive).ok());
+  std::atomic<int> timeouts{0};
+  std::thread t1([&] {
+    if (lm.Acquire(1, "b", LockMode::kExclusive, milliseconds(100)).code() ==
+        StatusCode::kTimedOut) {
+      ++timeouts;
+      lm.ReleaseAll(1);
+    }
+  });
+  std::thread t2([&] {
+    if (lm.Acquire(2, "a", LockMode::kExclusive, milliseconds(100)).code() ==
+        StatusCode::kTimedOut) {
+      ++timeouts;
+      lm.ReleaseAll(2);
+    }
+  });
+  t1.join();
+  t2.join();
+  // At least one side must have timed out; both may.
+  EXPECT_GE(timeouts.load(), 1);
+}
+
+TEST(LockManagerTest, TableNamesAreCaseInsensitive) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "Reservation", LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Holds(1, "reservation", LockMode::kExclusive));
+  EXPECT_EQ(lm.Acquire(2, "RESERVATION", LockMode::kShared,
+                       milliseconds(30))
+                .code(),
+            StatusCode::kTimedOut);
+}
+
+TEST(LockManagerTest, HoldsSemantics) {
+  LockManager lm;
+  EXPECT_FALSE(lm.Holds(1, "t", LockMode::kShared));
+  ASSERT_TRUE(lm.Acquire(1, "t", LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Holds(1, "t", LockMode::kShared));  // X satisfies S
+  EXPECT_FALSE(lm.Holds(2, "t", LockMode::kShared));
+}
+
+}  // namespace
+}  // namespace youtopia

@@ -1,0 +1,62 @@
+#include "types/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace youtopia {
+namespace {
+
+Schema FlightSchema() {
+  return Schema({{"fno", DataType::kInt64, false},
+                 {"dest", DataType::kString, false},
+                 {"price", DataType::kInt64, true}});
+}
+
+TEST(SchemaTest, CreateValidatesDuplicates) {
+  auto ok = Schema::Create({{"a", DataType::kInt64, true},
+                            {"b", DataType::kString, true}});
+  EXPECT_TRUE(ok.ok());
+  auto dup = Schema::Create({{"a", DataType::kInt64, true},
+                             {"A", DataType::kString, true}});
+  EXPECT_FALSE(dup.ok());  // case-insensitive duplicate
+  auto empty = Schema::Create({{"", DataType::kInt64, true}});
+  EXPECT_FALSE(empty.ok());
+}
+
+TEST(SchemaTest, FindColumnIsCaseInsensitive) {
+  Schema s = FlightSchema();
+  EXPECT_EQ(s.FindColumn("fno").value(), 0u);
+  EXPECT_EQ(s.FindColumn("DEST").value(), 1u);
+  EXPECT_EQ(s.FindColumn("Price").value(), 2u);
+  EXPECT_FALSE(s.FindColumn("missing").has_value());
+}
+
+TEST(SchemaTest, ColumnIndexReportsError) {
+  Schema s = FlightSchema();
+  EXPECT_TRUE(s.ColumnIndex("fno").ok());
+  auto missing = s.ColumnIndex("nope");
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, ConcatAppendsColumns) {
+  Schema left = FlightSchema();
+  Schema right({{"airline", DataType::kString, false}});
+  Schema joined = left.Concat(right);
+  EXPECT_EQ(joined.num_columns(), 4u);
+  EXPECT_EQ(joined.column(3).name, "airline");
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  Schema s({{"fno", DataType::kInt64, false}});
+  EXPECT_EQ(s.ToString(), "(fno int64 NOT NULL)");
+  Schema nullable({{"x", DataType::kString, true}});
+  EXPECT_EQ(nullable.ToString(), "(x string)");
+}
+
+TEST(SchemaTest, EqualityComparesColumns) {
+  EXPECT_EQ(FlightSchema(), FlightSchema());
+  Schema other({{"fno", DataType::kInt64, false}});
+  EXPECT_FALSE(FlightSchema() == other);
+}
+
+}  // namespace
+}  // namespace youtopia

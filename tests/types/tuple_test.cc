@@ -1,0 +1,100 @@
+#include "types/tuple.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace youtopia {
+namespace {
+
+TEST(TupleTest, ConstructionAndAccess) {
+  Tuple t({Value::String("Kramer"), Value::Int64(122)});
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.at(0).string_value(), "Kramer");
+  EXPECT_EQ(t.at(1).int64_value(), 122);
+  EXPECT_FALSE(t.empty());
+  EXPECT_TRUE(Tuple().empty());
+}
+
+TEST(TupleTest, AppendGrows) {
+  Tuple t;
+  t.Append(Value::Int64(1));
+  t.Append(Value::String("x"));
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(TupleTest, ConcatAndProject) {
+  Tuple a({Value::Int64(1), Value::Int64(2)});
+  Tuple b({Value::Int64(3)});
+  Tuple joined = a.Concat(b);
+  ASSERT_EQ(joined.size(), 3u);
+  EXPECT_EQ(joined.at(2).int64_value(), 3);
+
+  Tuple projected = joined.Project({2, 0});
+  ASSERT_EQ(projected.size(), 2u);
+  EXPECT_EQ(projected.at(0).int64_value(), 3);
+  EXPECT_EQ(projected.at(1).int64_value(), 1);
+}
+
+TEST(TupleTest, ValidateAgainstChecksArity) {
+  Schema schema({{"a", DataType::kInt64, true}});
+  Tuple wrong({Value::Int64(1), Value::Int64(2)});
+  EXPECT_FALSE(wrong.ValidateAgainst(schema).ok());
+}
+
+TEST(TupleTest, ValidateAgainstCoerces) {
+  Schema schema({{"a", DataType::kDouble, true}});
+  Tuple t({Value::Int64(3)});
+  auto validated = t.ValidateAgainst(schema);
+  ASSERT_TRUE(validated.ok());
+  EXPECT_EQ(validated->at(0).type(), DataType::kDouble);
+}
+
+TEST(TupleTest, ValidateAgainstEnforcesNotNull) {
+  Schema schema({{"a", DataType::kInt64, false}});
+  Tuple t({Value::Null()});
+  auto validated = t.ValidateAgainst(schema);
+  EXPECT_FALSE(validated.ok());
+
+  Schema nullable({{"a", DataType::kInt64, true}});
+  EXPECT_TRUE(t.ValidateAgainst(nullable).ok());
+}
+
+TEST(TupleTest, ValidateAgainstRejectsWrongType) {
+  Schema schema({{"a", DataType::kInt64, true}});
+  Tuple t({Value::String("not a number")});
+  EXPECT_FALSE(t.ValidateAgainst(schema).ok());
+}
+
+TEST(TupleTest, LexicographicOrder) {
+  Tuple a({Value::Int64(1), Value::Int64(2)});
+  Tuple b({Value::Int64(1), Value::Int64(3)});
+  Tuple prefix({Value::Int64(1)});
+  EXPECT_LT(a, b);
+  EXPECT_FALSE(b < a);
+  EXPECT_LT(prefix, a);  // shorter is smaller when prefix-equal
+}
+
+TEST(TupleTest, HashAndEquality) {
+  Tuple a({Value::String("Jerry"), Value::Int64(122)});
+  Tuple b({Value::String("Jerry"), Value::Int64(122)});
+  Tuple c({Value::String("Jerry"), Value::Int64(123)});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.Hash(), b.Hash());
+
+  std::unordered_set<Tuple, TupleHash> set;
+  set.insert(a);
+  set.insert(b);
+  set.insert(c);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(TupleTest, ToString) {
+  Tuple t({Value::String("Jerry"), Value::Int64(122)});
+  EXPECT_EQ(t.ToString(), "('Jerry', 122)");
+  EXPECT_EQ(Tuple().ToString(), "()");
+}
+
+}  // namespace
+}  // namespace youtopia

@@ -1,0 +1,125 @@
+#include "types/value.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace youtopia {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), DataType::kNull);
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_EQ(Value::Bool(true).type(), DataType::kBool);
+  EXPECT_EQ(Value::Int64(7).type(), DataType::kInt64);
+  EXPECT_EQ(Value::Double(1.5).type(), DataType::kDouble);
+  EXPECT_EQ(Value::String("x").type(), DataType::kString);
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_EQ(Value::Int64(7).int64_value(), 7);
+  EXPECT_DOUBLE_EQ(Value::Double(1.5).double_value(), 1.5);
+  EXPECT_EQ(Value::String("x").string_value(), "x");
+}
+
+TEST(ValueTest, EqualityIsTypeAndPayload) {
+  EXPECT_EQ(Value::Int64(1), Value::Int64(1));
+  EXPECT_NE(Value::Int64(1), Value::Int64(2));
+  // Identity equality distinguishes int 1 from double 1.0.
+  EXPECT_NE(Value::Int64(1), Value::Double(1.0));
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Null(), Value::Int64(0));
+  EXPECT_EQ(Value::String("a"), Value::String("a"));
+}
+
+TEST(ValueTest, AsDoubleWidensIntegers) {
+  EXPECT_DOUBLE_EQ(Value::Int64(4).AsDouble().value(), 4.0);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble().value(), 2.5);
+  EXPECT_FALSE(Value::String("x").AsDouble().ok());
+  EXPECT_FALSE(Value::Null().AsDouble().ok());
+}
+
+TEST(ValueTest, CoerceToWidensAndPreservesNull) {
+  auto widened = Value::Int64(3).CoerceTo(DataType::kDouble);
+  ASSERT_TRUE(widened.ok());
+  EXPECT_EQ(widened->type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(widened->double_value(), 3.0);
+
+  auto null_coerced = Value::Null().CoerceTo(DataType::kInt64);
+  ASSERT_TRUE(null_coerced.ok());
+  EXPECT_TRUE(null_coerced->is_null());
+
+  EXPECT_FALSE(Value::String("x").CoerceTo(DataType::kInt64).ok());
+  EXPECT_FALSE(Value::Double(1.0).CoerceTo(DataType::kInt64).ok());
+}
+
+TEST(ValueTest, TotalOrderAcrossTypes) {
+  // NULL < bool < numeric < string.
+  EXPECT_LT(Value::Null(), Value::Bool(false));
+  EXPECT_LT(Value::Bool(true), Value::Int64(-100));
+  EXPECT_LT(Value::Int64(5), Value::String(""));
+  EXPECT_LT(Value::Bool(false), Value::Bool(true));
+}
+
+TEST(ValueTest, NumericOrderingInterleavesIntAndDouble) {
+  EXPECT_LT(Value::Int64(1), Value::Double(1.5));
+  EXPECT_LT(Value::Double(0.5), Value::Int64(1));
+  EXPECT_FALSE(Value::Int64(2) < Value::Double(2.0));
+  EXPECT_FALSE(Value::Double(2.0) < Value::Int64(2));
+}
+
+TEST(ValueTest, StringOrderingIsLexicographic) {
+  EXPECT_LT(Value::String("Paris"), Value::String("Rome"));
+  EXPECT_FALSE(Value::String("a") < Value::String("a"));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int64(5).Hash(), Value::Int64(5).Hash());
+  EXPECT_EQ(Value::String("Paris").Hash(), Value::String("Paris").Hash());
+  // Different types salt differently (no guarantee, but check the
+  // common collision case int/bool).
+  EXPECT_NE(Value::Int64(1).Hash(), Value::Bool(true).Hash());
+}
+
+TEST(ValueTest, WorksInUnorderedContainers) {
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(Value::Int64(122));
+  set.insert(Value::Int64(122));
+  set.insert(Value::String("Paris"));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count(Value::Int64(122)) > 0);
+}
+
+TEST(ValueTest, ToStringRendersSqlLiterals) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(true).ToString(), "TRUE");
+  EXPECT_EQ(Value::Bool(false).ToString(), "FALSE");
+  EXPECT_EQ(Value::Int64(-3).ToString(), "-3");
+  EXPECT_EQ(Value::String("O'Hare").ToString(), "'O''Hare'");
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+}
+
+TEST(DataTypeTest, NamesRoundTrip) {
+  EXPECT_STREQ(DataTypeToString(DataType::kInt64), "int64");
+  EXPECT_EQ(DataTypeFromString("INT").value(), DataType::kInt64);
+  EXPECT_EQ(DataTypeFromString("Integer").value(), DataType::kInt64);
+  EXPECT_EQ(DataTypeFromString("bigint").value(), DataType::kInt64);
+  EXPECT_EQ(DataTypeFromString("TEXT").value(), DataType::kString);
+  EXPECT_EQ(DataTypeFromString("varchar").value(), DataType::kString);
+  EXPECT_EQ(DataTypeFromString("DOUBLE").value(), DataType::kDouble);
+  EXPECT_EQ(DataTypeFromString("bool").value(), DataType::kBool);
+  EXPECT_FALSE(DataTypeFromString("blob").ok());
+}
+
+TEST(DataTypeTest, Coercibility) {
+  EXPECT_TRUE(IsCoercible(DataType::kInt64, DataType::kInt64));
+  EXPECT_TRUE(IsCoercible(DataType::kInt64, DataType::kDouble));
+  EXPECT_TRUE(IsCoercible(DataType::kNull, DataType::kString));
+  EXPECT_FALSE(IsCoercible(DataType::kDouble, DataType::kInt64));
+  EXPECT_FALSE(IsCoercible(DataType::kString, DataType::kInt64));
+}
+
+}  // namespace
+}  // namespace youtopia
