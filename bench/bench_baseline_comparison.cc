@@ -28,12 +28,16 @@ void BM_YoutopiaPairs(benchmark::State& state) {
     for (int p = 0; p < pairs; ++p) {
       const std::string a = "A" + std::to_string(p);
       const std::string b = "B" + std::to_string(p);
+      // One Client per session thread — the deployment shape of the
+      // façade (each connection holds its own).
       threads.emplace_back([&db, a, b] {
-        auto h = db->Submit(PairSql(a, b), a);
+        Client client(db.get(), OwnerOptions(a));
+        auto h = client.Submit(PairSql(a, b));
         if (!h.ok() || !h->Wait(milliseconds(30000)).ok()) std::abort();
       });
       threads.emplace_back([&db, a, b] {
-        auto h = db->Submit(PairSql(b, a), b);
+        Client client(db.get(), OwnerOptions(b));
+        auto h = client.Submit(PairSql(b, a));
         if (!h.ok() || !h->Wait(milliseconds(30000)).ok()) std::abort();
       });
     }

@@ -6,10 +6,17 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 
-#include "server/youtopia.h"
+#include "server/client.h"
 
 namespace youtopia::bench {
+
+/// ClientOptions for a benchmark actor: owner-tagged, no history (the
+/// drivers submit thousands of statements).
+inline ClientOptions OwnerOptions(std::string owner) {
+  return ClientOptions(std::move(owner), /*record=*/false);
+}
 
 /// Creates a Flights/Reservation database with `num_flights` flights to
 /// `num_dests` destinations (round-robin) and indexes on the columns the

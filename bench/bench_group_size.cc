@@ -63,24 +63,57 @@ std::unique_ptr<Youtopia> MakeGroupDb(bool prefer_most_constrained = true) {
   return db;
 }
 
+std::vector<std::string> MakeGroup(int64_t round, int group_size) {
+  std::vector<std::string> group;
+  group.reserve(group_size);
+  for (int i = 0; i < group_size; ++i) {
+    group.push_back("g" + std::to_string(round) + "_" + std::to_string(i));
+  }
+  return group;
+}
+
 void RunGroup(benchmark::State& state, bool with_hotel,
               bool prefer_most_constrained = true) {
   const int group_size = static_cast<int>(state.range(0));
   auto db = MakeGroupDb(prefer_most_constrained);
+  Client client(db.get(), OwnerOptions("bench"));
   int64_t round = 0;
   for (auto _ : state) {
-    std::vector<std::string> group;
-    group.reserve(group_size);
-    for (int i = 0; i < group_size; ++i) {
-      group.push_back("g" + std::to_string(round) + "_" + std::to_string(i));
-    }
-    ++round;
+    auto group = MakeGroup(round++, group_size);
     for (size_t i = 0; i < group.size(); ++i) {
-      auto handle = db->Submit(GroupMemberSql(group, i, with_hotel),
-                               group[i]);
+      auto handle = client.SubmitAs(group[i],
+                                    GroupMemberSql(group, i, with_hotel));
       if (!handle.ok()) std::abort();
       const bool last = i + 1 == group.size();
       if (last != handle->Done()) std::abort();
+    }
+  }
+  state.counters["group_size"] =
+      benchmark::Counter(static_cast<double>(group_size));
+  state.counters["groups_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+
+/// Batched submission of the same group workload: the friends submit
+/// together, so the whole group goes through Client::SubmitBatch and
+/// one coordinator round — versus RunGroup's N submissions, each taking
+/// the coordinator lock and running a (mostly failing) matching round.
+void RunGroupBatched(benchmark::State& state, bool with_hotel) {
+  const int group_size = static_cast<int>(state.range(0));
+  auto db = MakeGroupDb();
+  Client client(db.get(), OwnerOptions("bench"));
+  int64_t round = 0;
+  for (auto _ : state) {
+    auto group = MakeGroup(round++, group_size);
+    std::vector<std::string> statements;
+    statements.reserve(group.size());
+    for (size_t i = 0; i < group.size(); ++i) {
+      statements.push_back(GroupMemberSql(group, i, with_hotel));
+    }
+    auto handles = client.SubmitBatchAs(group, statements);
+    if (!handles.ok()) std::abort();
+    for (const auto& handle : *handles) {
+      if (!handle.Done()) std::abort();
     }
   }
   state.counters["group_size"] =
@@ -96,10 +129,24 @@ BENCHMARK(BM_GroupFlightBooking)
     ->Arg(2)->Arg(3)->Arg(4)->Arg(6)->Arg(8)->Arg(12)->Arg(16)
     ->Unit(benchmark::kMicrosecond);
 
+void BM_GroupFlightBookingBatched(benchmark::State& state) {
+  RunGroupBatched(state, /*with_hotel=*/false);
+}
+BENCHMARK(BM_GroupFlightBookingBatched)
+    ->Arg(2)->Arg(3)->Arg(4)->Arg(6)->Arg(8)->Arg(12)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_GroupFlightAndHotelBooking(benchmark::State& state) {
   RunGroup(state, /*with_hotel=*/true);
 }
 BENCHMARK(BM_GroupFlightAndHotelBooking)
+    ->Arg(2)->Arg(3)->Arg(4)->Arg(6)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GroupFlightAndHotelBookingBatched(benchmark::State& state) {
+  RunGroupBatched(state, /*with_hotel=*/true);
+}
+BENCHMARK(BM_GroupFlightAndHotelBookingBatched)
     ->Arg(2)->Arg(3)->Arg(4)->Arg(6)->Arg(8)
     ->Unit(benchmark::kMicrosecond);
 

@@ -40,13 +40,14 @@ std::string PairFlightHotelSql(const std::string& self,
 /// Baseline series: single relation (flight only).
 void BM_PairFlightOnly(benchmark::State& state) {
   auto db = MakeTravelDb(/*num_hotels=*/64);
+  Client client(db.get(), OwnerOptions("bench"));
   int64_t pair = 0;
   for (auto _ : state) {
     const std::string a = "A" + std::to_string(pair);
     const std::string b = "B" + std::to_string(pair);
     ++pair;
-    auto ha = db->Submit(PairSql(a, b), a);
-    auto hb = db->Submit(PairSql(b, a), b);
+    auto ha = client.SubmitAs(a, PairSql(a, b));
+    auto hb = client.SubmitAs(b, PairSql(b, a));
     if (!ha.ok() || !hb.ok() || !hb->Done()) std::abort();
   }
   state.counters["answer_relations"] = benchmark::Counter(1);
@@ -56,13 +57,14 @@ BENCHMARK(BM_PairFlightOnly)->Unit(benchmark::kMicrosecond);
 /// Two answer relations per query (flight + hotel).
 void BM_PairFlightAndHotel(benchmark::State& state) {
   auto db = MakeTravelDb(static_cast<int>(state.range(0)));
+  Client client(db.get(), OwnerOptions("bench"));
   int64_t pair = 0;
   for (auto _ : state) {
     const std::string a = "A" + std::to_string(pair);
     const std::string b = "B" + std::to_string(pair);
     ++pair;
-    auto ha = db->Submit(PairFlightHotelSql(a, b), a);
-    auto hb = db->Submit(PairFlightHotelSql(b, a), b);
+    auto ha = client.SubmitAs(a, PairFlightHotelSql(a, b));
+    auto hb = client.SubmitAs(b, PairFlightHotelSql(b, a));
     if (!ha.ok() || !hb.ok() || !hb->Done()) std::abort();
   }
   state.counters["answer_relations"] = benchmark::Counter(2);

@@ -13,13 +13,14 @@ namespace {
 /// arrival triggers match + grounding + atomic install. Flights swept.
 void BM_PairwiseCoordination(benchmark::State& state) {
   auto db = MakeFlightDb(static_cast<int>(state.range(0)), /*num_dests=*/4);
+  Client client(db.get(), OwnerOptions("bench"));
   int64_t pair = 0;
   for (auto _ : state) {
     const std::string a = "A" + std::to_string(pair);
     const std::string b = "B" + std::to_string(pair);
     ++pair;
-    auto ha = db->Submit(PairSql(a, b), a);
-    auto hb = db->Submit(PairSql(b, a), b);
+    auto ha = client.SubmitAs(a, PairSql(a, b));
+    auto hb = client.SubmitAs(b, PairSql(b, a));
     if (!ha.ok() || !hb.ok() || !hb->Done()) std::abort();
     benchmark::DoNotOptimize(hb->Answers());
   }
@@ -35,12 +36,13 @@ BENCHMARK(BM_PairwiseCoordination)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)
 /// answered yet (it probes the pool and stored answers, then parks).
 void BM_RegistrationOnly(benchmark::State& state) {
   auto db = MakeFlightDb(static_cast<int>(state.range(0)), /*num_dests=*/4);
+  Client client(db.get(), OwnerOptions("bench"));
   int64_t n = 0;
   for (auto _ : state) {
     const std::string a = "A" + std::to_string(n);
     const std::string b = "B" + std::to_string(n);
     ++n;
-    auto handle = db->Submit(PairSql(a, b), a);
+    auto handle = client.SubmitAs(a, PairSql(a, b));
     if (!handle.ok() || handle->Done()) std::abort();
   }
   state.counters["flights"] =
@@ -53,6 +55,7 @@ BENCHMARK(BM_RegistrationOnly)->Arg(64)->Arg(1024)
 /// satisfied by an already-stored answer rather than a pending query.
 void BM_BookAgainstStoredAnswer(benchmark::State& state) {
   auto db = MakeFlightDb(1024, /*num_dests=*/4);
+  Client client(db.get(), OwnerOptions("bench"));
   int64_t n = 0;
   for (auto _ : state) {
     state.PauseTiming();
@@ -60,12 +63,12 @@ void BM_BookAgainstStoredAnswer(benchmark::State& state) {
     const std::string b = "B" + std::to_string(n);
     ++n;
     // b books directly; a's constraint will hit the stored tuple.
-    auto direct = db->Submit(
-        "SELECT '" + b + "', fno INTO ANSWER Reservation WHERE fno IN "
-        "(SELECT fno FROM Flights WHERE dest='City0') CHOOSE 1", b);
+    auto direct = client.SubmitAs(
+        b, "SELECT '" + b + "', fno INTO ANSWER Reservation WHERE fno IN "
+           "(SELECT fno FROM Flights WHERE dest='City0') CHOOSE 1");
     if (!direct.ok() || !direct->Done()) std::abort();
     state.ResumeTiming();
-    auto handle = db->Submit(PairSql(a, b), a);
+    auto handle = client.SubmitAs(a, PairSql(a, b));
     if (!handle.ok() || !handle->Done()) std::abort();
   }
 }

@@ -10,11 +10,13 @@
 #include <cstdio>
 
 #include "server/admin.h"
-#include "server/youtopia.h"
+#include "server/client.h"
 #include "travel/travel_schema.h"
 
 namespace {
 
+using youtopia::Client;
+using youtopia::ClientOptions;
 using youtopia::Youtopia;
 
 void Dump(const Youtopia& db, const char* moment) {
@@ -30,40 +32,43 @@ int main() {
 
   Dump(db, "fresh system (Figure 1 database loaded)");
 
+  // One Client per demo user; the owner tag is what the pending-query
+  // listing displays.
+  Client kramer_client(&db, ClientOptions("Kramer"));
+  Client elaine_client(&db, ClientOptions("Elaine"));
+  Client jerry_client(&db, ClientOptions("Jerry"));
+
   // Kramer's query arrives and parks.
-  auto kramer = db.Submit(
+  auto kramer = kramer_client.Submit(
       "SELECT 'Kramer', fno INTO ANSWER Reservation "
       "WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris') "
-      "AND ('Jerry', fno) IN ANSWER Reservation CHOOSE 1",
-      "Kramer");
+      "AND ('Jerry', fno) IN ANSWER Reservation CHOOSE 1");
   if (!kramer.ok()) return 1;
   Dump(db, "after Kramer's entangled query (pending, no partner)");
 
   // An unrelated pair floats in the pool — the match graph shows two
   // disconnected components.
-  auto elaine = db.Submit(
+  auto elaine = elaine_client.Submit(
       "SELECT 'Elaine', fno INTO ANSWER Reservation "
       "WHERE fno IN (SELECT fno FROM Flights WHERE dest='Rome') "
-      "AND ('George', fno) IN ANSWER Reservation CHOOSE 1",
-      "Elaine");
+      "AND ('George', fno) IN ANSWER Reservation CHOOSE 1");
   if (!elaine.ok()) return 1;
   Dump(db, "after Elaine's unrelated query (two components)");
 
   // Jerry arrives: his query and Kramer's form a closed component and
   // coordinate immediately.
-  auto jerry = db.Submit(
+  auto jerry = jerry_client.Submit(
       "SELECT 'Jerry', fno INTO ANSWER Reservation "
       "WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris') "
-      "AND ('Kramer', fno) IN ANSWER Reservation CHOOSE 1",
-      "Jerry");
+      "AND ('Kramer', fno) IN ANSWER Reservation CHOOSE 1");
   if (!jerry.ok()) return 1;
   std::printf("\nJerry + Kramer coordinated: %s and %s\n",
               jerry->Answers()[0].ToString().c_str(),
               kramer->Answers()[0].ToString().c_str());
   Dump(db, "after the joint answer (Elaine still waiting)");
 
-  // Cancel Elaine's query to show pool withdrawal.
-  if (db.coordinator().Cancel(elaine->id()).ok()) {
+  // Cancel Elaine's outstanding query to show pool withdrawal.
+  if (elaine_client.CancelAll().ok()) {
     Dump(db, "after cancelling Elaine's query");
   }
   return 0;

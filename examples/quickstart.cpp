@@ -10,10 +10,13 @@
 #include <cstdio>
 
 #include "server/admin.h"
-#include "server/youtopia.h"
+#include "server/client.h"
 #include "travel/travel_schema.h"
 
 int main() {
+  using youtopia::Client;
+  using youtopia::ClientOptions;
+  using youtopia::EntangledHandle;
   using youtopia::Youtopia;
 
   Youtopia db;
@@ -25,16 +28,31 @@ int main() {
     return 1;
   }
 
-  std::printf("Flights table:\n%s\n\n",
-              db.Execute("SELECT * FROM Flights").value().ToString().c_str());
+  // Each user talks to the shared instance through the Client façade;
+  // the owner tag is what the admin interface displays.
+  Client kramer_client(&db, ClientOptions("Kramer"));
+  Client jerry_client(&db, ClientOptions("Jerry"));
 
-  // Kramer's entangled query — exactly the SQL of the paper, Section 2.1.
-  auto kramer = db.Submit(
+  std::printf("Flights table:\n%s\n\n",
+              kramer_client.Execute("SELECT * FROM Flights")
+                  .value()
+                  .ToString()
+                  .c_str());
+
+  // Kramer's entangled query — exactly the SQL of the paper, Section
+  // 2.1. The completion callback fires from whichever submission closes
+  // the group; Kramer's thread never blocks in Wait.
+  auto kramer = kramer_client.Submit(
       "SELECT 'Kramer', fno INTO ANSWER Reservation "
       "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
       "AND ('Jerry', fno) IN ANSWER Reservation "
       "CHOOSE 1",
-      "Kramer");
+      [](const EntangledHandle& done) {
+        std::printf("  [callback] Kramer's query completed: %s\n",
+                    done.Outcome().value_or(youtopia::Status::OK())
+                        .ToString()
+                        .c_str());
+      });
   if (!kramer.ok()) {
     std::fprintf(stderr, "submit failed: %s\n",
                  kramer.status().ToString().c_str());
@@ -45,13 +63,14 @@ int main() {
   std::printf("Pending queries in the system: %zu\n\n",
               db.coordinator().pending_count());
 
-  // Jerry submits the symmetric query — the names are swapped.
-  auto jerry = db.Submit(
+  // Jerry submits the symmetric query — the names are swapped. This
+  // submission closes the group, so Kramer's callback fires before
+  // Submit returns.
+  auto jerry = jerry_client.Submit(
       "SELECT 'Jerry', fno INTO ANSWER Reservation "
       "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
       "AND ('Kramer', fno) IN ANSWER Reservation "
-      "CHOOSE 1",
-      "Jerry");
+      "CHOOSE 1");
   if (!jerry.ok()) {
     std::fprintf(stderr, "submit failed: %s\n",
                  jerry.status().ToString().c_str());
@@ -70,7 +89,7 @@ int main() {
   }
 
   std::printf("\nAnswer relation after coordination:\n%s\n",
-              db.Execute("SELECT * FROM Reservation")
+              jerry_client.Execute("SELECT * FROM Reservation")
                   .value()
                   .ToString()
                   .c_str());

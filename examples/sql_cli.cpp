@@ -13,18 +13,18 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
-#include <map>
 #include <string>
 
 #include "server/admin.h"
-#include "server/youtopia.h"
+#include "server/client.h"
 #include "travel/data_generator.h"
 #include "travel/travel_schema.h"
 
 namespace {
 
+using youtopia::Client;
+using youtopia::ClientOptions;
 using youtopia::EntangledHandle;
-using youtopia::QueryId;
 using youtopia::Youtopia;
 
 void PrintHelp() {
@@ -55,9 +55,18 @@ int main(int argc, char** argv) {
   }
   PrintHelp();
 
-  // Handles of not-yet-answered entangled queries, polled after every
-  // statement so the user sees coordinations complete.
-  std::map<QueryId, EntangledHandle> waiting;
+  // The CLI is one logical connection: a Client with the "cli" owner
+  // tag. Completions are announced by OnComplete callbacks registered
+  // at submission — the statement that closes a group prints every
+  // member's answer, with no polling loop.
+  Client client(&db, ClientOptions("cli"));
+  auto announce = [](const EntangledHandle& done) {
+    std::printf("entangled query #%llu is now answered:\n",
+                static_cast<unsigned long long>(done.id()));
+    for (const auto& tuple : done.Answers()) {
+      std::printf("  %s\n", tuple.ToString().c_str());
+    }
+  };
 
   std::string line;
   std::string statement;
@@ -97,7 +106,7 @@ int main(int argc, char** argv) {
     }
     statement.erase(end);  // drop the ';'
 
-    auto outcome = db.Run(statement, "cli");
+    auto outcome = client.Run(statement);
     if (!outcome.ok()) {
       std::printf("error: %s\n", outcome.status().ToString().c_str());
     } else if (outcome->entangled) {
@@ -112,24 +121,12 @@ int main(int argc, char** argv) {
         std::printf("entangled query #%llu registered; waiting for "
                     "coordination partners\n",
                     static_cast<unsigned long long>(handle.id()));
-        waiting.emplace(handle.id(), std::move(handle));
+        // Announcement fires from the future statement that completes
+        // the coordination (it runs on this same REPL thread).
+        handle.OnComplete(announce);
       }
     } else {
       std::printf("%s\n", outcome->result.ToString().c_str());
-    }
-
-    // Announce any earlier queries this statement completed.
-    for (auto it = waiting.begin(); it != waiting.end();) {
-      if (it->second.Done()) {
-        std::printf("entangled query #%llu is now answered:\n",
-                    static_cast<unsigned long long>(it->first));
-        for (const auto& tuple : it->second.Answers()) {
-          std::printf("  %s\n", tuple.ToString().c_str());
-        }
-        it = waiting.erase(it);
-      } else {
-        ++it;
-      }
     }
 
     statement.clear();

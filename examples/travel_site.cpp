@@ -69,14 +69,16 @@ int main() {
   Banner("Scenario 1: book a flight with a friend");
   auto jerry = service.BookFlightWithFriend("Jerry", "Kramer", "Paris");
   if (!Check(jerry.status(), "Jerry's request")) return 1;
+  // Event-driven notification: the "Facebook message" is published from
+  // whichever submission completes the pair — Jerry's thread is free.
+  service.NotifyOnCompletion(*jerry, "Jerry");
   std::printf("Jerry submitted; pending queries: %zu\n",
               db.coordinator().pending_count());
   auto kramer = service.BookFlightWithFriend("Kramer", "Jerry", "Paris");
   if (!Check(kramer.status(), "Kramer's request")) return 1;
+  service.NotifyOnCompletion(*kramer, "Kramer");
   ReportBooking("Jerry", *jerry);
   ReportBooking("Kramer", *kramer);
-  (void)service.WaitAndNotify(*jerry, "Jerry");
-  (void)service.WaitAndNotify(*kramer, "Kramer");
 
   Banner("Scenario 1b: browse flights, see friends' bookings, book direct");
   auto flights = service.BrowseFlights("Paris", /*day=*/0, /*max_price=*/0);
@@ -118,11 +120,14 @@ int main() {
     }
   }
 
-  Banner("Scenario 4: group flight booking (four friends)");
+  Banner("Scenario 4: group flight booking (four friends, one batch)");
   {
+    // The friends submit together, so the middle tier hands the whole
+    // group to the coordinator in one batch: a single matching round
+    // closes it instead of four submissions each re-running the matcher.
     const std::vector<std::string> group = {"Jerry", "Kramer", "Elaine",
                                             "George"};
-    std::vector<EntangledHandle> handles;
+    std::vector<travel::TravelRequest> requests;
     for (const auto& self : group) {
       travel::TravelRequest request;
       request.user = self;
@@ -131,19 +136,19 @@ int main() {
       }
       request.dest = "Rome";
       request.day = 2;
-      auto handle = service.SubmitRequest(request);
-      if (!Check(handle.status(), "group request")) return 1;
-      handles.push_back(handle.TakeValue());
+      requests.push_back(std::move(request));
     }
+    auto handles = service.SubmitGroupRequest(requests);
+    if (!Check(handles.status(), "group batch")) return 1;
     for (size_t i = 0; i < group.size(); ++i) {
-      ReportBooking(group[i].c_str(), handles[i]);
+      ReportBooking(group[i].c_str(), (*handles)[i]);
     }
   }
 
   Banner("Scenario 5: group flight and hotel booking (three friends)");
   {
     const std::vector<std::string> group = {"Kramer", "Newman", "Susan"};
-    std::vector<EntangledHandle> handles;
+    std::vector<travel::TravelRequest> requests;
     for (const auto& self : group) {
       travel::TravelRequest request;
       request.user = self;
@@ -155,12 +160,12 @@ int main() {
       }
       request.dest = "London";
       request.want_hotel = true;
-      auto handle = service.SubmitRequest(request);
-      if (!Check(handle.status(), "group request")) return 1;
-      handles.push_back(handle.TakeValue());
+      requests.push_back(std::move(request));
     }
+    auto handles = service.SubmitGroupRequest(requests);
+    if (!Check(handles.status(), "group batch")) return 1;
     for (size_t i = 0; i < group.size(); ++i) {
-      ReportBooking(group[i].c_str(), handles[i]);
+      ReportBooking(group[i].c_str(), (*handles)[i]);
     }
   }
 
@@ -202,5 +207,10 @@ int main() {
       "from_stored=%zu\n",
       stats.submitted, stats.matched_queries, stats.matched_groups,
       stats.failed_installs, stats.constraints_from_stored);
+  std::printf(
+      "batches=%zu batched_queries=%zu callbacks_registered=%zu "
+      "callbacks_fired=%zu\n",
+      stats.batches, stats.batched_queries, stats.callbacks_registered,
+      stats.callbacks_fired);
   return 0;
 }

@@ -13,7 +13,7 @@ constexpr int64_t kAccepted = 1;
 
 Status MiddleTierCoordinator::Setup() {
   if (db_->storage().catalog().HasTable(kProposals)) return Status::OK();
-  return db_->ExecuteScript(
+  return client_.ExecuteScript(
       "CREATE TABLE CoordProposals ("
       "  proposer TEXT NOT NULL,"
       "  partner TEXT NOT NULL,"

@@ -7,7 +7,7 @@
 #include <string>
 
 #include "common/status.h"
-#include "server/youtopia.h"
+#include "server/client.h"
 
 namespace youtopia::baseline {
 
@@ -28,7 +28,8 @@ namespace youtopia::baseline {
 /// latency, and manual two-sided state management.
 class MiddleTierCoordinator {
  public:
-  explicit MiddleTierCoordinator(Youtopia* db) : db_(db) {}
+  explicit MiddleTierCoordinator(Youtopia* db)
+      : db_(db), client_(db, BaselineOptions()) {}
 
   MiddleTierCoordinator(const MiddleTierCoordinator&) = delete;
   MiddleTierCoordinator& operator=(const MiddleTierCoordinator&) = delete;
@@ -61,6 +62,16 @@ class MiddleTierCoordinator {
       std::chrono::milliseconds poll_interval = std::chrono::milliseconds(2));
 
  private:
+  /// The baseline's setup SQL goes through the façade; everything else
+  /// — the accept-or-propose transaction and its hand-rolled
+  /// lock-conflict retry loop — still drives the TxnManager directly.
+  /// That is deliberate: multi-statement coordination logic is exactly
+  /// what the façade's per-statement machinery cannot lift, which is
+  /// the paper's argument for in-DBMS coordination.
+  static ClientOptions BaselineOptions() {
+    return ClientOptions("baseline", /*record=*/false);
+  }
+
   /// One attempt of the accept-or-propose transaction; kTimedOut means
   /// a lock conflict and the caller retries.
   Result<Ticket> TryRequest(const std::string& user,
@@ -68,6 +79,7 @@ class MiddleTierCoordinator {
                             const std::string& dest);
 
   Youtopia* db_;
+  Client client_;
 };
 
 }  // namespace youtopia::baseline

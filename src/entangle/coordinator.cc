@@ -16,13 +16,44 @@ bool EntangledHandle::Done() const {
   return state_->done;
 }
 
+std::optional<Status> EntangledHandle::Outcome() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->outcome;
+}
+
 Status EntangledHandle::Wait(std::chrono::milliseconds timeout) const {
   std::unique_lock<std::mutex> lock(state_->mu);
   if (!state_->cv.wait_for(lock, timeout, [this] { return state_->done; })) {
     return Status::TimedOut("entangled query " + std::to_string(state_->id) +
                             " still pending");
   }
-  return state_->outcome;
+  return *state_->outcome;
+}
+
+void EntangledHandle::OnComplete(CompletionCallback callback) {
+  if (!callback) return;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->counters) state_->counters->registered.fetch_add(1);
+    if (!state_->done) {
+      // Parked; whoever completes the query delivers it (outside the
+      // coordinator lock).
+      state_->callbacks.push_back(std::move(callback));
+      return;
+    }
+  }
+  // Already done: deliver immediately in the registering thread. A
+  // throwing callback must not differ between this path and deferred
+  // delivery (which would otherwise terminate), so both swallow and
+  // log — completion callbacks are expected not to throw.
+  try {
+    callback(*this);
+  } catch (const std::exception& e) {
+    YOUTOPIA_LOG(kError) << "OnComplete callback threw: " << e.what();
+  } catch (...) {
+    YOUTOPIA_LOG(kError) << "OnComplete callback threw";
+  }
+  if (state_->counters) state_->counters->fired.fetch_add(1);
 }
 
 std::vector<Tuple> EntangledHandle::Answers() const {
@@ -37,32 +68,154 @@ EntangledHandle::CompletedAt() const {
   return state_->completed_at;
 }
 
+namespace {
+
+/// Runs a Coordinator's deferred completion callbacks on scope exit.
+/// Declared BEFORE the lock_guard in every mutating entry point so the
+/// flush happens after the lock is released, on success and error paths
+/// alike (destruction order is the reverse of declaration).
+class CallbackFlusher {
+ public:
+  using Flush = std::function<void()>;
+  explicit CallbackFlusher(Flush flush) : flush_(std::move(flush)) {}
+  ~CallbackFlusher() { flush_(); }
+  CallbackFlusher(const CallbackFlusher&) = delete;
+  CallbackFlusher& operator=(const CallbackFlusher&) = delete;
+
+ private:
+  Flush flush_;
+};
+
+}  // namespace
+
 Coordinator::Coordinator(StorageEngine* storage, TxnManager* txn_manager,
                          CoordinatorConfig config)
     : storage_(storage),
       txn_manager_(txn_manager),
       config_(config),
       answers_(storage, config.auto_create_answer_tables),
-      matcher_(storage, config.match) {}
+      matcher_(storage, config.match),
+      callback_counters_(
+          std::make_shared<EntangledHandle::CallbackCounters>()) {}
 
-Result<EntangledHandle> Coordinator::Submit(EntangledQuery query) {
-  if (query.heads.empty()) {
-    return Status::InvalidArgument("entangled query has no heads");
-  }
-  std::lock_guard<std::mutex> lock(mu_);
+std::shared_ptr<EntangledHandle::State> Coordinator::RegisterLocked(
+    EntangledQuery query) {
   query.id = next_id_++;
   const QueryId id = query.id;
 
   auto state = std::make_shared<EntangledHandle::State>();
   state->id = id;
+  state->counters = callback_counters_;
   handles_.emplace(id, state);
   arrivals_.emplace(id, std::chrono::steady_clock::now());
   pool_.Add(std::make_shared<const EntangledQuery>(std::move(query)));
   ++stats_.submitted;
+  return state;
+}
 
-  auto satisfied = MatchAndInstallLocked(id);
-  if (!satisfied.ok()) return satisfied.status();
+Result<EntangledHandle> Coordinator::Submit(EntangledQuery query) {
+  if (query.heads.empty()) {
+    return Status::InvalidArgument("entangled query has no heads");
+  }
+  CallbackFlusher flusher([this] { FireDeferredCallbacks(); });
+  std::lock_guard<std::mutex> lock(mu_);
+  auto state = RegisterLocked(std::move(query));
+  auto satisfied = MatchAndInstallLocked({state->id});
+  if (!satisfied.ok()) {
+    // Don't strand the registration: the caller gets no handle back,
+    // so a query left in the pool could later match with nobody able
+    // to observe or cancel it. (NotFound here just means the round
+    // already satisfied it before failing elsewhere.)
+    (void)WithdrawLocked(state->id, satisfied.status());
+    return satisfied.status();
+  }
   return EntangledHandle(state);
+}
+
+Result<std::vector<EntangledHandle>> Coordinator::SubmitAll(
+    std::vector<EntangledQuery> queries) {
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (queries[i].heads.empty()) {
+      return Status::InvalidArgument("entangled query " + std::to_string(i) +
+                                     " in batch has no heads");
+    }
+  }
+  std::vector<EntangledHandle> handles;
+  handles.reserve(queries.size());
+  CallbackFlusher flusher([this] { FireDeferredCallbacks(); });
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryId> roots;
+  roots.reserve(queries.size());
+  for (EntangledQuery& query : queries) {
+    auto state = RegisterLocked(std::move(query));
+    roots.push_back(state->id);
+    handles.push_back(EntangledHandle(std::move(state)));
+  }
+  ++stats_.batches;
+  stats_.batched_queries += roots.size();
+  // One matching round over the whole batch: the first root already
+  // sees every batch member in the pool, so a complete group closes
+  // on its first TryMatch instead of after N partial attempts.
+  auto satisfied = MatchAndInstallLocked(roots);
+  if (!satisfied.ok()) {
+    // The caller gets no handles back, so withdraw every member still
+    // pending — otherwise the batch would keep matching as phantom
+    // queries nobody can observe or cancel. Members whose group
+    // already installed before the failure stay installed (the commit
+    // is the point of no return); WithdrawLocked is a NotFound no-op
+    // for them.
+    for (QueryId root : roots) {
+      (void)WithdrawLocked(root, satisfied.status());
+    }
+    return satisfied.status();
+  }
+  return handles;
+}
+
+void Coordinator::CompleteLocked(
+    const std::shared_ptr<EntangledHandle::State>& state, Status outcome,
+    std::vector<Tuple> answers) {
+  DeferredNotification notification;
+  notification.state = state;
+  {
+    std::lock_guard<std::mutex> hlock(state->mu);
+    state->done = true;
+    state->outcome = std::move(outcome);
+    state->answers = std::move(answers);
+    state->completed_at = std::chrono::steady_clock::now();
+    notification.callbacks = std::move(state->callbacks);
+    state->callbacks.clear();
+  }
+  state->cv.notify_all();
+  if (!notification.callbacks.empty()) {
+    deferred_.push_back(std::move(notification));
+  }
+}
+
+void Coordinator::FireDeferredCallbacks() {
+  std::vector<DeferredNotification> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch.swap(deferred_);
+  }
+  for (DeferredNotification& notification : batch) {
+    EntangledHandle handle(notification.state);
+    for (EntangledHandle::CompletionCallback& callback :
+         notification.callbacks) {
+      // Deferred delivery runs inside CallbackFlusher's destructor; an
+      // escaping exception would terminate the process and drop the
+      // rest of the batch. Swallow and log, matching the
+      // already-done registration path.
+      try {
+        callback(handle);
+      } catch (const std::exception& e) {
+        YOUTOPIA_LOG(kError) << "OnComplete callback threw: " << e.what();
+      } catch (...) {
+        YOUTOPIA_LOG(kError) << "OnComplete callback threw";
+      }
+      callback_counters_->fired.fetch_add(1);
+    }
+  }
 }
 
 Status Coordinator::WithdrawLocked(QueryId id, Status outcome) {
@@ -75,26 +228,21 @@ Status Coordinator::WithdrawLocked(QueryId id, Status outcome) {
   arrivals_.erase(id);
   auto it = handles_.find(id);
   if (it != handles_.end()) {
-    auto& state = it->second;
-    {
-      std::lock_guard<std::mutex> hlock(state->mu);
-      state->done = true;
-      state->outcome = std::move(outcome);
-      state->completed_at = std::chrono::steady_clock::now();
-    }
-    state->cv.notify_all();
+    CompleteLocked(it->second, std::move(outcome), {});
     handles_.erase(it);
   }
   return Status::OK();
 }
 
 Status Coordinator::Cancel(QueryId id) {
+  CallbackFlusher flusher([this] { FireDeferredCallbacks(); });
   std::lock_guard<std::mutex> lock(mu_);
   return WithdrawLocked(id, Status::Aborted("query cancelled"));
 }
 
 Result<size_t> Coordinator::ExpireOlderThan(
     std::chrono::milliseconds max_age) {
+  CallbackFlusher flusher([this] { FireDeferredCallbacks(); });
   std::lock_guard<std::mutex> lock(mu_);
   const auto cutoff = std::chrono::steady_clock::now() - max_age;
   std::vector<QueryId> expired;
@@ -109,11 +257,12 @@ Result<size_t> Coordinator::ExpireOlderThan(
 }
 
 Result<size_t> Coordinator::RetriggerDependentsOf(const std::string& table) {
+  CallbackFlusher flusher([this] { FireDeferredCallbacks(); });
   std::lock_guard<std::mutex> lock(mu_);
   size_t satisfied = 0;
   for (QueryId id : pool_.QueriesWithDomainOn(table)) {
     if (!pool_.Contains(id)) continue;
-    auto n = MatchAndInstallLocked(id);
+    auto n = MatchAndInstallLocked({id});
     if (!n.ok()) return n.status();
     satisfied += n.value();
   }
@@ -121,23 +270,25 @@ Result<size_t> Coordinator::RetriggerDependentsOf(const std::string& table) {
 }
 
 Result<size_t> Coordinator::RetriggerAll() {
+  CallbackFlusher flusher([this] { FireDeferredCallbacks(); });
   std::lock_guard<std::mutex> lock(mu_);
   size_t satisfied = 0;
   // Snapshot ids up front; matches mutate the pool.
   for (QueryId id : pool_.AllIds()) {
     if (!pool_.Contains(id)) continue;  // satisfied by an earlier round
-    auto n = MatchAndInstallLocked(id);
+    auto n = MatchAndInstallLocked({id});
     if (!n.ok()) return n.status();
     satisfied += n.value();
   }
   return satisfied;
 }
 
-Result<size_t> Coordinator::MatchAndInstallLocked(QueryId id) {
+Result<size_t> Coordinator::MatchAndInstallLocked(
+    const std::vector<QueryId>& roots) {
   size_t satisfied = 0;
-  // Worklist of match roots: the triggering query first, then queries
+  // Worklist of match roots: the triggering queries first, then queries
   // whose constraints touch relations that received new answers.
-  std::deque<QueryId> worklist = {id};
+  std::deque<QueryId> worklist(roots.begin(), roots.end());
   while (!worklist.empty()) {
     const QueryId root = worklist.front();
     worklist.pop_front();
@@ -217,15 +368,7 @@ Result<bool> Coordinator::InstallLocked(const MatchResult& match) {
     arrivals_.erase(qid);
     auto it = handles_.find(qid);
     if (it == handles_.end()) continue;
-    auto& state = it->second;
-    {
-      std::lock_guard<std::mutex> hlock(state->mu);
-      state->done = true;
-      state->outcome = Status::OK();
-      state->answers = match.answers.at(qid);
-      state->completed_at = std::chrono::steady_clock::now();
-    }
-    state->cv.notify_all();
+    CompleteLocked(it->second, Status::OK(), match.answers.at(qid));
     handles_.erase(it);
   }
   return true;
@@ -271,7 +414,10 @@ std::string Coordinator::RenderGraph() const {
 
 CoordinatorStats Coordinator::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  CoordinatorStats snapshot = stats_;
+  snapshot.callbacks_registered = callback_counters_->registered.load();
+  snapshot.callbacks_fired = callback_counters_->fired.load();
+  return snapshot;
 }
 
 void Coordinator::SetInstallHook(InstallHook hook) {

@@ -1,6 +1,7 @@
 #ifndef YOUTOPIA_ENTANGLE_COORDINATOR_H_
 #define YOUTOPIA_ENTANGLE_COORDINATOR_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <functional>
@@ -34,22 +35,50 @@ struct CoordinatorStats {
   size_t match_calls = 0;
   uint64_t match_micros_total = 0;
   size_t search_steps_total = 0;
+  /// SubmitAll calls and the queries they carried.
+  size_t batches = 0;
+  size_t batched_queries = 0;
+  /// OnComplete registrations and deliveries (across all handles).
+  size_t callbacks_registered = 0;
+  size_t callbacks_fired = 0;
 };
 
 /// Future-like handle to a submitted entangled query. The query is
 /// answered when the coordinator matches it into a group; until then it
 /// waits — "a query whose postcondition is not satisfied is not
 /// rejected but waits for an opportunity to retry" (paper §1).
+///
+/// Completion can be consumed two ways: blocking (`Wait`) or
+/// event-driven (`OnComplete`). The event-driven form is what lets one
+/// thread drive many outstanding coordinations.
 class EntangledHandle {
  public:
+  /// Invoked exactly once when the query reaches a terminal state
+  /// (satisfied, cancelled or expired). The handle passed in is done;
+  /// inspect `Outcome()` / `Answers()` to learn which way it went.
+  using CompletionCallback = std::function<void(const EntangledHandle&)>;
+
   QueryId id() const;
 
-  /// True once the query is satisfied or cancelled.
+  /// True once the query is satisfied, cancelled or expired.
   bool Done() const;
+
+  /// Terminal status: OK when satisfied, Aborted when cancelled,
+  /// TimedOut when expired. nullopt while the query is still pending —
+  /// a pending query has no outcome yet, misleading or otherwise.
+  std::optional<Status> Outcome() const;
 
   /// Blocks until done or timeout. Returns OK when satisfied, Aborted
   /// when cancelled, TimedOut when still pending at the deadline.
   Status Wait(std::chrono::milliseconds timeout) const;
+
+  /// Registers a completion callback. Fires exactly once per
+  /// registration: immediately (in the calling thread) when the handle
+  /// is already done, otherwise from whichever thread completes the
+  /// query. Callbacks run outside the coordinator's internal lock, so
+  /// they may safely call back into the coordinator (submit a follow-up,
+  /// inspect stats, ...).
+  void OnComplete(CompletionCallback callback);
 
   /// Grounded answer tuples, one per head atom. Valid when Done() and
   /// satisfied.
@@ -62,14 +91,27 @@ class EntangledHandle {
 
  private:
   friend class Coordinator;
+  /// Callback-delivery counters shared between a coordinator and every
+  /// handle it issued; atomics because immediate-fire registrations on
+  /// completed handles happen outside the coordinator lock (and may
+  /// outlive the coordinator itself).
+  struct CallbackCounters {
+    std::atomic<size_t> registered{0};
+    std::atomic<size_t> fired{0};
+  };
   struct State {
     mutable std::mutex mu;
     mutable std::condition_variable cv;
     QueryId id = 0;
     bool done = false;
-    Status outcome = Status::TimedOut("still pending");
+    /// Terminal status; empty while pending (never a placeholder
+    /// "timed out" that a caller could mistake for a real outcome).
+    std::optional<Status> outcome;
     std::vector<Tuple> answers;
     std::chrono::steady_clock::time_point completed_at;
+    /// Callbacks awaiting completion; drained exactly once.
+    std::vector<CompletionCallback> callbacks;
+    std::shared_ptr<CallbackCounters> counters;
   };
   explicit EntangledHandle(std::shared_ptr<State> state)
       : state_(std::move(state)) {}
@@ -102,6 +144,8 @@ struct PendingQueryInfo {
 /// stable pending pool and database snapshot). Installation runs inside
 /// a transaction from the TxnManager, so a concurrent regular workload
 /// observes coordinated answers atomically — design decision #3.
+/// Completion callbacks fire after the internal lock is released, in
+/// the thread whose submission closed the group.
 class Coordinator {
  public:
   /// Optional hook executed inside the installation transaction, after
@@ -122,6 +166,16 @@ class Coordinator {
   /// a matching round. Returns a handle that completes when the query
   /// is eventually answered.
   Result<EntangledHandle> Submit(EntangledQuery query);
+
+  /// Registers a whole batch, then runs a single matching round over
+  /// it. A complete group submitted together (the paper's friends
+  /// booking jointly) closes in that one round instead of N lock
+  /// round-trips, and intermediate partial matches are never attempted.
+  /// All-or-nothing on validation: an invalid member rejects the batch
+  /// before anything is registered. Handles are returned in submission
+  /// order.
+  Result<std::vector<EntangledHandle>> SubmitAll(
+      std::vector<EntangledQuery> queries);
 
   /// Withdraws a pending query. Fails with NotFound when it already
   /// matched or never existed.
@@ -156,11 +210,23 @@ class Coordinator {
   void SetInstallHook(InstallHook hook);
 
  private:
-  /// Runs one matching round rooted at `id` and, on success, installs
-  /// the group and retriggers affected queries. Caller holds mu_.
-  /// Returns number of queries satisfied (group sizes summed over the
-  /// retrigger cascade).
-  Result<size_t> MatchAndInstallLocked(QueryId id);
+  /// A completed handle whose callbacks still have to run; collected
+  /// under mu_, fired after mu_ is released.
+  struct DeferredNotification {
+    std::shared_ptr<EntangledHandle::State> state;
+    std::vector<EntangledHandle::CompletionCallback> callbacks;
+  };
+
+  /// Registers `query` (assigning a fresh id) without matching.
+  /// Caller holds mu_.
+  std::shared_ptr<EntangledHandle::State> RegisterLocked(
+      EntangledQuery query);
+
+  /// Runs matching rounds rooted at each of `roots` in order and, on
+  /// success, installs groups and retriggers affected queries. Caller
+  /// holds mu_. Returns number of queries satisfied (group sizes summed
+  /// over the retrigger cascade).
+  Result<size_t> MatchAndInstallLocked(const std::vector<QueryId>& roots);
 
   /// Installs a matched group atomically. On success removes members
   /// from the pool and completes their handles. Caller holds mu_.
@@ -170,11 +236,22 @@ class Coordinator {
   /// `outcome` (cancellation, expiry). Caller holds mu_.
   Status WithdrawLocked(QueryId id, Status outcome);
 
+  /// Marks `state` done with `outcome`, wakes waiters and queues its
+  /// callbacks for delivery. Caller holds mu_.
+  void CompleteLocked(const std::shared_ptr<EntangledHandle::State>& state,
+                      Status outcome, std::vector<Tuple> answers);
+
+  /// Delivers queued completion callbacks. Must be called WITHOUT mu_
+  /// held; every public entry point that can complete handles calls
+  /// this after releasing the lock.
+  void FireDeferredCallbacks();
+
   StorageEngine* storage_;
   TxnManager* txn_manager_;
   CoordinatorConfig config_;
   AnswerRelationManager answers_;
   Matcher matcher_;
+  std::shared_ptr<EntangledHandle::CallbackCounters> callback_counters_;
 
   mutable std::mutex mu_;
   PendingPool pool_;
@@ -183,6 +260,7 @@ class Coordinator {
   std::map<QueryId, std::chrono::steady_clock::time_point> arrivals_;
   CoordinatorStats stats_;
   InstallHook install_hook_;
+  std::vector<DeferredNotification> deferred_;
 };
 
 }  // namespace youtopia

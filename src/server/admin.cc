@@ -41,6 +41,11 @@ std::string AdminSnapshot::ToString() const {
       stats.match_calls, stats.search_steps_total,
       stats.constraints_from_stored,
       static_cast<unsigned long long>(stats.match_micros_total));
+  out += StringPrintf(
+      "  batches=%zu batched_queries=%zu callbacks_registered=%zu "
+      "callbacks_fired=%zu\n",
+      stats.batches, stats.batched_queries, stats.callbacks_registered,
+      stats.callbacks_fired);
   out += "-- Match graph --\n";
   out += match_graph;
   out += "=======================================================\n";

@@ -1,0 +1,190 @@
+#include "server/client.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace youtopia {
+
+void Client::Record(const std::string& sql) {
+  if (!options_.record_history) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  history_.push_back(sql);
+}
+
+void Client::PruneLocked() {
+  // Amortized prune: long-lived shared clients (middle tiers, load
+  // drivers) submit unboundedly many queries, so retained handles must
+  // track what is genuinely outstanding, not total submissions.
+  if (outstanding_.size() < prune_watermark_) return;
+  outstanding_.erase(
+      std::remove_if(outstanding_.begin(), outstanding_.end(),
+                     [](const EntangledHandle& h) { return h.Done(); }),
+      outstanding_.end());
+  prune_watermark_ = std::max<size_t>(16, outstanding_.size() * 2);
+}
+
+void Client::Track(const EntangledHandle& handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PruneLocked();
+  outstanding_.push_back(handle);
+}
+
+void Client::TrackAll(const std::vector<EntangledHandle>& handles) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PruneLocked();
+  for (const EntangledHandle& handle : handles) {
+    if (!handle.Done()) outstanding_.push_back(handle);
+  }
+}
+
+namespace {
+
+/// Runs `attempt` and, when the statement timeout is set, retries
+/// lock-conflict (kTimedOut) failures until the deadline.
+template <typename T, typename Fn>
+Result<T> RetryOnLockTimeout(const ClientOptions& options, Fn attempt) {
+  Result<T> result = attempt();
+  if (options.statement_timeout.count() <= 0) return result;
+  const auto deadline =
+      std::chrono::steady_clock::now() + options.statement_timeout;
+  while (!result.ok() && result.status().code() == StatusCode::kTimedOut &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(options.retry_interval);
+    result = attempt();
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<QueryResult> Client::Execute(const std::string& sql) {
+  Record(sql);
+  return RetryOnLockTimeout<QueryResult>(
+      options_, [&] { return db_->Execute(sql); });
+}
+
+Status Client::ExecuteScript(const std::string& sql) {
+  Record(sql);
+  return db_->ExecuteScript(sql);
+}
+
+Result<EntangledHandle> Client::Submit(const std::string& sql,
+                                       CompletionCallback on_complete) {
+  return SubmitAs(options_.owner, sql, std::move(on_complete));
+}
+
+Result<EntangledHandle> Client::SubmitAs(const std::string& owner,
+                                         const std::string& sql,
+                                         CompletionCallback on_complete) {
+  Record(sql);
+  auto handle = db_->Submit(sql, owner);
+  if (!handle.ok()) return handle;
+  if (on_complete) handle->OnComplete(std::move(on_complete));
+  if (!handle->Done()) Track(*handle);
+  return handle;
+}
+
+Result<std::vector<EntangledHandle>> Client::SubmitBatch(
+    const std::vector<std::string>& statements,
+    CompletionCallback on_complete) {
+  return SubmitBatchAs({}, statements, std::move(on_complete));
+}
+
+Result<std::vector<EntangledHandle>> Client::SubmitBatchAs(
+    const std::vector<std::string>& owners,
+    const std::vector<std::string>& statements,
+    CompletionCallback on_complete) {
+  // owners/statements size mismatch is rejected by Youtopia::SubmitBatch.
+  for (const std::string& sql : statements) Record(sql);
+  std::vector<std::string> tags;
+  if (owners.empty()) {
+    tags.assign(statements.size(), options_.owner);
+  } else {
+    tags = owners;
+  }
+  auto handles = db_->SubmitBatch(statements, tags);
+  if (!handles.ok()) return handles;
+  // Register callbacks immediately: completions that already happened
+  // inside the batch round fire right here, later ones fire from the
+  // completing thread.
+  if (on_complete) {
+    for (EntangledHandle& handle : *handles) handle.OnComplete(on_complete);
+  }
+  TrackAll(*handles);
+  return handles;
+}
+
+namespace {
+
+/// True when `sql` parses as an entangled SELECT. Used to decide
+/// whether a timed-out Run may be re-issued: a regular statement that
+/// lost a lock conflict is side-effect free on failure, while an
+/// entangled submission must never be blindly re-submitted.
+bool IsEntangledStatement(const std::string& sql) {
+  auto stmt = Parser::ParseStatement(sql);
+  return stmt.ok() && stmt.value()->kind == StatementKind::kSelect &&
+         static_cast<const SelectStatement&>(*stmt.value()).IsEntangled();
+}
+
+}  // namespace
+
+Result<RunOutcome> Client::Run(const std::string& sql) {
+  Record(sql);
+  auto outcome = db_->Run(sql, options_.owner);
+  // Regular statements get the same lock-conflict retry as Execute; an
+  // entangled submission must never be blindly re-issued.
+  if (!outcome.ok() && outcome.status().code() == StatusCode::kTimedOut &&
+      options_.statement_timeout.count() > 0 && !IsEntangledStatement(sql)) {
+    outcome = RetryOnLockTimeout<RunOutcome>(
+        options_, [&] { return db_->Run(sql, options_.owner); });
+  }
+  if (outcome.ok() && outcome->entangled && outcome->handle.has_value() &&
+      !outcome->handle->Done()) {
+    Track(*outcome->handle);
+  }
+  return outcome;
+}
+
+std::vector<EntangledHandle> Client::Outstanding() {
+  std::lock_guard<std::mutex> lock(mu_);
+  outstanding_.erase(
+      std::remove_if(outstanding_.begin(), outstanding_.end(),
+                     [](const EntangledHandle& h) { return h.Done(); }),
+      outstanding_.end());
+  return outstanding_;
+}
+
+Status Client::WaitForAll(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (const EntangledHandle& handle : Outstanding()) {
+    const auto now = std::chrono::steady_clock::now();
+    const auto remaining =
+        now >= deadline
+            ? std::chrono::milliseconds(0)
+            : std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - now);
+    Status status = handle.Wait(remaining);
+    if (!status.ok() && status.code() == StatusCode::kTimedOut) {
+      return status;
+    }
+  }
+  return Status::OK();
+}
+
+Status Client::CancelAll() {
+  for (const EntangledHandle& handle : Outstanding()) {
+    Status status = db_->coordinator().Cancel(handle.id());
+    // NotFound just means it completed concurrently.
+    if (!status.ok() && status.code() != StatusCode::kNotFound) {
+      return status;
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Client::History() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_;
+}
+
+}  // namespace youtopia

@@ -1,0 +1,142 @@
+#ifndef YOUTOPIA_SERVER_CLIENT_H_
+#define YOUTOPIA_SERVER_CLIENT_H_
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "server/youtopia.h"
+
+namespace youtopia {
+
+/// Per-client configuration for the `Client` façade.
+struct ClientOptions {
+  ClientOptions() = default;
+  /// Shorthand for the common case: an owner-tagged client, optionally
+  /// without history (long-lived shared clients, benchmarks).
+  explicit ClientOptions(std::string owner_tag, bool record = true)
+      : owner(std::move(owner_tag)), record_history(record) {}
+
+  /// Default owner tag attached to entangled submissions — what the
+  /// admin interface and notifications display. Overridable per call
+  /// via the *As variants.
+  std::string owner;
+
+  /// Upper bound on automatic retries of regular statements that lose
+  /// lock conflicts (kTimedOut from the lock manager). Zero means one
+  /// attempt, surfacing the conflict to the caller — the seed's
+  /// behavior. Non-zero absorbs transient conflicts the way a driver's
+  /// statement timeout does.
+  std::chrono::milliseconds statement_timeout{0};
+
+  /// Pause between lock-conflict retries.
+  std::chrono::milliseconds retry_interval{1};
+
+  /// Record statement history for the admin interface.
+  bool record_history = true;
+};
+
+/// The stable public façade over an embedded `Youtopia` instance — the
+/// API every external caller (middle tiers, examples, benchmarks,
+/// future network frontends) programs against. One `Client` per logical
+/// connection; the underlying `Youtopia` is shared and thread-safe,
+/// the `Client` itself is thread-safe for tracking but intended to be
+/// driven like a connection: one logical caller at a time.
+///
+/// Entangled submissions are non-blocking: they return an
+/// `EntangledHandle` immediately, and completion is consumed either by
+/// blocking (`handle.Wait`) or — the scalable form — by registering an
+/// `OnComplete` callback at submission time, so no caller thread parks
+/// per outstanding query.
+class Client {
+ public:
+  using CompletionCallback = EntangledHandle::CompletionCallback;
+
+  explicit Client(Youtopia* db, ClientOptions options = {})
+      : db_(db), options_(std::move(options)) {}
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  const ClientOptions& options() const { return options_; }
+  const std::string& owner() const { return options_.owner; }
+  Youtopia& db() { return *db_; }
+  const Youtopia& db() const { return *db_; }
+
+  /// Executes one *regular* statement, retrying lock conflicts up to
+  /// the statement timeout. Entangled statements are rejected with
+  /// InvalidArgument (use Submit / SubmitBatch / Run).
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// Executes a ';'-separated batch of regular statements, discarding
+  /// results (schema/data setup scripts).
+  Status ExecuteScript(const std::string& sql);
+
+  /// Submits one *entangled* query tagged with the client's owner.
+  /// `on_complete` (optional) is registered on the handle before
+  /// returning, so a completion can never slip between submission and
+  /// registration.
+  Result<EntangledHandle> Submit(const std::string& sql,
+                                 CompletionCallback on_complete = nullptr);
+
+  /// Submit with an explicit owner tag (middle tiers acting for many
+  /// end users share one client).
+  Result<EntangledHandle> SubmitAs(const std::string& owner,
+                                   const std::string& sql,
+                                   CompletionCallback on_complete = nullptr);
+
+  /// Submits a batch of entangled queries in one coordinator round —
+  /// the group-submission path (friends booking together). All handles
+  /// are returned in statement order; `on_complete` (optional) is
+  /// registered on every handle. All-or-nothing: a statement that fails
+  /// to parse or normalize rejects the whole batch before anything is
+  /// registered.
+  Result<std::vector<EntangledHandle>> SubmitBatch(
+      const std::vector<std::string>& statements,
+      CompletionCallback on_complete = nullptr);
+
+  /// SubmitBatch with per-statement owner tags (`owners` empty = the
+  /// client's owner for all; otherwise must match `statements` size).
+  Result<std::vector<EntangledHandle>> SubmitBatchAs(
+      const std::vector<std::string>& owners,
+      const std::vector<std::string>& statements,
+      CompletionCallback on_complete = nullptr);
+
+  /// Runs any single statement, auto-detecting entangled queries.
+  /// Entangled handles are tagged with the client's owner and tracked.
+  Result<RunOutcome> Run(const std::string& sql);
+
+  /// Handles of this client's not-yet-answered entangled queries.
+  /// Completed handles are pruned on each call.
+  std::vector<EntangledHandle> Outstanding();
+
+  /// Waits until every outstanding query completes or `timeout` passes.
+  /// Returns OK when none remain pending.
+  Status WaitForAll(std::chrono::milliseconds timeout);
+
+  /// Withdraws all of this client's pending queries.
+  Status CancelAll();
+
+  /// The statements this client ran, in order (when recording is on).
+  std::vector<std::string> History() const;
+
+ private:
+  /// Drops completed handles from outstanding_ once it crosses the
+  /// watermark (amortized O(1) per Track). Caller holds mu_.
+  void PruneLocked();
+  void Track(const EntangledHandle& handle);
+  void TrackAll(const std::vector<EntangledHandle>& handles);
+  void Record(const std::string& sql);
+
+  Youtopia* db_;
+  ClientOptions options_;
+  mutable std::mutex mu_;
+  std::vector<EntangledHandle> outstanding_;
+  size_t prune_watermark_ = 16;
+  std::vector<std::string> history_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_SERVER_CLIENT_H_

@@ -2,65 +2,71 @@
 #define YOUTOPIA_SERVER_SESSION_H_
 
 #include <chrono>
-#include <mutex>
 #include <string>
 #include <vector>
 
-#include "server/youtopia.h"
+#include "server/client.h"
 
 namespace youtopia {
 
 /// A user session against a shared Youtopia instance — what each
-/// middle-tier connection of the demo's web application holds. The
-/// session carries the user identity (owner tag for entangled queries),
-/// tracks the user's outstanding coordination handles, and records a
-/// statement history for the admin interface.
+/// middle-tier connection of the demo's web application holds. A thin
+/// wrapper over the `Client` façade that fixes the owner tag to the
+/// session user; new code should hold a `Client` directly and use
+/// `ClientOptions` for configuration.
 ///
 /// Thread-compatible: one session per thread; the underlying Youtopia
 /// instance is shared and thread-safe.
 class Session {
  public:
   Session(Youtopia* db, std::string user)
-      : db_(db), user_(std::move(user)) {}
+      : client_(db, ClientOptions(std::move(user))) {}
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
-  const std::string& user() const { return user_; }
+  const std::string& user() const { return client_.owner(); }
+
+  /// The façade this session delegates through.
+  Client& client() { return client_; }
 
   /// Runs any statement; entangled queries are tagged with this
   /// session's user and their handles retained (see Outstanding).
-  Result<RunOutcome> Run(const std::string& sql);
+  Result<RunOutcome> Run(const std::string& sql) { return client_.Run(sql); }
 
   /// Regular statement convenience.
-  Result<QueryResult> Execute(const std::string& sql);
+  Result<QueryResult> Execute(const std::string& sql) {
+    return client_.Execute(sql);
+  }
 
-  /// Entangled submission convenience.
-  Result<EntangledHandle> Submit(const std::string& sql);
+  /// Entangled submission convenience; `on_complete` (optional) fires
+  /// exactly once when the query reaches a terminal state.
+  Result<EntangledHandle> Submit(
+      const std::string& sql,
+      Client::CompletionCallback on_complete = nullptr) {
+    return client_.Submit(sql, std::move(on_complete));
+  }
 
   /// Handles of this session's not-yet-answered entangled queries.
   /// Completed handles are pruned on each call.
-  std::vector<EntangledHandle> Outstanding();
+  std::vector<EntangledHandle> Outstanding() {
+    return client_.Outstanding();
+  }
 
   /// Waits until every outstanding query completes or `timeout` passes.
   /// Returns OK when none remain pending.
-  Status WaitForAll(std::chrono::milliseconds timeout);
+  Status WaitForAll(std::chrono::milliseconds timeout) {
+    return client_.WaitForAll(timeout);
+  }
 
   /// Withdraws all of this session's pending queries.
-  Status CancelAll();
+  Status CancelAll() { return client_.CancelAll(); }
 
   /// The statements this session ran, in order.
-  std::vector<std::string> History() const;
+  std::vector<std::string> History() const { return client_.History(); }
 
  private:
-  void Track(const EntangledHandle& handle);
-  void Record(const std::string& sql);
-
-  Youtopia* db_;
-  std::string user_;
-  mutable std::mutex mu_;
-  std::vector<EntangledHandle> outstanding_;
-  std::vector<std::string> history_;
+  Client client_;
 };
 
 }  // namespace youtopia

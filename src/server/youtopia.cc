@@ -97,6 +97,33 @@ Result<EntangledHandle> Youtopia::Submit(const std::string& sql,
   return coordinator_.Submit(query.TakeValue());
 }
 
+Result<std::vector<EntangledHandle>> Youtopia::SubmitBatch(
+    const std::vector<std::string>& statements,
+    const std::vector<std::string>& owners) {
+  if (!owners.empty() && owners.size() != statements.size()) {
+    return Status::InvalidArgument(
+        "SubmitBatch owners/statements size mismatch");
+  }
+  // Compile the whole batch up front so a malformed member rejects it
+  // before anything is registered with the coordinator.
+  std::vector<EntangledQuery> queries;
+  queries.reserve(statements.size());
+  for (size_t i = 0; i < statements.size(); ++i) {
+    auto stmt = Parser::ParseStatement(statements[i]);
+    if (!stmt.ok()) return stmt.status();
+    if (stmt.value()->kind != StatementKind::kSelect) {
+      return Status::InvalidArgument("batch statement " + std::to_string(i) +
+                                     " is not a SELECT statement");
+    }
+    const auto& select = static_cast<const SelectStatement&>(*stmt.value());
+    auto query = Normalizer::Normalize(
+        select, /*id=*/0, owners.empty() ? "" : owners[i], statements[i]);
+    if (!query.ok()) return query.status();
+    queries.push_back(query.TakeValue());
+  }
+  return coordinator_.SubmitAll(std::move(queries));
+}
+
 Result<RunOutcome> Youtopia::Run(const std::string& sql,
                                  const std::string& owner) {
   auto stmt = Parser::ParseStatement(sql);

@@ -4,6 +4,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "entangle/coordinator.h"
@@ -61,6 +62,16 @@ class Youtopia {
   /// admin interface and notifications.
   Result<EntangledHandle> Submit(const std::string& sql,
                                  const std::string& owner = "");
+
+  /// Submits a batch of *entangled* queries in one coordinator round
+  /// (Coordinator::SubmitAll): a complete group submitted together
+  /// closes without N lock round-trips. `owners` is either empty (no
+  /// tag) or one tag per statement. All-or-nothing: any statement that
+  /// fails to parse or normalize rejects the batch before anything is
+  /// registered.
+  Result<std::vector<EntangledHandle>> SubmitBatch(
+      const std::vector<std::string>& statements,
+      const std::vector<std::string>& owners = {});
 
   /// Runs any single statement, auto-detecting entangled queries —
   /// what the demo's SQL command-line interface does.

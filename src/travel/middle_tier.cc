@@ -112,7 +112,26 @@ Result<EntangledHandle> TravelService::SubmitRequest(
       ValidateFriends(request.user, request.hotel_companions));
   auto sql = BuildEntangledSql(request);
   if (!sql.ok()) return sql.status();
-  return db_->Submit(sql.value(), request.user);
+  return client_.SubmitAs(request.user, sql.value());
+}
+
+Result<std::vector<EntangledHandle>> TravelService::SubmitGroupRequest(
+    const std::vector<TravelRequest>& requests) {
+  std::vector<std::string> owners;
+  std::vector<std::string> statements;
+  owners.reserve(requests.size());
+  statements.reserve(requests.size());
+  for (const TravelRequest& request : requests) {
+    YOUTOPIA_RETURN_IF_ERROR(
+        ValidateFriends(request.user, request.flight_companions));
+    YOUTOPIA_RETURN_IF_ERROR(
+        ValidateFriends(request.user, request.hotel_companions));
+    auto sql = BuildEntangledSql(request);
+    if (!sql.ok()) return sql.status();
+    owners.push_back(request.user);
+    statements.push_back(sql.TakeValue());
+  }
+  return client_.SubmitBatchAs(owners, statements);
 }
 
 Result<EntangledHandle> TravelService::BookFlightWithFriend(
@@ -148,12 +167,12 @@ Result<QueryResult> TravelService::BrowseFlights(const std::string& dest,
       QuoteSqlString(dest);
   if (day > 0) sql += " AND day = " + std::to_string(day);
   if (max_price > 0) sql += " AND price <= " + std::to_string(max_price);
-  return db_->Execute(sql);
+  return client_.Execute(sql);
 }
 
 Result<std::vector<std::string>> TravelService::FriendsOnFlight(
     const std::string& user, int64_t fno) {
-  auto result = db_->Execute(
+  auto result = client_.Execute(
       "SELECT traveler FROM Reservation WHERE fno = " + std::to_string(fno));
   if (!result.ok()) return result.status();
   std::vector<std::string> out;
@@ -170,21 +189,21 @@ Result<EntangledHandle> TravelService::BookFlightDirect(
       "SELECT " + QuoteSqlString(user) + ", fno INTO ANSWER " +
       kReservationTable + " WHERE fno IN (SELECT fno FROM Flights WHERE "
       "fno = " + std::to_string(fno) + ") CHOOSE 1";
-  return db_->Submit(sql, user);
+  return client_.SubmitAs(user, sql);
 }
 
 Result<AccountInfo> TravelService::AccountView(const std::string& user) {
   AccountInfo info;
-  auto flights = db_->Execute(
+  auto flights = client_.Execute(
       "SELECT fno FROM Reservation WHERE traveler = " + QuoteSqlString(user));
   if (!flights.ok()) return flights.status();
   info.flights = flights.TakeValue();
-  auto hotels = db_->Execute(
+  auto hotels = client_.Execute(
       "SELECT hid FROM HotelReservation WHERE traveler = " +
       QuoteSqlString(user));
   if (!hotels.ok()) return hotels.status();
   info.hotels = hotels.TakeValue();
-  auto seats = db_->Execute(
+  auto seats = client_.Execute(
       "SELECT fno, seat FROM SeatReservation WHERE traveler = " +
       QuoteSqlString(user));
   if (!seats.ok()) return seats.status();
@@ -192,28 +211,68 @@ Result<AccountInfo> TravelService::AccountView(const std::string& user) {
   return info;
 }
 
+namespace {
+
+std::string ConfirmedMessage(const EntangledHandle& handle) {
+  std::string message = "Your coordinated booking is confirmed:";
+  for (const Tuple& answer : handle.Answers()) {
+    message += " " + answer.ToString();
+  }
+  return message;
+}
+
+/// The demo's "Facebook message" for a handle that reached a terminal
+/// state (the OnComplete path — `outcome` is never "still waiting").
+std::string TerminalMessage(const EntangledHandle& handle,
+                            const Status& outcome) {
+  switch (outcome.code()) {
+    case StatusCode::kOk:
+      return ConfirmedMessage(handle);
+    case StatusCode::kAborted:
+      return "Your booking request was cancelled: " + outcome.ToString();
+    case StatusCode::kTimedOut:
+      return "Your booking request expired before a partner arrived: " +
+             outcome.ToString();
+    default:
+      return "Your booking request failed: " + outcome.ToString();
+  }
+}
+
+}  // namespace
+
+void TravelService::NotifyOnCompletion(EntangledHandle handle,
+                                       const std::string& user) {
+  if (bus_ == nullptr) return;
+  NotificationBus* bus = bus_;
+  handle.OnComplete([bus, user](const EntangledHandle& done) {
+    bus->Publish(user, TerminalMessage(
+                           done, done.Outcome().value_or(Status::OK())));
+  });
+}
+
 Status TravelService::WaitAndNotify(const EntangledHandle& handle,
                                     const std::string& user,
                                     std::chrono::milliseconds timeout) {
   Status outcome = handle.Wait(timeout);
   if (bus_ != nullptr) {
-    if (outcome.ok()) {
-      std::string message = "Your coordinated booking is confirmed:";
-      for (const Tuple& answer : handle.Answers()) {
-        message += " " + answer.ToString();
-      }
-      bus_->Publish(user, message);
-    } else {
+    if (outcome.code() == StatusCode::kTimedOut && !handle.Done()) {
+      // The *wait* timed out; the request itself is still in flight.
       bus_->Publish(user, "Your booking request is still pending: " +
                               outcome.ToString());
+    } else {
+      // Re-read the terminal status: the handle may have completed
+      // between Wait timing out and the Done() check above, and the
+      // stale wait status would misreport a satisfied booking.
+      bus_->Publish(user, TerminalMessage(
+                              handle, handle.Outcome().value_or(outcome)));
     }
   }
   return outcome;
 }
 
 void TravelService::EnableInventoryEnforcement() {
-  Youtopia* db = db_;
-  db_->coordinator().SetInstallHook(
+  Youtopia* db = &client_.db();
+  client_.db().coordinator().SetInstallHook(
       [db](Transaction* txn, TxnManager* txn_manager,
            const MatchResult& match) -> Status {
         for (const auto& [relation, tuple] : match.installed) {

@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
-#include "server/youtopia.h"
+#include "server/client.h"
 #include "travel/friend_graph.h"
 #include "travel/notification_bus.h"
 
@@ -43,19 +43,34 @@ struct AccountInfo {
 };
 
 /// The application (middle) tier of the travel web site. Validates
-/// friendships, builds entangled SQL, submits it to Youtopia, and
-/// delivers notifications — everything the demo's three-tier app does
-/// above the DBMS, minus the browser frontend.
+/// friendships, builds entangled SQL, submits it through the
+/// `youtopia::Client` façade, and delivers notifications — everything
+/// the demo's three-tier app does above the DBMS, minus the browser
+/// frontend. One shared client serves every end user; submissions are
+/// tagged with the requesting user's name.
 class TravelService {
  public:
   TravelService(Youtopia* db, FriendGraph friends, NotificationBus* bus)
-      : db_(db), friends_(std::move(friends)), bus_(bus) {}
+      // No history: the service is long-lived and shared, and
+      // per-statement history would grow without bound under load.
+      : client_(db, ClientOptions("travel", /*record=*/false)),
+        friends_(std::move(friends)),
+        bus_(bus) {}
 
   TravelService(const TravelService&) = delete;
   TravelService& operator=(const TravelService&) = delete;
 
   /// Validates and submits a request; returns the coordination handle.
   Result<EntangledHandle> SubmitRequest(const TravelRequest& request);
+
+  /// Validates and submits a whole group's requests in one coordinator
+  /// round (Client::SubmitBatch) — the friends-booking-together case.
+  /// A complete group closes in that single round instead of N
+  /// submissions each re-running the matcher. All-or-nothing on
+  /// validation: one invalid member rejects the batch. Handles are
+  /// returned in request order.
+  Result<std::vector<EntangledHandle>> SubmitGroupRequest(
+      const std::vector<TravelRequest>& requests);
 
   /// Scenario 1 convenience: same flight with one friend.
   Result<EntangledHandle> BookFlightWithFriend(const std::string& user,
@@ -86,8 +101,15 @@ class TravelService {
   /// Pending and confirmed state for `user`.
   Result<AccountInfo> AccountView(const std::string& user);
 
-  /// Waits for a handle and publishes the outcome to the notification
-  /// bus as the demo's "Facebook message".
+  /// Event-driven delivery: registers an OnComplete callback that
+  /// publishes the outcome to the notification bus as the demo's
+  /// "Facebook message" — no caller thread blocks. Fires immediately
+  /// when the handle is already done.
+  void NotifyOnCompletion(EntangledHandle handle, const std::string& user);
+
+  /// Blocking form of NotifyOnCompletion: waits for the handle, then
+  /// publishes. Prefer NotifyOnCompletion; this remains for callers
+  /// that need the outcome synchronously.
   Status WaitAndNotify(const EntangledHandle& handle, const std::string& user,
                        std::chrono::milliseconds timeout =
                            std::chrono::milliseconds(2000));
@@ -109,7 +131,7 @@ class TravelService {
   Status ValidateFriends(const std::string& user,
                          const std::vector<std::string>& companions) const;
 
-  Youtopia* db_;
+  Client client_;
   FriendGraph friends_;
   NotificationBus* bus_;
 };

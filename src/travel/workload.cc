@@ -2,6 +2,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -76,6 +79,23 @@ std::vector<PlannedRequest> PlanRequests(const std::string& dest,
 
 }  // namespace
 
+namespace {
+
+/// Completion accounting shared between OnComplete callbacks and the
+/// driver. Held via shared_ptr by every callback so a coordination that
+/// completes after the workload returns (the caller keeps using the
+/// database) touches valid memory and is simply ignored.
+struct CompletionTracker {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t satisfied = 0;
+  size_t failed = 0;  ///< Terminal but not OK (cancelled/expired).
+  Histogram latency;
+  bool closed = false;  ///< Report taken; ignore late completions.
+};
+
+}  // namespace
+
 Result<WorkloadReport> RunLoadedWorkload(Youtopia* db,
                                          const std::string& dest,
                                          const WorkloadConfig& config) {
@@ -88,62 +108,72 @@ Result<WorkloadReport> RunLoadedWorkload(Youtopia* db,
   TravelService service(db, std::move(graph), nullptr);
 
   WorkloadReport report;
-  std::atomic<size_t> satisfied{0}, timed_out{0}, errors{0};
-  Histogram latency;
+  std::atomic<size_t> errors{0};
+  auto tracker = std::make_shared<CompletionTracker>();
 
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> sessions;
   sessions.reserve(config.sessions);
   for (int s = 0; s < config.sessions; ++s) {
     sessions.emplace_back([&, s] {
-      struct InFlight {
-        EntangledHandle handle;
-        std::chrono::steady_clock::time_point submitted_at;
-      };
-      std::vector<InFlight> in_flight;
-      // Round-robin assignment of the shuffled plan.
+      // Round-robin assignment of the shuffled plan. Completion is
+      // consumed through OnComplete callbacks registered at submission:
+      // no session thread ever parks in Wait per outstanding handle,
+      // which is what lets one driver thread field arbitrarily many
+      // in-flight coordinations.
       for (size_t i = s; i < planned.size();
            i += static_cast<size_t>(config.sessions)) {
+        const auto submitted_at = std::chrono::steady_clock::now();
         auto handle = service.SubmitRequest(planned[i].request);
         if (!handle.ok()) {
           ++errors;
           continue;
         }
-        in_flight.push_back(
-            {handle.TakeValue(), std::chrono::steady_clock::now()});
-      }
-      // Closed loop tail: wait for everything this session submitted.
-      for (InFlight& f : in_flight) {
-        Status outcome = f.handle.Wait(config.deadline);
-        if (outcome.ok()) {
-          ++satisfied;
-          auto completed = f.handle.CompletedAt();
-          const auto end =
-              completed.value_or(std::chrono::steady_clock::now());
-          const auto micros =
-              std::chrono::duration_cast<std::chrono::microseconds>(
-                  end - f.submitted_at)
-                  .count();
-          latency.Record(micros < 0 ? 0 : static_cast<uint64_t>(micros));
-        } else if (outcome.code() == StatusCode::kTimedOut) {
-          ++timed_out;
-        } else {
-          ++errors;
-        }
+        handle->OnComplete(
+            [tracker, submitted_at](const EntangledHandle& done) {
+              std::lock_guard<std::mutex> lock(tracker->mu);
+              if (tracker->closed) return;
+              const Status outcome = done.Outcome().value_or(Status::OK());
+              if (outcome.ok()) {
+                ++tracker->satisfied;
+                const auto end = done.CompletedAt().value_or(
+                    std::chrono::steady_clock::now());
+                const auto micros =
+                    std::chrono::duration_cast<std::chrono::microseconds>(
+                        end - submitted_at)
+                        .count();
+                tracker->latency.Record(
+                    micros < 0 ? 0 : static_cast<uint64_t>(micros));
+              } else {
+                ++tracker->failed;
+              }
+              tracker->cv.notify_all();
+            });
       }
     });
   }
   for (auto& t : sessions) t.join();
+
+  // Event-driven tail: sleep until the callbacks have accounted for
+  // every submission or the deadline passes.
+  const size_t target = planned.size() - errors.load();
+  {
+    std::unique_lock<std::mutex> lock(tracker->mu);
+    tracker->cv.wait_for(lock, config.deadline, [&] {
+      return tracker->satisfied + tracker->failed >= target;
+    });
+    tracker->closed = true;
+    report.satisfied = tracker->satisfied;
+    report.timed_out = target - tracker->satisfied - tracker->failed;
+    report.errors = errors.load() + tracker->failed;
+    report.latency.Merge(tracker->latency);
+  }
 
   report.wall_micros = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)
           .count());
   report.submitted = planned.size();
-  report.satisfied = satisfied.load();
-  report.timed_out = timed_out.load();
-  report.errors = errors.load();
-  report.latency.Merge(latency);
   return report;
 }
 

@@ -331,5 +331,193 @@ TEST_F(CoordinatorTest, SubmitRejectsHeadlessQuery) {
             StatusCode::kInvalidArgument);
 }
 
+TEST_F(CoordinatorTest, OutcomeIsEmptyWhilePending) {
+  auto handle = coordinator_->Submit(Parse(PairQuery("K", "J"), "K"));
+  ASSERT_TRUE(handle.ok());
+  // A pending query has no outcome — in particular not a placeholder
+  // TimedOut that a caller could mistake for a terminal status.
+  EXPECT_FALSE(handle->Outcome().has_value());
+
+  auto partner = coordinator_->Submit(Parse(PairQuery("J", "K"), "J"));
+  ASSERT_TRUE(partner.ok());
+  ASSERT_TRUE(handle->Outcome().has_value());
+  EXPECT_TRUE(handle->Outcome()->ok());
+}
+
+TEST_F(CoordinatorTest, OnCompleteObservesSatisfactionWithoutWait) {
+  auto kramer = coordinator_->Submit(Parse(PairQuery("K", "J"), "K"));
+  ASSERT_TRUE(kramer.ok());
+
+  size_t fired = 0;
+  Status seen_outcome;
+  size_t seen_answers = 0;
+  kramer->OnComplete([&](const EntangledHandle& done) {
+    ++fired;
+    seen_outcome = done.Outcome().value_or(Status::Internal("no outcome"));
+    seen_answers = done.Answers().size();
+  });
+  EXPECT_EQ(fired, 0u);
+
+  // Jerry's submission closes the group; Kramer's callback fires from
+  // inside that call — Kramer never blocks in Wait.
+  ASSERT_TRUE(coordinator_->Submit(Parse(PairQuery("J", "K"), "J")).ok());
+  EXPECT_EQ(fired, 1u);
+  EXPECT_TRUE(seen_outcome.ok());
+  EXPECT_EQ(seen_answers, 1u);
+
+  // Later activity never re-fires a delivered callback.
+  ASSERT_TRUE(coordinator_->RetriggerAll().ok());
+  EXPECT_EQ(fired, 1u);
+
+  auto stats = coordinator_->stats();
+  EXPECT_EQ(stats.callbacks_registered, 1u);
+  EXPECT_EQ(stats.callbacks_fired, 1u);
+}
+
+TEST_F(CoordinatorTest, OnCompleteAfterCompletionFiresImmediately) {
+  auto kramer = coordinator_->Submit(Parse(PairQuery("K", "J"), "K"));
+  ASSERT_TRUE(coordinator_->Submit(Parse(PairQuery("J", "K"), "J")).ok());
+  ASSERT_TRUE(kramer.ok());
+  ASSERT_TRUE(kramer->Done());
+
+  size_t fired = 0;
+  kramer->OnComplete([&](const EntangledHandle& done) {
+    ++fired;
+    EXPECT_TRUE(done.Done());
+  });
+  EXPECT_EQ(fired, 1u);
+  EXPECT_EQ(coordinator_->stats().callbacks_fired, 1u);
+}
+
+TEST_F(CoordinatorTest, OnCompleteFiresOnCancel) {
+  auto handle = coordinator_->Submit(Parse(PairQuery("K", "J"), "K"));
+  ASSERT_TRUE(handle.ok());
+  size_t fired = 0;
+  StatusCode seen = StatusCode::kOk;
+  handle->OnComplete([&](const EntangledHandle& done) {
+    ++fired;
+    seen = done.Outcome().value_or(Status::OK()).code();
+  });
+  ASSERT_TRUE(coordinator_->Cancel(handle->id()).ok());
+  EXPECT_EQ(fired, 1u);
+  EXPECT_EQ(seen, StatusCode::kAborted);
+}
+
+TEST_F(CoordinatorTest, OnCompleteFiresOnExpire) {
+  auto handle = coordinator_->Submit(Parse(PairQuery("K", "J"), "K"));
+  ASSERT_TRUE(handle.ok());
+  size_t fired = 0;
+  StatusCode seen = StatusCode::kOk;
+  handle->OnComplete([&](const EntangledHandle& done) {
+    ++fired;
+    seen = done.Outcome().value_or(Status::OK()).code();
+  });
+  auto expired = coordinator_->ExpireOlderThan(milliseconds(0));
+  ASSERT_TRUE(expired.ok());
+  EXPECT_EQ(expired.value(), 1u);
+  EXPECT_EQ(fired, 1u);
+  EXPECT_EQ(seen, StatusCode::kTimedOut);
+}
+
+TEST_F(CoordinatorTest, EveryRegistrationFiresExactlyOnce) {
+  auto handle = coordinator_->Submit(Parse(PairQuery("K", "J"), "K"));
+  ASSERT_TRUE(handle.ok());
+  size_t first = 0, second = 0;
+  handle->OnComplete([&](const EntangledHandle&) { ++first; });
+  handle->OnComplete([&](const EntangledHandle&) { ++second; });
+  ASSERT_TRUE(coordinator_->Submit(Parse(PairQuery("J", "K"), "J")).ok());
+  EXPECT_EQ(first, 1u);
+  EXPECT_EQ(second, 1u);
+  EXPECT_EQ(coordinator_->stats().callbacks_fired, 2u);
+}
+
+TEST_F(CoordinatorTest, CallbackMayReenterCoordinator) {
+  auto kramer = coordinator_->Submit(Parse(PairQuery("K", "J"), "K"));
+  ASSERT_TRUE(kramer.ok());
+  // The callback submits a follow-up query: callbacks run outside the
+  // coordinator lock, so re-entry must not deadlock.
+  bool followup_done = false;
+  kramer->OnComplete([&](const EntangledHandle&) {
+    auto followup = coordinator_->Submit(Parse(
+        "SELECT 'K', fno INTO ANSWER Reservation WHERE fno IN "
+        "(SELECT fno FROM Flights WHERE dest='Rome') CHOOSE 1", "K"));
+    ASSERT_TRUE(followup.ok());
+    followup_done = followup->Done();
+  });
+  ASSERT_TRUE(coordinator_->Submit(Parse(PairQuery("J", "K"), "J")).ok());
+  EXPECT_TRUE(followup_done);
+}
+
+TEST_F(CoordinatorTest, SubmitAllClosesGroupInOneRound) {
+  const std::vector<std::string> group = {"A", "B", "C"};
+  std::vector<EntangledQuery> queries;
+  for (size_t i = 0; i < group.size(); ++i) {
+    std::string sql = "SELECT '" + group[i] +
+                      "', fno INTO ANSWER Reservation WHERE fno IN "
+                      "(SELECT fno FROM Flights WHERE dest='Paris')";
+    for (size_t j = 0; j < group.size(); ++j) {
+      if (i == j) continue;
+      sql += " AND ('" + group[j] + "', fno) IN ANSWER Reservation";
+    }
+    sql += " CHOOSE 1";
+    queries.push_back(Parse(sql, group[i]));
+  }
+
+  auto handles = coordinator_->SubmitAll(std::move(queries));
+  ASSERT_TRUE(handles.ok()) << handles.status();
+  ASSERT_EQ(handles->size(), 3u);
+  for (const auto& handle : *handles) {
+    EXPECT_TRUE(handle.Done());
+    ASSERT_TRUE(handle.Outcome().has_value());
+    EXPECT_TRUE(handle.Outcome()->ok());
+  }
+  // Everyone flies on the same flight.
+  EXPECT_EQ((*handles)[0].Answers()[0].at(1), (*handles)[1].Answers()[0].at(1));
+  EXPECT_EQ((*handles)[1].Answers()[0].at(1), (*handles)[2].Answers()[0].at(1));
+
+  auto stats = coordinator_->stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.batched_queries, 3u);
+  EXPECT_EQ(stats.matched_groups, 1u);
+  EXPECT_EQ(stats.matched_queries, 3u);
+  // The single matching round: the first root sees the whole batch in
+  // the pool and closes the group on its first TryMatch — sequential
+  // submission of the same group costs one match call per member.
+  EXPECT_EQ(stats.match_calls, 1u);
+}
+
+TEST_F(CoordinatorTest, SubmitAllLeavesUnmatchablePending) {
+  std::vector<EntangledQuery> queries;
+  queries.push_back(Parse(PairQuery("K", "J"), "K"));
+  queries.push_back(Parse(PairQuery("J", "K"), "J"));
+  queries.push_back(Parse(PairQuery("Lonely", "Ghost"), "Lonely"));
+  auto handles = coordinator_->SubmitAll(std::move(queries));
+  ASSERT_TRUE(handles.ok());
+  EXPECT_TRUE((*handles)[0].Done());
+  EXPECT_TRUE((*handles)[1].Done());
+  EXPECT_FALSE((*handles)[2].Done());
+  EXPECT_EQ(coordinator_->pending_count(), 1u);
+}
+
+TEST_F(CoordinatorTest, SubmitAllRejectsInvalidBatchAtomically) {
+  std::vector<EntangledQuery> queries;
+  queries.push_back(Parse(PairQuery("K", "J"), "K"));
+  queries.emplace_back();  // headless
+  auto handles = coordinator_->SubmitAll(std::move(queries));
+  EXPECT_EQ(handles.status().code(), StatusCode::kInvalidArgument);
+  // Nothing from the batch was registered.
+  EXPECT_EQ(coordinator_->pending_count(), 0u);
+  EXPECT_EQ(coordinator_->stats().submitted, 0u);
+  EXPECT_EQ(coordinator_->stats().batches, 0u);
+}
+
+TEST_F(CoordinatorTest, SubmitAllEmptyBatchIsTrivial) {
+  auto handles = coordinator_->SubmitAll({});
+  ASSERT_TRUE(handles.ok());
+  EXPECT_TRUE(handles->empty());
+  EXPECT_EQ(coordinator_->stats().batches, 1u);
+  EXPECT_EQ(coordinator_->stats().batched_queries, 0u);
+}
+
 }  // namespace
 }  // namespace youtopia

@@ -1,0 +1,225 @@
+#include "server/client.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "server/session.h"
+#include "travel/travel_schema.h"
+
+namespace youtopia {
+namespace {
+
+using std::chrono::milliseconds;
+
+class ClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(travel::SetupFigure1(&db_).ok()); }
+
+  static ClientOptions Owner(const std::string& owner) {
+    return ClientOptions(owner);
+  }
+
+  static std::string PairSql(const std::string& self,
+                             const std::string& other) {
+    return "SELECT '" + self + "', fno INTO ANSWER Reservation WHERE fno IN "
+           "(SELECT fno FROM Flights WHERE dest='Paris') AND ('" + other +
+           "', fno) IN ANSWER Reservation CHOOSE 1";
+  }
+
+  static std::string GroupSql(const std::vector<std::string>& group,
+                              size_t self_index) {
+    std::string sql = "SELECT '" + group[self_index] +
+                      "', fno INTO ANSWER Reservation WHERE fno IN "
+                      "(SELECT fno FROM Flights WHERE dest='Paris')";
+    for (size_t j = 0; j < group.size(); ++j) {
+      if (j == self_index) continue;
+      sql += " AND ('" + group[j] + "', fno) IN ANSWER Reservation";
+    }
+    return sql + " CHOOSE 1";
+  }
+
+  Youtopia db_;
+};
+
+TEST_F(ClientTest, ExecuteAndHistory) {
+  Client client(&db_, Owner("Kramer"));
+  ASSERT_TRUE(client.Execute("SELECT * FROM Flights").ok());
+  ASSERT_TRUE(client.Execute("SELECT * FROM Airlines").ok());
+  auto history = client.History();
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0], "SELECT * FROM Flights");
+}
+
+TEST_F(ClientTest, HistoryRecordingCanBeDisabled) {
+  ClientOptions options;
+  options.record_history = false;
+  Client client(&db_, options);
+  ASSERT_TRUE(client.Execute("SELECT * FROM Flights").ok());
+  EXPECT_TRUE(client.History().empty());
+}
+
+TEST_F(ClientTest, ExecuteRejectsEntangledStatements) {
+  Client client(&db_, Owner("Kramer"));
+  EXPECT_EQ(client.Execute(PairSql("Kramer", "Jerry")).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ClientTest, SubmitTagsDefaultOwnerInPending) {
+  Client client(&db_, Owner("Kramer"));
+  ASSERT_TRUE(client.Submit(PairSql("Kramer", "Jerry")).ok());
+  auto pending = db_.coordinator().Pending();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].owner, "Kramer");
+  EXPECT_EQ(client.Outstanding().size(), 1u);
+}
+
+TEST_F(ClientTest, SubmitAsOverridesOwner) {
+  Client shared(&db_, Owner("middle-tier"));
+  ASSERT_TRUE(shared.SubmitAs("Elaine", PairSql("Elaine", "George")).ok());
+  auto pending = db_.coordinator().Pending();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].owner, "Elaine");
+}
+
+TEST_F(ClientTest, SubmitCallbackObservesCompletionWithoutWait) {
+  Client kramer(&db_, Owner("Kramer"));
+  Client jerry(&db_, Owner("Jerry"));
+
+  size_t fired = 0;
+  auto handle = kramer.Submit(
+      PairSql("Kramer", "Jerry"), [&fired](const EntangledHandle& done) {
+        ++fired;
+        EXPECT_TRUE(done.Done());
+        EXPECT_TRUE(done.Outcome().value_or(Status::Internal("none")).ok());
+      });
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(fired, 0u);
+
+  // Jerry's submission completes the pair and delivers Kramer's
+  // callback; Kramer's thread never enters Wait.
+  ASSERT_TRUE(jerry.Submit(PairSql("Jerry", "Kramer")).ok());
+  EXPECT_EQ(fired, 1u);
+}
+
+TEST_F(ClientTest, SubmitBatchClosesGroupInOneRound) {
+  Client shared(&db_, Owner("middle-tier"));
+  const std::vector<std::string> group = {"Jerry", "Kramer", "Elaine"};
+  std::vector<std::string> statements;
+  for (size_t i = 0; i < group.size(); ++i) {
+    statements.push_back(GroupSql(group, i));
+  }
+  const size_t match_calls_before = db_.coordinator().stats().match_calls;
+
+  std::atomic<size_t> fired{0};
+  auto handles = shared.SubmitBatchAs(
+      group, statements,
+      [&fired](const EntangledHandle&) { fired.fetch_add(1); });
+  ASSERT_TRUE(handles.ok()) << handles.status();
+  ASSERT_EQ(handles->size(), 3u);
+  for (const auto& handle : *handles) EXPECT_TRUE(handle.Done());
+  EXPECT_EQ(fired.load(), 3u);
+
+  auto stats = db_.coordinator().stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.batched_queries, 3u);
+  // The whole group closed in the batch's single matching round.
+  EXPECT_EQ(stats.match_calls - match_calls_before, 1u);
+
+  // Owner tags flowed through per statement: everyone holds the same
+  // flight in the stored answer relation.
+  auto reservations = shared.Execute("SELECT * FROM Reservation");
+  ASSERT_TRUE(reservations.ok());
+  EXPECT_EQ(reservations->rows.size(), 3u);
+}
+
+TEST_F(ClientTest, SubmitBatchOwnersSizeMismatchRejected) {
+  Client client(&db_, Owner("Kramer"));
+  auto handles = client.SubmitBatchAs({"one"}, {"SELECT 1", "SELECT 2"});
+  EXPECT_EQ(handles.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ClientTest, SubmitBatchRejectsNonSelectAtomically) {
+  Client client(&db_, Owner("Kramer"));
+  auto handles = client.SubmitBatch(
+      {PairSql("Kramer", "Jerry"), "INSERT INTO Flights VALUES (1, 'X')"});
+  EXPECT_EQ(handles.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(db_.coordinator().pending_count(), 0u);
+}
+
+TEST_F(ClientTest, RunDetectsEntangledAndTracks) {
+  Client client(&db_, Owner("Kramer"));
+  auto regular = client.Run("SELECT * FROM Flights");
+  ASSERT_TRUE(regular.ok());
+  EXPECT_FALSE(regular->entangled);
+
+  auto entangled = client.Run(PairSql("Kramer", "Jerry"));
+  ASSERT_TRUE(entangled.ok());
+  EXPECT_TRUE(entangled->entangled);
+  EXPECT_EQ(client.Outstanding().size(), 1u);
+}
+
+TEST_F(ClientTest, WaitForAllAndCancelAll) {
+  Client kramer(&db_, Owner("Kramer"));
+  ASSERT_TRUE(kramer.Submit(PairSql("Kramer", "Ghost1")).ok());
+  ASSERT_TRUE(kramer.Submit(PairSql("Kramer", "Ghost2")).ok());
+  EXPECT_EQ(kramer.WaitForAll(milliseconds(20)).code(),
+            StatusCode::kTimedOut);
+  ASSERT_TRUE(kramer.CancelAll().ok());
+  EXPECT_TRUE(kramer.Outstanding().empty());
+  EXPECT_EQ(db_.coordinator().pending_count(), 0u);
+}
+
+TEST_F(ClientTest, StatementTimeoutRetriesLockConflicts) {
+  // A writer transaction holds the X lock on Flights longer than one
+  // lock wait (500ms), so a single-attempt Execute times out...
+  auto txn = db_.txn_manager().Begin();
+  ASSERT_TRUE(db_.txn_manager()
+                  .lock_manager()
+                  .Acquire(txn->id(), "Flights", LockMode::kExclusive)
+                  .ok());
+
+  std::atomic<bool> release{false};
+  std::thread holder([&] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(milliseconds(5));
+    }
+    ASSERT_TRUE(db_.txn_manager().Commit(txn.get()).ok());
+  });
+
+  // ...but a client with a statement timeout keeps retrying until the
+  // writer commits — through Execute and through Run alike.
+  ClientOptions options("patient");
+  options.statement_timeout = milliseconds(5000);
+  options.retry_interval = milliseconds(5);
+  Client patient(&db_, options);
+
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(milliseconds(700));
+    release.store(true);
+  });
+  std::thread runner([&] {
+    auto outcome = patient.Run("SELECT * FROM Flights");
+    EXPECT_TRUE(outcome.ok()) << outcome.status();
+  });
+  auto result = patient.Execute("SELECT * FROM Flights");
+  EXPECT_TRUE(result.ok()) << result.status();
+
+  runner.join();
+  releaser.join();
+  holder.join();
+}
+
+TEST_F(ClientTest, SessionDelegatesThroughClient) {
+  Session session(&db_, "Kramer");
+  ASSERT_TRUE(session.Submit(PairSql("Kramer", "Jerry")).ok());
+  EXPECT_EQ(session.user(), "Kramer");
+  EXPECT_EQ(session.client().owner(), "Kramer");
+  auto pending = db_.coordinator().Pending();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].owner, "Kramer");
+}
+
+}  // namespace
+}  // namespace youtopia

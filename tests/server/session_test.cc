@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "travel/travel_schema.h"
 
 namespace youtopia {

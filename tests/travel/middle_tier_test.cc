@@ -93,6 +93,83 @@ TEST_F(MiddleTierTest, PairBookingCoordinates) {
   EXPECT_EQ(kramer->Answers()[0].at(1), jerry->Answers()[0].at(1));
 }
 
+TEST_F(MiddleTierTest, GroupRequestSubmitsAsOneBatch) {
+  const std::vector<std::string> group = {"Jerry", "Kramer", "Elaine"};
+  std::vector<TravelRequest> requests;
+  for (const auto& self : group) {
+    TravelRequest request;
+    request.user = self;
+    for (const auto& other : group) {
+      if (other != self) request.flight_companions.push_back(other);
+    }
+    request.dest = "Paris";
+    requests.push_back(std::move(request));
+  }
+  auto handles = service_->SubmitGroupRequest(requests);
+  ASSERT_TRUE(handles.ok()) << handles.status();
+  ASSERT_EQ(handles->size(), 3u);
+  for (const auto& handle : *handles) EXPECT_TRUE(handle.Done());
+  EXPECT_EQ((*handles)[0].Answers()[0].at(1),
+            (*handles)[2].Answers()[0].at(1));
+  auto stats = db_.coordinator().stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.batched_queries, 3u);
+}
+
+TEST_F(MiddleTierTest, GroupRequestValidatesEveryMember) {
+  TravelRequest good;
+  good.user = "Jerry";
+  good.flight_companions = {"Kramer"};
+  good.dest = "Paris";
+  TravelRequest bad;
+  bad.user = "Kramer";
+  bad.flight_companions = {"Newman"};  // not in the clique
+  bad.dest = "Paris";
+  auto handles = service_->SubmitGroupRequest({good, bad});
+  EXPECT_EQ(handles.status().code(), StatusCode::kInvalidArgument);
+  // All-or-nothing: the valid member was not registered either.
+  EXPECT_EQ(db_.coordinator().pending_count(), 0u);
+}
+
+TEST_F(MiddleTierTest, NotifyOnCompletionPublishesWithoutBlocking) {
+  auto kramer = service_->BookFlightWithFriend("Kramer", "Jerry", "Paris");
+  ASSERT_TRUE(kramer.ok());
+  service_->NotifyOnCompletion(*kramer, "Kramer");
+  EXPECT_EQ(bus_.MessagesFor("Kramer").size(), 0u);
+
+  // Jerry's submission closes the pair; Kramer's notification is
+  // published from that call path — nobody waited on the handle.
+  auto jerry = service_->BookFlightWithFriend("Jerry", "Kramer", "Paris");
+  ASSERT_TRUE(jerry.ok());
+  ASSERT_EQ(bus_.MessagesFor("Kramer").size(), 1u);
+  EXPECT_NE(bus_.MessagesFor("Kramer")[0].find("confirmed"),
+            std::string::npos);
+
+  // Registration on an already-completed handle publishes immediately.
+  service_->NotifyOnCompletion(*jerry, "Jerry");
+  ASSERT_EQ(bus_.MessagesFor("Jerry").size(), 1u);
+}
+
+TEST_F(MiddleTierTest, NotifyOnCompletionReportsCancellation) {
+  auto kramer = service_->BookFlightWithFriend("Kramer", "Jerry", "Paris");
+  ASSERT_TRUE(kramer.ok());
+  service_->NotifyOnCompletion(*kramer, "Kramer");
+  ASSERT_TRUE(db_.coordinator().Cancel(kramer->id()).ok());
+  ASSERT_EQ(bus_.MessagesFor("Kramer").size(), 1u);
+  // A cancelled booking must not read as "still pending".
+  EXPECT_NE(bus_.MessagesFor("Kramer")[0].find("cancelled"),
+            std::string::npos);
+
+  // Expiry reads as expiry.
+  auto elaine = service_->BookFlightWithFriend("Elaine", "George", "Paris");
+  ASSERT_TRUE(elaine.ok());
+  service_->NotifyOnCompletion(*elaine, "Elaine");
+  ASSERT_TRUE(db_.coordinator().ExpireOlderThan(milliseconds(0)).ok());
+  ASSERT_EQ(bus_.MessagesFor("Elaine").size(), 1u);
+  EXPECT_NE(bus_.MessagesFor("Elaine")[0].find("expired"),
+            std::string::npos);
+}
+
 TEST_F(MiddleTierTest, WaitAndNotifyPublishes) {
   auto kramer = service_->BookFlightWithFriend("Kramer", "Jerry", "Paris");
   auto jerry = service_->BookFlightWithFriend("Jerry", "Kramer", "Paris");
