@@ -3,7 +3,7 @@
 // This driver sweeps session counts and prints throughput and latency
 // percentiles.
 //
-// Usage: loaded_system [sessions] [requests_per_session]
+// Usage: loaded_system [sessions] [requests_per_session] [shards]
 
 #include <cstdio>
 #include <cstdlib>
@@ -17,11 +17,16 @@ int main(int argc, char** argv) {
 
   const int max_sessions = argc > 1 ? std::atoi(argv[1]) : 16;
   const int requests = argc > 2 ? std::atoi(argv[2]) : 50;
+  const int shards = argc > 3 ? std::atoi(argv[3]) : 1;
 
+  std::printf("coordinator shards: %d\n", shards);
   std::printf("%-10s %-10s %-14s %s\n", "sessions", "requests",
               "satisfied/s", "latency");
   for (int sessions = 2; sessions <= max_sessions; sessions *= 2) {
-    Youtopia db;
+    YoutopiaConfig db_config;
+    db_config.coordinator.num_shards =
+        shards > 0 ? static_cast<size_t>(shards) : 1;
+    Youtopia db(db_config);
     if (!travel::CreateTravelSchema(&db).ok()) return 1;
     travel::DataGeneratorConfig data;
     data.cities = {"NewYork", "Paris", "Rome"};

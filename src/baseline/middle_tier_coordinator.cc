@@ -1,5 +1,6 @@
 #include "baseline/middle_tier_coordinator.h"
 
+#include <algorithm>
 #include <thread>
 
 namespace youtopia::baseline {
@@ -98,15 +99,18 @@ Result<MiddleTierCoordinator::Ticket> MiddleTierCoordinator::TryRequest(
 Result<MiddleTierCoordinator::Ticket> MiddleTierCoordinator::RequestSameFlight(
     const std::string& user, const std::string& partner,
     const std::string& dest) {
-  // Lock-conflict retry loop — the kind of code the paper argues the
-  // middle tier should not have to write.
+  // Lock-conflict retry loop with capped exponential backoff — the
+  // kind of code the paper argues the middle tier should not have to
+  // write (and, done naively, the kind that hammers the lock manager).
+  std::chrono::milliseconds pause(1);
   for (int attempt = 0; attempt < 32; ++attempt) {
     auto ticket = TryRequest(user, partner, dest);
     if (ticket.ok()) return ticket;
     if (ticket.status().code() != StatusCode::kTimedOut) {
       return ticket.status();
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(1 + attempt));
+    std::this_thread::sleep_for(pause);
+    pause = std::min(pause * 2, std::chrono::milliseconds(32));
   }
   return Status::TimedOut("could not acquire coordination locks");
 }

@@ -1,8 +1,10 @@
 #include "entangle/coordinator.h"
 
+#include <algorithm>
 #include <deque>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 
 namespace youtopia {
 
@@ -37,7 +39,7 @@ void EntangledHandle::OnComplete(CompletionCallback callback) {
     if (state_->counters) state_->counters->registered.fetch_add(1);
     if (!state_->done) {
       // Parked; whoever completes the query delivers it (outside the
-      // coordinator lock).
+      // coordinator locks).
       state_->callbacks.push_back(std::move(callback));
       return;
     }
@@ -71,9 +73,9 @@ EntangledHandle::CompletedAt() const {
 namespace {
 
 /// Runs a Coordinator's deferred completion callbacks on scope exit.
-/// Declared BEFORE the lock_guard in every mutating entry point so the
-/// flush happens after the lock is released, on success and error paths
-/// alike (destruction order is the reverse of declaration).
+/// Declared BEFORE any lock acquisition in every mutating entry point
+/// so the flush happens after the locks are released, on success and
+/// error paths alike (destruction order is the reverse of declaration).
 class CallbackFlusher {
  public:
   using Flush = std::function<void()>;
@@ -86,6 +88,23 @@ class CallbackFlusher {
   Flush flush_;
 };
 
+/// Field-wise sum of the per-shard-attributable counters.
+void AccumulateStats(CoordinatorStats* into, const CoordinatorStats& from) {
+  into->submitted += from.submitted;
+  into->matched_queries += from.matched_queries;
+  into->matched_groups += from.matched_groups;
+  into->cancelled += from.cancelled;
+  into->failed_installs += from.failed_installs;
+  into->retrigger_rounds += from.retrigger_rounds;
+  into->constraints_from_stored += from.constraints_from_stored;
+  into->match_calls += from.match_calls;
+  into->match_micros_total += from.match_micros_total;
+  into->search_steps_total += from.search_steps_total;
+  into->shard_rounds += from.shard_rounds;
+  into->global_rounds += from.global_rounds;
+  into->cross_shard_queries += from.cross_shard_queries;
+}
+
 }  // namespace
 
 Coordinator::Coordinator(StorageEngine* storage, TxnManager* txn_manager,
@@ -94,87 +113,264 @@ Coordinator::Coordinator(StorageEngine* storage, TxnManager* txn_manager,
       txn_manager_(txn_manager),
       config_(config),
       answers_(storage, config.auto_create_answer_tables),
-      matcher_(storage, config.match),
       callback_counters_(
-          std::make_shared<EntangledHandle::CallbackCounters>()) {}
+          std::make_shared<EntangledHandle::CallbackCounters>()) {
+  const size_t num_shards =
+      std::min<size_t>(64, std::max<size_t>(1, config.num_shards));
+  config_.num_shards = num_shards;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    // Each shard matches with its own Matcher (the CHOOSE-1 rng is
+    // stateful); shard 0 keeps the configured seed so a single-shard
+    // coordinator reproduces the seed's choices exactly.
+    MatchConfig match = config.match;
+    match.rng_seed = config.match.rng_seed + i;
+    shard->matcher = std::make_unique<Matcher>(storage_, match);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+size_t Coordinator::ShardOfRelation(const std::string& relation) const {
+  if (shards_.size() == 1) return 0;
+  // Same ToLowerAscii normalization as the PendingPool indexes — mixed
+  // case spellings of one relation must land on one shard.
+  return std::hash<std::string>{}(ToLowerAscii(relation)) % shards_.size();
+}
+
+Coordinator::Route Coordinator::RouteOf(const EntangledQuery& query) const {
+  std::vector<std::string> relations;
+  relations.reserve(query.heads.size() + query.constraints.size());
+  for (const AnswerAtom& head : query.heads) {
+    relations.push_back(ToLowerAscii(head.relation));
+  }
+  for (const AnswerAtom& constraint : query.constraints) {
+    relations.push_back(ToLowerAscii(constraint.relation));
+  }
+  Route route;
+  if (relations.empty()) return route;
+  // Home shard = shard of the lexicographically smallest relation:
+  // deterministic regardless of head/constraint order, so symmetric
+  // partners (A constrains on B's head relation and vice versa) always
+  // agree on where to meet.
+  route.home =
+      ShardOfRelation(*std::min_element(relations.begin(), relations.end()));
+  for (const std::string& relation : relations) {
+    if (ShardOfRelation(relation) != route.home) {
+      route.spanning = true;
+      break;
+    }
+  }
+  return route;
+}
+
+size_t Coordinator::HomeShardOf(const EntangledQuery& query) const {
+  return RouteOf(query).home;
+}
+
+std::vector<Coordinator::Shard*> Coordinator::AllShards() const {
+  std::vector<Shard*> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) out.push_back(shard.get());
+  return out;
+}
 
 std::shared_ptr<EntangledHandle::State> Coordinator::RegisterLocked(
-    EntangledQuery query) {
-  query.id = next_id_++;
+    size_t shard_idx, EntangledQuery query, bool spanning) {
+  Shard* shard = shards_[shard_idx].get();
+  query.id = next_id_.fetch_add(1);
   const QueryId id = query.id;
 
   auto state = std::make_shared<EntangledHandle::State>();
   state->id = id;
   state->counters = callback_counters_;
-  handles_.emplace(id, state);
-  arrivals_.emplace(id, std::chrono::steady_clock::now());
-  pool_.Add(std::make_shared<const EntangledQuery>(std::move(query)));
-  ++stats_.submitted;
+  shard->handles.emplace(id, state);
+  shard->arrivals.emplace(id, std::chrono::steady_clock::now());
+  shard->pool.Add(std::make_shared<const EntangledQuery>(std::move(query)));
+  ++shard->stats.submitted;
+  if (spanning) {
+    ++shard->stats.cross_shard_queries;
+    cross_shard_pending_.fetch_add(1);
+  }
+  {
+    std::lock_guard<std::mutex> rlock(router_mu_);
+    shard_of_[id] = Route{shard_idx, spanning};
+  }
   return state;
+}
+
+std::optional<Coordinator::Route> Coordinator::TakeRouting(QueryId id) {
+  std::lock_guard<std::mutex> rlock(router_mu_);
+  auto it = shard_of_.find(id);
+  if (it == shard_of_.end()) return std::nullopt;
+  Route route = it->second;
+  shard_of_.erase(it);
+  return route;
+}
+
+Result<std::vector<std::shared_ptr<EntangledHandle::State>>>
+Coordinator::SubmitRoundRouted(std::vector<EntangledQuery> queries,
+                               const std::vector<Route>& routes,
+                               size_t home_idx, bool force_global,
+                               Deferred* deferred) {
+  Shard* home = shards_[home_idx].get();
+  std::unique_lock<std::mutex> lock;
+  std::vector<std::unique_lock<std::mutex>> locks;
+  std::vector<Shard*> footprint;
+  bool global = force_global;
+  if (!global) {
+    lock = std::unique_lock<std::mutex>(home->mu);
+    // cross_shard_pending_ only increments with every shard mutex held,
+    // so reading 0 under our own mutex guarantees no cross-shard query
+    // can appear until this round finishes: the whole match-graph
+    // neighbourhood of a shard-local query lives in this shard. When a
+    // cross-shard query IS pending the round must see the merged pool,
+    // and when an install hook is registered rounds must be mutually
+    // exclusive (see hook_installed_) — drop the shard lock and
+    // escalate in either case.
+    global = cross_shard_pending_.load() > 0 || hook_installed_.load();
+    if (global) lock.unlock();
+  }
+  if (global) {
+    locks.reserve(shards_.size());
+    for (const auto& shard : shards_) locks.emplace_back(shard->mu);
+    footprint = AllShards();
+  } else {
+    footprint = {home};
+  }
+
+  std::vector<std::shared_ptr<EntangledHandle::State>> states;
+  std::vector<QueryId> roots;
+  std::vector<size_t> homes;
+  states.reserve(queries.size());
+  roots.reserve(queries.size());
+  homes.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const size_t target = global ? routes[i].home : home_idx;
+    auto state =
+        RegisterLocked(target, std::move(queries[i]), routes[i].spanning);
+    roots.push_back(state->id);
+    homes.push_back(target);
+    states.push_back(std::move(state));
+  }
+  ++(global ? home->stats.global_rounds : home->stats.shard_rounds);
+  auto satisfied = MatchAndInstallLocked(footprint, home, roots, deferred);
+  if (!satisfied.ok()) {
+    // Don't strand the registrations: the caller gets no handles back,
+    // so a query left in the pool could later match with nobody able
+    // to observe or cancel it. (NotFound here just means the round
+    // already satisfied it before failing elsewhere.)
+    for (size_t i = 0; i < roots.size(); ++i) {
+      (void)WithdrawLocked(shards_[homes[i]].get(), roots[i],
+                           satisfied.status(), deferred);
+    }
+    return satisfied.status();
+  }
+  return states;
 }
 
 Result<EntangledHandle> Coordinator::Submit(EntangledQuery query) {
   if (query.heads.empty()) {
     return Status::InvalidArgument("entangled query has no heads");
   }
-  CallbackFlusher flusher([this] { FireDeferredCallbacks(); });
-  std::lock_guard<std::mutex> lock(mu_);
-  auto state = RegisterLocked(std::move(query));
-  auto satisfied = MatchAndInstallLocked({state->id});
-  if (!satisfied.ok()) {
-    // Don't strand the registration: the caller gets no handle back,
-    // so a query left in the pool could later match with nobody able
-    // to observe or cancel it. (NotFound here just means the round
-    // already satisfied it before failing elsewhere.)
-    (void)WithdrawLocked(state->id, satisfied.status());
-    return satisfied.status();
-  }
-  return EntangledHandle(state);
+  const Route route = RouteOf(query);
+  Deferred deferred;
+  CallbackFlusher flusher([this, &deferred] { FireCallbacks(&deferred); });
+  std::vector<EntangledQuery> one;
+  one.push_back(std::move(query));
+  auto states = SubmitRoundRouted(std::move(one), {route}, route.home,
+                                  /*force_global=*/route.spanning, &deferred);
+  if (!states.ok()) return states.status();
+  return EntangledHandle(states->front());
 }
 
 Result<std::vector<EntangledHandle>> Coordinator::SubmitAll(
     std::vector<EntangledQuery> queries) {
+  std::vector<Route> routes;
+  routes.reserve(queries.size());
+  bool any_spanning = false;
   for (size_t i = 0; i < queries.size(); ++i) {
     if (queries[i].heads.empty()) {
       return Status::InvalidArgument("entangled query " + std::to_string(i) +
                                      " in batch has no heads");
     }
+    routes.push_back(RouteOf(queries[i]));
+    any_spanning = any_spanning || routes.back().spanning;
   }
+  batches_.fetch_add(1);
+  batched_queries_.fetch_add(queries.size());
+
   std::vector<EntangledHandle> handles;
   handles.reserve(queries.size());
-  CallbackFlusher flusher([this] { FireDeferredCallbacks(); });
-  std::lock_guard<std::mutex> lock(mu_);
-  std::vector<QueryId> roots;
-  roots.reserve(queries.size());
-  for (EntangledQuery& query : queries) {
-    auto state = RegisterLocked(std::move(query));
-    roots.push_back(state->id);
-    handles.push_back(EntangledHandle(std::move(state)));
+  for (size_t i = 0; i < queries.size(); ++i) {
+    handles.push_back(EntangledHandle(nullptr));
   }
-  ++stats_.batches;
-  stats_.batched_queries += roots.size();
-  // One matching round over the whole batch: the first root already
-  // sees every batch member in the pool, so a complete group closes
-  // on its first TryMatch instead of after N partial attempts.
-  auto satisfied = MatchAndInstallLocked(roots);
-  if (!satisfied.ok()) {
-    // The caller gets no handles back, so withdraw every member still
-    // pending — otherwise the batch would keep matching as phantom
-    // queries nobody can observe or cancel. Members whose group
-    // already installed before the failure stay installed (the commit
-    // is the point of no return); WithdrawLocked is a NotFound no-op
-    // for them.
-    for (QueryId root : roots) {
-      (void)WithdrawLocked(root, satisfied.status());
+  Deferred deferred;
+  CallbackFlusher flusher([this, &deferred] { FireCallbacks(&deferred); });
+  /// Ids registered by completed sub-batches, so a later sub-batch's
+  /// error can withdraw the whole batch (members whose group already
+  /// installed stay installed; for them withdrawal is a NotFound
+  /// no-op). The failing sub-batch withdraws its own registrations.
+  std::vector<QueryId> registered;
+
+  // One matching round per sub-batch: the first root already sees every
+  // member of its sub-batch in the pool, so a complete group closes on
+  // its first TryMatch instead of after N partial attempts.
+  auto run_subbatch = [&](const std::vector<size_t>& indices, size_t home_idx,
+                          bool force_global) -> Status {
+    std::vector<EntangledQuery> subbatch;
+    std::vector<Route> subroutes;
+    subbatch.reserve(indices.size());
+    subroutes.reserve(indices.size());
+    for (size_t i : indices) {
+      subbatch.push_back(std::move(queries[i]));
+      subroutes.push_back(routes[i]);
     }
-    return satisfied.status();
+    auto states = SubmitRoundRouted(std::move(subbatch), subroutes, home_idx,
+                                    force_global, &deferred);
+    if (!states.ok()) return states.status();
+    for (size_t j = 0; j < indices.size(); ++j) {
+      registered.push_back((*states)[j]->id);
+      handles[indices[j]] = EntangledHandle(std::move((*states)[j]));
+    }
+    return Status::OK();
+  };
+
+  Status status = Status::OK();
+  if (any_spanning) {
+    // The batch itself crosses shards: take one global round over the
+    // whole batch, attributed to the first member's home shard.
+    std::vector<size_t> all(queries.size());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+    status = run_subbatch(all, routes.front().home, /*force_global=*/true);
+  } else {
+    // Group members by home shard, preserving submission order within
+    // each shard, and run one round per touched shard.
+    std::map<size_t, std::vector<size_t>> by_shard;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      by_shard[routes[i].home].push_back(i);
+    }
+    for (const auto& [home_idx, indices] : by_shard) {
+      status = run_subbatch(indices, home_idx, /*force_global=*/false);
+      if (!status.ok()) break;
+    }
+  }
+
+  if (!status.ok()) {
+    // The caller gets no handles back, so withdraw every member of the
+    // earlier sub-batches still pending — otherwise the batch would
+    // keep matching as phantom queries nobody can observe or cancel.
+    for (QueryId id : registered) {
+      (void)WithdrawPending(id, status, &deferred);
+    }
+    return status;
   }
   return handles;
 }
 
-void Coordinator::CompleteLocked(
+void Coordinator::Complete(
     const std::shared_ptr<EntangledHandle::State>& state, Status outcome,
-    std::vector<Tuple> answers) {
+    std::vector<Tuple> answers, Deferred* deferred) {
   DeferredNotification notification;
   notification.state = state;
   {
@@ -188,24 +384,19 @@ void Coordinator::CompleteLocked(
   }
   state->cv.notify_all();
   if (!notification.callbacks.empty()) {
-    deferred_.push_back(std::move(notification));
+    deferred->push_back(std::move(notification));
   }
 }
 
-void Coordinator::FireDeferredCallbacks() {
-  std::vector<DeferredNotification> batch;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    batch.swap(deferred_);
-  }
-  for (DeferredNotification& notification : batch) {
+void Coordinator::FireCallbacks(Deferred* deferred) {
+  for (DeferredNotification& notification : *deferred) {
     EntangledHandle handle(notification.state);
     for (EntangledHandle::CompletionCallback& callback :
          notification.callbacks) {
       // Deferred delivery runs inside CallbackFlusher's destructor; an
       // escaping exception would terminate the process and drop the
-      // rest of the batch. Swallow and log, matching the
-      // already-done registration path.
+      // rest of the batch. Swallow and log, matching the already-done
+      // registration path.
       try {
         callback(handle);
       } catch (const std::exception& e) {
@@ -216,75 +407,159 @@ void Coordinator::FireDeferredCallbacks() {
       callback_counters_->fired.fetch_add(1);
     }
   }
+  deferred->clear();
 }
 
-Status Coordinator::WithdrawLocked(QueryId id, Status outcome) {
-  auto query = pool_.Remove(id);
+Status Coordinator::WithdrawLocked(Shard* shard, QueryId id, Status outcome,
+                                   Deferred* deferred) {
+  auto query = shard->pool.Remove(id);
   if (query == nullptr) {
     return Status::NotFound("query " + std::to_string(id) +
                             " is not pending");
   }
-  ++stats_.cancelled;
-  arrivals_.erase(id);
-  auto it = handles_.find(id);
-  if (it != handles_.end()) {
-    CompleteLocked(it->second, std::move(outcome), {});
-    handles_.erase(it);
+  ++shard->stats.cancelled;
+  shard->arrivals.erase(id);
+  auto routing = TakeRouting(id);
+  if (routing.has_value() && routing->spanning) {
+    cross_shard_pending_.fetch_sub(1);
+  }
+  auto it = shard->handles.find(id);
+  if (it != shard->handles.end()) {
+    Complete(it->second, std::move(outcome), {}, deferred);
+    shard->handles.erase(it);
   }
   return Status::OK();
 }
 
+Status Coordinator::WithdrawPending(QueryId id, Status outcome,
+                                    Deferred* deferred) {
+  size_t shard_idx = 0;
+  {
+    std::lock_guard<std::mutex> rlock(router_mu_);
+    auto it = shard_of_.find(id);
+    if (it == shard_of_.end()) {
+      return Status::NotFound("query " + std::to_string(id) +
+                              " is not pending");
+    }
+    shard_idx = it->second.home;
+  }
+  // The query may complete between the lookup and the shard lock;
+  // WithdrawLocked then reports NotFound.
+  Shard* shard = shards_[shard_idx].get();
+  std::lock_guard<std::mutex> lock(shard->mu);
+  return WithdrawLocked(shard, id, std::move(outcome), deferred);
+}
+
 Status Coordinator::Cancel(QueryId id) {
-  CallbackFlusher flusher([this] { FireDeferredCallbacks(); });
-  std::lock_guard<std::mutex> lock(mu_);
-  return WithdrawLocked(id, Status::Aborted("query cancelled"));
+  Deferred deferred;
+  CallbackFlusher flusher([this, &deferred] { FireCallbacks(&deferred); });
+  return WithdrawPending(id, Status::Aborted("query cancelled"), &deferred);
 }
 
 Result<size_t> Coordinator::ExpireOlderThan(
     std::chrono::milliseconds max_age) {
-  CallbackFlusher flusher([this] { FireDeferredCallbacks(); });
-  std::lock_guard<std::mutex> lock(mu_);
+  Deferred deferred;
+  CallbackFlusher flusher([this, &deferred] { FireCallbacks(&deferred); });
   const auto cutoff = std::chrono::steady_clock::now() - max_age;
-  std::vector<QueryId> expired;
-  for (const auto& [id, arrival] : arrivals_) {
-    if (arrival <= cutoff && pool_.Contains(id)) expired.push_back(id);
+  size_t total = 0;
+  for (const auto& shard_ptr : shards_) {
+    Shard* shard = shard_ptr.get();
+    std::lock_guard<std::mutex> lock(shard->mu);
+    std::vector<QueryId> expired;
+    for (const auto& [id, arrival] : shard->arrivals) {
+      if (arrival <= cutoff && shard->pool.Contains(id)) {
+        expired.push_back(id);
+      }
+    }
+    for (QueryId id : expired) {
+      YOUTOPIA_RETURN_IF_ERROR(WithdrawLocked(
+          shard, id,
+          Status::TimedOut("entangled query expired without a partner"),
+          &deferred));
+    }
+    total += expired.size();
   }
-  for (QueryId id : expired) {
-    YOUTOPIA_RETURN_IF_ERROR(WithdrawLocked(
-        id, Status::TimedOut("entangled query expired without a partner")));
+  return total;
+}
+
+Result<size_t> Coordinator::Retrigger(
+    const std::function<std::vector<QueryId>(const PendingPool&)>& ids,
+    Deferred* deferred) {
+  // All-shard fallback while cross-shard queries are pending (or a
+  // hook is registered): every round must see the merged pool. Resumes
+  // the sweep at `from_shard` — earlier shards were already processed
+  // locally, and their remaining queries gained nothing since.
+  auto global_retrigger = [&](size_t from_shard) -> Result<size_t> {
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(shards_.size());
+    for (const auto& shard : shards_) locks.emplace_back(shard->mu);
+    const std::vector<Shard*> all = AllShards();
+    size_t satisfied = 0;
+    for (size_t s = from_shard; s < shards_.size(); ++s) {
+      Shard* shard = shards_[s].get();
+      // Snapshot ids up front; matches mutate the pools.
+      for (QueryId id : ids(shard->pool)) {
+        if (!shard->pool.Contains(id)) continue;  // earlier round took it
+        ++shard->stats.global_rounds;
+        auto n = MatchAndInstallLocked(all, shard, {id}, deferred);
+        if (!n.ok()) return n.status();
+        satisfied += n.value();
+      }
+    }
+    return satisfied;
+  };
+
+  size_t satisfied = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard* shard = shards_[s].get();
+    std::unique_lock<std::mutex> lock(shard->mu);
+    if (cross_shard_pending_.load() > 0 || hook_installed_.load()) {
+      lock.unlock();
+      auto n = global_retrigger(s);
+      if (!n.ok()) return n.status();
+      return satisfied + n.value();
+    }
+    for (QueryId id : ids(shard->pool)) {
+      if (!shard->pool.Contains(id)) continue;  // satisfied earlier
+      ++shard->stats.shard_rounds;
+      auto n = MatchAndInstallLocked({shard}, shard, {id}, deferred);
+      if (!n.ok()) return n.status();
+      satisfied += n.value();
+    }
   }
-  return expired.size();
+  return satisfied;
 }
 
 Result<size_t> Coordinator::RetriggerDependentsOf(const std::string& table) {
-  CallbackFlusher flusher([this] { FireDeferredCallbacks(); });
-  std::lock_guard<std::mutex> lock(mu_);
-  size_t satisfied = 0;
-  for (QueryId id : pool_.QueriesWithDomainOn(table)) {
-    if (!pool_.Contains(id)) continue;
-    auto n = MatchAndInstallLocked({id});
-    if (!n.ok()) return n.status();
-    satisfied += n.value();
-  }
-  return satisfied;
+  Deferred deferred;
+  CallbackFlusher flusher([this, &deferred] { FireCallbacks(&deferred); });
+  return Retrigger(
+      [&table](const PendingPool& pool) {
+        return pool.QueriesWithDomainOn(table);
+      },
+      &deferred);
 }
 
 Result<size_t> Coordinator::RetriggerAll() {
-  CallbackFlusher flusher([this] { FireDeferredCallbacks(); });
-  std::lock_guard<std::mutex> lock(mu_);
-  size_t satisfied = 0;
-  // Snapshot ids up front; matches mutate the pool.
-  for (QueryId id : pool_.AllIds()) {
-    if (!pool_.Contains(id)) continue;  // satisfied by an earlier round
-    auto n = MatchAndInstallLocked({id});
-    if (!n.ok()) return n.status();
-    satisfied += n.value();
-  }
-  return satisfied;
+  Deferred deferred;
+  CallbackFlusher flusher([this, &deferred] { FireCallbacks(&deferred); });
+  return Retrigger([](const PendingPool& pool) { return pool.AllIds(); },
+                   &deferred);
 }
 
 Result<size_t> Coordinator::MatchAndInstallLocked(
-    const std::vector<QueryId>& roots) {
+    const std::vector<Shard*>& shards, Shard* home,
+    const std::vector<QueryId>& roots, Deferred* deferred) {
+  std::vector<const PendingPool*> pools;
+  pools.reserve(shards.size());
+  for (Shard* shard : shards) pools.push_back(&shard->pool);
+  const MergedPendingView merged(pools);
+  // Live view over the locked footprint; installs below mutate the
+  // underlying pools and the view follows.
+  const PendingView& view =
+      shards.size() == 1 ? static_cast<const PendingView&>(shards[0]->pool)
+                         : static_cast<const PendingView&>(merged);
+
   size_t satisfied = 0;
   // Worklist of match roots: the triggering queries first, then queries
   // whose constraints touch relations that received new answers.
@@ -292,35 +567,35 @@ Result<size_t> Coordinator::MatchAndInstallLocked(
   while (!worklist.empty()) {
     const QueryId root = worklist.front();
     worklist.pop_front();
-    if (!pool_.Contains(root)) continue;
+    if (!view.Contains(root)) continue;
 
     const auto start = std::chrono::steady_clock::now();
-    auto match = matcher_.TryMatch(root, pool_);
+    auto match = home->matcher->TryMatch(root, view);
     const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
         std::chrono::steady_clock::now() - start);
-    ++stats_.match_calls;
-    stats_.match_micros_total += static_cast<uint64_t>(elapsed.count());
+    ++home->stats.match_calls;
+    home->stats.match_micros_total += static_cast<uint64_t>(elapsed.count());
     if (!match.ok()) return match.status();
     if (!match->has_value()) continue;
 
     const MatchResult& result = match->value();
-    stats_.search_steps_total += result.steps;
-    auto installed = InstallLocked(result);
+    home->stats.search_steps_total += result.steps;
+    auto installed = InstallLocked(shards, home, result, deferred);
     if (!installed.ok()) return installed.status();
     if (!installed.value()) continue;  // install aborted; stays pending
 
     satisfied += result.group.size();
-    ++stats_.matched_groups;
-    stats_.matched_queries += result.group.size();
-    stats_.constraints_from_stored += result.from_stored;
+    ++home->stats.matched_groups;
+    home->stats.matched_queries += result.group.size();
+    home->stats.constraints_from_stored += result.from_stored;
 
     // New answers may unblock pending queries — but only those with a
     // constraint that the newly installed tuples could satisfy. The
     // prefilter keeps retriggering O(affected) instead of O(pool),
     // which is what makes the loaded-system demo scale (paper §3).
-    ++stats_.retrigger_rounds;
+    ++home->stats.retrigger_rounds;
     for (const auto& [relation, tuple] : result.installed) {
-      for (QueryId qid : pool_.QueriesUnblockedBy(relation, tuple)) {
+      for (QueryId qid : view.QueriesUnblockedBy(relation, tuple)) {
         worklist.push_back(qid);
       }
     }
@@ -328,12 +603,34 @@ Result<size_t> Coordinator::MatchAndInstallLocked(
   return satisfied;
 }
 
-Result<bool> Coordinator::InstallLocked(const MatchResult& match) {
+Result<bool> Coordinator::InstallLocked(const std::vector<Shard*>& shards,
+                                        Shard* home, const MatchResult& match,
+                                        Deferred* deferred) {
+  InstallHook hook;
+  {
+    std::lock_guard<std::mutex> hlock(hook_mu_);
+    hook = install_hook_;
+  }
+  // A hook may write tables shared across shards; serialize those
+  // installs so concurrent shard rounds cannot 2PL-conflict and strand
+  // a matched group (see install_txn_mu_).
+  std::unique_lock<std::mutex> serial;
+  if (hook) serial = std::unique_lock<std::mutex>(install_txn_mu_);
+
   auto txn = txn_manager_->Begin();
   Status status = Status::OK();
 
+  auto find_query = [&shards](QueryId qid) {
+    std::shared_ptr<const EntangledQuery> query;
+    for (Shard* shard : shards) {
+      query = shard->pool.Get(qid);
+      if (query != nullptr) break;
+    }
+    return query;
+  };
+
   for (const QueryId qid : match.group) {
-    auto query = pool_.Get(qid);
+    auto query = find_query(qid);
     if (query == nullptr) {
       status = Status::Internal("matched query " + std::to_string(qid) +
                                 " vanished from the pool");
@@ -347,12 +644,12 @@ Result<bool> Coordinator::InstallLocked(const MatchResult& match) {
     if (!status.ok()) break;
   }
 
-  if (status.ok() && install_hook_) {
-    status = install_hook_(txn.get(), txn_manager_, match);
+  if (status.ok() && hook) {
+    status = hook(txn.get(), txn_manager_, match);
   }
 
   if (!status.ok()) {
-    ++stats_.failed_installs;
+    ++home->stats.failed_installs;
     YOUTOPIA_LOG(kInfo) << "coordination install aborted: "
                         << status.ToString();
     Status abort = txn_manager_->Abort(txn.get());
@@ -362,67 +659,121 @@ Result<bool> Coordinator::InstallLocked(const MatchResult& match) {
 
   YOUTOPIA_RETURN_IF_ERROR(txn_manager_->Commit(txn.get()));
 
-  // Point of no return: complete the group.
+  // Point of no return: complete the group, each member in its shard.
   for (const QueryId qid : match.group) {
-    pool_.Remove(qid);
-    arrivals_.erase(qid);
-    auto it = handles_.find(qid);
-    if (it == handles_.end()) continue;
-    CompleteLocked(it->second, Status::OK(), match.answers.at(qid));
-    handles_.erase(it);
+    for (Shard* shard : shards) {
+      auto query = shard->pool.Remove(qid);
+      if (query == nullptr) continue;
+      shard->arrivals.erase(qid);
+      auto routing = TakeRouting(qid);
+      if (routing.has_value() && routing->spanning) {
+        cross_shard_pending_.fetch_sub(1);
+      }
+      auto it = shard->handles.find(qid);
+      if (it != shard->handles.end()) {
+        Complete(it->second, Status::OK(), match.answers.at(qid), deferred);
+        shard->handles.erase(it);
+      }
+      break;
+    }
   }
   return true;
 }
 
 size_t Coordinator::pending_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return pool_.size();
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->pool.size();
+  }
+  return total;
 }
 
 std::vector<PendingQueryInfo> Coordinator::Pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
   const auto now = std::chrono::steady_clock::now();
   std::vector<PendingQueryInfo> out;
-  for (QueryId id : pool_.AllIds()) {
-    auto query = pool_.Get(id);
-    PendingQueryInfo info;
-    info.id = id;
-    info.owner = query->owner;
-    info.sql = query->sql;
-    info.ir = query->ToString();
-    auto arrival = arrivals_.find(id);
-    if (arrival != arrivals_.end()) {
-      info.age_micros = static_cast<uint64_t>(
-          std::chrono::duration_cast<std::chrono::microseconds>(
-              now - arrival->second)
-              .count());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (QueryId id : shard->pool.AllIds()) {
+      auto query = shard->pool.Get(id);
+      PendingQueryInfo info;
+      info.id = id;
+      info.owner = query->owner;
+      info.sql = query->sql;
+      info.ir = query->ToString();
+      auto arrival = shard->arrivals.find(id);
+      if (arrival != shard->arrivals.end()) {
+        info.age_micros = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                now - arrival->second)
+                .count());
+      }
+      out.push_back(std::move(info));
     }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PendingQueryInfo& a, const PendingQueryInfo& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+MatchGraph Coordinator::BuildGraph() const {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  std::vector<const PendingPool*> pools;
+  pools.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    locks.emplace_back(shard->mu);
+    pools.push_back(&shard->pool);
+  }
+  return BuildMatchGraph(MergedPendingView(std::move(pools)));
+}
+
+std::string Coordinator::RenderGraph() const {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  std::vector<const PendingPool*> pools;
+  pools.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    locks.emplace_back(shard->mu);
+    pools.push_back(&shard->pool);
+  }
+  const MergedPendingView view(std::move(pools));
+  return BuildMatchGraph(view).ToString(view);
+}
+
+CoordinatorStats Coordinator::stats() const {
+  CoordinatorStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    AccumulateStats(&total, shard->stats);
+  }
+  total.batches = batches_.load();
+  total.batched_queries = batched_queries_.load();
+  total.callbacks_registered = callback_counters_->registered.load();
+  total.callbacks_fired = callback_counters_->fired.load();
+  return total;
+}
+
+std::vector<Coordinator::ShardInfo> Coordinator::ShardInfos() const {
+  std::vector<ShardInfo> out;
+  out.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i]->mu);
+    ShardInfo info;
+    info.shard = i;
+    info.pending = shards_[i]->pool.size();
+    info.stats = shards_[i]->stats;
     out.push_back(std::move(info));
   }
   return out;
 }
 
-MatchGraph Coordinator::BuildGraph() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return BuildMatchGraph(pool_);
-}
-
-std::string Coordinator::RenderGraph() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return BuildMatchGraph(pool_).ToString(pool_);
-}
-
-CoordinatorStats Coordinator::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  CoordinatorStats snapshot = stats_;
-  snapshot.callbacks_registered = callback_counters_->registered.load();
-  snapshot.callbacks_fired = callback_counters_->fired.load();
-  return snapshot;
-}
-
 void Coordinator::SetInstallHook(InstallHook hook) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(hook_mu_);
   install_hook_ = std::move(hook);
+  hook_installed_.store(static_cast<bool>(install_hook_));
 }
 
 }  // namespace youtopia

@@ -23,7 +23,10 @@
 namespace youtopia {
 
 /// Aggregate counters exposed to the administrative interface and the
-/// scalability benchmarks.
+/// scalability benchmarks. With a sharded coordinator each shard keeps
+/// its own copy of the per-round counters; `Coordinator::stats()` sums
+/// them (plus the coordinator-wide batch/callback counters), and
+/// `Coordinator::ShardInfos()` exposes the per-shard breakdown.
 struct CoordinatorStats {
   size_t submitted = 0;
   size_t matched_queries = 0;
@@ -35,10 +38,22 @@ struct CoordinatorStats {
   size_t match_calls = 0;
   uint64_t match_micros_total = 0;
   size_t search_steps_total = 0;
-  /// SubmitAll calls and the queries they carried.
+  /// Matching rounds that ran on one shard under its own mutex alone.
+  size_t shard_rounds = 0;
+  /// Matching rounds escalated to a global (all-shard) round: because
+  /// a query's answer relations span shards, because such a query was
+  /// pending, or because an install hook is registered (hooks touch
+  /// tables shared across shards, so every round goes global while one
+  /// is set). Attributed to the home shard of the triggering query.
+  size_t global_rounds = 0;
+  /// Submitted queries whose answer relations span multiple shards.
+  size_t cross_shard_queries = 0;
+  /// SubmitAll calls and the queries they carried (coordinator-wide;
+  /// zero in per-shard breakdowns).
   size_t batches = 0;
   size_t batched_queries = 0;
-  /// OnComplete registrations and deliveries (across all handles).
+  /// OnComplete registrations and deliveries (across all handles;
+  /// coordinator-wide, zero in per-shard breakdowns).
   size_t callbacks_registered = 0;
   size_t callbacks_fired = 0;
 };
@@ -75,7 +90,7 @@ class EntangledHandle {
   /// Registers a completion callback. Fires exactly once per
   /// registration: immediately (in the calling thread) when the handle
   /// is already done, otherwise from whichever thread completes the
-  /// query. Callbacks run outside the coordinator's internal lock, so
+  /// query. Callbacks run outside the coordinator's internal locks, so
   /// they may safely call back into the coordinator (submit a follow-up,
   /// inspect stats, ...).
   void OnComplete(CompletionCallback callback);
@@ -93,7 +108,7 @@ class EntangledHandle {
   friend class Coordinator;
   /// Callback-delivery counters shared between a coordinator and every
   /// handle it issued; atomics because immediate-fire registrations on
-  /// completed handles happen outside the coordinator lock (and may
+  /// completed handles happen outside the coordinator locks (and may
   /// outlive the coordinator itself).
   struct CallbackCounters {
     std::atomic<size_t> registered{0};
@@ -122,6 +137,13 @@ struct CoordinatorConfig {
   MatchConfig match;
   /// Create missing answer-relation tables on first install.
   bool auto_create_answer_tables = true;
+  /// Number of pending-pool shards, keyed by answer relation: a query
+  /// whose heads and constraints all name relations of one shard
+  /// registers and matches entirely under that shard's mutex, so
+  /// independent coordinations (different answer relations) match in
+  /// parallel. 1 (the default) reproduces the single-mutex coordinator
+  /// exactly. Values are clamped to [1, 64].
+  size_t num_shards = 1;
 };
 
 /// Summary of one pending query for introspection.
@@ -139,13 +161,24 @@ struct PendingQueryInfo {
 /// regular tables and the pending-query tables, and directing the
 /// execution engine to install coordinated answers.
 ///
-/// Concurrency model: submissions may come from many threads; matching
-/// rounds are serialized under one mutex (a matching round must see a
-/// stable pending pool and database snapshot). Installation runs inside
-/// a transaction from the TxnManager, so a concurrent regular workload
-/// observes coordinated answers atomically — design decision #3.
-/// Completion callbacks fire after the internal lock is released, in
-/// the thread whose submission closed the group.
+/// Concurrency model: the pending pool is partitioned into
+/// `CoordinatorConfig::num_shards` shards keyed by (lowercased) answer
+/// relation; each shard owns a mutex, a PendingPool, and a Matcher.
+/// A query's *home shard* is the shard of the lexicographically
+/// smallest relation among its heads and constraints — deterministic,
+/// so symmetric partners always route to the same shard. Queries local
+/// to one shard register and match under that shard's mutex alone;
+/// matching rounds of different shards run concurrently. A query whose
+/// relations span shards *escalates*: the round briefly locks every
+/// shard (in index order — deadlock free) and matches over the merged
+/// view. While any cross-shard query is pending, all rounds escalate,
+/// which keeps sharded matching outcome-equivalent to the single-mutex
+/// coordinator: shard-local rounds only ever run when every pending
+/// query's match-graph neighbourhood is confined to its own shard.
+/// Installation runs inside a transaction from the TxnManager, so a
+/// concurrent regular workload observes coordinated answers atomically
+/// — design decision #3. Completion callbacks fire after all internal
+/// locks are released, in the thread whose submission closed the group.
 class Coordinator {
  public:
   /// Optional hook executed inside the installation transaction, after
@@ -167,13 +200,13 @@ class Coordinator {
   /// is eventually answered.
   Result<EntangledHandle> Submit(EntangledQuery query);
 
-  /// Registers a whole batch, then runs a single matching round over
-  /// it. A complete group submitted together (the paper's friends
-  /// booking jointly) closes in that one round instead of N lock
-  /// round-trips, and intermediate partial matches are never attempted.
-  /// All-or-nothing on validation: an invalid member rejects the batch
-  /// before anything is registered. Handles are returned in submission
-  /// order.
+  /// Registers a whole batch, then runs one matching round per touched
+  /// shard (a single global round when the batch crosses shards). A
+  /// complete group submitted together (the paper's friends booking
+  /// jointly) closes in one round instead of N lock round-trips, and
+  /// intermediate partial matches are never attempted. All-or-nothing
+  /// on validation: an invalid member rejects the batch before anything
+  /// is registered. Handles are returned in submission order.
   Result<std::vector<EntangledHandle>> SubmitAll(
       std::vector<EntangledQuery> queries);
 
@@ -193,9 +226,11 @@ class Coordinator {
   Result<size_t> RetriggerDependentsOf(const std::string& table);
 
   /// Withdraws every pending query that has waited longer than
-  /// `max_age`; their handles complete with kTimedOut. Returns the
-  /// number expired. Gives deployments a lever against queries whose
-  /// partners never arrive.
+  /// `max_age`; their handles complete with kTimedOut and their
+  /// registered OnComplete callbacks fire (outside the shard locks),
+  /// exactly as for satisfaction and cancellation. Returns the number
+  /// expired. Gives deployments a lever against queries whose partners
+  /// never arrive.
   Result<size_t> ExpireOlderThan(std::chrono::milliseconds max_age);
 
   size_t pending_count() const;
@@ -204,63 +239,191 @@ class Coordinator {
 
   /// Text rendering of the current match graph (admin interface).
   std::string RenderGraph() const;
+
+  /// Aggregate counters: per-shard counters summed, plus the
+  /// coordinator-wide batch and callback counters.
   CoordinatorStats stats() const;
+
+  /// Per-shard introspection entry: pending count plus that shard's
+  /// counters. The per-shard-attributable counter fields sum to the
+  /// aggregate reported by stats().
+  struct ShardInfo {
+    size_t shard = 0;
+    size_t pending = 0;
+    CoordinatorStats stats;
+  };
+  std::vector<ShardInfo> ShardInfos() const;
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Deterministic shard of one (case-insensitively normalized) answer
+  /// relation. Exposed so tests and benchmarks can construct workloads
+  /// with known shard placement.
+  size_t ShardOfRelation(const std::string& relation) const;
+
+  /// Deterministic home shard of `query`: the shard of the
+  /// lexicographically smallest lowercased relation among its heads and
+  /// constraints.
+  size_t HomeShardOf(const EntangledQuery& query) const;
+
   const CoordinatorConfig& config() const { return config_; }
 
   void SetInstallHook(InstallHook hook);
 
  private:
   /// A completed handle whose callbacks still have to run; collected
-  /// under mu_, fired after mu_ is released.
+  /// while shard mutexes are held, fired after they are released.
   struct DeferredNotification {
     std::shared_ptr<EntangledHandle::State> state;
     std::vector<EntangledHandle::CompletionCallback> callbacks;
   };
+  using Deferred = std::vector<DeferredNotification>;
 
-  /// Registers `query` (assigning a fresh id) without matching.
-  /// Caller holds mu_.
+  /// One partition of the pending pool. All fields are guarded by `mu`
+  /// except where noted; matching rounds of different shards hold only
+  /// their own `mu`, global rounds hold every shard's `mu` (acquired in
+  /// index order).
+  struct Shard {
+    mutable std::mutex mu;
+    PendingPool pool;
+    std::unique_ptr<Matcher> matcher;
+    std::map<QueryId, std::shared_ptr<EntangledHandle::State>> handles;
+    std::map<QueryId, std::chrono::steady_clock::time_point> arrivals;
+    CoordinatorStats stats;
+  };
+
+  /// Where a query registers and whether its relations span shards.
+  struct Route {
+    size_t home = 0;
+    bool spanning = false;
+  };
+  Route RouteOf(const EntangledQuery& query) const;
+
+  std::vector<Shard*> AllShards() const;
+
+  /// Registers `query` (assigning a fresh id) into shard `shard_idx`
+  /// without matching. Caller holds that shard's mu (and every other
+  /// shard's mu when `spanning`).
   std::shared_ptr<EntangledHandle::State> RegisterLocked(
-      EntangledQuery query);
+      size_t shard_idx, EntangledQuery query, bool spanning);
+
+  /// The submission protocol shared by Submit and SubmitAll: registers
+  /// `queries` (routes[i] must be RouteOf(queries[i])) and runs one
+  /// matching round over them — global (all shards locked in index
+  /// order) when `force_global` or when a cross-shard query is pending
+  /// (re-checked under the home shard's mutex), shard-local on
+  /// shards_[home_idx] otherwise. On a matching error every query this
+  /// call registered is withdrawn before returning, so no phantom
+  /// registrations outlive a failed submission. On success returns one
+  /// handle state per query, in order.
+  Result<std::vector<std::shared_ptr<EntangledHandle::State>>>
+  SubmitRoundRouted(std::vector<EntangledQuery> queries,
+                    const std::vector<Route>& routes, size_t home_idx,
+                    bool force_global, Deferred* deferred);
+
+  /// Withdraws a pending query by id: resolves the owning shard
+  /// through the routing map, locks it, and delegates to
+  /// WithdrawLocked. NotFound when the query already completed.
+  Status WithdrawPending(QueryId id, Status outcome, Deferred* deferred);
 
   /// Runs matching rounds rooted at each of `roots` in order and, on
-  /// success, installs groups and retriggers affected queries. Caller
-  /// holds mu_. Returns number of queries satisfied (group sizes summed
+  /// success, installs groups and retriggers affected queries. `shards`
+  /// is the locked footprint (one home shard, or every shard for a
+  /// global round); `home` supplies the Matcher and receives the
+  /// round's counters. Caller holds the mutex of every shard in
+  /// `shards`. Returns number of queries satisfied (group sizes summed
   /// over the retrigger cascade).
-  Result<size_t> MatchAndInstallLocked(const std::vector<QueryId>& roots);
+  Result<size_t> MatchAndInstallLocked(const std::vector<Shard*>& shards,
+                                       Shard* home,
+                                       const std::vector<QueryId>& roots,
+                                       Deferred* deferred);
 
   /// Installs a matched group atomically. On success removes members
-  /// from the pool and completes their handles. Caller holds mu_.
-  Result<bool> InstallLocked(const MatchResult& match);
+  /// from their pools and completes their handles. Caller holds the
+  /// mutex of every shard in `shards`.
+  Result<bool> InstallLocked(const std::vector<Shard*>& shards, Shard* home,
+                             const MatchResult& match, Deferred* deferred);
 
-  /// Removes `id` from pool/handles, completing the handle with
-  /// `outcome` (cancellation, expiry). Caller holds mu_.
-  Status WithdrawLocked(QueryId id, Status outcome);
+  /// Removes `id` from `shard`'s pool/handles, completing the handle
+  /// with `outcome` (cancellation, expiry). Caller holds shard->mu.
+  Status WithdrawLocked(Shard* shard, QueryId id, Status outcome,
+                        Deferred* deferred);
 
   /// Marks `state` done with `outcome`, wakes waiters and queues its
-  /// callbacks for delivery. Caller holds mu_.
-  void CompleteLocked(const std::shared_ptr<EntangledHandle::State>& state,
-                      Status outcome, std::vector<Tuple> answers);
+  /// callbacks for delivery after the locks drop.
+  void Complete(const std::shared_ptr<EntangledHandle::State>& state,
+                Status outcome, std::vector<Tuple> answers,
+                Deferred* deferred);
 
-  /// Delivers queued completion callbacks. Must be called WITHOUT mu_
-  /// held; every public entry point that can complete handles calls
-  /// this after releasing the lock.
-  void FireDeferredCallbacks();
+  /// Delivers queued completion callbacks. Must be called with NO shard
+  /// mutex held; every public entry point that can complete handles
+  /// flushes after releasing its locks (error paths included).
+  void FireCallbacks(Deferred* deferred);
 
   StorageEngine* storage_;
   TxnManager* txn_manager_;
   CoordinatorConfig config_;
   AnswerRelationManager answers_;
-  Matcher matcher_;
   std::shared_ptr<EntangledHandle::CallbackCounters> callback_counters_;
 
-  mutable std::mutex mu_;
-  PendingPool pool_;
-  QueryId next_id_ = 1;
-  std::map<QueryId, std::shared_ptr<EntangledHandle::State>> handles_;
-  std::map<QueryId, std::chrono::steady_clock::time_point> arrivals_;
-  CoordinatorStats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Pending queries whose answer relations span shards. While > 0
+  /// every matching round escalates to a global round; incremented only
+  /// with every shard mutex held, so a shard-local round that reads 0
+  /// under its own mutex is guaranteed no cross-shard query can
+  /// register before it finishes.
+  std::atomic<size_t> cross_shard_pending_{0};
+
+  std::atomic<QueryId> next_id_{1};
+
+  /// Coordinator-wide batch counters (not shard-attributable).
+  std::atomic<size_t> batches_{0};
+  std::atomic<size_t> batched_queries_{0};
+
+  /// Pending-query routing state: owning shard (so Cancel can find it
+  /// without sweeping every pool) and whether the query counted into
+  /// cross_shard_pending_ at registration (read back on removal, so
+  /// the decrement can never disagree with the increment). Guarded by
+  /// router_mu_; lock order is always shard mutexes first, router_mu_
+  /// last.
+  mutable std::mutex router_mu_;
+  std::map<QueryId, Route> shard_of_;
+
+  /// Removes `id`'s routing entry and returns it (home = owning shard,
+  /// spanning = registered as cross-shard); nullopt when absent.
+  std::optional<Route> TakeRouting(QueryId id);
+
+  /// Runs matching rounds rooted at every pending query selected by
+  /// `ids` (per-shard when no cross-shard query is pending, otherwise
+  /// one all-shard pass) — the shared body of RetriggerAll and
+  /// RetriggerDependentsOf.
+  Result<size_t> Retrigger(
+      const std::function<std::vector<QueryId>(const PendingPool&)>& ids,
+      Deferred* deferred);
+
+  /// Guarded by hook_mu_ (a dedicated mutex so SetInstallHook never
+  /// touches a shard lock); installs copy the hook out before calling.
+  mutable std::mutex hook_mu_;
   InstallHook install_hook_;
-  std::vector<DeferredNotification> deferred_;
+
+  /// True while install_hook_ is set. Hooks may read and write tables
+  /// shared across shards (the travel inventory hook updates Flights),
+  /// which breaks shard independence two ways: concurrent installs
+  /// could 2PL-conflict and strand a matched group, and another
+  /// shard's matcher — which grounds against raw storage — could
+  /// dirty-read the hook transaction's uncommitted writes. So while a
+  /// hook is registered every round escalates to a global round
+  /// (mutually exclusive by construction), trading shard parallelism
+  /// for correctness on the hook path.
+  std::atomic<bool> hook_installed_{false};
+
+  /// Belt-and-suspenders for rounds already in flight when the hook is
+  /// registered: serializes hook-bearing install transactions. Leaf
+  /// mutex: acquired with shard mutexes held, never the other way
+  /// around. (Register hooks before concurrent submission starts — the
+  /// travel service does — and this never contends.)
+  std::mutex install_txn_mu_;
 };
 
 }  // namespace youtopia

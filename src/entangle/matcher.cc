@@ -88,7 +88,7 @@ Result<std::vector<Tuple>> Matcher::StoredCandidates(
 }
 
 Result<std::optional<MatchResult>> Matcher::TryMatch(QueryId root,
-                                                     const PendingPool& pool) {
+                                                     const PendingView& pool) {
   auto query = pool.Get(root);
   if (query == nullptr) {
     return Status::NotFound("query " + std::to_string(root) +
@@ -106,7 +106,7 @@ Result<std::optional<MatchResult>> Matcher::TryMatch(QueryId root,
   return std::optional<MatchResult>(std::move(result));
 }
 
-Result<bool> Matcher::Search(GroupState state, const PendingPool& pool,
+Result<bool> Matcher::Search(GroupState state, const PendingView& pool,
                              SearchStats* stats, MatchResult* result) {
   if (state.obligations.empty()) {
     return TryGround(state, stats, result);

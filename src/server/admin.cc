@@ -46,6 +46,19 @@ std::string AdminSnapshot::ToString() const {
       "callbacks_fired=%zu\n",
       stats.batches, stats.batched_queries, stats.callbacks_registered,
       stats.callbacks_fired);
+  out += StringPrintf("  shard_rounds=%zu global_rounds=%zu "
+                      "cross_shard_queries=%zu\n",
+                      stats.shard_rounds, stats.global_rounds,
+                      stats.cross_shard_queries);
+  out += "-- Coordinator shards --\n";
+  for (const Coordinator::ShardInfo& s : shards) {
+    out += StringPrintf(
+        "  shard %zu: pending=%zu submitted=%zu matched=%zu groups=%zu "
+        "rounds(local=%zu, global=%zu) cross_shard=%zu\n",
+        s.shard, s.pending, s.stats.submitted, s.stats.matched_queries,
+        s.stats.matched_groups, s.stats.shard_rounds, s.stats.global_rounds,
+        s.stats.cross_shard_queries);
+  }
   out += "-- Match graph --\n";
   out += match_graph;
   out += "=======================================================\n";
@@ -68,6 +81,7 @@ AdminSnapshot TakeAdminSnapshot(const Youtopia& db) {
   }
   snapshot.pending = db.coordinator().Pending();
   snapshot.stats = db.coordinator().stats();
+  snapshot.shards = db.coordinator().ShardInfos();
   snapshot.match_graph = db.coordinator().RenderGraph();
   return snapshot;
 }

@@ -23,6 +23,9 @@ struct AdminSnapshot {
   std::vector<TableEntry> tables;
   std::vector<PendingQueryInfo> pending;
   CoordinatorStats stats;
+  /// Per-shard breakdown of the coordinator's pending pool and
+  /// counters; the shard-attributable counters sum to `stats`.
+  std::vector<Coordinator::ShardInfo> shards;
   std::string match_graph;
 
   /// Full multi-section text rendering for the admin console.

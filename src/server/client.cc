@@ -37,22 +37,52 @@ void Client::TrackAll(const std::vector<EntangledHandle>& handles) {
   }
 }
 
+std::chrono::milliseconds LockRetryPause(const ClientOptions& options,
+                                         size_t completed_attempts) {
+  const auto pause =
+      std::max(options.retry_interval, std::chrono::milliseconds(1));
+  // The cap never clamps below the configured initial interval: a
+  // caller asking for 500ms between retries gets at least 500ms even
+  // with a smaller retry_max_interval.
+  const auto cap = std::max(options.retry_max_interval, pause);
+  auto backoff = pause;
+  for (size_t i = 0; i < completed_attempts && backoff < cap; ++i) {
+    backoff *= 2;
+  }
+  return std::min(backoff, cap);
+}
+
 namespace {
 
-/// Runs `attempt` and, when the statement timeout is set, retries
-/// lock-conflict (kTimedOut) failures until the deadline.
+/// Continues retrying after `result` failed with a lock conflict
+/// (kTimedOut), backing off per LockRetryPause between attempts and
+/// never sleeping past the statement deadline.
 template <typename T, typename Fn>
-Result<T> RetryOnLockTimeout(const ClientOptions& options, Fn attempt) {
-  Result<T> result = attempt();
+Result<T> RetryAfterLockTimeout(const ClientOptions& options, Result<T> result,
+                                Fn attempt) {
   if (options.statement_timeout.count() <= 0) return result;
   const auto deadline =
       std::chrono::steady_clock::now() + options.statement_timeout;
-  while (!result.ok() && result.status().code() == StatusCode::kTimedOut &&
-         std::chrono::steady_clock::now() < deadline) {
-    std::this_thread::sleep_for(options.retry_interval);
+  size_t attempts = 0;
+  while (!result.ok() && result.status().code() == StatusCode::kTimedOut) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    std::this_thread::sleep_for(
+        std::min(LockRetryPause(options, attempts), remaining));
+    ++attempts;
     result = attempt();
   }
   return result;
+}
+
+/// Runs `attempt` and, when the statement timeout is set, retries
+/// lock-conflict failures with exponential backoff until the deadline.
+template <typename T, typename Fn>
+Result<T> RetryOnLockTimeout(const ClientOptions& options, Fn attempt) {
+  Result<T> result = attempt();
+  return RetryAfterLockTimeout<T>(options, std::move(result), attempt);
 }
 
 }  // namespace
@@ -132,11 +162,14 @@ Result<RunOutcome> Client::Run(const std::string& sql) {
   Record(sql);
   auto outcome = db_->Run(sql, options_.owner);
   // Regular statements get the same lock-conflict retry as Execute; an
-  // entangled submission must never be blindly re-issued.
+  // entangled submission must never be blindly re-issued. The failed
+  // first attempt enters the backoff loop directly — no immediate
+  // second attempt without a pause.
   if (!outcome.ok() && outcome.status().code() == StatusCode::kTimedOut &&
       options_.statement_timeout.count() > 0 && !IsEntangledStatement(sql)) {
-    outcome = RetryOnLockTimeout<RunOutcome>(
-        options_, [&] { return db_->Run(sql, options_.owner); });
+    outcome = RetryAfterLockTimeout<RunOutcome>(
+        options_, std::move(outcome),
+        [&] { return db_->Run(sql, options_.owner); });
   }
   if (outcome.ok() && outcome->entangled && outcome->handle.has_value() &&
       !outcome->handle->Done()) {

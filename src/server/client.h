@@ -30,12 +30,32 @@ struct ClientOptions {
   /// statement timeout does.
   std::chrono::milliseconds statement_timeout{0};
 
-  /// Pause between lock-conflict retries.
+  /// Initial pause between lock-conflict retries. Each retry doubles
+  /// the pause (exponential backoff, capped at the larger of this and
+  /// retry_max_interval, and at the time left until the statement
+  /// deadline), so a long conflict is waited out instead of hammered.
+  /// Non-positive values are treated as 1ms — the retry loop never
+  /// busy-spins on the clock.
   std::chrono::milliseconds retry_interval{1};
+
+  /// Upper bound on the exponential backoff pause. Never clamps below
+  /// retry_interval: the configured initial pause is the minimum
+  /// pacing.
+  std::chrono::milliseconds retry_max_interval{64};
 
   /// Record statement history for the admin interface.
   bool record_history = true;
 };
+
+/// The pause the client sleeps before its (completed_attempts+1)-th
+/// lock-conflict retry: retry_interval doubled per completed retry,
+/// clamped to [max(retry_interval, 1ms), max(retry_max_interval,
+/// retry_interval, 1ms)]. The 1ms floor is what keeps a zero
+/// retry_interval from degenerating into a busy spin on
+/// steady_clock::now(). Exposed so tests (and middle tiers that mirror
+/// the client's pacing) can check the schedule without racing clocks.
+std::chrono::milliseconds LockRetryPause(const ClientOptions& options,
+                                         size_t completed_attempts);
 
 /// The stable public façade over an embedded `Youtopia` instance — the
 /// API every external caller (middle tiers, examples, benchmarks,

@@ -16,9 +16,10 @@ namespace youtopia::travel {
 std::string WorkloadReport::ToString() const {
   return StringPrintf(
       "submitted=%zu satisfied=%zu timed_out=%zu errors=%zu "
-      "throughput=%.1f satisfied/s latency{%s}",
-      submitted, satisfied, timed_out, errors, SatisfiedPerSecond(),
-      latency.ToString().c_str());
+      "rounds(local=%zu, global=%zu) throughput=%.1f satisfied/s "
+      "latency{%s}",
+      submitted, satisfied, timed_out, errors, shard_rounds, global_rounds,
+      SatisfiedPerSecond(), latency.ToString().c_str());
 }
 
 namespace {
@@ -111,6 +112,7 @@ Result<WorkloadReport> RunLoadedWorkload(Youtopia* db,
   std::atomic<size_t> errors{0};
   auto tracker = std::make_shared<CompletionTracker>();
 
+  const CoordinatorStats before = db->coordinator().stats();
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> sessions;
   sessions.reserve(config.sessions);
@@ -174,6 +176,9 @@ Result<WorkloadReport> RunLoadedWorkload(Youtopia* db,
           std::chrono::steady_clock::now() - start)
           .count());
   report.submitted = planned.size();
+  const CoordinatorStats after = db->coordinator().stats();
+  report.shard_rounds = after.shard_rounds - before.shard_rounds;
+  report.global_rounds = after.global_rounds - before.global_rounds;
   return report;
 }
 

@@ -35,6 +35,11 @@ struct WorkloadReport {
   size_t satisfied = 0;
   size_t timed_out = 0;
   size_t errors = 0;
+  /// Coordinator matching rounds taken during the run: shard-local
+  /// (parallel) versus escalated global (all-shard) rounds. Shows how
+  /// much of the workload the sharded coordinator ran concurrently.
+  size_t shard_rounds = 0;
+  size_t global_rounds = 0;
   /// Submission-to-answer latency of satisfied requests.
   Histogram latency;
   /// Wall-clock duration of the whole run.

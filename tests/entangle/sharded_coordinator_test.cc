@@ -1,0 +1,610 @@
+// Sharded-coordinator coverage: deterministic home-shard routing,
+// cross-shard escalation, per-shard statistics, expiry callbacks under
+// sharding, mixed-case relation handling, and a randomized differential
+// test pinning sharded matching to the single-mutex coordinator's
+// outcomes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "entangle/coordinator.h"
+#include "entangle/normalizer.h"
+#include "sql/parser.h"
+
+namespace youtopia {
+namespace {
+
+using std::chrono::milliseconds;
+
+/// A full coordination stack (storage + txns + coordinator) so sharded
+/// and unsharded coordinators can run the same workload side by side.
+struct Stack {
+  StorageEngine storage;
+  std::unique_ptr<TxnManager> txns;
+  std::unique_ptr<Coordinator> coordinator;
+
+  explicit Stack(size_t num_shards, int num_dests = 8) {
+    EXPECT_TRUE(storage
+                    .CreateTable("Flights",
+                                 Schema({{"fno", DataType::kInt64, false},
+                                         {"dest", DataType::kString, false}}))
+                    .ok());
+    // Exactly one flight per destination: groundings are unique, so any
+    // correct matcher must produce identical answers.
+    for (int d = 0; d < num_dests; ++d) {
+      EXPECT_TRUE(
+          storage
+              .Insert("Flights",
+                      Tuple({Value::Int64(100 + d),
+                             Value::String("City" + std::to_string(d))}))
+              .ok());
+    }
+    txns = std::make_unique<TxnManager>(&storage);
+    CoordinatorConfig config;
+    config.num_shards = num_shards;
+    coordinator = std::make_unique<Coordinator>(&storage, txns.get(), config);
+  }
+
+  EntangledQuery Parse(const std::string& sql, const std::string& owner) {
+    auto stmt = Parser::ParseStatement(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status();
+    auto query = Normalizer::Normalize(
+        static_cast<const SelectStatement&>(*stmt.value()), 0, owner, sql);
+    EXPECT_TRUE(query.ok()) << query.status();
+    return query.TakeValue();
+  }
+
+  Result<EntangledHandle> Submit(const std::string& sql,
+                                 const std::string& owner) {
+    return coordinator->Submit(Parse(sql, owner));
+  }
+};
+
+/// Pairwise query with head and constraint on one relation.
+std::string PairSql(const std::string& relation, const std::string& self,
+                    const std::string& other, const std::string& dest) {
+  return "SELECT '" + self + "', fno INTO ANSWER " + relation +
+         " WHERE fno IN (SELECT fno FROM Flights WHERE dest='" + dest +
+         "') AND ('" + other + "', fno) IN ANSWER " + relation + " CHOOSE 1";
+}
+
+/// Asymmetric pair: the head goes to one relation, the partner
+/// constraint reads another — the cross-shard case when the two
+/// relations hash to different shards.
+std::string CrossSql(const std::string& head_relation,
+                     const std::string& constraint_relation,
+                     const std::string& self, const std::string& other,
+                     const std::string& dest) {
+  return "SELECT '" + self + "', fno INTO ANSWER " + head_relation +
+         " WHERE fno IN (SELECT fno FROM Flights WHERE dest='" + dest +
+         "') AND ('" + other + "', fno) IN ANSWER " + constraint_relation +
+         " CHOOSE 1";
+}
+
+/// Finds `want` relation names that the coordinator places on pairwise
+/// distinct shards.
+std::vector<std::string> RelationsOnDistinctShards(const Coordinator& c,
+                                                   size_t want) {
+  std::vector<std::string> out;
+  std::set<size_t> used;
+  for (char suffix = 'A'; suffix <= 'Z' && out.size() < want; ++suffix) {
+    const std::string relation = std::string("Rel") + suffix;
+    if (used.insert(c.ShardOfRelation(relation)).second) {
+      out.push_back(relation);
+    }
+  }
+  return out;
+}
+
+/// Two relation names that share a shard.
+std::vector<std::string> RelationsOnOneShard(const Coordinator& c) {
+  std::map<size_t, std::string> seen;
+  for (char suffix = 'A'; suffix <= 'Z'; ++suffix) {
+    const std::string relation = std::string("Same") + suffix;
+    const size_t shard = c.ShardOfRelation(relation);
+    auto it = seen.find(shard);
+    if (it != seen.end()) return {it->second, relation};
+    seen.emplace(shard, relation);
+  }
+  return {};
+}
+
+TEST(ShardedCoordinatorTest, RoutingIsDeterministicAndCaseInsensitive) {
+  Stack stack(4);
+  const Coordinator& c = *stack.coordinator;
+  EXPECT_EQ(c.num_shards(), 4u);
+  EXPECT_EQ(c.ShardOfRelation("Reservation"),
+            c.ShardOfRelation("RESERVATION"));
+  EXPECT_EQ(c.ShardOfRelation("Reservation"),
+            c.ShardOfRelation("reservation"));
+
+  // Home shard: lexicographically smallest relation among heads and
+  // constraints, regardless of which atom names it.
+  auto a = stack.Parse(CrossSql("Alpha", "Beta", "A", "B", "City0"), "A");
+  auto b = stack.Parse(CrossSql("Beta", "Alpha", "B", "A", "City0"), "B");
+  EXPECT_EQ(c.HomeShardOf(a), c.ShardOfRelation("Alpha"));
+  EXPECT_EQ(c.HomeShardOf(a), c.HomeShardOf(b));
+}
+
+TEST(ShardedCoordinatorTest, MultiRelationQueryOnOneShardStaysLocal) {
+  Stack stack(4);
+  auto same = RelationsOnOneShard(*stack.coordinator);
+  ASSERT_EQ(same.size(), 2u);
+
+  auto handle = stack.Submit(CrossSql(same[0], same[1], "A", "B", "City0"),
+                             "A");
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  auto stats = stack.coordinator->stats();
+  EXPECT_EQ(stats.cross_shard_queries, 0u);
+  EXPECT_EQ(stats.shard_rounds, 1u);
+  EXPECT_EQ(stats.global_rounds, 0u);
+
+  // The partner routes to the same home shard and the pair closes.
+  auto partner = stack.Submit(CrossSql(same[1], same[0], "B", "A", "City0"),
+                              "B");
+  ASSERT_TRUE(partner.ok());
+  EXPECT_TRUE(handle->Done());
+  EXPECT_TRUE(partner->Done());
+  EXPECT_EQ(stack.coordinator->stats().global_rounds, 0u);
+}
+
+TEST(ShardedCoordinatorTest, CrossShardPairEscalatesAndMatches) {
+  Stack stack(4);
+  auto rels = RelationsOnDistinctShards(*stack.coordinator, 2);
+  ASSERT_EQ(rels.size(), 2u);
+
+  auto first = stack.Submit(CrossSql(rels[0], rels[1], "S", "P", "City1"),
+                            "S");
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(first->Done());
+  auto mid = stack.coordinator->stats();
+  EXPECT_EQ(mid.cross_shard_queries, 1u);
+  EXPECT_EQ(mid.global_rounds, 1u);
+
+  auto second = stack.Submit(CrossSql(rels[1], rels[0], "P", "S", "City1"),
+                             "P");
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_TRUE(first->Done());
+  EXPECT_TRUE(second->Done());
+  ASSERT_EQ(first->Answers().size(), 1u);
+  ASSERT_EQ(second->Answers().size(), 1u);
+  EXPECT_EQ(first->Answers()[0].at(1), second->Answers()[0].at(1));
+  EXPECT_EQ(stack.coordinator->pending_count(), 0u);
+  EXPECT_EQ(stack.coordinator->stats().cross_shard_queries, 2u);
+}
+
+TEST(ShardedCoordinatorTest, LocalQueriesEscalateWhileCrossShardPending) {
+  Stack stack(4);
+  auto rels = RelationsOnDistinctShards(*stack.coordinator, 3);
+  ASSERT_GE(rels.size(), 3u);
+
+  // A cross-shard query parks in the pool...
+  auto spanning = stack.Submit(
+      CrossSql(rels[0], rels[1], "S", "Ghost", "City2"), "S");
+  ASSERT_TRUE(spanning.ok());
+  EXPECT_FALSE(spanning->Done());
+
+  // ...so even a single-relation pair on a third shard must take
+  // global rounds — and still closes correctly.
+  auto a = stack.Submit(PairSql(rels[2], "A", "B", "City3"), "A");
+  auto b = stack.Submit(PairSql(rels[2], "B", "A", "City3"), "B");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->Done());
+  EXPECT_TRUE(b->Done());
+  auto stats = stack.coordinator->stats();
+  EXPECT_EQ(stats.global_rounds, 3u);
+  EXPECT_EQ(stats.shard_rounds, 0u);
+
+  // Withdrawing the cross-shard query restores shard-local matching.
+  ASSERT_TRUE(stack.coordinator->Cancel(spanning->id()).ok());
+  auto c = stack.Submit(PairSql(rels[2], "C", "D", "City3"), "C");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(stack.coordinator->stats().shard_rounds, 1u);
+}
+
+TEST(ShardedCoordinatorTest, SubmitAllRoutesBatchAcrossShards) {
+  Stack stack(4);
+  auto rels = RelationsOnDistinctShards(*stack.coordinator, 2);
+  ASSERT_EQ(rels.size(), 2u);
+
+  // Two complete pairs on different shards in one batch: one round per
+  // touched shard, both groups close, handles in submission order.
+  std::vector<EntangledQuery> batch;
+  batch.push_back(stack.Parse(PairSql(rels[0], "A", "B", "City4"), "A"));
+  batch.push_back(stack.Parse(PairSql(rels[1], "C", "D", "City5"), "C"));
+  batch.push_back(stack.Parse(PairSql(rels[0], "B", "A", "City4"), "B"));
+  batch.push_back(stack.Parse(PairSql(rels[1], "D", "C", "City5"), "D"));
+  auto handles = stack.coordinator->SubmitAll(std::move(batch));
+  ASSERT_TRUE(handles.ok()) << handles.status();
+  ASSERT_EQ(handles->size(), 4u);
+  for (const auto& handle : *handles) EXPECT_TRUE(handle.Done());
+  EXPECT_EQ((*handles)[0].Answers()[0].at(1), (*handles)[2].Answers()[0].at(1));
+  EXPECT_EQ((*handles)[1].Answers()[0].at(1), (*handles)[3].Answers()[0].at(1));
+
+  auto stats = stack.coordinator->stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.batched_queries, 4u);
+  EXPECT_EQ(stats.shard_rounds, 2u);
+  EXPECT_EQ(stats.global_rounds, 0u);
+  EXPECT_EQ(stats.matched_groups, 2u);
+}
+
+TEST(ShardedCoordinatorTest, PerShardStatsSumToGlobalTotals) {
+  Stack stack(4);
+  auto rels = RelationsOnDistinctShards(*stack.coordinator, 3);
+  ASSERT_GE(rels.size(), 2u);
+  for (size_t r = 0; r < rels.size(); ++r) {
+    const std::string dest = "City" + std::to_string(r);
+    const std::string a = "A" + std::to_string(r);
+    const std::string b = "B" + std::to_string(r);
+    ASSERT_TRUE(stack.Submit(PairSql(rels[r], a, b, dest), a).ok());
+    ASSERT_TRUE(stack.Submit(PairSql(rels[r], b, a, dest), b).ok());
+    ASSERT_TRUE(
+        stack.Submit(PairSql(rels[r], "lonely" + std::to_string(r), "ghost",
+                             dest),
+                     "lonely")
+            .ok());
+  }
+  ASSERT_TRUE(
+      stack.Submit(CrossSql(rels[0], rels[1], "S", "Ghost", "City6"), "S")
+          .ok());
+
+  const CoordinatorStats total = stack.coordinator->stats();
+  CoordinatorStats sum;
+  size_t pending_sum = 0;
+  for (const Coordinator::ShardInfo& info : stack.coordinator->ShardInfos()) {
+    // Batch and callback counters are coordinator-wide.
+    EXPECT_EQ(info.stats.batches, 0u);
+    EXPECT_EQ(info.stats.callbacks_registered, 0u);
+    sum.submitted += info.stats.submitted;
+    sum.matched_queries += info.stats.matched_queries;
+    sum.matched_groups += info.stats.matched_groups;
+    sum.cancelled += info.stats.cancelled;
+    sum.failed_installs += info.stats.failed_installs;
+    sum.match_calls += info.stats.match_calls;
+    sum.search_steps_total += info.stats.search_steps_total;
+    sum.shard_rounds += info.stats.shard_rounds;
+    sum.global_rounds += info.stats.global_rounds;
+    sum.cross_shard_queries += info.stats.cross_shard_queries;
+    pending_sum += info.pending;
+  }
+  EXPECT_EQ(sum.submitted, total.submitted);
+  EXPECT_EQ(sum.matched_queries, total.matched_queries);
+  EXPECT_EQ(sum.matched_groups, total.matched_groups);
+  EXPECT_EQ(sum.cancelled, total.cancelled);
+  EXPECT_EQ(sum.failed_installs, total.failed_installs);
+  EXPECT_EQ(sum.match_calls, total.match_calls);
+  EXPECT_EQ(sum.search_steps_total, total.search_steps_total);
+  EXPECT_EQ(sum.shard_rounds, total.shard_rounds);
+  EXPECT_EQ(sum.global_rounds, total.global_rounds);
+  EXPECT_EQ(sum.cross_shard_queries, total.cross_shard_queries);
+  EXPECT_EQ(pending_sum, stack.coordinator->pending_count());
+  EXPECT_EQ(total.submitted, rels.size() * 3 + 1);
+}
+
+TEST(ShardedCoordinatorTest, ExpireFiresCallbacksAcrossShards) {
+  Stack stack(4);
+  auto rels = RelationsOnDistinctShards(*stack.coordinator, 3);
+  ASSERT_GE(rels.size(), 2u);
+  size_t fired = 0;
+  std::set<StatusCode> outcomes;
+  std::vector<EntangledHandle> handles;
+  for (size_t r = 0; r < rels.size(); ++r) {
+    auto handle = stack.Submit(
+        PairSql(rels[r], "lonely" + std::to_string(r), "ghost", "City0"),
+        "lonely");
+    ASSERT_TRUE(handle.ok());
+    handle->OnComplete([&](const EntangledHandle& done) {
+      ++fired;
+      outcomes.insert(done.Outcome().value_or(Status::OK()).code());
+    });
+    handles.push_back(*handle);
+  }
+  auto expired = stack.coordinator->ExpireOlderThan(milliseconds(0));
+  ASSERT_TRUE(expired.ok());
+  EXPECT_EQ(expired.value(), rels.size());
+  EXPECT_EQ(fired, rels.size());
+  EXPECT_EQ(outcomes, std::set<StatusCode>{StatusCode::kTimedOut});
+  EXPECT_EQ(stack.coordinator->pending_count(), 0u);
+  for (const auto& handle : handles) {
+    EXPECT_TRUE(handle.Done());
+    EXPECT_EQ(handle.Outcome()->code(), StatusCode::kTimedOut);
+  }
+}
+
+TEST(ShardedCoordinatorTest, CancelRoutesToOwningShard) {
+  Stack stack(4);
+  auto rels = RelationsOnDistinctShards(*stack.coordinator, 2);
+  ASSERT_EQ(rels.size(), 2u);
+  auto handle = stack.Submit(PairSql(rels[1], "K", "J", "City0"), "K");
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(stack.coordinator->Cancel(handle->id()).ok());
+  EXPECT_TRUE(handle->Done());
+  EXPECT_EQ(handle->Outcome()->code(), StatusCode::kAborted);
+  EXPECT_EQ(stack.coordinator->Cancel(handle->id()).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(stack.coordinator->pending_count(), 0u);
+}
+
+// Satellite regression: relation-name case must not affect matching,
+// sharded or not — routing, pool indexes, and the matcher all normalize
+// with ToLowerAscii.
+TEST(ShardedCoordinatorTest, MixedCaseRelationsMatchAcrossSpellings) {
+  for (size_t shards : {size_t{1}, size_t{4}}) {
+    Stack stack(shards);
+    auto a = stack.Submit(CrossSql("Reservation", "RESERVATION", "A", "B",
+                                   "City0"),
+                          "A");
+    ASSERT_TRUE(a.ok()) << a.status();
+    EXPECT_FALSE(a->Done());
+    auto b = stack.Submit(CrossSql("reservation", "Reservation", "B", "A",
+                                   "City0"),
+                          "B");
+    ASSERT_TRUE(b.ok()) << b.status();
+    EXPECT_TRUE(a->Done()) << "shards=" << shards;
+    EXPECT_TRUE(b->Done()) << "shards=" << shards;
+    EXPECT_EQ(a->Answers()[0].at(1), b->Answers()[0].at(1));
+    // Mixed-case spellings never register as a cross-shard query.
+    EXPECT_EQ(stack.coordinator->stats().cross_shard_queries, 0u);
+  }
+}
+
+// Concurrent stress over the sharding machinery itself: threads mix
+// shard-local pairs, cross-shard pairs (exercising escalation and the
+// cross_shard_pending_ protocol), and submit-then-cancel lonely
+// queries, all racing each other. Every pair must close by the time
+// its second half's Submit returns — concurrent installs touch
+// disjoint relation sets, so nothing can abort — and the coordinator
+// must end drained, with consistent counters, and back in shard-local
+// mode. Run under TSAN to check the lock protocol.
+TEST(ShardedCoordinatorTest, ConcurrentMixedWorkloadStress) {
+  constexpr int kThreads = 8;
+  constexpr int kPairsPerThread = 24;
+  constexpr int kNumDests = 64;
+  Stack stack(4, kNumDests);
+  auto rels = RelationsOnDistinctShards(*stack.coordinator, 4);
+  ASSERT_GE(rels.size(), 2u);
+
+  std::atomic<size_t> mismatches{0};
+  std::atomic<size_t> cancelled{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int p = 0; p < kPairsPerThread; ++p) {
+        const int unit = t * kPairsPerThread + p;
+        const std::string dest = "City" + std::to_string(unit % kNumDests);
+        const std::string a = "A" + std::to_string(unit);
+        const std::string b = "B" + std::to_string(unit);
+        const std::string& rel = rels[t % rels.size()];
+        Result<EntangledHandle> first = Status::OK();
+        Result<EntangledHandle> second = Status::OK();
+        if (p % 6 == 5) {
+          const std::string& rel2 = rels[(t + 1) % rels.size()];
+          first = stack.Submit(CrossSql(rel, rel2, a, b, dest), a);
+          second = stack.Submit(CrossSql(rel2, rel, b, a, dest), b);
+        } else {
+          first = stack.Submit(PairSql(rel, a, b, dest), a);
+          second = stack.Submit(PairSql(rel, b, a, dest), b);
+        }
+        if (!first.ok() || !second.ok() || !first->Done() ||
+            !second->Done() || !first->Outcome()->ok()) {
+          mismatches.fetch_add(1);
+        }
+        if (p % 8 == 7) {
+          auto lonely = stack.Submit(
+              PairSql(rel, "L" + std::to_string(unit), "nobody", dest), a);
+          if (lonely.ok() &&
+              stack.coordinator->Cancel(lonely->id()).ok()) {
+            cancelled.fetch_add(1);
+          } else {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(stack.coordinator->pending_count(), 0u);
+  const CoordinatorStats stats = stack.coordinator->stats();
+  const size_t pairs = kThreads * kPairsPerThread;
+  EXPECT_EQ(stats.submitted, pairs * 2 + cancelled.load());
+  EXPECT_EQ(stats.matched_queries, pairs * 2);
+  EXPECT_EQ(stats.matched_groups, pairs);
+  EXPECT_EQ(stats.cancelled, cancelled.load());
+  // Per-shard counters stay additive under concurrency.
+  size_t submitted_sum = 0;
+  for (const auto& info : stack.coordinator->ShardInfos()) {
+    submitted_sum += info.stats.submitted;
+  }
+  EXPECT_EQ(submitted_sum, stats.submitted);
+  // Every cross-shard query was withdrawn or satisfied, so shard-local
+  // matching must be back: a fresh local pair takes a shard round.
+  const size_t shard_rounds_before = stats.shard_rounds;
+  ASSERT_TRUE(stack.Submit(PairSql(rels[0], "Z1", "Z2", "City0"), "Z").ok());
+  EXPECT_GT(stack.coordinator->stats().shard_rounds, shard_rounds_before);
+}
+
+// Install hooks may read and write tables shared across every shard
+// (the travel inventory pattern decrements Flights seats). While a
+// hook is registered all rounds escalate to mutually exclusive global
+// rounds, so concurrent shard rounds can never 2PL-conflict with each
+// other (stranding a matched group) or dirty-read a hook transaction's
+// uncommitted writes.
+TEST(ShardedCoordinatorTest, InstallHookOnSharedTableSurvivesConcurrency) {
+  constexpr int kThreads = 4;
+  constexpr int kPairsPerThread = 12;
+  Stack stack(4, /*num_dests=*/8);
+  auto rels = RelationsOnDistinctShards(*stack.coordinator, 4);
+  ASSERT_GE(rels.size(), 2u);
+
+  // A single-row counter table that every install decrements — the
+  // worst case: every hook invocation writes the same row.
+  ASSERT_TRUE(stack.storage
+                  .CreateTable("Inventory",
+                               Schema({{"remaining", DataType::kInt64,
+                                        false}}))
+                  .ok());
+  auto rid = stack.storage.Insert("Inventory", Tuple({Value::Int64(100000)}));
+  ASSERT_TRUE(rid.ok());
+  stack.coordinator->SetInstallHook(
+      [rid = rid.value()](Transaction* txn, TxnManager* txns,
+                          const MatchResult&) -> Status {
+        auto row = txns->Get(txn, "Inventory", rid);
+        if (!row.ok()) return row.status();
+        Tuple updated = row.TakeValue();
+        updated.at(0) = Value::Int64(updated.at(0).int64_value() - 1);
+        return txns->Update(txn, "Inventory", rid, updated);
+      });
+
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string& rel = rels[t % rels.size()];
+      for (int p = 0; p < kPairsPerThread; ++p) {
+        const int unit = t * kPairsPerThread + p;
+        const std::string dest = "City" + std::to_string(unit % 8);
+        const std::string a = "HA" + std::to_string(unit);
+        const std::string b = "HB" + std::to_string(unit);
+        auto first = stack.Submit(PairSql(rel, a, b, dest), a);
+        auto second = stack.Submit(PairSql(rel, b, a, dest), b);
+        if (!first.ok() || !second.ok() || !first->Done() ||
+            !second->Done()) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(stack.coordinator->pending_count(), 0u);
+  const CoordinatorStats stats = stack.coordinator->stats();
+  EXPECT_EQ(stats.failed_installs, 0u);
+  EXPECT_EQ(stats.matched_groups,
+            static_cast<size_t>(kThreads * kPairsPerThread));
+  // Hook registered => every round escalated; none ran shard-local.
+  EXPECT_EQ(stats.shard_rounds, 0u);
+  // Exactly one decrement per installed group survived the races.
+  auto row = stack.storage.Get("Inventory", rid.value());
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->at(0).int64_value(),
+            100000 - kThreads * kPairsPerThread);
+}
+
+// The acceptance-criterion differential test: a randomized mixed
+// workload (several relations with mixed-case spellings, cross-relation
+// pairs, lonely queries, shuffled submission order) must produce
+// identical coordination outcomes on a sharded coordinator and on the
+// single-mutex coordinator.
+TEST(ShardedCoordinatorTest, RandomizedDifferentialMatchesUnsharded) {
+  constexpr int kNumDests = 40;
+  constexpr size_t kPairs = 30;
+  Stack sharded(4, kNumDests);
+  Stack unsharded(1, kNumDests);
+
+  const std::vector<std::string> bases = {"PairRes", "GroupRes", "SeatRes",
+                                          "HotelRes", "CabRes"};
+  Random rng(0xD1FFu);
+  auto spell = [&](const std::string& base) {
+    switch (rng.NextBelow(3)) {
+      case 0: return ToLowerAscii(base);
+      case 1: return ToUpperAscii(base);
+      default: return base;
+    }
+  };
+
+  struct Planned {
+    std::string sql;
+    std::string owner;
+  };
+  std::vector<Planned> plan;
+  for (size_t p = 0; p < kPairs; ++p) {
+    const std::string dest = "City" + std::to_string(p % kNumDests);
+    const std::string a = "A" + std::to_string(p);
+    const std::string b = "B" + std::to_string(p);
+    if (p % 5 == 4) {
+      // Cross-relation pair (cross-shard whenever the two relations
+      // hash apart under the sharded stack).
+      const std::string& x = bases[rng.NextBelow(bases.size())];
+      const std::string& y = bases[rng.NextBelow(bases.size())];
+      plan.push_back({CrossSql(spell(x), spell(y), a, b, dest), a});
+      plan.push_back({CrossSql(spell(y), spell(x), b, a, dest), b});
+    } else {
+      const std::string& rel = bases[rng.NextBelow(bases.size())];
+      plan.push_back({PairSql(spell(rel), a, b, dest), a});
+      plan.push_back({PairSql(spell(rel), b, a, dest), b});
+    }
+  }
+  for (int l = 0; l < 5; ++l) {
+    const std::string& rel = bases[rng.NextBelow(bases.size())];
+    plan.push_back({PairSql(spell(rel), "lonely" + std::to_string(l), "ghost",
+                            "City0"),
+                    "lonely"});
+  }
+  for (size_t i = plan.size(); i > 1; --i) {
+    std::swap(plan[i - 1], plan[rng.NextBelow(i)]);
+  }
+
+  std::vector<EntangledHandle> sharded_handles;
+  std::vector<EntangledHandle> unsharded_handles;
+  for (const Planned& planned : plan) {
+    auto hs = sharded.Submit(planned.sql, planned.owner);
+    auto hu = unsharded.Submit(planned.sql, planned.owner);
+    ASSERT_TRUE(hs.ok()) << hs.status();
+    ASSERT_TRUE(hu.ok()) << hu.status();
+    sharded_handles.push_back(*hs);
+    unsharded_handles.push_back(*hu);
+  }
+
+  // Identical per-handle outcomes...
+  for (size_t i = 0; i < plan.size(); ++i) {
+    ASSERT_EQ(sharded_handles[i].Done(), unsharded_handles[i].Done())
+        << plan[i].sql;
+    if (!sharded_handles[i].Done()) continue;
+    EXPECT_EQ(sharded_handles[i].Outcome()->code(),
+              unsharded_handles[i].Outcome()->code());
+    // One flight per destination: the grounded answers are unique, so
+    // they must agree tuple for tuple.
+    auto sa = sharded_handles[i].Answers();
+    auto ua = unsharded_handles[i].Answers();
+    ASSERT_EQ(sa.size(), ua.size());
+    for (size_t t = 0; t < sa.size(); ++t) EXPECT_EQ(sa[t], ua[t]);
+  }
+  EXPECT_EQ(sharded.coordinator->pending_count(),
+            unsharded.coordinator->pending_count());
+  // ...and identical durable answer relations.
+  for (const std::string& base : bases) {
+    auto ss = sharded.storage.Scan(base);
+    auto us = unsharded.storage.Scan(base);
+    ASSERT_EQ(ss.ok(), us.ok()) << base;
+    if (!ss.ok()) continue;  // relation never materialized in either
+    std::multiset<std::string> sharded_rows;
+    std::multiset<std::string> unsharded_rows;
+    for (const auto& [rid, tuple] : *ss) sharded_rows.insert(tuple.ToString());
+    for (const auto& [rid, tuple] : *us) {
+      unsharded_rows.insert(tuple.ToString());
+    }
+    EXPECT_EQ(sharded_rows, unsharded_rows) << base;
+  }
+  const CoordinatorStats stats = sharded.coordinator->stats();
+  EXPECT_GT(stats.shard_rounds, 0u);
+  EXPECT_GT(stats.global_rounds, 0u);
+}
+
+}  // namespace
+}  // namespace youtopia

@@ -46,6 +46,36 @@ TEST(AdminTest, SnapshotShowsPendingQueriesAndGraph) {
   EXPECT_NE(rendered.find("head:"), std::string::npos);
 }
 
+TEST(AdminTest, SnapshotReportsPerShardStats) {
+  YoutopiaConfig config;
+  config.coordinator.num_shards = 4;
+  Youtopia db(config);
+  ASSERT_TRUE(travel::SetupFigure1(&db).ok());
+  ASSERT_TRUE(db.Submit(
+                    "SELECT 'Kramer', fno INTO ANSWER Reservation WHERE fno "
+                    "IN (SELECT fno FROM Flights WHERE dest='Paris') AND "
+                    "('Jerry', fno) IN ANSWER Reservation CHOOSE 1",
+                    "Kramer")
+                  .ok());
+  auto snapshot = TakeAdminSnapshot(db);
+  ASSERT_EQ(snapshot.shards.size(), 4u);
+  size_t submitted = 0;
+  size_t pending = 0;
+  for (const auto& shard : snapshot.shards) {
+    submitted += shard.stats.submitted;
+    pending += shard.pending;
+  }
+  EXPECT_EQ(submitted, snapshot.stats.submitted);
+  EXPECT_EQ(pending, 1u);
+  EXPECT_EQ(snapshot.stats.shard_rounds, 1u);
+
+  const std::string rendered = snapshot.ToString();
+  EXPECT_NE(rendered.find("Coordinator shards"), std::string::npos);
+  EXPECT_NE(rendered.find("shard 0:"), std::string::npos);
+  EXPECT_NE(rendered.find("shard 3:"), std::string::npos);
+  EXPECT_NE(rendered.find("shard_rounds=1"), std::string::npos);
+}
+
 TEST(AdminTest, EmptySystemSnapshot) {
   Youtopia db;
   auto snapshot = TakeAdminSnapshot(db);

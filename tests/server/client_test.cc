@@ -211,6 +211,34 @@ TEST_F(ClientTest, StatementTimeoutRetriesLockConflicts) {
   holder.join();
 }
 
+TEST_F(ClientTest, LockRetryBackoffDoublesAndNeverSpins) {
+  ClientOptions options;
+  options.retry_interval = milliseconds(2);
+  options.retry_max_interval = milliseconds(16);
+  EXPECT_EQ(LockRetryPause(options, 0), milliseconds(2));
+  EXPECT_EQ(LockRetryPause(options, 1), milliseconds(4));
+  EXPECT_EQ(LockRetryPause(options, 2), milliseconds(8));
+  EXPECT_EQ(LockRetryPause(options, 3), milliseconds(16));
+  // Capped at retry_max_interval from then on.
+  EXPECT_EQ(LockRetryPause(options, 10), milliseconds(16));
+  EXPECT_EQ(LockRetryPause(options, 1000), milliseconds(16));
+
+  // A zero (or negative) retry_interval must not busy-spin the clock:
+  // the schedule floors at 1ms.
+  ClientOptions zero;
+  zero.retry_interval = milliseconds(0);
+  zero.retry_max_interval = milliseconds(0);
+  EXPECT_EQ(LockRetryPause(zero, 0), milliseconds(1));
+  EXPECT_EQ(LockRetryPause(zero, 50), milliseconds(1));
+
+  // An initial interval above retry_max_interval is honored, never
+  // clamped down: the configured pause is the minimum pacing.
+  ClientOptions slow;
+  slow.retry_interval = milliseconds(500);  // > default max of 64ms
+  EXPECT_EQ(LockRetryPause(slow, 0), milliseconds(500));
+  EXPECT_EQ(LockRetryPause(slow, 3), milliseconds(500));
+}
+
 TEST_F(ClientTest, SessionDelegatesThroughClient) {
   Session session(&db_, "Kramer");
   ASSERT_TRUE(session.Submit(PairSql("Kramer", "Jerry")).ok());

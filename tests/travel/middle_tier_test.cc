@@ -366,5 +366,63 @@ TEST_F(MiddleTierTest, AdjacentSeatEndToEnd) {
   EXPECT_EQ(ka.at(2).int64_value(), ja.at(2).int64_value() + 1);
 }
 
+// The whole application tier — pair booking, flight+hotel coordination
+// (a multi-relation query that may cross shards), and callback-driven
+// expiry notification — runs unchanged over a sharded coordinator.
+TEST(ShardedMiddleTierTest, TravelFlowsUnchangedOnShardedCoordinator) {
+  YoutopiaConfig config;
+  config.coordinator.num_shards = 8;
+  Youtopia db(config);
+  ASSERT_TRUE(SetupFigure1(&db).ok());
+  ASSERT_TRUE(db.ExecuteScript(
+                    "CREATE TABLE Hotels (hid INT NOT NULL, city TEXT NOT "
+                    "NULL, day INT NOT NULL, price INT NOT NULL, rooms INT "
+                    "NOT NULL);"
+                    "INSERT INTO Hotels VALUES (501, 'Paris', 1, 120, 4);"
+                    "CREATE TABLE HotelReservation (traveler TEXT NOT NULL, "
+                    "hid INT NOT NULL);")
+                  .ok());
+  NotificationBus bus;
+  TravelService service(
+      &db,
+      FriendGraph::Clique({"Jerry", "Kramer", "Elaine", "George", "Newman"}),
+      &bus);
+
+  auto kramer = service.BookFlightWithFriend("Kramer", "Jerry", "Paris");
+  ASSERT_TRUE(kramer.ok()) << kramer.status();
+  service.NotifyOnCompletion(*kramer, "Kramer");
+  auto jerry = service.BookFlightWithFriend("Jerry", "Kramer", "Paris");
+  ASSERT_TRUE(jerry.ok());
+  EXPECT_TRUE(kramer->Done());
+  EXPECT_TRUE(jerry->Done());
+  ASSERT_EQ(bus.MessagesFor("Kramer").size(), 1u);
+  EXPECT_NE(bus.MessagesFor("Kramer")[0].find("confirmed"),
+            std::string::npos);
+
+  auto elaine =
+      service.BookFlightAndHotelWithFriend("Elaine", "George", "Paris");
+  ASSERT_TRUE(elaine.ok()) << elaine.status();
+  auto george =
+      service.BookFlightAndHotelWithFriend("George", "Elaine", "Paris");
+  ASSERT_TRUE(george.ok()) << george.status();
+  EXPECT_TRUE(elaine->Done());
+  EXPECT_TRUE(george->Done());
+  EXPECT_EQ(elaine->Answers()[1].at(1), george->Answers()[1].at(1));
+
+  // Expiry still reaches the notification bus through OnComplete.
+  // Newman never books, so Jerry's request cannot be satisfied — not
+  // even from stored answers.
+  auto lonely = service.BookFlightWithFriend("Jerry", "Newman", "Paris");
+  ASSERT_TRUE(lonely.ok());
+  EXPECT_FALSE(lonely->Done());
+  service.NotifyOnCompletion(*lonely, "Jerry");
+  auto expired =
+      db.coordinator().ExpireOlderThan(std::chrono::milliseconds(0));
+  ASSERT_TRUE(expired.ok());
+  EXPECT_EQ(expired.value(), 1u);
+  ASSERT_EQ(bus.MessagesFor("Jerry").size(), 1u);
+  EXPECT_NE(bus.MessagesFor("Jerry")[0].find("expired"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace youtopia::travel
