@@ -17,9 +17,11 @@
 namespace youtopia::bench {
 namespace {
 
-std::unique_ptr<Youtopia> MakeLoadedDb(int pool_size, bool signature_index) {
+std::unique_ptr<Youtopia> MakeLoadedDb(int pool_size, bool signature_index,
+                                       size_t workers = 0) {
   YoutopiaConfig config;
   config.coordinator.match.use_signature_index = signature_index;
+  config.executor.num_workers = workers;
   auto db = std::make_unique<Youtopia>(config);
   Status s = db->ExecuteScript(
       "CREATE TABLE Flights (fno INT NOT NULL, dest TEXT NOT NULL);"
@@ -117,6 +119,44 @@ void BM_LoadedSystem_DrainThroughput(benchmark::State& state) {
 BENCHMARK(BM_LoadedSystem_DrainThroughput)
     ->Arg(64)->Arg(256)->Arg(1024)
     ->Unit(benchmark::kMillisecond);
+
+/// Async drain: the same all-matching pairwise load, driven through the
+/// executor service — ONE submitter thread packages every statement as
+/// a StatementTask (a fresh session per task, so nothing serializes on
+/// FIFO order) and `workers` pool threads drive the statement path.
+/// Args: (pairs, workers).
+void BM_LoadedSystem_AsyncDrain(benchmark::State& state) {
+  const int pairs = static_cast<int>(state.range(0));
+  const size_t workers = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto db = MakeLoadedDb(/*pool_size=*/0, /*signature_index=*/true, workers);
+    ExecutorService& exec = db->executor_service();
+    state.ResumeTiming();
+    for (int i = 0; i < 2 * pairs; ++i) {
+      const int pair = i / 2;
+      const bool first = (i % 2) == 0;
+      const std::string self =
+          (first ? "A" : "B") + std::to_string(pair);
+      const std::string other =
+          (first ? "B" : "A") + std::to_string(pair);
+      StatementTask task;
+      task.sql = PairSql(self, other);
+      task.owner = self;
+      task.session = ExecutorService::AllocateSessionId();
+      if (!exec.Submit(std::move(task)).ok()) std::abort();
+    }
+    if (!exec.Drain(std::chrono::milliseconds(60000)).ok()) std::abort();
+    if (db->coordinator().pending_count() != 0) std::abort();
+  }
+  state.counters["workers"] = benchmark::Counter(static_cast<double>(workers));
+  state.counters["queries_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * pairs * 2),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LoadedSystem_AsyncDrain)
+    ->Args({256, 1})->Args({256, 2})->Args({256, 4})->Args({1024, 4})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 /// Sharded drain: 4 submitter threads interleave firsts-then-partners
 /// on their own answer relations against a loaded pool of lonely

@@ -3,7 +3,12 @@
 // This driver sweeps session counts and prints throughput and latency
 // percentiles.
 //
-// Usage: loaded_system [sessions] [requests_per_session] [shards]
+// Usage: loaded_system [sessions] [requests_per_session] [shards] [workers]
+//
+// workers > 0 switches the driver to the async executor surface: one
+// thread submits every request as a StatementTask and a pool of that
+// many workers drives the whole statement path (per-session FIFO
+// preserved). 0 (default) keeps the seed's thread-per-session mode.
 
 #include <cstdio>
 #include <cstdlib>
@@ -18,14 +23,18 @@ int main(int argc, char** argv) {
   const int max_sessions = argc > 1 ? std::atoi(argv[1]) : 16;
   const int requests = argc > 2 ? std::atoi(argv[2]) : 50;
   const int shards = argc > 3 ? std::atoi(argv[3]) : 1;
+  const int workers = argc > 4 ? std::atoi(argv[4]) : 0;
 
-  std::printf("coordinator shards: %d\n", shards);
+  std::printf("coordinator shards: %d, executor workers: %d\n", shards,
+              workers);
   std::printf("%-10s %-10s %-14s %s\n", "sessions", "requests",
               "satisfied/s", "latency");
   for (int sessions = 2; sessions <= max_sessions; sessions *= 2) {
     YoutopiaConfig db_config;
     db_config.coordinator.num_shards =
         shards > 0 ? static_cast<size_t>(shards) : 1;
+    db_config.executor.num_workers =
+        workers > 0 ? static_cast<size_t>(workers) : 0;
     Youtopia db(db_config);
     if (!travel::CreateTravelSchema(&db).ok()) return 1;
     travel::DataGeneratorConfig data;

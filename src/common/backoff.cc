@@ -1,0 +1,19 @@
+#include "common/backoff.h"
+
+#include <algorithm>
+
+namespace youtopia {
+
+std::chrono::milliseconds ExponentialBackoff(std::chrono::milliseconds interval,
+                                             std::chrono::milliseconds cap,
+                                             size_t completed_attempts) {
+  const auto pause = std::max(interval, std::chrono::milliseconds(1));
+  const auto ceiling = std::max(cap, pause);
+  auto backoff = pause;
+  for (size_t i = 0; i < completed_attempts && backoff < ceiling; ++i) {
+    backoff *= 2;
+  }
+  return std::min(backoff, ceiling);
+}
+
+}  // namespace youtopia

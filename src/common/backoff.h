@@ -1,0 +1,24 @@
+#ifndef YOUTOPIA_COMMON_BACKOFF_H_
+#define YOUTOPIA_COMMON_BACKOFF_H_
+
+#include <chrono>
+#include <cstddef>
+
+namespace youtopia {
+
+/// The pause before the (completed_attempts+1)-th retry of an
+/// exponential-backoff schedule: `interval` doubled once per completed
+/// attempt, clamped to [max(interval, 1ms), max(cap, interval, 1ms)].
+/// The 1ms floor keeps a zero interval from degenerating into a busy
+/// spin on the clock; the cap never clamps below the configured initial
+/// interval. This one function is the schedule for every lock-conflict
+/// retry in the system — the blocking client loop and the executor
+/// service's conflict requeues pace identically, so a statement behaves
+/// the same whether a caller thread or a pool worker drives it.
+std::chrono::milliseconds ExponentialBackoff(std::chrono::milliseconds interval,
+                                             std::chrono::milliseconds cap,
+                                             size_t completed_attempts);
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_COMMON_BACKOFF_H_

@@ -59,6 +59,17 @@ std::string AdminSnapshot::ToString() const {
         s.stats.matched_groups, s.stats.shard_rounds, s.stats.global_rounds,
         s.stats.cross_shard_queries);
   }
+  out += "-- Executor service --\n";
+  out += StringPrintf(
+      "  workers=%zu queue_depth=%zu (peak=%zu, executing=%zu)\n",
+      executor.workers, executor.queue_depth, executor.peak_queue_depth,
+      executor.executing);
+  out += StringPrintf(
+      "  submitted=%zu executed=%zu lock_requeues=%zu entangled_parked=%zu "
+      "rejected=%zu utilization=%.1f%%\n",
+      executor.submitted, executor.executed, executor.lock_requeues,
+      executor.entangled_parked, executor.rejected,
+      executor.WorkerUtilization() * 100.0);
   out += "-- Match graph --\n";
   out += match_graph;
   out += "=======================================================\n";
@@ -82,6 +93,7 @@ AdminSnapshot TakeAdminSnapshot(const Youtopia& db) {
   snapshot.pending = db.coordinator().Pending();
   snapshot.stats = db.coordinator().stats();
   snapshot.shards = db.coordinator().ShardInfos();
+  snapshot.executor = db.executor_service().stats();
   snapshot.match_graph = db.coordinator().RenderGraph();
   return snapshot;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "server/youtopia.h"
+#include "service/executor_service.h"
 
 namespace youtopia {
 
@@ -26,6 +27,9 @@ struct AdminSnapshot {
   /// Per-shard breakdown of the coordinator's pending pool and
   /// counters; the shard-attributable counters sum to `stats`.
   std::vector<Coordinator::ShardInfo> shards;
+  /// Executor-service counters: queue depth, tasks executed, conflict
+  /// requeues, worker utilization.
+  ExecutorService::Stats executor;
   std::string match_graph;
 
   /// Full multi-section text rendering for the admin console.

@@ -1,7 +1,8 @@
 #include "server/client.h"
 
 #include <algorithm>
-#include <thread>
+
+#include "common/backoff.h"
 
 namespace youtopia {
 
@@ -11,91 +12,97 @@ void Client::Record(const std::string& sql) {
   history_.push_back(sql);
 }
 
-void Client::PruneLocked() {
+void Client::OutstandingSet::PruneLocked() {
   // Amortized prune: long-lived shared clients (middle tiers, load
   // drivers) submit unboundedly many queries, so retained handles must
   // track what is genuinely outstanding, not total submissions.
-  if (outstanding_.size() < prune_watermark_) return;
-  outstanding_.erase(
-      std::remove_if(outstanding_.begin(), outstanding_.end(),
+  if (handles.size() < prune_watermark) return;
+  handles.erase(
+      std::remove_if(handles.begin(), handles.end(),
                      [](const EntangledHandle& h) { return h.Done(); }),
-      outstanding_.end());
-  prune_watermark_ = std::max<size_t>(16, outstanding_.size() * 2);
+      handles.end());
+  prune_watermark = std::max<size_t>(16, handles.size() * 2);
 }
 
-void Client::Track(const EntangledHandle& handle) {
-  std::lock_guard<std::mutex> lock(mu_);
+void Client::OutstandingSet::Track(const EntangledHandle& handle) {
+  std::lock_guard<std::mutex> lock(mu);
   PruneLocked();
-  outstanding_.push_back(handle);
+  handles.push_back(handle);
 }
 
-void Client::TrackAll(const std::vector<EntangledHandle>& handles) {
-  std::lock_guard<std::mutex> lock(mu_);
+void Client::OutstandingSet::TrackAll(
+    const std::vector<EntangledHandle>& tracked) {
+  std::lock_guard<std::mutex> lock(mu);
   PruneLocked();
-  for (const EntangledHandle& handle : handles) {
-    if (!handle.Done()) outstanding_.push_back(handle);
+  for (const EntangledHandle& handle : tracked) {
+    if (!handle.Done()) handles.push_back(handle);
   }
+}
+
+std::vector<EntangledHandle> Client::OutstandingSet::Snapshot() {
+  std::lock_guard<std::mutex> lock(mu);
+  handles.erase(
+      std::remove_if(handles.begin(), handles.end(),
+                     [](const EntangledHandle& h) { return h.Done(); }),
+      handles.end());
+  return handles;
 }
 
 std::chrono::milliseconds LockRetryPause(const ClientOptions& options,
                                          size_t completed_attempts) {
-  const auto pause =
-      std::max(options.retry_interval, std::chrono::milliseconds(1));
-  // The cap never clamps below the configured initial interval: a
-  // caller asking for 500ms between retries gets at least 500ms even
-  // with a smaller retry_max_interval.
-  const auto cap = std::max(options.retry_max_interval, pause);
-  auto backoff = pause;
-  for (size_t i = 0; i < completed_attempts && backoff < cap; ++i) {
-    backoff *= 2;
-  }
-  return std::min(backoff, cap);
+  return ExponentialBackoff(options.retry_interval, options.retry_max_interval,
+                            completed_attempts);
 }
 
-namespace {
-
-/// Continues retrying after `result` failed with a lock conflict
-/// (kTimedOut), backing off per LockRetryPause between attempts and
-/// never sleeping past the statement deadline.
-template <typename T, typename Fn>
-Result<T> RetryAfterLockTimeout(const ClientOptions& options, Result<T> result,
-                                Fn attempt) {
-  if (options.statement_timeout.count() <= 0) return result;
-  const auto deadline =
-      std::chrono::steady_clock::now() + options.statement_timeout;
-  size_t attempts = 0;
-  while (!result.ok() && result.status().code() == StatusCode::kTimedOut) {
-    const auto now = std::chrono::steady_clock::now();
-    if (now >= deadline) break;
-    const auto remaining =
-        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
-    std::this_thread::sleep_for(
-        std::min(LockRetryPause(options, attempts), remaining));
-    ++attempts;
-    result = attempt();
-  }
-  return result;
+StatementTask Client::MakeTask(StatementTask::Kind kind,
+                               const std::string& sql) {
+  StatementTask task;
+  task.sql = sql;
+  task.owner = options_.owner;
+  task.session = session_id_;
+  task.kind = kind;
+  task.statement_timeout = options_.statement_timeout;
+  task.retry_interval = options_.retry_interval;
+  task.retry_max_interval = options_.retry_max_interval;
+  return task;
 }
 
-/// Runs `attempt` and, when the statement timeout is set, retries
-/// lock-conflict failures with exponential backoff until the deadline.
-template <typename T, typename Fn>
-Result<T> RetryOnLockTimeout(const ClientOptions& options, Fn attempt) {
-  Result<T> result = attempt();
-  return RetryAfterLockTimeout<T>(options, std::move(result), attempt);
+std::future<Result<QueryResult>> Client::ExecuteAsync(const std::string& sql) {
+  Record(sql);
+  auto promise = std::make_shared<std::promise<Result<QueryResult>>>();
+  auto future = promise->get_future();
+  StatementTask task = MakeTask(StatementTask::Kind::kExecute, sql);
+  task.on_done = [promise](Result<RunOutcome> outcome) {
+    if (!outcome.ok()) {
+      promise->set_value(Result<QueryResult>(outcome.status()));
+    } else {
+      promise->set_value(Result<QueryResult>(std::move(outcome->result)));
+    }
+  };
+  Status admitted = db_->executor_service().Submit(std::move(task));
+  if (!admitted.ok()) promise->set_value(Result<QueryResult>(admitted));
+  return future;
 }
-
-}  // namespace
 
 Result<QueryResult> Client::Execute(const std::string& sql) {
+  return ExecuteAsync(sql).get();
+}
+
+std::future<Status> Client::ExecuteScriptAsync(const std::string& sql) {
   Record(sql);
-  return RetryOnLockTimeout<QueryResult>(
-      options_, [&] { return db_->Execute(sql); });
+  auto promise = std::make_shared<std::promise<Status>>();
+  auto future = promise->get_future();
+  StatementTask task = MakeTask(StatementTask::Kind::kScript, sql);
+  task.on_done = [promise](Result<RunOutcome> outcome) {
+    promise->set_value(outcome.status());
+  };
+  Status admitted = db_->executor_service().Submit(std::move(task));
+  if (!admitted.ok()) promise->set_value(admitted);
+  return future;
 }
 
 Status Client::ExecuteScript(const std::string& sql) {
-  Record(sql);
-  return db_->ExecuteScript(sql);
+  return ExecuteScriptAsync(sql).get();
 }
 
 Result<EntangledHandle> Client::Submit(const std::string& sql,
@@ -110,7 +117,7 @@ Result<EntangledHandle> Client::SubmitAs(const std::string& owner,
   auto handle = db_->Submit(sql, owner);
   if (!handle.ok()) return handle;
   if (on_complete) handle->OnComplete(std::move(on_complete));
-  if (!handle->Done()) Track(*handle);
+  if (!handle->Done()) outstanding_->Track(*handle);
   return handle;
 }
 
@@ -140,51 +147,38 @@ Result<std::vector<EntangledHandle>> Client::SubmitBatchAs(
   if (on_complete) {
     for (EntangledHandle& handle : *handles) handle.OnComplete(on_complete);
   }
-  TrackAll(*handles);
+  outstanding_->TrackAll(*handles);
   return handles;
 }
 
-namespace {
-
-/// True when `sql` parses as an entangled SELECT. Used to decide
-/// whether a timed-out Run may be re-issued: a regular statement that
-/// lost a lock conflict is side-effect free on failure, while an
-/// entangled submission must never be blindly re-submitted.
-bool IsEntangledStatement(const std::string& sql) {
-  auto stmt = Parser::ParseStatement(sql);
-  return stmt.ok() && stmt.value()->kind == StatementKind::kSelect &&
-         static_cast<const SelectStatement&>(*stmt.value()).IsEntangled();
+std::future<Result<RunOutcome>> Client::RunAsync(const std::string& sql) {
+  Record(sql);
+  auto promise = std::make_shared<std::promise<Result<RunOutcome>>>();
+  auto future = promise->get_future();
+  StatementTask task = MakeTask(StatementTask::Kind::kRun, sql);
+  // The continuation shares the tracking set (not `this`), so a
+  // Client destroyed while tasks are still in flight is safe.
+  auto outstanding = outstanding_;
+  task.on_done = [outstanding, promise](Result<RunOutcome> outcome) {
+    // Track before resolving the future, so Outstanding() already sees
+    // the handle when the caller's .get() returns.
+    if (outcome.ok() && outcome->entangled && outcome->handle.has_value() &&
+        !outcome->handle->Done()) {
+      outstanding->Track(*outcome->handle);
+    }
+    promise->set_value(std::move(outcome));
+  };
+  Status admitted = db_->executor_service().Submit(std::move(task));
+  if (!admitted.ok()) promise->set_value(Result<RunOutcome>(admitted));
+  return future;
 }
 
-}  // namespace
-
 Result<RunOutcome> Client::Run(const std::string& sql) {
-  Record(sql);
-  auto outcome = db_->Run(sql, options_.owner);
-  // Regular statements get the same lock-conflict retry as Execute; an
-  // entangled submission must never be blindly re-issued. The failed
-  // first attempt enters the backoff loop directly — no immediate
-  // second attempt without a pause.
-  if (!outcome.ok() && outcome.status().code() == StatusCode::kTimedOut &&
-      options_.statement_timeout.count() > 0 && !IsEntangledStatement(sql)) {
-    outcome = RetryAfterLockTimeout<RunOutcome>(
-        options_, std::move(outcome),
-        [&] { return db_->Run(sql, options_.owner); });
-  }
-  if (outcome.ok() && outcome->entangled && outcome->handle.has_value() &&
-      !outcome->handle->Done()) {
-    Track(*outcome->handle);
-  }
-  return outcome;
+  return RunAsync(sql).get();
 }
 
 std::vector<EntangledHandle> Client::Outstanding() {
-  std::lock_guard<std::mutex> lock(mu_);
-  outstanding_.erase(
-      std::remove_if(outstanding_.begin(), outstanding_.end(),
-                     [](const EntangledHandle& h) { return h.Done(); }),
-      outstanding_.end());
-  return outstanding_;
+  return outstanding_->Snapshot();
 }
 
 Status Client::WaitForAll(std::chrono::milliseconds timeout) {

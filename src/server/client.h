@@ -2,11 +2,13 @@
 #define YOUTOPIA_SERVER_CLIENT_H_
 
 #include <chrono>
+#include <future>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "server/youtopia.h"
+#include "service/executor_service.h"
 
 namespace youtopia {
 
@@ -24,10 +26,12 @@ struct ClientOptions {
   std::string owner;
 
   /// Upper bound on automatic retries of regular statements that lose
-  /// lock conflicts (kTimedOut from the lock manager). Zero means one
-  /// attempt, surfacing the conflict to the caller — the seed's
+  /// lock conflicts (kTimedOut from the lock manager). Zero means no
+  /// caller-requested retries, surfacing the conflict — the seed's
   /// behavior. Non-zero absorbs transient conflicts the way a driver's
-  /// statement timeout does.
+  /// statement timeout does. Carried into every `StatementTask` this
+  /// client submits, so the executor service paces its conflict
+  /// requeues by the same budget.
   std::chrono::milliseconds statement_timeout{0};
 
   /// Initial pause between lock-conflict retries. Each retry doubles
@@ -52,8 +56,11 @@ struct ClientOptions {
 /// clamped to [max(retry_interval, 1ms), max(retry_max_interval,
 /// retry_interval, 1ms)]. The 1ms floor is what keeps a zero
 /// retry_interval from degenerating into a busy spin on
-/// steady_clock::now(). Exposed so tests (and middle tiers that mirror
-/// the client's pacing) can check the schedule without racing clocks.
+/// steady_clock::now(). A thin wrapper over `ExponentialBackoff`
+/// (common/backoff.h) — the executor service's conflict requeues run
+/// the identical schedule. Exposed so tests (and middle tiers that
+/// mirror the client's pacing) can check the schedule without racing
+/// clocks.
 std::chrono::milliseconds LockRetryPause(const ClientOptions& options,
                                          size_t completed_attempts);
 
@@ -63,6 +70,20 @@ std::chrono::milliseconds LockRetryPause(const ClientOptions& options,
 /// connection; the underlying `Youtopia` is shared and thread-safe,
 /// the `Client` itself is thread-safe for tracking but intended to be
 /// driven like a connection: one logical caller at a time.
+///
+/// Execute / Run / ExecuteScript (and their async forms) flow through
+/// the engine's `ExecutorService` as `StatementTask`s tagged with this
+/// client's session id, so those statements execute in submission
+/// order while different clients' statements run in parallel across
+/// the pool. The synchronous methods are thin blocking wrappers over
+/// the async ones; with the default pool size of zero they execute
+/// inline in the calling thread — the seed's synchronous semantics.
+/// `Submit`/`SubmitBatch` are different: they register with the
+/// coordinator immediately (non-blocking, no queueing), so they are
+/// NOT ordered relative to still-queued async statements of the same
+/// client — an entangled submission that must observe a prior
+/// `ExecuteAsync` write should go through `RunAsync` (same FIFO
+/// domain) instead.
 ///
 /// Entangled submissions are non-blocking: they return an
 /// `EntangledHandle` immediately, and completion is consumed either by
@@ -84,14 +105,28 @@ class Client {
   Youtopia& db() { return *db_; }
   const Youtopia& db() const { return *db_; }
 
+  /// This client's FIFO domain in the executor service.
+  uint64_t session_id() const { return session_id_; }
+
   /// Executes one *regular* statement, retrying lock conflicts up to
   /// the statement timeout. Entangled statements are rejected with
   /// InvalidArgument (use Submit / SubmitBatch / Run).
   Result<QueryResult> Execute(const std::string& sql);
 
+  /// Async Execute: enqueues the statement on the executor service and
+  /// returns a future for its result. The calling thread is free as
+  /// soon as the task is admitted (backpressure: admission blocks while
+  /// the submission queue is full).
+  std::future<Result<QueryResult>> ExecuteAsync(const std::string& sql);
+
   /// Executes a ';'-separated batch of regular statements, discarding
-  /// results (schema/data setup scripts).
+  /// results (schema/data setup scripts). First failure stops the
+  /// script: earlier statements stay applied, later ones never run.
   Status ExecuteScript(const std::string& sql);
+
+  /// Async ExecuteScript; the whole script is one task, so it holds the
+  /// session's FIFO slot until it completes or fails.
+  std::future<Status> ExecuteScriptAsync(const std::string& sql);
 
   /// Submits one *entangled* query tagged with the client's owner.
   /// `on_complete` (optional) is registered on the handle before
@@ -127,6 +162,13 @@ class Client {
   /// Entangled handles are tagged with the client's owner and tracked.
   Result<RunOutcome> Run(const std::string& sql);
 
+  /// Async Run. The future resolves when the statement is processed:
+  /// for a regular statement with its result, for an entangled one as
+  /// soon as it is registered (the outcome carries the pending handle —
+  /// consume completion via handle.Wait or handle.OnComplete, exactly
+  /// as with the synchronous Run).
+  std::future<Result<RunOutcome>> RunAsync(const std::string& sql);
+
   /// Handles of this client's not-yet-answered entangled queries.
   /// Completed handles are pruned on each call.
   std::vector<EntangledHandle> Outstanding();
@@ -142,18 +184,36 @@ class Client {
   std::vector<std::string> History() const;
 
  private:
-  /// Drops completed handles from outstanding_ once it crosses the
-  /// watermark (amortized O(1) per Track). Caller holds mu_.
-  void PruneLocked();
-  void Track(const EntangledHandle& handle);
-  void TrackAll(const std::vector<EntangledHandle>& handles);
+  /// Outstanding-handle tracking, shared (via shared_ptr) with
+  /// in-flight async continuations so a continuation that runs after
+  /// the Client is destroyed touches valid memory and is simply
+  /// tracking for nobody.
+  struct OutstandingSet {
+    std::mutex mu;
+    std::vector<EntangledHandle> handles;
+    size_t prune_watermark = 16;
+
+    /// Drops completed handles once the set crosses the watermark
+    /// (amortized O(1) per Track). Caller holds mu.
+    void PruneLocked();
+    void Track(const EntangledHandle& handle);
+    void TrackAll(const std::vector<EntangledHandle>& handles);
+    /// Prunes and returns the still-pending handles.
+    std::vector<EntangledHandle> Snapshot();
+  };
+
+  /// A StatementTask carrying this client's session, owner and retry
+  /// policy.
+  StatementTask MakeTask(StatementTask::Kind kind, const std::string& sql);
+
   void Record(const std::string& sql);
 
   Youtopia* db_;
   ClientOptions options_;
+  const uint64_t session_id_ = ExecutorService::AllocateSessionId();
+  std::shared_ptr<OutstandingSet> outstanding_ =
+      std::make_shared<OutstandingSet>();
   mutable std::mutex mu_;
-  std::vector<EntangledHandle> outstanding_;
-  size_t prune_watermark_ = 16;
   std::vector<std::string> history_;
 };
 

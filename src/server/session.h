@@ -32,11 +32,25 @@ class Session {
 
   /// Runs any statement; entangled queries are tagged with this
   /// session's user and their handles retained (see Outstanding).
+  /// Delegates through the engine's executor service (via the client
+  /// façade), so one network thread can drive many sessions by using
+  /// the async forms and never blocking per statement.
   Result<RunOutcome> Run(const std::string& sql) { return client_.Run(sql); }
+
+  /// Async Run: the future resolves when the statement is processed
+  /// (for entangled queries, when the pending handle is registered).
+  std::future<Result<RunOutcome>> RunAsync(const std::string& sql) {
+    return client_.RunAsync(sql);
+  }
 
   /// Regular statement convenience.
   Result<QueryResult> Execute(const std::string& sql) {
     return client_.Execute(sql);
+  }
+
+  /// Async regular statement convenience.
+  std::future<Result<QueryResult>> ExecuteAsync(const std::string& sql) {
+    return client_.ExecuteAsync(sql);
   }
 
   /// Entangled submission convenience; `on_complete` (optional) fires

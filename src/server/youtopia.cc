@@ -1,39 +1,52 @@
 #include "server/youtopia.h"
 
+#include "service/executor_service.h"
 #include "sql/table_refs.h"
 
 namespace youtopia {
 
 namespace {
 
-/// Runs one regular statement under an auto-commit transaction that
-/// holds S locks on read tables and X locks on written tables for the
-/// statement's duration. This is what makes regular queries observe
-/// coordination installs atomically (reservations appear group-at-a-
-/// time, never half a pair). Lock-wait timeouts are surfaced as
-/// kTimedOut; callers may retry.
+/// The acquire-locks + execute stages for one regular statement, under
+/// an auto-commit transaction that holds S locks on read tables and X
+/// locks on written tables for the statement's duration. This is what
+/// makes regular queries observe coordination installs atomically
+/// (reservations appear group-at-a-time, never half a pair).
+///
+/// `LockWait::kBlock` waits inside the lock manager (surfacing
+/// kTimedOut after its deadline — possible deadlock); `LockWait::kTry`
+/// fails the acquire stage immediately on conflict so a pool worker can
+/// requeue the statement instead of sleeping. Either way a failed
+/// acquire aborts the transaction, so no locks leak and the statement
+/// has no side effects — it is safe to re-drive.
 Result<QueryResult> ExecuteLocked(Executor* executor, TxnManager* txns,
-                                  const Statement& stmt) {
-  const TableRefs refs = CollectTableRefs(stmt);
+                                  const Statement& stmt, const TableRefs& refs,
+                                  LockWait lock_wait, bool* lock_conflict) {
   auto txn = txns->Begin();
+  auto acquire = [&](const std::string& table, LockMode mode) {
+    return lock_wait == LockWait::kBlock
+               ? txns->lock_manager().Acquire(txn->id(), table, mode)
+               : txns->lock_manager().TryAcquire(txn->id(), table, mode);
+  };
+  auto acquire_failed = [&](Status s) {
+    // Nothing has executed: aborting releases the partial lock set and
+    // leaves the statement safe to re-drive.
+    (void)txns->Abort(txn.get());
+    if (lock_conflict != nullptr && s.code() == StatusCode::kTimedOut) {
+      *lock_conflict = true;
+    }
+    return s;
+  };
   // std::set iteration is sorted, giving a global acquisition order
   // that avoids lock-order deadlocks between regular statements.
   for (const std::string& table : refs.writes) {
-    Status s = txns->lock_manager().Acquire(txn->id(), table,
-                                            LockMode::kExclusive);
-    if (!s.ok()) {
-      (void)txns->Abort(txn.get());
-      return s;
-    }
+    Status s = acquire(table, LockMode::kExclusive);
+    if (!s.ok()) return acquire_failed(std::move(s));
   }
   for (const std::string& table : refs.reads) {
     if (refs.writes.count(table) > 0) continue;
-    Status s =
-        txns->lock_manager().Acquire(txn->id(), table, LockMode::kShared);
-    if (!s.ok()) {
-      (void)txns->Abort(txn.get());
-      return s;
-    }
+    Status s = acquire(table, LockMode::kShared);
+    if (!s.ok()) return acquire_failed(std::move(s));
   }
   auto result = executor->Execute(stmt);
   // The executor applied changes directly to storage; the transaction
@@ -48,14 +61,46 @@ Youtopia::Youtopia(YoutopiaConfig config)
     : config_(config),
       executor_(&storage_),
       txn_manager_(&storage_),
-      coordinator_(&storage_, &txn_manager_, config.coordinator) {}
+      coordinator_(&storage_, &txn_manager_, config.coordinator),
+      executor_service_(
+          std::make_unique<ExecutorService>(this, config.executor)) {}
 
-Result<QueryResult> Youtopia::ExecuteRegular(const Statement& stmt) {
-  auto result = ExecuteLocked(&executor_, &txn_manager_, stmt);
+Youtopia::~Youtopia() = default;
+
+PreparedStatement Youtopia::PrepareParsed(StatementPtr stmt,
+                                          std::string sql) const {
+  PreparedStatement prepared;
+  prepared.stmt = std::shared_ptr<const Statement>(std::move(stmt));
+  prepared.refs = CollectTableRefs(*prepared.stmt);
+  prepared.entangled =
+      prepared.stmt->kind == StatementKind::kSelect &&
+      static_cast<const SelectStatement&>(*prepared.stmt).IsEntangled();
+  prepared.sql = std::move(sql);
+  return prepared;
+}
+
+Result<PreparedStatement> Youtopia::Prepare(const std::string& sql) const {
+  auto stmt = Parser::ParseStatement(sql);
+  if (!stmt.ok()) return stmt.status();
+  return PrepareParsed(std::move(stmt.value()), sql);
+}
+
+Result<QueryResult> Youtopia::ExecutePrepared(const PreparedStatement& prepared,
+                                              LockWait lock_wait,
+                                              bool* lock_conflict) {
+  if (prepared.stmt == nullptr) {
+    return Status::InvalidArgument("empty prepared statement");
+  }
+  if (prepared.entangled) {
+    return Status::InvalidArgument(
+        "entangled query submitted to Execute(); use Submit() or Run()");
+  }
+  auto result = ExecuteLocked(&executor_, &txn_manager_, *prepared.stmt,
+                              prepared.refs, lock_wait, lock_conflict);
   if (!result.ok()) return result;
   if (config_.retrigger_on_dml && result->affected_rows > 0 &&
       coordinator_.pending_count() > 0) {
-    for (const std::string& table : CollectTableRefs(stmt).writes) {
+    for (const std::string& table : prepared.refs.writes) {
       auto retriggered = coordinator_.RetriggerDependentsOf(table);
       if (!retriggered.ok()) return retriggered.status();
     }
@@ -63,22 +108,34 @@ Result<QueryResult> Youtopia::ExecuteRegular(const Statement& stmt) {
   return result;
 }
 
-Result<QueryResult> Youtopia::Execute(const std::string& sql) {
-  auto stmt = Parser::ParseStatement(sql);
-  if (!stmt.ok()) return stmt.status();
-  if (stmt.value()->kind == StatementKind::kSelect &&
-      static_cast<const SelectStatement&>(*stmt.value()).IsEntangled()) {
-    return Status::InvalidArgument(
-        "entangled query submitted to Execute(); use Submit() or Run()");
+Result<EntangledHandle> Youtopia::SubmitPrepared(
+    const PreparedStatement& prepared, const std::string& owner) {
+  if (prepared.stmt == nullptr) {
+    return Status::InvalidArgument("empty prepared statement");
   }
-  return ExecuteRegular(*stmt.value());
+  if (!prepared.entangled || prepared.stmt->kind != StatementKind::kSelect) {
+    return Status::InvalidArgument("not an entangled SELECT statement");
+  }
+  const auto& select = static_cast<const SelectStatement&>(*prepared.stmt);
+  auto query = Normalizer::Normalize(select, /*id=*/0, owner, prepared.sql);
+  if (!query.ok()) return query.status();
+  return coordinator_.Submit(query.TakeValue());
+}
+
+Result<QueryResult> Youtopia::Execute(const std::string& sql) {
+  auto prepared = Prepare(sql);
+  if (!prepared.ok()) return prepared.status();
+  return ExecutePrepared(*prepared, LockWait::kBlock);
 }
 
 Status Youtopia::ExecuteScript(const std::string& sql) {
   auto stmts = Parser::ParseScript(sql);
   if (!stmts.ok()) return stmts.status();
-  for (const auto& stmt : *stmts) {
-    auto result = ExecuteRegular(*stmt);
+  // The same staged path the executor service's script tasks use, so
+  // the two cannot diverge (entangled statements are rejected with the
+  // same error, partial-execution semantics are identical).
+  for (auto& stmt : *stmts) {
+    auto result = ExecutePrepared(PrepareParsed(std::move(stmt), sql));
     if (!result.ok()) return result.status();
   }
   return Status::OK();
@@ -126,21 +183,17 @@ Result<std::vector<EntangledHandle>> Youtopia::SubmitBatch(
 
 Result<RunOutcome> Youtopia::Run(const std::string& sql,
                                  const std::string& owner) {
-  auto stmt = Parser::ParseStatement(sql);
-  if (!stmt.ok()) return stmt.status();
+  auto prepared = Prepare(sql);
+  if (!prepared.ok()) return prepared.status();
   RunOutcome outcome;
-  if (stmt.value()->kind == StatementKind::kSelect &&
-      static_cast<const SelectStatement&>(*stmt.value()).IsEntangled()) {
-    const auto& select = static_cast<const SelectStatement&>(*stmt.value());
-    auto query = Normalizer::Normalize(select, /*id=*/0, owner, sql);
-    if (!query.ok()) return query.status();
-    auto handle = coordinator_.Submit(query.TakeValue());
+  if (prepared->entangled) {
+    auto handle = SubmitPrepared(*prepared, owner);
     if (!handle.ok()) return handle.status();
     outcome.entangled = true;
     outcome.handle = handle.TakeValue();
     return outcome;
   }
-  auto result = ExecuteRegular(*stmt.value());
+  auto result = ExecutePrepared(*prepared, LockWait::kBlock);
   if (!result.ok()) return result.status();
   outcome.result = result.TakeValue();
   return outcome;

@@ -10,11 +10,15 @@
 #include "entangle/coordinator.h"
 #include "entangle/normalizer.h"
 #include "exec/executor.h"
+#include "service/executor_config.h"
 #include "sql/parser.h"
+#include "sql/table_refs.h"
 #include "storage/storage_engine.h"
 #include "txn/txn_manager.h"
 
 namespace youtopia {
+
+class ExecutorService;
 
 /// Whole-system configuration.
 struct YoutopiaConfig {
@@ -24,6 +28,10 @@ struct YoutopiaConfig {
   /// the paper's "waits for an opportunity to retry" without manual
   /// RetriggerAll calls.
   bool retrigger_on_dml = true;
+  /// The submission queue + worker pool under the statement path. The
+  /// default (num_workers = 0) executes every submission inline in the
+  /// submitting thread — the seed's synchronous behavior.
+  ExecutorServiceConfig executor;
 };
 
 /// Outcome of running one SQL string that may be regular or entangled.
@@ -35,17 +43,51 @@ struct RunOutcome {
   std::optional<EntangledHandle> handle;
 };
 
+/// A statement after the parse and plan stages of the pipeline: the AST
+/// plus its lock footprint and routing decision (regular vs entangled).
+/// Copyable (the AST is shared) so the executor service can hold one
+/// across conflict requeues without re-parsing per attempt.
+struct PreparedStatement {
+  std::shared_ptr<const Statement> stmt;
+  /// Lock footprint: `writes` locked exclusive, `reads` shared.
+  TableRefs refs;
+  /// True for entangled SELECTs — routed to the coordinator, not the
+  /// execution engine.
+  bool entangled = false;
+  /// Original text (normalizer input, diagnostics, history).
+  std::string sql;
+};
+
+/// How the acquire-locks stage of `ExecutePrepared` waits on conflicts.
+enum class LockWait {
+  /// Block inside the lock manager up to its wait timeout (seed
+  /// behavior; what inline execution and direct callers use).
+  kBlock,
+  /// Fail the stage immediately with kTimedOut so the caller can
+  /// requeue the statement — the executor service's workers use this;
+  /// a pool thread never sleeps holding no locks.
+  kTry,
+};
+
 /// The embedded Youtopia database system — the top of the architecture
 /// in Figure 2 of the paper. One object owns the storage engine, the
-/// execution engine, the transaction manager and the coordination
-/// component; sessions (threads) share it.
+/// execution engine, the transaction manager, the coordination
+/// component and the executor service; sessions (threads) share it.
 ///
 /// Regular SQL goes to the execution engine; entangled queries (SELECT
 /// ... INTO ANSWER ...) are compiled to the coordination IR and
 /// registered with the coordinator, returning a waitable handle.
+///
+/// The statement path is staged — parse (`Prepare`) → plan (lock
+/// footprint, routing) → acquire locks → execute (`ExecutePrepared` /
+/// `SubmitPrepared`) — so the executor service can run each stage from
+/// a pool worker and release the worker between stages (conflict
+/// requeue, entangled parking). The synchronous methods below are thin
+/// compositions of the same stages.
 class Youtopia {
  public:
   explicit Youtopia(YoutopiaConfig config = {});
+  ~Youtopia();
 
   Youtopia(const Youtopia&) = delete;
   Youtopia& operator=(const Youtopia&) = delete;
@@ -55,7 +97,9 @@ class Youtopia {
   Result<QueryResult> Execute(const std::string& sql);
 
   /// Executes a ';'-separated batch of regular statements, discarding
-  /// results (schema/data setup scripts).
+  /// results (schema/data setup scripts). Partial-execution semantics:
+  /// statements run in order and the first failure stops the script —
+  /// everything before it stays applied, nothing after it runs.
   Status ExecuteScript(const std::string& sql);
 
   /// Submits one *entangled* query. `owner` tags the query for the
@@ -78,6 +122,40 @@ class Youtopia {
   Result<RunOutcome> Run(const std::string& sql,
                          const std::string& owner = "");
 
+  // ------------------------------------------------------------------
+  // Staged statement path (what the executor service's workers drive).
+
+  /// Parse + plan: builds the AST, collects the lock footprint and
+  /// routes the statement (regular vs entangled). Pure — touches no
+  /// locks, no storage.
+  Result<PreparedStatement> Prepare(const std::string& sql) const;
+
+  /// The plan stage alone, for an already-parsed statement: lock
+  /// footprint + routing. The single implementation behind Prepare,
+  /// ExecuteScript and the executor service's script preparation, so
+  /// the routing rule lives in exactly one place.
+  PreparedStatement PrepareParsed(StatementPtr stmt, std::string sql) const;
+
+  /// Acquire-locks + execute stages for a *regular* prepared statement:
+  /// takes the footprint's table locks (per `lock_wait`), runs the
+  /// execution engine, commits, then retriggers dependent pending
+  /// coordinations (when configured). When the acquire stage loses —
+  /// and only then — `lock_conflict` (optional) is set true; at that
+  /// point no locks are held and nothing has executed, so the
+  /// statement is safe to re-drive. A kTimedOut without the flag came
+  /// from after execution (e.g. the retrigger path) and must NOT be
+  /// re-driven blindly.
+  Result<QueryResult> ExecutePrepared(const PreparedStatement& prepared,
+                                      LockWait lock_wait = LockWait::kBlock,
+                                      bool* lock_conflict = nullptr);
+
+  /// Normalize + register stage for an *entangled* prepared statement:
+  /// compiles to the coordination IR and submits to the coordinator.
+  /// Non-blocking — completion is consumed via the returned handle
+  /// (Wait or OnComplete).
+  Result<EntangledHandle> SubmitPrepared(const PreparedStatement& prepared,
+                                         const std::string& owner);
+
   StorageEngine& storage() { return storage_; }
   const StorageEngine& storage() const { return storage_; }
   Executor& executor() { return executor_; }
@@ -85,16 +163,23 @@ class Youtopia {
   Coordinator& coordinator() { return coordinator_; }
   const Coordinator& coordinator() const { return coordinator_; }
 
- private:
-  /// Runs a regular statement under table locks, then (for DML, when
-  /// configured) retriggers pending queries reading the written tables.
-  Result<QueryResult> ExecuteRegular(const Statement& stmt);
+  /// The submission queue + worker pool driving the statement path.
+  /// Always present; with `num_workers = 0` it executes submissions
+  /// inline (seed synchronous semantics).
+  ExecutorService& executor_service() { return *executor_service_; }
+  const ExecutorService& executor_service() const {
+    return *executor_service_;
+  }
 
+ private:
   YoutopiaConfig config_;
   StorageEngine storage_;
   Executor executor_;
   TxnManager txn_manager_;
   Coordinator coordinator_;
+  /// Declared last: constructed after (and destroyed before) every
+  /// component its workers drive.
+  std::unique_ptr<ExecutorService> executor_service_;
 };
 
 }  // namespace youtopia

@@ -1,0 +1,38 @@
+#ifndef YOUTOPIA_SERVICE_EXECUTOR_CONFIG_H_
+#define YOUTOPIA_SERVICE_EXECUTOR_CONFIG_H_
+
+#include <chrono>
+#include <cstddef>
+
+namespace youtopia {
+
+/// Configuration of the `ExecutorService` — the submission queue and
+/// worker pool that drive the statement path. Kept in its own header so
+/// `YoutopiaConfig` can embed it without pulling the service (which
+/// depends on the whole server layer) into every translation unit.
+struct ExecutorServiceConfig {
+  /// Worker threads draining the submission queue. 0 (the default)
+  /// means no pool: submissions execute inline in the submitting
+  /// thread with blocking lock waits — exactly the seed's synchronous
+  /// statement path.
+  size_t num_workers = 0;
+
+  /// Upper bound on tasks admitted but not yet completed (queued,
+  /// requeued on a lock conflict, or executing). `Submit` blocks for
+  /// space — backpressure toward producers — while `TrySubmit` rejects.
+  /// Ignored in inline mode (a submission is executed before `Submit`
+  /// returns, so the queue never holds anything).
+  size_t queue_capacity = 1024;
+
+  /// Conflict-requeue budget applied to tasks that do not carry their
+  /// own statement timeout: a worker whose try-lock loses keeps
+  /// requeuing (with exponential backoff) until the task has been
+  /// conflicting for this long, then fails it with kTimedOut. Chosen to
+  /// match the lock manager's blocking-wait default, so pool execution
+  /// fails no earlier than seed inline execution did.
+  std::chrono::milliseconds default_statement_timeout{500};
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_SERVICE_EXECUTOR_CONFIG_H_

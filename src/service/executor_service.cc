@@ -1,0 +1,425 @@
+#include "service/executor_service.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/backoff.h"
+
+namespace youtopia {
+
+namespace {
+
+uint64_t NowMicrosSince(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+}  // namespace
+
+double ExecutorService::Stats::WorkerUtilization() const {
+  if (workers == 0 || uptime_micros == 0) return 0.0;
+  const double denom =
+      static_cast<double>(workers) * static_cast<double>(uptime_micros);
+  return std::min(1.0, static_cast<double>(busy_micros) / denom);
+}
+
+uint64_t ExecutorService::AllocateSessionId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+ExecutorService::ExecutorService(Youtopia* db, ExecutorServiceConfig config)
+    : db_(db),
+      config_(config),
+      started_at_(std::chrono::steady_clock::now()) {
+  stats_.workers = config_.num_workers;
+  workers_.reserve(config_.num_workers);
+  for (size_t i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ExecutorService::~ExecutorService() { Shutdown(); }
+
+void ExecutorService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    work_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+Status ExecutorService::Submit(StatementTask task) {
+  if (config_.num_workers == 0) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return Status::Aborted("executor service shut down");
+      ++stats_.submitted;
+      // Count the inline execution as in-flight so Drain's contract —
+      // every admitted task finished — holds with concurrent
+      // submitting threads too.
+      ++stats_.queue_depth;
+      stats_.peak_queue_depth =
+          std::max(stats_.peak_queue_depth, stats_.queue_depth);
+      ++stats_.executing;
+    }
+    RunInline(TaskState{std::move(task)});
+    return Status::OK();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  space_cv_.wait(lock, [this] {
+    return stopping_ || stats_.queue_depth < config_.queue_capacity;
+  });
+  if (stopping_) return Status::Aborted("executor service shut down");
+  EnqueueLocked(std::move(task));
+  return Status::OK();
+}
+
+Status ExecutorService::TrySubmit(StatementTask task) {
+  if (config_.num_workers == 0) return Submit(std::move(task));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) return Status::Aborted("executor service shut down");
+  if (stats_.queue_depth >= config_.queue_capacity) {
+    ++stats_.rejected;
+    return Status::TimedOut("submission queue full");
+  }
+  EnqueueLocked(std::move(task));
+  return Status::OK();
+}
+
+std::future<Result<RunOutcome>> ExecutorService::SubmitWithFuture(
+    StatementTask task) {
+  auto promise = std::make_shared<std::promise<Result<RunOutcome>>>();
+  auto future = promise->get_future();
+  task.on_done = [promise](Result<RunOutcome> outcome) {
+    promise->set_value(std::move(outcome));
+  };
+  Status admitted = Submit(std::move(task));
+  if (!admitted.ok()) {
+    // The task never entered the queue; deliver the rejection through
+    // the same channel the caller is already watching.
+    promise->set_value(Result<RunOutcome>(admitted));
+  }
+  return future;
+}
+
+Status ExecutorService::Drain(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool drained = space_cv_.wait_for(
+      lock, timeout, [this] { return stats_.queue_depth == 0; });
+  return drained ? Status::OK()
+                 : Status::TimedOut("executor queue not drained in time");
+}
+
+ExecutorService::Stats ExecutorService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats snapshot = stats_;
+  snapshot.uptime_micros = NowMicrosSince(started_at_);
+  return snapshot;
+}
+
+void ExecutorService::EnqueueLocked(StatementTask task) {
+  ++stats_.submitted;
+  ++stats_.queue_depth;
+  stats_.peak_queue_depth =
+      std::max(stats_.peak_queue_depth, stats_.queue_depth);
+  const uint64_t session = task.session;
+  SessionState& state = sessions_[session];
+  state.tasks.push_back(TaskState{std::move(task)});
+  if (!state.scheduled && !state.delayed) {
+    state.scheduled = true;
+    ready_.push_back(session);
+    work_cv_.notify_one();
+  }
+}
+
+void ExecutorService::PromoteDueLocked(
+    std::chrono::steady_clock::time_point now) {
+  while (!delayed_.empty() && delayed_.top().wake <= now) {
+    const uint64_t session = delayed_.top().session;
+    delayed_.pop();
+    auto it = sessions_.find(session);
+    if (it == sessions_.end() || !it->second.delayed) continue;
+    it->second.delayed = false;
+    it->second.scheduled = true;
+    ready_.push_back(session);
+  }
+}
+
+void ExecutorService::FinishTaskLocked(uint64_t session) {
+  ++stats_.executed;
+  --stats_.queue_depth;
+  auto it = sessions_.find(session);
+  if (it != sessions_.end()) {
+    SessionState& state = it->second;
+    state.scheduled = false;
+    if (state.tasks.empty()) {
+      sessions_.erase(it);
+    } else {
+      state.scheduled = true;
+      ready_.push_back(session);
+      work_cv_.notify_one();
+    }
+  }
+  space_cv_.notify_all();
+  if (stopping_ && stats_.queue_depth == 0) work_cv_.notify_all();
+}
+
+void ExecutorService::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    uint64_t session = 0;
+    while (true) {
+      PromoteDueLocked(std::chrono::steady_clock::now());
+      if (!ready_.empty()) {
+        session = ready_.front();
+        ready_.pop_front();
+        break;
+      }
+      if (stopping_ && stats_.queue_depth == 0) return;
+      if (!delayed_.empty()) {
+        work_cv_.wait_until(lock, delayed_.top().wake);
+      } else {
+        work_cv_.wait(lock);
+      }
+    }
+    // The session stays `scheduled` while its front task executes, so
+    // no other worker can touch it — per-session FIFO by construction.
+    SessionState& state = sessions_[session];
+    TaskState ts = std::move(state.tasks.front());
+    state.tasks.pop_front();
+    ++stats_.executing;
+    lock.unlock();
+
+    const auto exec_start = std::chrono::steady_clock::now();
+    AttemptOutcome out = Attempt(&ts, LockWait::kTry);
+    const uint64_t exec_micros = NowMicrosSince(exec_start);
+
+    if (out.kind == AttemptOutcome::Kind::kConflict) {
+      const auto now = std::chrono::steady_clock::now();
+      if (!ts.deadline_armed) {
+        const auto budget = ts.task.statement_timeout.count() > 0
+                                ? ts.task.statement_timeout
+                                : config_.default_statement_timeout;
+        ts.conflict_deadline = now + budget;
+        ts.deadline_armed = true;
+      }
+      if (now >= ts.conflict_deadline) {
+        // Budget exhausted: surface the conflict as the blocking path
+        // would have after its own deadline.
+        out.kind = AttemptOutcome::Kind::kFinished;
+        out.result = Result<RunOutcome>(ts.last_conflict);
+      } else {
+        const auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                ts.conflict_deadline - now);
+        const auto pause = std::min(
+            ExponentialBackoff(ts.task.retry_interval,
+                               ts.task.retry_max_interval,
+                               ts.conflict_attempts),
+            std::max(remaining, std::chrono::milliseconds(1)));
+        ++ts.conflict_attempts;
+        lock.lock();
+        ++stats_.lock_requeues;
+        --stats_.executing;
+        stats_.busy_micros += exec_micros;
+        SessionState& s = sessions_[session];
+        // Front of the queue: the conflicted task retries before the
+        // session's next task — FIFO survives the requeue.
+        s.tasks.push_front(std::move(ts));
+        s.scheduled = false;
+        s.delayed = true;
+        delayed_.push(DelayedEntry{now + pause, session});
+        // The new wake time may be earlier than what sleeping workers
+        // are waiting for.
+        work_cv_.notify_one();
+        continue;
+      }
+    }
+
+    if (out.kind == AttemptOutcome::Kind::kFinished && ts.task.on_done) {
+      ts.task.on_done(std::move(*out.result));
+    }
+    lock.lock();
+    if (out.kind == AttemptOutcome::Kind::kParked) ++stats_.entangled_parked;
+    --stats_.executing;
+    stats_.busy_micros += exec_micros;
+    FinishTaskLocked(session);
+  }
+}
+
+ExecutorService::AttemptOutcome ExecutorService::Attempt(TaskState* ts,
+                                                         LockWait lock_wait) {
+  using Kind = StatementTask::Kind;
+  AttemptOutcome out;
+  StatementTask& task = ts->task;
+
+  if (task.kind == Kind::kScript) {
+    if (!ts->script_parsed) {
+      auto stmts = Parser::ParseScript(task.sql);
+      if (!stmts.ok()) {
+        out.result = Result<RunOutcome>(stmts.status());
+        return out;
+      }
+      ts->script.reserve(stmts->size());
+      for (auto& stmt : *stmts) {
+        // The engine's plan stage — one routing rule for every path.
+        ts->script.push_back(db_->PrepareParsed(std::move(stmt), task.sql));
+      }
+      ts->script_parsed = true;
+    }
+    // Partial-execution semantics: statements run in order, the first
+    // failure stops the script. A conflict requeues the task with
+    // `script_index` kept, so completed statements never re-run.
+    while (ts->script_index < ts->script.size()) {
+      bool lock_conflict = false;
+      auto result = db_->ExecutePrepared(ts->script[ts->script_index],
+                                         lock_wait, &lock_conflict);
+      ts->last_was_lock_conflict = lock_conflict;
+      if (!result.ok()) {
+        if (lock_conflict && lock_wait == LockWait::kTry) {
+          ts->last_conflict = result.status();
+          out.kind = AttemptOutcome::Kind::kConflict;
+          return out;
+        }
+        out.result = Result<RunOutcome>(result.status());
+        return out;
+      }
+      ++ts->script_index;
+      // Fresh statement, fresh conflict budget.
+      ts->conflict_attempts = 0;
+      ts->deadline_armed = false;
+    }
+    out.result = Result<RunOutcome>(RunOutcome{});
+    return out;
+  }
+
+  if (!ts->prepared.has_value()) {
+    auto prepared = db_->Prepare(task.sql);
+    if (!prepared.ok()) {
+      out.result = Result<RunOutcome>(prepared.status());
+      return out;
+    }
+    ts->prepared = prepared.TakeValue();
+  }
+  const PreparedStatement& prepared = *ts->prepared;
+
+  if (prepared.entangled) {
+    if (task.kind == Kind::kExecute) {
+      out.result = Result<RunOutcome>(Status::InvalidArgument(
+          "entangled query submitted to Execute(); use Submit() or Run()"));
+      return out;
+    }
+    auto handle = db_->SubmitPrepared(prepared, task.owner);
+    if (!handle.ok()) {
+      out.result = Result<RunOutcome>(handle.status());
+      return out;
+    }
+    if (task.wait_for_answer && task.on_done) {
+      // Park: the continuation rides the coordinator's completion
+      // callback instead of a worker. It fires from whichever thread
+      // eventually closes the group (or immediately, right here, when
+      // the submission itself closed one).
+      Completion on_done = std::move(task.on_done);
+      task.on_done = nullptr;
+      handle->OnComplete([on_done](const EntangledHandle& done) {
+        RunOutcome outcome;
+        outcome.entangled = true;
+        outcome.handle = done;
+        on_done(Result<RunOutcome>(std::move(outcome)));
+      });
+      out.kind = AttemptOutcome::Kind::kParked;
+      return out;
+    }
+    RunOutcome outcome;
+    outcome.entangled = true;
+    outcome.handle = handle.TakeValue();
+    out.result = Result<RunOutcome>(std::move(outcome));
+    return out;
+  }
+
+  bool lock_conflict = false;
+  auto result = db_->ExecutePrepared(prepared, lock_wait, &lock_conflict);
+  ts->last_was_lock_conflict = lock_conflict;
+  if (!result.ok()) {
+    if (lock_conflict && lock_wait == LockWait::kTry) {
+      ts->last_conflict = result.status();
+      out.kind = AttemptOutcome::Kind::kConflict;
+      return out;
+    }
+    out.result = Result<RunOutcome>(result.status());
+    return out;
+  }
+  RunOutcome outcome;
+  outcome.result = result.TakeValue();
+  out.result = Result<RunOutcome>(std::move(outcome));
+  return out;
+}
+
+void ExecutorService::RunInline(TaskState ts) {
+  while (true) {
+    const auto exec_start = std::chrono::steady_clock::now();
+    AttemptOutcome out = Attempt(&ts, LockWait::kBlock);
+    const uint64_t exec_micros = NowMicrosSince(exec_start);
+    if (out.kind == AttemptOutcome::Kind::kParked) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.executed;
+      ++stats_.entangled_parked;
+      --stats_.queue_depth;
+      --stats_.executing;
+      stats_.busy_micros += exec_micros;
+      space_cv_.notify_all();
+      return;
+    }
+    Result<RunOutcome>& result = *out.result;
+    // The blocking client retry loop, with one tightening: only
+    // *acquire-stage* lock conflicts retry (last_was_lock_conflict —
+    // the statement provably has no side effects yet). A kTimedOut
+    // from after execution (the retrigger path) or from an entangled
+    // submission is never re-driven — re-driving committed DML would
+    // double-execute it. The retry bookkeeping lives in the TaskState
+    // conflict fields, which Attempt resets per completed script
+    // statement — each statement gets its own budget, exactly like the
+    // worker path.
+    if (!result.ok() && result.status().code() == StatusCode::kTimedOut &&
+        ts.task.statement_timeout.count() > 0 && ts.last_was_lock_conflict) {
+      const auto now = std::chrono::steady_clock::now();
+      if (!ts.deadline_armed) {
+        ts.conflict_deadline = now + ts.task.statement_timeout;
+        ts.deadline_armed = true;
+      }
+      if (now < ts.conflict_deadline) {
+        const auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                ts.conflict_deadline - now);
+        std::this_thread::sleep_for(std::min(
+            ExponentialBackoff(ts.task.retry_interval,
+                               ts.task.retry_max_interval,
+                               ts.conflict_attempts),
+            remaining));
+        ++ts.conflict_attempts;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          stats_.busy_micros += exec_micros;
+        }
+        continue;
+      }
+    }
+    if (ts.task.on_done) ts.task.on_done(std::move(result));
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.executed;
+    --stats_.queue_depth;
+    --stats_.executing;
+    stats_.busy_micros += exec_micros;
+    space_cv_.notify_all();
+    return;
+  }
+}
+
+}  // namespace youtopia

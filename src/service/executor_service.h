@@ -1,0 +1,286 @@
+#ifndef YOUTOPIA_SERVICE_EXECUTOR_SERVICE_H_
+#define YOUTOPIA_SERVICE_EXECUTOR_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "server/youtopia.h"
+#include "service/executor_config.h"
+
+namespace youtopia {
+
+/// One statement handed to the executor service: sql + owner tag +
+/// session (the FIFO domain) + completion continuation. The middle-tier
+/// model of the paper in miniature — a network thread packages an end
+/// user's request as a task, submits it, and is free; completion is
+/// pushed through `on_done`.
+struct StatementTask {
+  /// Which synchronous entry point the task mirrors.
+  enum class Kind {
+    /// Auto-detect: regular statements execute, entangled SELECTs
+    /// register with the coordinator (Youtopia::Run).
+    kRun,
+    /// Regular only; entangled statements fail with InvalidArgument
+    /// (Youtopia::Execute).
+    kExecute,
+    /// ';'-separated batch of regular statements, first failure stops
+    /// the script (Youtopia::ExecuteScript). A mid-script lock conflict
+    /// requeues the task with its progress kept, so already-executed
+    /// statements never re-run.
+    kScript,
+  };
+
+  /// Fired exactly once per task, from a pool worker (or, for parked
+  /// entangled tasks, from whichever thread completes the coordination;
+  /// in inline mode, from the submitting thread). For regular
+  /// statements the argument carries the execution result; for
+  /// entangled statements it carries the handle — pending at delivery
+  /// unless `wait_for_answer` deferred delivery to coordination
+  /// completion. Runs with no service locks held, so it may submit
+  /// follow-up tasks; it should stay short, since its session's next
+  /// task is not dispatched until it returns.
+  using Completion = std::function<void(Result<RunOutcome>)>;
+
+  std::string sql;
+  /// Owner tag attached to entangled submissions.
+  std::string owner;
+  /// FIFO domain: tasks sharing a session id execute one at a time, in
+  /// submission order, regardless of pool size; tasks of different
+  /// sessions run in parallel. Use `AllocateSessionId` for a fresh
+  /// domain per logical connection.
+  uint64_t session = 0;
+  Kind kind = Kind::kRun;
+
+  /// Lock-conflict retry budget, mirroring ClientOptions: a statement
+  /// that loses a lock conflict is requeued (workers) or retried after
+  /// a sleep (inline) on the ExponentialBackoff schedule until this
+  /// much time has passed since its first conflict. <= 0 means no
+  /// caller-requested retries; pool workers then still get the
+  /// service's `default_statement_timeout` conflict budget, so a
+  /// try-lock pool is never flakier than the seed's blocking waits.
+  std::chrono::milliseconds statement_timeout{0};
+  std::chrono::milliseconds retry_interval{1};
+  std::chrono::milliseconds retry_max_interval{64};
+
+  /// Entangled statements only: defer `on_done` until the coordination
+  /// reaches a terminal state. The task is parked in the coordinator
+  /// via EntangledHandle::OnComplete — it holds no worker and does not
+  /// block its session's later tasks while waiting for partners.
+  bool wait_for_answer = false;
+
+  Completion on_done;
+};
+
+/// The executor service — a bounded multi-producer submission queue of
+/// `StatementTask`s drained by a worker pool, driving the whole
+/// statement path (design decision #5). This is the paper's middle-tier
+/// shape: a few server threads coordinate entangled work on behalf of
+/// many end users, instead of one caller thread per in-flight
+/// statement.
+///
+/// Ordering guarantee: per-session FIFO. Tasks that share a session id
+/// are executed serially in submission order (a requeued conflict
+/// retries before the session's next task runs); tasks of different
+/// sessions execute in parallel across workers. An entangled task
+/// occupies its session slot only until it is registered with the
+/// coordinator — its answer may arrive much later, and making later
+/// statements wait for it would deadlock symmetric coordinations.
+///
+/// Workers never sleep mid-statement: the acquire-locks stage uses the
+/// lock manager's try-lock surface, and a conflict releases the worker
+/// by requeuing the task with an exponential-backoff wake time (the
+/// same `ExponentialBackoff` schedule as the blocking client retry
+/// loop). Entangled waits park in the coordinator via OnComplete.
+///
+/// `num_workers = 0` (the default) keeps the seed's synchronous
+/// semantics exactly: `Submit` executes the task inline in the
+/// submitting thread with blocking lock waits and returns after the
+/// continuation has fired.
+class ExecutorService {
+ public:
+  using Completion = StatementTask::Completion;
+
+  /// Counters exposed to the admin snapshot and the workload report.
+  struct Stats {
+    /// Pool size (0 = inline mode).
+    size_t workers = 0;
+    /// Tasks admitted and not yet finished: waiting in session queues,
+    /// gated by a conflict backoff, or executing on a worker.
+    size_t queue_depth = 0;
+    size_t peak_queue_depth = 0;
+    /// Of queue_depth, tasks currently executing on a worker.
+    size_t executing = 0;
+    size_t submitted = 0;
+    /// Tasks that finished the pipeline (continuation fired or parked).
+    size_t executed = 0;
+    /// Conflict requeues: a worker's try-lock lost and the task went
+    /// back to the front of its session queue with a backoff gate.
+    size_t lock_requeues = 0;
+    /// Entangled tasks whose continuation was deferred to coordination
+    /// completion (wait_for_answer) — parked without holding a worker.
+    size_t entangled_parked = 0;
+    /// TrySubmit calls rejected on a full queue.
+    size_t rejected = 0;
+    /// Wall time workers (or inline submitters) spent executing tasks.
+    uint64_t busy_micros = 0;
+    /// Wall time since the service started.
+    uint64_t uptime_micros = 0;
+
+    /// Fraction of worker wall-time spent executing, in [0, 1];
+    /// 0 in inline mode.
+    double WorkerUtilization() const;
+  };
+
+  ExecutorService(Youtopia* db, ExecutorServiceConfig config);
+  ~ExecutorService();
+
+  ExecutorService(const ExecutorService&) = delete;
+  ExecutorService& operator=(const ExecutorService&) = delete;
+
+  /// Enqueues `task`. With workers, blocks while the queue is at
+  /// capacity (backpressure) and returns once the task is admitted;
+  /// kAborted after Shutdown. In inline mode, executes the task to
+  /// completion in the calling thread before returning.
+  Status Submit(StatementTask task);
+
+  /// Non-blocking Submit: kTimedOut when the queue is full (the caller
+  /// may retry — this is transient backpressure, not failure). Inline
+  /// mode never rejects.
+  Status TrySubmit(StatementTask task);
+
+  /// Submit with the continuation bridged to a future — the one-liner
+  /// async surface. Any `on_done` already set on `task` is replaced.
+  std::future<Result<RunOutcome>> SubmitWithFuture(StatementTask task);
+
+  /// Blocks until every admitted task has finished its pipeline
+  /// (parked entangled tasks count as finished — their coordinations
+  /// may still be pending) or `timeout` passes (kTimedOut).
+  Status Drain(std::chrono::milliseconds timeout);
+
+  /// Stops accepting tasks, drains everything already admitted
+  /// (conflict deadlines still apply, so shutdown is bounded) and joins
+  /// the workers. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  Stats stats() const;
+  const ExecutorServiceConfig& config() const { return config_; }
+  size_t num_workers() const { return config_.num_workers; }
+
+  /// Process-wide unique session id — a fresh FIFO domain.
+  static uint64_t AllocateSessionId();
+
+ private:
+  /// A queued task plus its execution state, kept across conflict
+  /// requeues so nothing is re-parsed or re-planned per attempt.
+  struct TaskState {
+    StatementTask task;
+    /// Parse + plan output (single-statement kinds), cached on first
+    /// execution.
+    std::optional<PreparedStatement> prepared;
+    /// kScript: all statements prepared up front; `script_index` is the
+    /// resume point after a mid-script requeue.
+    std::vector<PreparedStatement> script;
+    bool script_parsed = false;
+    size_t script_index = 0;
+    /// Conflict-retry bookkeeping for the statement currently being
+    /// driven (reset when a script statement completes).
+    size_t conflict_attempts = 0;
+    bool deadline_armed = false;
+    std::chrono::steady_clock::time_point conflict_deadline{};
+    Status last_conflict;
+    /// True iff the most recent ExecutePrepared failure was an
+    /// acquire-stage lock conflict (the lock_conflict out-flag). Gates
+    /// the inline retry loop: a kTimedOut from *after* execution (the
+    /// retrigger path) must never re-drive the statement — re-driving
+    /// would double-execute committed DML.
+    bool last_was_lock_conflict = false;
+  };
+
+  /// Outcome of driving a task as far as it can go in one pass.
+  struct AttemptOutcome {
+    enum class Kind {
+      kFinished,  ///< `result` is set; fire the continuation.
+      kParked,    ///< Continuation handed to the coordinator.
+      kConflict,  ///< kTry lock conflict; requeue (state in TaskState).
+    };
+    Kind kind = Kind::kFinished;
+    std::optional<Result<RunOutcome>> result;
+  };
+
+  /// One statement-pipeline pass over `ts` (parse → plan → acquire
+  /// locks → execute / register), resuming wherever the previous pass
+  /// stopped. Called with no service lock held.
+  AttemptOutcome Attempt(TaskState* ts, LockWait lock_wait);
+
+  /// Inline-mode execution: blocking locks, sleep-based conflict
+  /// retries per the task's own policy — the seed's synchronous
+  /// semantics.
+  void RunInline(TaskState ts);
+
+  void WorkerLoop();
+
+  /// Admits `task` into its session queue. Caller holds mu_.
+  void EnqueueLocked(StatementTask task);
+
+  /// Moves sessions whose backoff gate has passed onto the ready list.
+  /// Caller holds mu_.
+  void PromoteDueLocked(std::chrono::steady_clock::time_point now);
+
+  /// Books completion of the task a worker just finished and schedules
+  /// the session's next task if any. Caller holds mu_.
+  void FinishTaskLocked(uint64_t session);
+
+  Youtopia* db_;
+  const ExecutorServiceConfig config_;
+  const std::chrono::steady_clock::time_point started_at_;
+
+  mutable std::mutex mu_;
+  /// Wakes workers (new ready session, earlier backoff wake, shutdown).
+  std::condition_variable work_cv_;
+  /// Wakes producers blocked on capacity and Drain waiters.
+  std::condition_variable space_cv_;
+
+  /// Per-session FIFO queue. A session with queued tasks is in exactly
+  /// one of three states: on `ready_` or executing (`scheduled`), or
+  /// gated by a conflict backoff (`delayed`). Entries are erased when
+  /// their queue empties, so the map tracks live sessions only.
+  struct SessionState {
+    std::deque<TaskState> tasks;
+    bool scheduled = false;
+    bool delayed = false;
+  };
+  std::map<uint64_t, SessionState> sessions_;
+  std::deque<uint64_t> ready_;
+  /// Min-heap of backoff wake times for delayed sessions.
+  struct DelayedEntry {
+    std::chrono::steady_clock::time_point wake;
+    uint64_t session = 0;
+    bool operator>(const DelayedEntry& other) const {
+      return wake > other.wake;
+    }
+  };
+  std::priority_queue<DelayedEntry, std::vector<DelayedEntry>,
+                      std::greater<DelayedEntry>>
+      delayed_;
+
+  bool stopping_ = false;
+  Stats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_SERVICE_EXECUTOR_SERVICE_H_

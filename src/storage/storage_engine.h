@@ -2,7 +2,7 @@
 #define YOUTOPIA_STORAGE_STORAGE_ENGINE_H_
 
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -79,7 +79,14 @@ class StorageEngine {
   Result<const TableData*> FindTable(const std::string& name) const;
 
   Catalog catalog_;
-  mutable std::mutex tables_mu_;
+  /// Reader/writer latch over the table map and per-table index maps:
+  /// reads (Scan, Get, IndexLookup) take it shared so concurrent
+  /// sessions — and executor-pool workers — read in parallel; anything
+  /// that mutates a heap, an index or the map itself takes it
+  /// exclusive. Row-level consistency within one heap is additionally
+  /// guarded by HeapTable's own latch; this latch is what keeps the
+  /// index maps consistent with the heaps.
+  mutable std::shared_mutex tables_mu_;
   std::unordered_map<std::string, TableData> tables_;
 };
 

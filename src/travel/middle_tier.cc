@@ -115,6 +115,25 @@ Result<EntangledHandle> TravelService::SubmitRequest(
   return client_.SubmitAs(request.user, sql.value());
 }
 
+Status TravelService::SubmitRequestAsync(const TravelRequest& request,
+                                         uint64_t session,
+                                         ExecutorService::Completion on_done) {
+  YOUTOPIA_RETURN_IF_ERROR(
+      ValidateFriends(request.user, request.flight_companions));
+  YOUTOPIA_RETURN_IF_ERROR(
+      ValidateFriends(request.user, request.hotel_companions));
+  auto sql = BuildEntangledSql(request);
+  if (!sql.ok()) return sql.status();
+  StatementTask task;
+  task.sql = sql.TakeValue();
+  task.owner = request.user;
+  task.session = session;
+  task.kind = StatementTask::Kind::kRun;
+  task.wait_for_answer = true;
+  task.on_done = std::move(on_done);
+  return client_.db().executor_service().Submit(std::move(task));
+}
+
 Result<std::vector<EntangledHandle>> TravelService::SubmitGroupRequest(
     const std::vector<TravelRequest>& requests) {
   std::vector<std::string> owners;

@@ -63,6 +63,26 @@ class TravelService {
   /// Validates and submits a request; returns the coordination handle.
   Result<EntangledHandle> SubmitRequest(const TravelRequest& request);
 
+  /// Async form of SubmitRequest, the middle-tier model the executor
+  /// service enables: validates here, then packages the entangled SQL
+  /// as a `StatementTask` on `session` (a FIFO domain — one per end
+  /// user or per driver shard) and submits it to the engine's executor
+  /// service. `on_done` fires once the coordination reaches a terminal
+  /// state (parked via EntangledHandle::OnComplete — no worker and no
+  /// caller thread is held while the query waits for partners), or with
+  /// an error outcome if parsing/normalization/registration failed.
+  /// The returned status only reports admission (validation failures
+  /// and a shut-down service surface here).
+  ///
+  /// Ownership of completion differs from SubmitRequest: the handle is
+  /// delivered to `on_done` and is NOT tracked in the service's shared
+  /// client, so `Client::WaitForAll`/`CancelAll` do not cover
+  /// async-submitted coordinations — callers that need bulk
+  /// wait/cancel keep their own registry of handles (the workload
+  /// driver's CompletionTracker is the reference pattern).
+  Status SubmitRequestAsync(const TravelRequest& request, uint64_t session,
+                            ExecutorService::Completion on_done);
+
   /// Validates and submits a whole group's requests in one coordinator
   /// round (Client::SubmitBatch) — the friends-booking-together case.
   /// A complete group closes in that single round instead of N

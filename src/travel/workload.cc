@@ -1,5 +1,6 @@
 #include "travel/workload.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -14,12 +15,20 @@
 namespace youtopia::travel {
 
 std::string WorkloadReport::ToString() const {
-  return StringPrintf(
+  std::string out = StringPrintf(
       "submitted=%zu satisfied=%zu timed_out=%zu errors=%zu "
       "rounds(local=%zu, global=%zu) throughput=%.1f satisfied/s "
       "latency{%s}",
       submitted, satisfied, timed_out, errors, shard_rounds, global_rounds,
       SatisfiedPerSecond(), latency.ToString().c_str());
+  if (workers > 0) {
+    out += StringPrintf(
+        " executor{workers=%zu executed=%zu requeues=%zu peak_queue=%zu "
+        "utilization=%.1f%%}",
+        workers, tasks_executed, lock_requeues, peak_queue_depth,
+        worker_utilization * 100.0);
+  }
+  return out;
 }
 
 namespace {
@@ -112,49 +121,86 @@ Result<WorkloadReport> RunLoadedWorkload(Youtopia* db,
   std::atomic<size_t> errors{0};
   auto tracker = std::make_shared<CompletionTracker>();
 
+  // Shared completion accounting for both driving modes: `done` is the
+  // terminal handle of one coordination, or nullptr for a request that
+  // failed before registration (parse/normalize error) — counted as a
+  // failure. One function so the two modes can never drift.
+  auto account = [tracker](std::chrono::steady_clock::time_point submitted_at,
+                           const EntangledHandle* done) {
+    std::lock_guard<std::mutex> lock(tracker->mu);
+    if (tracker->closed) return;
+    const Status outcome =
+        done != nullptr ? done->Outcome().value_or(Status::OK())
+                        : Status::Aborted("failed before registration");
+    if (outcome.ok()) {
+      ++tracker->satisfied;
+      const auto end =
+          done->CompletedAt().value_or(std::chrono::steady_clock::now());
+      const auto micros =
+          std::chrono::duration_cast<std::chrono::microseconds>(end -
+                                                                submitted_at)
+              .count();
+      tracker->latency.Record(micros < 0 ? 0 : static_cast<uint64_t>(micros));
+    } else {
+      ++tracker->failed;
+    }
+    tracker->cv.notify_all();
+  };
+
+  ExecutorService& exec = db->executor_service();
+  const ExecutorService::Stats exec_before = exec.stats();
   const CoordinatorStats before = db->coordinator().stats();
   const auto start = std::chrono::steady_clock::now();
-  std::vector<std::thread> sessions;
-  sessions.reserve(config.sessions);
-  for (int s = 0; s < config.sessions; ++s) {
-    sessions.emplace_back([&, s] {
-      // Round-robin assignment of the shuffled plan. Completion is
-      // consumed through OnComplete callbacks registered at submission:
-      // no session thread ever parks in Wait per outstanding handle,
-      // which is what lets one driver thread field arbitrarily many
-      // in-flight coordinations.
-      for (size_t i = s; i < planned.size();
-           i += static_cast<size_t>(config.sessions)) {
-        const auto submitted_at = std::chrono::steady_clock::now();
-        auto handle = service.SubmitRequest(planned[i].request);
-        if (!handle.ok()) {
-          ++errors;
-          continue;
+
+  if (exec.num_workers() > 0) {
+    // Pool-driven mode: this one thread plays the middle tier's network
+    // thread. Each logical session is a FIFO domain in the executor
+    // service; the pool provides the parallelism, and every completion
+    // is a parked continuation — no thread anywhere waits per request.
+    std::vector<uint64_t> session_ids(config.sessions);
+    for (auto& id : session_ids) id = ExecutorService::AllocateSessionId();
+    for (size_t i = 0; i < planned.size(); ++i) {
+      const auto submitted_at = std::chrono::steady_clock::now();
+      Status admitted = service.SubmitRequestAsync(
+          planned[i].request,
+          session_ids[i % static_cast<size_t>(config.sessions)],
+          [account, submitted_at](Result<RunOutcome> outcome) {
+            const EntangledHandle* done =
+                outcome.ok() && outcome->handle.has_value()
+                    ? &*outcome->handle
+                    : nullptr;
+            account(submitted_at, done);
+          });
+      if (!admitted.ok()) ++errors;
+    }
+  } else {
+    // Inline mode: one OS thread per session submitting synchronously —
+    // the seed's model, kept as the num_workers == 0 baseline.
+    std::vector<std::thread> sessions;
+    sessions.reserve(config.sessions);
+    for (int s = 0; s < config.sessions; ++s) {
+      sessions.emplace_back([&, s] {
+        // Round-robin assignment of the shuffled plan. Completion is
+        // consumed through OnComplete callbacks registered at
+        // submission: no session thread ever parks in Wait per
+        // outstanding handle.
+        for (size_t i = s; i < planned.size();
+             i += static_cast<size_t>(config.sessions)) {
+          const auto submitted_at = std::chrono::steady_clock::now();
+          auto handle = service.SubmitRequest(planned[i].request);
+          if (!handle.ok()) {
+            ++errors;
+            continue;
+          }
+          handle->OnComplete([account, submitted_at](
+                                 const EntangledHandle& done) {
+            account(submitted_at, &done);
+          });
         }
-        handle->OnComplete(
-            [tracker, submitted_at](const EntangledHandle& done) {
-              std::lock_guard<std::mutex> lock(tracker->mu);
-              if (tracker->closed) return;
-              const Status outcome = done.Outcome().value_or(Status::OK());
-              if (outcome.ok()) {
-                ++tracker->satisfied;
-                const auto end = done.CompletedAt().value_or(
-                    std::chrono::steady_clock::now());
-                const auto micros =
-                    std::chrono::duration_cast<std::chrono::microseconds>(
-                        end - submitted_at)
-                        .count();
-                tracker->latency.Record(
-                    micros < 0 ? 0 : static_cast<uint64_t>(micros));
-              } else {
-                ++tracker->failed;
-              }
-              tracker->cv.notify_all();
-            });
-      }
-    });
+      });
+    }
+    for (auto& t : sessions) t.join();
   }
-  for (auto& t : sessions) t.join();
 
   // Event-driven tail: sleep until the callbacks have accounted for
   // every submission or the deadline passes.
@@ -179,6 +225,31 @@ Result<WorkloadReport> RunLoadedWorkload(Youtopia* db,
   const CoordinatorStats after = db->coordinator().stats();
   report.shard_rounds = after.shard_rounds - before.shard_rounds;
   report.global_rounds = after.global_rounds - before.global_rounds;
+  if (exec.num_workers() > 0) {
+    // The tracker can observe the last coordination (a parked
+    // continuation fires mid-registration) a hair before the worker
+    // books that task's completion; drain so the executor counters
+    // cover every task of the run.
+    (void)exec.Drain(config.deadline);
+  }
+  const ExecutorService::Stats exec_after = exec.stats();
+  report.workers = exec_after.workers;
+  report.tasks_executed = exec_after.executed - exec_before.executed;
+  report.lock_requeues = exec_after.lock_requeues - exec_before.lock_requeues;
+  // Peak is a service-lifetime high-water mark (a monotone max cannot
+  // be delta'd); on a fresh engine it is this run's peak.
+  report.peak_queue_depth = exec_after.peak_queue_depth;
+  // Utilization over *this run*: busy and uptime deltas, not the
+  // service's lifetime averages (setup scripts would dilute them).
+  const uint64_t busy_delta = exec_after.busy_micros - exec_before.busy_micros;
+  const uint64_t uptime_delta =
+      exec_after.uptime_micros - exec_before.uptime_micros;
+  if (exec_after.workers > 0 && uptime_delta > 0) {
+    report.worker_utilization =
+        std::min(1.0, static_cast<double>(busy_delta) /
+                          (static_cast<double>(exec_after.workers) *
+                           static_cast<double>(uptime_delta)));
+  }
   return report;
 }
 

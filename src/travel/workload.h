@@ -40,6 +40,15 @@ struct WorkloadReport {
   /// much of the workload the sharded coordinator ran concurrently.
   size_t shard_rounds = 0;
   size_t global_rounds = 0;
+  /// Executor-service view of the run (pool-driven mode; zeros when the
+  /// engine runs inline): pool size, tasks the pool executed for this
+  /// run, lock-conflict requeues, the deepest the submission queue got,
+  /// and the pool's busy fraction over the run.
+  size_t workers = 0;
+  size_t tasks_executed = 0;
+  size_t lock_requeues = 0;
+  size_t peak_queue_depth = 0;
+  double worker_utilization = 0.0;
   /// Submission-to-answer latency of satisfied requests.
   Histogram latency;
   /// Wall-clock duration of the whole run.
@@ -54,13 +63,22 @@ struct WorkloadReport {
   std::string ToString() const;
 };
 
-/// Drives a randomized coordination workload against `db`: session
-/// threads submit pairwise/group/hotel requests through an internal
+/// Drives a randomized coordination workload against `db`: sessions
+/// submit pairwise/group/hotel requests through an internal
 /// TravelService (with a synthetic friend clique over the workload's
 /// users). Every participant of a pair or group eventually submits, in
 /// a shuffled interleaving across sessions, so requests complete unless
 /// they exceed the deadline. The database must have been set up with
 /// CreateTravelSchema + GenerateTravelData.
+///
+/// Two driving modes, chosen by the engine's executor-service pool:
+/// with `num_workers == 0` each session is an OS thread submitting
+/// synchronously (the seed's model); with a worker pool, ONE driver
+/// thread packages every request as a `StatementTask` (per-session
+/// FIFO domains preserved) and the pool executes them — the paper's
+/// middle-tier shape, one network thread driving many sessions end to
+/// end. Completion is consumed through parked OnComplete continuations
+/// in both modes.
 Result<WorkloadReport> RunLoadedWorkload(Youtopia* db,
                                          const std::string& dest,
                                          const WorkloadConfig& config);

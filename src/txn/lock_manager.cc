@@ -42,6 +42,22 @@ Status LockManager::Acquire(TxnId txn, const std::string& table,
   return Status::OK();
 }
 
+Status LockManager::TryAcquire(TxnId txn, const std::string& table,
+                               LockMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TableLock& state = locks_[ToLowerAscii(table)];
+  if (!Compatible(state, txn, mode)) {
+    return Status::TimedOut("lock conflict on table " + table);
+  }
+  if (mode == LockMode::kShared) {
+    if (state.exclusive_holder != txn) state.shared_holders.insert(txn);
+  } else {
+    state.shared_holders.erase(txn);  // S->X upgrade consumes the S lock
+    state.exclusive_holder = txn;
+  }
+  return Status::OK();
+}
+
 void LockManager::ReleaseAll(TxnId txn) {
   {
     std::lock_guard<std::mutex> lock(mu_);

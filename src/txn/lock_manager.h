@@ -37,6 +37,15 @@ class LockManager {
                  std::chrono::milliseconds timeout =
                      std::chrono::milliseconds(500));
 
+  /// Non-blocking Acquire: grants `mode` on `table` immediately when
+  /// compatible, otherwise returns kTimedOut without waiting. This is
+  /// the surface the executor service's conflict-requeue path uses — a
+  /// pool worker must never sleep inside the lock manager, it releases
+  /// the task back to the submission queue instead. The failure code
+  /// deliberately matches the blocking path's so retry logic keyed on
+  /// kTimedOut treats both uniformly.
+  Status TryAcquire(TxnId txn, const std::string& table, LockMode mode);
+
   /// Releases every lock held by `txn` (commit/abort time; strict 2PL).
   void ReleaseAll(TxnId txn);
 

@@ -1,0 +1,56 @@
+#include "common/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include "server/client.h"
+
+namespace youtopia {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(BackoffTest, DoublesPerCompletedAttemptUpToCap) {
+  EXPECT_EQ(ExponentialBackoff(milliseconds(2), milliseconds(16), 0),
+            milliseconds(2));
+  EXPECT_EQ(ExponentialBackoff(milliseconds(2), milliseconds(16), 1),
+            milliseconds(4));
+  EXPECT_EQ(ExponentialBackoff(milliseconds(2), milliseconds(16), 2),
+            milliseconds(8));
+  EXPECT_EQ(ExponentialBackoff(milliseconds(2), milliseconds(16), 3),
+            milliseconds(16));
+  EXPECT_EQ(ExponentialBackoff(milliseconds(2), milliseconds(16), 100),
+            milliseconds(16));
+}
+
+TEST(BackoffTest, FloorsIntervalAtOneMillisecond) {
+  EXPECT_EQ(ExponentialBackoff(milliseconds(0), milliseconds(0), 0),
+            milliseconds(1));
+  EXPECT_EQ(ExponentialBackoff(milliseconds(-5), milliseconds(8), 0),
+            milliseconds(1));
+  EXPECT_EQ(ExponentialBackoff(milliseconds(0), milliseconds(8), 2),
+            milliseconds(4));
+}
+
+TEST(BackoffTest, CapNeverClampsBelowInterval) {
+  EXPECT_EQ(ExponentialBackoff(milliseconds(500), milliseconds(64), 0),
+            milliseconds(500));
+  EXPECT_EQ(ExponentialBackoff(milliseconds(500), milliseconds(64), 5),
+            milliseconds(500));
+}
+
+TEST(BackoffTest, LockRetryPauseIsTheSameSchedule) {
+  // The client's blocking retry loop and the executor service's
+  // conflict requeues must pace identically: LockRetryPause is a thin
+  // wrapper over ExponentialBackoff.
+  ClientOptions options;
+  options.retry_interval = milliseconds(3);
+  options.retry_max_interval = milliseconds(24);
+  for (size_t attempts = 0; attempts < 10; ++attempts) {
+    EXPECT_EQ(LockRetryPause(options, attempts),
+              ExponentialBackoff(options.retry_interval,
+                                 options.retry_max_interval, attempts));
+  }
+}
+
+}  // namespace
+}  // namespace youtopia

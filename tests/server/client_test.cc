@@ -239,6 +239,62 @@ TEST_F(ClientTest, LockRetryBackoffDoublesAndNeverSpins) {
   EXPECT_EQ(LockRetryPause(slow, 3), milliseconds(500));
 }
 
+TEST_F(ClientTest, ExecuteAsyncResolvesWithResult) {
+  Client client(&db_, Owner("Kramer"));
+  auto future = client.ExecuteAsync("SELECT * FROM Flights");
+  auto result = future.get();
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->rows.empty());
+  // Entangled statements are rejected through the async path too.
+  auto bad = client.ExecuteAsync(PairSql("Kramer", "Jerry")).get();
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ClientTest, RunAsyncTracksEntangledHandles) {
+  Client client(&db_, Owner("Kramer"));
+  auto outcome = client.RunAsync(PairSql("Kramer", "Jerry")).get();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->entangled);
+  ASSERT_TRUE(outcome->handle.has_value());
+  EXPECT_FALSE(outcome->handle->Done());
+  // The handle is already tracked when .get() returns.
+  EXPECT_EQ(client.Outstanding().size(), 1u);
+  ASSERT_TRUE(client.CancelAll().ok());
+}
+
+TEST_F(ClientTest, ExecuteScriptAsyncPartialSemantics) {
+  Client client(&db_, Owner("Kramer"));
+  auto status = client
+                    .ExecuteScriptAsync("CREATE TABLE sa (x INT);"
+                                        "INSERT INTO sa VALUES (1);"
+                                        "INSERT INTO nosuch VALUES (2);")
+                    .get();
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  auto rows = client.Execute("SELECT x FROM sa");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.size(), 1u);
+}
+
+TEST_F(ClientTest, AsyncSurfaceOverWorkerPool) {
+  // The same façade over a pooled engine: many futures in flight from
+  // one caller thread, each client a FIFO domain.
+  YoutopiaConfig config;
+  config.executor.num_workers = 2;
+  Youtopia pooled(config);
+  ASSERT_TRUE(travel::SetupFigure1(&pooled).ok());
+  Client client(&pooled, Owner("Kramer"));
+  std::vector<std::future<Result<QueryResult>>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(client.ExecuteAsync("SELECT * FROM Flights"));
+  }
+  for (auto& future : futures) {
+    auto result = future.get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_FALSE(result->rows.empty());
+  }
+  EXPECT_GE(pooled.executor_service().stats().executed, 16u);
+}
+
 TEST_F(ClientTest, SessionDelegatesThroughClient) {
   Session session(&db_, "Kramer");
   ASSERT_TRUE(session.Submit(PairSql("Kramer", "Jerry")).ok());

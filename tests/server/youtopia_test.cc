@@ -41,6 +41,84 @@ TEST(YoutopiaTest, ExecuteScriptRunsBatch) {
   EXPECT_TRUE(db.storage().catalog().HasTable("b"));
 }
 
+TEST(YoutopiaTest, ExecuteScriptMidErrorKeepsPartialExecution) {
+  Youtopia db;
+  Status status = db.ExecuteScript(
+      "CREATE TABLE a (x INT);"
+      "INSERT INTO a VALUES (1);"
+      "INSERT INTO nosuch VALUES (2);"
+      "INSERT INTO a VALUES (3);");
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  // Partial-execution semantics: statements before the failure stay
+  // applied, statements after it never run.
+  auto rows = db.Execute("SELECT x FROM a");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->rows.size(), 1u);
+  EXPECT_EQ(rows->rows[0].at(0).int64_value(), 1);
+}
+
+TEST(YoutopiaTest, ExecuteScriptParseErrorRunsNothing) {
+  Youtopia db;
+  // A parse error anywhere rejects the whole script before any
+  // statement executes (ParseScript is all-or-nothing), unlike a
+  // mid-script *execution* error.
+  Status status = db.ExecuteScript(
+      "CREATE TABLE a (x INT);"
+      "THIS IS NOT SQL;");
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(db.storage().catalog().HasTable("a"));
+}
+
+TEST(YoutopiaTest, PrepareRoutesAndExecutesStaged) {
+  Youtopia db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (x INT)").ok());
+  auto prepared = db.Prepare("INSERT INTO t VALUES (7)");
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_FALSE(prepared->entangled);
+  EXPECT_EQ(prepared->refs.writes.count("t"), 1u);
+  auto result = db.ExecutePrepared(*prepared);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->affected_rows, 1u);
+
+  auto entangled = db.Prepare(
+      "SELECT 'u', x INTO ANSWER R WHERE x IN (SELECT x FROM t)");
+  ASSERT_TRUE(entangled.ok());
+  EXPECT_TRUE(entangled->entangled);
+  EXPECT_EQ(db.ExecutePrepared(*entangled).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(YoutopiaTest, ExecutePreparedTryFlagsLockConflictOnly) {
+  Youtopia db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (x INT)").ok());
+  auto prepared = db.Prepare("INSERT INTO t VALUES (1)");
+  ASSERT_TRUE(prepared.ok());
+
+  auto blocker = db.txn_manager().Begin();
+  ASSERT_TRUE(db.txn_manager()
+                  .lock_manager()
+                  .TryAcquire(blocker->id(), "t", LockMode::kExclusive)
+                  .ok());
+  bool conflict = false;
+  auto result = db.ExecutePrepared(*prepared, LockWait::kTry, &conflict);
+  EXPECT_EQ(result.status().code(), StatusCode::kTimedOut);
+  EXPECT_TRUE(conflict);
+  ASSERT_TRUE(db.txn_manager().Commit(blocker.get()).ok());
+
+  // No conflict: the flag stays false and execution proceeds.
+  conflict = false;
+  result = db.ExecutePrepared(*prepared, LockWait::kTry, &conflict);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(conflict);
+  // A non-lock failure (missing table) must not raise the flag.
+  auto missing = db.Prepare("INSERT INTO nosuch VALUES (1)");
+  ASSERT_TRUE(missing.ok());
+  conflict = false;
+  result = db.ExecutePrepared(*missing, LockWait::kTry, &conflict);
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(conflict);
+}
+
 TEST(YoutopiaTest, SubmitRejectsNonSelect) {
   Youtopia db;
   EXPECT_FALSE(db.Submit("CREATE TABLE t (x INT)").ok());

@@ -1,0 +1,544 @@
+#include "service/executor_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "common/backoff.h"
+#include "server/admin.h"
+#include "server/client.h"
+
+namespace youtopia {
+namespace {
+
+using std::chrono::milliseconds;
+
+YoutopiaConfig PoolConfig(size_t workers, size_t capacity = 1024) {
+  YoutopiaConfig config;
+  config.executor.num_workers = workers;
+  config.executor.queue_capacity = capacity;
+  return config;
+}
+
+std::string PairSql(const std::string& self, const std::string& other) {
+  return "SELECT '" + self + "', fno INTO ANSWER Reservation WHERE fno IN "
+         "(SELECT fno FROM Flights WHERE dest='Paris') AND ('" + other +
+         "', fno) IN ANSWER Reservation CHOOSE 1";
+}
+
+void SetupFlights(Youtopia* db) {
+  ASSERT_TRUE(db->ExecuteScript(
+                    "CREATE TABLE Flights (fno INT NOT NULL, dest TEXT NOT "
+                    "NULL);"
+                    "CREATE TABLE Reservation (traveler TEXT NOT NULL, fno "
+                    "INT NOT NULL);"
+                    "INSERT INTO Flights VALUES (100, 'Paris'), (101, "
+                    "'Paris');")
+                  .ok());
+}
+
+// ---------------------------------------------------------------------
+// Inline mode (num_workers = 0): seed synchronous semantics.
+
+TEST(ExecutorServiceInlineTest, SubmitExecutesInCallingThread) {
+  Youtopia db;  // default: inline
+  ASSERT_EQ(db.executor_service().num_workers(), 0u);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  bool fired = false;
+  StatementTask task;
+  task.sql = "CREATE TABLE t (x INT)";
+  task.kind = StatementTask::Kind::kExecute;
+  task.on_done = [&](Result<RunOutcome> outcome) {
+    fired = true;
+    ran_on = std::this_thread::get_id();
+    EXPECT_TRUE(outcome.ok());
+  };
+  ASSERT_TRUE(db.executor_service().Submit(std::move(task)).ok());
+  // Inline: the continuation already fired, in this very thread.
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(ran_on, caller);
+  EXPECT_TRUE(db.storage().catalog().HasTable("t"));
+}
+
+TEST(ExecutorServiceInlineTest, RunDetectsEntangledAndRegular) {
+  Youtopia db;
+  SetupFlights(&db);
+  auto future = db.executor_service().SubmitWithFuture([] {
+    StatementTask task;
+    task.sql = "SELECT fno FROM Flights WHERE dest='Paris'";
+    return task;
+  }());
+  auto outcome = future.get();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->entangled);
+  EXPECT_EQ(outcome->result.rows.size(), 2u);
+
+  StatementTask entangled;
+  entangled.sql = PairSql("A", "B");
+  entangled.owner = "A";
+  auto efuture = db.executor_service().SubmitWithFuture(std::move(entangled));
+  auto eoutcome = efuture.get();
+  ASSERT_TRUE(eoutcome.ok());
+  EXPECT_TRUE(eoutcome->entangled);
+  ASSERT_TRUE(eoutcome->handle.has_value());
+  EXPECT_FALSE(eoutcome->handle->Done());
+  EXPECT_EQ(db.coordinator().pending_count(), 1u);
+}
+
+TEST(ExecutorServiceInlineTest, ExecuteKindRejectsEntangled) {
+  Youtopia db;
+  SetupFlights(&db);
+  StatementTask task;
+  task.sql = PairSql("A", "B");
+  task.kind = StatementTask::Kind::kExecute;
+  auto outcome = db.executor_service().SubmitWithFuture(std::move(task)).get();
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.coordinator().pending_count(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Pool mode basics.
+
+TEST(ExecutorServicePoolTest, ExecutesOnWorkerThread) {
+  Youtopia db(PoolConfig(2));
+  const auto caller = std::this_thread::get_id();
+  std::mutex mu;
+  std::condition_variable cv;
+  bool fired = false;
+  std::thread::id ran_on;
+  StatementTask task;
+  task.sql = "CREATE TABLE t (x INT)";
+  task.kind = StatementTask::Kind::kExecute;
+  task.on_done = [&](Result<RunOutcome> outcome) {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_TRUE(outcome.ok());
+    ran_on = std::this_thread::get_id();
+    fired = true;
+    cv.notify_all();
+  };
+  ASSERT_TRUE(db.executor_service().Submit(std::move(task)).ok());
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, milliseconds(5000), [&] { return fired; }));
+  EXPECT_NE(ran_on, caller);
+}
+
+TEST(ExecutorServicePoolTest, DrainWaitsForAllTasks) {
+  Youtopia db(PoolConfig(2));
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (x INT)").ok());
+  for (int i = 0; i < 50; ++i) {
+    StatementTask task;
+    task.sql = "INSERT INTO t VALUES (" + std::to_string(i) + ")";
+    task.session = static_cast<uint64_t>(i % 5);
+    ASSERT_TRUE(db.executor_service().Submit(std::move(task)).ok());
+  }
+  ASSERT_TRUE(db.executor_service().Drain(milliseconds(10000)).ok());
+  auto rows = db.Execute("SELECT x FROM t");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.size(), 50u);
+  const auto stats = db.executor_service().stats();
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_GE(stats.executed, 50u);
+}
+
+TEST(ExecutorServicePoolTest, SubmitAfterShutdownIsRejected) {
+  Youtopia db(PoolConfig(1));
+  db.executor_service().Shutdown();
+  StatementTask task;
+  task.sql = "CREATE TABLE t (x INT)";
+  EXPECT_EQ(db.executor_service().Submit(std::move(task)).code(),
+            StatusCode::kAborted);
+}
+
+TEST(ExecutorServicePoolTest, TrySubmitRejectsWhenFull) {
+  // Capacity 2 and a pool whose single worker is wedged behind a held
+  // X lock: the first task conflicts and requeues (still occupying its
+  // capacity slot), the second fills the queue, the third must bounce.
+  YoutopiaConfig config = PoolConfig(1, /*capacity=*/2);
+  config.executor.default_statement_timeout = milliseconds(2000);
+  Youtopia db(config);
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (x INT)").ok());
+
+  auto blocker = db.txn_manager().Begin();
+  ASSERT_TRUE(db.txn_manager()
+                  .lock_manager()
+                  .TryAcquire(blocker->id(), "t", LockMode::kExclusive)
+                  .ok());
+
+  std::atomic<int> completions{0};
+  auto make_task = [&](uint64_t session) {
+    StatementTask task;
+    task.sql = "INSERT INTO t VALUES (1)";
+    task.session = session;
+    task.on_done = [&](Result<RunOutcome>) { ++completions; };
+    return task;
+  };
+  ASSERT_TRUE(db.executor_service().TrySubmit(make_task(1)).ok());
+  ASSERT_TRUE(db.executor_service().TrySubmit(make_task(2)).ok());
+  // Both slots taken (one task conflict-requeuing, one waiting).
+  Status full = db.executor_service().TrySubmit(make_task(3));
+  EXPECT_EQ(full.code(), StatusCode::kTimedOut);
+  EXPECT_GE(db.executor_service().stats().rejected, 1u);
+
+  ASSERT_TRUE(db.txn_manager().Commit(blocker.get()).ok());
+  ASSERT_TRUE(db.executor_service().Drain(milliseconds(10000)).ok());
+  EXPECT_EQ(completions.load(), 2);
+}
+
+// ---------------------------------------------------------------------
+// Lock-conflict requeue.
+
+TEST(ExecutorServicePoolTest, ConflictRequeuesAndSucceedsAfterRelease) {
+  Youtopia db(PoolConfig(2));
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (x INT)").ok());
+
+  auto blocker = db.txn_manager().Begin();
+  ASSERT_TRUE(db.txn_manager()
+                  .lock_manager()
+                  .TryAcquire(blocker->id(), "t", LockMode::kExclusive)
+                  .ok());
+
+  StatementTask task;
+  task.sql = "INSERT INTO t VALUES (42)";
+  task.statement_timeout = milliseconds(5000);
+  auto future = db.executor_service().SubmitWithFuture(std::move(task));
+  // Give the worker time to conflict and requeue at least once.
+  while (db.executor_service().stats().lock_requeues == 0) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  ASSERT_TRUE(db.txn_manager().Commit(blocker.get()).ok());
+  auto outcome = future.get();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_GE(db.executor_service().stats().lock_requeues, 1u);
+  auto rows = db.Execute("SELECT x FROM t");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.size(), 1u);
+}
+
+TEST(ExecutorServicePoolTest, ConflictBudgetExhaustionSurfacesTimeout) {
+  YoutopiaConfig config = PoolConfig(1);
+  config.executor.default_statement_timeout = milliseconds(30);
+  Youtopia db(config);
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (x INT)").ok());
+
+  auto blocker = db.txn_manager().Begin();
+  ASSERT_TRUE(db.txn_manager()
+                  .lock_manager()
+                  .TryAcquire(blocker->id(), "t", LockMode::kExclusive)
+                  .ok());
+
+  StatementTask task;
+  task.sql = "INSERT INTO t VALUES (1)";
+  auto outcome = db.executor_service().SubmitWithFuture(std::move(task)).get();
+  EXPECT_EQ(outcome.status().code(), StatusCode::kTimedOut);
+  ASSERT_TRUE(db.txn_manager().Commit(blocker.get()).ok());
+  // Nothing executed: the conflicted statement had no side effects.
+  auto rows = db.Execute("SELECT x FROM t");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.size(), 0u);
+}
+
+TEST(ExecutorServicePoolTest, RequeueUsesExponentialBackoffSchedule) {
+  // The requeue pacing is the shared ExponentialBackoff schedule —
+  // pinned here semantically: with a conflict budget of B and initial
+  // interval I, the number of attempts is bounded by the schedule's
+  // partial sums, not by busy-spinning (which would rack up thousands).
+  YoutopiaConfig config = PoolConfig(1);
+  config.executor.default_statement_timeout = milliseconds(120);
+  Youtopia db(config);
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (x INT)").ok());
+
+  auto blocker = db.txn_manager().Begin();
+  ASSERT_TRUE(db.txn_manager()
+                  .lock_manager()
+                  .TryAcquire(blocker->id(), "t", LockMode::kExclusive)
+                  .ok());
+
+  StatementTask task;
+  task.sql = "INSERT INTO t VALUES (1)";
+  task.retry_interval = milliseconds(4);
+  task.retry_max_interval = milliseconds(32);
+  auto outcome = db.executor_service().SubmitWithFuture(std::move(task)).get();
+  EXPECT_EQ(outcome.status().code(), StatusCode::kTimedOut);
+  ASSERT_TRUE(db.txn_manager().Commit(blocker.get()).ok());
+
+  // Schedule 4, 8, 16, 32, 32... sums past 120ms within ~6 attempts.
+  // Allow slack for scheduling, but busy-wait behavior (hundreds of
+  // requeues) must be impossible.
+  const auto stats = db.executor_service().stats();
+  EXPECT_GE(stats.lock_requeues, 2u);
+  EXPECT_LE(stats.lock_requeues, 12u);
+}
+
+// ---------------------------------------------------------------------
+// Per-session FIFO under a multi-worker pool.
+
+TEST(ExecutorServicePoolTest, PerSessionFifoUnderRandomizedInterleaving) {
+  constexpr int kSessions = 6;
+  constexpr int kPerSession = 40;
+  Youtopia db(PoolConfig(4));
+  {
+    std::string script;
+    for (int s = 0; s < kSessions; ++s) {
+      script += "CREATE TABLE t" + std::to_string(s) + " (seq INT);";
+    }
+    ASSERT_TRUE(db.ExecuteScript(script).ok());
+  }
+
+  // Completion order per session, recorded from the continuations.
+  std::mutex mu;
+  std::vector<std::vector<int>> completed(kSessions);
+
+  // Submit from several producer threads in a shuffled order so the
+  // pool sees a randomized interleaving; only the per-session relative
+  // order is fixed (each producer owns disjoint sessions, submitting
+  // its sessions' statements in sequence order).
+  std::mt19937 rng(1234);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&, p] {
+      std::mt19937 local(1000 + p);
+      // Producer p drives sessions s with s % 3 == p.
+      std::vector<std::pair<int, int>> plan;  // (session, seq)
+      for (int s = p; s < kSessions; s += 3) {
+        for (int q = 0; q < kPerSession; ++q) plan.push_back({s, q});
+      }
+      // Shuffle across this producer's sessions while keeping each
+      // session's seq order: sort-of-interleave by picking randomly
+      // among sessions with remaining work.
+      std::vector<int> next(kSessions, 0);
+      std::vector<int> mine;
+      for (int s = p; s < kSessions; s += 3) mine.push_back(s);
+      size_t remaining = plan.size();
+      while (remaining > 0) {
+        const int s = mine[local() % mine.size()];
+        if (next[s] >= kPerSession) continue;
+        const int seq = next[s]++;
+        --remaining;
+        StatementTask task;
+        task.sql = "INSERT INTO t" + std::to_string(s) + " VALUES (" +
+                   std::to_string(seq) + ")";
+        task.session = static_cast<uint64_t>(1000 + s);
+        task.on_done = [&mu, &completed, s, seq](Result<RunOutcome> outcome) {
+          ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+          std::lock_guard<std::mutex> lock(mu);
+          completed[s].push_back(seq);
+        };
+        ASSERT_TRUE(db.executor_service().Submit(std::move(task)).ok());
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  ASSERT_TRUE(db.executor_service().Drain(milliseconds(30000)).ok());
+
+  for (int s = 0; s < kSessions; ++s) {
+    // Continuations fired in submission order...
+    ASSERT_EQ(completed[s].size(), static_cast<size_t>(kPerSession));
+    for (int q = 0; q < kPerSession; ++q) {
+      EXPECT_EQ(completed[s][q], q) << "session " << s << " reordered";
+    }
+    // ...and the table contents (heap append order) agree.
+    auto rows = db.Execute("SELECT seq FROM t" + std::to_string(s));
+    ASSERT_TRUE(rows.ok());
+    ASSERT_EQ(rows->rows.size(), static_cast<size_t>(kPerSession));
+    for (int q = 0; q < kPerSession; ++q) {
+      EXPECT_EQ(rows->rows[static_cast<size_t>(q)].at(0).int64_value(), q);
+    }
+  }
+}
+
+TEST(ExecutorServicePoolTest, FifoHoldsAcrossConflictRequeues) {
+  // All sessions hammer ONE table with X-lock statements: constant
+  // conflicts and requeues, but each session's statements must still
+  // apply in submission order (a requeued task retries before its
+  // session's next task).
+  constexpr int kSessions = 4;
+  constexpr int kPerSession = 25;
+  YoutopiaConfig config = PoolConfig(4);
+  config.executor.default_statement_timeout = milliseconds(10000);
+  Youtopia db(config);
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (session INT, seq INT)").ok());
+
+  for (int q = 0; q < kPerSession; ++q) {
+    for (int s = 0; s < kSessions; ++s) {
+      StatementTask task;
+      task.sql = "INSERT INTO t VALUES (" + std::to_string(s) + ", " +
+                 std::to_string(q) + ")";
+      task.session = static_cast<uint64_t>(2000 + s);
+      ASSERT_TRUE(db.executor_service().Submit(std::move(task)).ok());
+    }
+  }
+  ASSERT_TRUE(db.executor_service().Drain(milliseconds(30000)).ok());
+
+  auto rows = db.Execute("SELECT session, seq FROM t");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->rows.size(), static_cast<size_t>(kSessions * kPerSession));
+  std::vector<int> next(kSessions, 0);
+  for (const Tuple& row : rows->rows) {
+    const int s = static_cast<int>(row.at(0).int64_value());
+    const int q = static_cast<int>(row.at(1).int64_value());
+    EXPECT_EQ(q, next[s]) << "session " << s << " applied out of order";
+    next[s] = q + 1;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Entangled parking.
+
+TEST(ExecutorServicePoolTest, EntangledParkDoesNotHoldWorker) {
+  // ONE worker: if the entangled wait held the worker, the regular
+  // statements behind it could never execute and the partner below
+  // could never be driven — the test would deadlock instead of passing.
+  Youtopia db(PoolConfig(1));
+  SetupFlights(&db);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool answered = false;
+  Status answer_outcome = Status::Internal("callback never ran");
+
+  StatementTask first;
+  first.sql = PairSql("A", "B");
+  first.owner = "A";
+  first.session = 1;
+  first.wait_for_answer = true;
+  first.on_done = [&](Result<RunOutcome> outcome) {
+    std::lock_guard<std::mutex> lock(mu);
+    answered = true;
+    ASSERT_TRUE(outcome.ok());
+    ASSERT_TRUE(outcome->handle.has_value());
+    answer_outcome = outcome->handle->Outcome().value_or(
+        Status::Internal("no outcome"));
+    cv.notify_all();
+  };
+  ASSERT_TRUE(db.executor_service().Submit(std::move(first)).ok());
+
+  // The same session keeps working while its coordination waits: the
+  // parked task occupies no worker and no FIFO slot.
+  auto rows = db.executor_service().SubmitWithFuture([] {
+    StatementTask task;
+    task.sql = "SELECT fno FROM Flights WHERE dest='Paris'";
+    task.session = 1;
+    return task;
+  }());
+  ASSERT_TRUE(rows.get().ok());
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_FALSE(answered);
+  }
+  EXPECT_GE(db.executor_service().stats().entangled_parked, 1u);
+
+  // The partner arrives (other session); the pair closes and the
+  // parked continuation fires from the completing worker.
+  StatementTask partner;
+  partner.sql = PairSql("B", "A");
+  partner.owner = "B";
+  partner.session = 2;
+  ASSERT_TRUE(db.executor_service().Submit(std::move(partner)).ok());
+
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, milliseconds(10000), [&] { return answered; }));
+  EXPECT_TRUE(answer_outcome.ok()) << answer_outcome.ToString();
+  EXPECT_EQ(db.coordinator().pending_count(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Scripts through the pool: partial execution + mid-script requeue.
+
+TEST(ExecutorServicePoolTest, ScriptMidErrorKeepsPartialExecution) {
+  Youtopia db(PoolConfig(2));
+  StatementTask task;
+  task.sql = "CREATE TABLE a (x INT);"
+             "INSERT INTO a VALUES (1);"
+             "INSERT INTO nosuch VALUES (2);"
+             "INSERT INTO a VALUES (3);";
+  task.kind = StatementTask::Kind::kScript;
+  auto outcome = db.executor_service().SubmitWithFuture(std::move(task)).get();
+  EXPECT_EQ(outcome.status().code(), StatusCode::kNotFound);
+  // Partial semantics: everything before the failure applied, nothing
+  // after it ran.
+  auto rows = db.Execute("SELECT x FROM a");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->rows.size(), 1u);
+  EXPECT_EQ(rows->rows[0].at(0).int64_value(), 1);
+}
+
+TEST(ExecutorServicePoolTest, ScriptRequeueResumesWithoutReexecuting) {
+  YoutopiaConfig config = PoolConfig(1);
+  config.executor.default_statement_timeout = milliseconds(10000);
+  Youtopia db(config);
+  ASSERT_TRUE(db.ExecuteScript("CREATE TABLE a (x INT);"
+                               "CREATE TABLE blocked (x INT);")
+                  .ok());
+
+  auto blocker = db.txn_manager().Begin();
+  ASSERT_TRUE(db.txn_manager()
+                  .lock_manager()
+                  .TryAcquire(blocker->id(), "blocked", LockMode::kExclusive)
+                  .ok());
+
+  StatementTask task;
+  task.sql = "INSERT INTO a VALUES (1);"
+             "INSERT INTO blocked VALUES (2);"
+             "INSERT INTO a VALUES (3);";
+  task.kind = StatementTask::Kind::kScript;
+  auto future = db.executor_service().SubmitWithFuture(std::move(task));
+  while (db.executor_service().stats().lock_requeues == 0) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  ASSERT_TRUE(db.txn_manager().Commit(blocker.get()).ok());
+  ASSERT_TRUE(future.get().ok());
+
+  // Statement 1 ran exactly once despite the requeues of statement 2.
+  auto rows = db.Execute("SELECT x FROM a");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.size(), 2u);
+  auto blocked_rows = db.Execute("SELECT x FROM blocked");
+  ASSERT_TRUE(blocked_rows.ok());
+  EXPECT_EQ(blocked_rows->rows.size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Stats exposure.
+
+TEST(ExecutorServiceStatsTest, AdminSnapshotCarriesExecutorStats) {
+  Youtopia db(PoolConfig(2));
+  // Through the Client façade — the path that rides the service.
+  // (Youtopia::Execute itself stays a direct engine call.)
+  Client client(&db);
+  ASSERT_TRUE(client.Execute("CREATE TABLE t (x INT)").ok());
+  ASSERT_TRUE(client.Execute("INSERT INTO t VALUES (1)").ok());
+  ASSERT_TRUE(db.executor_service().Drain(milliseconds(5000)).ok());
+  AdminSnapshot snapshot = TakeAdminSnapshot(db);
+  EXPECT_EQ(snapshot.executor.workers, 2u);
+  EXPECT_GE(snapshot.executor.submitted, 2u);
+  EXPECT_GE(snapshot.executor.executed, 2u);
+  EXPECT_EQ(snapshot.executor.queue_depth, 0u);
+  const std::string rendered = snapshot.ToString();
+  EXPECT_NE(rendered.find("Executor service"), std::string::npos);
+  EXPECT_NE(rendered.find("workers=2"), std::string::npos);
+}
+
+TEST(ExecutorServiceStatsTest, UtilizationStaysInUnitInterval) {
+  Youtopia db(PoolConfig(2));
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (x INT)").ok());
+  for (int i = 0; i < 20; ++i) {
+    StatementTask task;
+    task.sql = "INSERT INTO t VALUES (" + std::to_string(i) + ")";
+    task.session = static_cast<uint64_t>(i % 4);
+    ASSERT_TRUE(db.executor_service().Submit(std::move(task)).ok());
+  }
+  ASSERT_TRUE(db.executor_service().Drain(milliseconds(10000)).ok());
+  const auto stats = db.executor_service().stats();
+  EXPECT_GE(stats.WorkerUtilization(), 0.0);
+  EXPECT_LE(stats.WorkerUtilization(), 1.0);
+  EXPECT_GT(stats.busy_micros, 0u);
+}
+
+}  // namespace
+}  // namespace youtopia

@@ -81,6 +81,38 @@ TEST_F(WorkloadTest, DeterministicUnderSeed) {
   EXPECT_EQ(first->satisfied, second->satisfied);
 }
 
+TEST_F(WorkloadTest, PoolDrivenModeCompletesAllPairs) {
+  // Same workload, driven through the executor service: one driver
+  // thread, a 4-worker pool, per-session FIFO domains. Outcomes must
+  // match the thread-per-session mode: everything completes.
+  YoutopiaConfig db_config;
+  db_config.executor.num_workers = 4;
+  Youtopia pooled(db_config);
+  ASSERT_TRUE(CreateTravelSchema(&pooled).ok());
+  DataGeneratorConfig data;
+  data.cities = {"NewYork", "Paris"};
+  data.flights_per_route_per_day = 4;
+  data.days = 2;
+  ASSERT_TRUE(GenerateTravelData(&pooled, data).ok());
+
+  WorkloadConfig config;
+  config.sessions = 4;
+  config.requests_per_session = 10;
+  config.group_fraction = 0.0;
+  config.hotel_fraction = 0.0;
+  auto report = RunLoadedWorkload(&pooled, "Paris", config);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GE(report->submitted, 40u);
+  EXPECT_EQ(report->timed_out, 0u);
+  EXPECT_EQ(report->errors, 0u);
+  EXPECT_EQ(report->satisfied, report->submitted);
+  EXPECT_EQ(pooled.coordinator().pending_count(), 0u);
+  // Executor stats flowed into the report.
+  EXPECT_EQ(report->workers, 4u);
+  EXPECT_GE(report->tasks_executed, report->submitted);
+  EXPECT_NE(report->ToString().find("executor{"), std::string::npos);
+}
+
 TEST_F(WorkloadTest, RejectsDegenerateConfig) {
   WorkloadConfig config;
   config.sessions = 0;

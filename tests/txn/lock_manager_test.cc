@@ -108,6 +108,43 @@ TEST(LockManagerTest, TableNamesAreCaseInsensitive) {
             StatusCode::kTimedOut);
 }
 
+TEST(LockManagerTest, TryAcquireGrantsWhenCompatible) {
+  LockManager lm;
+  EXPECT_TRUE(lm.TryAcquire(1, "t", LockMode::kShared).ok());
+  // Shared is compatible with shared.
+  EXPECT_TRUE(lm.TryAcquire(2, "t", LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Holds(1, "t", LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(2, "t", LockMode::kShared));
+}
+
+TEST(LockManagerTest, TryAcquireFailsImmediatelyOnConflict) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "t", LockMode::kExclusive).ok());
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(lm.TryAcquire(2, "t", LockMode::kShared).code(),
+            StatusCode::kTimedOut);
+  EXPECT_EQ(lm.TryAcquire(2, "t", LockMode::kExclusive).code(),
+            StatusCode::kTimedOut);
+  // Non-blocking: no 500ms-style wait happened.
+  EXPECT_LT(std::chrono::steady_clock::now() - start, milliseconds(100));
+  EXPECT_FALSE(lm.Holds(2, "t", LockMode::kShared));
+}
+
+TEST(LockManagerTest, TryAcquireIsReentrantAndUpgrades) {
+  LockManager lm;
+  ASSERT_TRUE(lm.TryAcquire(1, "t", LockMode::kShared).ok());
+  // Sole S holder may upgrade to X without waiting.
+  EXPECT_TRUE(lm.TryAcquire(1, "t", LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Holds(1, "t", LockMode::kExclusive));
+  // Re-entrant under X.
+  EXPECT_TRUE(lm.TryAcquire(1, "t", LockMode::kShared).ok());
+  // Case-insensitive, like Acquire.
+  EXPECT_EQ(lm.TryAcquire(2, "T", LockMode::kShared).code(),
+            StatusCode::kTimedOut);
+  lm.ReleaseAll(1);
+  EXPECT_TRUE(lm.TryAcquire(2, "t", LockMode::kExclusive).ok());
+}
+
 TEST(LockManagerTest, HoldsSemantics) {
   LockManager lm;
   EXPECT_FALSE(lm.Holds(1, "t", LockMode::kShared));
