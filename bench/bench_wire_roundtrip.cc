@@ -1,0 +1,174 @@
+// Experiment WIRE (DESIGN.md decision #6): cost of putting the engine
+// behind the wire protocol. Three measurements:
+//
+//   1. codec   — pure encode+decode throughput of representative frames
+//                (no sockets), the ceiling of the protocol layer;
+//   2. execute — loopback RPC round-trip (RemoteClient::Execute of a
+//                small SELECT against a YoutopiaServer), latency
+//                percentiles + requests/s on one connection;
+//   3. submit  — entangled submit + server-pushed completion round
+//                trip: pairs of symmetric queries from two connections,
+//                measuring submission-to-push latency of the first
+//                member of each pair.
+//
+// Standalone driver (no google-benchmark) emitting BENCH_wire.json
+// (path overridable via argv[1]).
+//
+// Usage: bench_wire_roundtrip [output.json] [iterations]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "common/histogram.h"
+#include "net/protocol.h"
+#include "net/remote_client.h"
+#include "net/server.h"
+#include "travel/travel_schema.h"
+
+namespace {
+
+using namespace youtopia;  // NOLINT(build/namespaces) — bench driver
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Codec throughput over a realistic ExecuteResponse (8 rows x 4 cols).
+double CodecFramesPerSec(int iterations) {
+  net::ExecuteResponse resp;
+  resp.request_id = 7;
+  resp.status = Status::OK();
+  resp.result.column_names = {"fno", "origin", "price", "note"};
+  for (int i = 0; i < 8; ++i) {
+    resp.result.rows.push_back(Tuple{
+        Value::Int64(1000 + i), Value::String("NewYork"),
+        Value::Double(399.99 + i * 0.125), Value::String("row note")});
+  }
+  const auto start = std::chrono::steady_clock::now();
+  size_t bytes = 0;
+  for (int i = 0; i < iterations; ++i) {
+    resp.request_id = static_cast<uint64_t>(i);
+    const std::string frame = net::EncodeFrame(resp);
+    bytes += frame.size();
+    net::FrameAssembler assembler;
+    assembler.Append(frame);
+    auto next = assembler.Next();
+    if (!next.ok() || !next->has_value()) std::abort();
+    auto decoded = net::DecodePayload<net::ExecuteResponse>((*next)->payload);
+    if (!decoded.ok() ||
+        decoded->request_id != static_cast<uint64_t>(i)) {
+      std::abort();
+    }
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::printf("codec: %d frames (%zu bytes) in %.3fs = %.0f frames/s\n",
+              iterations, bytes, secs, iterations / secs);
+  return iterations / secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_wire.json";
+  const int iterations = argc > 2 ? std::atoi(argv[2]) : 2000;
+
+  const double codec_fps = CodecFramesPerSec(iterations * 10);
+
+  Youtopia db;
+  if (!travel::SetupFigure1(&db).ok()) return 1;
+  net::YoutopiaServer server(&db);
+  if (!server.Start().ok()) return 1;
+  auto client = net::RemoteClient::Connect("127.0.0.1", server.port());
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+
+  // Execute round trips.
+  Histogram execute_latency;
+  const auto exec_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iterations; ++i) {
+    const uint64_t t0 = NowMicros();
+    auto result = (*client)->Execute("SELECT fno FROM Flights WHERE "
+                                     "dest='Paris'");
+    if (!result.ok()) {
+      std::fprintf(stderr, "execute: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    execute_latency.Record(NowMicros() - t0);
+  }
+  const double exec_secs = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - exec_start)
+                               .count();
+  const double exec_rps = iterations / exec_secs;
+  std::printf("execute: %d round trips = %.0f req/s, latency{%s}\n",
+              iterations, exec_rps, execute_latency.ToString().c_str());
+
+  // Entangled submit + pushed completion round trips. A second
+  // connection plays the partner; the first member's submission-to-push
+  // latency is the wire cost of the coordination path.
+  auto partner = net::RemoteClient::Connect("127.0.0.1", server.port());
+  if (!partner.ok()) return 1;
+  Histogram submit_latency;
+  const int pairs = iterations / 10 > 0 ? iterations / 10 : 1;
+  const auto submit_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < pairs; ++i) {
+    const std::string a = "wa" + std::to_string(i);
+    const std::string b = "wb" + std::to_string(i);
+    const uint64_t t0 = NowMicros();
+    auto first = (*client)->SubmitAs(
+        a,
+        "SELECT '" + a + "', fno INTO ANSWER Reservation WHERE fno IN "
+        "(SELECT fno FROM Flights WHERE dest='Paris') AND ('" + b +
+        "', fno) IN ANSWER Reservation CHOOSE 1");
+    if (!first.ok()) return 1;
+    auto second = (*partner)->SubmitAs(
+        b,
+        "SELECT '" + b + "', fno INTO ANSWER Reservation WHERE fno IN "
+        "(SELECT fno FROM Flights WHERE dest='Paris') AND ('" + a +
+        "', fno) IN ANSWER Reservation CHOOSE 1");
+    if (!second.ok()) return 1;
+    if (!first->Wait(std::chrono::milliseconds(5000)).ok()) return 1;
+    submit_latency.Record(NowMicros() - t0);
+  }
+  const double submit_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    submit_start)
+          .count();
+  std::printf("submit+push: %d pairs = %.0f coords/s, latency{%s}\n", pairs,
+              pairs / submit_secs, submit_latency.ToString().c_str());
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(
+      out,
+      "{\n  \"bench\": \"wire_roundtrip\",\n"
+      "  \"codec_frames_per_sec\": %.0f,\n"
+      "  \"execute\": {\"iterations\": %d, \"req_per_sec\": %.1f, "
+      "\"p50_us\": %llu, \"p99_us\": %llu},\n"
+      "  \"submit_push\": {\"pairs\": %d, \"coords_per_sec\": %.1f, "
+      "\"p50_us\": %llu, \"p99_us\": %llu},\n"
+      "  \"server\": {\"requests\": %zu, \"pushes\": %zu}\n}\n",
+      codec_fps, iterations, exec_rps,
+      static_cast<unsigned long long>(execute_latency.Percentile(50)),
+      static_cast<unsigned long long>(execute_latency.Percentile(99)),
+      pairs, pairs / submit_secs,
+      static_cast<unsigned long long>(submit_latency.Percentile(50)),
+      static_cast<unsigned long long>(submit_latency.Percentile(99)),
+      server.stats().requests, server.stats().pushes);
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

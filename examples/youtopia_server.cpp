@@ -1,0 +1,86 @@
+// The engine as a network service: one embedded Youtopia behind the
+// wire protocol, shared by every RemoteClient that connects — the
+// paper's deployment shape, where many middle tiers drive one
+// entangled-query engine.
+//
+// Usage: youtopia_server [port] [shards] [workers] [--travel]
+//
+//   port      TCP port to bind on 127.0.0.1 (0 = kernel-assigned;
+//             the actual port is printed on the READY line)
+//   shards    coordinator pending-pool shards (default 1)
+//   workers   executor-service pool size (default 0 = inline)
+//   --travel  pre-load the travel schema + a generated dataset, so
+//             remote clients can book immediately
+//
+// Prints "READY port=<n> ..." once accepting, then serves until stdin
+// reaches EOF (pipe-friendly: close the pipe to stop it), shuts down
+// and exits 0 — what the CI loopback smoke asserts.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "net/server.h"
+#include "travel/data_generator.h"
+#include "travel/travel_schema.h"
+
+int main(int argc, char** argv) {
+  using namespace youtopia;  // NOLINT(build/namespaces) — example code
+
+  int port = 0;
+  int shards = 1;
+  int workers = 0;
+  bool travel_seed = false;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--travel") == 0) {
+      travel_seed = true;
+      continue;
+    }
+    const int v = std::atoi(argv[i]);
+    if (positional == 0) port = v;
+    if (positional == 1) shards = v;
+    if (positional == 2) workers = v;
+    ++positional;
+  }
+
+  YoutopiaConfig config;
+  config.coordinator.num_shards =
+      shards > 0 ? static_cast<size_t>(shards) : 1;
+  config.executor.num_workers =
+      workers > 0 ? static_cast<size_t>(workers) : 0;
+  Youtopia db(config);
+  if (travel_seed) {
+    if (!travel::CreateTravelSchema(&db).ok()) return 1;
+    travel::DataGeneratorConfig data;
+    data.cities = {"NewYork", "Paris", "Rome"};
+    data.flights_per_route_per_day = 4;
+    data.days = 3;
+    if (!travel::GenerateTravelData(&db, data).ok()) return 1;
+    std::printf("travel dataset loaded\n");
+  }
+
+  net::ServerConfig server_config;
+  server_config.port = static_cast<uint16_t>(port);
+  net::YoutopiaServer server(&db, server_config);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("READY port=%u shards=%zu workers=%zu\n", server.port(),
+              config.coordinator.num_shards, config.executor.num_workers);
+  std::fflush(stdout);
+
+  while (std::fgetc(stdin) != EOF) {
+  }
+
+  server.Stop();
+  const auto stats = server.stats();
+  std::printf(
+      "youtopia_server: clean shutdown (connections=%zu requests=%zu "
+      "pushes=%zu protocol_errors=%zu)\n",
+      stats.connections_accepted, stats.requests, stats.pushes,
+      stats.protocol_errors);
+  return 0;
+}

@@ -70,6 +70,42 @@ EntangledHandle::CompletedAt() const {
   return state_->completed_at;
 }
 
+EntangledHandle DetachedHandles::Create(QueryId id) {
+  auto state = std::make_shared<EntangledHandle::State>();
+  state->id = id;
+  return EntangledHandle(std::move(state));
+}
+
+void DetachedHandles::Complete(const EntangledHandle& handle, Status outcome,
+                               std::vector<Tuple> answers) {
+  const std::shared_ptr<EntangledHandle::State>& state = handle.state_;
+  std::vector<EntangledHandle::CompletionCallback> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->done) return;
+    state->done = true;
+    state->outcome = std::move(outcome);
+    state->answers = std::move(answers);
+    state->completed_at = std::chrono::steady_clock::now();
+    callbacks = std::move(state->callbacks);
+    state->callbacks.clear();
+  }
+  state->cv.notify_all();
+  EntangledHandle done(state);
+  for (EntangledHandle::CompletionCallback& callback : callbacks) {
+    // Same exception policy as coordinator-driven delivery: swallow and
+    // log, so one throwing callback cannot drop the rest.
+    try {
+      callback(done);
+    } catch (const std::exception& e) {
+      YOUTOPIA_LOG(kError) << "OnComplete callback threw: " << e.what();
+    } catch (...) {
+      YOUTOPIA_LOG(kError) << "OnComplete callback threw";
+    }
+    if (state->counters) state->counters->fired.fetch_add(1);
+  }
+}
+
 namespace {
 
 /// Runs a Coordinator's deferred completion callbacks on scope exit.

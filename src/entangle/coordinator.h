@@ -128,9 +128,30 @@ class EntangledHandle {
     std::vector<CompletionCallback> callbacks;
     std::shared_ptr<CallbackCounters> counters;
   };
+  friend class DetachedHandles;
   explicit EntangledHandle(std::shared_ptr<State> state)
       : state_(std::move(state)) {}
   std::shared_ptr<State> state_;
+};
+
+/// Creates and completes *detached* handles: handles whose completion is
+/// driven by a transport instead of a local coordinator. The wire
+/// protocol's client side (net::RemoteClient) pairs one with each
+/// registered query and completes it when the server pushes the
+/// coordination's terminal state, so remote callers consume completion
+/// through the exact same EntangledHandle surface (Wait / OnComplete /
+/// Answers) as in-process callers. Lives next to EntangledHandle because
+/// it needs the handle's private state.
+class DetachedHandles {
+ public:
+  /// A pending handle carrying the engine-side query id.
+  static EntangledHandle Create(QueryId id);
+
+  /// Completes `handle` exactly once: records outcome/answers, wakes
+  /// waiters, and fires parked callbacks in the calling thread. Calls
+  /// after the first are no-ops, so a duplicated push is harmless.
+  static void Complete(const EntangledHandle& handle, Status outcome,
+                       std::vector<Tuple> answers);
 };
 
 struct CoordinatorConfig {

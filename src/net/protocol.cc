@@ -1,0 +1,510 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+namespace youtopia::net {
+
+const char* MessageTypeToString(MessageType type) {
+  switch (type) {
+    case MessageType::kExecuteRequest:
+      return "ExecuteRequest";
+    case MessageType::kExecuteResponse:
+      return "ExecuteResponse";
+    case MessageType::kScriptRequest:
+      return "ScriptRequest";
+    case MessageType::kScriptResponse:
+      return "ScriptResponse";
+    case MessageType::kSubmitRequest:
+      return "SubmitRequest";
+    case MessageType::kSubmitResponse:
+      return "SubmitResponse";
+    case MessageType::kSubmitBatchRequest:
+      return "SubmitBatchRequest";
+    case MessageType::kSubmitBatchResponse:
+      return "SubmitBatchResponse";
+    case MessageType::kRunRequest:
+      return "RunRequest";
+    case MessageType::kRunResponse:
+      return "RunResponse";
+    case MessageType::kCancelRequest:
+      return "CancelRequest";
+    case MessageType::kCancelResponse:
+      return "CancelResponse";
+    case MessageType::kCompletionPush:
+      return "CompletionPush";
+  }
+  return "UnknownMessage";
+}
+
+// ---------------------------------------------------------------- writer
+
+void WireWriter::PutU8(uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+
+void WireWriter::PutU32(uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    bytes_.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void WireWriter::PutU64(uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    bytes_.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void WireWriter::PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+
+void WireWriter::PutDouble(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "IEEE-754 double expected");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void WireWriter::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  bytes_.append(s);
+}
+
+void WireWriter::PutStatus(const Status& status) {
+  PutU8(static_cast<uint8_t>(status.code()));
+  PutString(status.message());
+}
+
+void WireWriter::PutValue(const Value& value) {
+  PutU8(static_cast<uint8_t>(value.type()));
+  switch (value.type()) {
+    case DataType::kNull:
+      break;
+    case DataType::kBool:
+      PutBool(value.bool_value());
+      break;
+    case DataType::kInt64:
+      PutI64(value.int64_value());
+      break;
+    case DataType::kDouble:
+      PutDouble(value.double_value());
+      break;
+    case DataType::kString:
+      PutString(value.string_value());
+      break;
+  }
+}
+
+void WireWriter::PutTuple(const Tuple& tuple) {
+  PutU32(static_cast<uint32_t>(tuple.size()));
+  for (const Value& v : tuple.values()) PutValue(v);
+}
+
+void WireWriter::PutTuples(const std::vector<Tuple>& tuples) {
+  PutU32(static_cast<uint32_t>(tuples.size()));
+  for (const Tuple& t : tuples) PutTuple(t);
+}
+
+void WireWriter::PutQueryResult(const QueryResult& result) {
+  PutU32(static_cast<uint32_t>(result.column_names.size()));
+  for (const std::string& name : result.column_names) PutString(name);
+  PutTuples(result.rows);
+  PutU64(result.affected_rows);
+}
+
+// ---------------------------------------------------------------- reader
+
+bool WireReader::Take(size_t n, const char** out) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *out = data_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool WireReader::GetU8(uint8_t* v) {
+  const char* p = nullptr;
+  if (!Take(1, &p)) return false;
+  *v = static_cast<uint8_t>(*p);
+  return true;
+}
+
+bool WireReader::GetU32(uint32_t* v) {
+  const char* p = nullptr;
+  if (!Take(4, &p)) return false;
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  *v = out;
+  return true;
+}
+
+bool WireReader::GetU64(uint64_t* v) {
+  const char* p = nullptr;
+  if (!Take(8, &p)) return false;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  *v = out;
+  return true;
+}
+
+bool WireReader::GetI64(int64_t* v) {
+  uint64_t raw = 0;
+  if (!GetU64(&raw)) return false;
+  *v = static_cast<int64_t>(raw);
+  return true;
+}
+
+bool WireReader::GetDouble(double* v) {
+  uint64_t bits = 0;
+  if (!GetU64(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(bits));
+  return true;
+}
+
+bool WireReader::GetBool(bool* v) {
+  uint8_t raw = 0;
+  if (!GetU8(&raw)) return false;
+  if (raw > 1) {
+    ok_ = false;
+    return false;
+  }
+  *v = raw != 0;
+  return true;
+}
+
+bool WireReader::GetString(std::string* s) {
+  uint32_t len = 0;
+  if (!GetU32(&len)) return false;
+  const char* p = nullptr;
+  if (!Take(len, &p)) return false;
+  s->assign(p, len);
+  return true;
+}
+
+bool WireReader::GetStatus(Status* status) {
+  uint8_t code = 0;
+  std::string message;
+  if (!GetU8(&code) || !GetString(&message)) return false;
+  if (code > static_cast<uint8_t>(StatusCode::kNotImplemented)) {
+    ok_ = false;
+    return false;
+  }
+  *status = Status(static_cast<StatusCode>(code), std::move(message));
+  return true;
+}
+
+bool WireReader::GetValue(Value* value) {
+  uint8_t tag = 0;
+  if (!GetU8(&tag)) return false;
+  switch (static_cast<DataType>(tag)) {
+    case DataType::kNull:
+      *value = Value::Null();
+      return true;
+    case DataType::kBool: {
+      bool v = false;
+      if (!GetBool(&v)) return false;
+      *value = Value::Bool(v);
+      return true;
+    }
+    case DataType::kInt64: {
+      int64_t v = 0;
+      if (!GetI64(&v)) return false;
+      *value = Value::Int64(v);
+      return true;
+    }
+    case DataType::kDouble: {
+      double v = 0;
+      if (!GetDouble(&v)) return false;
+      *value = Value::Double(v);
+      return true;
+    }
+    case DataType::kString: {
+      std::string v;
+      if (!GetString(&v)) return false;
+      *value = Value::String(std::move(v));
+      return true;
+    }
+  }
+  ok_ = false;
+  return false;
+}
+
+bool WireReader::GetTuple(Tuple* tuple) {
+  uint32_t count = 0;
+  if (!GetU32(&count)) return false;
+  // A value takes at least a tag byte; a count beyond the remaining
+  // bytes is a lie (guards against allocation bombs).
+  if (count > data_.size() - pos_) {
+    ok_ = false;
+    return false;
+  }
+  std::vector<Value> values;
+  values.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Value v;
+    if (!GetValue(&v)) return false;
+    values.push_back(std::move(v));
+  }
+  *tuple = Tuple(std::move(values));
+  return true;
+}
+
+bool WireReader::GetTuples(std::vector<Tuple>* tuples) {
+  uint32_t count = 0;
+  if (!GetU32(&count)) return false;
+  if (count > data_.size() - pos_) {
+    ok_ = false;
+    return false;
+  }
+  tuples->clear();
+  tuples->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Tuple t;
+    if (!GetTuple(&t)) return false;
+    tuples->push_back(std::move(t));
+  }
+  return true;
+}
+
+bool WireReader::GetQueryResult(QueryResult* result) {
+  uint32_t ncols = 0;
+  if (!GetU32(&ncols)) return false;
+  if (ncols > data_.size() - pos_) {
+    ok_ = false;
+    return false;
+  }
+  result->column_names.clear();
+  result->column_names.reserve(ncols);
+  for (uint32_t i = 0; i < ncols; ++i) {
+    std::string name;
+    if (!GetString(&name)) return false;
+    result->column_names.push_back(std::move(name));
+  }
+  uint64_t affected = 0;
+  if (!GetTuples(&result->rows) || !GetU64(&affected)) return false;
+  result->affected_rows = static_cast<size_t>(affected);
+  return true;
+}
+
+Status WireReader::Error(std::string_view what) const {
+  return Status::InvalidArgument("malformed " + std::string(what) +
+                                 " payload at byte " + std::to_string(pos_));
+}
+
+// -------------------------------------------------------------- messages
+
+void WireHandle::Encode(WireWriter* w) const {
+  w->PutU64(query_id);
+  w->PutBool(done);
+  w->PutStatus(outcome);
+  w->PutTuples(answers);
+}
+
+bool WireHandle::Decode(WireReader* r, WireHandle* out) {
+  return r->GetU64(&out->query_id) && r->GetBool(&out->done) &&
+         r->GetStatus(&out->outcome) && r->GetTuples(&out->answers);
+}
+
+bool WireHandle::operator==(const WireHandle& other) const {
+  return query_id == other.query_id && done == other.done &&
+         outcome == other.outcome && answers == other.answers;
+}
+
+void ExecuteRequest::Encode(WireWriter* w) const {
+  w->PutU64(request_id);
+  w->PutString(sql);
+}
+
+bool ExecuteRequest::Decode(WireReader* r, ExecuteRequest* out) {
+  return r->GetU64(&out->request_id) && r->GetString(&out->sql);
+}
+
+void ExecuteResponse::Encode(WireWriter* w) const {
+  w->PutU64(request_id);
+  w->PutStatus(status);
+  w->PutQueryResult(result);
+}
+
+bool ExecuteResponse::Decode(WireReader* r, ExecuteResponse* out) {
+  return r->GetU64(&out->request_id) && r->GetStatus(&out->status) &&
+         r->GetQueryResult(&out->result);
+}
+
+void ScriptRequest::Encode(WireWriter* w) const {
+  w->PutU64(request_id);
+  w->PutString(sql);
+}
+
+bool ScriptRequest::Decode(WireReader* r, ScriptRequest* out) {
+  return r->GetU64(&out->request_id) && r->GetString(&out->sql);
+}
+
+void ScriptResponse::Encode(WireWriter* w) const {
+  w->PutU64(request_id);
+  w->PutStatus(status);
+}
+
+bool ScriptResponse::Decode(WireReader* r, ScriptResponse* out) {
+  return r->GetU64(&out->request_id) && r->GetStatus(&out->status);
+}
+
+void SubmitRequest::Encode(WireWriter* w) const {
+  w->PutU64(request_id);
+  w->PutString(owner);
+  w->PutString(sql);
+}
+
+bool SubmitRequest::Decode(WireReader* r, SubmitRequest* out) {
+  return r->GetU64(&out->request_id) && r->GetString(&out->owner) &&
+         r->GetString(&out->sql);
+}
+
+void SubmitResponse::Encode(WireWriter* w) const {
+  w->PutU64(request_id);
+  w->PutStatus(status);
+  handle.Encode(w);
+}
+
+bool SubmitResponse::Decode(WireReader* r, SubmitResponse* out) {
+  return r->GetU64(&out->request_id) && r->GetStatus(&out->status) &&
+         WireHandle::Decode(r, &out->handle);
+}
+
+void SubmitBatchRequest::Encode(WireWriter* w) const {
+  w->PutU64(request_id);
+  w->PutU32(static_cast<uint32_t>(owners.size()));
+  for (const std::string& owner : owners) w->PutString(owner);
+  w->PutU32(static_cast<uint32_t>(statements.size()));
+  for (const std::string& sql : statements) w->PutString(sql);
+}
+
+bool SubmitBatchRequest::Decode(WireReader* r, SubmitBatchRequest* out) {
+  uint32_t nowners = 0;
+  if (!r->GetU64(&out->request_id) || !r->GetU32(&nowners)) return false;
+  out->owners.clear();
+  for (uint32_t i = 0; i < nowners; ++i) {
+    std::string owner;
+    if (!r->GetString(&owner)) return false;
+    out->owners.push_back(std::move(owner));
+  }
+  uint32_t nstatements = 0;
+  if (!r->GetU32(&nstatements)) return false;
+  out->statements.clear();
+  for (uint32_t i = 0; i < nstatements; ++i) {
+    std::string sql;
+    if (!r->GetString(&sql)) return false;
+    out->statements.push_back(std::move(sql));
+  }
+  return true;
+}
+
+void SubmitBatchResponse::Encode(WireWriter* w) const {
+  w->PutU64(request_id);
+  w->PutStatus(status);
+  w->PutU32(static_cast<uint32_t>(handles.size()));
+  for (const WireHandle& handle : handles) handle.Encode(w);
+}
+
+bool SubmitBatchResponse::Decode(WireReader* r, SubmitBatchResponse* out) {
+  uint32_t count = 0;
+  if (!r->GetU64(&out->request_id) || !r->GetStatus(&out->status) ||
+      !r->GetU32(&count)) {
+    return false;
+  }
+  out->handles.clear();
+  for (uint32_t i = 0; i < count; ++i) {
+    WireHandle handle;
+    if (!WireHandle::Decode(r, &handle)) return false;
+    out->handles.push_back(std::move(handle));
+  }
+  return true;
+}
+
+void RunRequest::Encode(WireWriter* w) const {
+  w->PutU64(request_id);
+  w->PutString(owner);
+  w->PutString(sql);
+}
+
+bool RunRequest::Decode(WireReader* r, RunRequest* out) {
+  return r->GetU64(&out->request_id) && r->GetString(&out->owner) &&
+         r->GetString(&out->sql);
+}
+
+void RunResponse::Encode(WireWriter* w) const {
+  w->PutU64(request_id);
+  w->PutStatus(status);
+  w->PutBool(entangled);
+  w->PutQueryResult(result);
+  handle.Encode(w);
+}
+
+bool RunResponse::Decode(WireReader* r, RunResponse* out) {
+  return r->GetU64(&out->request_id) && r->GetStatus(&out->status) &&
+         r->GetBool(&out->entangled) && r->GetQueryResult(&out->result) &&
+         WireHandle::Decode(r, &out->handle);
+}
+
+void CancelRequest::Encode(WireWriter* w) const {
+  w->PutU64(request_id);
+  w->PutU64(query_id);
+}
+
+bool CancelRequest::Decode(WireReader* r, CancelRequest* out) {
+  return r->GetU64(&out->request_id) && r->GetU64(&out->query_id);
+}
+
+void CancelResponse::Encode(WireWriter* w) const {
+  w->PutU64(request_id);
+  w->PutStatus(status);
+}
+
+bool CancelResponse::Decode(WireReader* r, CancelResponse* out) {
+  return r->GetU64(&out->request_id) && r->GetStatus(&out->status);
+}
+
+void CompletionPush::Encode(WireWriter* w) const {
+  w->PutU64(query_id);
+  w->PutStatus(outcome);
+  w->PutTuples(answers);
+}
+
+bool CompletionPush::Decode(WireReader* r, CompletionPush* out) {
+  return r->GetU64(&out->query_id) && r->GetStatus(&out->outcome) &&
+         r->GetTuples(&out->answers);
+}
+
+// -------------------------------------------------------------- framing
+
+Result<std::optional<Frame>> FrameAssembler::Next() {
+  // Compact lazily so repeated small frames do not repeatedly memmove.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) return std::optional<Frame>();
+  WireReader header(
+      std::string_view(buffer_).substr(consumed_, kFrameHeaderBytes));
+  uint32_t length = 0;
+  header.GetU32(&length);
+  if (length == 0) {
+    return Status::InvalidArgument("frame with zero length");
+  }
+  if (length > max_frame_bytes_) {
+    return Status::InvalidArgument(
+        "frame length " + std::to_string(length) + " exceeds limit " +
+        std::to_string(max_frame_bytes_));
+  }
+  if (available < kFrameHeaderBytes + length) return std::optional<Frame>();
+  Frame frame;
+  frame.type = static_cast<MessageType>(
+      static_cast<uint8_t>(buffer_[consumed_ + kFrameHeaderBytes]));
+  frame.payload.assign(buffer_, consumed_ + kFrameHeaderBytes + 1, length - 1);
+  consumed_ += kFrameHeaderBytes + length;
+  return std::optional<Frame>(std::move(frame));
+}
+
+}  // namespace youtopia::net

@@ -1,0 +1,329 @@
+#ifndef YOUTOPIA_NET_PROTOCOL_H_
+#define YOUTOPIA_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/executor.h"
+#include "types/tuple.h"
+
+namespace youtopia::net {
+
+/// The wire protocol between a `RemoteClient` and a `YoutopiaServer`
+/// (design decision #6): length-prefixed binary frames over a byte
+/// stream.
+///
+///   frame := u32 length | u8 message type | payload
+///
+/// `length` counts the type byte plus the payload (so every valid frame
+/// has length >= 1) and is bounded by `kMaxFrameBytes` — a peer that
+/// announces more is malfunctioning or hostile, and the connection is
+/// dropped rather than buffered against. All integers are fixed-width
+/// little-endian; doubles travel as their IEEE-754 bit pattern in a u64;
+/// strings and repeated fields are u32-count-prefixed.
+///
+/// Requests carry a client-chosen `request_id` echoed by the matching
+/// response, so one connection can interleave many outstanding requests
+/// (the async client surface). Entangled completions are *server-push*
+/// `CompletionPush` frames keyed by the engine's query id — no request
+/// pairs with them, mirroring how `EntangledHandle::OnComplete` delivers
+/// completions in-process.
+
+/// Upper bound on `length`. Generous enough for a full travel-dataset
+/// dump script; small enough that a garbage length cannot OOM a reader.
+inline constexpr uint32_t kMaxFrameBytes = 64u * 1024 * 1024;
+
+/// Bytes of the frame header (u32 length).
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+enum class MessageType : uint8_t {
+  kExecuteRequest = 1,
+  kExecuteResponse = 2,
+  kScriptRequest = 3,
+  kScriptResponse = 4,
+  kSubmitRequest = 5,
+  kSubmitResponse = 6,
+  kSubmitBatchRequest = 7,
+  kSubmitBatchResponse = 8,
+  kRunRequest = 9,
+  kRunResponse = 10,
+  kCancelRequest = 11,
+  kCancelResponse = 12,
+  kCompletionPush = 13,
+};
+
+const char* MessageTypeToString(MessageType type);
+
+// ---------------------------------------------------------------- codec
+
+/// Appends primitive wire encodings to a byte buffer.
+class WireWriter {
+ public:
+  void PutU8(uint8_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v);
+  void PutDouble(double v);
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  void PutString(std::string_view s);
+  void PutStatus(const ::youtopia::Status& status);
+  void PutValue(const Value& value);
+  void PutTuple(const Tuple& tuple);
+  void PutTuples(const std::vector<Tuple>& tuples);
+  void PutQueryResult(const QueryResult& result);
+
+  const std::string& bytes() const { return bytes_; }
+  std::string Take() { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+};
+
+/// Cursor over a payload. Getters return false on underflow (and on any
+/// later call — the reader is sticky-failed), so decoders can chain
+/// reads and check once. `Error()` renders the failure; decoders also
+/// require full consumption, so a too-long payload is rejected like a
+/// too-short one.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  bool GetU8(uint8_t* v);
+  bool GetU32(uint32_t* v);
+  bool GetU64(uint64_t* v);
+  bool GetI64(int64_t* v);
+  bool GetDouble(double* v);
+  bool GetBool(bool* v);
+  bool GetString(std::string* s);
+  bool GetStatus(::youtopia::Status* status);
+  bool GetValue(Value* value);
+  bool GetTuple(Tuple* tuple);
+  bool GetTuples(std::vector<Tuple>* tuples);
+  bool GetQueryResult(QueryResult* result);
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return ok_ && pos_ == data_.size(); }
+  /// InvalidArgument describing a malformed payload (truncated, trailing
+  /// bytes, or a bad tag).
+  ::youtopia::Status Error(std::string_view what) const;
+
+ private:
+  bool Take(size_t n, const char** out);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ------------------------------------------------------------- messages
+
+/// Client-side view of an entangled handle at registration time: the
+/// engine's query id plus, when the coordination already completed
+/// inside the submit round, its terminal outcome and answers.
+struct WireHandle {
+  uint64_t query_id = 0;
+  bool done = false;
+  ::youtopia::Status outcome;
+  std::vector<Tuple> answers;
+
+  void Encode(WireWriter* w) const;
+  static bool Decode(WireReader* r, WireHandle* out);
+  bool operator==(const WireHandle& other) const;
+};
+
+struct ExecuteRequest {
+  static constexpr MessageType kType = MessageType::kExecuteRequest;
+  uint64_t request_id = 0;
+  std::string sql;
+
+  void Encode(WireWriter* w) const;
+  static bool Decode(WireReader* r, ExecuteRequest* out);
+};
+
+struct ExecuteResponse {
+  static constexpr MessageType kType = MessageType::kExecuteResponse;
+  uint64_t request_id = 0;
+  ::youtopia::Status status;
+  QueryResult result;  ///< Meaningful when `status` is OK.
+
+  void Encode(WireWriter* w) const;
+  static bool Decode(WireReader* r, ExecuteResponse* out);
+};
+
+struct ScriptRequest {
+  static constexpr MessageType kType = MessageType::kScriptRequest;
+  uint64_t request_id = 0;
+  std::string sql;
+
+  void Encode(WireWriter* w) const;
+  static bool Decode(WireReader* r, ScriptRequest* out);
+};
+
+struct ScriptResponse {
+  static constexpr MessageType kType = MessageType::kScriptResponse;
+  uint64_t request_id = 0;
+  ::youtopia::Status status;
+
+  void Encode(WireWriter* w) const;
+  static bool Decode(WireReader* r, ScriptResponse* out);
+};
+
+struct SubmitRequest {
+  static constexpr MessageType kType = MessageType::kSubmitRequest;
+  uint64_t request_id = 0;
+  std::string owner;
+  std::string sql;
+
+  void Encode(WireWriter* w) const;
+  static bool Decode(WireReader* r, SubmitRequest* out);
+};
+
+struct SubmitResponse {
+  static constexpr MessageType kType = MessageType::kSubmitResponse;
+  uint64_t request_id = 0;
+  ::youtopia::Status status;
+  WireHandle handle;  ///< Meaningful when `status` is OK.
+
+  void Encode(WireWriter* w) const;
+  static bool Decode(WireReader* r, SubmitResponse* out);
+};
+
+struct SubmitBatchRequest {
+  static constexpr MessageType kType = MessageType::kSubmitBatchRequest;
+  uint64_t request_id = 0;
+  /// Empty, or one owner per statement (Youtopia::SubmitBatch contract).
+  std::vector<std::string> owners;
+  std::vector<std::string> statements;
+
+  void Encode(WireWriter* w) const;
+  static bool Decode(WireReader* r, SubmitBatchRequest* out);
+};
+
+struct SubmitBatchResponse {
+  static constexpr MessageType kType = MessageType::kSubmitBatchResponse;
+  uint64_t request_id = 0;
+  ::youtopia::Status status;
+  std::vector<WireHandle> handles;  ///< Statement order; OK status only.
+
+  void Encode(WireWriter* w) const;
+  static bool Decode(WireReader* r, SubmitBatchResponse* out);
+};
+
+struct RunRequest {
+  static constexpr MessageType kType = MessageType::kRunRequest;
+  uint64_t request_id = 0;
+  std::string owner;
+  std::string sql;
+
+  void Encode(WireWriter* w) const;
+  static bool Decode(WireReader* r, RunRequest* out);
+};
+
+struct RunResponse {
+  static constexpr MessageType kType = MessageType::kRunResponse;
+  uint64_t request_id = 0;
+  ::youtopia::Status status;
+  bool entangled = false;
+  QueryResult result;  ///< Regular statements.
+  WireHandle handle;   ///< Entangled statements.
+
+  void Encode(WireWriter* w) const;
+  static bool Decode(WireReader* r, RunResponse* out);
+};
+
+struct CancelRequest {
+  static constexpr MessageType kType = MessageType::kCancelRequest;
+  uint64_t request_id = 0;
+  uint64_t query_id = 0;
+
+  void Encode(WireWriter* w) const;
+  static bool Decode(WireReader* r, CancelRequest* out);
+};
+
+struct CancelResponse {
+  static constexpr MessageType kType = MessageType::kCancelResponse;
+  uint64_t request_id = 0;
+  ::youtopia::Status status;
+
+  void Encode(WireWriter* w) const;
+  static bool Decode(WireReader* r, CancelResponse* out);
+};
+
+/// Server-push completion of an entangled query: sent on the connection
+/// that registered the query once it reaches a terminal state. Always
+/// sequenced *after* the response that announced the handle.
+struct CompletionPush {
+  static constexpr MessageType kType = MessageType::kCompletionPush;
+  uint64_t query_id = 0;
+  ::youtopia::Status outcome;
+  std::vector<Tuple> answers;
+
+  void Encode(WireWriter* w) const;
+  static bool Decode(WireReader* r, CompletionPush* out);
+};
+
+// -------------------------------------------------------------- framing
+
+/// Serializes `msg` into one complete frame (header + type + payload).
+template <typename Message>
+std::string EncodeFrame(const Message& msg) {
+  WireWriter payload;
+  msg.Encode(&payload);
+  WireWriter frame;
+  frame.PutU32(static_cast<uint32_t>(payload.bytes().size() + 1));
+  frame.PutU8(static_cast<uint8_t>(Message::kType));
+  std::string out = frame.Take();
+  out += payload.bytes();
+  return out;
+}
+
+/// Decodes a payload previously produced by EncodeFrame (sans header and
+/// type byte), requiring exact consumption.
+template <typename Message>
+::youtopia::Result<Message> DecodePayload(std::string_view payload) {
+  WireReader reader(payload);
+  Message msg;
+  if (!Message::Decode(&reader, &msg) || !reader.AtEnd()) {
+    return reader.Error(MessageTypeToString(Message::kType));
+  }
+  return msg;
+}
+
+/// One decoded frame: the type byte plus its raw payload.
+struct Frame {
+  MessageType type = MessageType::kExecuteRequest;
+  std::string payload;
+};
+
+/// Incremental frame parser for a byte stream: feed whatever the socket
+/// produced, pop complete frames. Rejects frames whose announced length
+/// is zero or exceeds `max_frame_bytes` — the reader must then drop the
+/// connection (the stream is unsynchronizable).
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(uint32_t max_frame_bytes = kMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void Append(const char* data, size_t n) { buffer_.append(data, n); }
+  void Append(std::string_view data) { buffer_.append(data); }
+
+  /// Pops the next complete frame: nullopt while the buffer holds only a
+  /// partial frame; InvalidArgument on a malformed length.
+  ::youtopia::Result<std::optional<Frame>> Next();
+
+  /// Bytes buffered but not yet consumed by Next().
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  const uint32_t max_frame_bytes_;
+  std::string buffer_;
+  size_t consumed_ = 0;
+};
+
+}  // namespace youtopia::net
+
+#endif  // YOUTOPIA_NET_PROTOCOL_H_

@@ -1,0 +1,504 @@
+#include "net/remote_client.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace youtopia::net {
+
+Result<std::unique_ptr<RemoteClient>> RemoteClient::Connect(
+    const std::string& host, uint16_t port, ClientOptions options,
+    uint32_t max_frame_bytes) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* resolved = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                    &resolved);
+  if (rc != 0 || resolved == nullptr) {
+    return Status::NotFound("cannot resolve " + host + ": " +
+                            gai_strerror(rc));
+  }
+  int fd = -1;
+  Status last = Status::NotFound("no address for " + host);
+  for (addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Status::Internal(std::string("socket: ") + std::strerror(errno));
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    last = Status::Internal("connect " + host + ":" + std::to_string(port) +
+                            ": " + std::strerror(errno));
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(resolved);
+  if (fd < 0) return last;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<RemoteClient>(
+      new RemoteClient(fd, std::move(options), max_frame_bytes));
+}
+
+RemoteClient::RemoteClient(int fd, ClientOptions options,
+                           uint32_t max_frame_bytes)
+    : fd_(fd),
+      options_(std::move(options)),
+      max_frame_bytes_(max_frame_bytes) {
+  reader_ = std::thread([this] { ReaderLoop(); });
+  completion_dispatcher_ = std::thread([this] { CompletionLoop(); });
+}
+
+RemoteClient::~RemoteClient() {
+  Close();
+  ::close(fd_);
+}
+
+bool RemoteClient::connected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !closed_;
+}
+
+void RemoteClient::Close() {
+  // call_once: a Close racing the destructor (or another Close) must
+  // not double-join the threads; late callers block until the first
+  // finishes tearing down.
+  std::call_once(close_once_, [this] {
+    ::shutdown(fd_, SHUT_RDWR);
+    if (reader_.joinable()) reader_.join();
+    // ReaderLoop's exit path aborted everything already; this covers a
+    // Close before the reader noticed the shutdown.
+    AbortEverything(Status::Aborted("connection closed"));
+    // Stop the dispatcher only after everything that can enqueue has
+    // run: it drains the queue, so no completion is lost on close.
+    {
+      std::lock_guard<std::mutex> lock(comp_mu_);
+      comp_stop_ = true;
+    }
+    comp_cv_.notify_all();
+    if (completion_dispatcher_.joinable()) completion_dispatcher_.join();
+  });
+}
+
+Status RemoteClient::SendBytes(const std::string& bytes) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::Aborted(std::string("connection lost: ") +
+                             (n < 0 ? std::strerror(errno) : "peer closed"));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status RemoteClient::Call(uint64_t request_id, const std::string& frame,
+                          ResponseHandler handler) {
+  if (frame.size() > size_t{max_frame_bytes_} + kFrameHeaderBytes) {
+    // The server's assembler would reject it and sever the connection,
+    // killing every other in-flight request — fail just this call.
+    return Status::InvalidArgument(
+        "encoded request (" + std::to_string(frame.size()) +
+        " bytes) exceeds the frame limit");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return Status::Aborted("client is closed");
+    in_flight_.emplace(request_id, std::move(handler));
+  }
+  const Status sent = SendBytes(frame);
+  if (sent.ok()) return Status::OK();
+  // Undo the registration — unless the reader already failed it (then
+  // the handler has fired and the caller must treat the call as issued).
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_flight_.erase(request_id) == 0) return Status::OK();
+  return sent;
+}
+
+void RemoteClient::ReaderLoop() {
+  FrameAssembler assembler(max_frame_bytes_);
+  char buf[1 << 16];
+  Status reason = Status::Aborted("connection closed by server");
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      reason = Status::Aborted(std::string("connection lost: ") +
+                               std::strerror(errno));
+      break;
+    }
+    assembler.Append(buf, static_cast<size_t>(n));
+    bool broken = false;
+    for (;;) {
+      auto next = assembler.Next();
+      if (!next.ok()) {
+        reason = next.status();
+        broken = true;
+        break;
+      }
+      if (!next->has_value()) break;
+      HandleIncoming(std::move(**next));
+    }
+    if (broken) break;
+  }
+  ::shutdown(fd_, SHUT_RDWR);
+  AbortEverything(reason);
+}
+
+void RemoteClient::HandleIncoming(Frame frame) {
+  if (frame.type == MessageType::kCompletionPush) {
+    auto push = DecodePayload<CompletionPush>(frame.payload);
+    if (!push.ok()) {
+      YOUTOPIA_LOG(kWarning) << "bad completion push: "
+                             << push.status().ToString();
+      return;
+    }
+    ApplyCompletion(*push);
+    return;
+  }
+  // Everything else is a response; the request id leads every payload.
+  WireReader reader(frame.payload);
+  uint64_t request_id = 0;
+  if (!reader.GetU64(&request_id)) {
+    YOUTOPIA_LOG(kWarning) << "response frame too short";
+    return;
+  }
+  ResponseHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = in_flight_.find(request_id);
+    if (it == in_flight_.end()) return;  // cancelled or duplicate
+    handler = std::move(it->second);
+    in_flight_.erase(it);
+  }
+  handler(std::move(frame));
+}
+
+void RemoteClient::ApplyCompletion(const CompletionPush& push) {
+  std::optional<EntangledHandle> handle;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = handles_.find(push.query_id);
+    if (it == handles_.end()) {
+      // Bounded: a push whose handle is never adopted (response lost to
+      // an error path) must not accumulate for the connection's life.
+      if (early_completions_.size() >= 256) {
+        early_completions_.erase(early_completions_.begin());
+      }
+      early_completions_[push.query_id] = push;
+      return;
+    }
+    handle = it->second;
+    handles_.erase(it);
+  }
+  EnqueueCompletion(std::move(*handle), push.outcome, push.answers);
+}
+
+void RemoteClient::EnqueueCompletion(EntangledHandle handle, Status outcome,
+                                     std::vector<Tuple> answers) {
+  {
+    std::lock_guard<std::mutex> lock(comp_mu_);
+    if (!comp_stop_) {
+      comp_queue_.push_back(PendingCompletion{
+          std::move(handle), std::move(outcome), std::move(answers)});
+      comp_cv_.notify_one();
+      return;
+    }
+  }
+  // Dispatcher already stopped (late completion during teardown):
+  // complete in the calling thread so no waiter hangs.
+  DetachedHandles::Complete(handle, std::move(outcome), std::move(answers));
+}
+
+void RemoteClient::CompletionLoop() {
+  for (;;) {
+    std::optional<PendingCompletion> next;
+    {
+      std::unique_lock<std::mutex> lock(comp_mu_);
+      comp_cv_.wait(lock,
+                    [this] { return comp_stop_ || !comp_queue_.empty(); });
+      // Stop only on a drained queue, so close never drops completions.
+      if (comp_queue_.empty()) return;
+      next.emplace(std::move(comp_queue_.front()));
+      comp_queue_.pop_front();
+    }
+    DetachedHandles::Complete(next->handle, std::move(next->outcome),
+                              std::move(next->answers));
+  }
+}
+
+void RemoteClient::AbortEverything(const Status& reason) {
+  std::map<uint64_t, ResponseHandler> in_flight;
+  std::map<uint64_t, EntangledHandle> handles;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    in_flight.swap(in_flight_);
+    handles.swap(handles_);
+    early_completions_.clear();
+  }
+  for (auto& [id, handler] : in_flight) handler(reason);
+  for (auto& [id, handle] : handles) {
+    EnqueueCompletion(handle, reason, {});
+  }
+}
+
+EntangledHandle RemoteClient::AdoptHandle(const WireHandle& wire) {
+  EntangledHandle handle = DetachedHandles::Create(wire.query_id);
+  if (wire.done) {
+    DetachedHandles::Complete(handle, wire.outcome, wire.answers);
+    return handle;
+  }
+  std::optional<CompletionPush> early;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = early_completions_.find(wire.query_id);
+    if (it != early_completions_.end()) {
+      early = std::move(it->second);
+      early_completions_.erase(it);
+    } else if (closed_) {
+      early = CompletionPush{wire.query_id,
+                             Status::Aborted("connection closed"),
+                             {}};
+    } else {
+      handles_.emplace(wire.query_id, handle);
+    }
+  }
+  if (early) DetachedHandles::Complete(handle, early->outcome, early->answers);
+  return handle;
+}
+
+// ----------------------------------------------------------- statements
+
+std::future<Result<QueryResult>> RemoteClient::ExecuteAsync(
+    const std::string& sql) {
+  auto promise = std::make_shared<std::promise<Result<QueryResult>>>();
+  auto future = promise->get_future();
+  const uint64_t id = NextRequestId();
+  const Status issued = Call(
+      id, EncodeFrame(ExecuteRequest{id, sql}),
+      [promise](Result<Frame> frame) {
+        if (!frame.ok()) {
+          promise->set_value(Result<QueryResult>(frame.status()));
+          return;
+        }
+        auto resp = DecodePayload<ExecuteResponse>(frame->payload);
+        if (!resp.ok()) {
+          promise->set_value(Result<QueryResult>(resp.status()));
+        } else if (!resp->status.ok()) {
+          promise->set_value(Result<QueryResult>(resp->status));
+        } else {
+          promise->set_value(std::move(resp->result));
+        }
+      });
+  if (!issued.ok()) promise->set_value(Result<QueryResult>(issued));
+  return future;
+}
+
+Result<QueryResult> RemoteClient::Execute(const std::string& sql) {
+  return ExecuteAsync(sql).get();
+}
+
+std::future<Status> RemoteClient::ExecuteScriptAsync(const std::string& sql) {
+  auto promise = std::make_shared<std::promise<Status>>();
+  auto future = promise->get_future();
+  const uint64_t id = NextRequestId();
+  const Status issued = Call(
+      id, EncodeFrame(ScriptRequest{id, sql}),
+      [promise](Result<Frame> frame) {
+        if (!frame.ok()) {
+          promise->set_value(frame.status());
+          return;
+        }
+        auto resp = DecodePayload<ScriptResponse>(frame->payload);
+        promise->set_value(resp.ok() ? resp->status : resp.status());
+      });
+  if (!issued.ok()) promise->set_value(issued);
+  return future;
+}
+
+Status RemoteClient::ExecuteScript(const std::string& sql) {
+  return ExecuteScriptAsync(sql).get();
+}
+
+Result<EntangledHandle> RemoteClient::Submit(const std::string& sql,
+                                             CompletionCallback on_complete) {
+  return SubmitAs(options_.owner, sql, std::move(on_complete));
+}
+
+Result<EntangledHandle> RemoteClient::SubmitAs(
+    const std::string& owner, const std::string& sql,
+    CompletionCallback on_complete) {
+  auto promise = std::make_shared<std::promise<Result<EntangledHandle>>>();
+  auto future = promise->get_future();
+  const uint64_t id = NextRequestId();
+  const Status issued = Call(
+      id, EncodeFrame(SubmitRequest{id, owner, sql}),
+      [this, promise](Result<Frame> frame) {
+        // `this` is safe: handlers only run from the reader thread or
+        // AbortEverything, both of which precede destruction.
+        if (!frame.ok()) {
+          promise->set_value(Result<EntangledHandle>(frame.status()));
+          return;
+        }
+        auto resp = DecodePayload<SubmitResponse>(frame->payload);
+        if (!resp.ok()) {
+          promise->set_value(Result<EntangledHandle>(resp.status()));
+        } else if (!resp->status.ok()) {
+          promise->set_value(Result<EntangledHandle>(resp->status));
+        } else {
+          promise->set_value(AdoptHandle(resp->handle));
+        }
+      });
+  if (!issued.ok()) return issued;
+  auto handle = future.get();
+  if (!handle.ok()) return handle;
+  if (on_complete) handle->OnComplete(std::move(on_complete));
+  return handle;
+}
+
+Result<std::vector<EntangledHandle>> RemoteClient::SubmitBatch(
+    const std::vector<std::string>& statements,
+    CompletionCallback on_complete) {
+  return SubmitBatchAs({}, statements, std::move(on_complete));
+}
+
+Result<std::vector<EntangledHandle>> RemoteClient::SubmitBatchAs(
+    const std::vector<std::string>& owners,
+    const std::vector<std::string>& statements,
+    CompletionCallback on_complete) {
+  SubmitBatchRequest req;
+  req.request_id = NextRequestId();
+  if (owners.empty()) {
+    req.owners.assign(statements.size(), options_.owner);
+  } else {
+    req.owners = owners;
+  }
+  req.statements = statements;
+  auto promise =
+      std::make_shared<std::promise<Result<std::vector<EntangledHandle>>>>();
+  auto future = promise->get_future();
+  const Status issued = Call(
+      req.request_id, EncodeFrame(req), [this, promise](Result<Frame> frame) {
+        if (!frame.ok()) {
+          promise->set_value(
+              Result<std::vector<EntangledHandle>>(frame.status()));
+          return;
+        }
+        auto resp = DecodePayload<SubmitBatchResponse>(frame->payload);
+        if (!resp.ok()) {
+          promise->set_value(
+              Result<std::vector<EntangledHandle>>(resp.status()));
+          return;
+        }
+        if (!resp->status.ok()) {
+          promise->set_value(
+              Result<std::vector<EntangledHandle>>(resp->status));
+          return;
+        }
+        std::vector<EntangledHandle> handles;
+        handles.reserve(resp->handles.size());
+        for (const WireHandle& wire : resp->handles) {
+          handles.push_back(AdoptHandle(wire));
+        }
+        promise->set_value(std::move(handles));
+      });
+  if (!issued.ok()) return issued;
+  auto handles = future.get();
+  if (!handles.ok()) return handles;
+  if (on_complete) {
+    for (EntangledHandle& handle : *handles) handle.OnComplete(on_complete);
+  }
+  return handles;
+}
+
+std::future<Result<RunOutcome>> RemoteClient::RunAsync(
+    const std::string& sql) {
+  auto promise = std::make_shared<std::promise<Result<RunOutcome>>>();
+  auto future = promise->get_future();
+  const uint64_t id = NextRequestId();
+  const Status issued = Call(
+      id, EncodeFrame(RunRequest{id, options_.owner, sql}),
+      [this, promise](Result<Frame> frame) {
+        if (!frame.ok()) {
+          promise->set_value(Result<RunOutcome>(frame.status()));
+          return;
+        }
+        auto resp = DecodePayload<RunResponse>(frame->payload);
+        if (!resp.ok()) {
+          promise->set_value(Result<RunOutcome>(resp.status()));
+          return;
+        }
+        if (!resp->status.ok()) {
+          promise->set_value(Result<RunOutcome>(resp->status));
+          return;
+        }
+        RunOutcome outcome;
+        outcome.entangled = resp->entangled;
+        if (resp->entangled) {
+          outcome.handle = AdoptHandle(resp->handle);
+        } else {
+          outcome.result = std::move(resp->result);
+        }
+        promise->set_value(std::move(outcome));
+      });
+  if (!issued.ok()) promise->set_value(Result<RunOutcome>(issued));
+  return future;
+}
+
+Result<RunOutcome> RemoteClient::Run(const std::string& sql) {
+  return RunAsync(sql).get();
+}
+
+// ------------------------------------------------------------- tracking
+
+std::vector<EntangledHandle> RemoteClient::Outstanding() {
+  std::vector<EntangledHandle> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(handles_.size());
+  for (const auto& [id, handle] : handles_) out.push_back(handle);
+  return out;
+}
+
+Status RemoteClient::CancelAll() {
+  for (const EntangledHandle& handle : Outstanding()) {
+    auto promise = std::make_shared<std::promise<Status>>();
+    auto future = promise->get_future();
+    const uint64_t id = NextRequestId();
+    const Status issued = Call(
+        id, EncodeFrame(CancelRequest{id, handle.id()}),
+        [promise](Result<Frame> frame) {
+          if (!frame.ok()) {
+            promise->set_value(frame.status());
+            return;
+          }
+          auto resp = DecodePayload<CancelResponse>(frame->payload);
+          promise->set_value(resp.ok() ? resp->status : resp.status());
+        });
+    if (!issued.ok()) return issued;
+    const Status status = future.get();
+    // NotFound just means it completed concurrently.
+    if (!status.ok() && status.code() != StatusCode::kNotFound) {
+      return status;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace youtopia::net

@@ -1,0 +1,172 @@
+#ifndef YOUTOPIA_NET_REMOTE_CLIENT_H_
+#define YOUTOPIA_NET_REMOTE_CLIENT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/protocol.h"
+#include "server/client.h"
+#include "server/client_interface.h"
+
+namespace youtopia::net {
+
+/// Wire-protocol counterpart of the in-process `Client`: the same
+/// `ClientInterface` surface, spoken to a `YoutopiaServer` over TCP, so
+/// middle tiers are backend-agnostic. One RemoteClient per logical
+/// connection; it is one FIFO session on the server's executor service,
+/// so this client's statements execute in submission order while other
+/// clients' statements run in parallel — identical to the in-process
+/// contract.
+///
+/// Requests are correlated by id, so many async calls can be in flight
+/// on the one connection. Entangled submissions block only for
+/// *registration* (the SubmitResponse); completion arrives later as a
+/// server-pushed `CompletionPush`, applied to the query's detached
+/// `EntangledHandle` — Wait, OnComplete and Answers behave exactly as
+/// they do in-process. Pushed completions are delivered from a
+/// dedicated dispatch thread (not the socket reader), so an OnComplete
+/// callback may synchronously call back into this client — submit a
+/// follow-up, run a query — without deadlocking the connection, the
+/// same reentrancy the in-process coordinator allows.
+///
+/// Connection loss fails all in-flight requests and completes all
+/// pending handles with kAborted: a remote caller can always
+/// distinguish "the coordination failed" from "we lost the engine" by
+/// the status message, but never hangs.
+class RemoteClient : public ClientInterface {
+ public:
+  /// Connects to a YoutopiaServer. Only `options.owner` and the retry
+  /// fields' defaults matter remotely: conflict retry policy is applied
+  /// engine-side by the executor service. `max_frame_bytes` must match
+  /// the server's ServerConfig value when that was lowered from the
+  /// default: requests bigger than it fail client-side instead of
+  /// making the server sever the connection.
+  static Result<std::unique_ptr<RemoteClient>> Connect(
+      const std::string& host, uint16_t port, ClientOptions options = {},
+      uint32_t max_frame_bytes = kMaxFrameBytes);
+
+  ~RemoteClient() override;
+
+  RemoteClient(const RemoteClient&) = delete;
+  RemoteClient& operator=(const RemoteClient&) = delete;
+
+  const ClientOptions& options() const { return options_; }
+  const std::string& owner() const override { return options_.owner; }
+
+  /// True until the socket fails or Close() runs.
+  bool connected() const;
+
+  /// Severs the connection: fails in-flight requests, aborts pending
+  /// handles, joins the reader. Idempotent; the destructor calls it.
+  void Close();
+
+  Result<QueryResult> Execute(const std::string& sql) override;
+  std::future<Result<QueryResult>> ExecuteAsync(
+      const std::string& sql) override;
+  Status ExecuteScript(const std::string& sql) override;
+  std::future<Status> ExecuteScriptAsync(const std::string& sql) override;
+  Result<EntangledHandle> Submit(
+      const std::string& sql,
+      CompletionCallback on_complete = nullptr) override;
+  Result<EntangledHandle> SubmitAs(
+      const std::string& owner, const std::string& sql,
+      CompletionCallback on_complete = nullptr) override;
+  Result<std::vector<EntangledHandle>> SubmitBatch(
+      const std::vector<std::string>& statements,
+      CompletionCallback on_complete = nullptr) override;
+  Result<std::vector<EntangledHandle>> SubmitBatchAs(
+      const std::vector<std::string>& owners,
+      const std::vector<std::string>& statements,
+      CompletionCallback on_complete = nullptr) override;
+  Result<RunOutcome> Run(const std::string& sql) override;
+  std::future<Result<RunOutcome>> RunAsync(const std::string& sql) override;
+  std::vector<EntangledHandle> Outstanding() override;
+  // WaitForAll: ClientInterface's default (Outstanding + Wait) applies.
+  Status CancelAll() override;
+
+ private:
+  /// Invoked exactly once per issued request: with the response frame,
+  /// or with the error that killed the connection. Runs on the reader
+  /// thread (or the thread that discovered the failure).
+  using ResponseHandler = std::function<void(Result<Frame>)>;
+
+  RemoteClient(int fd, ClientOptions options, uint32_t max_frame_bytes);
+
+  uint64_t NextRequestId() { return next_request_id_.fetch_add(1); }
+
+  /// Registers `handler` under `request_id` and writes `frame`.
+  /// Guarantees: handler fires exactly once if OK is returned, never
+  /// fires if an error is returned.
+  Status Call(uint64_t request_id, const std::string& frame,
+              ResponseHandler handler);
+
+  /// Serialized full-frame write.
+  Status SendBytes(const std::string& bytes);
+
+  void ReaderLoop();
+  void HandleIncoming(Frame frame);
+  void ApplyCompletion(const CompletionPush& push);
+  /// Fails every in-flight request and pending handle (connection loss).
+  void AbortEverything(const Status& reason);
+
+  /// Hands a handle completion to the dispatch thread. User OnComplete
+  /// callbacks must never run on the reader (a callback that calls back
+  /// into the client would wait on a response only the reader can
+  /// deliver).
+  void EnqueueCompletion(EntangledHandle handle, Status outcome,
+                         std::vector<Tuple> answers);
+  void CompletionLoop();
+
+  /// Turns a WireHandle into a live client-side handle: already-done
+  /// handles are completed on the spot, pending ones are parked in
+  /// `handles_` awaiting their CompletionPush.
+  EntangledHandle AdoptHandle(const WireHandle& wire);
+
+  int fd_;
+  ClientOptions options_;
+  const uint32_t max_frame_bytes_;
+  /// Guards teardown: Close() may race the destructor (or another
+  /// Close); only one caller runs the join sequence, the rest wait on
+  /// it.
+  std::once_flag close_once_;
+  std::thread reader_;
+  std::thread completion_dispatcher_;
+  std::atomic<uint64_t> next_request_id_{1};
+
+  /// Completion-dispatch queue (handle + terminal state), drained in
+  /// arrival order by completion_dispatcher_.
+  struct PendingCompletion {
+    EntangledHandle handle;
+    Status outcome;
+    std::vector<Tuple> answers;
+  };
+  std::mutex comp_mu_;
+  std::condition_variable comp_cv_;
+  std::deque<PendingCompletion> comp_queue_;
+  bool comp_stop_ = false;
+
+  std::mutex write_mu_;
+
+  mutable std::mutex mu_;
+  bool closed_ = false;
+  std::map<uint64_t, ResponseHandler> in_flight_;
+  /// Pending detached handles by engine query id.
+  std::map<uint64_t, EntangledHandle> handles_;
+  /// Pushes that arrived before their handle was adopted (defensive —
+  /// the server sequences response before push, but a cheap stash beats
+  /// reasoning about every interleaving).
+  std::map<uint64_t, CompletionPush> early_completions_;
+};
+
+}  // namespace youtopia::net
+
+#endif  // YOUTOPIA_NET_REMOTE_CLIENT_H_

@@ -1,0 +1,538 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "service/executor_service.h"
+
+namespace youtopia::net {
+
+namespace {
+
+/// Client-side view of `handle` right now. Monotone: once done, outcome
+/// and answers are stable, so a done=true snapshot is complete; a
+/// done=false snapshot is completed later by the push path.
+WireHandle SnapshotHandle(const EntangledHandle& handle) {
+  WireHandle wire;
+  wire.query_id = handle.id();
+  wire.done = handle.Done();
+  if (wire.done) {
+    wire.outcome = handle.Outcome().value_or(Status::OK());
+    wire.answers = handle.Answers();
+  }
+  return wire;
+}
+
+/// Encodes and sends `resp`; if the frame would exceed the connection's
+/// limit (the peer's assembler would reject it and drop the whole
+/// connection), a same-type error response with the same request_id is
+/// sent instead — one request fails, the connection survives. Returns
+/// false when the fallback went out: the caller announced an *error*,
+/// and must not follow up as if the real response was delivered (e.g.
+/// no completion pushes for handles the client never learned about).
+template <typename ConnPtr, typename Response>
+bool SendResponseChecked(const ConnPtr& conn, uint32_t max_frame_bytes,
+                         const Response& resp) {
+  std::string frame = EncodeFrame(resp);
+  const bool fits =
+      frame.size() <= size_t{max_frame_bytes} + kFrameHeaderBytes;
+  if (!fits) {
+    Response fallback;
+    fallback.request_id = resp.request_id;
+    fallback.status = Status::OutOfRange(
+        "encoded response (" + std::to_string(frame.size()) +
+        " bytes) exceeds the frame limit");
+    frame = EncodeFrame(fallback);
+  }
+  conn->Send(frame);
+  return fits;
+}
+
+/// CompletionPush variant: oversize answers are replaced by an
+/// OutOfRange outcome (never a silently-empty satisfied push — a client
+/// acting on "satisfied, no answers" could double-book).
+template <typename ConnPtr>
+void SendPushChecked(const ConnPtr& conn, uint32_t max_frame_bytes,
+                     const CompletionPush& push) {
+  std::string frame = EncodeFrame(push);
+  if (frame.size() > size_t{max_frame_bytes} + kFrameHeaderBytes) {
+    CompletionPush fallback;
+    fallback.query_id = push.query_id;
+    fallback.outcome = Status::OutOfRange(
+        "completion answers exceed the frame limit");
+    frame = EncodeFrame(fallback);
+  }
+  conn->Send(frame);
+}
+
+/// Registers the one push callback both entangled paths (Submit-side
+/// and Run-side) use: when `handle` completes, its terminal state goes
+/// to `conn` as a CompletionPush. Holds connection and stats, never the
+/// server — it may fire long after Stop().
+template <typename ConnPtr, typename StatsPtr>
+void PushWhenComplete(ConnPtr conn, StatsPtr stats, uint32_t max_frame_bytes,
+                      EntangledHandle handle) {
+  handle.OnComplete([conn = std::move(conn), stats = std::move(stats),
+                     max_frame_bytes](const EntangledHandle& done) {
+    CompletionPush push;
+    push.query_id = done.id();
+    push.outcome = done.Outcome().value_or(Status::OK());
+    push.answers = done.Answers();
+    SendPushChecked(conn, max_frame_bytes, push);
+    std::lock_guard<std::mutex> lock(stats->mu);
+    ++stats->stats.pushes;
+  });
+}
+
+}  // namespace
+
+/// One accepted TCP connection. Held via shared_ptr by the reader
+/// thread, by statement-task continuations and by completion-push
+/// callbacks — whichever finishes last closes the descriptor.
+struct YoutopiaServer::Connection {
+  int fd = -1;
+  /// The connection's FIFO domain in the executor service: statements
+  /// from one remote client execute in submission order, different
+  /// connections run in parallel across the pool.
+  uint64_t session = 0;
+
+  std::mutex write_mu;
+  bool closed = false;
+
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  /// Writes one encoded frame atomically with respect to other writers
+  /// (worker continuations, push callbacks, the reader). Errors mark
+  /// the connection closed; later sends are no-ops.
+  void Send(const std::string& frame) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (closed) return;
+    size_t sent = 0;
+    while (sent < frame.size()) {
+      const ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        // EAGAIN/EWOULDBLOCK here is the SO_SNDTIMEO expiring: the peer
+        // stopped draining its socket. Fatal either way — a stalled
+        // client must never hold a shared executor worker in send().
+        closed = true;
+        ::shutdown(fd, SHUT_RDWR);
+        return;
+      }
+      sent += static_cast<size_t>(n);
+    }
+  }
+
+  /// Severs the connection: the reader's recv returns and writers stop.
+  void Sever() {
+    std::lock_guard<std::mutex> lock(write_mu);
+    closed = true;
+    ::shutdown(fd, SHUT_RDWR);
+  }
+};
+
+YoutopiaServer::YoutopiaServer(Youtopia* db, ServerConfig config)
+    : db_(db), config_(std::move(config)) {}
+
+YoutopiaServer::~YoutopiaServer() { Stop(); }
+
+Status YoutopiaServer::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return Status::AlreadyExists("server already started");
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address: " +
+                                   config_.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status status = Status::Internal(
+        "bind " + config_.bind_address + ":" +
+        std::to_string(config_.port) + ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, config_.listen_backlog) != 0) {
+    const Status status =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const Status status =
+        Status::Internal(std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  started_ = true;
+  stopping_ = false;
+  // The thread gets its own copy of the descriptor: Stop() nulls the
+  // member while the loop is still blocked in accept().
+  accept_thread_ = std::thread([this, fd] { AcceptLoop(fd); });
+  return Status::OK();
+}
+
+void YoutopiaServer::Stop() {
+  std::map<uint64_t, std::shared_ptr<Connection>> connections;
+  std::map<uint64_t, std::thread> readers;
+  std::thread accept_thread;
+  int listen_fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    started_ = false;
+    stopping_ = true;
+    listen_fd = listen_fd_;
+    listen_fd_ = -1;
+    // shutdown unblocks the accept loop; the descriptor is closed only
+    // after that thread joins, so its number cannot be reused under it.
+    ::shutdown(listen_fd, SHUT_RDWR);
+    connections.swap(connections_);
+    readers.swap(readers_);
+    finished_.clear();
+    accept_thread = std::move(accept_thread_);
+  }
+  for (const auto& [id, conn] : connections) conn->Sever();
+  if (accept_thread.joinable()) accept_thread.join();
+  if (listen_fd >= 0) ::close(listen_fd);
+  for (auto& [id, reader] : readers) {
+    if (reader.joinable()) reader.join();
+  }
+  // Connection objects (and their descriptors) are released as the last
+  // completion callbacks holding them fire.
+}
+
+void YoutopiaServer::ReapFinishedLocked() {
+  for (uint64_t id : finished_) {
+    auto reader = readers_.find(id);
+    if (reader != readers_.end()) {
+      // The thread queued its id as its last action; join returns as
+      // soon as it finishes unwinding.
+      if (reader->second.joinable()) reader->second.join();
+      readers_.erase(reader);
+    }
+    connections_.erase(id);
+  }
+  finished_.clear();
+}
+
+bool YoutopiaServer::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return started_;
+}
+
+YoutopiaServer::Stats YoutopiaServer::stats() const {
+  std::lock_guard<std::mutex> lock(shared_stats_->mu);
+  return shared_stats_->stats;
+}
+
+void YoutopiaServer::AcceptLoop(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // Stop() shut the listener down (or it's genuinely dead).
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (config_.send_timeout.count() > 0) {
+      timeval tv{};
+      tv.tv_sec = static_cast<time_t>(config_.send_timeout.count() / 1000);
+      tv.tv_usec =
+          static_cast<suseconds_t>((config_.send_timeout.count() % 1000) *
+                                   1000);
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->session = ExecutorService::AllocateSessionId();
+    // Book the connection before its reader starts, so the reader's
+    // decrement on a fast disconnect can never precede this increment.
+    {
+      std::lock_guard<std::mutex> lock(shared_stats_->mu);
+      ++shared_stats_->stats.connections_accepted;
+      ++shared_stats_->stats.connections_active;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        conn->Sever();
+        std::lock_guard<std::mutex> slock(shared_stats_->mu);
+        --shared_stats_->stats.connections_active;
+        return;
+      }
+      ReapFinishedLocked();
+      const uint64_t id = conn->session;
+      connections_.emplace(id, conn);
+      readers_.emplace(id,
+                       std::thread([this, id, conn] { ReaderLoop(id, conn); }));
+    }
+  }
+}
+
+void YoutopiaServer::ReaderLoop(uint64_t id,
+                                std::shared_ptr<Connection> conn) {
+  FrameAssembler assembler(config_.max_frame_bytes);
+  char buf[1 << 16];
+  bool protocol_error = false;
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    assembler.Append(buf, static_cast<size_t>(n));
+    for (;;) {
+      auto next = assembler.Next();
+      if (!next.ok()) {
+        YOUTOPIA_LOG(kWarning)
+            << "dropping connection: " << next.status().ToString();
+        protocol_error = true;
+        break;
+      }
+      if (!next->has_value()) break;
+      const Status dispatched = Dispatch(conn, **next);
+      if (!dispatched.ok()) {
+        YOUTOPIA_LOG(kWarning)
+            << "dropping connection: " << dispatched.ToString();
+        protocol_error = true;
+        break;
+      }
+    }
+    if (protocol_error) break;
+  }
+  conn->Sever();
+  {
+    std::lock_guard<std::mutex> lock(shared_stats_->mu);
+    --shared_stats_->stats.connections_active;
+    if (protocol_error) ++shared_stats_->stats.protocol_errors;
+  }
+  // Queue ourselves for reaping (join + connection-entry drop) by the
+  // accept loop or Stop. Last action: after this the thread only
+  // unwinds, so a reaper's join returns promptly.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!stopping_) finished_.push_back(id);
+}
+
+void YoutopiaServer::PushOnCompletion(
+    const std::shared_ptr<Connection>& conn, EntangledHandle handle) {
+  PushWhenComplete(conn, shared_stats_, config_.max_frame_bytes,
+                   std::move(handle));
+}
+
+Status YoutopiaServer::Dispatch(const std::shared_ptr<Connection>& conn,
+                                const Frame& frame) {
+  {
+    std::lock_guard<std::mutex> lock(shared_stats_->mu);
+    ++shared_stats_->stats.requests;
+  }
+  switch (frame.type) {
+    case MessageType::kExecuteRequest: {
+      auto req = DecodePayload<ExecuteRequest>(frame.payload);
+      if (!req.ok()) return req.status();
+      StatementTask task;
+      task.sql = req->sql;
+      task.session = conn->session;
+      task.kind = StatementTask::Kind::kExecute;
+      const uint64_t request_id = req->request_id;
+      const uint32_t max_frame = config_.max_frame_bytes;
+      task.on_done = [conn, request_id, max_frame](Result<RunOutcome> outcome) {
+        ExecuteResponse resp;
+        resp.request_id = request_id;
+        resp.status = outcome.status();
+        if (outcome.ok()) resp.result = std::move(outcome->result);
+        SendResponseChecked(conn, max_frame, resp);
+      };
+      const Status admitted =
+          db_->executor_service().Submit(std::move(task));
+      if (!admitted.ok()) {
+        ExecuteResponse resp;
+        resp.request_id = request_id;
+        resp.status = admitted;
+        SendResponseChecked(conn, config_.max_frame_bytes, resp);
+      }
+      return Status::OK();
+    }
+    case MessageType::kScriptRequest: {
+      auto req = DecodePayload<ScriptRequest>(frame.payload);
+      if (!req.ok()) return req.status();
+      StatementTask task;
+      task.sql = req->sql;
+      task.session = conn->session;
+      task.kind = StatementTask::Kind::kScript;
+      const uint64_t request_id = req->request_id;
+      const uint32_t max_frame = config_.max_frame_bytes;
+      task.on_done = [conn, request_id, max_frame](Result<RunOutcome> outcome) {
+        ScriptResponse resp;
+        resp.request_id = request_id;
+        resp.status = outcome.status();
+        SendResponseChecked(conn, max_frame, resp);
+      };
+      const Status admitted =
+          db_->executor_service().Submit(std::move(task));
+      if (!admitted.ok()) {
+        ScriptResponse resp;
+        resp.request_id = request_id;
+        resp.status = admitted;
+        SendResponseChecked(conn, config_.max_frame_bytes, resp);
+      }
+      return Status::OK();
+    }
+    case MessageType::kRunRequest: {
+      auto req = DecodePayload<RunRequest>(frame.payload);
+      if (!req.ok()) return req.status();
+      StatementTask task;
+      task.sql = req->sql;
+      task.owner = req->owner;
+      task.session = conn->session;
+      task.kind = StatementTask::Kind::kRun;
+      const uint64_t request_id = req->request_id;
+      // `this` stays out of the continuation (it may outlive the
+      // server); PushOnCompletion's work is inlined via the shared
+      // stats block.
+      auto stats = shared_stats_;
+      const uint32_t max_frame = config_.max_frame_bytes;
+      Youtopia* db = db_;
+      task.on_done = [conn, stats, request_id, max_frame,
+                      db](Result<RunOutcome> outcome) {
+        RunResponse resp;
+        resp.request_id = request_id;
+        resp.status = outcome.status();
+        std::optional<EntangledHandle> pending_handle;
+        if (outcome.ok()) {
+          resp.entangled = outcome->entangled;
+          if (outcome->entangled && outcome->handle.has_value()) {
+            resp.handle = SnapshotHandle(*outcome->handle);
+            if (!resp.handle.done) pending_handle = *outcome->handle;
+          } else {
+            resp.result = std::move(outcome->result);
+          }
+        }
+        const bool delivered = SendResponseChecked(conn, max_frame, resp);
+        // Registered after the response is on the wire, so the push is
+        // always sequenced behind the handle announcement (an
+        // already-completed handle fires the push right here). If the
+        // response degraded to an error, the client never learned the
+        // query id — withdraw the coordination instead of pushing into
+        // the void.
+        if (pending_handle) {
+          if (delivered) {
+            PushWhenComplete(conn, stats, max_frame,
+                             std::move(*pending_handle));
+          } else {
+            (void)db->coordinator().Cancel(pending_handle->id());
+          }
+        }
+      };
+      const Status admitted =
+          db_->executor_service().Submit(std::move(task));
+      if (!admitted.ok()) {
+        RunResponse resp;
+        resp.request_id = request_id;
+        resp.status = admitted;
+        SendResponseChecked(conn, config_.max_frame_bytes, resp);
+      }
+      return Status::OK();
+    }
+    case MessageType::kSubmitRequest: {
+      auto req = DecodePayload<SubmitRequest>(frame.payload);
+      if (!req.ok()) return req.status();
+      SubmitResponse resp;
+      resp.request_id = req->request_id;
+      auto handle = db_->Submit(req->sql, req->owner);
+      resp.status = handle.status();
+      if (handle.ok()) resp.handle = SnapshotHandle(*handle);
+      const bool delivered =
+          SendResponseChecked(conn, config_.max_frame_bytes, resp);
+      if (handle.ok() && !resp.handle.done) {
+        if (delivered) {
+          PushOnCompletion(conn, *handle);
+        } else {
+          // The client was told OutOfRange; don't leave a phantom
+          // coordination running that it believes failed.
+          (void)db_->coordinator().Cancel(handle->id());
+        }
+      }
+      return Status::OK();
+    }
+    case MessageType::kSubmitBatchRequest: {
+      auto req = DecodePayload<SubmitBatchRequest>(frame.payload);
+      if (!req.ok()) return req.status();
+      SubmitBatchResponse resp;
+      resp.request_id = req->request_id;
+      auto handles = db_->SubmitBatch(req->statements, req->owners);
+      resp.status = handles.status();
+      if (handles.ok()) {
+        resp.handles.reserve(handles->size());
+        for (const EntangledHandle& handle : *handles) {
+          resp.handles.push_back(SnapshotHandle(handle));
+        }
+      }
+      const bool delivered =
+          SendResponseChecked(conn, config_.max_frame_bytes, resp);
+      if (handles.ok()) {
+        for (size_t i = 0; i < handles->size(); ++i) {
+          if (resp.handles[i].done) continue;
+          if (delivered) {
+            PushOnCompletion(conn, (*handles)[i]);
+          } else {
+            (void)db_->coordinator().Cancel((*handles)[i].id());
+          }
+        }
+      }
+      return Status::OK();
+    }
+    case MessageType::kCancelRequest: {
+      auto req = DecodePayload<CancelRequest>(frame.payload);
+      if (!req.ok()) return req.status();
+      CancelResponse resp;
+      resp.request_id = req->request_id;
+      resp.status = db_->coordinator().Cancel(req->query_id);
+      SendResponseChecked(conn, config_.max_frame_bytes, resp);
+      return Status::OK();
+    }
+    case MessageType::kExecuteResponse:
+    case MessageType::kScriptResponse:
+    case MessageType::kSubmitResponse:
+    case MessageType::kSubmitBatchResponse:
+    case MessageType::kRunResponse:
+    case MessageType::kCancelResponse:
+    case MessageType::kCompletionPush:
+      break;
+  }
+  return Status::InvalidArgument(
+      std::string("unexpected frame from client: ") +
+      MessageTypeToString(frame.type));
+}
+
+}  // namespace youtopia::net

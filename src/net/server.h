@@ -1,0 +1,141 @@
+#ifndef YOUTOPIA_NET_SERVER_H_
+#define YOUTOPIA_NET_SERVER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/protocol.h"
+#include "server/youtopia.h"
+
+namespace youtopia::net {
+
+struct ServerConfig {
+  /// IPv4 address to bind. Loopback by default: exposing an engine
+  /// beyond the host is a deployment decision (TLS is ROADMAP headroom).
+  std::string bind_address = "127.0.0.1";
+  /// 0 = kernel-assigned ephemeral port; read the actual one via port().
+  uint16_t port = 0;
+  int listen_backlog = 64;
+  uint32_t max_frame_bytes = kMaxFrameBytes;
+  /// Per-connection send timeout. A client that stops draining its
+  /// socket would otherwise block response writers — executor workers,
+  /// completion-push threads — in ::send forever once its buffer fills;
+  /// after this long the write fails and the connection is dropped, so
+  /// one stalled client can never freeze the shared engine.
+  std::chrono::milliseconds send_timeout{5000};
+};
+
+/// The wire-protocol front end over one embedded `Youtopia` — what turns
+/// the engine into the shared tier of the paper's architecture: many
+/// remote middle tiers, one coordinator and one executor-service worker
+/// pool (design decision #6).
+///
+/// One lightweight reader thread per connection decodes frames and
+/// routes them:
+///   - Execute / Run / ExecuteScript become `StatementTask`s on the
+///     engine's ExecutorService, with the connection as the FIFO session
+///     — exactly how an in-process `Client` drives the engine, so remote
+///     statements share the pool (and its conflict-requeue machinery)
+///     with everything else. The completion continuation encodes the
+///     response and writes it back from whichever thread finished the
+///     task.
+///   - Submit / SubmitBatch register with the coordinator directly
+///     (non-blocking, as in-process). Entangled completions are pushed
+///     asynchronously as `CompletionPush` frames via
+///     `EntangledHandle::OnComplete` — no server thread parks per
+///     pending coordination, and the push is always sequenced after the
+///     response that announced the handle.
+///
+/// Backpressure: a connection that outruns the executor service blocks
+/// its own reader in `Submit` (bounded queue), which stops draining the
+/// socket and lets TCP flow control push back on the client — per-client
+/// fairness falls out of per-session FIFO rather than a bespoke window.
+class YoutopiaServer {
+ public:
+  struct Stats {
+    size_t connections_accepted = 0;
+    size_t connections_active = 0;
+    /// Frames decoded and dispatched (requests only, not pushes).
+    size_t requests = 0;
+    /// CompletionPush frames sent.
+    size_t pushes = 0;
+    /// Connections dropped for malformed or unexpected frames.
+    size_t protocol_errors = 0;
+  };
+
+  explicit YoutopiaServer(Youtopia* db, ServerConfig config = {});
+  ~YoutopiaServer();
+
+  YoutopiaServer(const YoutopiaServer&) = delete;
+  YoutopiaServer& operator=(const YoutopiaServer&) = delete;
+
+  /// Binds, listens and spawns the accept loop. Fails if the address is
+  /// taken or the server was already started.
+  Status Start();
+
+  /// Stops accepting, severs every connection and joins all threads.
+  /// Statements already admitted to the executor service still complete
+  /// (their responses go nowhere). Idempotent; the destructor calls it.
+  void Stop();
+
+  /// The bound TCP port (the kernel's pick when config.port was 0).
+  /// Valid after a successful Start().
+  uint16_t port() const { return port_; }
+
+  bool running() const;
+  Stats stats() const;
+
+ private:
+  struct Connection;
+  /// Stats shared with completion callbacks, which can outlive the
+  /// server object (a pending coordination completes after Stop).
+  struct SharedStats {
+    std::mutex mu;
+    Stats stats;
+  };
+
+  void AcceptLoop(int listen_fd);
+  void ReaderLoop(uint64_t id, std::shared_ptr<Connection> conn);
+  /// Joins reader threads whose connections ended and drops their
+  /// Connection entries. Caller holds mu_.
+  void ReapFinishedLocked();
+  /// Routes one decoded frame; non-OK means protocol error (drop the
+  /// connection).
+  Status Dispatch(const std::shared_ptr<Connection>& conn,
+                  const Frame& frame);
+
+  /// Registers a CompletionPush to `conn` when `handle` completes.
+  void PushOnCompletion(const std::shared_ptr<Connection>& conn,
+                        EntangledHandle handle);
+
+  Youtopia* db_;
+  const ServerConfig config_;
+  std::shared_ptr<SharedStats> shared_stats_ =
+      std::make_shared<SharedStats>();
+
+  mutable std::mutex mu_;
+  bool started_ = false;
+  bool stopping_ = false;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  /// Live connections and their reader threads, keyed by the
+  /// connection's session id. A reader that exits queues its key on
+  /// `finished_`; the accept loop (per accepted connection) and Stop()
+  /// reap — joining the thread and dropping the Connection reference —
+  /// so a long-running server does not accumulate dead readers.
+  std::map<uint64_t, std::shared_ptr<Connection>> connections_;
+  std::map<uint64_t, std::thread> readers_;
+  std::vector<uint64_t> finished_;
+};
+
+}  // namespace youtopia::net
+
+#endif  // YOUTOPIA_NET_SERVER_H_

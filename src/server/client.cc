@@ -181,23 +181,6 @@ std::vector<EntangledHandle> Client::Outstanding() {
   return outstanding_->Snapshot();
 }
 
-Status Client::WaitForAll(std::chrono::milliseconds timeout) {
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
-  for (const EntangledHandle& handle : Outstanding()) {
-    const auto now = std::chrono::steady_clock::now();
-    const auto remaining =
-        now >= deadline
-            ? std::chrono::milliseconds(0)
-            : std::chrono::duration_cast<std::chrono::milliseconds>(
-                  deadline - now);
-    Status status = handle.Wait(remaining);
-    if (!status.ok() && status.code() == StatusCode::kTimedOut) {
-      return status;
-    }
-  }
-  return Status::OK();
-}
-
 Status Client::CancelAll() {
   for (const EntangledHandle& handle : Outstanding()) {
     Status status = db_->coordinator().Cancel(handle.id());

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "server/client_interface.h"
 #include "server/youtopia.h"
 #include "service/executor_service.h"
 
@@ -90,7 +91,7 @@ std::chrono::milliseconds LockRetryPause(const ClientOptions& options,
 /// blocking (`handle.Wait`) or — the scalable form — by registering an
 /// `OnComplete` callback at submission time, so no caller thread parks
 /// per outstanding query.
-class Client {
+class Client : public ClientInterface {
  public:
   using CompletionCallback = EntangledHandle::CompletionCallback;
 
@@ -101,7 +102,7 @@ class Client {
   Client& operator=(const Client&) = delete;
 
   const ClientOptions& options() const { return options_; }
-  const std::string& owner() const { return options_.owner; }
+  const std::string& owner() const override { return options_.owner; }
   Youtopia& db() { return *db_; }
   const Youtopia& db() const { return *db_; }
 
@@ -111,35 +112,35 @@ class Client {
   /// Executes one *regular* statement, retrying lock conflicts up to
   /// the statement timeout. Entangled statements are rejected with
   /// InvalidArgument (use Submit / SubmitBatch / Run).
-  Result<QueryResult> Execute(const std::string& sql);
+  Result<QueryResult> Execute(const std::string& sql) override;
 
   /// Async Execute: enqueues the statement on the executor service and
   /// returns a future for its result. The calling thread is free as
   /// soon as the task is admitted (backpressure: admission blocks while
   /// the submission queue is full).
-  std::future<Result<QueryResult>> ExecuteAsync(const std::string& sql);
+  std::future<Result<QueryResult>> ExecuteAsync(const std::string& sql) override;
 
   /// Executes a ';'-separated batch of regular statements, discarding
   /// results (schema/data setup scripts). First failure stops the
   /// script: earlier statements stay applied, later ones never run.
-  Status ExecuteScript(const std::string& sql);
+  Status ExecuteScript(const std::string& sql) override;
 
   /// Async ExecuteScript; the whole script is one task, so it holds the
   /// session's FIFO slot until it completes or fails.
-  std::future<Status> ExecuteScriptAsync(const std::string& sql);
+  std::future<Status> ExecuteScriptAsync(const std::string& sql) override;
 
   /// Submits one *entangled* query tagged with the client's owner.
   /// `on_complete` (optional) is registered on the handle before
   /// returning, so a completion can never slip between submission and
   /// registration.
-  Result<EntangledHandle> Submit(const std::string& sql,
-                                 CompletionCallback on_complete = nullptr);
+  Result<EntangledHandle> Submit(
+      const std::string& sql, CompletionCallback on_complete = nullptr) override;
 
   /// Submit with an explicit owner tag (middle tiers acting for many
   /// end users share one client).
-  Result<EntangledHandle> SubmitAs(const std::string& owner,
-                                   const std::string& sql,
-                                   CompletionCallback on_complete = nullptr);
+  Result<EntangledHandle> SubmitAs(
+      const std::string& owner, const std::string& sql,
+      CompletionCallback on_complete = nullptr) override;
 
   /// Submits a batch of entangled queries in one coordinator round —
   /// the group-submission path (friends booking together). All handles
@@ -149,36 +150,34 @@ class Client {
   /// registered.
   Result<std::vector<EntangledHandle>> SubmitBatch(
       const std::vector<std::string>& statements,
-      CompletionCallback on_complete = nullptr);
+      CompletionCallback on_complete = nullptr) override;
 
   /// SubmitBatch with per-statement owner tags (`owners` empty = the
   /// client's owner for all; otherwise must match `statements` size).
   Result<std::vector<EntangledHandle>> SubmitBatchAs(
       const std::vector<std::string>& owners,
       const std::vector<std::string>& statements,
-      CompletionCallback on_complete = nullptr);
+      CompletionCallback on_complete = nullptr) override;
 
   /// Runs any single statement, auto-detecting entangled queries.
   /// Entangled handles are tagged with the client's owner and tracked.
-  Result<RunOutcome> Run(const std::string& sql);
+  Result<RunOutcome> Run(const std::string& sql) override;
 
   /// Async Run. The future resolves when the statement is processed:
   /// for a regular statement with its result, for an entangled one as
   /// soon as it is registered (the outcome carries the pending handle —
   /// consume completion via handle.Wait or handle.OnComplete, exactly
   /// as with the synchronous Run).
-  std::future<Result<RunOutcome>> RunAsync(const std::string& sql);
+  std::future<Result<RunOutcome>> RunAsync(const std::string& sql) override;
 
   /// Handles of this client's not-yet-answered entangled queries.
   /// Completed handles are pruned on each call.
-  std::vector<EntangledHandle> Outstanding();
+  std::vector<EntangledHandle> Outstanding() override;
 
-  /// Waits until every outstanding query completes or `timeout` passes.
-  /// Returns OK when none remain pending.
-  Status WaitForAll(std::chrono::milliseconds timeout);
+  // WaitForAll: ClientInterface's default (Outstanding + Wait) applies.
 
   /// Withdraws all of this client's pending queries.
-  Status CancelAll();
+  Status CancelAll() override;
 
   /// The statements this client ran, in order (when recording is on).
   std::vector<std::string> History() const;

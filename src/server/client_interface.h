@@ -1,0 +1,98 @@
+#ifndef YOUTOPIA_SERVER_CLIENT_INTERFACE_H_
+#define YOUTOPIA_SERVER_CLIENT_INTERFACE_H_
+
+#include <chrono>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "server/youtopia.h"
+
+namespace youtopia {
+
+/// The backend-agnostic client surface: everything a middle tier needs
+/// from the engine, implemented both by the in-process `Client` (an
+/// embedded `Youtopia`) and by `net::RemoteClient` (the wire protocol to
+/// a `net::YoutopiaServer`). Callers written against this interface —
+/// the travel middle tier, the workload driver — run unchanged in either
+/// deployment, which is the paper's architecture: many middle tiers, one
+/// shared entangled-query engine.
+///
+/// Semantics are the in-process Client's (see server/client.h):
+/// synchronous calls block for the statement result; the *Async forms
+/// return futures; entangled submissions return immediately with an
+/// `EntangledHandle` whose completion is consumed via Wait or
+/// OnComplete. A remote backend preserves those semantics by pairing
+/// each registered query with a detached handle completed on
+/// server-pushed notifications.
+class ClientInterface {
+ public:
+  using CompletionCallback = EntangledHandle::CompletionCallback;
+
+  virtual ~ClientInterface() = default;
+
+  /// Default owner tag attached to entangled submissions.
+  virtual const std::string& owner() const = 0;
+
+  /// Executes one *regular* statement (entangled rejected).
+  virtual Result<QueryResult> Execute(const std::string& sql) = 0;
+  virtual std::future<Result<QueryResult>> ExecuteAsync(
+      const std::string& sql) = 0;
+
+  /// Executes a ';'-separated batch of regular statements; first failure
+  /// stops the script.
+  virtual Status ExecuteScript(const std::string& sql) = 0;
+  virtual std::future<Status> ExecuteScriptAsync(const std::string& sql) = 0;
+
+  /// Submits one *entangled* query (owner tag = owner()).
+  virtual Result<EntangledHandle> Submit(
+      const std::string& sql, CompletionCallback on_complete = nullptr) = 0;
+  virtual Result<EntangledHandle> SubmitAs(
+      const std::string& owner, const std::string& sql,
+      CompletionCallback on_complete = nullptr) = 0;
+
+  /// Submits a batch of entangled queries in one coordinator round.
+  virtual Result<std::vector<EntangledHandle>> SubmitBatch(
+      const std::vector<std::string>& statements,
+      CompletionCallback on_complete = nullptr) = 0;
+  virtual Result<std::vector<EntangledHandle>> SubmitBatchAs(
+      const std::vector<std::string>& owners,
+      const std::vector<std::string>& statements,
+      CompletionCallback on_complete = nullptr) = 0;
+
+  /// Runs any single statement, auto-detecting entangled queries.
+  virtual Result<RunOutcome> Run(const std::string& sql) = 0;
+  virtual std::future<Result<RunOutcome>> RunAsync(const std::string& sql) = 0;
+
+  /// Not-yet-answered entangled queries this client submitted.
+  virtual std::vector<EntangledHandle> Outstanding() = 0;
+
+  /// Waits until every outstanding query completes or `timeout` passes.
+  /// Default implementation, shared by every backend: built purely on
+  /// Outstanding() + EntangledHandle::Wait, so in-process and remote
+  /// semantics cannot drift.
+  virtual Status WaitForAll(std::chrono::milliseconds timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    for (const EntangledHandle& handle : Outstanding()) {
+      const auto now = std::chrono::steady_clock::now();
+      const auto remaining =
+          now >= deadline
+              ? std::chrono::milliseconds(0)
+              : std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - now);
+      const Status status = handle.Wait(remaining);
+      if (!status.ok() && status.code() == StatusCode::kTimedOut) {
+        return status;
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Withdraws this client's pending queries.
+  virtual Status CancelAll() = 0;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_SERVER_CLIENT_INTERFACE_H_

@@ -1,6 +1,8 @@
 #include "sql/lexer.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <unordered_map>
 
@@ -80,7 +82,20 @@ Result<Token> Lexer::LexNumber() {
   tok.offset = start;
   if (is_double) {
     tok.type = TokenType::kDoubleLiteral;
-    tok.double_value = std::strtod(text.c_str(), nullptr);
+    errno = 0;
+    const double parsed = std::strtod(text.c_str(), nullptr);
+    // Mirror the strtoll ERANGE check below. Subnormal results also set
+    // ERANGE but are representable (and must stay lexable so dumped
+    // subnormal columns restore); only saturation to +-HUGE_VAL
+    // (overflow) or to zero (total underflow) is out of range.
+    if (errno == ERANGE &&
+        (parsed == HUGE_VAL || parsed == -HUGE_VAL || parsed == 0.0)) {
+      return Status::InvalidArgument("double literal out of range: " + text);
+    }
+    if (!std::isfinite(parsed)) {
+      return Status::InvalidArgument("double literal out of range: " + text);
+    }
+    tok.double_value = parsed;
   } else {
     tok.type = TokenType::kIntLiteral;
     errno = 0;

@@ -112,7 +112,7 @@ Result<EntangledHandle> TravelService::SubmitRequest(
       ValidateFriends(request.user, request.hotel_companions));
   auto sql = BuildEntangledSql(request);
   if (!sql.ok()) return sql.status();
-  return client_.SubmitAs(request.user, sql.value());
+  return client_->SubmitAs(request.user, sql.value());
 }
 
 Status TravelService::SubmitRequestAsync(const TravelRequest& request,
@@ -124,6 +124,22 @@ Status TravelService::SubmitRequestAsync(const TravelRequest& request,
       ValidateFriends(request.user, request.hotel_companions));
   auto sql = BuildEntangledSql(request);
   if (!sql.ok()) return sql.status();
+  if (db_ == nullptr) {
+    // Borrowed-client backend (e.g. remote): no executor service to
+    // queue on. Submit registers synchronously; the completion contract
+    // is preserved by delivering the terminal handle through on_done.
+    auto shared_done =
+        std::make_shared<ExecutorService::Completion>(std::move(on_done));
+    auto handle = client_->SubmitAs(
+        request.user, sql.value(),
+        [shared_done](const EntangledHandle& done) {
+          RunOutcome outcome;
+          outcome.entangled = true;
+          outcome.handle = done;
+          (*shared_done)(std::move(outcome));
+        });
+    return handle.status();
+  }
   StatementTask task;
   task.sql = sql.TakeValue();
   task.owner = request.user;
@@ -131,7 +147,7 @@ Status TravelService::SubmitRequestAsync(const TravelRequest& request,
   task.kind = StatementTask::Kind::kRun;
   task.wait_for_answer = true;
   task.on_done = std::move(on_done);
-  return client_.db().executor_service().Submit(std::move(task));
+  return db_->executor_service().Submit(std::move(task));
 }
 
 Result<std::vector<EntangledHandle>> TravelService::SubmitGroupRequest(
@@ -150,7 +166,7 @@ Result<std::vector<EntangledHandle>> TravelService::SubmitGroupRequest(
     owners.push_back(request.user);
     statements.push_back(sql.TakeValue());
   }
-  return client_.SubmitBatchAs(owners, statements);
+  return client_->SubmitBatchAs(owners, statements);
 }
 
 Result<EntangledHandle> TravelService::BookFlightWithFriend(
@@ -186,12 +202,12 @@ Result<QueryResult> TravelService::BrowseFlights(const std::string& dest,
       QuoteSqlString(dest);
   if (day > 0) sql += " AND day = " + std::to_string(day);
   if (max_price > 0) sql += " AND price <= " + std::to_string(max_price);
-  return client_.Execute(sql);
+  return client_->Execute(sql);
 }
 
 Result<std::vector<std::string>> TravelService::FriendsOnFlight(
     const std::string& user, int64_t fno) {
-  auto result = client_.Execute(
+  auto result = client_->Execute(
       "SELECT traveler FROM Reservation WHERE fno = " + std::to_string(fno));
   if (!result.ok()) return result.status();
   std::vector<std::string> out;
@@ -208,21 +224,21 @@ Result<EntangledHandle> TravelService::BookFlightDirect(
       "SELECT " + QuoteSqlString(user) + ", fno INTO ANSWER " +
       kReservationTable + " WHERE fno IN (SELECT fno FROM Flights WHERE "
       "fno = " + std::to_string(fno) + ") CHOOSE 1";
-  return client_.SubmitAs(user, sql);
+  return client_->SubmitAs(user, sql);
 }
 
 Result<AccountInfo> TravelService::AccountView(const std::string& user) {
   AccountInfo info;
-  auto flights = client_.Execute(
+  auto flights = client_->Execute(
       "SELECT fno FROM Reservation WHERE traveler = " + QuoteSqlString(user));
   if (!flights.ok()) return flights.status();
   info.flights = flights.TakeValue();
-  auto hotels = client_.Execute(
+  auto hotels = client_->Execute(
       "SELECT hid FROM HotelReservation WHERE traveler = " +
       QuoteSqlString(user));
   if (!hotels.ok()) return hotels.status();
   info.hotels = hotels.TakeValue();
-  auto seats = client_.Execute(
+  auto seats = client_->Execute(
       "SELECT fno, seat FROM SeatReservation WHERE traveler = " +
       QuoteSqlString(user));
   if (!seats.ok()) return seats.status();
@@ -289,9 +305,14 @@ Status TravelService::WaitAndNotify(const EntangledHandle& handle,
   return outcome;
 }
 
-void TravelService::EnableInventoryEnforcement() {
-  Youtopia* db = &client_.db();
-  client_.db().coordinator().SetInstallHook(
+Status TravelService::EnableInventoryEnforcement() {
+  if (db_ == nullptr) {
+    return Status::NotImplemented(
+        "inventory enforcement installs a coordinator hook; enable it on "
+        "the engine hosting the server, not through a remote client");
+  }
+  Youtopia* db = db_;
+  db_->coordinator().SetInstallHook(
       [db](Transaction* txn, TxnManager* txn_manager,
            const MatchResult& match) -> Status {
         for (const auto& [relation, tuple] : match.installed) {
@@ -368,6 +389,7 @@ void TravelService::EnableInventoryEnforcement() {
         }
         return Status::OK();
       });
+  return Status::OK();
 }
 
 }  // namespace youtopia::travel

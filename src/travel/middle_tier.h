@@ -5,8 +5,11 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "common/status.h"
 #include "server/client.h"
+#include "server/client_interface.h"
 #include "travel/friend_graph.h"
 #include "travel/notification_bus.h"
 
@@ -53,9 +56,25 @@ class TravelService {
   TravelService(Youtopia* db, FriendGraph friends, NotificationBus* bus)
       // No history: the service is long-lived and shared, and
       // per-statement history would grow without bound under load.
-      : client_(db, ClientOptions("travel", /*record=*/false)),
+      : owned_client_(std::make_unique<Client>(
+            db, ClientOptions("travel", /*record=*/false))),
+        client_(owned_client_.get()),
+        db_(db),
         friends_(std::move(friends)),
         bus_(bus) {}
+
+  /// Backend-agnostic form: the middle tier over any `ClientInterface`
+  /// — an in-process `Client` or a `net::RemoteClient` driving a shared
+  /// engine behind a `net::YoutopiaServer`. The client is borrowed, not
+  /// owned, and must outlive the service. Engine-side features that the
+  /// interface cannot reach (the executor-service fast path of
+  /// SubmitRequestAsync, EnableInventoryEnforcement's install hook)
+  /// degrade gracefully: async submission falls back to the client's
+  /// Submit + OnComplete, and enforcement must be enabled on the engine
+  /// that hosts the server.
+  TravelService(ClientInterface* client, FriendGraph friends,
+                NotificationBus* bus)
+      : client_(client), friends_(std::move(friends)), bus_(bus) {}
 
   TravelService(const TravelService&) = delete;
   TravelService& operator=(const TravelService&) = delete;
@@ -80,6 +99,12 @@ class TravelService {
   /// async-submitted coordinations — callers that need bulk
   /// wait/cancel keep their own registry of handles (the workload
   /// driver's CompletionTracker is the reference pattern).
+  ///
+  /// Over a borrowed ClientInterface (no embedded engine) the
+  /// executor-service fast path is unavailable; the request falls back
+  /// to Submit + OnComplete, which preserves the completion contract
+  /// (`on_done` fires with the terminal handle) but blocks the calling
+  /// thread for registration and ignores `session`.
   Status SubmitRequestAsync(const TravelRequest& request, uint64_t session,
                             ExecutorService::Completion on_done);
 
@@ -138,8 +163,10 @@ class TravelService {
   /// each Reservation consumes a Flights seat, each HotelReservation a
   /// Hotels room, each SeatReservation removes its Seats row. Exhausted
   /// inventory aborts the whole coordination round atomically (design
-  /// decision #3).
-  void EnableInventoryEnforcement();
+  /// decision #3). Engine-side only: a service over a remote client
+  /// cannot install hooks — enable enforcement on the engine hosting
+  /// the server (NotImplemented is returned here in that case).
+  Status EnableInventoryEnforcement();
 
   /// Entangled SQL text for a request (exposed for tests and the admin
   /// interface).
@@ -151,7 +178,13 @@ class TravelService {
   Status ValidateFriends(const std::string& user,
                          const std::vector<std::string>& companions) const;
 
-  Client client_;
+  /// Set by the Youtopia* constructor; empty when the client is
+  /// borrowed.
+  std::unique_ptr<Client> owned_client_;
+  ClientInterface* client_;
+  /// The embedded engine, when there is one; nullptr for a remote
+  /// backend (gates the executor-service fast path and install hooks).
+  Youtopia* db_ = nullptr;
   FriendGraph friends_;
   NotificationBus* bus_;
 };

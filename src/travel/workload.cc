@@ -104,19 +104,15 @@ struct CompletionTracker {
   bool closed = false;  ///< Report taken; ignore late completions.
 };
 
-}  // namespace
-
-Result<WorkloadReport> RunLoadedWorkload(Youtopia* db,
-                                         const std::string& dest,
-                                         const WorkloadConfig& config) {
-  if (config.sessions < 1 || config.requests_per_session < 1) {
-    return Status::InvalidArgument("workload needs >= 1 session and request");
-  }
-
-  FriendGraph graph;
-  auto planned = PlanRequests(dest, config, &graph);
-  TravelService service(db, std::move(graph), nullptr);
-
+/// The driving core shared by both public overloads: submits `planned`
+/// through `service` and accounts completions. `db` is the embedded
+/// engine when there is one (enables the pool-driven single-thread mode
+/// and the coordinator/executor counters in the report) and nullptr for
+/// a remote backend.
+Result<WorkloadReport> DriveWorkload(TravelService* service, Youtopia* db,
+                                     const std::vector<PlannedRequest>& planned,
+                                     const WorkloadConfig& config) {
+  TravelService& svc = *service;
   WorkloadReport report;
   std::atomic<size_t> errors{0};
   auto tracker = std::make_shared<CompletionTracker>();
@@ -147,12 +143,14 @@ Result<WorkloadReport> RunLoadedWorkload(Youtopia* db,
     tracker->cv.notify_all();
   };
 
-  ExecutorService& exec = db->executor_service();
-  const ExecutorService::Stats exec_before = exec.stats();
-  const CoordinatorStats before = db->coordinator().stats();
+  ExecutorService* exec = db != nullptr ? &db->executor_service() : nullptr;
+  const ExecutorService::Stats exec_before =
+      exec != nullptr ? exec->stats() : ExecutorService::Stats{};
+  const CoordinatorStats before =
+      db != nullptr ? db->coordinator().stats() : CoordinatorStats{};
   const auto start = std::chrono::steady_clock::now();
 
-  if (exec.num_workers() > 0) {
+  if (exec != nullptr && exec->num_workers() > 0) {
     // Pool-driven mode: this one thread plays the middle tier's network
     // thread. Each logical session is a FIFO domain in the executor
     // service; the pool provides the parallelism, and every completion
@@ -161,7 +159,7 @@ Result<WorkloadReport> RunLoadedWorkload(Youtopia* db,
     for (auto& id : session_ids) id = ExecutorService::AllocateSessionId();
     for (size_t i = 0; i < planned.size(); ++i) {
       const auto submitted_at = std::chrono::steady_clock::now();
-      Status admitted = service.SubmitRequestAsync(
+      Status admitted = svc.SubmitRequestAsync(
           planned[i].request,
           session_ids[i % static_cast<size_t>(config.sessions)],
           [account, submitted_at](Result<RunOutcome> outcome) {
@@ -187,7 +185,7 @@ Result<WorkloadReport> RunLoadedWorkload(Youtopia* db,
         for (size_t i = s; i < planned.size();
              i += static_cast<size_t>(config.sessions)) {
           const auto submitted_at = std::chrono::steady_clock::now();
-          auto handle = service.SubmitRequest(planned[i].request);
+          auto handle = svc.SubmitRequest(planned[i].request);
           if (!handle.ok()) {
             ++errors;
             continue;
@@ -222,35 +220,67 @@ Result<WorkloadReport> RunLoadedWorkload(Youtopia* db,
           std::chrono::steady_clock::now() - start)
           .count());
   report.submitted = planned.size();
-  const CoordinatorStats after = db->coordinator().stats();
-  report.shard_rounds = after.shard_rounds - before.shard_rounds;
-  report.global_rounds = after.global_rounds - before.global_rounds;
-  if (exec.num_workers() > 0) {
-    // The tracker can observe the last coordination (a parked
-    // continuation fires mid-registration) a hair before the worker
-    // books that task's completion; drain so the executor counters
-    // cover every task of the run.
-    (void)exec.Drain(config.deadline);
+  if (db != nullptr) {
+    const CoordinatorStats after = db->coordinator().stats();
+    report.shard_rounds = after.shard_rounds - before.shard_rounds;
+    report.global_rounds = after.global_rounds - before.global_rounds;
   }
-  const ExecutorService::Stats exec_after = exec.stats();
-  report.workers = exec_after.workers;
-  report.tasks_executed = exec_after.executed - exec_before.executed;
-  report.lock_requeues = exec_after.lock_requeues - exec_before.lock_requeues;
-  // Peak is a service-lifetime high-water mark (a monotone max cannot
-  // be delta'd); on a fresh engine it is this run's peak.
-  report.peak_queue_depth = exec_after.peak_queue_depth;
-  // Utilization over *this run*: busy and uptime deltas, not the
-  // service's lifetime averages (setup scripts would dilute them).
-  const uint64_t busy_delta = exec_after.busy_micros - exec_before.busy_micros;
-  const uint64_t uptime_delta =
-      exec_after.uptime_micros - exec_before.uptime_micros;
-  if (exec_after.workers > 0 && uptime_delta > 0) {
-    report.worker_utilization =
-        std::min(1.0, static_cast<double>(busy_delta) /
-                          (static_cast<double>(exec_after.workers) *
-                           static_cast<double>(uptime_delta)));
+  if (exec != nullptr) {
+    if (exec->num_workers() > 0) {
+      // The tracker can observe the last coordination (a parked
+      // continuation fires mid-registration) a hair before the worker
+      // books that task's completion; drain so the executor counters
+      // cover every task of the run.
+      (void)exec->Drain(config.deadline);
+    }
+    const ExecutorService::Stats exec_after = exec->stats();
+    report.workers = exec_after.workers;
+    report.tasks_executed = exec_after.executed - exec_before.executed;
+    report.lock_requeues =
+        exec_after.lock_requeues - exec_before.lock_requeues;
+    // Peak is a service-lifetime high-water mark (a monotone max cannot
+    // be delta'd); on a fresh engine it is this run's peak.
+    report.peak_queue_depth = exec_after.peak_queue_depth;
+    // Utilization over *this run*: busy and uptime deltas, not the
+    // service's lifetime averages (setup scripts would dilute them).
+    const uint64_t busy_delta =
+        exec_after.busy_micros - exec_before.busy_micros;
+    const uint64_t uptime_delta =
+        exec_after.uptime_micros - exec_before.uptime_micros;
+    if (exec_after.workers > 0 && uptime_delta > 0) {
+      report.worker_utilization =
+          std::min(1.0, static_cast<double>(busy_delta) /
+                            (static_cast<double>(exec_after.workers) *
+                             static_cast<double>(uptime_delta)));
+    }
   }
   return report;
+}
+
+}  // namespace
+
+Result<WorkloadReport> RunLoadedWorkload(Youtopia* db,
+                                         const std::string& dest,
+                                         const WorkloadConfig& config) {
+  if (config.sessions < 1 || config.requests_per_session < 1) {
+    return Status::InvalidArgument("workload needs >= 1 session and request");
+  }
+  FriendGraph graph;
+  auto planned = PlanRequests(dest, config, &graph);
+  TravelService service(db, std::move(graph), nullptr);
+  return DriveWorkload(&service, db, planned, config);
+}
+
+Result<WorkloadReport> RunLoadedWorkload(ClientInterface* client,
+                                         const std::string& dest,
+                                         const WorkloadConfig& config) {
+  if (config.sessions < 1 || config.requests_per_session < 1) {
+    return Status::InvalidArgument("workload needs >= 1 session and request");
+  }
+  FriendGraph graph;
+  auto planned = PlanRequests(dest, config, &graph);
+  TravelService service(client, std::move(graph), nullptr);
+  return DriveWorkload(&service, /*db=*/nullptr, planned, config);
 }
 
 }  // namespace youtopia::travel

@@ -83,6 +83,19 @@ Result<WorkloadReport> RunLoadedWorkload(Youtopia* db,
                                          const std::string& dest,
                                          const WorkloadConfig& config);
 
+/// Backend-agnostic form: the identical planned workload (same seed →
+/// same requests in the same order) driven through any `ClientInterface`
+/// — an in-process `Client` or a `net::RemoteClient` against a
+/// `net::YoutopiaServer`. This is what makes backend parity testable:
+/// run the same config in-process and over loopback and compare
+/// outcomes. Sessions are OS threads submitting synchronously (the
+/// engine-side executor pool still parallelizes remote statements);
+/// coordinator/executor counters in the report are zero, since a remote
+/// backend does not expose engine internals.
+Result<WorkloadReport> RunLoadedWorkload(ClientInterface* client,
+                                         const std::string& dest,
+                                         const WorkloadConfig& config);
+
 }  // namespace youtopia::travel
 
 #endif  // YOUTOPIA_TRAVEL_WORKLOAD_H_

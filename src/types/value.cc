@@ -1,6 +1,7 @@
 #include "types/value.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <functional>
 
 #include "common/string_util.h"
@@ -116,8 +117,16 @@ std::string Value::ToString() const {
     case DataType::kInt64:
       return std::to_string(int64_value());
     case DataType::kDouble: {
-      std::string s = StringPrintf("%g", double_value());
-      return s;
+      // Shortest decimal form that parses back to the same bits, so
+      // DumpToScript -> RestoreFromScript preserves double columns
+      // exactly. 15 digits round-trips most values and keeps the
+      // human-readable forms tests assert on ("3.5"); 17 always does.
+      const double v = double_value();
+      for (int precision = 15; precision <= 17; ++precision) {
+        std::string s = StringPrintf("%.*g", precision, v);
+        if (std::strtod(s.c_str(), nullptr) == v) return s;
+      }
+      return StringPrintf("%.17g", v);
     }
     case DataType::kString:
       return QuoteSqlString(string_value());

@@ -1,0 +1,374 @@
+#include "net/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace youtopia::net {
+namespace {
+
+// ------------------------------------------------- randomized generators
+
+Value RandomValue(Random* rng) {
+  switch (rng->NextBelow(5)) {
+    case 0:
+      return Value::Null();
+    case 1:
+      return Value::Bool(rng->NextBool());
+    case 2:
+      return Value::Int64(static_cast<int64_t>(rng->Next()));
+    case 3:
+      // Full-mantissa doubles (the dump/restore corruption case), scaled
+      // across magnitudes; bit-pattern generation would produce NaNs,
+      // which never compare equal.
+      return Value::Double((rng->NextDouble() - 0.5) *
+                           std::pow(10.0, rng->NextInRange(-30, 30)));
+    default: {
+      std::string s;
+      const size_t len = rng->NextBelow(24);
+      for (size_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>(rng->NextInRange(0, 255)));
+      }
+      return Value::String(std::move(s));
+    }
+  }
+}
+
+Tuple RandomTuple(Random* rng) {
+  std::vector<Value> values;
+  const size_t arity = rng->NextBelow(6);
+  for (size_t i = 0; i < arity; ++i) values.push_back(RandomValue(rng));
+  return Tuple(std::move(values));
+}
+
+std::vector<Tuple> RandomTuples(Random* rng, size_t max = 8) {
+  std::vector<Tuple> tuples;
+  const size_t count = rng->NextBelow(max);
+  for (size_t i = 0; i < count; ++i) tuples.push_back(RandomTuple(rng));
+  return tuples;
+}
+
+Status RandomStatus(Random* rng) {
+  const auto code = static_cast<StatusCode>(
+      rng->NextBelow(static_cast<uint64_t>(StatusCode::kNotImplemented) + 1));
+  if (code == StatusCode::kOk) return Status::OK();
+  return Status(code, "error #" + std::to_string(rng->NextBelow(1000)));
+}
+
+std::string RandomSql(Random* rng) {
+  std::string sql = "SELECT c" + std::to_string(rng->NextBelow(100)) +
+                    " FROM t WHERE x = " + std::to_string(rng->Next());
+  return sql;
+}
+
+QueryResult RandomResult(Random* rng) {
+  QueryResult result;
+  const size_t ncols = rng->NextBelow(5);
+  for (size_t i = 0; i < ncols; ++i) {
+    result.column_names.push_back("col" + std::to_string(i));
+  }
+  result.rows = RandomTuples(rng);
+  result.affected_rows = rng->NextBelow(1000);
+  return result;
+}
+
+WireHandle RandomHandle(Random* rng) {
+  WireHandle handle;
+  handle.query_id = rng->Next();
+  handle.done = rng->NextBool();
+  handle.outcome = handle.done ? RandomStatus(rng) : Status::OK();
+  handle.answers = handle.done ? RandomTuples(rng) : std::vector<Tuple>{};
+  return handle;
+}
+
+bool Equal(const QueryResult& a, const QueryResult& b) {
+  return a.column_names == b.column_names && a.rows == b.rows &&
+         a.affected_rows == b.affected_rows;
+}
+
+/// Encodes `msg`, reassembles it through a FrameAssembler fed in random
+/// chunks, and returns the decoded copy.
+template <typename Message>
+Message RoundTrip(const Message& msg, Random* rng) {
+  const std::string frame = EncodeFrame(msg);
+  FrameAssembler assembler;
+  size_t fed = 0;
+  while (fed < frame.size()) {
+    const size_t chunk =
+        std::min(frame.size() - fed, 1 + rng->NextBelow(frame.size()));
+    assembler.Append(frame.data() + fed, chunk);
+    fed += chunk;
+  }
+  auto next = assembler.Next();
+  EXPECT_TRUE(next.ok()) << next.status();
+  EXPECT_TRUE(next->has_value());
+  EXPECT_EQ((*next)->type, Message::kType);
+  auto decoded = DecodePayload<Message>((*next)->payload);
+  EXPECT_TRUE(decoded.ok()) << decoded.status();
+  // Exactly one frame; nothing left over.
+  auto after = assembler.Next();
+  EXPECT_TRUE(after.ok() && !after->has_value());
+  return decoded.ok() ? decoded.TakeValue() : Message{};
+}
+
+// ------------------------------------------------------------ round trips
+
+TEST(ProtocolTest, ExecuteRoundTrips) {
+  Random rng(1);
+  for (int iter = 0; iter < 100; ++iter) {
+    ExecuteRequest req;
+    req.request_id = rng.Next();
+    req.sql = RandomSql(&rng);
+    ExecuteRequest back = RoundTrip(req, &rng);
+    EXPECT_EQ(back.request_id, req.request_id);
+    EXPECT_EQ(back.sql, req.sql);
+
+    ExecuteResponse resp;
+    resp.request_id = rng.Next();
+    resp.status = RandomStatus(&rng);
+    resp.result = RandomResult(&rng);
+    ExecuteResponse rback = RoundTrip(resp, &rng);
+    EXPECT_EQ(rback.request_id, resp.request_id);
+    EXPECT_EQ(rback.status, resp.status);
+    EXPECT_TRUE(Equal(rback.result, resp.result));
+  }
+}
+
+TEST(ProtocolTest, ScriptAndCancelRoundTrip) {
+  Random rng(2);
+  for (int iter = 0; iter < 50; ++iter) {
+    ScriptRequest req{rng.Next(), RandomSql(&rng) + "; " + RandomSql(&rng)};
+    ScriptRequest back = RoundTrip(req, &rng);
+    EXPECT_EQ(back.request_id, req.request_id);
+    EXPECT_EQ(back.sql, req.sql);
+
+    ScriptResponse resp{rng.Next(), RandomStatus(&rng)};
+    ScriptResponse rback = RoundTrip(resp, &rng);
+    EXPECT_EQ(rback.request_id, resp.request_id);
+    EXPECT_EQ(rback.status, resp.status);
+
+    CancelRequest cancel{rng.Next(), rng.Next()};
+    CancelRequest cback = RoundTrip(cancel, &rng);
+    EXPECT_EQ(cback.request_id, cancel.request_id);
+    EXPECT_EQ(cback.query_id, cancel.query_id);
+
+    CancelResponse cresp{rng.Next(), RandomStatus(&rng)};
+    EXPECT_EQ(RoundTrip(cresp, &rng).status, cresp.status);
+  }
+}
+
+TEST(ProtocolTest, SubmitRoundTrips) {
+  Random rng(3);
+  for (int iter = 0; iter < 100; ++iter) {
+    SubmitRequest req;
+    req.request_id = rng.Next();
+    req.owner = "user" + std::to_string(rng.NextBelow(50));
+    req.sql = RandomSql(&rng);
+    SubmitRequest back = RoundTrip(req, &rng);
+    EXPECT_EQ(back.owner, req.owner);
+    EXPECT_EQ(back.sql, req.sql);
+
+    SubmitResponse resp;
+    resp.request_id = rng.Next();
+    resp.status = RandomStatus(&rng);
+    resp.handle = RandomHandle(&rng);
+    SubmitResponse rback = RoundTrip(resp, &rng);
+    EXPECT_EQ(rback.request_id, resp.request_id);
+    EXPECT_EQ(rback.status, resp.status);
+    EXPECT_EQ(rback.handle, resp.handle);
+  }
+}
+
+TEST(ProtocolTest, SubmitBatchRoundTrips) {
+  Random rng(4);
+  for (int iter = 0; iter < 50; ++iter) {
+    SubmitBatchRequest req;
+    req.request_id = rng.Next();
+    const size_t n = 1 + rng.NextBelow(5);
+    for (size_t i = 0; i < n; ++i) {
+      req.owners.push_back("o" + std::to_string(i));
+      req.statements.push_back(RandomSql(&rng));
+    }
+    SubmitBatchRequest back = RoundTrip(req, &rng);
+    EXPECT_EQ(back.request_id, req.request_id);
+    EXPECT_EQ(back.owners, req.owners);
+    EXPECT_EQ(back.statements, req.statements);
+
+    SubmitBatchResponse resp;
+    resp.request_id = rng.Next();
+    resp.status = RandomStatus(&rng);
+    for (size_t i = 0; i < n; ++i) resp.handles.push_back(RandomHandle(&rng));
+    SubmitBatchResponse rback = RoundTrip(resp, &rng);
+    EXPECT_EQ(rback.status, resp.status);
+    EXPECT_EQ(rback.handles, resp.handles);
+  }
+}
+
+TEST(ProtocolTest, RunAndPushRoundTrips) {
+  Random rng(5);
+  for (int iter = 0; iter < 100; ++iter) {
+    RunRequest req;
+    req.request_id = rng.Next();
+    req.owner = "runner";
+    req.sql = RandomSql(&rng);
+    EXPECT_EQ(RoundTrip(req, &rng).sql, req.sql);
+
+    RunResponse resp;
+    resp.request_id = rng.Next();
+    resp.status = RandomStatus(&rng);
+    resp.entangled = rng.NextBool();
+    if (resp.entangled) {
+      resp.handle = RandomHandle(&rng);
+    } else {
+      resp.result = RandomResult(&rng);
+    }
+    RunResponse rback = RoundTrip(resp, &rng);
+    EXPECT_EQ(rback.status, resp.status);
+    EXPECT_EQ(rback.entangled, resp.entangled);
+    EXPECT_TRUE(Equal(rback.result, resp.result));
+    EXPECT_EQ(rback.handle, resp.handle);
+
+    CompletionPush push;
+    push.query_id = rng.Next();
+    push.outcome = RandomStatus(&rng);
+    push.answers = RandomTuples(&rng);
+    CompletionPush pback = RoundTrip(push, &rng);
+    EXPECT_EQ(pback.query_id, push.query_id);
+    EXPECT_EQ(pback.outcome, push.outcome);
+    EXPECT_EQ(pback.answers, push.answers);
+  }
+}
+
+TEST(ProtocolTest, DoubleValuesSurviveBitExactly) {
+  // The values the dump round-trip bugfix protects; the wire must not
+  // reintroduce text-formatting loss.
+  for (double v : {0.1, 1.0 / 3.0, 5e-324, 1.7976931348623157e308,
+                   2.2250738585072014e-308, -0.0}) {
+    WireWriter w;
+    w.PutValue(Value::Double(v));
+    WireReader r(w.bytes());
+    Value back;
+    ASSERT_TRUE(r.GetValue(&back));
+    EXPECT_EQ(back, Value::Double(v));
+  }
+}
+
+// --------------------------------------------------------- malformed input
+
+TEST(ProtocolTest, TruncatedPayloadRejected) {
+  Random rng(6);
+  ExecuteResponse resp;
+  resp.request_id = 7;
+  resp.status = Status::OK();
+  resp.result = RandomResult(&rng);
+  WireWriter w;
+  resp.Encode(&w);
+  const std::string& payload = w.bytes();
+  // Every strict prefix must decode cleanly as an error, never crash or
+  // return a half-read message.
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    auto decoded = DecodePayload<ExecuteResponse>(
+        std::string_view(payload).substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "prefix length " << cut;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ProtocolTest, TrailingBytesRejected) {
+  ExecuteRequest req{1, "SELECT 1"};
+  WireWriter w;
+  req.Encode(&w);
+  std::string payload = w.Take();
+  payload.push_back('\0');
+  EXPECT_FALSE(DecodePayload<ExecuteRequest>(payload).ok());
+}
+
+TEST(ProtocolTest, BadValueTagRejected) {
+  WireWriter w;
+  w.PutU8(200);  // no such DataType
+  WireReader r(w.bytes());
+  Value v;
+  EXPECT_FALSE(r.GetValue(&v));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ProtocolTest, LyingTupleCountRejected) {
+  // Claims 2^31 values but carries none: must fail fast, not allocate.
+  WireWriter w;
+  w.PutU32(0x80000000u);
+  WireReader r(w.bytes());
+  Tuple t;
+  EXPECT_FALSE(r.GetTuple(&t));
+}
+
+TEST(ProtocolTest, OversizedFrameLengthRejected) {
+  FrameAssembler assembler(/*max_frame_bytes=*/1024);
+  WireWriter header;
+  header.PutU32(2048);
+  assembler.Append(header.bytes());
+  auto next = assembler.Next();
+  EXPECT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolTest, ZeroLengthFrameRejected) {
+  FrameAssembler assembler;
+  WireWriter header;
+  header.PutU32(0);
+  assembler.Append(header.bytes());
+  EXPECT_FALSE(assembler.Next().ok());
+}
+
+TEST(ProtocolTest, PartialFrameIsNotAFrame) {
+  ExecuteRequest req{42, "SELECT x FROM t"};
+  const std::string frame = EncodeFrame(req);
+  FrameAssembler assembler;
+  // Feed everything but the last byte: incomplete, not an error.
+  assembler.Append(frame.data(), frame.size() - 1);
+  auto next = assembler.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(next->has_value());
+  // The final byte completes it.
+  assembler.Append(frame.data() + frame.size() - 1, 1);
+  next = assembler.Next();
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(next->has_value());
+  auto decoded = DecodePayload<ExecuteRequest>((*next)->payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->sql, req.sql);
+}
+
+TEST(ProtocolTest, ByteAtATimeStreamOfManyFrames) {
+  Random rng(7);
+  std::string stream;
+  std::vector<std::string> sqls;
+  for (int i = 0; i < 20; ++i) {
+    sqls.push_back(RandomSql(&rng));
+    stream += EncodeFrame(ExecuteRequest{static_cast<uint64_t>(i), sqls.back()});
+  }
+  FrameAssembler assembler;
+  size_t seen = 0;
+  for (char c : stream) {
+    assembler.Append(&c, 1);
+    for (;;) {
+      auto next = assembler.Next();
+      ASSERT_TRUE(next.ok());
+      if (!next->has_value()) break;
+      auto decoded = DecodePayload<ExecuteRequest>((*next)->payload);
+      ASSERT_TRUE(decoded.ok());
+      EXPECT_EQ(decoded->request_id, seen);
+      EXPECT_EQ(decoded->sql, sqls[seen]);
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, sqls.size());
+  EXPECT_EQ(assembler.buffered_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace youtopia::net

@@ -1,0 +1,411 @@
+#include "net/remote_client.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/server.h"
+#include "server/client.h"
+#include "travel/travel_schema.h"
+
+namespace youtopia::net {
+namespace {
+
+using std::chrono::milliseconds;
+
+constexpr milliseconds kWait{5000};
+
+/// Server + connected client over loopback, torn down in order.
+struct Loopback {
+  explicit Loopback(YoutopiaConfig config = {}) : db(config) {
+    server = std::make_unique<YoutopiaServer>(&db);
+    Status started = server->Start();
+    EXPECT_TRUE(started.ok()) << started;
+  }
+
+  std::unique_ptr<RemoteClient> Connect(const std::string& owner = "") {
+    auto client =
+        RemoteClient::Connect("127.0.0.1", server->port(),
+                              ClientOptions(owner, /*record=*/false));
+    EXPECT_TRUE(client.ok()) << client.status();
+    return client.ok() ? client.TakeValue() : nullptr;
+  }
+
+  Youtopia db;
+  std::unique_ptr<YoutopiaServer> server;
+};
+
+TEST(RemoteClientTest, ExecuteRoundTripsRowsAndTypes) {
+  Loopback loop;
+  auto client = loop.Connect();
+  ASSERT_NE(client, nullptr);
+
+  ASSERT_TRUE(client
+                  ->ExecuteScript(
+                      "CREATE TABLE t (id INT, price DOUBLE, name TEXT, "
+                      "ok BOOL, note TEXT);"
+                      "INSERT INTO t VALUES (1, 3.141592653589793, "
+                      "'O''Hare', TRUE, NULL);")
+                  .ok());
+  auto result = client->Execute("SELECT * FROM t");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 1u);
+  const Tuple& row = result->rows[0];
+  EXPECT_EQ(row.at(0), Value::Int64(1));
+  EXPECT_EQ(row.at(1), Value::Double(3.141592653589793));
+  EXPECT_EQ(row.at(2), Value::String("O'Hare"));
+  EXPECT_EQ(row.at(3), Value::Bool(true));
+  EXPECT_TRUE(row.at(4).is_null());
+  EXPECT_EQ(result->column_names.size(), 5u);
+}
+
+TEST(RemoteClientTest, ErrorsPropagateWithCodes) {
+  Loopback loop;
+  auto client = loop.Connect();
+  ASSERT_NE(client, nullptr);
+
+  auto bad = client->Execute("SELEKT nonsense");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  auto missing = client->Execute("SELECT * FROM nope");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  // Entangled SQL is rejected on the Execute path, as in-process.
+  ASSERT_TRUE(client->ExecuteScript("CREATE TABLE r (a TEXT, b INT)").ok());
+  auto entangled = client->Execute(
+      "SELECT 'x', b INTO ANSWER r WHERE b IN (SELECT b FROM r) CHOOSE 1");
+  EXPECT_FALSE(entangled.ok());
+}
+
+TEST(RemoteClientTest, AsyncFuturesInterleaveOnOneConnection) {
+  Loopback loop;
+  auto client = loop.Connect();
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->ExecuteScript("CREATE TABLE n (v INT)").ok());
+
+  std::vector<std::future<Result<QueryResult>>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(client->ExecuteAsync("INSERT INTO n VALUES (" +
+                                           std::to_string(i) + ")"));
+  }
+  for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+  auto count = client->Execute("SELECT v FROM n");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows.size(), 16u);
+}
+
+TEST(RemoteClientTest, EntangledPairCompletesViaServerPush) {
+  Loopback loop;
+  ASSERT_TRUE(travel::SetupFigure1(&loop.db).ok());
+  auto jerry_client = loop.Connect("Jerry");
+  auto kramer_client = loop.Connect("Kramer");
+  ASSERT_NE(jerry_client, nullptr);
+  ASSERT_NE(kramer_client, nullptr);
+
+  std::atomic<int> callbacks{0};
+  auto jerry = jerry_client->Submit(
+      "SELECT 'Jerry', fno INTO ANSWER Reservation WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE dest='Paris') AND "
+      "('Kramer', fno) IN ANSWER Reservation CHOOSE 1",
+      [&callbacks](const EntangledHandle&) { ++callbacks; });
+  ASSERT_TRUE(jerry.ok()) << jerry.status();
+  EXPECT_FALSE(jerry->Done());
+  EXPECT_EQ(jerry_client->Outstanding().size(), 1u);
+
+  // The partner arrives on a *different connection*: one shared engine
+  // behind the server boundary.
+  auto kramer = kramer_client->Submit(
+      "SELECT 'Kramer', fno INTO ANSWER Reservation WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE dest='Paris') AND "
+      "('Jerry', fno) IN ANSWER Reservation CHOOSE 1");
+  ASSERT_TRUE(kramer.ok()) << kramer.status();
+
+  ASSERT_TRUE(jerry->Wait(kWait).ok());
+  ASSERT_TRUE(kramer->Wait(kWait).ok());
+  // The callback fires on the client's completion-dispatch thread, a
+  // hair after Wait observes the terminal state.
+  const auto cb_deadline = std::chrono::steady_clock::now() + kWait;
+  while (callbacks.load() == 0 &&
+         std::chrono::steady_clock::now() < cb_deadline) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  EXPECT_EQ(callbacks.load(), 1);
+  ASSERT_EQ(jerry->Answers().size(), 1u);
+  ASSERT_EQ(kramer->Answers().size(), 1u);
+  // Both flew on the same flight.
+  EXPECT_EQ(jerry->Answers()[0].at(1), kramer->Answers()[0].at(1));
+  EXPECT_TRUE(jerry_client->Outstanding().empty());
+
+  // Jerry's completion is server-pushed; Kramer's own submission closed
+  // the group, so his response already carried the terminal state.
+  const auto stats = loop.server->stats();
+  EXPECT_GE(stats.pushes, 1u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+TEST(RemoteClientTest, AlreadyDoneHandleArrivesCompleteInResponse) {
+  Loopback loop;
+  ASSERT_TRUE(travel::SetupFigure1(&loop.db).ok());
+  auto client = loop.Connect("Solo");
+  ASSERT_NE(client, nullptr);
+
+  // No partner constraint: satisfied inside the submit round, so the
+  // response itself carries the terminal state (no push needed).
+  auto solo = client->Submit(
+      "SELECT 'Solo', fno INTO ANSWER Reservation WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE dest='Rome') CHOOSE 1");
+  ASSERT_TRUE(solo.ok()) << solo.status();
+  EXPECT_TRUE(solo->Done());
+  EXPECT_TRUE(solo->Outcome().value_or(Status::OK()).ok());
+  EXPECT_EQ(solo->Answers().size(), 1u);
+  EXPECT_TRUE(client->Outstanding().empty());
+
+  // An immediately-registered callback fires inline, as in-process.
+  bool fired = false;
+  solo->OnComplete([&fired](const EntangledHandle&) { fired = true; });
+  EXPECT_TRUE(fired);
+}
+
+TEST(RemoteClientTest, SubmitBatchClosesGroupInOneRound) {
+  Loopback loop;
+  ASSERT_TRUE(travel::SetupFigure1(&loop.db).ok());
+  auto client = loop.Connect();
+  ASSERT_NE(client, nullptr);
+
+  auto handles = client->SubmitBatchAs(
+      {"Jerry", "Kramer"},
+      {"SELECT 'Jerry', fno INTO ANSWER Reservation WHERE fno IN "
+       "(SELECT fno FROM Flights WHERE dest='Paris') AND "
+       "('Kramer', fno) IN ANSWER Reservation CHOOSE 1",
+       "SELECT 'Kramer', fno INTO ANSWER Reservation WHERE fno IN "
+       "(SELECT fno FROM Flights WHERE dest='Paris') AND "
+       "('Jerry', fno) IN ANSWER Reservation CHOOSE 1"});
+  ASSERT_TRUE(handles.ok()) << handles.status();
+  ASSERT_EQ(handles->size(), 2u);
+  // A complete group submitted together closes in the batch round: both
+  // handles come back done.
+  for (const EntangledHandle& handle : *handles) {
+    ASSERT_TRUE(handle.Wait(kWait).ok());
+    EXPECT_EQ(handle.Answers().size(), 1u);
+  }
+}
+
+TEST(RemoteClientTest, RunAutoDetectsAndPushesCompletion) {
+  Loopback loop;
+  ASSERT_TRUE(travel::SetupFigure1(&loop.db).ok());
+  auto client = loop.Connect("Elaine");
+  ASSERT_NE(client, nullptr);
+
+  auto regular = client->Run("SELECT fno FROM Flights WHERE dest='Paris'");
+  ASSERT_TRUE(regular.ok()) << regular.status();
+  EXPECT_FALSE(regular->entangled);
+  EXPECT_FALSE(regular->result.rows.empty());
+
+  auto pending = client->Run(
+      "SELECT 'Elaine', fno INTO ANSWER Reservation WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE dest='Paris') AND "
+      "('George', fno) IN ANSWER Reservation CHOOSE 1");
+  ASSERT_TRUE(pending.ok()) << pending.status();
+  ASSERT_TRUE(pending->entangled);
+  ASSERT_TRUE(pending->handle.has_value());
+  EXPECT_FALSE(pending->handle->Done());
+
+  auto partner = client->Run(
+      "SELECT 'George', fno INTO ANSWER Reservation WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE dest='Paris') AND "
+      "('Elaine', fno) IN ANSWER Reservation CHOOSE 1");
+  ASSERT_TRUE(partner.ok()) << partner.status();
+  ASSERT_TRUE(pending->handle->Wait(kWait).ok());
+}
+
+TEST(RemoteClientTest, MixedRemoteAndInProcessClientsCoordinate) {
+  Loopback loop;
+  ASSERT_TRUE(travel::SetupFigure1(&loop.db).ok());
+  auto remote = loop.Connect("Jerry");
+  ASSERT_NE(remote, nullptr);
+  Client local(&loop.db, ClientOptions("Kramer"));
+
+  auto jerry = remote->Submit(
+      "SELECT 'Jerry', fno INTO ANSWER Reservation WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE dest='Paris') AND "
+      "('Kramer', fno) IN ANSWER Reservation CHOOSE 1");
+  ASSERT_TRUE(jerry.ok());
+  auto kramer = local.Submit(
+      "SELECT 'Kramer', fno INTO ANSWER Reservation WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE dest='Paris') AND "
+      "('Jerry', fno) IN ANSWER Reservation CHOOSE 1");
+  ASSERT_TRUE(kramer.ok());
+  ASSERT_TRUE(jerry->Wait(kWait).ok());
+  ASSERT_TRUE(kramer->Wait(kWait).ok());
+}
+
+TEST(RemoteClientTest, OnCompleteMayCallBackIntoTheClient) {
+  // In-process, OnComplete callbacks may call straight back into the
+  // engine (submit a follow-up, run a query). The remote client keeps
+  // that contract by delivering completions from a dispatch thread, not
+  // the socket reader — a reader-thread delivery would self-deadlock
+  // the nested synchronous call below.
+  Loopback loop;
+  ASSERT_TRUE(travel::SetupFigure1(&loop.db).ok());
+  auto jerry_client = loop.Connect("Jerry");
+  auto kramer_client = loop.Connect("Kramer");
+  ASSERT_NE(jerry_client, nullptr);
+  ASSERT_NE(kramer_client, nullptr);
+
+  RemoteClient* reentrant = jerry_client.get();
+  auto follow_up = std::make_shared<std::promise<Status>>();
+  auto jerry = jerry_client->Submit(
+      "SELECT 'Jerry', fno INTO ANSWER Reservation WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE dest='Paris') AND "
+      "('Kramer', fno) IN ANSWER Reservation CHOOSE 1",
+      [reentrant, follow_up](const EntangledHandle&) {
+        auto rows = reentrant->Execute(
+            "SELECT traveler FROM Reservation WHERE traveler='Jerry'");
+        follow_up->set_value(rows.status());
+      });
+  ASSERT_TRUE(jerry.ok()) << jerry.status();
+  ASSERT_TRUE(kramer_client
+                  ->Submit("SELECT 'Kramer', fno INTO ANSWER Reservation "
+                           "WHERE fno IN (SELECT fno FROM Flights WHERE "
+                           "dest='Paris') AND ('Jerry', fno) IN ANSWER "
+                           "Reservation CHOOSE 1")
+                  .ok());
+
+  auto future = follow_up->get_future();
+  ASSERT_EQ(future.wait_for(std::chrono::milliseconds(5000)),
+            std::future_status::ready)
+      << "nested synchronous call from OnComplete deadlocked";
+  EXPECT_TRUE(future.get().ok());
+}
+
+TEST(RemoteClientTest, OversizedRequestFailsWithoutKillingConnection) {
+  Loopback loop;
+  auto client = loop.Connect();
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->ExecuteScript("CREATE TABLE big (v TEXT)").ok());
+
+  // A script larger than the frame limit is rejected client-side...
+  std::string huge = "INSERT INTO big VALUES ('";
+  huge.append(kMaxFrameBytes + 16, 'x');
+  huge += "')";
+  auto rejected = client->ExecuteScript(huge);
+  EXPECT_EQ(rejected.code(), StatusCode::kInvalidArgument);
+  // ...and the connection is still perfectly usable.
+  auto after = client->Execute("SELECT v FROM big");
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_TRUE(client->connected());
+}
+
+TEST(RemoteClientTest, CancelAllWithdrawsPendingQueries) {
+  Loopback loop;
+  ASSERT_TRUE(travel::SetupFigure1(&loop.db).ok());
+  auto client = loop.Connect("Newman");
+  ASSERT_NE(client, nullptr);
+
+  auto pending = client->Submit(
+      "SELECT 'Newman', fno INTO ANSWER Reservation WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE dest='Paris') AND "
+      "('Nobody', fno) IN ANSWER Reservation CHOOSE 1");
+  ASSERT_TRUE(pending.ok());
+  EXPECT_FALSE(pending->Done());
+
+  ASSERT_TRUE(client->CancelAll().ok());
+  // The cancellation completes the handle through the push path.
+  const Status outcome = pending->Wait(kWait);
+  EXPECT_EQ(outcome.code(), StatusCode::kAborted);
+  EXPECT_TRUE(client->WaitForAll(kWait).ok());
+}
+
+TEST(RemoteClientTest, WorksThroughExecutorWorkerPool) {
+  YoutopiaConfig config;
+  config.executor.num_workers = 2;
+  Loopback loop(config);
+  ASSERT_TRUE(travel::SetupFigure1(&loop.db).ok());
+  auto a = loop.Connect("Jerry");
+  auto b = loop.Connect("Kramer");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+
+  // Statements from both connections flow through the shared pool.
+  ASSERT_TRUE(a->ExecuteScript("CREATE TABLE x (v INT);"
+                               "INSERT INTO x VALUES (7)").ok());
+  auto seen = b->Execute("SELECT v FROM x");
+  ASSERT_TRUE(seen.ok()) << seen.status();
+  EXPECT_EQ(seen->rows.size(), 1u);
+
+  auto jerry = a->Run(
+      "SELECT 'Jerry', fno INTO ANSWER Reservation WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE dest='Paris') AND "
+      "('Kramer', fno) IN ANSWER Reservation CHOOSE 1");
+  ASSERT_TRUE(jerry.ok()) << jerry.status();
+  ASSERT_TRUE(jerry->entangled && jerry->handle.has_value());
+  auto kramer = b->Run(
+      "SELECT 'Kramer', fno INTO ANSWER Reservation WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE dest='Paris') AND "
+      "('Jerry', fno) IN ANSWER Reservation CHOOSE 1");
+  ASSERT_TRUE(kramer.ok()) << kramer.status();
+  ASSERT_TRUE(jerry->handle->Wait(kWait).ok());
+}
+
+TEST(RemoteClientTest, ServerStopAbortsOutstandingWork) {
+  Loopback loop;
+  ASSERT_TRUE(travel::SetupFigure1(&loop.db).ok());
+  auto client = loop.Connect("Jerry");
+  ASSERT_NE(client, nullptr);
+
+  auto pending = client->Submit(
+      "SELECT 'Jerry', fno INTO ANSWER Reservation WHERE fno IN "
+      "(SELECT fno FROM Flights WHERE dest='Paris') AND "
+      "('Kramer', fno) IN ANSWER Reservation CHOOSE 1");
+  ASSERT_TRUE(pending.ok());
+
+  loop.server->Stop();
+  // The pending handle resolves (Aborted) instead of hanging forever.
+  const Status outcome = pending->Wait(kWait);
+  EXPECT_EQ(outcome.code(), StatusCode::kAborted);
+  // New calls fail cleanly.
+  auto after = client->Execute("SELECT fno FROM Flights");
+  EXPECT_FALSE(after.ok());
+  EXPECT_FALSE(client->connected());
+}
+
+TEST(RemoteClientTest, ConnectToClosedPortFails) {
+  Loopback loop;
+  const uint16_t port = loop.server->port();
+  loop.server->Stop();
+  auto client = RemoteClient::Connect("127.0.0.1", port);
+  // Either refused outright, or accepted-then-reset before use; both
+  // must surface as a failed Connect or a dead client.
+  if (client.ok()) {
+    EXPECT_FALSE((*client)->Execute("SELECT 1 FROM t").ok());
+  }
+}
+
+TEST(RemoteClientTest, ServerStatsCountTraffic) {
+  Loopback loop;
+  auto client = loop.Connect();
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->ExecuteScript("CREATE TABLE s (v INT)").ok());
+  ASSERT_TRUE(client->Execute("INSERT INTO s VALUES (1)").ok());
+  const auto stats = loop.server->stats();
+  EXPECT_EQ(stats.connections_accepted, 1u);
+  EXPECT_EQ(stats.connections_active, 1u);
+  EXPECT_GE(stats.requests, 2u);
+  client->Close();
+  // Active count drains once the reader notices the hangup.
+  const auto deadline = std::chrono::steady_clock::now() + kWait;
+  while (loop.server->stats().connections_active > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  EXPECT_EQ(loop.server->stats().connections_active, 0u);
+}
+
+}  // namespace
+}  // namespace youtopia::net

@@ -1,0 +1,155 @@
+// Backend-parity differential tests: the same seeded workload driven
+// through the in-process Client and through a RemoteClient over a
+// loopback YoutopiaServer must produce identical request outcomes, and a
+// dump must transfer an engine's state byte-exactly across the wire.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "net/remote_client.h"
+#include "net/server.h"
+#include "server/client.h"
+#include "server/dump.h"
+#include "travel/data_generator.h"
+#include "travel/travel_schema.h"
+#include "travel/workload.h"
+
+namespace youtopia::net {
+namespace {
+
+Status SeedTravelEngine(Youtopia* db) {
+  YOUTOPIA_RETURN_IF_ERROR(travel::CreateTravelSchema(db));
+  travel::DataGeneratorConfig data;
+  data.cities = {"NewYork", "Paris", "Rome"};
+  data.flights_per_route_per_day = 4;
+  data.days = 3;
+  auto generated = travel::GenerateTravelData(db, data);
+  return generated.status();
+}
+
+travel::WorkloadConfig ParityWorkload() {
+  travel::WorkloadConfig config;
+  config.seed = 424242;
+  config.sessions = 4;
+  config.requests_per_session = 12;
+  config.group_fraction = 0.25;
+  config.hotel_fraction = 0.3;
+  config.deadline = std::chrono::milliseconds(20000);
+  return config;
+}
+
+TEST(RemoteParityTest, WorkloadOutcomesMatchInProcessBackend) {
+  // In-process run, through the same ClientInterface-based driver the
+  // remote run uses.
+  Youtopia local_db;
+  ASSERT_TRUE(SeedTravelEngine(&local_db).ok());
+  Client local_client(&local_db, ClientOptions("travel", /*record=*/false));
+  auto local = travel::RunLoadedWorkload(
+      static_cast<ClientInterface*>(&local_client), "Paris",
+      ParityWorkload());
+  ASSERT_TRUE(local.ok()) << local.status();
+
+  // Loopback-remote run on an identically seeded engine.
+  Youtopia remote_db;
+  ASSERT_TRUE(SeedTravelEngine(&remote_db).ok());
+  YoutopiaServer server(&remote_db);
+  ASSERT_TRUE(server.Start().ok());
+  auto remote_client = RemoteClient::Connect(
+      "127.0.0.1", server.port(), ClientOptions("travel", /*record=*/false));
+  ASSERT_TRUE(remote_client.ok()) << remote_client.status();
+  auto remote = travel::RunLoadedWorkload(
+      static_cast<ClientInterface*>(remote_client->get()), "Paris",
+      ParityWorkload());
+  ASSERT_TRUE(remote.ok()) << remote.status();
+
+  // Same plan (same seed), so the same number of submissions; every
+  // request pairs up eventually under the generous deadline, so both
+  // backends satisfy all of them — identical request outcomes, with the
+  // remote completions arriving by server push.
+  EXPECT_EQ(local->submitted, remote->submitted);
+  EXPECT_EQ(local->satisfied, remote->satisfied);
+  EXPECT_EQ(local->timed_out, remote->timed_out);
+  EXPECT_EQ(local->errors, remote->errors);
+  EXPECT_EQ(remote->satisfied, remote->submitted);
+  EXPECT_EQ(remote->errors, 0u);
+
+  // Both engines installed one reservation per satisfied request.
+  auto local_rows = local_db.Execute("SELECT traveler, fno FROM Reservation");
+  auto remote_rows =
+      remote_db.Execute("SELECT traveler, fno FROM Reservation");
+  ASSERT_TRUE(local_rows.ok());
+  ASSERT_TRUE(remote_rows.ok());
+  EXPECT_EQ(local_rows->rows.size(), remote_rows->rows.size());
+  EXPECT_EQ(local_rows->rows.size(), local->satisfied);
+  EXPECT_GE(server.stats().pushes, 1u);
+}
+
+TEST(RemoteParityTest, WorkloadOutcomesMatchThroughWorkerPool) {
+  // Same parity claim with the engine-side executor pool turned on: the
+  // remote statements share the pool, outcomes must not change.
+  YoutopiaConfig pooled;
+  pooled.executor.num_workers = 2;
+
+  Youtopia local_db(pooled);
+  ASSERT_TRUE(SeedTravelEngine(&local_db).ok());
+  Client local_client(&local_db, ClientOptions("travel", /*record=*/false));
+  auto local = travel::RunLoadedWorkload(
+      static_cast<ClientInterface*>(&local_client), "Paris",
+      ParityWorkload());
+  ASSERT_TRUE(local.ok()) << local.status();
+
+  Youtopia remote_db(pooled);
+  ASSERT_TRUE(SeedTravelEngine(&remote_db).ok());
+  YoutopiaServer server(&remote_db);
+  ASSERT_TRUE(server.Start().ok());
+  auto remote_client = RemoteClient::Connect(
+      "127.0.0.1", server.port(), ClientOptions("travel", /*record=*/false));
+  ASSERT_TRUE(remote_client.ok()) << remote_client.status();
+  auto remote = travel::RunLoadedWorkload(
+      static_cast<ClientInterface*>(remote_client->get()), "Paris",
+      ParityWorkload());
+  ASSERT_TRUE(remote.ok()) << remote.status();
+
+  EXPECT_EQ(local->satisfied, remote->satisfied);
+  EXPECT_EQ(remote->satisfied, remote->submitted);
+  EXPECT_EQ(remote->errors, 0u);
+}
+
+TEST(RemoteParityTest, DumpTransfersExactlyAcrossTheWire) {
+  // Source engine with the values that used to corrupt: full-mantissa
+  // doubles, embedded quotes, NULLs.
+  Youtopia source;
+  ASSERT_TRUE(SeedTravelEngine(&source).ok());
+  ASSERT_TRUE(source
+                  .ExecuteScript(
+                      "CREATE TABLE Rates (city TEXT, tax DOUBLE, note TEXT);"
+                      "INSERT INTO Rates VALUES "
+                      "('Paris', 0.1, 'O''Hare transfer'), "
+                      "('Rome', 3.141592653589793, NULL), "
+                      "('NewYork', 2.2250738585072014e-308, 'subnormal''s "
+                      "edge')")
+                  .ok());
+  auto script = DumpToScript(source);
+  ASSERT_TRUE(script.ok()) << script.status();
+
+  // Restore into a fresh engine *through the wire*.
+  Youtopia target;
+  YoutopiaServer server(&target);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = RemoteClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status();
+  ASSERT_TRUE((*client)->ExecuteScript(*script).ok());
+
+  for (const TableInfo& info : source.storage().catalog().ListTables()) {
+    auto want = source.Execute("SELECT * FROM " + info.name);
+    auto got = (*client)->Execute("SELECT * FROM " + info.name);
+    ASSERT_TRUE(want.ok()) << info.name;
+    ASSERT_TRUE(got.ok()) << info.name << ": " << got.status();
+    EXPECT_EQ(want->rows, got->rows) << info.name;
+  }
+}
+
+}  // namespace
+}  // namespace youtopia::net

@@ -55,6 +55,36 @@ TEST(LexerTest, DoubleLiterals) {
   EXPECT_DOUBLE_EQ(tokens[3].double_value, 0.015);
 }
 
+TEST(LexerTest, DoubleLiteralOverflowRejected) {
+  // Out-of-range double literals must fail like out-of-range ints do,
+  // not silently lex as inf.
+  Lexer overflow("1e999");
+  auto tokens = overflow.Tokenize();
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kInvalidArgument);
+
+  Lexer big_mantissa("123456789.5e400");
+  EXPECT_FALSE(big_mantissa.Tokenize().ok());
+}
+
+TEST(LexerTest, DoubleLiteralUnderflowRejected) {
+  // Total underflow (rounds to zero) is out of range too.
+  Lexer underflow("1e-999");
+  auto tokens = underflow.Tokenize();
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LexerTest, ExtremeButRepresentableDoublesLex) {
+  // Near the edges of the representable range, including a subnormal
+  // (subnormals set ERANGE in some libcs but are representable — dumped
+  // subnormal columns must stay lexable).
+  auto tokens = Lex("1.7976931348623157e308 2.2250738585072014e-308 5e-324");
+  EXPECT_DOUBLE_EQ(tokens[0].double_value, 1.7976931348623157e308);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 2.2250738585072014e-308);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 5e-324);
+}
+
 TEST(LexerTest, StringLiteralsWithEscapes) {
   auto tokens = Lex("'Paris' 'O''Hare' ''");
   EXPECT_EQ(tokens[0].type, TokenType::kStringLiteral);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <unordered_set>
 
 namespace youtopia {
@@ -99,6 +100,29 @@ TEST(ValueTest, ToStringRendersSqlLiterals) {
   EXPECT_EQ(Value::Int64(-3).ToString(), "-3");
   EXPECT_EQ(Value::String("O'Hare").ToString(), "'O''Hare'");
   EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+}
+
+TEST(ValueTest, DoubleToStringRoundTripsExactly) {
+  // Values whose shortest round-trip form needs 16-17 significant
+  // digits — the old "%g" (6 digits) corrupted all of these.
+  const double cases[] = {0.1,
+                          1.0 / 3.0,
+                          3.141592653589793,
+                          2.2250738585072014e-308,
+                          1.7976931348623157e308,
+                          5e-324,
+                          -123456.789012345678,
+                          1e-9};
+  for (double v : cases) {
+    const std::string s = Value::Double(v).ToString();
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+}
+
+TEST(ValueTest, DoubleToStringKeepsShortHumanReadableForms) {
+  EXPECT_EQ(Value::Double(3.5).ToString(), "3.5");
+  EXPECT_EQ(Value::Double(100.0).ToString(), "100");
+  EXPECT_EQ(Value::Double(0.25).ToString(), "0.25");
 }
 
 TEST(DataTypeTest, NamesRoundTrip) {
