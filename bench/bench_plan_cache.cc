@@ -1,0 +1,190 @@
+// Experiment PLANCACHE (DESIGN.md decision #7): what the shared plan
+// cache buys on the statement hot path.
+//
+// Two measurements:
+//   1. Prepare latency, cold vs warm — the same representative travel
+//      statements prepared repeatedly against an engine with the cache
+//      off (every call lexes, parses and plans) and with it on (every
+//      call after the first is a normalize + LRU hit). The acceptance
+//      criterion pins warm >= 5x faster than cold.
+//   2. End-to-end throughput of a single-session browse+book travel mix
+//      via Youtopia::Execute/Run with the cache off vs on — the whole
+//      statement path (locks + execution included), so the speedup here
+//      is the honest share Amdahl leaves the prepare stage.
+//
+// Standalone driver (no google-benchmark) so it can emit its own
+// machine-readable summary: BENCH_plan_cache.json (path overridable via
+// argv[1]) — what CI's regression gate and artifact trail consume.
+//
+// Usage: bench_plan_cache [output.json] [prepare_iters] [e2e_rounds]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server/plan_cache.h"
+#include "server/youtopia.h"
+#include "travel/data_generator.h"
+#include "travel/travel_schema.h"
+
+namespace {
+
+using namespace youtopia;  // NOLINT(build/namespaces) — bench driver
+
+std::unique_ptr<Youtopia> MakeTravelDb(size_t cache_capacity) {
+  YoutopiaConfig config;
+  config.plan_cache.capacity = cache_capacity;
+  auto db = std::make_unique<Youtopia>(config);
+  if (!travel::CreateTravelSchema(db.get()).ok()) std::abort();
+  travel::DataGeneratorConfig data;
+  data.cities = {"NewYork", "Paris", "Rome"};
+  data.flights_per_route_per_day = 8;
+  data.days = 3;
+  if (!travel::GenerateTravelData(db.get(), data).ok()) std::abort();
+  return db;
+}
+
+/// The statement shapes a travel middle tier replays: indexed browse,
+/// unindexed filter, a join, DML. Parameters embedded as literals the
+/// way the drivers build them.
+std::vector<std::string> HotStatements() {
+  return {
+      "SELECT fno, dest, price FROM Flights WHERE dest = 'Paris' AND "
+      "price <= 900",
+      "SELECT fno, price FROM Flights WHERE price <= 500",
+      "SELECT r.traveler, f.dest FROM Reservation r, Flights f WHERE "
+      "r.fno = f.fno",
+      "SELECT city, price FROM Hotels WHERE city = 'Rome'",
+      "INSERT INTO Reservation VALUES ('bench_user', 101)",
+  };
+}
+
+double MicrosPerPrepare(Youtopia* db, const std::vector<std::string>& stmts,
+                        int iters) {
+  const auto start = std::chrono::steady_clock::now();
+  size_t prepares = 0;
+  for (int i = 0; i < iters; ++i) {
+    for (const std::string& sql : stmts) {
+      auto prepared = db->Prepare(sql);
+      if (!prepared.ok()) std::abort();
+      ++prepares;
+    }
+  }
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  return static_cast<double>(micros) / static_cast<double>(prepares);
+}
+
+/// One browse+book round: a few hot browse statements plus one booking
+/// pair through Run (entangled registration included). Returns the
+/// number of statements driven.
+size_t DriveRound(Youtopia* db, int round) {
+  size_t statements = 0;
+  for (int b = 0; b < 4; ++b) {
+    auto rows = db->Execute(
+        "SELECT fno, dest, price FROM Flights WHERE dest = 'Paris' AND "
+        "price <= 900");
+    if (!rows.ok()) std::abort();
+    ++statements;
+  }
+  const std::string a = "pc" + std::to_string(round) + "_a";
+  const std::string b = "pc" + std::to_string(round) + "_b";
+  for (int m = 0; m < 2; ++m) {
+    const std::string& self = m == 0 ? a : b;
+    const std::string& other = m == 0 ? b : a;
+    auto outcome = db->Run(
+        "SELECT '" + self + "', fno INTO ANSWER Reservation WHERE fno IN "
+        "(SELECT fno FROM Flights WHERE dest='Paris') AND ('" + other +
+        "', fno) IN ANSWER Reservation CHOOSE 1",
+        self);
+    if (!outcome.ok()) std::abort();
+    ++statements;
+  }
+  return statements;
+}
+
+double StatementsPerSecond(size_t cache_capacity, int rounds) {
+  auto db = MakeTravelDb(cache_capacity);
+  size_t statements = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < rounds; ++r) statements += DriveRound(db.get(), r);
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  return micros > 0 ? static_cast<double>(statements) * 1e6 /
+                          static_cast<double>(micros)
+                    : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_plan_cache.json";
+  const int prepare_iters = argc > 2 ? std::atoi(argv[2]) : 2000;
+  const int e2e_rounds = argc > 3 ? std::atoi(argv[3]) : 200;
+
+  const std::vector<std::string> stmts = HotStatements();
+
+  // --- 1. Prepare latency, cold vs warm -------------------------------
+  auto cold_db = MakeTravelDb(/*cache_capacity=*/0);
+  const double cold_us =
+      MicrosPerPrepare(cold_db.get(), stmts, prepare_iters);
+
+  auto warm_db = MakeTravelDb(/*cache_capacity=*/256);
+  // First pass populates; the measured loop is all hits.
+  (void)MicrosPerPrepare(warm_db.get(), stmts, 1);
+  const double warm_us =
+      MicrosPerPrepare(warm_db.get(), stmts, prepare_iters);
+  const double prepare_speedup = warm_us > 0.0 ? cold_us / warm_us : 0.0;
+  const PlanCache::Stats warm_stats = warm_db->plan_cache().stats();
+
+  std::printf("prepare: cold %.3f us/stmt, warm %.3f us/stmt -> %.1fx "
+              "(hits=%zu misses=%zu)\n",
+              cold_us, warm_us, prepare_speedup, warm_stats.hits,
+              warm_stats.misses);
+
+  // --- 2. End-to-end travel mix, cache off vs on ----------------------
+  const double uncached_sps = StatementsPerSecond(0, e2e_rounds);
+  const double cached_sps = StatementsPerSecond(256, e2e_rounds);
+  const double e2e_speedup =
+      uncached_sps > 0.0 ? cached_sps / uncached_sps : 0.0;
+  std::printf("end-to-end: uncached %.1f stmts/s, cached %.1f stmts/s -> "
+              "%.2fx\n",
+              uncached_sps, cached_sps, e2e_speedup);
+
+  const bool ok = prepare_speedup >= 5.0;
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAIL: warm prepare speedup %.2fx below the 5x bar\n",
+                 prepare_speedup);
+  }
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"plan_cache\",\n"
+               "  \"statements\": %zu,\n"
+               "  \"prepare_iters\": %d,\n"
+               "  \"cold_prepare_us\": %.4f,\n"
+               "  \"warm_prepare_us\": %.4f,\n"
+               "  \"warm_prepare_speedup\": %.3f,\n"
+               "  \"warm_hits\": %zu,\n"
+               "  \"warm_misses\": %zu,\n"
+               "  \"e2e_rounds\": %d,\n"
+               "  \"e2e_uncached_stmts_per_sec\": %.1f,\n"
+               "  \"e2e_cached_stmts_per_sec\": %.1f,\n"
+               "  \"e2e_speedup\": %.3f\n}\n",
+               stmts.size(), prepare_iters, cold_us, warm_us, prepare_speedup,
+               warm_stats.hits, warm_stats.misses, e2e_rounds, uncached_sps,
+               cached_sps, e2e_speedup);
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""CI perf-trajectory gate: compare freshly produced BENCH_*.json files
+against the committed seed baselines in bench/baselines/.
+
+Usage: check_regression.py [--baselines DIR] BENCH_FILE...
+
+Driven by bench/baselines/manifest.json, which lists per bench file the
+metrics that gate the job:
+
+    {
+      "BENCH_plan_cache.json": [
+        {"path": "warm_prepare_speedup", "direction": "higher",
+         "threshold": 0.30, "min": 5.0},
+        ...
+      ],
+      ...
+    }
+
+  path       dotted lookup into the JSON, with [i] array indexing
+             (e.g. "results[0].tasks_per_sec", "execute.req_per_sec")
+  direction  which way is better: "higher" or "lower"
+  threshold  fractional regression that fails the job (default 0.30 —
+             generous, CI boxes are noisy 1-core containers). Only
+             *regressions* fail; a metric better than baseline always
+             passes, so faster CI hardware cannot trip the gate.
+  min        optional hard floor (direction "higher") or ceiling
+             ("lower") that fails regardless of the baseline — used for
+             acceptance criteria like "warm prepare >= 5x cold".
+
+Exit status: 0 all gated metrics pass, 1 any regression / floor breach /
+missing baseline or metric.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+DEFAULT_THRESHOLD = 0.30
+
+
+def lookup(doc, path):
+    """Resolves "a.b[2].c" into doc; raises KeyError if absent."""
+    node = doc
+    for part in path.split("."):
+        m = re.fullmatch(r"([^\[\]]+)((\[\d+\])*)", part)
+        if m is None:
+            raise KeyError(path)
+        key, indexes = m.group(1), m.group(2)
+        if not isinstance(node, dict) or key not in node:
+            raise KeyError(path)
+        node = node[key]
+        for idx in re.findall(r"\[(\d+)\]", indexes):
+            if not isinstance(node, list) or int(idx) >= len(node):
+                raise KeyError(path)
+            node = node[int(idx)]
+    if not isinstance(node, (int, float)) or isinstance(node, bool):
+        raise KeyError(f"{path} is not numeric")
+    return float(node)
+
+
+def check_file(current_path, baseline_dir, metrics):
+    name = os.path.basename(current_path)
+    failures = []
+    rows = []
+    with open(current_path) as f:
+        current = json.load(f)
+    baseline_path = os.path.join(baseline_dir, name)
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except OSError:
+        return [f"{name}: no committed baseline at {baseline_path}"], rows
+
+    for metric in metrics:
+        path = metric["path"]
+        higher = metric.get("direction", "higher") == "higher"
+        threshold = float(metric.get("threshold", DEFAULT_THRESHOLD))
+        try:
+            cur = lookup(current, path)
+        except KeyError as e:
+            failures.append(f"{name}: current run lacks metric {e}")
+            continue
+        try:
+            base = lookup(baseline, path)
+        except KeyError as e:
+            failures.append(f"{name}: baseline lacks metric {e}")
+            continue
+
+        if base != 0:
+            change = (cur - base) / abs(base)
+        else:
+            change = 0.0
+        regressed = (-change if higher else change) > threshold
+        floor = metric.get("min")
+        floor_breach = floor is not None and (
+            cur < float(floor) if higher else cur > float(floor)
+        )
+        verdict = "FAIL" if (regressed or floor_breach) else "ok"
+        rows.append(
+            f"  [{verdict:4}] {name}:{path} = {cur:.3f} "
+            f"(baseline {base:.3f}, {change:+.1%}, "
+            f"{'higher' if higher else 'lower'} is better)"
+        )
+        if regressed:
+            failures.append(
+                f"{name}: {path} regressed {-change if higher else change:.1%}"
+                f" vs baseline ({cur:.3f} vs {base:.3f},"
+                f" threshold {threshold:.0%})"
+            )
+        if floor_breach:
+            failures.append(
+                f"{name}: {path} = {cur:.3f} breaches hard"
+                f" {'floor' if higher else 'ceiling'} {float(floor):.3f}"
+            )
+    return failures, rows
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--baselines",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "baselines"),
+    )
+    parser.add_argument("files", nargs="+")
+    args = parser.parse_args()
+
+    with open(os.path.join(args.baselines, "manifest.json")) as f:
+        manifest = json.load(f)
+
+    all_failures = []
+    for current_path in args.files:
+        name = os.path.basename(current_path)
+        metrics = manifest.get(name)
+        if metrics is None:
+            print(f"  [skip] {name}: not gated by the manifest")
+            continue
+        failures, rows = check_file(current_path, args.baselines, metrics)
+        for row in rows:
+            print(row)
+        all_failures.extend(failures)
+
+    if all_failures:
+        print("\nregression gate FAILED:")
+        for failure in all_failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nregression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,7 @@ Result<TableId> Catalog::CreateTable(const std::string& name, Schema schema) {
   info.name = name;
   info.schema = std::move(schema);
   tables_.emplace(key, info);
+  BumpVersion();
   return info.id;
 }
 
@@ -29,6 +30,7 @@ Status Catalog::DropTable(const std::string& name) {
   if (tables_.erase(key) == 0) {
     return Status::NotFound("no table named " + name);
   }
+  BumpVersion();
   return Status::OK();
 }
 
@@ -69,6 +71,7 @@ Status Catalog::AddIndexedColumn(const std::string& table,
     return Status::AlreadyExists("column already indexed");
   }
   cols.push_back(column_index);
+  BumpVersion();
   return Status::OK();
 }
 

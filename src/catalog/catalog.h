@@ -1,6 +1,7 @@
 #ifndef YOUTOPIA_CATALOG_CATALOG_H_
 #define YOUTOPIA_CATALOG_CATALOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -54,9 +55,26 @@ class Catalog {
   /// All tables, sorted by name (for the admin interface).
   std::vector<TableInfo> ListTables() const;
 
+  /// Monotone schema-generation counter, bumped by every successful
+  /// mutation (CreateTable / DropTable / AddIndexedColumn) and by
+  /// out-of-band semantic changes reported via BumpVersion (the
+  /// coordinator's install-hook registration). The plan cache stamps
+  /// every cached plan with the version current when planning started;
+  /// a stamp that no longer matches marks the plan stale (design
+  /// decision #7). Readable without the catalog mutex — the prepare
+  /// path polls it per statement.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
+  /// Marks every plan prepared before this call stale. Called
+  /// internally by the mutators above; external components call it when
+  /// they change something plans may depend on without touching the
+  /// catalog maps themselves.
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
+
  private:
   mutable std::mutex mu_;
   TableId next_id_ = 1;
+  std::atomic<uint64_t> version_{1};
   /// Keyed by lowercase name.
   std::map<std::string, TableInfo> tables_;
 };

@@ -807,9 +807,15 @@ std::vector<Coordinator::ShardInfo> Coordinator::ShardInfos() const {
 }
 
 void Coordinator::SetInstallHook(InstallHook hook) {
-  std::lock_guard<std::mutex> lock(hook_mu_);
-  install_hook_ = std::move(hook);
-  hook_installed_.store(static_cast<bool>(install_hook_));
+  {
+    std::lock_guard<std::mutex> lock(hook_mu_);
+    install_hook_ = std::move(hook);
+    hook_installed_.store(static_cast<bool>(install_hook_));
+  }
+  // Hooks change what an installation writes (extra tables, inventory
+  // decrements), which the plan cache's consumers may have planned
+  // around; registering or clearing one retires every cached plan.
+  storage_->catalog().BumpVersion();
 }
 
 }  // namespace youtopia

@@ -72,11 +72,15 @@ Result<QueryResult> Executor::Execute(const Statement& stmt) {
 Result<QueryResult> Executor::ExecuteSelect(const SelectStatement& stmt) {
   auto planned = planner_.PlanSelect(stmt);
   if (!planned.ok()) return planned.status();
+  return ExecutePlanned(stmt, *planned);
+}
 
+Result<QueryResult> Executor::ExecutePlanned(const SelectStatement& stmt,
+                                             const PlannedSelect& planned) {
   QueryResult result;
-  result.column_names = planned->column_names;
+  result.column_names = planned.column_names;
 
-  if (planned->root == nullptr) {
+  if (planned.root == nullptr) {
     // Constant SELECT: evaluate the projection list over no row.
     ExpressionEvaluator eval(nullptr, this);
     Tuple row;
@@ -90,7 +94,7 @@ Result<QueryResult> Executor::ExecuteSelect(const SelectStatement& stmt) {
   }
 
   ExecContext ctx{storage_, this};
-  auto rows = planned->root->Execute(ctx);
+  auto rows = planned.root->Execute(ctx);
   if (!rows.ok()) return rows.status();
   result.rows = rows.TakeValue();
   return result;

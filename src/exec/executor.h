@@ -42,6 +42,24 @@ class Executor {
   /// Regular SELECT only.
   Result<QueryResult> ExecuteSelect(const SelectStatement& stmt);
 
+  /// The plan stage alone: translates a regular SELECT to its physical
+  /// plan against the current catalog. Pure catalog/index reads — this
+  /// is what the prepare path (and the plan cache behind it) calls
+  /// ahead of execution.
+  Result<PlannedSelect> Plan(const SelectStatement& stmt) const {
+    return planner_.PlanSelect(stmt);
+  }
+
+  /// Executes a pre-built plan for `stmt`. The plan is immutable during
+  /// execution (PlanNode::Execute is const; all per-execution state
+  /// lives in the ExecContext and the materialized tuple vectors), so
+  /// one shared cached plan may execute on any number of threads
+  /// concurrently. The caller is responsible for plan freshness — a
+  /// plan built against an older catalog version must be re-planned,
+  /// not executed (Youtopia::ExecutePrepared handles this).
+  Result<QueryResult> ExecutePlanned(const SelectStatement& stmt,
+                                     const PlannedSelect& planned);
+
   /// Evaluates a single-column subquery to its value list (domain
   /// predicates / IN membership).
   Result<std::vector<Value>> EvaluateSubquery(const SelectStatement& stmt);

@@ -70,6 +70,17 @@ std::string AdminSnapshot::ToString() const {
       executor.submitted, executor.executed, executor.lock_requeues,
       executor.entangled_parked, executor.rejected,
       executor.WorkerUtilization() * 100.0);
+  out += "-- Plan cache --\n";
+  if (plan_cache.capacity == 0) {
+    out += "  disabled (plan_cache.capacity = 0)\n";
+  } else {
+    out += StringPrintf(
+        "  size=%zu/%zu hits=%zu misses=%zu (hit_rate=%.1f%%) "
+        "evictions=%zu invalidations=%zu\n",
+        plan_cache.size, plan_cache.capacity, plan_cache.hits,
+        plan_cache.misses, plan_cache.HitRate() * 100.0,
+        plan_cache.evictions, plan_cache.invalidations);
+  }
   out += "-- Match graph --\n";
   out += match_graph;
   out += "=======================================================\n";
@@ -94,6 +105,7 @@ AdminSnapshot TakeAdminSnapshot(const Youtopia& db) {
   snapshot.stats = db.coordinator().stats();
   snapshot.shards = db.coordinator().ShardInfos();
   snapshot.executor = db.executor_service().stats();
+  snapshot.plan_cache = db.plan_cache().stats();
   snapshot.match_graph = db.coordinator().RenderGraph();
   return snapshot;
 }

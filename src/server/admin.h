@@ -30,6 +30,9 @@ struct AdminSnapshot {
   /// Executor-service counters: queue depth, tasks executed, conflict
   /// requeues, worker utilization.
   ExecutorService::Stats executor;
+  /// Plan-cache counters: hits, misses, LRU evictions, catalog-version
+  /// invalidations, occupancy.
+  PlanCache::Stats plan_cache;
   std::string match_graph;
 
   /// Full multi-section text rendering for the admin console.

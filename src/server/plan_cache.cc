@@ -1,0 +1,108 @@
+#include "server/plan_cache.h"
+
+namespace youtopia {
+
+PreparedStatementPtr PlanCache::Lookup(const std::string& key,
+                                       uint64_t catalog_version) {
+  if (!enabled()) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (it->second->catalog_version != catalog_version) {
+    // Stale: the catalog changed since this plan was built. Discard
+    // lazily here rather than sweeping on every DDL — DDL is rare and
+    // must not pay O(cache).
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++stats_.invalidations;
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->plan;
+}
+
+void PlanCache::Insert(const std::string& key, PreparedStatementPtr plan,
+                       uint64_t catalog_version) {
+  if (!enabled() || plan == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Replace in place (a concurrent preparer of the same statement or
+    // a fresher plan after DDL); keeps the entry's LRU position hot.
+    it->second->plan = std::move(plan);
+    it->second->catalog_version = catalog_version;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(plan), catalog_version});
+  index_.emplace(key, lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats snapshot = stats_;
+  snapshot.size = lru_.size();
+  snapshot.capacity = capacity_;
+  return snapshot;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+std::string PlanCache::NormalizeKey(std::string_view sql) {
+  std::string out;
+  out.reserve(sql.size());
+  bool in_string = false;
+  bool pending_space = false;
+  for (size_t i = 0; i < sql.size(); ++i) {
+    const char c = sql[i];
+    if (in_string) {
+      out.push_back(c);
+      // The lexer escapes a quote inside a literal as ''; both bytes
+      // stay inside the string state.
+      if (c == '\'') {
+        if (i + 1 < sql.size() && sql[i + 1] == '\'') {
+          out.push_back(sql[++i]);
+        } else {
+          in_string = false;
+        }
+      }
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+        c == '\v') {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(c);
+    if (c == '\'') in_string = true;
+  }
+  // One statement-terminating ';' is syntax-neutral for ParseStatement.
+  if (!out.empty() && out.back() == ';') out.pop_back();
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+}  // namespace youtopia

@@ -1,0 +1,121 @@
+#ifndef YOUTOPIA_SERVER_PLAN_CACHE_H_
+#define YOUTOPIA_SERVER_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+namespace youtopia {
+
+struct PreparedStatement;
+
+/// A fully prepared (parsed + planned) statement, shared immutably: the
+/// plan cache, every executing thread and every requeued task hold the
+/// same object. Nothing behind this pointer mutates after construction
+/// — per-execution state (ExecContext, lock bookkeeping, conflict
+/// budgets) lives with the execution, never in the plan.
+using PreparedStatementPtr = std::shared_ptr<const PreparedStatement>;
+
+/// Configuration of the shared plan cache (YoutopiaConfig::plan_cache).
+struct PlanCacheConfig {
+  /// Maximum number of cached plans; least-recently-used entries are
+  /// evicted beyond it. 0 disables the cache entirely — every statement
+  /// is re-parsed and re-planned per submission, the seed's behavior.
+  size_t capacity = 256;
+};
+
+/// Shared, thread-safe LRU cache of prepared statements, keyed by
+/// normalized SQL text (design decision #7). One instance per Youtopia
+/// engine sits under `Prepare`, so all three submission surfaces — the
+/// in-process Client, executor-service worker tasks (including per-step
+/// script prepares) and wire-protocol sessions — share hot plans.
+///
+/// Invalidation is catalog-version-based and lazy: every entry is
+/// stamped with the catalog version current when planning *started*,
+/// and a lookup whose caller-observed version differs discards the
+/// entry (a plan may depend on schema bindings and index choices, both
+/// catalog state). Stamping before planning makes a concurrent DDL race
+/// safe in the stale direction only: the worst case is an entry that is
+/// discarded although it happens to still be valid, never a stale plan
+/// served as fresh.
+class PlanCache {
+ public:
+  /// Counters for the admin snapshot and the workload report.
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+    /// Entries displaced by capacity (LRU).
+    size_t evictions = 0;
+    /// Entries discarded on lookup because their catalog-version stamp
+    /// was stale (DDL or install-hook registration since planning).
+    size_t invalidations = 0;
+    size_t size = 0;
+    size_t capacity = 0;
+
+    double HitRate() const {
+      const size_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    }
+  };
+
+  explicit PlanCache(size_t capacity) : capacity_(capacity) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Capacity 0 = disabled: lookups always miss, inserts are dropped,
+  /// counters stay zero — byte-for-byte seed semantics.
+  bool enabled() const { return capacity_ > 0; }
+
+  /// Returns the cached plan for `key` if present and stamped with
+  /// `catalog_version`; nullptr otherwise. A version mismatch erases
+  /// the entry (counted as an invalidation, not a plain miss).
+  PreparedStatementPtr Lookup(const std::string& key,
+                              uint64_t catalog_version);
+
+  /// Inserts (or replaces) the plan under `key`, stamped with
+  /// `catalog_version`, evicting the least-recently-used entry beyond
+  /// capacity. Failed prepares are never inserted by callers.
+  void Insert(const std::string& key, PreparedStatementPtr plan,
+              uint64_t catalog_version);
+
+  /// Drops every entry (tests, manual admin reset).
+  void Clear();
+
+  Stats stats() const;
+  size_t size() const;
+
+  /// The cache key for a SQL text: ASCII whitespace runs collapsed to
+  /// one space (single-quoted literals preserved verbatim), ends
+  /// trimmed, one trailing ';' dropped. Cheaper than lexing — the key
+  /// must cost less than the parse it saves — so keyword case is NOT
+  /// folded: 'select 1' and 'SELECT 1' are distinct entries, which
+  /// costs a duplicate slot, never a wrong answer.
+  static std::string NormalizeKey(std::string_view sql);
+
+ private:
+  struct Entry {
+    std::string key;
+    PreparedStatementPtr plan;
+    uint64_t catalog_version = 0;
+  };
+
+  const size_t capacity_;
+
+  mutable std::mutex mu_;
+  /// Front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_SERVER_PLAN_CACHE_H_

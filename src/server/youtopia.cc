@@ -13,6 +13,16 @@ namespace {
 /// makes regular queries observe coordination installs atomically
 /// (reservations appear group-at-a-time, never half a pair).
 ///
+/// The cached physical plan (when the statement carries one) executes
+/// only if its catalog-version stamp is still current, and that check
+/// happens *after* the locks are acquired: DDL takes no 2PL locks, so
+/// a blocking lock wait can span a whole drop/recreate — a version
+/// check done before the wait could admit a plan whose column bindings
+/// no longer match the table. Checked under the locks, the stale plan
+/// degrades to the seed path (the executor re-plans right here),
+/// leaving exactly the seed's residual DDL-vs-DML exposure and nothing
+/// more.
+///
 /// `LockWait::kBlock` waits inside the lock manager (surfacing
 /// kTimedOut after its deadline — possible deadlock); `LockWait::kTry`
 /// fails the acquire stage immediately on conflict so a pool worker can
@@ -20,8 +30,11 @@ namespace {
 /// acquire aborts the transaction, so no locks leak and the statement
 /// has no side effects — it is safe to re-drive.
 Result<QueryResult> ExecuteLocked(Executor* executor, TxnManager* txns,
-                                  const Statement& stmt, const TableRefs& refs,
+                                  const Catalog& catalog,
+                                  const PreparedStatement& prepared,
                                   LockWait lock_wait, bool* lock_conflict) {
+  const Statement& stmt = *prepared.stmt;
+  const TableRefs& refs = prepared.refs;
   auto txn = txns->Begin();
   auto acquire = [&](const std::string& table, LockMode mode) {
     return lock_wait == LockWait::kBlock
@@ -48,7 +61,16 @@ Result<QueryResult> ExecuteLocked(Executor* executor, TxnManager* txns,
     Status s = acquire(table, LockMode::kShared);
     if (!s.ok()) return acquire_failed(std::move(s));
   }
-  auto result = executor->Execute(stmt);
+  const PlannedSelect* plan =
+      prepared.plan.has_value() &&
+              prepared.catalog_version == catalog.version()
+          ? &*prepared.plan
+          : nullptr;
+  auto result =
+      plan != nullptr
+          ? executor->ExecutePlanned(static_cast<const SelectStatement&>(stmt),
+                                     *plan)
+          : executor->Execute(stmt);
   // The executor applied changes directly to storage; the transaction
   // only held the locks. Commit releases them.
   (void)txns->Commit(txn.get());
@@ -62,27 +84,69 @@ Youtopia::Youtopia(YoutopiaConfig config)
       executor_(&storage_),
       txn_manager_(&storage_),
       coordinator_(&storage_, &txn_manager_, config.coordinator),
+      plan_cache_(config.plan_cache.capacity),
       executor_service_(
           std::make_unique<ExecutorService>(this, config.executor)) {}
 
 Youtopia::~Youtopia() = default;
 
-PreparedStatement Youtopia::PrepareParsed(StatementPtr stmt,
-                                          std::string sql) const {
-  PreparedStatement prepared;
-  prepared.stmt = std::shared_ptr<const Statement>(std::move(stmt));
-  prepared.refs = CollectTableRefs(*prepared.stmt);
-  prepared.entangled =
-      prepared.stmt->kind == StatementKind::kSelect &&
-      static_cast<const SelectStatement&>(*prepared.stmt).IsEntangled();
-  prepared.sql = std::move(sql);
+Result<PreparedStatementPtr> Youtopia::PrepareParsed(StatementPtr stmt,
+                                                     std::string sql) const {
+  auto prepared = std::make_shared<PreparedStatement>();
+  // Stamp *before* reading any catalog state: a DDL racing with the
+  // plan build bumps the version after this read, so the stamp can only
+  // err stale (entry discarded although valid), never fresh (stale plan
+  // served).
+  prepared->catalog_version = storage_.catalog().version();
+  prepared->stmt = std::shared_ptr<const Statement>(std::move(stmt));
+  prepared->refs = CollectTableRefs(*prepared->stmt);
+  prepared->entangled =
+      prepared->stmt->kind == StatementKind::kSelect &&
+      static_cast<const SelectStatement&>(*prepared->stmt).IsEntangled();
+  prepared->sql = std::move(sql);
+  if (prepared->stmt->kind == StatementKind::kSelect && !prepared->entangled) {
+    // Regular SELECTs are planned here, ahead of locks, so repeated
+    // submissions skip the planner entirely on a cache hit. Other
+    // statement kinds resolve the catalog at execution (unchanged).
+    auto plan = executor_.Plan(
+        static_cast<const SelectStatement&>(*prepared->stmt));
+    if (!plan.ok()) return plan.status();
+    prepared->plan.emplace(plan.TakeValue());
+  }
+  return PreparedStatementPtr(std::move(prepared));
+}
+
+Result<PreparedStatementPtr> Youtopia::PrepareParsedCached(
+    StatementPtr stmt, std::string text) const {
+  if (!plan_cache_.enabled()) {
+    return PrepareParsed(std::move(stmt), std::move(text));
+  }
+  const std::string key = PlanCache::NormalizeKey(text);
+  if (auto hit = plan_cache_.Lookup(key, storage_.catalog().version())) {
+    return hit;
+  }
+  auto prepared = PrepareParsed(std::move(stmt), std::move(text));
+  if (prepared.ok()) {
+    plan_cache_.Insert(key, *prepared, (*prepared)->catalog_version);
+  }
   return prepared;
 }
 
-Result<PreparedStatement> Youtopia::Prepare(const std::string& sql) const {
+Result<PreparedStatementPtr> Youtopia::Prepare(const std::string& sql) const {
+  std::string key;
+  if (plan_cache_.enabled()) {
+    key = PlanCache::NormalizeKey(sql);
+    if (auto hit = plan_cache_.Lookup(key, storage_.catalog().version())) {
+      return hit;
+    }
+  }
   auto stmt = Parser::ParseStatement(sql);
   if (!stmt.ok()) return stmt.status();
-  return PrepareParsed(std::move(stmt.value()), sql);
+  auto prepared = PrepareParsed(std::move(stmt.value()), sql);
+  if (plan_cache_.enabled() && prepared.ok()) {
+    plan_cache_.Insert(key, *prepared, (*prepared)->catalog_version);
+  }
+  return prepared;
 }
 
 Result<QueryResult> Youtopia::ExecutePrepared(const PreparedStatement& prepared,
@@ -95,8 +159,8 @@ Result<QueryResult> Youtopia::ExecutePrepared(const PreparedStatement& prepared,
     return Status::InvalidArgument(
         "entangled query submitted to Execute(); use Submit() or Run()");
   }
-  auto result = ExecuteLocked(&executor_, &txn_manager_, *prepared.stmt,
-                              prepared.refs, lock_wait, lock_conflict);
+  auto result = ExecuteLocked(&executor_, &txn_manager_, storage_.catalog(),
+                              prepared, lock_wait, lock_conflict);
   if (!result.ok()) return result;
   if (config_.retrigger_on_dml && result->affected_rows > 0 &&
       coordinator_.pending_count() > 0) {
@@ -125,17 +189,23 @@ Result<EntangledHandle> Youtopia::SubmitPrepared(
 Result<QueryResult> Youtopia::Execute(const std::string& sql) {
   auto prepared = Prepare(sql);
   if (!prepared.ok()) return prepared.status();
-  return ExecutePrepared(*prepared, LockWait::kBlock);
+  return ExecutePrepared(**prepared, LockWait::kBlock);
 }
 
 Status Youtopia::ExecuteScript(const std::string& sql) {
-  auto stmts = Parser::ParseScript(sql);
-  if (!stmts.ok()) return stmts.status();
-  // The same staged path the executor service's script tasks use, so
-  // the two cannot diverge (entangled statements are rejected with the
-  // same error, partial-execution semantics are identical).
-  for (auto& stmt : *stmts) {
-    auto result = ExecutePrepared(PrepareParsed(std::move(stmt), sql));
+  // Parsing stays all-or-nothing (a syntax error anywhere rejects the
+  // script before anything executes), but each statement is *prepared*
+  // only when reached: planning consults the catalog, so a statement
+  // referencing a table an earlier script statement creates must not be
+  // planned before that statement runs. The executor service's script
+  // tasks drive the identical per-step path, so the two cannot diverge.
+  auto parts = Parser::ParseScriptParts(sql);
+  if (!parts.ok()) return parts.status();
+  for (auto& part : *parts) {
+    auto prepared = PrepareParsedCached(std::move(part.stmt),
+                                        std::move(part.text));
+    if (!prepared.ok()) return prepared.status();
+    auto result = ExecutePrepared(**prepared);
     if (!result.ok()) return result.status();
   }
   return Status::OK();
@@ -143,15 +213,12 @@ Status Youtopia::ExecuteScript(const std::string& sql) {
 
 Result<EntangledHandle> Youtopia::Submit(const std::string& sql,
                                          const std::string& owner) {
-  auto stmt = Parser::ParseStatement(sql);
-  if (!stmt.ok()) return stmt.status();
-  if (stmt.value()->kind != StatementKind::kSelect) {
+  auto prepared = Prepare(sql);
+  if (!prepared.ok()) return prepared.status();
+  if ((*prepared)->stmt->kind != StatementKind::kSelect) {
     return Status::InvalidArgument("not a SELECT statement");
   }
-  const auto& select = static_cast<const SelectStatement&>(*stmt.value());
-  auto query = Normalizer::Normalize(select, /*id=*/0, owner, sql);
-  if (!query.ok()) return query.status();
-  return coordinator_.Submit(query.TakeValue());
+  return SubmitPrepared(**prepared, owner);
 }
 
 Result<std::vector<EntangledHandle>> Youtopia::SubmitBatch(
@@ -166,15 +233,16 @@ Result<std::vector<EntangledHandle>> Youtopia::SubmitBatch(
   std::vector<EntangledQuery> queries;
   queries.reserve(statements.size());
   for (size_t i = 0; i < statements.size(); ++i) {
-    auto stmt = Parser::ParseStatement(statements[i]);
-    if (!stmt.ok()) return stmt.status();
-    if (stmt.value()->kind != StatementKind::kSelect) {
+    auto prepared = Prepare(statements[i]);
+    if (!prepared.ok()) return prepared.status();
+    if ((*prepared)->stmt->kind != StatementKind::kSelect) {
       return Status::InvalidArgument("batch statement " + std::to_string(i) +
                                      " is not a SELECT statement");
     }
-    const auto& select = static_cast<const SelectStatement&>(*stmt.value());
+    const auto& select =
+        static_cast<const SelectStatement&>(*(*prepared)->stmt);
     auto query = Normalizer::Normalize(
-        select, /*id=*/0, owners.empty() ? "" : owners[i], statements[i]);
+        select, /*id=*/0, owners.empty() ? "" : owners[i], (*prepared)->sql);
     if (!query.ok()) return query.status();
     queries.push_back(query.TakeValue());
   }
@@ -186,14 +254,14 @@ Result<RunOutcome> Youtopia::Run(const std::string& sql,
   auto prepared = Prepare(sql);
   if (!prepared.ok()) return prepared.status();
   RunOutcome outcome;
-  if (prepared->entangled) {
-    auto handle = SubmitPrepared(*prepared, owner);
+  if ((*prepared)->entangled) {
+    auto handle = SubmitPrepared(**prepared, owner);
     if (!handle.ok()) return handle.status();
     outcome.entangled = true;
     outcome.handle = handle.TakeValue();
     return outcome;
   }
-  auto result = ExecutePrepared(*prepared, LockWait::kBlock);
+  auto result = ExecutePrepared(**prepared, LockWait::kBlock);
   if (!result.ok()) return result.status();
   outcome.result = result.TakeValue();
   return outcome;

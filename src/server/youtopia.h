@@ -10,6 +10,7 @@
 #include "entangle/coordinator.h"
 #include "entangle/normalizer.h"
 #include "exec/executor.h"
+#include "server/plan_cache.h"
 #include "service/executor_config.h"
 #include "sql/parser.h"
 #include "sql/table_refs.h"
@@ -32,6 +33,10 @@ struct YoutopiaConfig {
   /// default (num_workers = 0) executes every submission inline in the
   /// submitting thread — the seed's synchronous behavior.
   ExecutorServiceConfig executor;
+  /// The shared prepared-statement cache under `Prepare` (design
+  /// decision #7). capacity = 0 turns it off — every statement is
+  /// re-parsed and re-planned per submission, the seed's behavior.
+  PlanCacheConfig plan_cache;
 };
 
 /// Outcome of running one SQL string that may be regular or entangled.
@@ -43,10 +48,16 @@ struct RunOutcome {
   std::optional<EntangledHandle> handle;
 };
 
-/// A statement after the parse and plan stages of the pipeline: the AST
-/// plus its lock footprint and routing decision (regular vs entangled).
-/// Copyable (the AST is shared) so the executor service can hold one
-/// across conflict requeues without re-parsing per attempt.
+/// A statement after the parse and plan stages of the pipeline: the AST,
+/// its lock footprint, the routing decision (regular vs entangled) and —
+/// for regular SELECTs — the physical plan, built against the catalog
+/// version recorded in `catalog_version`.
+///
+/// Immutable after construction and shared via `PreparedStatementPtr`:
+/// the plan cache, requeued executor tasks and any number of
+/// concurrently executing threads hold the same object. Anything a
+/// single execution mutates (ExecContext, lock state, conflict budgets)
+/// lives with that execution — never here (design decision #7).
 struct PreparedStatement {
   std::shared_ptr<const Statement> stmt;
   /// Lock footprint: `writes` locked exclusive, `reads` shared.
@@ -56,6 +67,15 @@ struct PreparedStatement {
   bool entangled = false;
   /// Original text (normalizer input, diagnostics, history).
   std::string sql;
+  /// Physical plan for regular SELECTs (borrowing expression nodes from
+  /// `stmt`, which this struct keeps alive); nullopt for every other
+  /// statement kind. PlanNode execution is const — sharing is safe.
+  std::optional<PlannedSelect> plan;
+  /// Catalog version observed when planning started. ExecutePrepared
+  /// compares it against the live version and falls back to plan-under-
+  /// locks when stale; the plan cache discards entries whose stamp no
+  /// longer matches.
+  uint64_t catalog_version = 0;
 };
 
 /// How the acquire-locks stage of `ExecutePrepared` waits on conflicts.
@@ -125,16 +145,28 @@ class Youtopia {
   // ------------------------------------------------------------------
   // Staged statement path (what the executor service's workers drive).
 
-  /// Parse + plan: builds the AST, collects the lock footprint and
-  /// routes the statement (regular vs entangled). Pure — touches no
-  /// locks, no storage.
-  Result<PreparedStatement> Prepare(const std::string& sql) const;
+  /// Parse + plan, through the shared plan cache: a hit returns the
+  /// cached immutable plan without touching the parser or planner; a
+  /// miss builds the AST, collects the lock footprint, routes the
+  /// statement (regular vs entangled), builds the physical plan for
+  /// regular SELECTs, and caches the result. Reads the catalog (schema
+  /// bindings, index choices) but takes no table locks.
+  Result<PreparedStatementPtr> Prepare(const std::string& sql) const;
 
   /// The plan stage alone, for an already-parsed statement: lock
-  /// footprint + routing. The single implementation behind Prepare,
-  /// ExecuteScript and the executor service's script preparation, so
-  /// the routing rule lives in exactly one place.
-  PreparedStatement PrepareParsed(StatementPtr stmt, std::string sql) const;
+  /// footprint + routing + physical plan. The single implementation
+  /// behind Prepare and the script paths, so the routing rule lives in
+  /// exactly one place. Does not consult the cache.
+  Result<PreparedStatementPtr> PrepareParsed(StatementPtr stmt,
+                                             std::string sql) const;
+
+  /// PrepareParsed through the cache: keyed on `text` (one statement's
+  /// own source, not a whole script). What the per-step script prepare
+  /// uses — the AST is already parsed, so only the plan stage is saved,
+  /// but scripts replaying hot statements share plans with every other
+  /// surface.
+  Result<PreparedStatementPtr> PrepareParsedCached(StatementPtr stmt,
+                                                   std::string text) const;
 
   /// Acquire-locks + execute stages for a *regular* prepared statement:
   /// takes the footprint's table locks (per `lock_wait`), runs the
@@ -171,12 +203,20 @@ class Youtopia {
     return *executor_service_;
   }
 
+  /// The shared prepared-statement cache (stats for the admin snapshot
+  /// and the workload report; Clear for tests and admin resets).
+  PlanCache& plan_cache() { return plan_cache_; }
+  const PlanCache& plan_cache() const { return plan_cache_; }
+
  private:
   YoutopiaConfig config_;
   StorageEngine storage_;
   Executor executor_;
   TxnManager txn_manager_;
   Coordinator coordinator_;
+  /// Mutable: Prepare is logically const (it builds no engine state —
+  /// the cache is memoization).
+  mutable PlanCache plan_cache_;
   /// Declared last: constructed after (and destroyed before) every
   /// component its workers drive.
   std::unique_ptr<ExecutorService> executor_service_;

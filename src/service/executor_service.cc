@@ -262,25 +262,35 @@ ExecutorService::AttemptOutcome ExecutorService::Attempt(TaskState* ts,
 
   if (task.kind == Kind::kScript) {
     if (!ts->script_parsed) {
-      auto stmts = Parser::ParseScript(task.sql);
-      if (!stmts.ok()) {
-        out.result = Result<RunOutcome>(stmts.status());
+      auto parts = Parser::ParseScriptParts(task.sql);
+      if (!parts.ok()) {
+        out.result = Result<RunOutcome>(parts.status());
         return out;
       }
-      ts->script.reserve(stmts->size());
-      for (auto& stmt : *stmts) {
-        // The engine's plan stage — one routing rule for every path.
-        ts->script.push_back(db_->PrepareParsed(std::move(stmt), task.sql));
-      }
+      ts->script = std::move(*parts);
       ts->script_parsed = true;
     }
     // Partial-execution semantics: statements run in order, the first
     // failure stops the script. A conflict requeues the task with
-    // `script_index` kept, so completed statements never re-run.
+    // `script_index` (and the step's prepared plan) kept, so completed
+    // statements never re-run and the conflicted one is not re-planned.
     while (ts->script_index < ts->script.size()) {
+      if (ts->script_prepared == nullptr) {
+        // Lazy per-step prepare, through the plan cache — planned only
+        // now, after every earlier statement (possibly DDL this one
+        // depends on) has executed.
+        auto& part = ts->script[ts->script_index];
+        auto prepared = db_->PrepareParsedCached(std::move(part.stmt),
+                                                 std::move(part.text));
+        if (!prepared.ok()) {
+          out.result = Result<RunOutcome>(prepared.status());
+          return out;
+        }
+        ts->script_prepared = prepared.TakeValue();
+      }
       bool lock_conflict = false;
-      auto result = db_->ExecutePrepared(ts->script[ts->script_index],
-                                         lock_wait, &lock_conflict);
+      auto result = db_->ExecutePrepared(*ts->script_prepared, lock_wait,
+                                         &lock_conflict);
       ts->last_was_lock_conflict = lock_conflict;
       if (!result.ok()) {
         if (lock_conflict && lock_wait == LockWait::kTry) {
@@ -291,6 +301,7 @@ ExecutorService::AttemptOutcome ExecutorService::Attempt(TaskState* ts,
         out.result = Result<RunOutcome>(result.status());
         return out;
       }
+      ts->script_prepared = nullptr;
       ++ts->script_index;
       // Fresh statement, fresh conflict budget.
       ts->conflict_attempts = 0;
@@ -300,7 +311,7 @@ ExecutorService::AttemptOutcome ExecutorService::Attempt(TaskState* ts,
     return out;
   }
 
-  if (!ts->prepared.has_value()) {
+  if (ts->prepared == nullptr) {
     auto prepared = db_->Prepare(task.sql);
     if (!prepared.ok()) {
       out.result = Result<RunOutcome>(prepared.status());

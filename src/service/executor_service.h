@@ -187,12 +187,21 @@ class ExecutorService {
   /// requeues so nothing is re-parsed or re-planned per attempt.
   struct TaskState {
     StatementTask task;
-    /// Parse + plan output (single-statement kinds), cached on first
-    /// execution.
-    std::optional<PreparedStatement> prepared;
-    /// kScript: all statements prepared up front; `script_index` is the
-    /// resume point after a mid-script requeue.
-    std::vector<PreparedStatement> script;
+    /// Parse + plan output (single-statement kinds), resolved through
+    /// the engine's plan cache on first execution and shared from
+    /// there — the plan itself is immutable; all retry state lives
+    /// below in this struct.
+    PreparedStatementPtr prepared;
+    /// kScript: the whole script is *parsed* up front (a syntax error
+    /// anywhere rejects it before anything executes), but each
+    /// statement is *prepared* — planned against the catalog, through
+    /// the cache — only when reached: a statement may reference a table
+    /// an earlier script statement creates. `script_index` is the
+    /// resume point after a mid-script requeue; `script_prepared` keeps
+    /// the current step's plan across requeues (its AST has been moved
+    /// out of `script`).
+    std::vector<Parser::ScriptPart> script;
+    PreparedStatementPtr script_prepared;
     bool script_parsed = false;
     size_t script_index = 0;
     /// Conflict-retry bookkeeping for the statement currently being

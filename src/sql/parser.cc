@@ -20,16 +20,35 @@ Result<StatementPtr> Parser::ParseStatement(std::string_view sql) {
 }
 
 Result<std::vector<StatementPtr>> Parser::ParseScript(std::string_view sql) {
+  auto parts = ParseScriptParts(sql);
+  if (!parts.ok()) return parts.status();
+  std::vector<StatementPtr> out;
+  out.reserve(parts->size());
+  for (ScriptPart& part : *parts) out.push_back(std::move(part.stmt));
+  return out;
+}
+
+Result<std::vector<Parser::ScriptPart>> Parser::ParseScriptParts(
+    std::string_view sql) {
   Lexer lexer(sql);
   auto tokens = lexer.Tokenize();
   if (!tokens.ok()) return tokens.status();
   Parser parser(tokens.TakeValue());
-  std::vector<StatementPtr> out;
+  std::vector<ScriptPart> out;
   while (!parser.Check(TokenType::kEndOfInput)) {
     if (parser.Match(TokenType::kSemicolon)) continue;  // empty statement
+    const size_t begin = parser.Peek().offset;
     auto stmt = parser.ParseOneStatement();
     if (!stmt.ok()) return stmt.status();
-    out.push_back(stmt.TakeValue());
+    // The statement's source runs from its first token to the start of
+    // its terminator (the ';', or end of input — whose token offset is
+    // one past the last byte).
+    const size_t end = parser.Peek().offset;
+    ScriptPart part;
+    part.stmt = stmt.TakeValue();
+    part.text = std::string(
+        TrimWhitespace(sql.substr(begin, end > begin ? end - begin : 0)));
+    out.push_back(std::move(part));
     if (!parser.Match(TokenType::kSemicolon) &&
         !parser.Check(TokenType::kEndOfInput)) {
       return parser.ErrorHere("expected ';' between statements");

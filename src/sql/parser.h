@@ -34,6 +34,22 @@ class Parser {
   /// Parses a ';'-separated batch.
   static Result<std::vector<StatementPtr>> ParseScript(std::string_view sql);
 
+  /// One statement of a parsed script plus its own source slice. The
+  /// text is what the plan cache keys a per-step prepare on — scripts
+  /// replay the same statement shapes, and a whole-script key would
+  /// collide every member onto one entry.
+  struct ScriptPart {
+    StatementPtr stmt;
+    std::string text;
+  };
+
+  /// ParseScript, but each statement also carries its source text
+  /// (sliced by token offsets, trimmed). Parsing is still all-or-
+  /// nothing: a syntax error anywhere rejects the whole script — only
+  /// the *prepare* stage is deferred per step by the callers.
+  static Result<std::vector<ScriptPart>> ParseScriptParts(
+      std::string_view sql);
+
  private:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 

@@ -28,6 +28,15 @@ std::string WorkloadReport::ToString() const {
         workers, tasks_executed, lock_requeues, peak_queue_depth,
         worker_utilization * 100.0);
   }
+  if (plan_cache_hits + plan_cache_misses > 0) {
+    out += StringPrintf(
+        " plan_cache{hits=%zu misses=%zu hit_rate=%.1f%% evictions=%zu "
+        "invalidations=%zu}",
+        plan_cache_hits, plan_cache_misses,
+        100.0 * static_cast<double>(plan_cache_hits) /
+            static_cast<double>(plan_cache_hits + plan_cache_misses),
+        plan_cache_evictions, plan_cache_invalidations);
+  }
   return out;
 }
 
@@ -148,6 +157,8 @@ Result<WorkloadReport> DriveWorkload(TravelService* service, Youtopia* db,
       exec != nullptr ? exec->stats() : ExecutorService::Stats{};
   const CoordinatorStats before =
       db != nullptr ? db->coordinator().stats() : CoordinatorStats{};
+  const PlanCache::Stats cache_before =
+      db != nullptr ? db->plan_cache().stats() : PlanCache::Stats{};
   const auto start = std::chrono::steady_clock::now();
 
   if (exec != nullptr && exec->num_workers() > 0) {
@@ -224,6 +235,13 @@ Result<WorkloadReport> DriveWorkload(TravelService* service, Youtopia* db,
     const CoordinatorStats after = db->coordinator().stats();
     report.shard_rounds = after.shard_rounds - before.shard_rounds;
     report.global_rounds = after.global_rounds - before.global_rounds;
+    const PlanCache::Stats cache_after = db->plan_cache().stats();
+    report.plan_cache_hits = cache_after.hits - cache_before.hits;
+    report.plan_cache_misses = cache_after.misses - cache_before.misses;
+    report.plan_cache_evictions =
+        cache_after.evictions - cache_before.evictions;
+    report.plan_cache_invalidations =
+        cache_after.invalidations - cache_before.invalidations;
   }
   if (exec != nullptr) {
     if (exec->num_workers() > 0) {

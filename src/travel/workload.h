@@ -49,6 +49,13 @@ struct WorkloadReport {
   size_t lock_requeues = 0;
   size_t peak_queue_depth = 0;
   double worker_utilization = 0.0;
+  /// Plan-cache activity during the run, as deltas over the run
+  /// (embedded engine only; zeros for a remote backend or a disabled
+  /// cache).
+  size_t plan_cache_hits = 0;
+  size_t plan_cache_misses = 0;
+  size_t plan_cache_evictions = 0;
+  size_t plan_cache_invalidations = 0;
   /// Submission-to-answer latency of satisfied requests.
   Histogram latency;
   /// Wall-clock duration of the whole run.

@@ -74,17 +74,17 @@ TEST(YoutopiaTest, PrepareRoutesAndExecutesStaged) {
   ASSERT_TRUE(db.Execute("CREATE TABLE t (x INT)").ok());
   auto prepared = db.Prepare("INSERT INTO t VALUES (7)");
   ASSERT_TRUE(prepared.ok());
-  EXPECT_FALSE(prepared->entangled);
-  EXPECT_EQ(prepared->refs.writes.count("t"), 1u);
-  auto result = db.ExecutePrepared(*prepared);
+  EXPECT_FALSE((*prepared)->entangled);
+  EXPECT_EQ((*prepared)->refs.writes.count("t"), 1u);
+  auto result = db.ExecutePrepared(**prepared);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->affected_rows, 1u);
 
   auto entangled = db.Prepare(
       "SELECT 'u', x INTO ANSWER R WHERE x IN (SELECT x FROM t)");
   ASSERT_TRUE(entangled.ok());
-  EXPECT_TRUE(entangled->entangled);
-  EXPECT_EQ(db.ExecutePrepared(*entangled).status().code(),
+  EXPECT_TRUE((*entangled)->entangled);
+  EXPECT_EQ(db.ExecutePrepared(**entangled).status().code(),
             StatusCode::kInvalidArgument);
 }
 
@@ -100,21 +100,21 @@ TEST(YoutopiaTest, ExecutePreparedTryFlagsLockConflictOnly) {
                   .TryAcquire(blocker->id(), "t", LockMode::kExclusive)
                   .ok());
   bool conflict = false;
-  auto result = db.ExecutePrepared(*prepared, LockWait::kTry, &conflict);
+  auto result = db.ExecutePrepared(**prepared, LockWait::kTry, &conflict);
   EXPECT_EQ(result.status().code(), StatusCode::kTimedOut);
   EXPECT_TRUE(conflict);
   ASSERT_TRUE(db.txn_manager().Commit(blocker.get()).ok());
 
   // No conflict: the flag stays false and execution proceeds.
   conflict = false;
-  result = db.ExecutePrepared(*prepared, LockWait::kTry, &conflict);
+  result = db.ExecutePrepared(**prepared, LockWait::kTry, &conflict);
   ASSERT_TRUE(result.ok());
   EXPECT_FALSE(conflict);
   // A non-lock failure (missing table) must not raise the flag.
   auto missing = db.Prepare("INSERT INTO nosuch VALUES (1)");
   ASSERT_TRUE(missing.ok());
   conflict = false;
-  result = db.ExecutePrepared(*missing, LockWait::kTry, &conflict);
+  result = db.ExecutePrepared(**missing, LockWait::kTry, &conflict);
   EXPECT_FALSE(result.ok());
   EXPECT_FALSE(conflict);
 }

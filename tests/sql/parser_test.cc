@@ -231,6 +231,37 @@ TEST(ParserTest, ParseScriptRejectsMissingSemicolon) {
   EXPECT_FALSE(Parser::ParseScript("SELECT 1 SELECT 2").ok());
 }
 
+TEST(ParserTest, ParseScriptPartsCarryEachStatementsOwnText) {
+  auto parts = Parser::ParseScriptParts(
+      "  CREATE TABLE t (x INT) ;INSERT INTO t VALUES (1);\n\n"
+      "SELECT * FROM t");
+  ASSERT_TRUE(parts.ok()) << parts.status();
+  ASSERT_EQ(parts->size(), 3u);
+  EXPECT_EQ((*parts)[0].text, "CREATE TABLE t (x INT)");
+  EXPECT_EQ((*parts)[1].text, "INSERT INTO t VALUES (1)");
+  EXPECT_EQ((*parts)[2].text, "SELECT * FROM t");
+  // The slices re-parse to the same statement kinds.
+  for (const auto& part : *parts) {
+    auto reparsed = Parser::ParseStatement(part.text);
+    ASSERT_TRUE(reparsed.ok()) << part.text;
+    EXPECT_EQ((*reparsed)->kind, part.stmt->kind);
+  }
+}
+
+TEST(ParserTest, ParseScriptPartsKeepLiteralSemicolons) {
+  auto parts =
+      Parser::ParseScriptParts("INSERT INTO t VALUES ('a;b'); SELECT 1;");
+  ASSERT_TRUE(parts.ok()) << parts.status();
+  ASSERT_EQ(parts->size(), 2u);
+  EXPECT_EQ((*parts)[0].text, "INSERT INTO t VALUES ('a;b')");
+  EXPECT_EQ((*parts)[1].text, "SELECT 1");
+}
+
+TEST(ParserTest, ParseScriptPartsIsAllOrNothing) {
+  EXPECT_FALSE(
+      Parser::ParseScriptParts("SELECT 1; THIS IS NOT SQL;").ok());
+}
+
 TEST(ParserTest, TrailingSemicolonAllowed) {
   EXPECT_TRUE(Parser::ParseStatement("SELECT 1;").ok());
 }

@@ -111,6 +111,9 @@ TEST_F(WorkloadTest, PoolDrivenModeCompletesAllPairs) {
   EXPECT_EQ(report->workers, 4u);
   EXPECT_GE(report->tasks_executed, report->submitted);
   EXPECT_NE(report->ToString().find("executor{"), std::string::npos);
+  // So did plan-cache activity (every statement prepares through it).
+  EXPECT_GT(report->plan_cache_hits + report->plan_cache_misses, 0u);
+  EXPECT_NE(report->ToString().find("plan_cache{"), std::string::npos);
 }
 
 TEST_F(WorkloadTest, RejectsDegenerateConfig) {
