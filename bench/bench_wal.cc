@@ -1,0 +1,192 @@
+// Experiment WAL (DESIGN.md decision #8): what group commit buys over
+// the classic one-fsync-per-commit write-ahead log, and what durability
+// costs at all relative to the in-memory seed.
+//
+// Setup: N concurrent sessions, each inserting into its OWN table so
+// 2PL never serializes them — the commits genuinely overlap, which is
+// the case group commit exists for (concurrently-committing workers
+// share one fsync). Three modes, each at 1 and N sessions:
+//   off        wal.enabled = false (the seed; the durability overhead
+//              baseline)
+//   percommit  wal.enabled, group_commit = false: every append writes
+//              and fsyncs inline — one fsync per commit
+//   group      wal.enabled, group_commit = true: appends buffer, the
+//              sync leader flushes everyone's records with one fsync
+//
+// Also measures the raw fsync latency of the bench directory's
+// filesystem, since the whole experiment is about amortizing exactly
+// that cost.
+//
+// Standalone driver (no google-benchmark) so it can emit its own
+// machine-readable summary: BENCH_wal.json (path overridable via
+// argv[1]) — what CI's regression gate and artifact trail consume. The
+// acceptance criterion pins group commit >= 3x the per-commit-fsync
+// throughput at 8 concurrent sessions; exits non-zero below the bar.
+//
+// Usage: bench_wal [output.json] [commits_per_session] [sessions]
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/youtopia.h"
+
+namespace {
+
+using namespace youtopia;  // NOLINT(build/namespaces) — bench driver
+
+const char* kBenchDir = "bench_wal_data";
+
+enum class Mode { kOff, kPerCommitFsync, kGroupCommit };
+
+/// Raw fsync latency on the bench directory's filesystem — the cost
+/// group commit amortizes.
+double MeasureFsyncMicros(int iters) {
+  std::filesystem::create_directories(kBenchDir);
+  const std::string path = std::string(kBenchDir) + "/fsync_probe";
+  const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) std::abort();
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    if (::write(fd, "x", 1) != 1) std::abort();
+    if (::fsync(fd) != 0) std::abort();
+  }
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  ::close(fd);
+  std::filesystem::remove(path);
+  return static_cast<double>(micros) / static_cast<double>(iters);
+}
+
+/// `sessions` threads, each committing `commits` single-row INSERTs
+/// into its own table. Returns commits per second over the whole run.
+double CommitsPerSecond(Mode mode, int sessions, int commits) {
+  const std::string dir = std::string(kBenchDir) + "/run";
+  std::filesystem::remove_all(dir);
+
+  YoutopiaConfig config;
+  if (mode != Mode::kOff) {
+    config.wal.enabled = true;
+    config.wal.dir = dir;
+    config.wal.group_commit = mode == Mode::kGroupCommit;
+    config.wal.checkpoint_on_shutdown = false;  // measure appends only
+  }
+  auto db = std::make_unique<Youtopia>(config);
+  std::string schema_script;
+  for (int s = 0; s < sessions; ++s) {
+    schema_script += "CREATE TABLE t" + std::to_string(s) +
+                     " (id INT NOT NULL, note TEXT NOT NULL);";
+  }
+  if (!db->ExecuteScript(schema_script).ok()) std::abort();
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(sessions);
+  for (int s = 0; s < sessions; ++s) {
+    threads.emplace_back([&db, s, commits] {
+      const std::string table = "t" + std::to_string(s);
+      for (int i = 0; i < commits; ++i) {
+        auto result = db->Execute("INSERT INTO " + table + " VALUES (" +
+                                  std::to_string(i) + ", 'payload')");
+        if (!result.ok()) std::abort();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  db.reset();
+  std::filesystem::remove_all(dir);
+  const double total =
+      static_cast<double>(sessions) * static_cast<double>(commits);
+  return micros > 0 ? total * 1e6 / static_cast<double>(micros) : 0.0;
+}
+
+/// Best of `trials` runs: fsync-bound measurements are noisy (the
+/// flusher races the page cache and whatever else the machine is
+/// doing), and peak throughput is what the mode is capable of.
+double BestCommitsPerSecond(Mode mode, int sessions, int commits,
+                            int trials) {
+  double best = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    best = std::max(best, CommitsPerSecond(mode, sessions, commits));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_wal.json";
+  const int commits = argc > 2 ? std::atoi(argv[2]) : 250;
+  const int sessions = argc > 3 ? std::atoi(argv[3]) : 8;
+  const int trials = 3;
+
+  const double fsync_us = MeasureFsyncMicros(200);
+  std::printf("raw fsync: %.1f us\n", fsync_us);
+
+  const double off_1 = BestCommitsPerSecond(Mode::kOff, 1, commits, trials);
+  const double off_n =
+      BestCommitsPerSecond(Mode::kOff, sessions, commits, trials);
+  const double percommit_1 =
+      BestCommitsPerSecond(Mode::kPerCommitFsync, 1, commits, trials);
+  const double percommit_n =
+      BestCommitsPerSecond(Mode::kPerCommitFsync, sessions, commits, trials);
+  const double group_1 =
+      BestCommitsPerSecond(Mode::kGroupCommit, 1, commits, trials);
+  const double group_n =
+      BestCommitsPerSecond(Mode::kGroupCommit, sessions, commits, trials);
+  std::filesystem::remove_all(kBenchDir);
+
+  std::printf("commits/s (1 session):  off %.0f, fsync-per-commit %.0f, "
+              "group-commit %.0f\n",
+              off_1, percommit_1, group_1);
+  std::printf("commits/s (%d sessions): off %.0f, fsync-per-commit %.0f, "
+              "group-commit %.0f\n",
+              sessions, off_n, percommit_n, group_n);
+
+  const double speedup_n = percommit_n > 0.0 ? group_n / percommit_n : 0.0;
+  std::printf("group-commit speedup at %d sessions: %.2fx\n", sessions,
+              speedup_n);
+
+  const bool ok = speedup_n >= 3.0;
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAIL: group-commit speedup %.2fx below the 3x bar\n",
+                 speedup_n);
+  }
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"wal\",\n"
+               "  \"commits_per_session\": %d,\n"
+               "  \"sessions\": %d,\n"
+               "  \"fsync_us\": %.2f,\n"
+               "  \"off_1s_commits_per_sec\": %.1f,\n"
+               "  \"off_8s_commits_per_sec\": %.1f,\n"
+               "  \"percommit_1s_commits_per_sec\": %.1f,\n"
+               "  \"percommit_8s_commits_per_sec\": %.1f,\n"
+               "  \"group_1s_commits_per_sec\": %.1f,\n"
+               "  \"group_8s_commits_per_sec\": %.1f,\n"
+               "  \"group_commit_speedup_8s\": %.3f\n}\n",
+               commits, sessions, fsync_us, off_1, off_n, percommit_1,
+               percommit_n, group_1, group_n, speedup_n);
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return ok ? 0 : 1;
+}

@@ -4,8 +4,13 @@
 // percentiles.
 //
 // Usage: loaded_system [sessions] [requests_per_session] [shards] [workers]
-//                      [loopback]
+//                      [loopback] [--data-dir <path>]
 //        loaded_system --connect host:port [sessions] [requests_per_session]
+//
+// --data-dir <path> enables the write-ahead log (one subdirectory per
+// session sweep, so each fresh engine recovers its own log) — the same
+// workload with durability on, showing what group commit costs under
+// coordination load.
 //
 // workers > 0 switches the driver to the async executor surface: one
 // thread submits every request as a StatementTask and a pool of that
@@ -107,14 +112,31 @@ int main(int argc, char** argv) {
     return RunConnected(argv[2], sessions, requests);
   }
 
-  const int max_sessions = argc > 1 ? std::atoi(argv[1]) : 16;
-  const int requests = argc > 2 ? std::atoi(argv[2]) : 50;
-  const int shards = argc > 3 ? std::atoi(argv[3]) : 1;
-  const int workers = argc > 4 ? std::atoi(argv[4]) : 0;
-  const bool loopback = argc > 5 && std::strcmp(argv[5], "loopback") == 0;
+  const char* data_dir = nullptr;
+  int positional_ints[4] = {16, 50, 1, 0};
+  bool loopback = false;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
+      data_dir = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "loopback") == 0) {
+      loopback = true;
+      continue;
+    }
+    if (positional < 4) positional_ints[positional] = std::atoi(argv[i]);
+    ++positional;
+  }
+  const int max_sessions = positional_ints[0];
+  const int requests = positional_ints[1];
+  const int shards = positional_ints[2];
+  const int workers = positional_ints[3];
 
-  std::printf("coordinator shards: %d, executor workers: %d%s\n", shards,
-              workers, loopback ? ", loopback wire protocol" : "");
+  std::printf("coordinator shards: %d, executor workers: %d%s%s%s\n", shards,
+              workers, loopback ? ", loopback wire protocol" : "",
+              data_dir != nullptr ? ", wal data dir " : "",
+              data_dir != nullptr ? data_dir : "");
   std::printf("%-10s %-10s %-14s %s\n", "sessions", "requests",
               "satisfied/s", "latency");
   for (int sessions = 2; sessions <= max_sessions; sessions *= 2) {
@@ -123,8 +145,23 @@ int main(int argc, char** argv) {
         shards > 0 ? static_cast<size_t>(shards) : 1;
     db_config.executor.num_workers =
         workers > 0 ? static_cast<size_t>(workers) : 0;
+    if (data_dir != nullptr) {
+      db_config.wal.enabled = true;
+      db_config.wal.dir =
+          std::string(data_dir) + "/s" + std::to_string(sessions);
+    }
     Youtopia db(db_config);
-    if (!SeedTravel(&db).ok()) return 1;
+    if (data_dir != nullptr && !db.recovery_status().ok()) {
+      std::fprintf(stderr, "recovery failed: %s\n",
+                   db.recovery_status().ToString().c_str());
+      return 1;
+    }
+    // A re-run over an existing data dir recovers the previous dataset;
+    // reseeding would collide on CREATE TABLE.
+    if (!db.storage().catalog().HasTable("Flights") &&
+        !SeedTravel(&db).ok()) {
+      return 1;
+    }
 
     const auto config = MakeConfig(sessions, requests);
     Result<travel::WorkloadReport> report = Status::OK();

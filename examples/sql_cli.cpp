@@ -3,7 +3,14 @@
 // to the system by the user."
 //
 // Usage:
-//   sql_cli [--figure1 | --travel]     # optional preloaded database
+//   sql_cli [--figure1 | --travel] [--data-dir <path>]
+//
+// --data-dir enables the write-ahead log under <path>: tables and
+// pending entangled queries survive a kill. Restart with the same
+// directory and \pending shows the half-arrived pair still waiting;
+// submitting its partner matches it — the README's durability
+// quickstart. (--figure1/--travel skip seeding on a recovered
+// directory.)
 //
 // Regular statements print result tables; entangled queries are
 // registered and report their query id; when a submission completes a
@@ -41,11 +48,43 @@ void PrintHelp() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Youtopia db;
-  if (argc > 1 && std::strcmp(argv[1], "--figure1") == 0) {
+  bool figure1 = false;
+  bool travel = false;
+  const char* data_dir = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--figure1") == 0) {
+      figure1 = true;
+    } else if (std::strcmp(argv[i], "--travel") == 0) {
+      travel = true;
+    } else if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
+      data_dir = argv[++i];
+    }
+  }
+
+  youtopia::YoutopiaConfig db_config;
+  if (data_dir != nullptr) {
+    db_config.wal.enabled = true;
+    db_config.wal.dir = data_dir;
+  }
+  Youtopia db(db_config);
+  if (data_dir != nullptr) {
+    if (!db.recovery_status().ok()) {
+      std::fprintf(stderr, "recovery failed: %s\n",
+                   db.recovery_status().ToString().c_str());
+      return 1;
+    }
+    std::printf("durable under %s: recovered %zu record(s), %zu pending "
+                "coordination(s)\n",
+                data_dir, db.wal()->stats().recovered_records,
+                db.coordinator().pending_count());
+  }
+  // A recovered directory already holds the schema; reseeding would
+  // collide on CREATE TABLE.
+  const bool recovered_schema = db.storage().catalog().HasTable("Flights");
+  if (figure1 && !recovered_schema) {
     if (!youtopia::travel::SetupFigure1(&db).ok()) return 1;
     std::printf("Loaded the Figure 1 database.\n");
-  } else if (argc > 1 && std::strcmp(argv[1], "--travel") == 0) {
+  } else if (travel && !recovered_schema) {
     if (!youtopia::travel::CreateTravelSchema(&db).ok()) return 1;
     youtopia::travel::DataGeneratorConfig config;
     auto generated = youtopia::travel::GenerateTravelData(&db, config);

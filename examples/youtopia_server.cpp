@@ -4,6 +4,7 @@
 // entangled-query engine.
 //
 // Usage: youtopia_server [port] [shards] [workers] [--travel]
+//                        [--data-dir <path>]
 //
 //   port      TCP port to bind on 127.0.0.1 (0 = kernel-assigned;
 //             the actual port is printed on the READY line)
@@ -11,6 +12,12 @@
 //   workers   executor-service pool size (default 0 = inline)
 //   --travel  pre-load the travel schema + a generated dataset, so
 //             remote clients can book immediately
+//   --data-dir <path>
+//             enable the write-ahead log under <path>: tables and
+//             pending coordinations survive a kill — restart with the
+//             same directory and a half-arrived pair is still waiting
+//             for its partner. With --travel, seeding is skipped when
+//             the recovered state already has the schema.
 //
 // Prints "READY port=<n> ..." once accepting, then serves until stdin
 // reaches EOF (pipe-friendly: close the pipe to stop it), shuts down
@@ -31,10 +38,15 @@ int main(int argc, char** argv) {
   int shards = 1;
   int workers = 0;
   bool travel_seed = false;
+  const char* data_dir = nullptr;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--travel") == 0) {
       travel_seed = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
+      data_dir = argv[++i];
       continue;
     }
     const int v = std::atoi(argv[i]);
@@ -49,7 +61,28 @@ int main(int argc, char** argv) {
       shards > 0 ? static_cast<size_t>(shards) : 1;
   config.executor.num_workers =
       workers > 0 ? static_cast<size_t>(workers) : 0;
+  if (data_dir != nullptr) {
+    config.wal.enabled = true;
+    config.wal.dir = data_dir;
+  }
   Youtopia db(config);
+  if (data_dir != nullptr && !db.recovery_status().ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n",
+                 db.recovery_status().ToString().c_str());
+    return 1;
+  }
+  if (data_dir != nullptr) {
+    const auto wal_stats = db.wal()->stats();
+    std::printf("recovered %zu record(s), %zu pending coordination(s)\n",
+                wal_stats.recovered_records,
+                db.coordinator().pending_count());
+  }
+  // On a recovered data dir the schema (and bookings) are already
+  // there; reseeding would fail on CREATE TABLE and double the data.
+  if (travel_seed && db.storage().catalog().HasTable("Flights")) {
+    std::printf("travel dataset recovered, skipping seed\n");
+    travel_seed = false;
+  }
   if (travel_seed) {
     if (!travel::CreateTravelSchema(&db).ok()) return 1;
     travel::DataGeneratorConfig data;

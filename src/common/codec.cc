@@ -1,0 +1,293 @@
+#include "common/codec.h"
+
+#include <array>
+#include <cstring>
+
+namespace youtopia {
+
+// ---------------------------------------------------------------- writer
+
+void WireWriter::PutU8(uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+
+void WireWriter::PutU32(uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    bytes_.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void WireWriter::PutU64(uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    bytes_.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void WireWriter::PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+
+void WireWriter::PutDouble(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "IEEE-754 double expected");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void WireWriter::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    bytes_.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  bytes_.push_back(static_cast<char>(v));
+}
+
+void WireWriter::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  bytes_.append(s);
+}
+
+void WireWriter::PutStatus(const Status& status) {
+  PutU8(static_cast<uint8_t>(status.code()));
+  PutString(status.message());
+}
+
+void WireWriter::PutValue(const Value& value) {
+  PutU8(static_cast<uint8_t>(value.type()));
+  switch (value.type()) {
+    case DataType::kNull:
+      break;
+    case DataType::kBool:
+      PutBool(value.bool_value());
+      break;
+    case DataType::kInt64:
+      PutI64(value.int64_value());
+      break;
+    case DataType::kDouble:
+      PutDouble(value.double_value());
+      break;
+    case DataType::kString:
+      PutString(value.string_value());
+      break;
+  }
+}
+
+void WireWriter::PutTuple(const Tuple& tuple) {
+  PutU32(static_cast<uint32_t>(tuple.size()));
+  for (const Value& v : tuple.values()) PutValue(v);
+}
+
+void WireWriter::PutTuples(const std::vector<Tuple>& tuples) {
+  PutU32(static_cast<uint32_t>(tuples.size()));
+  for (const Tuple& t : tuples) PutTuple(t);
+}
+
+// ---------------------------------------------------------------- reader
+
+bool WireReader::Take(size_t n, const char** out) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *out = data_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool WireReader::GetU8(uint8_t* v) {
+  const char* p = nullptr;
+  if (!Take(1, &p)) return false;
+  *v = static_cast<uint8_t>(*p);
+  return true;
+}
+
+bool WireReader::GetU32(uint32_t* v) {
+  const char* p = nullptr;
+  if (!Take(4, &p)) return false;
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  *v = out;
+  return true;
+}
+
+bool WireReader::GetU64(uint64_t* v) {
+  const char* p = nullptr;
+  if (!Take(8, &p)) return false;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  *v = out;
+  return true;
+}
+
+bool WireReader::GetI64(int64_t* v) {
+  uint64_t raw = 0;
+  if (!GetU64(&raw)) return false;
+  *v = static_cast<int64_t>(raw);
+  return true;
+}
+
+bool WireReader::GetDouble(double* v) {
+  uint64_t bits = 0;
+  if (!GetU64(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(bits));
+  return true;
+}
+
+bool WireReader::GetBool(bool* v) {
+  uint8_t raw = 0;
+  if (!GetU8(&raw)) return false;
+  if (raw > 1) {
+    ok_ = false;
+    return false;
+  }
+  *v = raw != 0;
+  return true;
+}
+
+bool WireReader::GetVarint(uint64_t* v) {
+  uint64_t out = 0;
+  for (int shift = 0; shift < 70; shift += 7) {
+    uint8_t byte = 0;
+    if (!GetU8(&byte)) return false;
+    // The 10th byte may only carry the u64's final bit.
+    if (shift == 63 && byte > 1) {
+      ok_ = false;
+      return false;
+    }
+    out |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = out;
+      return true;
+    }
+  }
+  ok_ = false;
+  return false;
+}
+
+bool WireReader::GetString(std::string* s) {
+  uint32_t len = 0;
+  if (!GetU32(&len)) return false;
+  const char* p = nullptr;
+  if (!Take(len, &p)) return false;
+  s->assign(p, len);
+  return true;
+}
+
+bool WireReader::GetStatus(Status* status) {
+  uint8_t code = 0;
+  std::string message;
+  if (!GetU8(&code) || !GetString(&message)) return false;
+  if (code > static_cast<uint8_t>(StatusCode::kNotImplemented)) {
+    ok_ = false;
+    return false;
+  }
+  *status = Status(static_cast<StatusCode>(code), std::move(message));
+  return true;
+}
+
+bool WireReader::GetValue(Value* value) {
+  uint8_t tag = 0;
+  if (!GetU8(&tag)) return false;
+  switch (static_cast<DataType>(tag)) {
+    case DataType::kNull:
+      *value = Value::Null();
+      return true;
+    case DataType::kBool: {
+      bool v = false;
+      if (!GetBool(&v)) return false;
+      *value = Value::Bool(v);
+      return true;
+    }
+    case DataType::kInt64: {
+      int64_t v = 0;
+      if (!GetI64(&v)) return false;
+      *value = Value::Int64(v);
+      return true;
+    }
+    case DataType::kDouble: {
+      double v = 0;
+      if (!GetDouble(&v)) return false;
+      *value = Value::Double(v);
+      return true;
+    }
+    case DataType::kString: {
+      std::string v;
+      if (!GetString(&v)) return false;
+      *value = Value::String(std::move(v));
+      return true;
+    }
+  }
+  ok_ = false;
+  return false;
+}
+
+bool WireReader::GetTuple(Tuple* tuple) {
+  uint32_t count = 0;
+  if (!GetU32(&count)) return false;
+  // A value takes at least a tag byte; a count beyond the remaining
+  // bytes is a lie (guards against allocation bombs).
+  if (count > data_.size() - pos_) {
+    ok_ = false;
+    return false;
+  }
+  std::vector<Value> values;
+  values.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Value v;
+    if (!GetValue(&v)) return false;
+    values.push_back(std::move(v));
+  }
+  *tuple = Tuple(std::move(values));
+  return true;
+}
+
+bool WireReader::GetTuples(std::vector<Tuple>* tuples) {
+  uint32_t count = 0;
+  if (!GetU32(&count)) return false;
+  if (count > data_.size() - pos_) {
+    ok_ = false;
+    return false;
+  }
+  tuples->clear();
+  tuples->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Tuple t;
+    if (!GetTuple(&t)) return false;
+    tuples->push_back(std::move(t));
+  }
+  return true;
+}
+
+Status WireReader::Error(std::string_view what) const {
+  return Status::InvalidArgument("malformed " + std::string(what) +
+                                 " payload at byte " + std::to_string(pos_));
+}
+
+// ----------------------------------------------------------------- crc32
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0xedb88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = MakeCrc32Table();
+  uint32_t crc = 0xffffffffu;
+  for (char c : data) {
+    crc = (crc >> 8) ^ kTable[(crc ^ static_cast<uint8_t>(c)) & 0xff];
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace youtopia

@@ -1,0 +1,94 @@
+#ifndef YOUTOPIA_COMMON_CODEC_H_
+#define YOUTOPIA_COMMON_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "types/tuple.h"
+
+namespace youtopia {
+
+/// The engine's one binary serializer (design decisions #6 and #8): the
+/// wire protocol frames and the WAL records share it, so there is no
+/// second encoding to drift. All integers are fixed-width little-endian
+/// except the explicit varints; doubles travel as their IEEE-754 bit
+/// pattern in a u64; strings and repeated fields are u32-count-prefixed.
+
+/// Appends primitive wire encodings to a byte buffer.
+class WireWriter {
+ public:
+  void PutU8(uint8_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v);
+  void PutDouble(double v);
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  /// LEB128: 7 value bits per byte, high bit = continuation. Used where
+  /// small counts dominate (WAL record bodies).
+  void PutVarint(uint64_t v);
+  void PutString(std::string_view s);
+  void PutStatus(const Status& status);
+  void PutValue(const Value& value);
+  void PutTuple(const Tuple& tuple);
+  void PutTuples(const std::vector<Tuple>& tuples);
+
+  const std::string& bytes() const { return bytes_; }
+  std::string Take() { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+};
+
+/// Cursor over a payload. Getters return false on underflow (and on any
+/// later call — the reader is sticky-failed), so decoders can chain
+/// reads and check once. `Error()` renders the failure; decoders also
+/// require full consumption, so a too-long payload is rejected like a
+/// too-short one.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  bool GetU8(uint8_t* v);
+  bool GetU32(uint32_t* v);
+  bool GetU64(uint64_t* v);
+  bool GetI64(int64_t* v);
+  bool GetDouble(double* v);
+  bool GetBool(bool* v);
+  /// Rejects encodings past 10 bytes (more than a u64 can hold).
+  bool GetVarint(uint64_t* v);
+  bool GetString(std::string* s);
+  bool GetStatus(Status* status);
+  bool GetValue(Value* value);
+  bool GetTuple(Tuple* tuple);
+  bool GetTuples(std::vector<Tuple>* tuples);
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return ok_ && pos_ == data_.size(); }
+  /// Bytes not yet consumed.
+  size_t remaining() const { return data_.size() - pos_; }
+  /// InvalidArgument describing a malformed payload (truncated, trailing
+  /// bytes, or a bad tag).
+  Status Error(std::string_view what) const;
+
+  /// Forces the reader into its sticky-failed state; used by decoders
+  /// that discover a semantic lie (e.g. a count exceeding the payload).
+  void MarkFailed() { ok_ = false; }
+
+ private:
+  bool Take(size_t n, const char** out);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `data`. The WAL frames
+/// every record with it so a torn tail is detected, not replayed.
+uint32_t Crc32(std::string_view data);
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_COMMON_CODEC_H_

@@ -289,6 +289,25 @@ Coordinator::SubmitRoundRouted(std::vector<EntangledQuery> queries,
     homes.push_back(target);
     states.push_back(std::move(state));
   }
+  // Journal the registrations before any matching: a query the log has
+  // not seen must never match (its group would be unrecoverable). On
+  // append failure withdraw everything this call registered, exactly as
+  // for a failed matching round below.
+  if (CoordinatorJournal* journal = journal_.load()) {
+    Status logged = Status::OK();
+    for (size_t i = 0; i < roots.size() && logged.ok(); ++i) {
+      auto query = shards_[homes[i]]->pool.Get(roots[i]);
+      logged = journal->Submitted(*query);
+    }
+    if (!logged.ok()) {
+      for (size_t i = 0; i < roots.size(); ++i) {
+        (void)WithdrawLocked(shards_[homes[i]].get(), roots[i], logged,
+                             deferred);
+      }
+      return logged;
+    }
+  }
+
   ++(global ? home->stats.global_rounds : home->stats.shard_rounds);
   auto satisfied = MatchAndInstallLocked(footprint, home, roots, deferred);
   if (!satisfied.ok()) {
@@ -454,6 +473,16 @@ Status Coordinator::WithdrawLocked(Shard* shard, QueryId id, Status outcome,
                             " is not pending");
   }
   ++shard->stats.cancelled;
+  // Journal the resolution so replay does not resurrect a query whose
+  // owner already saw it terminate. Failure is tolerable here — see the
+  // CoordinatorJournal::Resolved contract — so the withdrawal proceeds.
+  if (CoordinatorJournal* journal = journal_.load()) {
+    Status logged = journal->Resolved(id, outcome);
+    if (!logged.ok()) {
+      YOUTOPIA_LOG(kWarning) << "journal resolve for query " << id
+                             << " failed: " << logged.ToString();
+    }
+  }
   shard->arrivals.erase(id);
   auto routing = TakeRouting(id);
   if (routing.has_value() && routing->spanning) {
@@ -693,6 +722,22 @@ Result<bool> Coordinator::InstallLocked(const std::vector<Shard*>& shards,
     return false;
   }
 
+  // Journal the whole coordination — group resolution plus the
+  // transaction's tuple writes — as ONE record, before the commit makes
+  // the writes visible. If the append fails the transaction aborts and
+  // the group stays pending: a matched group is never half-durable.
+  if (CoordinatorJournal* journal = journal_.load()) {
+    Status logged = journal->Installed(match.group, *txn);
+    if (!logged.ok()) {
+      ++home->stats.failed_installs;
+      YOUTOPIA_LOG(kError) << "coordination install not journaled, aborting: "
+                           << logged.ToString();
+      Status abort = txn_manager_->Abort(txn.get());
+      if (!abort.ok()) return abort;
+      return false;
+    }
+  }
+
   YOUTOPIA_RETURN_IF_ERROR(txn_manager_->Commit(txn.get()));
 
   // Point of no return: complete the group, each member in its shard.
@@ -804,6 +849,98 @@ std::vector<Coordinator::ShardInfo> Coordinator::ShardInfos() const {
     out.push_back(std::move(info));
   }
   return out;
+}
+
+void Coordinator::SetJournal(CoordinatorJournal* journal) {
+  journal_.store(journal);
+}
+
+Status Coordinator::RestorePending(EntangledQuery query) {
+  if (query.heads.empty()) {
+    return Status::InvalidArgument("entangled query has no heads");
+  }
+  if (query.id == 0) {
+    return Status::InvalidArgument(
+        "restored query must carry its original id");
+  }
+  const Route route = RouteOf(query);
+  const QueryId id = query.id;
+
+  // cross_shard_pending_ may only increment with every shard mutex
+  // held (shard-local rounds rely on it); restoration is normally
+  // single-threaded, but keep the invariant anyway.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  std::unique_lock<std::mutex> lock;
+  if (route.spanning) {
+    locks.reserve(shards_.size());
+    for (const auto& shard : shards_) locks.emplace_back(shard->mu);
+  } else {
+    lock = std::unique_lock<std::mutex>(shards_[route.home]->mu);
+  }
+  Shard* shard = shards_[route.home].get();
+  if (shard->pool.Contains(id)) {
+    return Status::AlreadyExists("query " + std::to_string(id) +
+                                 " is already pending");
+  }
+
+  auto state = std::make_shared<EntangledHandle::State>();
+  state->id = id;
+  state->counters = callback_counters_;
+  shard->handles.emplace(id, state);
+  shard->arrivals.emplace(id, std::chrono::steady_clock::now());
+  shard->pool.Add(std::make_shared<const EntangledQuery>(std::move(query)));
+  ++shard->stats.submitted;
+  if (route.spanning) {
+    ++shard->stats.cross_shard_queries;
+    cross_shard_pending_.fetch_add(1);
+  }
+  {
+    std::lock_guard<std::mutex> rlock(router_mu_);
+    shard_of_[id] = route;
+  }
+  SeedNextQueryId(id + 1);
+  return Status::OK();
+}
+
+void Coordinator::SeedNextQueryId(QueryId floor) {
+  QueryId current = next_id_.load();
+  while (current < floor &&
+         !next_id_.compare_exchange_weak(current, floor)) {
+  }
+}
+
+Status Coordinator::WithQuiescedPending(
+    const std::function<Status(const std::vector<PendingQueryInfo>&,
+                               QueryId)>& fn) const {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mu);
+
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<PendingQueryInfo> pending;
+  for (const auto& shard : shards_) {
+    for (QueryId id : shard->pool.AllIds()) {
+      auto query = shard->pool.Get(id);
+      PendingQueryInfo info;
+      info.id = id;
+      info.owner = query->owner;
+      info.sql = query->sql;
+      info.ir = query->ToString();
+      auto arrival = shard->arrivals.find(id);
+      if (arrival != shard->arrivals.end()) {
+        info.age_micros = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                now - arrival->second)
+                .count());
+      }
+      pending.push_back(std::move(info));
+    }
+  }
+  std::sort(pending.begin(), pending.end(),
+            [](const PendingQueryInfo& a, const PendingQueryInfo& b) {
+              return a.id < b.id;
+            });
+  return fn(pending, next_id_.load());
 }
 
 void Coordinator::SetInstallHook(InstallHook hook) {

@@ -14,6 +14,7 @@
 
 #include "common/status.h"
 #include "entangle/answer_relation.h"
+#include "entangle/coordinator_journal.h"
 #include "entangle/match_graph.h"
 #include "entangle/matcher.h"
 #include "entangle/pending_pool.h"
@@ -291,6 +292,34 @@ class Coordinator {
 
   void SetInstallHook(InstallHook hook);
 
+  /// Registers the journal that records submissions, resolutions and
+  /// installations (see CoordinatorJournal for the per-call contract).
+  /// Pass nullptr to detach. Set before concurrent submission starts —
+  /// typically right after construction, or after recovery has
+  /// re-registered the surviving pending queries.
+  void SetJournal(CoordinatorJournal* journal);
+
+  /// Re-registers a query recovered from the journal, preserving its
+  /// original id. No matching round runs and nothing is journaled (the
+  /// journal already knows it); the caller retriggers once every
+  /// survivor is back. Advances the id counter past the restored id.
+  /// Fails when the id is 0 (never assigned) or already pending.
+  Status RestorePending(EntangledQuery query);
+
+  /// Raises the id counter to at least `floor`, so post-recovery
+  /// submissions never collide with ids the journal has already seen.
+  void SeedNextQueryId(QueryId floor);
+
+  /// Runs `fn(pending, next_id)` with every shard mutex held: no
+  /// submission, match, install or withdrawal can interleave, so the
+  /// pending list and id counter `fn` sees are a consistent cut.
+  /// Checkpointing uses this to snapshot coordinator state atomically
+  /// with the storage scan. `fn` must not call back into the
+  /// coordinator.
+  Status WithQuiescedPending(
+      const std::function<Status(const std::vector<PendingQueryInfo>&,
+                                 QueryId)>& fn) const;
+
  private:
   /// A completed handle whose callbacks still have to run; collected
   /// while shard mutexes are held, fired after they are released.
@@ -422,6 +451,12 @@ class Coordinator {
   Result<size_t> Retrigger(
       const std::function<std::vector<QueryId>(const PendingPool&)>& ids,
       Deferred* deferred);
+
+  /// Durability journal; atomic so submissions on other threads see a
+  /// SetJournal without a dedicated lock. Journal calls happen with the
+  /// relevant shard mutexes held, keeping log order consistent with
+  /// pool mutation order.
+  std::atomic<CoordinatorJournal*> journal_{nullptr};
 
   /// Guarded by hook_mu_ (a dedicated mutex so SetInstallHook never
   /// touches a shard lock); installs copy the hook out before calling.

@@ -1,7 +1,5 @@
 #include "net/protocol.h"
 
-#include <cstring>
-
 namespace youtopia::net {
 
 const char* MessageTypeToString(MessageType type) {
@@ -36,261 +34,33 @@ const char* MessageTypeToString(MessageType type) {
   return "UnknownMessage";
 }
 
-// ---------------------------------------------------------------- writer
+// ----------------------------------------------------- QueryResult codec
 
-void WireWriter::PutU8(uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
-
-void WireWriter::PutU32(uint32_t v) {
-  for (int shift = 0; shift < 32; shift += 8) {
-    bytes_.push_back(static_cast<char>((v >> shift) & 0xff));
-  }
+void PutQueryResult(WireWriter* w, const QueryResult& result) {
+  w->PutU32(static_cast<uint32_t>(result.column_names.size()));
+  for (const std::string& name : result.column_names) w->PutString(name);
+  w->PutTuples(result.rows);
+  w->PutU64(result.affected_rows);
 }
 
-void WireWriter::PutU64(uint64_t v) {
-  for (int shift = 0; shift < 64; shift += 8) {
-    bytes_.push_back(static_cast<char>((v >> shift) & 0xff));
-  }
-}
-
-void WireWriter::PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
-
-void WireWriter::PutDouble(double v) {
-  uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(v), "IEEE-754 double expected");
-  std::memcpy(&bits, &v, sizeof(bits));
-  PutU64(bits);
-}
-
-void WireWriter::PutString(std::string_view s) {
-  PutU32(static_cast<uint32_t>(s.size()));
-  bytes_.append(s);
-}
-
-void WireWriter::PutStatus(const Status& status) {
-  PutU8(static_cast<uint8_t>(status.code()));
-  PutString(status.message());
-}
-
-void WireWriter::PutValue(const Value& value) {
-  PutU8(static_cast<uint8_t>(value.type()));
-  switch (value.type()) {
-    case DataType::kNull:
-      break;
-    case DataType::kBool:
-      PutBool(value.bool_value());
-      break;
-    case DataType::kInt64:
-      PutI64(value.int64_value());
-      break;
-    case DataType::kDouble:
-      PutDouble(value.double_value());
-      break;
-    case DataType::kString:
-      PutString(value.string_value());
-      break;
-  }
-}
-
-void WireWriter::PutTuple(const Tuple& tuple) {
-  PutU32(static_cast<uint32_t>(tuple.size()));
-  for (const Value& v : tuple.values()) PutValue(v);
-}
-
-void WireWriter::PutTuples(const std::vector<Tuple>& tuples) {
-  PutU32(static_cast<uint32_t>(tuples.size()));
-  for (const Tuple& t : tuples) PutTuple(t);
-}
-
-void WireWriter::PutQueryResult(const QueryResult& result) {
-  PutU32(static_cast<uint32_t>(result.column_names.size()));
-  for (const std::string& name : result.column_names) PutString(name);
-  PutTuples(result.rows);
-  PutU64(result.affected_rows);
-}
-
-// ---------------------------------------------------------------- reader
-
-bool WireReader::Take(size_t n, const char** out) {
-  if (!ok_ || data_.size() - pos_ < n) {
-    ok_ = false;
-    return false;
-  }
-  *out = data_.data() + pos_;
-  pos_ += n;
-  return true;
-}
-
-bool WireReader::GetU8(uint8_t* v) {
-  const char* p = nullptr;
-  if (!Take(1, &p)) return false;
-  *v = static_cast<uint8_t>(*p);
-  return true;
-}
-
-bool WireReader::GetU32(uint32_t* v) {
-  const char* p = nullptr;
-  if (!Take(4, &p)) return false;
-  uint32_t out = 0;
-  for (int i = 0; i < 4; ++i) {
-    out |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
-  }
-  *v = out;
-  return true;
-}
-
-bool WireReader::GetU64(uint64_t* v) {
-  const char* p = nullptr;
-  if (!Take(8, &p)) return false;
-  uint64_t out = 0;
-  for (int i = 0; i < 8; ++i) {
-    out |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
-  }
-  *v = out;
-  return true;
-}
-
-bool WireReader::GetI64(int64_t* v) {
-  uint64_t raw = 0;
-  if (!GetU64(&raw)) return false;
-  *v = static_cast<int64_t>(raw);
-  return true;
-}
-
-bool WireReader::GetDouble(double* v) {
-  uint64_t bits = 0;
-  if (!GetU64(&bits)) return false;
-  std::memcpy(v, &bits, sizeof(bits));
-  return true;
-}
-
-bool WireReader::GetBool(bool* v) {
-  uint8_t raw = 0;
-  if (!GetU8(&raw)) return false;
-  if (raw > 1) {
-    ok_ = false;
-    return false;
-  }
-  *v = raw != 0;
-  return true;
-}
-
-bool WireReader::GetString(std::string* s) {
-  uint32_t len = 0;
-  if (!GetU32(&len)) return false;
-  const char* p = nullptr;
-  if (!Take(len, &p)) return false;
-  s->assign(p, len);
-  return true;
-}
-
-bool WireReader::GetStatus(Status* status) {
-  uint8_t code = 0;
-  std::string message;
-  if (!GetU8(&code) || !GetString(&message)) return false;
-  if (code > static_cast<uint8_t>(StatusCode::kNotImplemented)) {
-    ok_ = false;
-    return false;
-  }
-  *status = Status(static_cast<StatusCode>(code), std::move(message));
-  return true;
-}
-
-bool WireReader::GetValue(Value* value) {
-  uint8_t tag = 0;
-  if (!GetU8(&tag)) return false;
-  switch (static_cast<DataType>(tag)) {
-    case DataType::kNull:
-      *value = Value::Null();
-      return true;
-    case DataType::kBool: {
-      bool v = false;
-      if (!GetBool(&v)) return false;
-      *value = Value::Bool(v);
-      return true;
-    }
-    case DataType::kInt64: {
-      int64_t v = 0;
-      if (!GetI64(&v)) return false;
-      *value = Value::Int64(v);
-      return true;
-    }
-    case DataType::kDouble: {
-      double v = 0;
-      if (!GetDouble(&v)) return false;
-      *value = Value::Double(v);
-      return true;
-    }
-    case DataType::kString: {
-      std::string v;
-      if (!GetString(&v)) return false;
-      *value = Value::String(std::move(v));
-      return true;
-    }
-  }
-  ok_ = false;
-  return false;
-}
-
-bool WireReader::GetTuple(Tuple* tuple) {
-  uint32_t count = 0;
-  if (!GetU32(&count)) return false;
-  // A value takes at least a tag byte; a count beyond the remaining
-  // bytes is a lie (guards against allocation bombs).
-  if (count > data_.size() - pos_) {
-    ok_ = false;
-    return false;
-  }
-  std::vector<Value> values;
-  values.reserve(count);
-  for (uint32_t i = 0; i < count; ++i) {
-    Value v;
-    if (!GetValue(&v)) return false;
-    values.push_back(std::move(v));
-  }
-  *tuple = Tuple(std::move(values));
-  return true;
-}
-
-bool WireReader::GetTuples(std::vector<Tuple>* tuples) {
-  uint32_t count = 0;
-  if (!GetU32(&count)) return false;
-  if (count > data_.size() - pos_) {
-    ok_ = false;
-    return false;
-  }
-  tuples->clear();
-  tuples->reserve(count);
-  for (uint32_t i = 0; i < count; ++i) {
-    Tuple t;
-    if (!GetTuple(&t)) return false;
-    tuples->push_back(std::move(t));
-  }
-  return true;
-}
-
-bool WireReader::GetQueryResult(QueryResult* result) {
+bool GetQueryResult(WireReader* r, QueryResult* result) {
   uint32_t ncols = 0;
-  if (!GetU32(&ncols)) return false;
-  if (ncols > data_.size() - pos_) {
-    ok_ = false;
+  if (!r->GetU32(&ncols)) return false;
+  if (ncols > r->remaining()) {
+    r->MarkFailed();
     return false;
   }
   result->column_names.clear();
   result->column_names.reserve(ncols);
   for (uint32_t i = 0; i < ncols; ++i) {
     std::string name;
-    if (!GetString(&name)) return false;
+    if (!r->GetString(&name)) return false;
     result->column_names.push_back(std::move(name));
   }
   uint64_t affected = 0;
-  if (!GetTuples(&result->rows) || !GetU64(&affected)) return false;
+  if (!r->GetTuples(&result->rows) || !r->GetU64(&affected)) return false;
   result->affected_rows = static_cast<size_t>(affected);
   return true;
-}
-
-Status WireReader::Error(std::string_view what) const {
-  return Status::InvalidArgument("malformed " + std::string(what) +
-                                 " payload at byte " + std::to_string(pos_));
 }
 
 // -------------------------------------------------------------- messages
@@ -324,12 +94,12 @@ bool ExecuteRequest::Decode(WireReader* r, ExecuteRequest* out) {
 void ExecuteResponse::Encode(WireWriter* w) const {
   w->PutU64(request_id);
   w->PutStatus(status);
-  w->PutQueryResult(result);
+  PutQueryResult(w, result);
 }
 
 bool ExecuteResponse::Decode(WireReader* r, ExecuteResponse* out) {
   return r->GetU64(&out->request_id) && r->GetStatus(&out->status) &&
-         r->GetQueryResult(&out->result);
+         GetQueryResult(r, &out->result);
 }
 
 void ScriptRequest::Encode(WireWriter* w) const {
@@ -437,13 +207,13 @@ void RunResponse::Encode(WireWriter* w) const {
   w->PutU64(request_id);
   w->PutStatus(status);
   w->PutBool(entangled);
-  w->PutQueryResult(result);
+  PutQueryResult(w, result);
   handle.Encode(w);
 }
 
 bool RunResponse::Decode(WireReader* r, RunResponse* out) {
   return r->GetU64(&out->request_id) && r->GetStatus(&out->status) &&
-         r->GetBool(&out->entangled) && r->GetQueryResult(&out->result) &&
+         r->GetBool(&out->entangled) && GetQueryResult(r, &out->result) &&
          WireHandle::Decode(r, &out->handle);
 }
 

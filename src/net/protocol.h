@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/codec.h"
 #include "common/status.h"
 #include "exec/executor.h"
 #include "types/tuple.h"
@@ -60,64 +61,16 @@ const char* MessageTypeToString(MessageType type);
 
 // ---------------------------------------------------------------- codec
 
-/// Appends primitive wire encodings to a byte buffer.
-class WireWriter {
- public:
-  void PutU8(uint8_t v);
-  void PutU32(uint32_t v);
-  void PutU64(uint64_t v);
-  void PutI64(int64_t v);
-  void PutDouble(double v);
-  void PutBool(bool v) { PutU8(v ? 1 : 0); }
-  void PutString(std::string_view s);
-  void PutStatus(const ::youtopia::Status& status);
-  void PutValue(const Value& value);
-  void PutTuple(const Tuple& tuple);
-  void PutTuples(const std::vector<Tuple>& tuples);
-  void PutQueryResult(const QueryResult& result);
+/// The primitive codec lives in common/codec.h so the WAL shares it
+/// (one serializer, no second encoding to drift); these aliases keep
+/// the net layer's historical spelling.
+using WireWriter = ::youtopia::WireWriter;
+using WireReader = ::youtopia::WireReader;
 
-  const std::string& bytes() const { return bytes_; }
-  std::string Take() { return std::move(bytes_); }
-
- private:
-  std::string bytes_;
-};
-
-/// Cursor over a payload. Getters return false on underflow (and on any
-/// later call — the reader is sticky-failed), so decoders can chain
-/// reads and check once. `Error()` renders the failure; decoders also
-/// require full consumption, so a too-long payload is rejected like a
-/// too-short one.
-class WireReader {
- public:
-  explicit WireReader(std::string_view data) : data_(data) {}
-
-  bool GetU8(uint8_t* v);
-  bool GetU32(uint32_t* v);
-  bool GetU64(uint64_t* v);
-  bool GetI64(int64_t* v);
-  bool GetDouble(double* v);
-  bool GetBool(bool* v);
-  bool GetString(std::string* s);
-  bool GetStatus(::youtopia::Status* status);
-  bool GetValue(Value* value);
-  bool GetTuple(Tuple* tuple);
-  bool GetTuples(std::vector<Tuple>* tuples);
-  bool GetQueryResult(QueryResult* result);
-
-  bool ok() const { return ok_; }
-  bool AtEnd() const { return ok_ && pos_ == data_.size(); }
-  /// InvalidArgument describing a malformed payload (truncated, trailing
-  /// bytes, or a bad tag).
-  ::youtopia::Status Error(std::string_view what) const;
-
- private:
-  bool Take(size_t n, const char** out);
-
-  std::string_view data_;
-  size_t pos_ = 0;
-  bool ok_ = true;
-};
+/// QueryResult is an exec-layer type, so its codec stays here rather
+/// than in common/ (which must not depend on exec/).
+void PutQueryResult(WireWriter* w, const QueryResult& result);
+bool GetQueryResult(WireReader* r, QueryResult* result);
 
 // ------------------------------------------------------------- messages
 

@@ -81,6 +81,29 @@ std::string AdminSnapshot::ToString() const {
         plan_cache.misses, plan_cache.HitRate() * 100.0,
         plan_cache.evictions, plan_cache.invalidations);
   }
+  out += "-- WAL --\n";
+  if (!wal_enabled) {
+    out += "  disabled (wal.enabled = false)\n";
+  } else {
+    out += StringPrintf(
+        "  records=%zu bytes=%llu syncs=%zu fsyncs=%zu\n",
+        wal.records_appended,
+        static_cast<unsigned long long>(wal.bytes_appended), wal.syncs,
+        wal.fsyncs);
+    out += StringPrintf(
+        "  group_commit_batches=%zu batch_records(mean=%.1f, max=%llu)\n",
+        wal.group_commit_batches, wal.batch_records.mean(),
+        static_cast<unsigned long long>(wal.batch_records.count() > 0
+                                            ? wal.batch_records.max()
+                                            : 0));
+    out += StringPrintf(
+        "  checkpoints=%zu segments(created=%zu, deleted=%zu)\n",
+        wal.checkpoints, wal.segments_created, wal.segments_deleted);
+    out += StringPrintf(
+        "  recovery: records_replayed=%zu time_us=%llu\n",
+        wal.recovered_records,
+        static_cast<unsigned long long>(wal.recovery_micros));
+  }
   out += "-- Match graph --\n";
   out += match_graph;
   out += "=======================================================\n";
@@ -106,6 +129,10 @@ AdminSnapshot TakeAdminSnapshot(const Youtopia& db) {
   snapshot.shards = db.coordinator().ShardInfos();
   snapshot.executor = db.executor_service().stats();
   snapshot.plan_cache = db.plan_cache().stats();
+  if (db.wal() != nullptr) {
+    snapshot.wal_enabled = true;
+    snapshot.wal = db.wal()->stats();
+  }
   snapshot.match_graph = db.coordinator().RenderGraph();
   return snapshot;
 }

@@ -33,6 +33,11 @@ struct AdminSnapshot {
   /// Plan-cache counters: hits, misses, LRU evictions, catalog-version
   /// invalidations, occupancy.
   PlanCache::Stats plan_cache;
+  /// WAL counters: appends, group-commit batching, fsyncs, checkpoints
+  /// and the last recovery's replay work. `wal_enabled` false means the
+  /// durability subsystem is off (the seed's in-memory semantics).
+  bool wal_enabled = false;
+  wal::WalStats wal;
   std::string match_graph;
 
   /// Full multi-section text rendering for the admin console.

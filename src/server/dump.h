@@ -14,8 +14,10 @@ namespace youtopia {
 /// queries are *not* part of the dump: they are session state, and their
 /// handles cannot outlive the process.
 ///
-/// This is the engine's checkpoint story — the in-memory substrate
-/// (DESIGN.md §2) gains save/restore without a WAL.
+/// This is the portable export path (human-readable, cross-version).
+/// Crash durability is the WAL's job (DESIGN.md #8): its binary
+/// checkpoints also carry pending coordinations and exact RowIds,
+/// which a SQL script cannot express.
 Result<std::string> DumpToScript(const Youtopia& db);
 
 /// Restores a dump into an empty Youtopia instance.

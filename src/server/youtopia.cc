@@ -1,7 +1,12 @@
 #include "server/youtopia.h"
 
+#include <algorithm>
+
+#include "common/logging.h"
 #include "service/executor_service.h"
 #include "sql/table_refs.h"
+#include "wal/recovery.h"
+#include "wal/wal_journal.h"
 
 namespace youtopia {
 
@@ -29,13 +34,44 @@ namespace {
 /// requeue the statement instead of sleeping. Either way a failed
 /// acquire aborts the transaction, so no locks leak and the statement
 /// has no side effects — it is safe to re-drive.
+/// When `wal` is non-null, every successful non-SELECT statement is
+/// journaled as a command-log record (its SQL text; replay re-executes
+/// it). The append happens *before* Commit releases the 2PL locks, so
+/// log order is a valid serialization order for DML. DDL takes no 2PL
+/// locks at all, so it goes through AppendSerialized instead: execution
+/// and append run atomically under the log mutex, the only exclusion
+/// that can keep its log position consistent with its execution order.
+/// Appends only buffer — the caller syncs at its acknowledgment point,
+/// `*logged_lsn` says up to where.
 Result<QueryResult> ExecuteLocked(Executor* executor, TxnManager* txns,
                                   const Catalog& catalog,
                                   const PreparedStatement& prepared,
-                                  LockWait lock_wait, bool* lock_conflict) {
+                                  LockWait lock_wait, bool* lock_conflict,
+                                  wal::WalManager* wal,
+                                  wal::Lsn* logged_lsn) {
   const Statement& stmt = *prepared.stmt;
   const TableRefs& refs = prepared.refs;
+  const bool journal =
+      wal != nullptr && stmt.kind != StatementKind::kSelect;
   auto txn = txns->Begin();
+
+  if (journal && refs.writes.empty()) {
+    // No write footprint + not a SELECT = DDL (CollectTableRefs reports
+    // no refs for schema statements).
+    QueryResult ddl_result;
+    auto lsn = wal->AppendSerialized(
+        [&]() -> Status {
+          auto result = executor->Execute(stmt);
+          if (!result.ok()) return result.status();
+          ddl_result = result.TakeValue();
+          return Status::OK();
+        },
+        wal::WalRecord::Statement(prepared.sql));
+    (void)txns->Commit(txn.get());
+    if (!lsn.ok()) return lsn.status();
+    *logged_lsn = *lsn;
+    return ddl_result;
+  }
   auto acquire = [&](const std::string& table, LockMode mode) {
     return lock_wait == LockWait::kBlock
                ? txns->lock_manager().Acquire(txn->id(), table, mode)
@@ -71,6 +107,18 @@ Result<QueryResult> ExecuteLocked(Executor* executor, TxnManager* txns,
           ? executor->ExecutePlanned(static_cast<const SelectStatement&>(stmt),
                                      *plan)
           : executor->Execute(stmt);
+  if (result.ok() && journal) {
+    // Append while still holding the write locks: no conflicting
+    // statement can slip between this record and its effects, so log
+    // order = lock order = a valid serialization. Failed statements
+    // are not journaled (they are not acknowledged as durable either).
+    auto lsn = wal->Append(wal::WalRecord::Statement(prepared.sql));
+    if (!lsn.ok()) {
+      (void)txns->Commit(txn.get());
+      return lsn.status();
+    }
+    *logged_lsn = *lsn;
+  }
   // The executor applied changes directly to storage; the transaction
   // only held the locks. Commit releases them.
   (void)txns->Commit(txn.get());
@@ -86,9 +134,148 @@ Youtopia::Youtopia(YoutopiaConfig config)
       coordinator_(&storage_, &txn_manager_, config.coordinator),
       plan_cache_(config.plan_cache.capacity),
       executor_service_(
-          std::make_unique<ExecutorService>(this, config.executor)) {}
+          std::make_unique<ExecutorService>(this, config.executor)) {
+  if (config_.wal.enabled) {
+    wal_ = std::make_unique<wal::WalManager>(config_.wal);
+    recovery_status_ = RecoverFromWal();
+    if (!recovery_status_.ok()) {
+      YOUTOPIA_LOG(kError) << "WAL recovery failed: "
+                           << recovery_status_.ToString();
+    }
+  }
+}
 
-Youtopia::~Youtopia() = default;
+Youtopia::~Youtopia() {
+  // Join the workers before the final checkpoint so no statement is
+  // mid-flight while the snapshot is taken.
+  executor_service_.reset();
+  if (wal_ != nullptr && recovery_status_.ok() && !wal_->crashed()) {
+    Status final = config_.wal.checkpoint_on_shutdown
+                       ? Checkpoint()
+                       : wal_->SyncAll();
+    if (!final.ok()) {
+      YOUTOPIA_LOG(kWarning) << "WAL shutdown flush failed: "
+                             << final.ToString();
+    }
+  }
+}
+
+Status Youtopia::RecoverFromWal() {
+  YOUTOPIA_RETURN_IF_ERROR(wal_->Open());
+  wal::RecoveryResult recovered;
+  YOUTOPIA_RETURN_IF_ERROR(
+      wal::Recover(wal_.get(), &storage_, &executor_, &recovered));
+  YOUTOPIA_RETURN_IF_ERROR(wal_->OpenForAppend());
+
+  // Re-register the coordinations that were pending at the crash,
+  // original ids preserved, by re-normalizing their logged SQL — the
+  // schema they reference was just replayed, so normalization sees the
+  // same catalog the original submission did.
+  for (const wal::CheckpointPending& p : recovered.pending) {
+    auto stmt = Parser::ParseStatement(p.sql);
+    if (!stmt.ok()) return stmt.status();
+    if ((*stmt)->kind != StatementKind::kSelect) {
+      return Status::Internal("journaled pending query " +
+                              std::to_string(p.query_id) +
+                              " is not a SELECT: " + p.sql);
+    }
+    const auto& select = static_cast<const SelectStatement&>(**stmt);
+    auto query = Normalizer::Normalize(select, p.query_id, p.owner, p.sql);
+    if (!query.ok()) return query.status();
+    YOUTOPIA_RETURN_IF_ERROR(coordinator_.RestorePending(query.TakeValue()));
+  }
+  coordinator_.SeedNextQueryId(recovered.next_query_id);
+
+  // Journal from here on: a retrigger below may close a group that only
+  // became matchable across the restart, and its install must be logged
+  // like any other.
+  journal_ = std::make_unique<wal::WalCoordinatorJournal>(wal_.get());
+  coordinator_.SetJournal(journal_.get());
+  auto retriggered = coordinator_.RetriggerAll();
+  if (!retriggered.ok()) return retriggered.status();
+  YOUTOPIA_RETURN_IF_ERROR(wal_->SyncAll());
+  if (wal_->ShouldCheckpoint()) {
+    YOUTOPIA_RETURN_IF_ERROR(Checkpoint());
+  }
+  return Status::OK();
+}
+
+Status Youtopia::Checkpoint() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("WAL is not enabled");
+  }
+  return coordinator_.WithQuiescedPending(
+      [&](const std::vector<PendingQueryInfo>& pending,
+          QueryId next_id) -> Status {
+        // The shard mutexes quiesce the coordinator (no install can
+        // run); S locks on every table drain regular DML — a writer
+        // holds its locks only for the statement's duration and never
+        // blocks on a shard mutex while holding them, so this cannot
+        // deadlock. Sorted acquisition mirrors the statement path.
+        auto txn = txn_manager_.Begin();
+        std::vector<TableInfo> tables = storage_.catalog().ListTables();
+        std::sort(tables.begin(), tables.end(),
+                  [](const TableInfo& a, const TableInfo& b) {
+                    return a.name < b.name;
+                  });
+        for (const TableInfo& table : tables) {
+          Status s = txn_manager_.lock_manager().Acquire(
+              txn->id(), table.name, LockMode::kShared);
+          if (!s.ok()) {
+            (void)txn_manager_.Abort(txn.get());
+            return s;
+          }
+        }
+
+        wal::CheckpointState state;
+        state.next_query_id = next_id;
+        state.tables.reserve(tables.size());
+        Status built = Status::OK();
+        for (const TableInfo& table : tables) {
+          wal::CheckpointTable snapshot;
+          snapshot.name = table.name;
+          snapshot.schema = table.schema;
+          for (size_t column : table.indexed_columns) {
+            snapshot.indexed_columns.push_back(
+                table.schema.columns()[column].name);
+          }
+          auto slots = storage_.TableSlotCount(table.name);
+          if (!slots.ok()) {
+            built = slots.status();
+            break;
+          }
+          snapshot.slot_count = slots.value();
+          auto rows = storage_.Scan(table.name);
+          if (!rows.ok()) {
+            built = rows.status();
+            break;
+          }
+          snapshot.rows = rows.TakeValue();
+          state.tables.push_back(std::move(snapshot));
+        }
+        if (built.ok()) {
+          state.pending.reserve(pending.size());
+          for (const PendingQueryInfo& info : pending) {
+            state.pending.push_back(
+                wal::CheckpointPending{info.id, info.owner, info.sql});
+          }
+          built = wal_->WriteCheckpoint(std::move(state));
+        }
+        (void)txn_manager_.Commit(txn.get());
+        return built;
+      });
+}
+
+void Youtopia::MaybeAutoCheckpoint() {
+  if (wal_ == nullptr || !wal_->ShouldCheckpoint()) return;
+  if (checkpoint_inflight_.exchange(true)) return;  // one at a time
+  Status s = Checkpoint();
+  checkpoint_inflight_.store(false);
+  if (!s.ok()) {
+    YOUTOPIA_LOG(kWarning) << "automatic checkpoint failed: "
+                           << s.ToString();
+  }
+}
 
 Result<PreparedStatementPtr> Youtopia::PrepareParsed(StatementPtr stmt,
                                                      std::string sql) const {
@@ -159,8 +346,10 @@ Result<QueryResult> Youtopia::ExecutePrepared(const PreparedStatement& prepared,
     return Status::InvalidArgument(
         "entangled query submitted to Execute(); use Submit() or Run()");
   }
+  wal::Lsn logged = 0;
   auto result = ExecuteLocked(&executor_, &txn_manager_, storage_.catalog(),
-                              prepared, lock_wait, lock_conflict);
+                              prepared, lock_wait, lock_conflict,
+                              wal_.get(), &logged);
   if (!result.ok()) return result;
   if (config_.retrigger_on_dml && result->affected_rows > 0 &&
       coordinator_.pending_count() > 0) {
@@ -168,6 +357,14 @@ Result<QueryResult> Youtopia::ExecutePrepared(const PreparedStatement& prepared,
       auto retriggered = coordinator_.RetriggerDependentsOf(table);
       if (!retriggered.ok()) return retriggered.status();
     }
+  }
+  if (logged != 0) {
+    // Acknowledgment point: the statement (and any install records a
+    // retrigger above appended) must be on disk before this returns.
+    // With group commit, concurrent sessions land here together and
+    // one leader fsyncs for all of them.
+    YOUTOPIA_RETURN_IF_ERROR(wal_->SyncAll());
+    MaybeAutoCheckpoint();
   }
   return result;
 }
@@ -183,7 +380,14 @@ Result<EntangledHandle> Youtopia::SubmitPrepared(
   const auto& select = static_cast<const SelectStatement&>(*prepared.stmt);
   auto query = Normalizer::Normalize(select, /*id=*/0, owner, prepared.sql);
   if (!query.ok()) return query.status();
-  return coordinator_.Submit(query.TakeValue());
+  auto handle = coordinator_.Submit(query.TakeValue());
+  if (handle.ok() && wal_ != nullptr) {
+    // The submit record — and the install record, if this submission
+    // closed a group — must be durable before the handle is returned.
+    YOUTOPIA_RETURN_IF_ERROR(wal_->SyncAll());
+    MaybeAutoCheckpoint();
+  }
+  return handle;
 }
 
 Result<QueryResult> Youtopia::Execute(const std::string& sql) {
@@ -246,7 +450,12 @@ Result<std::vector<EntangledHandle>> Youtopia::SubmitBatch(
     if (!query.ok()) return query.status();
     queries.push_back(query.TakeValue());
   }
-  return coordinator_.SubmitAll(std::move(queries));
+  auto handles = coordinator_.SubmitAll(std::move(queries));
+  if (handles.ok() && wal_ != nullptr) {
+    YOUTOPIA_RETURN_IF_ERROR(wal_->SyncAll());
+    MaybeAutoCheckpoint();
+  }
+  return handles;
 }
 
 Result<RunOutcome> Youtopia::Run(const std::string& sql,

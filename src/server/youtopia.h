@@ -1,6 +1,7 @@
 #ifndef YOUTOPIA_SERVER_YOUTOPIA_H_
 #define YOUTOPIA_SERVER_YOUTOPIA_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -16,10 +17,14 @@
 #include "sql/table_refs.h"
 #include "storage/storage_engine.h"
 #include "txn/txn_manager.h"
+#include "wal/wal_manager.h"
 
 namespace youtopia {
 
 class ExecutorService;
+namespace wal {
+class WalCoordinatorJournal;
+}
 
 /// Whole-system configuration.
 struct YoutopiaConfig {
@@ -37,6 +42,10 @@ struct YoutopiaConfig {
   /// decision #7). capacity = 0 turns it off — every statement is
   /// re-parsed and re-planned per submission, the seed's behavior.
   PlanCacheConfig plan_cache;
+  /// The durability subsystem (design decision #8): write-ahead log +
+  /// crash recovery + coordinator journal. Off by default — the seed's
+  /// in-memory semantics, byte for byte.
+  wal::WalConfig wal;
 };
 
 /// Outcome of running one SQL string that may be regular or entangled.
@@ -208,7 +217,37 @@ class Youtopia {
   PlanCache& plan_cache() { return plan_cache_; }
   const PlanCache& plan_cache() const { return plan_cache_; }
 
+  /// The write-ahead log, or nullptr when `config.wal.enabled` is off.
+  wal::WalManager* wal() { return wal_.get(); }
+  const wal::WalManager* wal() const { return wal_.get(); }
+
+  /// Outcome of startup recovery. The constructor cannot fail, so a
+  /// corrupt or un-replayable log surfaces here; callers that care
+  /// about durability should check it before serving traffic. OK when
+  /// the WAL is disabled or the log replayed cleanly.
+  const Status& recovery_status() const { return recovery_status_; }
+
+  /// Takes a checkpoint now: quiesces the coordinator (all shard
+  /// mutexes) and regular DML (S locks on every table), snapshots
+  /// tables + pending coordinations, and hands the snapshot to the WAL,
+  /// which truncates the log behind it. InvalidArgument when the WAL is
+  /// disabled. Also runs automatically once the post-checkpoint log
+  /// volume exceeds `wal.checkpoint_bytes`, and from the destructor
+  /// when `wal.checkpoint_on_shutdown` is set.
+  Status Checkpoint();
+
  private:
+  /// Startup recovery: open the log, replay checkpoint + records into
+  /// storage, re-register surviving pending coordinations (original ids
+  /// preserved), attach the journal, then retrigger — a group that
+  /// became matchable only because of the restart closes immediately,
+  /// and is journaled like any other.
+  Status RecoverFromWal();
+
+  /// Single-flight automatic checkpoint once the log volume warrants
+  /// one; concurrent sessions skip instead of queueing.
+  void MaybeAutoCheckpoint();
+
   YoutopiaConfig config_;
   StorageEngine storage_;
   Executor executor_;
@@ -217,6 +256,12 @@ class Youtopia {
   /// Mutable: Prepare is logically const (it builds no engine state —
   /// the cache is memoization).
   mutable PlanCache plan_cache_;
+  /// Durability subsystem; null when config.wal.enabled is off. The
+  /// journal adapter feeds coordinator activity into the same log.
+  std::unique_ptr<wal::WalManager> wal_;
+  std::unique_ptr<wal::WalCoordinatorJournal> journal_;
+  Status recovery_status_ = Status::OK();
+  std::atomic<bool> checkpoint_inflight_{false};
   /// Declared last: constructed after (and destroyed before) every
   /// component its workers drive.
   std::unique_ptr<ExecutorService> executor_service_;

@@ -69,6 +69,35 @@ size_t HeapTable::size() const {
   return live_count_;
 }
 
+size_t HeapTable::slot_count() const {
+  std::shared_lock lock(latch_);
+  return slots_.size();
+}
+
+Status HeapTable::LoadSnapshot(
+    size_t slot_count, const std::vector<std::pair<RowId, Tuple>>& rows) {
+  std::unique_lock lock(latch_);
+  if (!slots_.empty()) {
+    return Status::Internal("LoadSnapshot into non-empty table " + name_);
+  }
+  slots_.resize(slot_count);
+  for (const auto& [rid, tuple] : rows) {
+    if (rid >= slot_count) {
+      return Status::OutOfRange("snapshot row " + std::to_string(rid) +
+                                " beyond slot count in " + name_);
+    }
+    auto validated = tuple.ValidateAgainst(schema_);
+    if (!validated.ok()) return validated.status();
+    if (slots_[rid].has_value()) {
+      return Status::AlreadyExists("snapshot row " + std::to_string(rid) +
+                                   " duplicated in " + name_);
+    }
+    slots_[rid] = validated.TakeValue();
+    ++live_count_;
+  }
+  return Status::OK();
+}
+
 std::vector<std::pair<RowId, Tuple>> HeapTable::Scan() const {
   std::shared_lock lock(latch_);
   std::vector<std::pair<RowId, Tuple>> out;

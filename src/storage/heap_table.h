@@ -55,6 +55,18 @@ class HeapTable {
   /// Number of live rows.
   size_t size() const;
 
+  /// Number of allocated slots, live or tombstoned — the next Insert
+  /// gets RowId slot_count(). Checkpoints persist it so recovery
+  /// reproduces row-id assignment exactly (tombstones included).
+  size_t slot_count() const;
+
+  /// Bulk-restores checkpointed contents: sizes the slot vector to
+  /// `slot_count` (everything tombstoned) and places each tuple at its
+  /// recorded RowId. The table must be empty and untouched; rows must
+  /// fit below `slot_count` and validate against the schema.
+  Status LoadSnapshot(size_t slot_count,
+                      const std::vector<std::pair<RowId, Tuple>>& rows);
+
   /// Materialized snapshot of all live (rid, tuple) pairs in rid order.
   /// Scans copy: the engine is in-memory and tuples are small, and a
   /// snapshot keeps iterator semantics trivial under concurrent writers.

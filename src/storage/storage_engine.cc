@@ -178,4 +178,27 @@ Result<size_t> StorageEngine::TableSize(const std::string& table) const {
   return td.value()->heap->size();
 }
 
+Result<size_t> StorageEngine::TableSlotCount(const std::string& table) const {
+  std::shared_lock<std::shared_mutex> lock(tables_mu_);
+  auto td = FindTable(table);
+  if (!td.ok()) return td.status();
+  return td.value()->heap->slot_count();
+}
+
+Status StorageEngine::LoadTableSnapshot(
+    const std::string& table, size_t slot_count,
+    const std::vector<std::pair<RowId, Tuple>>& rows) {
+  std::unique_lock<std::shared_mutex> lock(tables_mu_);
+  auto td = FindTable(table);
+  if (!td.ok()) return td.status();
+  TableData* data = td.value();
+  YOUTOPIA_RETURN_IF_ERROR(data->heap->LoadSnapshot(slot_count, rows));
+  for (auto& [col, index] : data->indexes) {
+    for (const auto& [rid, tuple] : data->heap->Scan()) {
+      index->Insert(tuple.at(col), rid);
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace youtopia

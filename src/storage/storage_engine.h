@@ -67,6 +67,17 @@ class StorageEngine {
 
   Result<size_t> TableSize(const std::string& table) const;
 
+  /// Allocated heap slots of `table`, live or tombstoned (checkpoints
+  /// persist this so recovery reproduces RowId assignment).
+  Result<size_t> TableSlotCount(const std::string& table) const;
+
+  /// Bulk-restores a checkpointed table into its (empty) heap, placing
+  /// each tuple at its recorded RowId and maintaining any indexes that
+  /// already exist. Recovery calls CreateTable → LoadTableSnapshot →
+  /// CreateIndex, so index backfill normally happens afterwards.
+  Status LoadTableSnapshot(const std::string& table, size_t slot_count,
+                           const std::vector<std::pair<RowId, Tuple>>& rows);
+
  private:
   struct TableData {
     std::unique_ptr<HeapTable> heap;

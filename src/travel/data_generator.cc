@@ -1,10 +1,60 @@
 #include "travel/data_generator.h"
 
+#include <utility>
+
 #include "common/random.h"
 #include "common/string_util.h"
 #include "travel/travel_schema.h"
 
 namespace youtopia::travel {
+
+namespace {
+
+/// Accumulates rows for one table into multi-row INSERT statements and
+/// runs them through the engine's statement path — not directly into
+/// the StorageEngine — so seeded rows are command-logged like any user
+/// DML and survive a crash before the first checkpoint. (The original
+/// direct `storage.Insert` version left the WAL blind to the dataset:
+/// a SIGKILL'd server replayed its log into empty Flights/Seats/Hotels
+/// tables and no booking could ever match again.)
+class BatchInserter {
+ public:
+  BatchInserter(Youtopia* db, std::string table)
+      : db_(db), table_(std::move(table)) {}
+
+  /// `row_sql` is one parenthesized tuple literal, e.g. "(1, 'Paris')".
+  Status Add(std::string row_sql) {
+    if (rows_ == 0) {
+      sql_ = "INSERT INTO " + table_ + " VALUES ";
+    } else {
+      sql_ += ", ";
+    }
+    sql_ += row_sql;
+    if (++rows_ >= kRowsPerStatement) return Flush();
+    return Status::OK();
+  }
+
+  Status Flush() {
+    if (rows_ == 0) return Status::OK();
+    rows_ = 0;
+    auto result = db_->Execute(std::exchange(sql_, std::string()));
+    return result.status();
+  }
+
+ private:
+  /// Bounds statement size; one log record / parse per batch keeps
+  /// seeding fast without producing megabyte statements.
+  static constexpr size_t kRowsPerStatement = 128;
+
+  Youtopia* db_;
+  std::string table_;
+  std::string sql_;
+  size_t rows_ = 0;
+};
+
+std::string Int(int64_t v) { return std::to_string(v); }
+
+}  // namespace
 
 Result<GeneratedData> GenerateTravelData(Youtopia* db,
                                          const DataGeneratorConfig& config) {
@@ -15,7 +65,9 @@ Result<GeneratedData> GenerateTravelData(Youtopia* db,
                                     "AirFrance", "Iberia", "Delta"};
   constexpr size_t kNumAirlines = sizeof(kAirlines) / sizeof(kAirlines[0]);
 
-  StorageEngine& storage = db->storage();
+  BatchInserter flights(db, kFlightsTable);
+  BatchInserter airlines(db, kAirlinesTable);
+  BatchInserter seats(db, kSeatsTable);
   int64_t fno = 100;
   for (const std::string& origin : config.cities) {
     for (const std::string& dest : config.cities) {
@@ -24,24 +76,16 @@ Result<GeneratedData> GenerateTravelData(Youtopia* db,
         for (int k = 0; k < config.flights_per_route_per_day; ++k) {
           const int64_t price =
               rng.NextInRange(config.min_price, config.max_price);
-          auto rid = storage.Insert(
-              kFlightsTable,
-              Tuple({Value::Int64(fno), Value::String(origin),
-                     Value::String(dest), Value::Int64(day),
-                     Value::Int64(price),
-                     Value::Int64(config.seats_per_flight)}));
-          if (!rid.ok()) return rid.status();
-          auto arid = storage.Insert(
-              kAirlinesTable,
-              Tuple({Value::Int64(fno),
-                     Value::String(
-                         kAirlines[rng.NextBelow(kNumAirlines)])}));
-          if (!arid.ok()) return arid.status();
+          YOUTOPIA_RETURN_IF_ERROR(flights.Add(
+              "(" + Int(fno) + ", " + QuoteSqlString(origin) + ", " +
+              QuoteSqlString(dest) + ", " + Int(day) + ", " + Int(price) +
+              ", " + Int(config.seats_per_flight) + ")"));
+          YOUTOPIA_RETURN_IF_ERROR(airlines.Add(
+              "(" + Int(fno) + ", " +
+              QuoteSqlString(kAirlines[rng.NextBelow(kNumAirlines)]) + ")"));
           for (int seat = 1; seat <= config.seats_per_flight; ++seat) {
-            auto srid = storage.Insert(
-                kSeatsTable,
-                Tuple({Value::Int64(fno), Value::Int64(seat)}));
-            if (!srid.ok()) return srid.status();
+            YOUTOPIA_RETURN_IF_ERROR(
+                seats.Add("(" + Int(fno) + ", " + Int(seat) + ")"));
             ++generated.seats;
           }
           ++generated.flights;
@@ -50,24 +94,26 @@ Result<GeneratedData> GenerateTravelData(Youtopia* db,
       }
     }
   }
+  YOUTOPIA_RETURN_IF_ERROR(flights.Flush());
+  YOUTOPIA_RETURN_IF_ERROR(airlines.Flush());
+  YOUTOPIA_RETURN_IF_ERROR(seats.Flush());
 
+  BatchInserter hotels(db, kHotelsTable);
   int64_t hid = 500;
   for (const std::string& city : config.cities) {
     for (int h = 0; h < config.hotels_per_city; ++h) {
       for (int day = 1; day <= config.days; ++day) {
         const int64_t price =
             rng.NextInRange(config.min_hotel_price, config.max_hotel_price);
-        auto rid = storage.Insert(
-            kHotelsTable,
-            Tuple({Value::Int64(hid), Value::String(city), Value::Int64(day),
-                   Value::Int64(price),
-                   Value::Int64(config.rooms_per_hotel)}));
-        if (!rid.ok()) return rid.status();
+        YOUTOPIA_RETURN_IF_ERROR(hotels.Add(
+            "(" + Int(hid) + ", " + QuoteSqlString(city) + ", " + Int(day) +
+            ", " + Int(price) + ", " + Int(config.rooms_per_hotel) + ")"));
       }
       ++generated.hotels;
       ++hid;
     }
   }
+  YOUTOPIA_RETURN_IF_ERROR(hotels.Flush());
   return generated;
 }
 

@@ -37,6 +37,13 @@ std::string WorkloadReport::ToString() const {
             static_cast<double>(plan_cache_hits + plan_cache_misses),
         plan_cache_evictions, plan_cache_invalidations);
   }
+  if (wal_records > 0) {
+    out += StringPrintf(
+        " wal{records=%zu fsyncs=%zu batches=%zu batch_mean=%.1f "
+        "checkpoints=%zu}",
+        wal_records, wal_fsyncs, wal_batches, wal_batch_mean,
+        wal_checkpoints);
+  }
   return out;
 }
 
@@ -159,6 +166,9 @@ Result<WorkloadReport> DriveWorkload(TravelService* service, Youtopia* db,
       db != nullptr ? db->coordinator().stats() : CoordinatorStats{};
   const PlanCache::Stats cache_before =
       db != nullptr ? db->plan_cache().stats() : PlanCache::Stats{};
+  const wal::WalStats wal_before = db != nullptr && db->wal() != nullptr
+                                       ? db->wal()->stats()
+                                       : wal::WalStats{};
   const auto start = std::chrono::steady_clock::now();
 
   if (exec != nullptr && exec->num_workers() > 0) {
@@ -242,6 +252,26 @@ Result<WorkloadReport> DriveWorkload(TravelService* service, Youtopia* db,
         cache_after.evictions - cache_before.evictions;
     report.plan_cache_invalidations =
         cache_after.invalidations - cache_before.invalidations;
+    if (db->wal() != nullptr) {
+      const wal::WalStats wal_after = db->wal()->stats();
+      report.wal_records =
+          wal_after.records_appended - wal_before.records_appended;
+      report.wal_fsyncs = wal_after.fsyncs - wal_before.fsyncs;
+      report.wal_batches =
+          wal_after.group_commit_batches - wal_before.group_commit_batches;
+      // Mean records per flush over this run's batches alone.
+      if (report.wal_batches > 0) {
+        const double sum_after = wal_after.batch_records.mean() *
+                                 static_cast<double>(
+                                     wal_after.batch_records.count());
+        const double sum_before = wal_before.batch_records.mean() *
+                                  static_cast<double>(
+                                      wal_before.batch_records.count());
+        report.wal_batch_mean =
+            (sum_after - sum_before) / static_cast<double>(report.wal_batches);
+      }
+      report.wal_checkpoints = wal_after.checkpoints - wal_before.checkpoints;
+    }
   }
   if (exec != nullptr) {
     if (exec->num_workers() > 0) {

@@ -56,6 +56,15 @@ struct WorkloadReport {
   size_t plan_cache_misses = 0;
   size_t plan_cache_evictions = 0;
   size_t plan_cache_invalidations = 0;
+  /// WAL activity during the run, as deltas over the run (embedded
+  /// engine with wal.enabled only; zeros otherwise). `wal_batch_mean`
+  /// is records per group-commit flush over the run — the fsync
+  /// amortization group commit bought.
+  size_t wal_records = 0;
+  size_t wal_fsyncs = 0;
+  size_t wal_batches = 0;
+  double wal_batch_mean = 0.0;
+  size_t wal_checkpoints = 0;
   /// Submission-to-answer latency of satisfied requests.
   Histogram latency;
   /// Wall-clock duration of the whole run.

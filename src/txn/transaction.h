@@ -22,6 +22,20 @@ struct UndoEntry {
   Tuple old_tuple;
 };
 
+/// One redo-log record: the after-image of a write made through the
+/// TxnManager, in storage's stored (validated/coerced) form. The WAL
+/// journals these for coordinator install transactions, whose writes
+/// (answer installs plus arbitrary install-hook writes) have no SQL
+/// text to re-execute at recovery.
+struct RedoEntry {
+  enum class Kind { kInsert, kDelete, kUpdate };
+  Kind kind;
+  std::string table;
+  RowId rid = 0;
+  /// After-image for kInsert/kUpdate (empty for kDelete).
+  Tuple tuple;
+};
+
 /// Book-keeping for one transaction: id, state, and the undo log.
 /// Transactions are created and driven by TxnManager; this struct holds
 /// no locks itself (the LockManager tracks holders by TxnId).
@@ -39,13 +53,16 @@ class Transaction {
   void RecordInsert(const std::string& table, RowId rid);
   void RecordDelete(const std::string& table, RowId rid, Tuple old_tuple);
   void RecordUpdate(const std::string& table, RowId rid, Tuple old_tuple);
+  void RecordRedo(RedoEntry entry) { redo_log_.push_back(std::move(entry)); }
 
   const std::vector<UndoEntry>& undo_log() const { return undo_log_; }
+  const std::vector<RedoEntry>& redo_log() const { return redo_log_; }
 
  private:
   TxnId id_;
   TxnState state_ = TxnState::kActive;
   std::vector<UndoEntry> undo_log_;
+  std::vector<RedoEntry> redo_log_;
 };
 
 }  // namespace youtopia

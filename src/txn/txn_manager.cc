@@ -26,6 +26,12 @@ Result<RowId> TxnManager::Insert(Transaction* txn, const std::string& table,
   auto rid = storage_->Insert(table, tuple);
   if (!rid.ok()) return rid.status();
   txn->RecordInsert(table, rid.value());
+  // Redo after-image in stored form: the heap may have coerced the
+  // tuple (e.g. nullable widening), and replay must reproduce storage
+  // bytes, not caller bytes.
+  auto stored = storage_->Get(table, rid.value());
+  txn->RecordRedo({RedoEntry::Kind::kInsert, table, rid.value(),
+                   stored.ok() ? stored.TakeValue() : tuple});
   return rid.value();
 }
 
@@ -38,6 +44,7 @@ Status TxnManager::Delete(Transaction* txn, const std::string& table,
   if (!old.ok()) return old.status();
   YOUTOPIA_RETURN_IF_ERROR(storage_->Delete(table, rid));
   txn->RecordDelete(table, rid, old.TakeValue());
+  txn->RecordRedo({RedoEntry::Kind::kDelete, table, rid, Tuple()});
   return Status::OK();
 }
 
@@ -50,6 +57,9 @@ Status TxnManager::Update(Transaction* txn, const std::string& table,
   if (!old.ok()) return old.status();
   YOUTOPIA_RETURN_IF_ERROR(storage_->Update(table, rid, tuple));
   txn->RecordUpdate(table, rid, old.TakeValue());
+  auto stored = storage_->Get(table, rid);
+  txn->RecordRedo({RedoEntry::Kind::kUpdate, table, rid,
+                   stored.ok() ? stored.TakeValue() : tuple});
   return Status::OK();
 }
 

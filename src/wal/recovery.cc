@@ -1,0 +1,124 @@
+#include "wal/recovery.h"
+
+#include <algorithm>
+#include <map>
+
+#include "entangle/answer_relation.h"
+#include "sql/parser.h"
+
+namespace youtopia::wal {
+
+namespace {
+
+Status RestoreCheckpoint(StorageEngine* storage, const CheckpointState& cp) {
+  for (const CheckpointTable& table : cp.tables) {
+    YOUTOPIA_RETURN_IF_ERROR(storage->CreateTable(table.name, table.schema));
+    YOUTOPIA_RETURN_IF_ERROR(storage->LoadTableSnapshot(
+        table.name, static_cast<size_t>(table.slot_count), table.rows));
+    // Indexes last: CreateIndex backfills from the loaded heap.
+    for (const std::string& column : table.indexed_columns) {
+      YOUTOPIA_RETURN_IF_ERROR(storage->CreateIndex(table.name, column));
+    }
+  }
+  return Status::OK();
+}
+
+Status ApplyInstall(StorageEngine* storage, const WalRecord& record) {
+  // The live install path writes through TxnManager under 2PL; replay
+  // is single-threaded, so the redo writes go straight to storage. The
+  // answer relation may not exist yet (it was auto-created inside the
+  // crashed run); recreate it from the after-image prototype exactly as
+  // AnswerRelationManager did.
+  AnswerRelationManager answers(storage, /*auto_create=*/true);
+  for (const WalRedoWrite& write : record.writes) {
+    switch (write.kind) {
+      case WalRedoWrite::Kind::kInsert: {
+        if (!storage->catalog().HasTable(write.table)) {
+          YOUTOPIA_RETURN_IF_ERROR(
+              answers.EnsureRelation(write.table, write.tuple));
+        }
+        auto rid = storage->Insert(write.table, write.tuple);
+        if (!rid.ok()) return rid.status();
+        if (rid.value() != write.rid) {
+          return Status::Internal(
+              "install replay of " + write.table + " produced rid " +
+              std::to_string(rid.value()) + ", log says " +
+              std::to_string(write.rid) + " — log and state diverged");
+        }
+        break;
+      }
+      case WalRedoWrite::Kind::kDelete:
+        YOUTOPIA_RETURN_IF_ERROR(storage->Delete(write.table, write.rid));
+        break;
+      case WalRedoWrite::Kind::kUpdate:
+        YOUTOPIA_RETURN_IF_ERROR(
+            storage->Update(write.table, write.rid, write.tuple));
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Recover(WalManager* wal, StorageEngine* storage, Executor* executor,
+               RecoveryResult* out) {
+  *out = RecoveryResult();
+  // Ordered map: the pool is rebuilt in id order, which is also
+  // submission order.
+  std::map<uint64_t, CheckpointPending> pending;
+
+  if (wal->checkpoint().has_value()) {
+    const CheckpointState& cp = *wal->checkpoint();
+    YOUTOPIA_RETURN_IF_ERROR(RestoreCheckpoint(storage, cp));
+    for (const CheckpointPending& p : cp.pending) pending[p.query_id] = p;
+    out->next_query_id = cp.next_query_id;
+  }
+
+  Status replayed = wal->Replay([&](const WalRecord& record) -> Status {
+    switch (record.type) {
+      case WalRecordType::kStatement: {
+        auto stmt = Parser::ParseStatement(record.sql);
+        if (!stmt.ok()) return stmt.status();
+        auto result = executor->Execute(**stmt);
+        if (!result.ok()) {
+          return Status::Internal("statement replay failed (" +
+                                  result.status().message() +
+                                  "): " + record.sql);
+        }
+        ++out->statements_replayed;
+        return Status::OK();
+      }
+      case WalRecordType::kSubmit: {
+        pending[record.query_id] = {record.query_id, record.owner,
+                                    record.sql};
+        out->next_query_id =
+            std::max(out->next_query_id, record.query_id + 1);
+        return Status::OK();
+      }
+      case WalRecordType::kResolve:
+        pending.erase(record.query_id);
+        return Status::OK();
+      case WalRecordType::kInstall: {
+        YOUTOPIA_RETURN_IF_ERROR(ApplyInstall(storage, record));
+        for (uint64_t id : record.group) {
+          pending.erase(id);
+          out->next_query_id = std::max(out->next_query_id, id + 1);
+        }
+        ++out->installs_replayed;
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unknown wal record type");
+  });
+  YOUTOPIA_RETURN_IF_ERROR(replayed);
+
+  out->pending.reserve(pending.size());
+  for (auto& [id, p] : pending) {
+    out->next_query_id = std::max(out->next_query_id, id + 1);
+    out->pending.push_back(std::move(p));
+  }
+  return Status::OK();
+}
+
+}  // namespace youtopia::wal

@@ -1,0 +1,37 @@
+#ifndef YOUTOPIA_WAL_RECOVERY_H_
+#define YOUTOPIA_WAL_RECOVERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/executor.h"
+#include "storage/storage_engine.h"
+#include "wal/wal_manager.h"
+
+namespace youtopia::wal {
+
+/// What recovery hands back to the server layer: the submissions that
+/// were pending at the crash (for re-registration with the coordinator,
+/// original ids preserved) and the id counter floor that keeps future
+/// submissions from colliding with journaled ones.
+struct RecoveryResult {
+  size_t statements_replayed = 0;
+  size_t installs_replayed = 0;
+  std::vector<CheckpointPending> pending;  ///< Sorted by query id.
+  uint64_t next_query_id = 1;
+};
+
+/// Replays `wal` into `storage`/`executor`: restores the checkpoint
+/// snapshot (tables with exact RowId layout, then indexes), then
+/// applies every logged record in order — statements re-execute their
+/// SQL, install records redo their tuple writes (auto-creating answer
+/// relations exactly as the live install path does) and resolve their
+/// group. The caller must invoke this between WalManager::Open and
+/// OpenForAppend, before any concurrent activity.
+Status Recover(WalManager* wal, StorageEngine* storage, Executor* executor,
+               RecoveryResult* out);
+
+}  // namespace youtopia::wal
+
+#endif  // YOUTOPIA_WAL_RECOVERY_H_

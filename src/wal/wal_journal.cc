@@ -1,0 +1,50 @@
+#include "wal/wal_journal.h"
+
+#include "txn/transaction.h"
+
+namespace youtopia::wal {
+
+namespace {
+
+WalRedoWrite::Kind ToWalKind(RedoEntry::Kind kind) {
+  switch (kind) {
+    case RedoEntry::Kind::kInsert:
+      return WalRedoWrite::Kind::kInsert;
+    case RedoEntry::Kind::kDelete:
+      return WalRedoWrite::Kind::kDelete;
+    case RedoEntry::Kind::kUpdate:
+      return WalRedoWrite::Kind::kUpdate;
+  }
+  return WalRedoWrite::Kind::kInsert;  // unreachable
+}
+
+}  // namespace
+
+Status WalCoordinatorJournal::Submitted(const EntangledQuery& query) {
+  auto lsn = wal_->Append(WalRecord::Submit(query.id, query.owner, query.sql));
+  return lsn.ok() ? Status::OK() : lsn.status();
+}
+
+Status WalCoordinatorJournal::Resolved(QueryId id, const Status& outcome) {
+  (void)outcome;  // replay only needs to know the query left the pool
+  auto lsn = wal_->Append(WalRecord::Resolve(id));
+  return lsn.ok() ? Status::OK() : lsn.status();
+}
+
+Status WalCoordinatorJournal::Installed(const std::vector<QueryId>& group,
+                                        const Transaction& txn) {
+  std::vector<WalRedoWrite> writes;
+  writes.reserve(txn.redo_log().size());
+  for (const RedoEntry& entry : txn.redo_log()) {
+    WalRedoWrite write;
+    write.kind = ToWalKind(entry.kind);
+    write.table = entry.table;
+    write.rid = entry.rid;
+    write.tuple = entry.tuple;
+    writes.push_back(std::move(write));
+  }
+  auto lsn = wal_->Append(WalRecord::Install(group, std::move(writes)));
+  return lsn.ok() ? Status::OK() : lsn.status();
+}
+
+}  // namespace youtopia::wal

@@ -1,0 +1,36 @@
+#ifndef YOUTOPIA_WAL_WAL_JOURNAL_H_
+#define YOUTOPIA_WAL_WAL_JOURNAL_H_
+
+#include <vector>
+
+#include "entangle/coordinator_journal.h"
+#include "wal/wal_manager.h"
+
+namespace youtopia::wal {
+
+/// CoordinatorJournal backed by the WAL: submissions become kSubmit
+/// records (id + owner + original SQL, enough to re-normalize after a
+/// restart), resolutions kResolve, and installations ONE kInstall
+/// record carrying the group's ids plus the install transaction's redo
+/// log — so a matched group's resolution and its writes are atomically
+/// durable (design decision #8).
+///
+/// Appends only buffer; the server layer syncs after the coordinator
+/// call returns (the acknowledgment point), which is what lets group
+/// commit amortize one fsync over concurrent submissions.
+class WalCoordinatorJournal : public CoordinatorJournal {
+ public:
+  explicit WalCoordinatorJournal(WalManager* wal) : wal_(wal) {}
+
+  Status Submitted(const EntangledQuery& query) override;
+  Status Resolved(QueryId id, const Status& outcome) override;
+  Status Installed(const std::vector<QueryId>& group,
+                   const Transaction& txn) override;
+
+ private:
+  WalManager* wal_;
+};
+
+}  // namespace youtopia::wal
+
+#endif  // YOUTOPIA_WAL_WAL_JOURNAL_H_

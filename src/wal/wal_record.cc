@@ -1,0 +1,242 @@
+#include "wal/wal_record.h"
+
+namespace youtopia::wal {
+
+WalRecord WalRecord::Statement(std::string sql) {
+  WalRecord record;
+  record.type = WalRecordType::kStatement;
+  record.sql = std::move(sql);
+  return record;
+}
+
+WalRecord WalRecord::Submit(uint64_t query_id, std::string owner,
+                            std::string sql) {
+  WalRecord record;
+  record.type = WalRecordType::kSubmit;
+  record.query_id = query_id;
+  record.owner = std::move(owner);
+  record.sql = std::move(sql);
+  return record;
+}
+
+WalRecord WalRecord::Resolve(uint64_t query_id) {
+  WalRecord record;
+  record.type = WalRecordType::kResolve;
+  record.query_id = query_id;
+  return record;
+}
+
+WalRecord WalRecord::Install(std::vector<uint64_t> group,
+                             std::vector<WalRedoWrite> writes) {
+  WalRecord record;
+  record.type = WalRecordType::kInstall;
+  record.group = std::move(group);
+  record.writes = std::move(writes);
+  return record;
+}
+
+void WalRecord::EncodeTo(WireWriter* w) const {
+  w->PutU8(static_cast<uint8_t>(type));
+  switch (type) {
+    case WalRecordType::kStatement:
+      w->PutString(sql);
+      break;
+    case WalRecordType::kSubmit:
+      w->PutVarint(query_id);
+      w->PutString(owner);
+      w->PutString(sql);
+      break;
+    case WalRecordType::kResolve:
+      w->PutVarint(query_id);
+      break;
+    case WalRecordType::kInstall:
+      w->PutVarint(group.size());
+      for (uint64_t id : group) w->PutVarint(id);
+      w->PutVarint(writes.size());
+      for (const WalRedoWrite& write : writes) {
+        w->PutU8(static_cast<uint8_t>(write.kind));
+        w->PutString(write.table);
+        w->PutVarint(write.rid);
+        w->PutTuple(write.tuple);
+      }
+      break;
+  }
+}
+
+bool WalRecord::DecodeFrom(WireReader* r, WalRecord* out) {
+  uint8_t type = 0;
+  if (!r->GetU8(&type)) return false;
+  *out = WalRecord();
+  out->type = static_cast<WalRecordType>(type);
+  switch (out->type) {
+    case WalRecordType::kStatement:
+      return r->GetString(&out->sql);
+    case WalRecordType::kSubmit:
+      return r->GetVarint(&out->query_id) && r->GetString(&out->owner) &&
+             r->GetString(&out->sql);
+    case WalRecordType::kResolve:
+      return r->GetVarint(&out->query_id);
+    case WalRecordType::kInstall: {
+      uint64_t ngroup = 0;
+      if (!r->GetVarint(&ngroup) || ngroup > r->remaining()) {
+        r->MarkFailed();
+        return false;
+      }
+      out->group.reserve(ngroup);
+      for (uint64_t i = 0; i < ngroup; ++i) {
+        uint64_t id = 0;
+        if (!r->GetVarint(&id)) return false;
+        out->group.push_back(id);
+      }
+      uint64_t nwrites = 0;
+      if (!r->GetVarint(&nwrites) || nwrites > r->remaining()) {
+        r->MarkFailed();
+        return false;
+      }
+      out->writes.reserve(nwrites);
+      for (uint64_t i = 0; i < nwrites; ++i) {
+        WalRedoWrite write;
+        uint8_t kind = 0;
+        if (!r->GetU8(&kind) || kind < 1 || kind > 3) {
+          r->MarkFailed();
+          return false;
+        }
+        write.kind = static_cast<WalRedoWrite::Kind>(kind);
+        if (!r->GetString(&write.table) || !r->GetVarint(&write.rid) ||
+            !r->GetTuple(&write.tuple)) {
+          return false;
+        }
+        out->writes.push_back(std::move(write));
+      }
+      return true;
+    }
+  }
+  r->MarkFailed();
+  return false;
+}
+
+// ------------------------------------------------------------ checkpoint
+
+namespace {
+
+void EncodeSchema(WireWriter* w, const Schema& schema) {
+  w->PutU32(static_cast<uint32_t>(schema.num_columns()));
+  for (const Column& column : schema.columns()) {
+    w->PutString(column.name);
+    w->PutU8(static_cast<uint8_t>(column.type));
+    w->PutBool(column.nullable);
+  }
+}
+
+bool DecodeSchema(WireReader* r, Schema* schema) {
+  uint32_t ncols = 0;
+  if (!r->GetU32(&ncols) || ncols > r->remaining()) {
+    r->MarkFailed();
+    return false;
+  }
+  std::vector<Column> columns;
+  columns.reserve(ncols);
+  for (uint32_t i = 0; i < ncols; ++i) {
+    Column column;
+    uint8_t type = 0;
+    if (!r->GetString(&column.name) || !r->GetU8(&type) ||
+        !r->GetBool(&column.nullable)) {
+      return false;
+    }
+    column.type = static_cast<DataType>(type);
+    columns.push_back(std::move(column));
+  }
+  auto validated = Schema::Create(std::move(columns));
+  if (!validated.ok()) {
+    r->MarkFailed();
+    return false;
+  }
+  *schema = validated.TakeValue();
+  return true;
+}
+
+}  // namespace
+
+void CheckpointState::EncodeTo(WireWriter* w) const {
+  w->PutVarint(first_segment);
+  w->PutVarint(next_query_id);
+  w->PutU32(static_cast<uint32_t>(tables.size()));
+  for (const CheckpointTable& table : tables) {
+    w->PutString(table.name);
+    EncodeSchema(w, table.schema);
+    w->PutU32(static_cast<uint32_t>(table.indexed_columns.size()));
+    for (const std::string& column : table.indexed_columns) {
+      w->PutString(column);
+    }
+    w->PutVarint(table.slot_count);
+    w->PutU32(static_cast<uint32_t>(table.rows.size()));
+    for (const auto& [rid, tuple] : table.rows) {
+      w->PutVarint(rid);
+      w->PutTuple(tuple);
+    }
+  }
+  w->PutU32(static_cast<uint32_t>(pending.size()));
+  for (const CheckpointPending& p : pending) {
+    w->PutVarint(p.query_id);
+    w->PutString(p.owner);
+    w->PutString(p.sql);
+  }
+}
+
+bool CheckpointState::DecodeFrom(WireReader* r, CheckpointState* out) {
+  *out = CheckpointState();
+  uint32_t ntables = 0;
+  if (!r->GetVarint(&out->first_segment) ||
+      !r->GetVarint(&out->next_query_id) || !r->GetU32(&ntables) ||
+      ntables > r->remaining()) {
+    r->MarkFailed();
+    return false;
+  }
+  out->tables.reserve(ntables);
+  for (uint32_t i = 0; i < ntables; ++i) {
+    CheckpointTable table;
+    uint32_t nindexes = 0;
+    if (!r->GetString(&table.name) || !DecodeSchema(r, &table.schema) ||
+        !r->GetU32(&nindexes) || nindexes > r->remaining()) {
+      r->MarkFailed();
+      return false;
+    }
+    table.indexed_columns.reserve(nindexes);
+    for (uint32_t j = 0; j < nindexes; ++j) {
+      std::string column;
+      if (!r->GetString(&column)) return false;
+      table.indexed_columns.push_back(std::move(column));
+    }
+    uint32_t nrows = 0;
+    if (!r->GetVarint(&table.slot_count) || !r->GetU32(&nrows) ||
+        nrows > r->remaining()) {
+      r->MarkFailed();
+      return false;
+    }
+    table.rows.reserve(nrows);
+    for (uint32_t j = 0; j < nrows; ++j) {
+      uint64_t rid = 0;
+      Tuple tuple;
+      if (!r->GetVarint(&rid) || !r->GetTuple(&tuple)) return false;
+      table.rows.emplace_back(rid, std::move(tuple));
+    }
+    out->tables.push_back(std::move(table));
+  }
+  uint32_t npending = 0;
+  if (!r->GetU32(&npending) || npending > r->remaining()) {
+    r->MarkFailed();
+    return false;
+  }
+  out->pending.reserve(npending);
+  for (uint32_t i = 0; i < npending; ++i) {
+    CheckpointPending p;
+    if (!r->GetVarint(&p.query_id) || !r->GetString(&p.owner) ||
+        !r->GetString(&p.sql)) {
+      return false;
+    }
+    out->pending.push_back(std::move(p));
+  }
+  return true;
+}
+
+}  // namespace youtopia::wal

@@ -1,0 +1,100 @@
+#ifndef YOUTOPIA_WAL_WAL_RECORD_H_
+#define YOUTOPIA_WAL_WAL_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/status.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace youtopia::wal {
+
+/// Design decision #8: what the log records. Regular statements are
+/// *command-logged* — the SQL text, re-executed in log order at
+/// recovery (valid because every record is appended while its 2PL locks
+/// are still held, so log order extends the serialization order).
+/// Coordinator install transactions are *redo-logged* tuple-by-tuple —
+/// their writes (answer installs plus arbitrary install-hook writes)
+/// have no SQL text — and the same record carries the matched group's
+/// query ids, making "answers written" and "group resolved" one atomic
+/// durability event. Submissions and withdrawals round out the
+/// coordinator journal so the pending pool survives restart.
+enum class WalRecordType : uint8_t {
+  kStatement = 1,  ///< One committed non-SELECT SQL statement.
+  kSubmit = 2,     ///< An entangled query entered the pending pool.
+  kResolve = 3,    ///< A pending query left the pool without a match.
+  kInstall = 4,    ///< A matched group's install txn + resolution.
+};
+
+/// One write of an install transaction, in storage's stored form.
+struct WalRedoWrite {
+  enum class Kind : uint8_t { kInsert = 1, kDelete = 2, kUpdate = 3 };
+  Kind kind = Kind::kInsert;
+  std::string table;
+  uint64_t rid = 0;
+  Tuple tuple;  ///< After-image; empty for kDelete.
+
+  bool operator==(const WalRedoWrite& other) const {
+    return kind == other.kind && table == other.table && rid == other.rid &&
+           tuple == other.tuple;
+  }
+};
+
+/// One log record. A tagged union kept flat: only the fields of the
+/// active `type` are meaningful (the codec writes nothing else).
+struct WalRecord {
+  WalRecordType type = WalRecordType::kStatement;
+  std::string sql;               ///< kStatement, kSubmit.
+  uint64_t query_id = 0;         ///< kSubmit, kResolve.
+  std::string owner;             ///< kSubmit.
+  std::vector<uint64_t> group;   ///< kInstall: resolved query ids.
+  std::vector<WalRedoWrite> writes;  ///< kInstall.
+
+  static WalRecord Statement(std::string sql);
+  static WalRecord Submit(uint64_t query_id, std::string owner,
+                          std::string sql);
+  static WalRecord Resolve(uint64_t query_id);
+  static WalRecord Install(std::vector<uint64_t> group,
+                           std::vector<WalRedoWrite> writes);
+
+  void EncodeTo(WireWriter* w) const;
+  static bool DecodeFrom(WireReader* r, WalRecord* out);
+};
+
+/// One pending entangled submission as journaled/checkpointed: enough
+/// to re-normalize and re-register it with its original id.
+struct CheckpointPending {
+  uint64_t query_id = 0;
+  std::string owner;
+  std::string sql;
+};
+
+/// Full checkpointed table: schema, indexed columns, and the heap's
+/// exact slot layout (RowIds preserved, tombstones implied by gaps).
+struct CheckpointTable {
+  std::string name;  ///< Original-case name.
+  Schema schema;
+  std::vector<std::string> indexed_columns;  ///< By column name.
+  uint64_t slot_count = 0;
+  std::vector<std::pair<uint64_t, Tuple>> rows;  ///< (rid, tuple).
+};
+
+/// A complete engine snapshot at a quiescent point. Restoring it and
+/// replaying every later record reproduces the pre-crash state.
+struct CheckpointState {
+  std::vector<CheckpointTable> tables;
+  std::vector<CheckpointPending> pending;
+  uint64_t next_query_id = 1;
+  /// First segment sequence number holding post-checkpoint records.
+  uint64_t first_segment = 0;
+
+  void EncodeTo(WireWriter* w) const;
+  static bool DecodeFrom(WireReader* r, CheckpointState* out);
+};
+
+}  // namespace youtopia::wal
+
+#endif  // YOUTOPIA_WAL_WAL_RECORD_H_

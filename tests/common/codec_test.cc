@@ -1,0 +1,174 @@
+#include "common/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace youtopia {
+namespace {
+
+TEST(CodecTest, PrimitivesRoundTrip) {
+  WireWriter w;
+  w.PutU8(0xab);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutI64(-42);
+  w.PutDouble(3.25);
+  w.PutBool(true);
+  w.PutBool(false);
+  w.PutString("hello");
+  w.PutString("");  // empty strings must survive too
+
+  WireReader r(w.bytes());
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  double d = 0.0;
+  bool b1 = false, b2 = true;
+  std::string s1, s2;
+  ASSERT_TRUE(r.GetU8(&u8));
+  ASSERT_TRUE(r.GetU32(&u32));
+  ASSERT_TRUE(r.GetU64(&u64));
+  ASSERT_TRUE(r.GetI64(&i64));
+  ASSERT_TRUE(r.GetDouble(&d));
+  ASSERT_TRUE(r.GetBool(&b1));
+  ASSERT_TRUE(r.GetBool(&b2));
+  ASSERT_TRUE(r.GetString(&s1));
+  ASSERT_TRUE(r.GetString(&s2));
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefULL);
+  EXPECT_EQ(i64, -42);
+  EXPECT_EQ(d, 3.25);
+  EXPECT_TRUE(b1);
+  EXPECT_FALSE(b2);
+  EXPECT_EQ(s1, "hello");
+  EXPECT_EQ(s2, "");
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(CodecTest, VarintEdgeValues) {
+  const uint64_t cases[] = {0,
+                            1,
+                            127,
+                            128,
+                            300,
+                            16383,
+                            16384,
+                            (1ULL << 32) - 1,
+                            1ULL << 32,
+                            std::numeric_limits<uint64_t>::max()};
+  for (uint64_t value : cases) {
+    WireWriter w;
+    w.PutVarint(value);
+    // One byte per 7 bits: 0 fits in 1, u64 max needs 10.
+    EXPECT_LE(w.bytes().size(), 10u);
+    WireReader r(w.bytes());
+    uint64_t out = 0;
+    ASSERT_TRUE(r.GetVarint(&out)) << value;
+    EXPECT_EQ(out, value);
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(CodecTest, VarintRejectsOverlongEncoding) {
+  // Eleven continuation bytes: more than any u64 needs.
+  const std::string overlong(11, '\x80');
+  WireReader r(overlong);
+  uint64_t out = 0;
+  EXPECT_FALSE(r.GetVarint(&out));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CodecTest, VarintRejectsTenthByteOverflow) {
+  // Ten bytes whose tenth carries more than the single bit a u64 has
+  // left — accepting it would silently truncate.
+  std::string encoded(9, '\x80');
+  encoded.push_back('\x02');
+  WireReader r(encoded);
+  uint64_t out = 0;
+  EXPECT_FALSE(r.GetVarint(&out));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CodecTest, VarintTruncatedInputFails) {
+  WireWriter w;
+  w.PutVarint(1ULL << 40);
+  const std::string full(w.bytes());
+  WireReader r(std::string_view(full).substr(0, full.size() - 1));
+  uint64_t out = 0;
+  EXPECT_FALSE(r.GetVarint(&out));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CodecTest, Crc32KnownVector) {
+  // The CRC-32 check value from the standard catalogue ("123456789").
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  // Sensitivity: one flipped bit changes the sum.
+  EXPECT_NE(Crc32("123456789"), Crc32("123456788"));
+}
+
+TEST(CodecTest, ReaderFailureIsSticky) {
+  WireWriter w;
+  w.PutU32(7);
+  WireReader r(w.bytes());
+  uint64_t u64 = 0;
+  EXPECT_FALSE(r.GetU64(&u64));  // only 4 bytes available
+  EXPECT_FALSE(r.ok());
+  // After a failure everything fails, even reads that would fit.
+  uint32_t u32 = 0;
+  EXPECT_FALSE(r.GetU32(&u32));
+}
+
+TEST(CodecTest, TuplesRoundTripRandomized) {
+  Random rng(20260809);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<Tuple> tuples;
+    const size_t count = rng.NextBelow(6);
+    for (size_t i = 0; i < count; ++i) {
+      std::vector<Value> values;
+      const size_t arity = rng.NextBelow(5);
+      for (size_t j = 0; j < arity; ++j) {
+        switch (rng.NextBelow(5)) {
+          case 0:
+            values.push_back(Value::Null());
+            break;
+          case 1:
+            values.push_back(Value::Bool(rng.NextBool()));
+            break;
+          case 2:
+            values.push_back(Value::Int64(static_cast<int64_t>(rng.Next())));
+            break;
+          case 3:
+            values.push_back(Value::Double(rng.NextDouble() * 1e6));
+            break;
+          default:
+            values.push_back(
+                Value::String("s" + std::to_string(rng.NextBelow(1000))));
+        }
+      }
+      tuples.push_back(Tuple(std::move(values)));
+    }
+    WireWriter w;
+    w.PutTuples(tuples);
+    WireReader r(w.bytes());
+    std::vector<Tuple> out;
+    ASSERT_TRUE(r.GetTuples(&out));
+    ASSERT_TRUE(r.AtEnd());
+    ASSERT_EQ(out.size(), tuples.size());
+    for (size_t i = 0; i < tuples.size(); ++i) {
+      EXPECT_EQ(out[i], tuples[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace youtopia
