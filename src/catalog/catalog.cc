@@ -10,7 +10,7 @@ Result<TableId> Catalog::CreateTable(const std::string& name, Schema schema) {
   if (name.empty()) {
     return Status::InvalidArgument("table name may not be empty");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const std::string key = ToLowerAscii(name);
   if (tables_.count(key) > 0) {
     return Status::AlreadyExists("table already exists: " + name);
@@ -25,7 +25,7 @@ Result<TableId> Catalog::CreateTable(const std::string& name, Schema schema) {
 }
 
 Status Catalog::DropTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const std::string key = ToLowerAscii(name);
   if (tables_.erase(key) == 0) {
     return Status::NotFound("no table named " + name);
@@ -35,7 +35,7 @@ Status Catalog::DropTable(const std::string& name) {
 }
 
 Result<TableInfo> Catalog::GetTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(ToLowerAscii(name));
   if (it == tables_.end()) {
     return Status::NotFound("no table named " + name);
@@ -44,7 +44,7 @@ Result<TableInfo> Catalog::GetTable(const std::string& name) const {
 }
 
 Result<TableInfo> Catalog::GetTable(TableId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [key, info] : tables_) {
     if (info.id == id) return info;
   }
@@ -52,13 +52,13 @@ Result<TableInfo> Catalog::GetTable(TableId id) const {
 }
 
 bool Catalog::HasTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tables_.count(ToLowerAscii(name)) > 0;
 }
 
 Status Catalog::AddIndexedColumn(const std::string& table,
                                  size_t column_index) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(ToLowerAscii(table));
   if (it == tables_.end()) {
     return Status::NotFound("no table named " + table);
@@ -76,7 +76,7 @@ Status Catalog::AddIndexedColumn(const std::string& table,
 }
 
 std::vector<TableInfo> Catalog::ListTables() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TableInfo> out;
   out.reserve(tables_.size());
   for (const auto& [key, info] : tables_) out.push_back(info);

@@ -4,10 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "types/schema.h"
 
@@ -72,11 +72,14 @@ class Catalog {
   void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
 
  private:
-  mutable std::mutex mu_;
-  TableId next_id_ = 1;
+  /// Acquired inside DDL critical sections (under kWal) and from the
+  /// planner/matcher with coordinator shard mutexes held; takes nothing
+  /// itself.
+  mutable Mutex mu_{LockRank::kCatalog, "catalog"};
+  TableId next_id_ GUARDED_BY(mu_) = 1;
   std::atomic<uint64_t> version_{1};
   /// Keyed by lowercase name.
-  std::map<std::string, TableInfo> tables_;
+  std::map<std::string, TableInfo> tables_ GUARDED_BY(mu_);
 };
 
 }  // namespace youtopia

@@ -5,7 +5,7 @@
 namespace youtopia {
 
 Histogram::Histogram(const Histogram& other) {
-  std::lock_guard<std::mutex> lock(other.mu_);
+  MutexLock lock(other.mu_);
   buckets_ = other.buckets_;
   count_ = other.count_;
   sum_ = other.sum_;
@@ -17,7 +17,7 @@ Histogram& Histogram::operator=(const Histogram& other) {
   if (this == &other) return *this;
   // Snapshot the source first to keep a single-lock discipline.
   Histogram snapshot(other);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   buckets_ = snapshot.buckets_;
   count_ = snapshot.count_;
   sum_ = snapshot.sum_;
@@ -36,7 +36,7 @@ size_t Histogram::BucketFor(uint64_t micros) {
 }
 
 void Histogram::Record(uint64_t micros) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   buckets_[BucketFor(micros)] += 1;
   ++count_;
   sum_ += micros;
@@ -45,28 +45,28 @@ void Histogram::Record(uint64_t micros) {
 }
 
 size_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return count_;
 }
 
 uint64_t Histogram::min() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return count_ == 0 ? 0 : min_;
 }
 
 uint64_t Histogram::max() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return max_;
 }
 
 double Histogram::mean() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (count_ == 0) return 0.0;
   return static_cast<double>(sum_) / static_cast<double>(count_);
 }
 
 uint64_t Histogram::Percentile(double p) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (count_ == 0) return 0;
   if (p <= 0) return min_;
   if (p >= 100) return max_;
@@ -100,14 +100,14 @@ void Histogram::Merge(const Histogram& other) {
   size_t other_count;
   uint64_t other_sum, other_min, other_max;
   {
-    std::lock_guard<std::mutex> lock(other.mu_);
+    MutexLock lock(other.mu_);
     other_buckets = other.buckets_;
     other_count = other.count_;
     other_sum = other.sum_;
     other_min = other.min_;
     other_max = other.max_;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (size_t i = 0; i < kBuckets; ++i) buckets_[i] += other_buckets[i];
   count_ += other_count;
   sum_ += other_sum;

@@ -2,9 +2,10 @@
 #define YOUTOPIA_COMMON_HISTOGRAM_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace youtopia {
 
@@ -42,12 +43,14 @@ class Histogram {
   static constexpr size_t kBuckets = 40;
   static size_t BucketFor(uint64_t micros);
 
-  mutable std::mutex mu_;
-  std::vector<uint64_t> buckets_ = std::vector<uint64_t>(kBuckets, 0);
-  size_t count_ = 0;
-  uint64_t sum_ = 0;
-  uint64_t min_ = UINT64_MAX;
-  uint64_t max_ = 0;
+  /// Terminal rank: never held across any other acquisition.
+  mutable Mutex mu_{LockRank::kHistogram, "histogram"};
+  std::vector<uint64_t> buckets_ GUARDED_BY(mu_) =
+      std::vector<uint64_t>(kBuckets, 0);
+  size_t count_ GUARDED_BY(mu_) = 0;
+  uint64_t sum_ GUARDED_BY(mu_) = 0;
+  uint64_t min_ GUARDED_BY(mu_) = UINT64_MAX;
+  uint64_t max_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace youtopia

@@ -9,23 +9,24 @@
 namespace youtopia {
 
 QueryId EntangledHandle::id() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  // id is immutable once the state is shared; no lock needed.
   return state_->id;
 }
 
 bool EntangledHandle::Done() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   return state_->done;
 }
 
 std::optional<Status> EntangledHandle::Outcome() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   return state_->outcome;
 }
 
 Status EntangledHandle::Wait(std::chrono::milliseconds timeout) const {
-  std::unique_lock<std::mutex> lock(state_->mu);
-  if (!state_->cv.wait_for(lock, timeout, [this] { return state_->done; })) {
+  MutexLock lock(state_->mu);
+  if (!state_->cv.WaitFor(state_->mu, timeout,
+                          [this] { return state_->done; })) {
     return Status::TimedOut("entangled query " + std::to_string(state_->id) +
                             " still pending");
   }
@@ -35,7 +36,7 @@ Status EntangledHandle::Wait(std::chrono::milliseconds timeout) const {
 void EntangledHandle::OnComplete(CompletionCallback callback) {
   if (!callback) return;
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     if (state_->counters) state_->counters->registered.fetch_add(1);
     if (!state_->done) {
       // Parked; whoever completes the query delivers it (outside the
@@ -59,13 +60,13 @@ void EntangledHandle::OnComplete(CompletionCallback callback) {
 }
 
 std::vector<Tuple> EntangledHandle::Answers() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   return state_->answers;
 }
 
 std::optional<std::chrono::steady_clock::time_point>
 EntangledHandle::CompletedAt() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   if (!state_->done) return std::nullopt;
   return state_->completed_at;
 }
@@ -81,7 +82,7 @@ void DetachedHandles::Complete(const EntangledHandle& handle, Status outcome,
   const std::shared_ptr<EntangledHandle::State>& state = handle.state_;
   std::vector<EntangledHandle::CompletionCallback> callbacks;
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(state->mu);
     if (state->done) return;
     state->done = true;
     state->outcome = std::move(outcome);
@@ -90,7 +91,7 @@ void DetachedHandles::Complete(const EntangledHandle& handle, Status outcome,
     callbacks = std::move(state->callbacks);
     state->callbacks.clear();
   }
-  state->cv.notify_all();
+  state->cv.NotifyAll();
   EntangledHandle done(state);
   for (EntangledHandle::CompletionCallback& callback : callbacks) {
     // Same exception policy as coordinator-driven delivery: swallow and
@@ -156,7 +157,7 @@ Coordinator::Coordinator(StorageEngine* storage, TxnManager* txn_manager,
   config_.num_shards = num_shards;
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
-    auto shard = std::make_unique<Shard>();
+    auto shard = std::make_unique<Shard>(i);
     // Each shard matches with its own Matcher (the CHOOSE-1 rng is
     // stateful); shard 0 keeps the configured seed so a single-shard
     // coordinator reproduces the seed's choices exactly.
@@ -229,14 +230,14 @@ std::shared_ptr<EntangledHandle::State> Coordinator::RegisterLocked(
     cross_shard_pending_.fetch_add(1);
   }
   {
-    std::lock_guard<std::mutex> rlock(router_mu_);
+    MutexLock rlock(router_mu_);
     shard_of_[id] = Route{shard_idx, spanning};
   }
   return state;
 }
 
 std::optional<Coordinator::Route> Coordinator::TakeRouting(QueryId id) {
-  std::lock_guard<std::mutex> rlock(router_mu_);
+  MutexLock rlock(router_mu_);
   auto it = shard_of_.find(id);
   if (it == shard_of_.end()) return std::nullopt;
   Route route = it->second;
@@ -250,12 +251,12 @@ Coordinator::SubmitRoundRouted(std::vector<EntangledQuery> queries,
                                size_t home_idx, bool force_global,
                                Deferred* deferred) {
   Shard* home = shards_[home_idx].get();
-  std::unique_lock<std::mutex> lock;
-  std::vector<std::unique_lock<std::mutex>> locks;
+  MovableMutexLock lock;
+  std::vector<MovableMutexLock> locks;
   std::vector<Shard*> footprint;
   bool global = force_global;
   if (!global) {
-    lock = std::unique_lock<std::mutex>(home->mu);
+    lock = MovableMutexLock(home->mu);
     // cross_shard_pending_ only increments with every shard mutex held,
     // so reading 0 under our own mutex guarantees no cross-shard query
     // can appear until this round finishes: the whole match-graph
@@ -265,7 +266,7 @@ Coordinator::SubmitRoundRouted(std::vector<EntangledQuery> queries,
     // exclusive (see hook_installed_) — drop the shard lock and
     // escalate in either case.
     global = cross_shard_pending_.load() > 0 || hook_installed_.load();
-    if (global) lock.unlock();
+    if (global) lock.Unlock();
   }
   if (global) {
     locks.reserve(shards_.size());
@@ -429,7 +430,7 @@ void Coordinator::Complete(
   DeferredNotification notification;
   notification.state = state;
   {
-    std::lock_guard<std::mutex> hlock(state->mu);
+    MutexLock hlock(state->mu);
     state->done = true;
     state->outcome = std::move(outcome);
     state->answers = std::move(answers);
@@ -437,7 +438,7 @@ void Coordinator::Complete(
     notification.callbacks = std::move(state->callbacks);
     state->callbacks.clear();
   }
-  state->cv.notify_all();
+  state->cv.NotifyAll();
   if (!notification.callbacks.empty()) {
     deferred->push_back(std::move(notification));
   }
@@ -500,7 +501,7 @@ Status Coordinator::WithdrawPending(QueryId id, Status outcome,
                                     Deferred* deferred) {
   size_t shard_idx = 0;
   {
-    std::lock_guard<std::mutex> rlock(router_mu_);
+    MutexLock rlock(router_mu_);
     auto it = shard_of_.find(id);
     if (it == shard_of_.end()) {
       return Status::NotFound("query " + std::to_string(id) +
@@ -511,7 +512,7 @@ Status Coordinator::WithdrawPending(QueryId id, Status outcome,
   // The query may complete between the lookup and the shard lock;
   // WithdrawLocked then reports NotFound.
   Shard* shard = shards_[shard_idx].get();
-  std::lock_guard<std::mutex> lock(shard->mu);
+  MutexLock lock(shard->mu);
   return WithdrawLocked(shard, id, std::move(outcome), deferred);
 }
 
@@ -529,7 +530,7 @@ Result<size_t> Coordinator::ExpireOlderThan(
   size_t total = 0;
   for (const auto& shard_ptr : shards_) {
     Shard* shard = shard_ptr.get();
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     std::vector<QueryId> expired;
     for (const auto& [id, arrival] : shard->arrivals) {
       if (arrival <= cutoff && shard->pool.Contains(id)) {
@@ -554,8 +555,12 @@ Result<size_t> Coordinator::Retrigger(
   // hook is registered): every round must see the merged pool. Resumes
   // the sweep at `from_shard` — earlier shards were already processed
   // locally, and their remaining queries gained nothing since.
-  auto global_retrigger = [&](size_t from_shard) -> Result<size_t> {
-    std::vector<std::unique_lock<std::mutex>> locks;
+  // Dynamic lock sets (a vector of shard locks, an early-release home
+  // lock) that the static analysis cannot follow; the rank validator
+  // checks the acquisition order at runtime instead.
+  auto global_retrigger = [&](size_t from_shard) NO_THREAD_SAFETY_ANALYSIS
+      -> Result<size_t> {
+    std::vector<MovableMutexLock> locks;
     locks.reserve(shards_.size());
     for (const auto& shard : shards_) locks.emplace_back(shard->mu);
     const std::vector<Shard*> all = AllShards();
@@ -577,9 +582,9 @@ Result<size_t> Coordinator::Retrigger(
   size_t satisfied = 0;
   for (size_t s = 0; s < shards_.size(); ++s) {
     Shard* shard = shards_[s].get();
-    std::unique_lock<std::mutex> lock(shard->mu);
+    MovableMutexLock lock(shard->mu);
     if (cross_shard_pending_.load() > 0 || hook_installed_.load()) {
-      lock.unlock();
+      lock.Unlock();
       auto n = global_retrigger(s);
       if (!n.ok()) return n.status();
       return satisfied + n.value();
@@ -673,14 +678,14 @@ Result<bool> Coordinator::InstallLocked(const std::vector<Shard*>& shards,
                                         Deferred* deferred) {
   InstallHook hook;
   {
-    std::lock_guard<std::mutex> hlock(hook_mu_);
+    MutexLock hlock(hook_mu_);
     hook = install_hook_;
   }
   // A hook may write tables shared across shards; serialize those
   // installs so concurrent shard rounds cannot 2PL-conflict and strand
   // a matched group (see install_txn_mu_).
-  std::unique_lock<std::mutex> serial;
-  if (hook) serial = std::unique_lock<std::mutex>(install_txn_mu_);
+  MovableMutexLock serial;
+  if (hook) serial = MovableMutexLock(install_txn_mu_);
 
   auto txn = txn_manager_->Begin();
   Status status = Status::OK();
@@ -764,7 +769,7 @@ Result<bool> Coordinator::InstallLocked(const std::vector<Shard*>& shards,
 size_t Coordinator::pending_count() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->pool.size();
   }
   return total;
@@ -774,7 +779,7 @@ std::vector<PendingQueryInfo> Coordinator::Pending() const {
   const auto now = std::chrono::steady_clock::now();
   std::vector<PendingQueryInfo> out;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     for (QueryId id : shard->pool.AllIds()) {
       auto query = shard->pool.Get(id);
       PendingQueryInfo info;
@@ -800,7 +805,7 @@ std::vector<PendingQueryInfo> Coordinator::Pending() const {
 }
 
 MatchGraph Coordinator::BuildGraph() const {
-  std::vector<std::unique_lock<std::mutex>> locks;
+  std::vector<MovableMutexLock> locks;
   locks.reserve(shards_.size());
   std::vector<const PendingPool*> pools;
   pools.reserve(shards_.size());
@@ -812,7 +817,7 @@ MatchGraph Coordinator::BuildGraph() const {
 }
 
 std::string Coordinator::RenderGraph() const {
-  std::vector<std::unique_lock<std::mutex>> locks;
+  std::vector<MovableMutexLock> locks;
   locks.reserve(shards_.size());
   std::vector<const PendingPool*> pools;
   pools.reserve(shards_.size());
@@ -827,7 +832,7 @@ std::string Coordinator::RenderGraph() const {
 CoordinatorStats Coordinator::stats() const {
   CoordinatorStats total;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     AccumulateStats(&total, shard->stats);
   }
   total.batches = batches_.load();
@@ -841,7 +846,7 @@ std::vector<Coordinator::ShardInfo> Coordinator::ShardInfos() const {
   std::vector<ShardInfo> out;
   out.reserve(shards_.size());
   for (size_t i = 0; i < shards_.size(); ++i) {
-    std::lock_guard<std::mutex> lock(shards_[i]->mu);
+    MutexLock lock(shards_[i]->mu);
     ShardInfo info;
     info.shard = i;
     info.pending = shards_[i]->pool.size();
@@ -869,13 +874,13 @@ Status Coordinator::RestorePending(EntangledQuery query) {
   // cross_shard_pending_ may only increment with every shard mutex
   // held (shard-local rounds rely on it); restoration is normally
   // single-threaded, but keep the invariant anyway.
-  std::vector<std::unique_lock<std::mutex>> locks;
-  std::unique_lock<std::mutex> lock;
+  std::vector<MovableMutexLock> locks;
+  MovableMutexLock lock;
   if (route.spanning) {
     locks.reserve(shards_.size());
     for (const auto& shard : shards_) locks.emplace_back(shard->mu);
   } else {
-    lock = std::unique_lock<std::mutex>(shards_[route.home]->mu);
+    lock = MovableMutexLock(shards_[route.home]->mu);
   }
   Shard* shard = shards_[route.home].get();
   if (shard->pool.Contains(id)) {
@@ -895,7 +900,7 @@ Status Coordinator::RestorePending(EntangledQuery query) {
     cross_shard_pending_.fetch_add(1);
   }
   {
-    std::lock_guard<std::mutex> rlock(router_mu_);
+    MutexLock rlock(router_mu_);
     shard_of_[id] = route;
   }
   SeedNextQueryId(id + 1);
@@ -912,7 +917,7 @@ void Coordinator::SeedNextQueryId(QueryId floor) {
 Status Coordinator::WithQuiescedPending(
     const std::function<Status(const std::vector<PendingQueryInfo>&,
                                QueryId)>& fn) const {
-  std::vector<std::unique_lock<std::mutex>> locks;
+  std::vector<MovableMutexLock> locks;
   locks.reserve(shards_.size());
   for (const auto& shard : shards_) locks.emplace_back(shard->mu);
 
@@ -945,7 +950,7 @@ Status Coordinator::WithQuiescedPending(
 
 void Coordinator::SetInstallHook(InstallHook hook) {
   {
-    std::lock_guard<std::mutex> lock(hook_mu_);
+    MutexLock lock(hook_mu_);
     install_hook_ = std::move(hook);
     hook_installed_.store(static_cast<bool>(install_hook_));
   }

@@ -3,15 +3,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "entangle/answer_relation.h"
 #include "entangle/coordinator_journal.h"
@@ -116,17 +115,21 @@ class EntangledHandle {
     std::atomic<size_t> fired{0};
   };
   struct State {
-    mutable std::mutex mu;
-    mutable std::condition_variable cv;
+    /// Rank kHandleState: completion happens while shard mutexes are
+    /// held, so handle state nests inside every coordinator lock.
+    mutable Mutex mu{LockRank::kHandleState, "handle_state"};
+    mutable CondVar cv;
+    /// Immutable after construction (set before the state is shared).
     QueryId id = 0;
-    bool done = false;
+    bool done GUARDED_BY(mu) = false;
     /// Terminal status; empty while pending (never a placeholder
     /// "timed out" that a caller could mistake for a real outcome).
-    std::optional<Status> outcome;
-    std::vector<Tuple> answers;
-    std::chrono::steady_clock::time_point completed_at;
+    std::optional<Status> outcome GUARDED_BY(mu);
+    std::vector<Tuple> answers GUARDED_BY(mu);
+    std::chrono::steady_clock::time_point completed_at GUARDED_BY(mu);
     /// Callbacks awaiting completion; drained exactly once.
-    std::vector<CompletionCallback> callbacks;
+    std::vector<CompletionCallback> callbacks GUARDED_BY(mu);
+    /// Immutable after construction; the counters themselves are atomic.
     std::shared_ptr<CallbackCounters> counters;
   };
   friend class DetachedHandles;
@@ -334,12 +337,22 @@ class Coordinator {
   /// their own `mu`, global rounds hold every shard's `mu` (acquired in
   /// index order).
   struct Shard {
-    mutable std::mutex mu;
-    PendingPool pool;
+    /// Rank kCoordinatorShard with seq = shard index: global rounds
+    /// lock every shard in index order, which the validator enforces
+    /// through the equal-rank/increasing-seq rule.
+    explicit Shard(size_t index)
+        : mu(LockRank::kCoordinatorShard, "coordinator_shard",
+             static_cast<uint32_t>(index)) {}
+    mutable Mutex mu;
+    PendingPool pool GUARDED_BY(mu);
+    /// Pointer immutable after construction; the Matcher (stateful rng)
+    /// is only invoked with `mu` held.
     std::unique_ptr<Matcher> matcher;
-    std::map<QueryId, std::shared_ptr<EntangledHandle::State>> handles;
-    std::map<QueryId, std::chrono::steady_clock::time_point> arrivals;
-    CoordinatorStats stats;
+    std::map<QueryId, std::shared_ptr<EntangledHandle::State>> handles
+        GUARDED_BY(mu);
+    std::map<QueryId, std::chrono::steady_clock::time_point> arrivals
+        GUARDED_BY(mu);
+    CoordinatorStats stats GUARDED_BY(mu);
   };
 
   /// Where a query registers and whether its relations span shards.
@@ -353,9 +366,12 @@ class Coordinator {
 
   /// Registers `query` (assigning a fresh id) into shard `shard_idx`
   /// without matching. Caller holds that shard's mu (and every other
-  /// shard's mu when `spanning`).
+  /// shard's mu when `spanning`) — a dynamic set the static analysis
+  /// cannot express, hence no REQUIRES annotation (the rank validator
+  /// still checks the footprint at runtime).
   std::shared_ptr<EntangledHandle::State> RegisterLocked(
-      size_t shard_idx, EntangledQuery query, bool spanning);
+      size_t shard_idx, EntangledQuery query, bool spanning)
+      NO_THREAD_SAFETY_ANALYSIS;
 
   /// The submission protocol shared by Submit and SubmitAll: registers
   /// `queries` (routes[i] must be RouteOf(queries[i])) and runs one
@@ -369,7 +385,8 @@ class Coordinator {
   Result<std::vector<std::shared_ptr<EntangledHandle::State>>>
   SubmitRoundRouted(std::vector<EntangledQuery> queries,
                     const std::vector<Route>& routes, size_t home_idx,
-                    bool force_global, Deferred* deferred);
+                    bool force_global, Deferred* deferred)
+      NO_THREAD_SAFETY_ANALYSIS;
 
   /// Withdraws a pending query by id: resolves the owning shard
   /// through the routing map, locks it, and delegates to
@@ -386,18 +403,20 @@ class Coordinator {
   Result<size_t> MatchAndInstallLocked(const std::vector<Shard*>& shards,
                                        Shard* home,
                                        const std::vector<QueryId>& roots,
-                                       Deferred* deferred);
+                                       Deferred* deferred)
+      REQUIRES(home->mu) NO_THREAD_SAFETY_ANALYSIS;
 
   /// Installs a matched group atomically. On success removes members
   /// from their pools and completes their handles. Caller holds the
   /// mutex of every shard in `shards`.
   Result<bool> InstallLocked(const std::vector<Shard*>& shards, Shard* home,
-                             const MatchResult& match, Deferred* deferred);
+                             const MatchResult& match, Deferred* deferred)
+      REQUIRES(home->mu) NO_THREAD_SAFETY_ANALYSIS;
 
   /// Removes `id` from `shard`'s pool/handles, completing the handle
   /// with `outcome` (cancellation, expiry). Caller holds shard->mu.
   Status WithdrawLocked(Shard* shard, QueryId id, Status outcome,
-                        Deferred* deferred);
+                        Deferred* deferred) REQUIRES(shard->mu);
 
   /// Marks `state` done with `outcome`, wakes waiters and queues its
   /// callbacks for delivery after the locks drop.
@@ -437,8 +456,9 @@ class Coordinator {
   /// the decrement can never disagree with the increment). Guarded by
   /// router_mu_; lock order is always shard mutexes first, router_mu_
   /// last.
-  mutable std::mutex router_mu_;
-  std::map<QueryId, Route> shard_of_;
+  mutable Mutex router_mu_{LockRank::kCoordinatorRouter,
+                           "coordinator_router"};
+  std::map<QueryId, Route> shard_of_ GUARDED_BY(router_mu_);
 
   /// Removes `id`'s routing entry and returns it (home = owning shard,
   /// spanning = registered as cross-shard); nullopt when absent.
@@ -450,7 +470,7 @@ class Coordinator {
   /// RetriggerDependentsOf.
   Result<size_t> Retrigger(
       const std::function<std::vector<QueryId>(const PendingPool&)>& ids,
-      Deferred* deferred);
+      Deferred* deferred) NO_THREAD_SAFETY_ANALYSIS;
 
   /// Durability journal; atomic so submissions on other threads see a
   /// SetJournal without a dedicated lock. Journal calls happen with the
@@ -458,10 +478,10 @@ class Coordinator {
   /// pool mutation order.
   std::atomic<CoordinatorJournal*> journal_{nullptr};
 
-  /// Guarded by hook_mu_ (a dedicated mutex so SetInstallHook never
-  /// touches a shard lock); installs copy the hook out before calling.
-  mutable std::mutex hook_mu_;
-  InstallHook install_hook_;
+  /// A dedicated mutex so SetInstallHook never touches a shard lock;
+  /// installs copy the hook out before calling.
+  mutable Mutex hook_mu_{LockRank::kCoordinatorHook, "coordinator_hook"};
+  InstallHook install_hook_ GUARDED_BY(hook_mu_);
 
   /// True while install_hook_ is set. Hooks may read and write tables
   /// shared across shards (the travel inventory hook updates Flights),
@@ -475,11 +495,13 @@ class Coordinator {
   std::atomic<bool> hook_installed_{false};
 
   /// Belt-and-suspenders for rounds already in flight when the hook is
-  /// registered: serializes hook-bearing install transactions. Leaf
-  /// mutex: acquired with shard mutexes held, never the other way
-  /// around. (Register hooks before concurrent submission starts — the
-  /// travel service does — and this never contends.)
-  std::mutex install_txn_mu_;
+  /// registered: serializes hook-bearing install transactions. Rank
+  /// kCoordinatorInstall: acquired with shard mutexes held, before the
+  /// WAL/storage locks the install transaction takes — never the other
+  /// way around. (Register hooks before concurrent submission starts —
+  /// the travel service does — and this never contends.)
+  Mutex install_txn_mu_{LockRank::kCoordinatorInstall,
+                        "coordinator_install_txn"};
 };
 
 }  // namespace youtopia

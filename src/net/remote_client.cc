@@ -66,7 +66,7 @@ RemoteClient::~RemoteClient() {
 }
 
 bool RemoteClient::connected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return !closed_;
 }
 
@@ -83,16 +83,16 @@ void RemoteClient::Close() {
     // Stop the dispatcher only after everything that can enqueue has
     // run: it drains the queue, so no completion is lost on close.
     {
-      std::lock_guard<std::mutex> lock(comp_mu_);
+      MutexLock lock(comp_mu_);
       comp_stop_ = true;
     }
-    comp_cv_.notify_all();
+    comp_cv_.NotifyAll();
     if (completion_dispatcher_.joinable()) completion_dispatcher_.join();
   });
 }
 
 Status RemoteClient::SendBytes(const std::string& bytes) {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(write_mu_);
   size_t sent = 0;
   while (sent < bytes.size()) {
     const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
@@ -117,7 +117,7 @@ Status RemoteClient::Call(uint64_t request_id, const std::string& frame,
         " bytes) exceeds the frame limit");
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) return Status::Aborted("client is closed");
     in_flight_.emplace(request_id, std::move(handler));
   }
@@ -125,7 +125,7 @@ Status RemoteClient::Call(uint64_t request_id, const std::string& frame,
   if (sent.ok()) return Status::OK();
   // Undo the registration — unless the reader already failed it (then
   // the handler has fired and the caller must treat the call as issued).
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (in_flight_.erase(request_id) == 0) return Status::OK();
   return sent;
 }
@@ -181,7 +181,7 @@ void RemoteClient::HandleIncoming(Frame frame) {
   }
   ResponseHandler handler;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = in_flight_.find(request_id);
     if (it == in_flight_.end()) return;  // cancelled or duplicate
     handler = std::move(it->second);
@@ -193,7 +193,7 @@ void RemoteClient::HandleIncoming(Frame frame) {
 void RemoteClient::ApplyCompletion(const CompletionPush& push) {
   std::optional<EntangledHandle> handle;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = handles_.find(push.query_id);
     if (it == handles_.end()) {
       // Bounded: a push whose handle is never adopted (response lost to
@@ -213,11 +213,11 @@ void RemoteClient::ApplyCompletion(const CompletionPush& push) {
 void RemoteClient::EnqueueCompletion(EntangledHandle handle, Status outcome,
                                      std::vector<Tuple> answers) {
   {
-    std::lock_guard<std::mutex> lock(comp_mu_);
+    MutexLock lock(comp_mu_);
     if (!comp_stop_) {
       comp_queue_.push_back(PendingCompletion{
           std::move(handle), std::move(outcome), std::move(answers)});
-      comp_cv_.notify_one();
+      comp_cv_.NotifyOne();
       return;
     }
   }
@@ -230,8 +230,8 @@ void RemoteClient::CompletionLoop() {
   for (;;) {
     std::optional<PendingCompletion> next;
     {
-      std::unique_lock<std::mutex> lock(comp_mu_);
-      comp_cv_.wait(lock,
+      MutexLock lock(comp_mu_);
+      comp_cv_.Wait(comp_mu_,
                     [this] { return comp_stop_ || !comp_queue_.empty(); });
       // Stop only on a drained queue, so close never drops completions.
       if (comp_queue_.empty()) return;
@@ -247,7 +247,7 @@ void RemoteClient::AbortEverything(const Status& reason) {
   std::map<uint64_t, ResponseHandler> in_flight;
   std::map<uint64_t, EntangledHandle> handles;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
     in_flight.swap(in_flight_);
     handles.swap(handles_);
@@ -267,7 +267,7 @@ EntangledHandle RemoteClient::AdoptHandle(const WireHandle& wire) {
   }
   std::optional<CompletionPush> early;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = early_completions_.find(wire.query_id);
     if (it != early_completions_.end()) {
       early = std::move(it->second);
@@ -470,7 +470,7 @@ Result<RunOutcome> RemoteClient::Run(const std::string& sql) {
 
 std::vector<EntangledHandle> RemoteClient::Outstanding() {
   std::vector<EntangledHandle> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   out.reserve(handles_.size());
   for (const auto& [id, handle] : handles_) out.push_back(handle);
   return out;

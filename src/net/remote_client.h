@@ -2,7 +2,6 @@
 #define YOUTOPIA_NET_REMOTE_CLIENT_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -13,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "net/protocol.h"
 #include "server/client.h"
 #include "server/client_interface.h"
@@ -149,22 +149,28 @@ class RemoteClient : public ClientInterface {
     Status outcome;
     std::vector<Tuple> answers;
   };
-  std::mutex comp_mu_;
-  std::condition_variable comp_cv_;
-  std::deque<PendingCompletion> comp_queue_;
-  bool comp_stop_ = false;
+  Mutex comp_mu_{LockRank::kRemoteClientCompletion,
+                 "remote_client_completion"};
+  CondVar comp_cv_;
+  std::deque<PendingCompletion> comp_queue_ GUARDED_BY(comp_mu_);
+  bool comp_stop_ GUARDED_BY(comp_mu_) = false;
 
-  std::mutex write_mu_;
+  /// Rank kConnectionWrite: leaf of the client's locks — SendBytes runs
+  /// only syscalls under it.
+  Mutex write_mu_{LockRank::kConnectionWrite, "remote_client_write"};
 
-  mutable std::mutex mu_;
-  bool closed_ = false;
-  std::map<uint64_t, ResponseHandler> in_flight_;
+  /// Rank kRemoteClient: orders before the completion queue's mutex
+  /// (AbortEverything releases mu_, then enqueues) and before the
+  /// write lock (Call registers in_flight_ under mu_, then sends).
+  mutable Mutex mu_{LockRank::kRemoteClient, "remote_client"};
+  bool closed_ GUARDED_BY(mu_) = false;
+  std::map<uint64_t, ResponseHandler> in_flight_ GUARDED_BY(mu_);
   /// Pending detached handles by engine query id.
-  std::map<uint64_t, EntangledHandle> handles_;
+  std::map<uint64_t, EntangledHandle> handles_ GUARDED_BY(mu_);
   /// Pushes that arrived before their handle was adopted (defensive —
   /// the server sequences response before push, but a cheap stash beats
   /// reasoning about every interleaving).
-  std::map<uint64_t, CompletionPush> early_completions_;
+  std::map<uint64_t, CompletionPush> early_completions_ GUARDED_BY(mu_);
 };
 
 }  // namespace youtopia::net

@@ -88,7 +88,7 @@ void PushWhenComplete(ConnPtr conn, StatsPtr stats, uint32_t max_frame_bytes,
     push.outcome = done.Outcome().value_or(Status::OK());
     push.answers = done.Answers();
     SendPushChecked(conn, max_frame_bytes, push);
-    std::lock_guard<std::mutex> lock(stats->mu);
+    MutexLock lock(stats->mu);
     ++stats->stats.pushes;
   });
 }
@@ -105,8 +105,10 @@ struct YoutopiaServer::Connection {
   /// connections run in parallel across the pool.
   uint64_t session = 0;
 
-  std::mutex write_mu;
-  bool closed = false;
+  /// Rank kConnectionWrite: a leaf among the networking locks — Send
+  /// runs only syscalls under it, never another acquisition.
+  Mutex write_mu{LockRank::kConnectionWrite, "connection_write"};
+  bool closed GUARDED_BY(write_mu) = false;
 
   ~Connection() {
     if (fd >= 0) ::close(fd);
@@ -116,7 +118,7 @@ struct YoutopiaServer::Connection {
   /// (worker continuations, push callbacks, the reader). Errors mark
   /// the connection closed; later sends are no-ops.
   void Send(const std::string& frame) {
-    std::lock_guard<std::mutex> lock(write_mu);
+    MutexLock lock(write_mu);
     if (closed) return;
     size_t sent = 0;
     while (sent < frame.size()) {
@@ -137,7 +139,7 @@ struct YoutopiaServer::Connection {
 
   /// Severs the connection: the reader's recv returns and writers stop.
   void Sever() {
-    std::lock_guard<std::mutex> lock(write_mu);
+    MutexLock lock(write_mu);
     closed = true;
     ::shutdown(fd, SHUT_RDWR);
   }
@@ -149,7 +151,7 @@ YoutopiaServer::YoutopiaServer(Youtopia* db, ServerConfig config)
 YoutopiaServer::~YoutopiaServer() { Stop(); }
 
 Status YoutopiaServer::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (started_) return Status::AlreadyExists("server already started");
 
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -207,7 +209,7 @@ void YoutopiaServer::Stop() {
   std::thread accept_thread;
   int listen_fd = -1;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!started_) return;
     started_ = false;
     stopping_ = true;
@@ -246,12 +248,12 @@ void YoutopiaServer::ReapFinishedLocked() {
 }
 
 bool YoutopiaServer::running() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return started_;
 }
 
 YoutopiaServer::Stats YoutopiaServer::stats() const {
-  std::lock_guard<std::mutex> lock(shared_stats_->mu);
+  MutexLock lock(shared_stats_->mu);
   return shared_stats_->stats;
 }
 
@@ -278,15 +280,15 @@ void YoutopiaServer::AcceptLoop(int listen_fd) {
     // Book the connection before its reader starts, so the reader's
     // decrement on a fast disconnect can never precede this increment.
     {
-      std::lock_guard<std::mutex> lock(shared_stats_->mu);
+      MutexLock lock(shared_stats_->mu);
       ++shared_stats_->stats.connections_accepted;
       ++shared_stats_->stats.connections_active;
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (stopping_) {
         conn->Sever();
-        std::lock_guard<std::mutex> slock(shared_stats_->mu);
+        MutexLock slock(shared_stats_->mu);
         --shared_stats_->stats.connections_active;
         return;
       }
@@ -333,14 +335,14 @@ void YoutopiaServer::ReaderLoop(uint64_t id,
   }
   conn->Sever();
   {
-    std::lock_guard<std::mutex> lock(shared_stats_->mu);
+    MutexLock lock(shared_stats_->mu);
     --shared_stats_->stats.connections_active;
     if (protocol_error) ++shared_stats_->stats.protocol_errors;
   }
   // Queue ourselves for reaping (join + connection-entry drop) by the
   // accept loop or Stop. Last action: after this the thread only
   // unwinds, so a reaper's join returns promptly.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!stopping_) finished_.push_back(id);
 }
 
@@ -353,7 +355,7 @@ void YoutopiaServer::PushOnCompletion(
 Status YoutopiaServer::Dispatch(const std::shared_ptr<Connection>& conn,
                                 const Frame& frame) {
   {
-    std::lock_guard<std::mutex> lock(shared_stats_->mu);
+    MutexLock lock(shared_stats_->mu);
     ++shared_stats_->stats.requests;
   }
   switch (frame.type) {

@@ -5,11 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "net/protocol.h"
 #include "server/youtopia.h"
@@ -86,8 +86,13 @@ class YoutopiaServer {
   void Stop();
 
   /// The bound TCP port (the kernel's pick when config.port was 0).
-  /// Valid after a successful Start().
-  uint16_t port() const { return port_; }
+  /// Valid after a successful Start(). Reads under mu_: port_ is
+  /// written by Start() on another thread, and an unguarded read here
+  /// was a (benign-looking) data race the annotation pass uncovered.
+  uint16_t port() const {
+    MutexLock lock(mu_);
+    return port_;
+  }
 
   bool running() const;
   Stats stats() const;
@@ -97,15 +102,17 @@ class YoutopiaServer {
   /// Stats shared with completion callbacks, which can outlive the
   /// server object (a pending coordination completes after Stop).
   struct SharedStats {
-    std::mutex mu;
-    Stats stats;
+    /// Rank kNetServerStats: taken inside the server mutex (accept path
+    /// books a connection while holding mu_).
+    Mutex mu{LockRank::kNetServerStats, "net_server_stats"};
+    Stats stats GUARDED_BY(mu);
   };
 
   void AcceptLoop(int listen_fd);
   void ReaderLoop(uint64_t id, std::shared_ptr<Connection> conn);
   /// Joins reader threads whose connections ended and drops their
-  /// Connection entries. Caller holds mu_.
-  void ReapFinishedLocked();
+  /// Connection entries.
+  void ReapFinishedLocked() REQUIRES(mu_);
   /// Routes one decoded frame; non-OK means protocol error (drop the
   /// connection).
   Status Dispatch(const std::shared_ptr<Connection>& conn,
@@ -120,20 +127,21 @@ class YoutopiaServer {
   std::shared_ptr<SharedStats> shared_stats_ =
       std::make_shared<SharedStats>();
 
-  mutable std::mutex mu_;
-  bool started_ = false;
-  bool stopping_ = false;
-  int listen_fd_ = -1;
-  uint16_t port_ = 0;
-  std::thread accept_thread_;
+  mutable Mutex mu_{LockRank::kNetServer, "net_server"};
+  bool started_ GUARDED_BY(mu_) = false;
+  bool stopping_ GUARDED_BY(mu_) = false;
+  int listen_fd_ GUARDED_BY(mu_) = -1;
+  uint16_t port_ GUARDED_BY(mu_) = 0;
+  std::thread accept_thread_ GUARDED_BY(mu_);
   /// Live connections and their reader threads, keyed by the
   /// connection's session id. A reader that exits queues its key on
   /// `finished_`; the accept loop (per accepted connection) and Stop()
   /// reap — joining the thread and dropping the Connection reference —
   /// so a long-running server does not accumulate dead readers.
-  std::map<uint64_t, std::shared_ptr<Connection>> connections_;
-  std::map<uint64_t, std::thread> readers_;
-  std::vector<uint64_t> finished_;
+  std::map<uint64_t, std::shared_ptr<Connection>> connections_
+      GUARDED_BY(mu_);
+  std::map<uint64_t, std::thread> readers_ GUARDED_BY(mu_);
+  std::vector<uint64_t> finished_ GUARDED_BY(mu_);
 };
 
 }  // namespace youtopia::net

@@ -8,7 +8,7 @@ namespace youtopia {
 
 void Client::Record(const std::string& sql) {
   if (!options_.record_history) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   history_.push_back(sql);
 }
 
@@ -25,14 +25,14 @@ void Client::OutstandingSet::PruneLocked() {
 }
 
 void Client::OutstandingSet::Track(const EntangledHandle& handle) {
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   PruneLocked();
   handles.push_back(handle);
 }
 
 void Client::OutstandingSet::TrackAll(
     const std::vector<EntangledHandle>& tracked) {
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   PruneLocked();
   for (const EntangledHandle& handle : tracked) {
     if (!handle.Done()) handles.push_back(handle);
@@ -40,7 +40,7 @@ void Client::OutstandingSet::TrackAll(
 }
 
 std::vector<EntangledHandle> Client::OutstandingSet::Snapshot() {
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   handles.erase(
       std::remove_if(handles.begin(), handles.end(),
                      [](const EntangledHandle& h) { return h.Done(); }),
@@ -193,7 +193,7 @@ Status Client::CancelAll() {
 }
 
 std::vector<std::string> Client::History() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return history_;
 }
 

@@ -3,10 +3,10 @@
 
 #include <chrono>
 #include <future>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "server/client_interface.h"
 #include "server/youtopia.h"
 #include "service/executor_service.h"
@@ -188,13 +188,15 @@ class Client : public ClientInterface {
   /// the Client is destroyed touches valid memory and is simply
   /// tracking for nobody.
   struct OutstandingSet {
-    std::mutex mu;
-    std::vector<EntangledHandle> handles;
-    size_t prune_watermark = 16;
+    /// Rank kClient: Snapshot/Prune call EntangledHandle::Done(), which
+    /// takes the handle-state mutex — so this orders before it.
+    Mutex mu{LockRank::kClient, "client_outstanding"};
+    std::vector<EntangledHandle> handles GUARDED_BY(mu);
+    size_t prune_watermark GUARDED_BY(mu) = 16;
 
     /// Drops completed handles once the set crosses the watermark
-    /// (amortized O(1) per Track). Caller holds mu.
-    void PruneLocked();
+    /// (amortized O(1) per Track).
+    void PruneLocked() REQUIRES(mu);
     void Track(const EntangledHandle& handle);
     void TrackAll(const std::vector<EntangledHandle>& handles);
     /// Prunes and returns the still-pending handles.
@@ -212,8 +214,8 @@ class Client : public ClientInterface {
   const uint64_t session_id_ = ExecutorService::AllocateSessionId();
   std::shared_ptr<OutstandingSet> outstanding_ =
       std::make_shared<OutstandingSet>();
-  mutable std::mutex mu_;
-  std::vector<std::string> history_;
+  mutable Mutex mu_{LockRank::kClient, "client_history"};
+  std::vector<std::string> history_ GUARDED_BY(mu_);
 };
 
 }  // namespace youtopia

@@ -5,7 +5,7 @@ namespace youtopia {
 PreparedStatementPtr PlanCache::Lookup(const std::string& key,
                                        uint64_t catalog_version) {
   if (!enabled()) return nullptr;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -29,7 +29,7 @@ PreparedStatementPtr PlanCache::Lookup(const std::string& key,
 void PlanCache::Insert(const std::string& key, PreparedStatementPtr plan,
                        uint64_t catalog_version) {
   if (!enabled() || plan == nullptr) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     // Replace in place (a concurrent preparer of the same statement or
@@ -49,13 +49,13 @@ void PlanCache::Insert(const std::string& key, PreparedStatementPtr plan,
 }
 
 void PlanCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   lru_.clear();
   index_.clear();
 }
 
 PlanCache::Stats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Stats snapshot = stats_;
   snapshot.size = lru_.size();
   snapshot.capacity = capacity_;
@@ -63,7 +63,7 @@ PlanCache::Stats PlanCache::stats() const {
 }
 
 size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return lru_.size();
 }
 

@@ -4,11 +4,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
+
+#include "common/mutex.h"
 
 namespace youtopia {
 
@@ -109,11 +110,14 @@ class PlanCache {
 
   const size_t capacity_;
 
-  mutable std::mutex mu_;
+  /// The prepare path holds no other engine lock around cache calls;
+  /// takes nothing itself.
+  mutable Mutex mu_{LockRank::kPlanCache, "plan_cache"};
   /// Front = most recently used.
-  std::list<Entry> lru_;
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  Stats stats_;
+  std::list<Entry> lru_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace youtopia

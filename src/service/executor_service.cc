@@ -45,10 +45,10 @@ ExecutorService::~ExecutorService() { Shutdown(); }
 
 void ExecutorService::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
-    work_cv_.notify_all();
-    space_cv_.notify_all();
+    work_cv_.NotifyAll();
+    space_cv_.NotifyAll();
   }
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
@@ -58,7 +58,7 @@ void ExecutorService::Shutdown() {
 Status ExecutorService::Submit(StatementTask task) {
   if (config_.num_workers == 0) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (stopping_) return Status::Aborted("executor service shut down");
       ++stats_.submitted;
       // Count the inline execution as in-flight so Drain's contract —
@@ -69,11 +69,13 @@ Status ExecutorService::Submit(StatementTask task) {
           std::max(stats_.peak_queue_depth, stats_.queue_depth);
       ++stats_.executing;
     }
-    RunInline(TaskState{std::move(task)});
+    TaskState inline_state;
+    inline_state.task = std::move(task);
+    RunInline(std::move(inline_state));
     return Status::OK();
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  space_cv_.wait(lock, [this] {
+  MutexLock lock(mu_);
+  space_cv_.Wait(mu_, [this] {
     return stopping_ || stats_.queue_depth < config_.queue_capacity;
   });
   if (stopping_) return Status::Aborted("executor service shut down");
@@ -83,7 +85,7 @@ Status ExecutorService::Submit(StatementTask task) {
 
 Status ExecutorService::TrySubmit(StatementTask task) {
   if (config_.num_workers == 0) return Submit(std::move(task));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (stopping_) return Status::Aborted("executor service shut down");
   if (stats_.queue_depth >= config_.queue_capacity) {
     ++stats_.rejected;
@@ -110,15 +112,15 @@ std::future<Result<RunOutcome>> ExecutorService::SubmitWithFuture(
 }
 
 Status ExecutorService::Drain(std::chrono::milliseconds timeout) {
-  std::unique_lock<std::mutex> lock(mu_);
-  const bool drained = space_cv_.wait_for(
-      lock, timeout, [this] { return stats_.queue_depth == 0; });
+  MutexLock lock(mu_);
+  const bool drained = space_cv_.WaitFor(
+      mu_, timeout, [this] { return stats_.queue_depth == 0; });
   return drained ? Status::OK()
                  : Status::TimedOut("executor queue not drained in time");
 }
 
 ExecutorService::Stats ExecutorService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Stats snapshot = stats_;
   snapshot.uptime_micros = NowMicrosSince(started_at_);
   return snapshot;
@@ -131,11 +133,13 @@ void ExecutorService::EnqueueLocked(StatementTask task) {
       std::max(stats_.peak_queue_depth, stats_.queue_depth);
   const uint64_t session = task.session;
   SessionState& state = sessions_[session];
-  state.tasks.push_back(TaskState{std::move(task)});
+  TaskState queued;
+  queued.task = std::move(task);
+  state.tasks.push_back(std::move(queued));
   if (!state.scheduled && !state.delayed) {
     state.scheduled = true;
     ready_.push_back(session);
-    work_cv_.notify_one();
+    work_cv_.NotifyOne();
   }
 }
 
@@ -164,15 +168,15 @@ void ExecutorService::FinishTaskLocked(uint64_t session) {
     } else {
       state.scheduled = true;
       ready_.push_back(session);
-      work_cv_.notify_one();
+      work_cv_.NotifyOne();
     }
   }
-  space_cv_.notify_all();
-  if (stopping_ && stats_.queue_depth == 0) work_cv_.notify_all();
+  space_cv_.NotifyAll();
+  if (stopping_ && stats_.queue_depth == 0) work_cv_.NotifyAll();
 }
 
 void ExecutorService::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (true) {
     uint64_t session = 0;
     while (true) {
@@ -184,9 +188,9 @@ void ExecutorService::WorkerLoop() {
       }
       if (stopping_ && stats_.queue_depth == 0) return;
       if (!delayed_.empty()) {
-        work_cv_.wait_until(lock, delayed_.top().wake);
+        work_cv_.WaitUntil(mu_, delayed_.top().wake);
       } else {
-        work_cv_.wait(lock);
+        work_cv_.Wait(mu_);
       }
     }
     // The session stays `scheduled` while its front task executes, so
@@ -195,7 +199,7 @@ void ExecutorService::WorkerLoop() {
     TaskState ts = std::move(state.tasks.front());
     state.tasks.pop_front();
     ++stats_.executing;
-    lock.unlock();
+    lock.Unlock();
 
     const auto exec_start = std::chrono::steady_clock::now();
     AttemptOutcome out = Attempt(&ts, LockWait::kTry);
@@ -225,7 +229,7 @@ void ExecutorService::WorkerLoop() {
                                ts.conflict_attempts),
             std::max(remaining, std::chrono::milliseconds(1)));
         ++ts.conflict_attempts;
-        lock.lock();
+        lock.Lock();
         ++stats_.lock_requeues;
         --stats_.executing;
         stats_.busy_micros += exec_micros;
@@ -238,7 +242,7 @@ void ExecutorService::WorkerLoop() {
         delayed_.push(DelayedEntry{now + pause, session});
         // The new wake time may be earlier than what sleeping workers
         // are waiting for.
-        work_cv_.notify_one();
+        work_cv_.NotifyOne();
         continue;
       }
     }
@@ -246,7 +250,7 @@ void ExecutorService::WorkerLoop() {
     if (out.kind == AttemptOutcome::Kind::kFinished && ts.task.on_done) {
       ts.task.on_done(std::move(*out.result));
     }
-    lock.lock();
+    lock.Lock();
     if (out.kind == AttemptOutcome::Kind::kParked) ++stats_.entangled_parked;
     --stats_.executing;
     stats_.busy_micros += exec_micros;
@@ -379,13 +383,13 @@ void ExecutorService::RunInline(TaskState ts) {
     AttemptOutcome out = Attempt(&ts, LockWait::kBlock);
     const uint64_t exec_micros = NowMicrosSince(exec_start);
     if (out.kind == AttemptOutcome::Kind::kParked) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.executed;
       ++stats_.entangled_parked;
       --stats_.queue_depth;
       --stats_.executing;
       stats_.busy_micros += exec_micros;
-      space_cv_.notify_all();
+      space_cv_.NotifyAll();
       return;
     }
     Result<RunOutcome>& result = *out.result;
@@ -416,19 +420,19 @@ void ExecutorService::RunInline(TaskState ts) {
             remaining));
         ++ts.conflict_attempts;
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(mu_);
           stats_.busy_micros += exec_micros;
         }
         continue;
       }
     }
     if (ts.task.on_done) ts.task.on_done(std::move(result));
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.executed;
     --stats_.queue_depth;
     --stats_.executing;
     stats_.busy_micros += exec_micros;
-    space_cv_.notify_all();
+    space_cv_.NotifyAll();
     return;
   }
 }

@@ -2,13 +2,11 @@
 #define YOUTOPIA_SERVICE_EXECUTOR_SERVICE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <queue>
 #include <string>
@@ -16,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "server/youtopia.h"
 #include "service/executor_config.h"
@@ -241,26 +240,30 @@ class ExecutorService {
 
   void WorkerLoop();
 
-  /// Admits `task` into its session queue. Caller holds mu_.
-  void EnqueueLocked(StatementTask task);
+  /// Admits `task` into its session queue.
+  void EnqueueLocked(StatementTask task) REQUIRES(mu_);
 
   /// Moves sessions whose backoff gate has passed onto the ready list.
-  /// Caller holds mu_.
-  void PromoteDueLocked(std::chrono::steady_clock::time_point now);
+  void PromoteDueLocked(std::chrono::steady_clock::time_point now)
+      REQUIRES(mu_);
 
   /// Books completion of the task a worker just finished and schedules
-  /// the session's next task if any. Caller holds mu_.
-  void FinishTaskLocked(uint64_t session);
+  /// the session's next task if any.
+  void FinishTaskLocked(uint64_t session) REQUIRES(mu_);
 
   Youtopia* db_;
   const ExecutorServiceConfig config_;
   const std::chrono::steady_clock::time_point started_at_;
 
-  mutable std::mutex mu_;
+  /// Rank kExecutorService: held only around queue bookkeeping — every
+  /// Attempt/RunInline execution pass runs with mu_ released, so the
+  /// entire engine lock order (coordinator, WAL, storage) nests inside
+  /// tasks without ever seeing this mutex held.
+  mutable Mutex mu_{LockRank::kExecutorService, "executor_service"};
   /// Wakes workers (new ready session, earlier backoff wake, shutdown).
-  std::condition_variable work_cv_;
+  CondVar work_cv_;
   /// Wakes producers blocked on capacity and Drain waiters.
-  std::condition_variable space_cv_;
+  CondVar space_cv_;
 
   /// Per-session FIFO queue. A session with queued tasks is in exactly
   /// one of three states: on `ready_` or executing (`scheduled`), or
@@ -271,8 +274,8 @@ class ExecutorService {
     bool scheduled = false;
     bool delayed = false;
   };
-  std::map<uint64_t, SessionState> sessions_;
-  std::deque<uint64_t> ready_;
+  std::map<uint64_t, SessionState> sessions_ GUARDED_BY(mu_);
+  std::deque<uint64_t> ready_ GUARDED_BY(mu_);
   /// Min-heap of backoff wake times for delayed sessions.
   struct DelayedEntry {
     std::chrono::steady_clock::time_point wake;
@@ -283,10 +286,10 @@ class ExecutorService {
   };
   std::priority_queue<DelayedEntry, std::vector<DelayedEntry>,
                       std::greater<DelayedEntry>>
-      delayed_;
+      delayed_ GUARDED_BY(mu_);
 
-  bool stopping_ = false;
-  Stats stats_;
+  bool stopping_ GUARDED_BY(mu_) = false;
+  Stats stats_ GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
 };
 

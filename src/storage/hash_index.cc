@@ -6,12 +6,12 @@
 namespace youtopia {
 
 void HashIndex::Insert(const Value& key, RowId rid) {
-  std::unique_lock lock(latch_);
+  WriterMutexLock lock(latch_);
   postings_[key].push_back(rid);
 }
 
 void HashIndex::Erase(const Value& key, RowId rid) {
-  std::unique_lock lock(latch_);
+  WriterMutexLock lock(latch_);
   auto it = postings_.find(key);
   if (it == postings_.end()) return;
   auto& rids = it->second;
@@ -20,14 +20,14 @@ void HashIndex::Erase(const Value& key, RowId rid) {
 }
 
 std::vector<RowId> HashIndex::Lookup(const Value& key) const {
-  std::shared_lock lock(latch_);
+  ReaderMutexLock lock(latch_);
   auto it = postings_.find(key);
   if (it == postings_.end()) return {};
   return it->second;
 }
 
 size_t HashIndex::size() const {
-  std::shared_lock lock(latch_);
+  ReaderMutexLock lock(latch_);
   size_t n = 0;
   for (const auto& [key, rids] : postings_) n += rids.size();
   return n;

@@ -1,10 +1,10 @@
 #ifndef YOUTOPIA_STORAGE_HASH_INDEX_H_
 #define YOUTOPIA_STORAGE_HASH_INDEX_H_
 
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "storage/heap_table.h"
 #include "types/value.h"
 
@@ -35,8 +35,11 @@ class HashIndex {
 
  private:
   size_t column_index_;
-  mutable std::shared_mutex latch_;
-  std::unordered_map<Value, std::vector<RowId>, ValueHash> postings_;
+  /// Maintained under the engine's kStorageTables latch (or alone);
+  /// takes nothing itself.
+  mutable SharedMutex latch_{LockRank::kHashIndex, "hash_index"};
+  std::unordered_map<Value, std::vector<RowId>, ValueHash> postings_
+      GUARDED_BY(latch_);
 };
 
 }  // namespace youtopia

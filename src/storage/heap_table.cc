@@ -1,20 +1,19 @@
 #include "storage/heap_table.h"
 
-#include <mutex>
 
 namespace youtopia {
 
 Result<RowId> HeapTable::Insert(const Tuple& tuple) {
   auto validated = tuple.ValidateAgainst(schema_);
   if (!validated.ok()) return validated.status();
-  std::unique_lock lock(latch_);
+  WriterMutexLock lock(latch_);
   slots_.emplace_back(validated.TakeValue());
   ++live_count_;
   return static_cast<RowId>(slots_.size() - 1);
 }
 
 Result<Tuple> HeapTable::Get(RowId rid) const {
-  std::shared_lock lock(latch_);
+  ReaderMutexLock lock(latch_);
   if (rid >= slots_.size() || !slots_[rid].has_value()) {
     return Status::NotFound("no row " + std::to_string(rid) + " in " + name_);
   }
@@ -22,12 +21,12 @@ Result<Tuple> HeapTable::Get(RowId rid) const {
 }
 
 bool HeapTable::Contains(RowId rid) const {
-  std::shared_lock lock(latch_);
+  ReaderMutexLock lock(latch_);
   return rid < slots_.size() && slots_[rid].has_value();
 }
 
 Status HeapTable::Delete(RowId rid) {
-  std::unique_lock lock(latch_);
+  WriterMutexLock lock(latch_);
   if (rid >= slots_.size() || !slots_[rid].has_value()) {
     return Status::NotFound("no row " + std::to_string(rid) + " in " + name_);
   }
@@ -39,7 +38,7 @@ Status HeapTable::Delete(RowId rid) {
 Status HeapTable::Update(RowId rid, const Tuple& tuple) {
   auto validated = tuple.ValidateAgainst(schema_);
   if (!validated.ok()) return validated.status();
-  std::unique_lock lock(latch_);
+  WriterMutexLock lock(latch_);
   if (rid >= slots_.size() || !slots_[rid].has_value()) {
     return Status::NotFound("no row " + std::to_string(rid) + " in " + name_);
   }
@@ -50,7 +49,7 @@ Status HeapTable::Update(RowId rid, const Tuple& tuple) {
 Status HeapTable::Restore(RowId rid, const Tuple& tuple) {
   auto validated = tuple.ValidateAgainst(schema_);
   if (!validated.ok()) return validated.status();
-  std::unique_lock lock(latch_);
+  WriterMutexLock lock(latch_);
   if (rid >= slots_.size()) {
     return Status::OutOfRange("slot " + std::to_string(rid) +
                               " was never allocated in " + name_);
@@ -65,18 +64,18 @@ Status HeapTable::Restore(RowId rid, const Tuple& tuple) {
 }
 
 size_t HeapTable::size() const {
-  std::shared_lock lock(latch_);
+  ReaderMutexLock lock(latch_);
   return live_count_;
 }
 
 size_t HeapTable::slot_count() const {
-  std::shared_lock lock(latch_);
+  ReaderMutexLock lock(latch_);
   return slots_.size();
 }
 
 Status HeapTable::LoadSnapshot(
     size_t slot_count, const std::vector<std::pair<RowId, Tuple>>& rows) {
-  std::unique_lock lock(latch_);
+  WriterMutexLock lock(latch_);
   if (!slots_.empty()) {
     return Status::Internal("LoadSnapshot into non-empty table " + name_);
   }
@@ -99,7 +98,7 @@ Status HeapTable::LoadSnapshot(
 }
 
 std::vector<std::pair<RowId, Tuple>> HeapTable::Scan() const {
-  std::shared_lock lock(latch_);
+  ReaderMutexLock lock(latch_);
   std::vector<std::pair<RowId, Tuple>> out;
   out.reserve(live_count_);
   for (size_t i = 0; i < slots_.size(); ++i) {
@@ -109,7 +108,7 @@ std::vector<std::pair<RowId, Tuple>> HeapTable::Scan() const {
 }
 
 void HeapTable::Clear() {
-  std::unique_lock lock(latch_);
+  WriterMutexLock lock(latch_);
   for (auto& slot : slots_) slot.reset();
   live_count_ = 0;
 }

@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "types/schema.h"
 #include "types/tuple.h"
@@ -78,9 +78,11 @@ class HeapTable {
  private:
   std::string name_;
   Schema schema_;
-  mutable std::shared_mutex latch_;
-  std::vector<std::optional<Tuple>> slots_;
-  size_t live_count_ = 0;
+  /// Row-level latch, acquired under the engine's kStorageTables
+  /// latch (or alone); takes nothing itself.
+  mutable SharedMutex latch_{LockRank::kHeapTable, "heap_table"};
+  std::vector<std::optional<Tuple>> slots_ GUARDED_BY(latch_);
+  size_t live_count_ GUARDED_BY(latch_) = 0;
 };
 
 }  // namespace youtopia

@@ -7,7 +7,7 @@ namespace youtopia {
 Status StorageEngine::CreateTable(const std::string& name, Schema schema) {
   auto id = catalog_.CreateTable(name, schema);
   if (!id.ok()) return id.status();
-  std::unique_lock<std::shared_mutex> lock(tables_mu_);
+  WriterMutexLock lock(tables_mu_);
   TableData data;
   data.heap = std::make_unique<HeapTable>(name, std::move(schema));
   tables_.emplace(ToLowerAscii(name), std::move(data));
@@ -16,7 +16,7 @@ Status StorageEngine::CreateTable(const std::string& name, Schema schema) {
 
 Status StorageEngine::DropTable(const std::string& name) {
   YOUTOPIA_RETURN_IF_ERROR(catalog_.DropTable(name));
-  std::unique_lock<std::shared_mutex> lock(tables_mu_);
+  WriterMutexLock lock(tables_mu_);
   tables_.erase(ToLowerAscii(name));
   return Status::OK();
 }
@@ -46,7 +46,7 @@ Status StorageEngine::CreateIndex(const std::string& table,
   auto col = info->schema.ColumnIndex(column);
   if (!col.ok()) return col.status();
 
-  std::unique_lock<std::shared_mutex> lock(tables_mu_);
+  WriterMutexLock lock(tables_mu_);
   auto td = FindTable(table);
   if (!td.ok()) return td.status();
   TableData* data = td.value();
@@ -65,7 +65,7 @@ Status StorageEngine::CreateIndex(const std::string& table,
 
 Result<RowId> StorageEngine::Insert(const std::string& table,
                                     const Tuple& tuple) {
-  std::unique_lock<std::shared_mutex> lock(tables_mu_);
+  WriterMutexLock lock(tables_mu_);
   auto td = FindTable(table);
   if (!td.ok()) return td.status();
   TableData* data = td.value();
@@ -81,7 +81,7 @@ Result<RowId> StorageEngine::Insert(const std::string& table,
 }
 
 Status StorageEngine::Delete(const std::string& table, RowId rid) {
-  std::unique_lock<std::shared_mutex> lock(tables_mu_);
+  WriterMutexLock lock(tables_mu_);
   auto td = FindTable(table);
   if (!td.ok()) return td.status();
   TableData* data = td.value();
@@ -96,7 +96,7 @@ Status StorageEngine::Delete(const std::string& table, RowId rid) {
 
 Status StorageEngine::Update(const std::string& table, RowId rid,
                              const Tuple& tuple) {
-  std::unique_lock<std::shared_mutex> lock(tables_mu_);
+  WriterMutexLock lock(tables_mu_);
   auto td = FindTable(table);
   if (!td.ok()) return td.status();
   TableData* data = td.value();
@@ -114,7 +114,7 @@ Status StorageEngine::Update(const std::string& table, RowId rid,
 
 Status StorageEngine::Restore(const std::string& table, RowId rid,
                               const Tuple& tuple) {
-  std::unique_lock<std::shared_mutex> lock(tables_mu_);
+  WriterMutexLock lock(tables_mu_);
   auto td = FindTable(table);
   if (!td.ok()) return td.status();
   TableData* data = td.value();
@@ -128,7 +128,7 @@ Status StorageEngine::Restore(const std::string& table, RowId rid,
 }
 
 Result<Tuple> StorageEngine::Get(const std::string& table, RowId rid) const {
-  std::shared_lock<std::shared_mutex> lock(tables_mu_);
+  ReaderMutexLock lock(tables_mu_);
   auto td = FindTable(table);
   if (!td.ok()) return td.status();
   return td.value()->heap->Get(rid);
@@ -136,7 +136,7 @@ Result<Tuple> StorageEngine::Get(const std::string& table, RowId rid) const {
 
 Result<std::vector<std::pair<RowId, Tuple>>> StorageEngine::Scan(
     const std::string& table) const {
-  std::shared_lock<std::shared_mutex> lock(tables_mu_);
+  ReaderMutexLock lock(tables_mu_);
   auto td = FindTable(table);
   if (!td.ok()) return td.status();
   return td.value()->heap->Scan();
@@ -149,7 +149,7 @@ Result<std::vector<RowId>> StorageEngine::IndexLookup(
   if (!info.ok()) return info.status();
   auto col = info->schema.ColumnIndex(column);
   if (!col.ok()) return col.status();
-  std::shared_lock<std::shared_mutex> lock(tables_mu_);
+  ReaderMutexLock lock(tables_mu_);
   auto td = FindTable(table);
   if (!td.ok()) return td.status();
   auto it = td.value()->indexes.find(col.value());
@@ -165,21 +165,21 @@ bool StorageEngine::HasIndex(const std::string& table,
   if (!info.ok()) return false;
   auto col = info->schema.FindColumn(column);
   if (!col) return false;
-  std::shared_lock<std::shared_mutex> lock(tables_mu_);
+  ReaderMutexLock lock(tables_mu_);
   auto td = FindTable(table);
   if (!td.ok()) return false;
   return td.value()->indexes.count(*col) > 0;
 }
 
 Result<size_t> StorageEngine::TableSize(const std::string& table) const {
-  std::shared_lock<std::shared_mutex> lock(tables_mu_);
+  ReaderMutexLock lock(tables_mu_);
   auto td = FindTable(table);
   if (!td.ok()) return td.status();
   return td.value()->heap->size();
 }
 
 Result<size_t> StorageEngine::TableSlotCount(const std::string& table) const {
-  std::shared_lock<std::shared_mutex> lock(tables_mu_);
+  ReaderMutexLock lock(tables_mu_);
   auto td = FindTable(table);
   if (!td.ok()) return td.status();
   return td.value()->heap->slot_count();
@@ -188,7 +188,7 @@ Result<size_t> StorageEngine::TableSlotCount(const std::string& table) const {
 Status StorageEngine::LoadTableSnapshot(
     const std::string& table, size_t slot_count,
     const std::vector<std::pair<RowId, Tuple>>& rows) {
-  std::unique_lock<std::shared_mutex> lock(tables_mu_);
+  WriterMutexLock lock(tables_mu_);
   auto td = FindTable(table);
   if (!td.ok()) return td.status();
   TableData* data = td.value();

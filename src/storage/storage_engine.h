@@ -2,12 +2,12 @@
 #define YOUTOPIA_STORAGE_STORAGE_ENGINE_H_
 
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "storage/hash_index.h"
 #include "storage/heap_table.h"
@@ -86,8 +86,10 @@ class StorageEngine {
   };
 
   /// Returns the TableData for a (lowercased) name under tables_mu_.
-  Result<TableData*> FindTable(const std::string& name);
-  Result<const TableData*> FindTable(const std::string& name) const;
+  Result<TableData*> FindTable(const std::string& name)
+      REQUIRES_SHARED(tables_mu_);
+  Result<const TableData*> FindTable(const std::string& name) const
+      REQUIRES_SHARED(tables_mu_);
 
   Catalog catalog_;
   /// Reader/writer latch over the table map and per-table index maps:
@@ -97,8 +99,9 @@ class StorageEngine {
   /// exclusive. Row-level consistency within one heap is additionally
   /// guarded by HeapTable's own latch; this latch is what keeps the
   /// index maps consistent with the heaps.
-  mutable std::shared_mutex tables_mu_;
-  std::unordered_map<std::string, TableData> tables_;
+  mutable SharedMutex tables_mu_{LockRank::kStorageTables,
+                                 "storage_tables"};
+  std::unordered_map<std::string, TableData> tables_ GUARDED_BY(tables_mu_);
 };
 
 }  // namespace youtopia

@@ -6,7 +6,7 @@ void NotificationBus::Publish(const std::string& user,
                               const std::string& message) {
   std::vector<Callback> callbacks;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     inbox_[user].push_back(message);
     ++total_;
     callbacks = callbacks_;
@@ -17,19 +17,19 @@ void NotificationBus::Publish(const std::string& user,
 
 std::vector<std::string> NotificationBus::MessagesFor(
     const std::string& user) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = inbox_.find(user);
   if (it == inbox_.end()) return {};
   return it->second;
 }
 
 size_t NotificationBus::total_messages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_;
 }
 
 void NotificationBus::Subscribe(Callback callback) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   callbacks_.push_back(std::move(callback));
 }
 

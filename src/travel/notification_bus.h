@@ -3,9 +3,10 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace youtopia::travel {
 
@@ -34,10 +35,13 @@ class NotificationBus {
   void Subscribe(Callback callback);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::vector<std::string>> inbox_;
-  std::vector<Callback> callbacks_;
-  size_t total_ = 0;
+  /// Published from completion callbacks with no engine locks held;
+  /// subscriber callbacks run after this is released (so they may
+  /// publish or read back).
+  mutable Mutex mu_{LockRank::kNotificationBus, "notification_bus"};
+  std::map<std::string, std::vector<std::string>> inbox_ GUARDED_BY(mu_);
+  std::vector<Callback> callbacks_ GUARDED_BY(mu_);
+  size_t total_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace youtopia::travel

@@ -3,12 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/string_util.h"
 
@@ -112,12 +111,17 @@ namespace {
 /// completes after the workload returns (the caller keeps using the
 /// database) touches valid memory and is simply ignored.
 struct CompletionTracker {
-  std::mutex mu;
-  std::condition_variable cv;
-  size_t satisfied = 0;
-  size_t failed = 0;  ///< Terminal but not OK (cancelled/expired).
-  Histogram latency;
-  bool closed = false;  ///< Report taken; ignore late completions.
+  /// Rank kWorkloadDriver: accounting calls handle accessors (rank
+  /// kHandleState) and the latency histogram under mu, both of which
+  /// rank far above it.
+  Mutex mu{LockRank::kWorkloadDriver, "workload_tracker"};
+  CondVar cv;
+  size_t satisfied GUARDED_BY(mu) = 0;
+  /// Terminal but not OK (cancelled/expired).
+  size_t failed GUARDED_BY(mu) = 0;
+  Histogram latency GUARDED_BY(mu);
+  /// Report taken; ignore late completions.
+  bool closed GUARDED_BY(mu) = false;
 };
 
 /// The driving core shared by both public overloads: submits `planned`
@@ -139,7 +143,7 @@ Result<WorkloadReport> DriveWorkload(TravelService* service, Youtopia* db,
   // failure. One function so the two modes can never drift.
   auto account = [tracker](std::chrono::steady_clock::time_point submitted_at,
                            const EntangledHandle* done) {
-    std::lock_guard<std::mutex> lock(tracker->mu);
+    MutexLock lock(tracker->mu);
     if (tracker->closed) return;
     const Status outcome =
         done != nullptr ? done->Outcome().value_or(Status::OK())
@@ -156,7 +160,7 @@ Result<WorkloadReport> DriveWorkload(TravelService* service, Youtopia* db,
     } else {
       ++tracker->failed;
     }
-    tracker->cv.notify_all();
+    tracker->cv.NotifyAll();
   };
 
   ExecutorService* exec = db != nullptr ? &db->executor_service() : nullptr;
@@ -225,8 +229,8 @@ Result<WorkloadReport> DriveWorkload(TravelService* service, Youtopia* db,
   // every submission or the deadline passes.
   const size_t target = planned.size() - errors.load();
   {
-    std::unique_lock<std::mutex> lock(tracker->mu);
-    tracker->cv.wait_for(lock, config.deadline, [&] {
+    MutexLock lock(tracker->mu);
+    tracker->cv.WaitFor(tracker->mu, config.deadline, [&] {
       return tracker->satisfied + tracker->failed >= target;
     });
     tracker->closed = true;

@@ -21,17 +21,15 @@ bool LockManager::Compatible(const TableLock& state, TxnId txn,
 Status LockManager::Acquire(TxnId txn, const std::string& table,
                             LockMode mode,
                             std::chrono::milliseconds timeout) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   // Table names are case-insensitive everywhere in the engine; the lock
   // key must agree or two spellings would not exclude each other.
   TableLock& state = locks_[ToLowerAscii(table)];
-  while (!Compatible(state, txn, mode)) {
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
-        !Compatible(state, txn, mode)) {
-      return Status::TimedOut("lock wait timeout on table " + table +
-                              " (possible deadlock)");
-    }
+  if (!cv_.WaitUntil(mu_, deadline,
+                     [&] { return Compatible(state, txn, mode); })) {
+    return Status::TimedOut("lock wait timeout on table " + table +
+                            " (possible deadlock)");
   }
   if (mode == LockMode::kShared) {
     if (state.exclusive_holder != txn) state.shared_holders.insert(txn);
@@ -44,7 +42,7 @@ Status LockManager::Acquire(TxnId txn, const std::string& table,
 
 Status LockManager::TryAcquire(TxnId txn, const std::string& table,
                                LockMode mode) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   TableLock& state = locks_[ToLowerAscii(table)];
   if (!Compatible(state, txn, mode)) {
     return Status::TimedOut("lock conflict on table " + table);
@@ -60,7 +58,7 @@ Status LockManager::TryAcquire(TxnId txn, const std::string& table,
 
 void LockManager::ReleaseAll(TxnId txn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Entries are never erased: waiters blocked in Acquire hold
     // references into the map. The map is bounded by the number of
     // distinct table names, so this does not grow without bound.
@@ -69,12 +67,12 @@ void LockManager::ReleaseAll(TxnId txn) {
       if (state.exclusive_holder == txn) state.exclusive_holder = 0;
     }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 bool LockManager::Holds(TxnId txn, const std::string& table,
                         LockMode mode) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = locks_.find(ToLowerAscii(table));
   if (it == locks_.end()) return false;
   const TableLock& state = it->second;

@@ -2,13 +2,12 @@
 #define YOUTOPIA_TXN_LOCK_MANAGER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace youtopia {
@@ -61,9 +60,9 @@ class LockManager {
   /// True if `txn` may be granted `mode` on `state` right now.
   static bool Compatible(const TableLock& state, TxnId txn, LockMode mode);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<std::string, TableLock> locks_;
+  mutable Mutex mu_{LockRank::kLockManager, "lock_manager"};
+  CondVar cv_;
+  std::map<std::string, TableLock> locks_ GUARDED_BY(mu_);
 };
 
 }  // namespace youtopia

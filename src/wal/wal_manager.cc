@@ -213,7 +213,7 @@ Status WalManager::OpenSegmentLocked(uint64_t seq) {
 }
 
 Status WalManager::OpenForAppend() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Truncate the torn tail, then drop any segments past it — they are
   // unreachable once the tail is the logical end of the log.
   std::error_code ec;
@@ -333,13 +333,13 @@ Result<Lsn> WalManager::AppendLocked(const WalRecord& record) {
 }
 
 Result<Lsn> WalManager::Append(const WalRecord& record) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return AppendLocked(record);
 }
 
 Result<Lsn> WalManager::AppendSerialized(
     const std::function<Status()>& action, const WalRecord& record) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (crashed()) return CrashedError();
   if (!io_error_.ok()) return io_error_;
   YOUTOPIA_RETURN_IF_ERROR(action());
@@ -347,14 +347,14 @@ Result<Lsn> WalManager::AppendSerialized(
 }
 
 Status WalManager::Sync(Lsn lsn) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   syncs_.fetch_add(1, std::memory_order_relaxed);
   for (;;) {
     if (crashed()) return CrashedError();
     if (!io_error_.ok()) return io_error_;
     if (durable_lsn_ >= lsn) return Status::OK();
     if (flush_in_progress_) {
-      cv_.wait(lock);
+      cv_.Wait(mu_);
       continue;
     }
     // Leader: take everything buffered and flush it with one fsync.
@@ -365,18 +365,18 @@ Status WalManager::Sync(Lsn lsn) {
     pending_records_ = 0;
     const Lsn batch_lsn = appended_lsn_;
     auto hook = crash_hook_;
-    lock.unlock();
+    lock.Unlock();
     // Segment/fd state is safe outside mu_: flush_in_progress_ makes
     // this thread the only flusher.
     Status s = FlushBatch(batch, batch_records, hook);
-    lock.lock();
+    lock.Lock();
     flush_in_progress_ = false;
     if (s.ok()) {
       durable_lsn_ = std::max(durable_lsn_, batch_lsn);
     } else if (!crashed()) {
       io_error_ = s;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     if (!s.ok()) return s;
   }
 }
@@ -384,7 +384,7 @@ Status WalManager::Sync(Lsn lsn) {
 Status WalManager::SyncAll() {
   Lsn target = 0;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     target = appended_lsn_;
   }
   return Sync(target);
@@ -396,8 +396,8 @@ bool WalManager::ShouldCheckpoint() const {
 }
 
 Status WalManager::WriteCheckpoint(CheckpointState state) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return !flush_in_progress_; });
+  MutexLock lock(mu_);
+  cv_.Wait(mu_, [&] { return !flush_in_progress_; });
   if (crashed()) return CrashedError();
   if (!io_error_.ok()) return io_error_;
   if (!open_for_append_) {
@@ -473,7 +473,7 @@ Status WalManager::WriteCheckpoint(CheckpointState state) {
   // A completed checkpoint makes every appended record durable
   // transitively (its effects are in the snapshot).
   durable_lsn_ = appended_lsn_;
-  cv_.notify_all();
+  cv_.NotifyAll();
   return Status::OK();
 }
 
@@ -495,15 +495,15 @@ WalStats WalManager::stats() const {
 }
 
 void WalManager::SimulateCrash() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   pending_.clear();
   pending_records_ = 0;
   crashed_.store(true, std::memory_order_release);
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void WalManager::SetCrashHook(std::function<bool(CrashPoint)> hook) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   crash_hook_ = std::move(hook);
 }
 

@@ -2,15 +2,14 @@
 #define YOUTOPIA_WAL_WAL_MANAGER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "wal/wal_record.h"
 
@@ -156,21 +155,26 @@ class WalManager {
   /// Owns only fd/segment state (callers update durable_lsn_ under mu_).
   Status FlushBatch(const std::string& batch, size_t batch_records,
                     const std::function<bool(CrashPoint)>& hook);
-  Result<Lsn> AppendLocked(const WalRecord& record);
+  Result<Lsn> AppendLocked(const WalRecord& record) REQUIRES(mu_);
   Status CrashedError() const;
   static std::string EncodeFrame(const WalRecord& record);
 
   const WalConfig config_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::string pending_;        ///< Encoded frames not yet written.
-  size_t pending_records_ = 0;
-  Lsn appended_lsn_ = 0;
-  Lsn durable_lsn_ = 0;
-  bool flush_in_progress_ = false;
-  Status io_error_ = Status::OK();
-  std::function<bool(CrashPoint)> crash_hook_;
+  /// Rank kWal: AppendSerialized runs DDL actions (catalog + storage
+  /// mutations) while holding mu_, so kWal orders BEFORE the storage
+  /// and catalog latches. The 2PL lock manager's internal mutex never
+  /// nests with mu_ in either direction — LockManager calls return
+  /// before any WAL call and vice versa.
+  mutable Mutex mu_{LockRank::kWal, "wal"};
+  CondVar cv_;
+  std::string pending_ GUARDED_BY(mu_);  ///< Encoded frames not yet written.
+  size_t pending_records_ GUARDED_BY(mu_) = 0;
+  Lsn appended_lsn_ GUARDED_BY(mu_) = 0;
+  Lsn durable_lsn_ GUARDED_BY(mu_) = 0;
+  bool flush_in_progress_ GUARDED_BY(mu_) = false;
+  Status io_error_ GUARDED_BY(mu_) = Status::OK();
+  std::function<bool(CrashPoint)> crash_hook_ GUARDED_BY(mu_);
   std::atomic<bool> crashed_{false};
 
   // Segment file state. Mutated only by the single active flusher

@@ -273,7 +273,9 @@ TEST_P(OffsetChainProperty, ClosedSeatLadderIsConsistent) {
     ASSERT_TRUE(h.ok()) << h.status();
     handles.push_back(h.TakeValue());
     // Nobody completes until the cycle closes.
-    if (i + 1 < n) EXPECT_FALSE(handles.back().Done());
+    if (i + 1 < n) {
+      EXPECT_FALSE(handles.back().Done());
+    }
   }
   for (auto& h : handles) ASSERT_TRUE(h.Done());
   for (int i = 0; i + 1 < n; ++i) {

@@ -1,0 +1,66 @@
+// Regression coverage for server lifecycle races: port() used to read
+// port_ without the server mutex while Start() wrote it from another
+// thread. The read is now guarded; this test drives concurrent readers
+// through Start so TSan (and the lock-rank validator) watch the path.
+
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+
+namespace youtopia::net {
+namespace {
+
+TEST(ServerLifecycleTest, PortIsReadableWhileStarting) {
+  Youtopia db;
+  YoutopiaServer server(&db);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint16_t> last_seen{0};
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 4; ++i) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Either 0 (not yet bound) or the final bound port — never a
+        // torn value, and never a lock-order violation.
+        last_seen.store(server.port(), std::memory_order_relaxed);
+      }
+    });
+  }
+
+  Status started = server.Start();
+  ASSERT_TRUE(started.ok()) << started;
+  const uint16_t bound = server.port();
+  EXPECT_NE(bound, 0);
+
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+  const uint16_t seen = last_seen.load(std::memory_order_relaxed);
+  EXPECT_TRUE(seen == 0 || seen == bound) << seen;
+
+  server.Stop();
+  // port() stays readable (and stable) after Stop.
+  EXPECT_EQ(server.port(), bound);
+}
+
+TEST(ServerLifecycleTest, StartStopStartRebindsCleanly) {
+  Youtopia db;
+  YoutopiaServer server(&db);
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t first = server.port();
+  EXPECT_NE(first, 0);
+  server.Stop();
+
+  YoutopiaServer second(&db);
+  ASSERT_TRUE(second.Start().ok());
+  EXPECT_NE(second.port(), 0);
+  second.Stop();
+}
+
+}  // namespace
+}  // namespace youtopia::net
