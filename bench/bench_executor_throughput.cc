@@ -63,9 +63,13 @@ std::unique_ptr<Youtopia> MakeTravelDb(size_t workers) {
 
 /// Runs one configuration: `sessions` logical sessions, each submitting
 /// `requests` bookings (one entangled pair statement per member plus
-/// kBrowsePerBooking browse statements). Returns throughput over all
+/// kBrowsePerBooking browse statements). With `browse_only` the booking
+/// submissions are dropped — pure read traffic, the shape the MVCC
+/// snapshot path targets — so the report separates "mixed mix" from
+/// "read-heavy" throughput in one JSON. Returns throughput over all
 /// statements.
-SweepResult RunSweep(size_t workers, int sessions, int requests) {
+SweepResult RunSweep(size_t workers, int sessions, int requests,
+                     bool browse_only = false) {
   auto db = MakeTravelDb(workers);
   ExecutorService& exec = db->executor_service();
 
@@ -97,6 +101,7 @@ SweepResult RunSweep(size_t workers, int sessions, int requests) {
           if (!exec.Submit(std::move(browse)).ok()) std::abort();
           ++tasks;
         }
+        if (browse_only) continue;
         travel::TravelRequest request;
         request.user = members[m];
         request.flight_companions.push_back(members[1 - m]);
@@ -158,6 +163,24 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Browse-only variant: the same sweep shape restricted to pure read
+  // traffic (no bookings), at the widest session count. This is the leg
+  // the MVCC snapshot path serves lock-free; reporting it beside the
+  // mixed mix keeps the read-heavy trajectory visible in the same JSON
+  // the CI gate consumes. Appended AFTER "results" as its own object so
+  // the existing results[i] index paths in the baseline manifest keep
+  // their meaning.
+  std::vector<SweepResult> browse_results;
+  std::printf("-- browse-only (read-heavy) variant --\n");
+  for (size_t workers : {size_t{1}, size_t{4}}) {
+    SweepResult r = RunSweep(workers, session_sweep[2], requests,
+                             /*browse_only=*/true);
+    std::printf("%-8zu %-9d %-8zu %-10.1f %-12.1f %-9zu %.1f%%\n", r.workers,
+                r.sessions, r.tasks, r.wall_ms, r.tasks_per_sec,
+                r.lock_requeues, r.utilization * 100.0);
+    browse_results.push_back(r);
+  }
+
   // Acceptance metric: multi-session throughput at 4 workers vs 1, at
   // the widest session count.
   double one_worker = 0.0, four_workers = 0.0;
@@ -197,6 +220,17 @@ int main(int argc, char** argv) {
                  r.workers, r.sessions, r.tasks, r.wall_ms, r.tasks_per_sec,
                  r.matched, r.lock_requeues, r.peak_queue_depth,
                  r.utilization, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"browse_only\": [\n");
+  for (size_t i = 0; i < browse_results.size(); ++i) {
+    const SweepResult& r = browse_results[i];
+    std::fprintf(out,
+                 "    {\"workers\": %zu, \"sessions\": %d, \"tasks\": %zu, "
+                 "\"wall_ms\": %.1f, \"tasks_per_sec\": %.1f, "
+                 "\"lock_requeues\": %zu, \"utilization\": %.3f}%s\n",
+                 r.workers, r.sessions, r.tasks, r.wall_ms, r.tasks_per_sec,
+                 r.lock_requeues, r.utilization,
+                 i + 1 < browse_results.size() ? "," : "");
   }
   std::fprintf(out,
                "  ],\n  \"hardware_concurrency\": %u,\n"

@@ -19,9 +19,13 @@ Result<TableId> Catalog::CreateTable(const std::string& name, Schema schema) {
   info.id = next_id_++;
   info.name = name;
   info.schema = std::move(schema);
-  tables_.emplace(key, info);
   BumpVersion();
-  return info.id;
+  // Stamp with the freshly bumped global value: monotone even across a
+  // drop/recreate of the same name, so stale plans can never match.
+  info.version = version();
+  const TableId id = info.id;
+  tables_.emplace(key, std::move(info));
+  return id;
 }
 
 Status Catalog::DropTable(const std::string& name) {
@@ -72,7 +76,21 @@ Status Catalog::AddIndexedColumn(const std::string& table,
   }
   cols.push_back(column_index);
   BumpVersion();
+  it->second.version = version();
   return Status::OK();
+}
+
+uint64_t Catalog::TableVersion(const std::string& name) const {
+  MutexLock lock(mu_);
+  auto it = tables_.find(ToLowerAscii(name));
+  return it == tables_.end() ? 0 : it->second.version;
+}
+
+void Catalog::BumpAllTableVersions() {
+  MutexLock lock(mu_);
+  BumpVersion();
+  const uint64_t v = version();
+  for (auto& [key, info] : tables_) info.version = v;
 }
 
 std::vector<TableInfo> Catalog::ListTables() const {

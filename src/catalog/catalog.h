@@ -24,6 +24,12 @@ struct TableInfo {
   /// Column indexes that carry a hash index (maintained by the storage
   /// engine). Kept here so the planner can pick index scans.
   std::vector<size_t> indexed_columns;
+  /// Schema-generation stamp of *this table*, drawn from the global
+  /// version counter at every mutation that touches it (create, index
+  /// add, install-hook registration). Monotone across drop/recreate —
+  /// a recreated table always carries a fresh stamp, so a plan built
+  /// against the old incarnation can never read as current.
+  uint64_t version = 0;
 };
 
 /// Name → table metadata registry. Names are case-insensitive. The catalog
@@ -70,6 +76,20 @@ class Catalog {
   /// they change something plans may depend on without touching the
   /// catalog maps themselves.
   void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
+
+  /// Per-table schema-generation stamp (design decision #7, refined):
+  /// the version counter the plan cache actually compares, so DDL on
+  /// one table leaves every other table's plans warm. 0 when the table
+  /// does not exist — which also never matches a recorded stamp, so a
+  /// plan over a dropped table reads as stale.
+  uint64_t TableVersion(const std::string& name) const;
+
+  /// Bumps the global counter once and restamps *every* table with the
+  /// new value: a semantic change that isn't scoped to one table (the
+  /// coordinator's install-hook registration changes how entangled
+  /// answers appear everywhere) must stale all plans, per-table stamps
+  /// included.
+  void BumpAllTableVersions();
 
  private:
   /// Acquired inside DDL critical sections (under kWal) and from the

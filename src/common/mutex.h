@@ -153,6 +153,11 @@ enum class LockRank : uint16_t {
   /// LockManager::mu_ (2PL table-lock state; acquired during installs
   /// with shard mutexes held).
   kLockManager = 120,
+  /// MvccController::mu_ (commit clock, in-flight commit set, active
+  /// snapshots). A leaf in practice: commit stamping calls it strictly
+  /// before taking kStorageTables and again strictly after releasing
+  /// it, and snapshot open/close hold nothing else.
+  kMvccClock = 125,
   /// StorageEngine::tables_mu_ (table map + per-table index maps).
   kStorageTables = 130,
   /// Catalog::mu_ (schema metadata; taken inside DDL under kWal).

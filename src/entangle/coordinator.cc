@@ -957,7 +957,9 @@ void Coordinator::SetInstallHook(InstallHook hook) {
   // Hooks change what an installation writes (extra tables, inventory
   // decrements), which the plan cache's consumers may have planned
   // around; registering or clearing one retires every cached plan.
-  storage_->catalog().BumpVersion();
+  // Invalidation is relation-granular, so this must restamp every
+  // table, not just bump the global counter.
+  storage_->catalog().BumpAllTableVersions();
 }
 
 }  // namespace youtopia

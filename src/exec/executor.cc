@@ -49,7 +49,8 @@ std::string QueryResult::ToString() const {
   return out;
 }
 
-Result<QueryResult> Executor::Execute(const Statement& stmt) {
+Result<QueryResult> Executor::Execute(const Statement& stmt, TxnId txn,
+                                      Ts snapshot) {
   switch (stmt.kind) {
     case StatementKind::kCreateTable:
       return ExecuteCreateTable(static_cast<const CreateTableStatement&>(stmt));
@@ -58,31 +59,34 @@ Result<QueryResult> Executor::Execute(const Statement& stmt) {
     case StatementKind::kDropTable:
       return ExecuteDropTable(static_cast<const DropTableStatement&>(stmt));
     case StatementKind::kInsert:
-      return ExecuteInsert(static_cast<const InsertStatement&>(stmt));
+      return ExecuteInsert(static_cast<const InsertStatement&>(stmt), txn);
     case StatementKind::kDelete:
-      return ExecuteDelete(static_cast<const DeleteStatement&>(stmt));
+      return ExecuteDelete(static_cast<const DeleteStatement&>(stmt), txn);
     case StatementKind::kUpdate:
-      return ExecuteUpdate(static_cast<const UpdateStatement&>(stmt));
+      return ExecuteUpdate(static_cast<const UpdateStatement&>(stmt), txn);
     case StatementKind::kSelect:
-      return ExecuteSelect(static_cast<const SelectStatement&>(stmt));
+      return ExecuteSelect(static_cast<const SelectStatement&>(stmt),
+                           snapshot);
   }
   return Status::Internal("unhandled statement kind");
 }
 
-Result<QueryResult> Executor::ExecuteSelect(const SelectStatement& stmt) {
+Result<QueryResult> Executor::ExecuteSelect(const SelectStatement& stmt,
+                                            Ts snapshot) {
   auto planned = planner_.PlanSelect(stmt);
   if (!planned.ok()) return planned.status();
-  return ExecutePlanned(stmt, *planned);
+  return ExecutePlanned(stmt, *planned, snapshot);
 }
 
 Result<QueryResult> Executor::ExecutePlanned(const SelectStatement& stmt,
-                                             const PlannedSelect& planned) {
+                                             const PlannedSelect& planned,
+                                             Ts snapshot) {
   QueryResult result;
   result.column_names = planned.column_names;
 
   if (planned.root == nullptr) {
     // Constant SELECT: evaluate the projection list over no row.
-    ExpressionEvaluator eval(nullptr, this);
+    ExpressionEvaluator eval(nullptr, this, snapshot);
     Tuple row;
     for (const auto& e : stmt.select_list) {
       auto v = eval.Evaluate(*e, nullptr);
@@ -93,7 +97,7 @@ Result<QueryResult> Executor::ExecutePlanned(const SelectStatement& stmt,
     return result;
   }
 
-  ExecContext ctx{storage_, this};
+  ExecContext ctx{storage_, this, snapshot};
   auto rows = planned.root->Execute(ctx);
   if (!rows.ok()) return rows.status();
   result.rows = rows.TakeValue();
@@ -101,8 +105,8 @@ Result<QueryResult> Executor::ExecutePlanned(const SelectStatement& stmt,
 }
 
 Result<std::vector<Value>> Executor::EvaluateSubquery(
-    const SelectStatement& stmt) {
-  auto result = ExecuteSelect(stmt);
+    const SelectStatement& stmt, Ts snapshot) {
+  auto result = ExecuteSelect(stmt, snapshot);
   if (!result.ok()) return result.status();
   if (result->column_names.size() != 1) {
     return Status::InvalidArgument(
@@ -117,7 +121,7 @@ Result<std::vector<Value>> Executor::EvaluateSubquery(
 }
 
 Result<bool> Executor::AnswerContains(const std::string& relation,
-                                      const Tuple& probe) {
+                                      const Tuple& probe, Ts snapshot) {
   auto info = storage_->catalog().GetTable(relation);
   if (!info.ok()) {
     return Status::NotFound("answer relation " + relation +
@@ -128,7 +132,8 @@ Result<bool> Executor::AnswerContains(const std::string& relation,
         "IN ANSWER %s probe has %zu values, relation has %zu columns",
         relation.c_str(), probe.size(), info->schema.num_columns()));
   }
-  auto rows = storage_->Scan(relation);
+  auto rows = snapshot != 0 ? storage_->ScanSnapshot(relation, snapshot)
+                            : storage_->Scan(relation);
   if (!rows.ok()) return rows.status();
   for (const auto& [rid, tuple] : *rows) {
     if (tuple == probe) return true;
@@ -164,7 +169,8 @@ Result<QueryResult> Executor::ExecuteDropTable(
   return QueryResult{};
 }
 
-Result<QueryResult> Executor::ExecuteInsert(const InsertStatement& stmt) {
+Result<QueryResult> Executor::ExecuteInsert(const InsertStatement& stmt,
+                                            TxnId txn) {
   QueryResult result;
   for (const auto& row_exprs : stmt.rows) {
     Tuple row;
@@ -173,14 +179,15 @@ Result<QueryResult> Executor::ExecuteInsert(const InsertStatement& stmt) {
       if (!v.ok()) return v.status();
       row.Append(v.TakeValue());
     }
-    auto rid = storage_->Insert(stmt.table, row);
+    auto rid = storage_->Insert(stmt.table, row, txn);
     if (!rid.ok()) return rid.status();
     ++result.affected_rows;
   }
   return result;
 }
 
-Result<QueryResult> Executor::ExecuteDelete(const DeleteStatement& stmt) {
+Result<QueryResult> Executor::ExecuteDelete(const DeleteStatement& stmt,
+                                            TxnId txn) {
   auto info = storage_->catalog().GetTable(stmt.table);
   if (!info.ok()) return info.status();
   BoundColumns columns;
@@ -198,14 +205,15 @@ Result<QueryResult> Executor::ExecuteDelete(const DeleteStatement& stmt) {
       match = keep.value();
     }
     if (match) {
-      YOUTOPIA_RETURN_IF_ERROR(storage_->Delete(stmt.table, rid));
+      YOUTOPIA_RETURN_IF_ERROR(storage_->Delete(stmt.table, rid, txn));
       ++result.affected_rows;
     }
   }
   return result;
 }
 
-Result<QueryResult> Executor::ExecuteUpdate(const UpdateStatement& stmt) {
+Result<QueryResult> Executor::ExecuteUpdate(const UpdateStatement& stmt,
+                                            TxnId txn) {
   auto info = storage_->catalog().GetTable(stmt.table);
   if (!info.ok()) return info.status();
   BoundColumns columns;
@@ -237,7 +245,7 @@ Result<QueryResult> Executor::ExecuteUpdate(const UpdateStatement& stmt) {
       if (!v.ok()) return v.status();
       updated.at(targets[i]) = v.TakeValue();
     }
-    YOUTOPIA_RETURN_IF_ERROR(storage_->Update(stmt.table, rid, updated));
+    YOUTOPIA_RETURN_IF_ERROR(storage_->Update(stmt.table, rid, updated, txn));
     ++result.affected_rows;
   }
   return result;

@@ -36,11 +36,18 @@ class Executor {
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
 
-  /// Executes any regular statement.
-  Result<QueryResult> Execute(const Statement& stmt);
+  /// Executes any regular statement. `txn` tags DML writes with the
+  /// surrounding transaction in MVCC mode (0 = auto-commit: each write
+  /// is stamped individually); `snapshot` resolves SELECT reads at that
+  /// timestamp (0 = current reads, the unversioned behavior). The two
+  /// are mutually exclusive by construction: DML carries a txn, SELECT
+  /// a snapshot.
+  Result<QueryResult> Execute(const Statement& stmt, TxnId txn = 0,
+                              Ts snapshot = 0);
 
-  /// Regular SELECT only.
-  Result<QueryResult> ExecuteSelect(const SelectStatement& stmt);
+  /// Regular SELECT only, optionally at a snapshot timestamp.
+  Result<QueryResult> ExecuteSelect(const SelectStatement& stmt,
+                                    Ts snapshot = 0);
 
   /// The plan stage alone: translates a regular SELECT to its physical
   /// plan against the current catalog. Pure catalog/index reads — this
@@ -56,26 +63,32 @@ class Executor {
   /// one shared cached plan may execute on any number of threads
   /// concurrently. The caller is responsible for plan freshness — a
   /// plan built against an older catalog version must be re-planned,
-  /// not executed (Youtopia::ExecutePrepared handles this).
+  /// not executed (Youtopia::ExecutePrepared handles this). `snapshot`
+  /// threads an MVCC read timestamp through every scan, index probe and
+  /// subquery in the plan (0 = current reads).
   Result<QueryResult> ExecutePlanned(const SelectStatement& stmt,
-                                     const PlannedSelect& planned);
+                                     const PlannedSelect& planned,
+                                     Ts snapshot = 0);
 
   /// Evaluates a single-column subquery to its value list (domain
-  /// predicates / IN membership).
-  Result<std::vector<Value>> EvaluateSubquery(const SelectStatement& stmt);
+  /// predicates / IN membership), at `snapshot` when non-zero so a
+  /// snapshot SELECT's subqueries read the same instant as its scans.
+  Result<std::vector<Value>> EvaluateSubquery(const SelectStatement& stmt,
+                                              Ts snapshot = 0);
 
   /// True if the stored answer relation `relation` contains `probe`
   /// (exact tuple). Backs `IN ANSWER` in regular queries: browsing
-  /// already-coordinated answers.
-  Result<bool> AnswerContains(const std::string& relation, const Tuple& probe);
+  /// already-coordinated answers. Resolved at `snapshot` when non-zero.
+  Result<bool> AnswerContains(const std::string& relation, const Tuple& probe,
+                              Ts snapshot = 0);
 
  private:
   Result<QueryResult> ExecuteCreateTable(const CreateTableStatement& stmt);
   Result<QueryResult> ExecuteCreateIndex(const CreateIndexStatement& stmt);
   Result<QueryResult> ExecuteDropTable(const DropTableStatement& stmt);
-  Result<QueryResult> ExecuteInsert(const InsertStatement& stmt);
-  Result<QueryResult> ExecuteDelete(const DeleteStatement& stmt);
-  Result<QueryResult> ExecuteUpdate(const UpdateStatement& stmt);
+  Result<QueryResult> ExecuteInsert(const InsertStatement& stmt, TxnId txn);
+  Result<QueryResult> ExecuteDelete(const DeleteStatement& stmt, TxnId txn);
+  Result<QueryResult> ExecuteUpdate(const UpdateStatement& stmt, TxnId txn);
 
   StorageEngine* storage_;
   Planner planner_;

@@ -77,7 +77,7 @@ Result<Value> ExpressionEvaluator::Evaluate(const Expr& expr,
       auto needle = Evaluate(*in.needle, row);
       if (!needle.ok()) return needle.status();
       if (needle->is_null()) return Value::Null();
-      auto values = executor_->EvaluateSubquery(*in.subquery);
+      auto values = executor_->EvaluateSubquery(*in.subquery, snapshot_);
       if (!values.ok()) return values.status();
       bool present = false;
       for (const Value& v : *values) {
@@ -100,7 +100,7 @@ Result<Value> ExpressionEvaluator::Evaluate(const Expr& expr,
         if (v->is_null()) return Value::Null();
         probe.Append(v.TakeValue());
       }
-      auto present = executor_->AnswerContains(in.relation, probe);
+      auto present = executor_->AnswerContains(in.relation, probe, snapshot_);
       if (!present.ok()) return present.status();
       return Value::Bool(in.negated ? !present.value() : present.value());
     }

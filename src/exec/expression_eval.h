@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "sql/ast.h"
+#include "txn/mvcc.h"
 #include "types/tuple.h"
 
 namespace youtopia {
@@ -48,8 +49,12 @@ class BoundColumns {
 /// regular queries (paper §3.1, the browse-then-book path).
 class ExpressionEvaluator {
  public:
-  ExpressionEvaluator(const BoundColumns* columns, Executor* executor)
-      : columns_(columns), executor_(executor) {}
+  /// `snapshot` (optional) is the MVCC read timestamp subqueries and
+  /// IN ANSWER probes resolve at, so every read inside one snapshot
+  /// SELECT observes the same instant. 0 = current reads.
+  ExpressionEvaluator(const BoundColumns* columns, Executor* executor,
+                      Ts snapshot = 0)
+      : columns_(columns), executor_(executor), snapshot_(snapshot) {}
 
   /// Evaluates `expr` against `row` (may be null for constant folding).
   Result<Value> Evaluate(const Expr& expr, const Tuple* row) const;
@@ -66,6 +71,7 @@ class ExpressionEvaluator {
 
   const BoundColumns* columns_;  ///< May be null (constants only).
   Executor* executor_;           ///< May be null (no subqueries).
+  Ts snapshot_;                  ///< 0 = current reads.
 };
 
 /// Convenience: evaluates an expression that must be constant (INSERT

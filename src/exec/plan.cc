@@ -17,7 +17,9 @@ std::string PlanNode::ToStringTree(int indent) const {
 }
 
 Result<std::vector<Tuple>> SeqScanNode::Execute(ExecContext& ctx) const {
-  auto rows = ctx.storage->Scan(table_);
+  auto rows = ctx.snapshot != 0 ? ctx.storage->ScanSnapshot(table_,
+                                                            ctx.snapshot)
+                                : ctx.storage->Scan(table_);
   if (!rows.ok()) return rows.status();
   std::vector<Tuple> out;
   out.reserve(rows->size());
@@ -26,6 +28,18 @@ Result<std::vector<Tuple>> SeqScanNode::Execute(ExecContext& ctx) const {
 }
 
 Result<std::vector<Tuple>> IndexScanNode::Execute(ExecContext& ctx) const {
+  if (ctx.snapshot != 0) {
+    // Snapshot probe: the engine resolves each candidate's visible
+    // version and re-verifies the key (the index also carries keys of
+    // newer or pruned-pending versions).
+    auto rows = ctx.storage->IndexLookupSnapshot(table_, column_, key_,
+                                                 ctx.snapshot);
+    if (!rows.ok()) return rows.status();
+    std::vector<Tuple> out;
+    out.reserve(rows->size());
+    for (auto& [rid, tuple] : *rows) out.push_back(std::move(tuple));
+    return out;
+  }
   auto rids = ctx.storage->IndexLookup(table_, column_, key_);
   if (!rids.ok()) return rids.status();
   std::vector<Tuple> out;
@@ -83,7 +97,7 @@ Result<std::vector<Tuple>> HashJoinNode::Execute(ExecContext& ctx) const {
 Result<std::vector<Tuple>> FilterNode::Execute(ExecContext& ctx) const {
   auto input = children_[0]->Execute(ctx);
   if (!input.ok()) return input.status();
-  ExpressionEvaluator eval(columns_, ctx.executor);
+  ExpressionEvaluator eval(columns_, ctx.executor, ctx.snapshot);
   std::vector<Tuple> out;
   for (Tuple& row : *input) {
     auto keep = eval.EvaluatePredicate(*predicate_, &row);
@@ -100,7 +114,7 @@ std::string FilterNode::ToString() const {
 Result<std::vector<Tuple>> ProjectNode::Execute(ExecContext& ctx) const {
   auto input = children_[0]->Execute(ctx);
   if (!input.ok()) return input.status();
-  ExpressionEvaluator eval(columns_, ctx.executor);
+  ExpressionEvaluator eval(columns_, ctx.executor, ctx.snapshot);
   std::vector<Tuple> out;
   out.reserve(input->size());
   for (const Tuple& row : *input) {

@@ -18,6 +18,10 @@ struct ExecContext {
   StorageEngine* storage = nullptr;
   /// Back-reference for subquery / IN ANSWER evaluation inside predicates.
   Executor* executor = nullptr;
+  /// MVCC read timestamp: every scan, index probe and predicate
+  /// subquery in the tree resolves visibility at this instant. 0 =
+  /// current reads (the unversioned behavior).
+  Ts snapshot = 0;
 };
 
 /// A physical plan operator. Operators materialize their output — the

@@ -14,7 +14,19 @@ std::string AdminSnapshot::ToString() const {
     if (!t.indexed_columns.empty()) {
       out += "  [indexed: " + JoinStrings(t.indexed_columns, ", ") + "]";
     }
+    out += StringPrintf("  [v%llu]",
+                        static_cast<unsigned long long>(t.version));
     out += "\n";
+  }
+  out += "-- MVCC --\n";
+  if (!mvcc.enabled) {
+    out += "  disabled (mvcc.num_versions = 1)\n";
+  } else {
+    out += StringPrintf(
+        "  num_versions=%zu clock=%llu watermark=%llu active_snapshots=%zu\n",
+        mvcc.num_versions, static_cast<unsigned long long>(mvcc.clock),
+        static_cast<unsigned long long>(mvcc.watermark),
+        mvcc.active_snapshots);
   }
   out += "-- Pending entangled queries --\n";
   if (pending.empty()) out += "  (none)\n";
@@ -122,8 +134,14 @@ AdminSnapshot TakeAdminSnapshot(const Youtopia& db) {
     for (size_t col : info.indexed_columns) {
       entry.indexed_columns.push_back(info.schema.column(col).name);
     }
+    entry.version = info.version;
     snapshot.tables.push_back(std::move(entry));
   }
+  snapshot.mvcc.enabled = storage.mvcc_enabled();
+  snapshot.mvcc.num_versions = storage.num_versions();
+  snapshot.mvcc.clock = storage.mvcc().clock();
+  snapshot.mvcc.watermark = storage.mvcc().watermark();
+  snapshot.mvcc.active_snapshots = storage.mvcc().active_snapshots();
   snapshot.pending = db.coordinator().Pending();
   snapshot.stats = db.coordinator().stats();
   snapshot.shards = db.coordinator().ShardInfos();

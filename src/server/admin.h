@@ -19,9 +19,22 @@ struct AdminSnapshot {
     std::string schema;
     size_t rows = 0;
     std::vector<std::string> indexed_columns;
+    /// Per-table schema-generation stamp — the counter the plan cache
+    /// compares, so the version split is visible per relation.
+    uint64_t version = 0;
+  };
+
+  /// MVCC state (design decision #10); meaningful when `mvcc_enabled`.
+  struct MvccEntry {
+    bool enabled = false;
+    size_t num_versions = 1;
+    uint64_t clock = 0;
+    uint64_t watermark = 0;
+    size_t active_snapshots = 0;
   };
 
   std::vector<TableEntry> tables;
+  MvccEntry mvcc;
   std::vector<PendingQueryInfo> pending;
   CoordinatorStats stats;
   /// Per-shard breakdown of the coordinator's pending pool and

@@ -3,31 +3,47 @@
 namespace youtopia {
 
 PreparedStatementPtr PlanCache::Lookup(const std::string& key,
-                                       uint64_t catalog_version) {
+                                       const Catalog& catalog) {
   if (!enabled()) return nullptr;
+  PreparedStatementPtr candidate;
+  {
+    MutexLock lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    candidate = it->second->plan;
+  }
+  // The freshness check reads the catalog, whose mutex ranks *below*
+  // this cache's (kCatalog 140 < kPlanCache 170) — so it runs between
+  // the two critical sections, never under mu_. The entry is re-looked-
+  // up afterwards and touched only if it is still the same plan (a
+  // concurrent replace keeps its own, fresher stamps).
+  if (PreparedStatementFresh(*candidate, catalog)) {
+    MutexLock lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end() && it->second->plan == candidate) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+    }
+    ++stats_.hits;
+    return candidate;
+  }
+  // Stale: a referenced table changed since this plan was built.
+  // Discard lazily here rather than sweeping on every DDL — DDL is
+  // rare and must not pay O(cache).
   MutexLock lock(mu_);
   auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++stats_.misses;
-    return nullptr;
-  }
-  if (it->second->catalog_version != catalog_version) {
-    // Stale: the catalog changed since this plan was built. Discard
-    // lazily here rather than sweeping on every DDL — DDL is rare and
-    // must not pay O(cache).
+  if (it != index_.end() && it->second->plan == candidate) {
     lru_.erase(it->second);
     index_.erase(it);
-    ++stats_.invalidations;
-    ++stats_.misses;
-    return nullptr;
   }
-  lru_.splice(lru_.begin(), lru_, it->second);
-  ++stats_.hits;
-  return it->second->plan;
+  ++stats_.invalidations;
+  ++stats_.misses;
+  return nullptr;
 }
 
-void PlanCache::Insert(const std::string& key, PreparedStatementPtr plan,
-                       uint64_t catalog_version) {
+void PlanCache::Insert(const std::string& key, PreparedStatementPtr plan) {
   if (!enabled() || plan == nullptr) return;
   MutexLock lock(mu_);
   auto it = index_.find(key);
@@ -35,11 +51,10 @@ void PlanCache::Insert(const std::string& key, PreparedStatementPtr plan,
     // Replace in place (a concurrent preparer of the same statement or
     // a fresher plan after DDL); keeps the entry's LRU position hot.
     it->second->plan = std::move(plan);
-    it->second->catalog_version = catalog_version;
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.push_front(Entry{key, std::move(plan), catalog_version});
+  lru_.push_front(Entry{key, std::move(plan)});
   index_.emplace(key, lru_.begin());
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().key);

@@ -13,7 +13,17 @@
 
 namespace youtopia {
 
+class Catalog;
 struct PreparedStatement;
+
+/// True iff every table-version stamp `prepared` recorded when planning
+/// started still matches the live catalog — the plan's bindings and
+/// index choices are current. Relation-granular: DDL on an unrelated
+/// table does not stale this plan. A statement with no table references
+/// (constant SELECT) is always fresh. Defined in youtopia.cc, next to
+/// the stamping code it mirrors.
+bool PreparedStatementFresh(const PreparedStatement& prepared,
+                            const Catalog& catalog);
 
 /// A fully prepared (parsed + planned) statement, shared immutably: the
 /// plan cache, every executing thread and every requeued task hold the
@@ -36,14 +46,16 @@ struct PlanCacheConfig {
 /// in-process Client, executor-service worker tasks (including per-step
 /// script prepares) and wire-protocol sessions — share hot plans.
 ///
-/// Invalidation is catalog-version-based and lazy: every entry is
-/// stamped with the catalog version current when planning *started*,
-/// and a lookup whose caller-observed version differs discards the
-/// entry (a plan may depend on schema bindings and index choices, both
-/// catalog state). Stamping before planning makes a concurrent DDL race
-/// safe in the stale direction only: the worst case is an entry that is
-/// discarded although it happens to still be valid, never a stale plan
-/// served as fresh.
+/// Invalidation is table-version-based and lazy: every entry carries
+/// the per-table version stamps recorded when planning *started*
+/// (inside the PreparedStatement itself), and a lookup re-checks them
+/// against the live catalog — a mismatch on any referenced table
+/// discards the entry (a plan may depend on schema bindings and index
+/// choices, both catalog state). Relation-granular: DDL on table A
+/// leaves table B's plans warm. Stamping before planning makes a
+/// concurrent DDL race safe in the stale direction only: the worst
+/// case is an entry that is discarded although it happens to still be
+/// valid, never a stale plan served as fresh.
 class PlanCache {
  public:
   /// Counters for the admin snapshot and the workload report.
@@ -52,8 +64,9 @@ class PlanCache {
     size_t misses = 0;
     /// Entries displaced by capacity (LRU).
     size_t evictions = 0;
-    /// Entries discarded on lookup because their catalog-version stamp
-    /// was stale (DDL or install-hook registration since planning).
+    /// Entries discarded on lookup because a referenced table's version
+    /// stamp was stale (DDL on that table, or install-hook registration
+    /// — which restamps every table — since planning).
     size_t invalidations = 0;
     size_t size = 0;
     size_t capacity = 0;
@@ -75,17 +88,17 @@ class PlanCache {
   /// counters stay zero — byte-for-byte seed semantics.
   bool enabled() const { return capacity_ > 0; }
 
-  /// Returns the cached plan for `key` if present and stamped with
-  /// `catalog_version`; nullptr otherwise. A version mismatch erases
-  /// the entry (counted as an invalidation, not a plain miss).
-  PreparedStatementPtr Lookup(const std::string& key,
-                              uint64_t catalog_version);
+  /// Returns the cached plan for `key` if present and still fresh
+  /// against `catalog` (PreparedStatementFresh over the entry's
+  /// per-table stamps); nullptr otherwise. A stale entry is erased
+  /// (counted as an invalidation, not a plain miss).
+  PreparedStatementPtr Lookup(const std::string& key, const Catalog& catalog);
 
-  /// Inserts (or replaces) the plan under `key`, stamped with
-  /// `catalog_version`, evicting the least-recently-used entry beyond
-  /// capacity. Failed prepares are never inserted by callers.
-  void Insert(const std::string& key, PreparedStatementPtr plan,
-              uint64_t catalog_version);
+  /// Inserts (or replaces) the plan under `key`, evicting the least-
+  /// recently-used entry beyond capacity. The freshness stamps travel
+  /// inside the PreparedStatement itself. Failed prepares are never
+  /// inserted by callers.
+  void Insert(const std::string& key, PreparedStatementPtr plan);
 
   /// Drops every entry (tests, manual admin reset).
   void Clear();
@@ -105,7 +118,6 @@ class PlanCache {
   struct Entry {
     std::string key;
     PreparedStatementPtr plan;
-    uint64_t catalog_version = 0;
   };
 
   const size_t capacity_;

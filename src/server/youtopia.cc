@@ -19,7 +19,7 @@ namespace {
 /// (reservations appear group-at-a-time, never half a pair).
 ///
 /// The cached physical plan (when the statement carries one) executes
-/// only if its catalog-version stamp is still current, and that check
+/// only if its table-version stamps are still current, and that check
 /// happens *after* the locks are acquired: DDL takes no 2PL locks, so
 /// a blocking lock wait can span a whole drop/recreate — a version
 /// check done before the wait could admit a plan whose column bindings
@@ -51,6 +51,26 @@ Result<QueryResult> ExecuteLocked(Executor* executor, TxnManager* txns,
                                   wal::Lsn* logged_lsn) {
   const Statement& stmt = *prepared.stmt;
   const TableRefs& refs = prepared.refs;
+  if (txns->mvcc_enabled() && stmt.kind == StatementKind::kSelect &&
+      refs.writes.empty()) {
+    // The browse path (design decision #10): a regular SELECT under
+    // MVCC takes *no locks at all* — no transaction, no S locks, no
+    // lock-manager traffic. It opens a snapshot at the current
+    // watermark and resolves every scan, index probe and subquery at
+    // that timestamp; writers stamp their versions at commit, so the
+    // snapshot observes each transaction (and each coordination
+    // install) entirely or not at all. `lock_conflict` can never fire
+    // here and SELECTs are never journaled, so neither out-parameter is
+    // touched. Plan freshness is checked without locks: the same
+    // residual DDL-vs-read exposure as the seed (DDL takes no 2PL locks
+    // either way), with a stale plan degrading to re-plan-and-execute.
+    SnapshotHandle snapshot = txns->OpenSnapshot();
+    const auto& select = static_cast<const SelectStatement&>(stmt);
+    return prepared.plan.has_value() && PreparedStatementFresh(prepared, catalog)
+               ? executor->ExecutePlanned(select, *prepared.plan,
+                                          snapshot.ts())
+               : executor->ExecuteSelect(select, snapshot.ts());
+  }
   const bool journal =
       wal != nullptr && stmt.kind != StatementKind::kSelect;
   auto txn = txns->Begin();
@@ -98,15 +118,21 @@ Result<QueryResult> ExecuteLocked(Executor* executor, TxnManager* txns,
     if (!s.ok()) return acquire_failed(std::move(s));
   }
   const PlannedSelect* plan =
-      prepared.plan.has_value() &&
-              prepared.catalog_version == catalog.version()
+      prepared.plan.has_value() && PreparedStatementFresh(prepared, catalog)
           ? &*prepared.plan
           : nullptr;
+  // Under MVCC the statement's writes are tagged with the surrounding
+  // lock-holding transaction: they enter storage as *pending* versions,
+  // invisible to every snapshot, and Commit below stamps them all with
+  // one timestamp — a multi-row UPDATE (or a coordination install)
+  // becomes visible to lock-free readers atomically, never row by row.
+  // Unversioned mode passes 0 and keeps the seed's in-place writes.
+  const TxnId dml_txn = txns->mvcc_enabled() ? txn->id() : 0;
   auto result =
       plan != nullptr
           ? executor->ExecutePlanned(static_cast<const SelectStatement&>(stmt),
                                      *plan)
-          : executor->Execute(stmt);
+          : executor->Execute(stmt, dml_txn);
   if (result.ok() && journal) {
     // Append while still holding the write locks: no conflicting
     // statement can slip between this record and its effects, so log
@@ -127,8 +153,17 @@ Result<QueryResult> ExecuteLocked(Executor* executor, TxnManager* txns,
 
 }  // namespace
 
+bool PreparedStatementFresh(const PreparedStatement& prepared,
+                            const Catalog& catalog) {
+  for (const auto& [table, version] : prepared.table_versions) {
+    if (catalog.TableVersion(table) != version) return false;
+  }
+  return true;
+}
+
 Youtopia::Youtopia(YoutopiaConfig config)
     : config_(config),
+      storage_(config.mvcc.num_versions),
       executor_(&storage_),
       txn_manager_(&storage_),
       coordinator_(&storage_, &txn_manager_, config.coordinator),
@@ -280,13 +315,23 @@ void Youtopia::MaybeAutoCheckpoint() {
 Result<PreparedStatementPtr> Youtopia::PrepareParsed(StatementPtr stmt,
                                                      std::string sql) const {
   auto prepared = std::make_shared<PreparedStatement>();
-  // Stamp *before* reading any catalog state: a DDL racing with the
-  // plan build bumps the version after this read, so the stamp can only
-  // err stale (entry discarded although valid), never fresh (stale plan
-  // served).
-  prepared->catalog_version = storage_.catalog().version();
+  // Stamp *before* reading any other catalog state: a DDL racing with
+  // the plan build bumps the versions after this read, so the stamps
+  // can only err stale (entry discarded although valid), never fresh
+  // (stale plan served). The footprint itself is pure AST, so it is
+  // safe to collect it first to learn which tables to stamp.
   prepared->stmt = std::shared_ptr<const Statement>(std::move(stmt));
   prepared->refs = CollectTableRefs(*prepared->stmt);
+  prepared->catalog_version = storage_.catalog().version();
+  for (const std::string& table : prepared->refs.writes) {
+    prepared->table_versions.emplace_back(
+        table, storage_.catalog().TableVersion(table));
+  }
+  for (const std::string& table : prepared->refs.reads) {
+    if (prepared->refs.writes.count(table) > 0) continue;
+    prepared->table_versions.emplace_back(
+        table, storage_.catalog().TableVersion(table));
+  }
   prepared->entangled =
       prepared->stmt->kind == StatementKind::kSelect &&
       static_cast<const SelectStatement&>(*prepared->stmt).IsEntangled();
@@ -309,12 +354,12 @@ Result<PreparedStatementPtr> Youtopia::PrepareParsedCached(
     return PrepareParsed(std::move(stmt), std::move(text));
   }
   const std::string key = PlanCache::NormalizeKey(text);
-  if (auto hit = plan_cache_.Lookup(key, storage_.catalog().version())) {
+  if (auto hit = plan_cache_.Lookup(key, storage_.catalog())) {
     return hit;
   }
   auto prepared = PrepareParsed(std::move(stmt), std::move(text));
   if (prepared.ok()) {
-    plan_cache_.Insert(key, *prepared, (*prepared)->catalog_version);
+    plan_cache_.Insert(key, *prepared);
   }
   return prepared;
 }
@@ -323,7 +368,7 @@ Result<PreparedStatementPtr> Youtopia::Prepare(const std::string& sql) const {
   std::string key;
   if (plan_cache_.enabled()) {
     key = PlanCache::NormalizeKey(sql);
-    if (auto hit = plan_cache_.Lookup(key, storage_.catalog().version())) {
+    if (auto hit = plan_cache_.Lookup(key, storage_.catalog())) {
       return hit;
     }
   }
@@ -331,7 +376,7 @@ Result<PreparedStatementPtr> Youtopia::Prepare(const std::string& sql) const {
   if (!stmt.ok()) return stmt.status();
   auto prepared = PrepareParsed(std::move(stmt.value()), sql);
   if (plan_cache_.enabled() && prepared.ok()) {
-    plan_cache_.Insert(key, *prepared, (*prepared)->catalog_version);
+    plan_cache_.Insert(key, *prepared);
   }
   return prepared;
 }

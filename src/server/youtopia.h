@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -26,9 +27,26 @@ namespace wal {
 class WalCoordinatorJournal;
 }
 
+/// Multi-version storage configuration (design decision #10).
+struct MvccConfig {
+  /// Versions retained per row, newest-first. >= 2 enables MVCC: every
+  /// regular SELECT runs lock-free against a snapshot timestamp, and
+  /// writers keep strict 2PL, stamping new versions at commit. 1 keeps
+  /// exactly one version per row — the seed's in-place 2PL semantics,
+  /// byte for byte (SELECTs lock, updates overwrite, aborts replay the
+  /// undo log). The cap is a retention *budget*, not a hard bound: a
+  /// version an open snapshot can still see is never reclaimed, so
+  /// chains may transiently exceed it while old snapshots are live.
+  size_t num_versions = 4;
+};
+
 /// Whole-system configuration.
 struct YoutopiaConfig {
   CoordinatorConfig coordinator;
+  /// Tuple versioning + snapshot reads (design decision #10).
+  /// num_versions = 1 degrades to the seed's single-version 2PL
+  /// behavior.
+  MvccConfig mvcc;
   /// After regular DML changes a table, automatically re-run matching
   /// for pending entangled queries whose domain predicates read it —
   /// the paper's "waits for an opportunity to retry" without manual
@@ -80,10 +98,17 @@ struct PreparedStatement {
   /// `stmt`, which this struct keeps alive); nullopt for every other
   /// statement kind. PlanNode execution is const — sharing is safe.
   std::optional<PlannedSelect> plan;
-  /// Catalog version observed when planning started. ExecutePrepared
-  /// compares it against the live version and falls back to plan-under-
-  /// locks when stale; the plan cache discards entries whose stamp no
-  /// longer matches.
+  /// Per-table version stamps observed when planning started, one per
+  /// referenced table (reads and writes; empty for statements with no
+  /// table references, which never go stale). PreparedStatementFresh
+  /// compares them against the live catalog: ExecutePrepared falls back
+  /// to plan-under-locks when any stamp is stale, and the plan cache
+  /// discards the entry. Relation-granular — DDL on an unrelated table
+  /// leaves this statement's plan warm.
+  std::vector<std::pair<std::string, uint64_t>> table_versions;
+  /// Global catalog version observed when planning started (kept for
+  /// diagnostics and the admin snapshot; freshness decisions use the
+  /// per-table stamps above).
   uint64_t catalog_version = 0;
 };
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -11,6 +12,7 @@
 #include "common/status.h"
 #include "storage/hash_index.h"
 #include "storage/heap_table.h"
+#include "txn/mvcc.h"
 
 namespace youtopia {
 
@@ -18,14 +20,31 @@ namespace youtopia {
 /// All writes go through here so indexes stay consistent with the heaps.
 /// This is the "regular database tables" substrate the Youtopia
 /// coordination component reads and writes (paper §2.2).
+///
+/// With `num_versions >= 2` the engine runs in MVCC mode (design
+/// decision #10): heaps keep version chains, writes carry the writing
+/// transaction id (0 = auto-commit, stamped immediately), CommitTxn /
+/// AbortTxn stamp or discard a transaction's pending versions, and the
+/// snapshot read family (GetSnapshot / ScanSnapshot /
+/// IndexLookupSnapshot) resolves visibility at a timestamp without any
+/// 2PL lock. `num_versions == 1` (the default) is byte-for-byte the
+/// pre-MVCC engine: single-version heaps, eager index maintenance, the
+/// transaction id arguments ignored.
 class StorageEngine {
  public:
-  StorageEngine() = default;
+  explicit StorageEngine(size_t num_versions = 1)
+      : num_versions_(num_versions < 1 ? 1 : num_versions) {}
   StorageEngine(const StorageEngine&) = delete;
   StorageEngine& operator=(const StorageEngine&) = delete;
 
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
+
+  /// Versions retained per row (1 = unversioned seed semantics).
+  size_t num_versions() const { return num_versions_; }
+  bool mvcc_enabled() const { return num_versions_ > 1; }
+  MvccController& mvcc() { return mvcc_; }
+  const MvccController& mvcc() const { return mvcc_; }
 
   /// Creates the table in the catalog and its backing heap.
   Status CreateTable(const std::string& name, Schema schema);
@@ -34,41 +53,85 @@ class StorageEngine {
   Status DropTable(const std::string& name);
 
   /// Builds a hash index over `column` of `table`, backfilling from
-  /// existing rows.
+  /// current rows (older versions' keys are not backfilled — a snapshot
+  /// opened before the index existed can still be planned onto it and
+  /// miss rows whose key changed since; the same DDL-vs-reader exposure
+  /// the unversioned engine has always had).
   Status CreateIndex(const std::string& table, const std::string& column);
 
-  /// Validated insert, maintaining all indexes on the table.
-  Result<RowId> Insert(const std::string& table, const Tuple& tuple);
+  /// Validated insert, maintaining all indexes on the table. In MVCC
+  /// mode `txn != 0` leaves the version pending until CommitTxn;
+  /// `txn == 0` stamps it with a fresh commit timestamp immediately.
+  Result<RowId> Insert(const std::string& table, const Tuple& tuple,
+                       TxnId txn = 0);
 
-  /// Deletes by rid, maintaining indexes.
-  Status Delete(const std::string& table, RowId rid);
+  /// Deletes by rid. Unversioned mode erases index entries eagerly; in
+  /// MVCC mode the old version (and its index keys) survive until the
+  /// tombstone passes below the GC low-water mark.
+  Status Delete(const std::string& table, RowId rid, TxnId txn = 0);
 
-  /// In-place update, maintaining indexes.
-  Status Update(const std::string& table, RowId rid, const Tuple& tuple);
+  /// Update. Unversioned mode rewrites in place; MVCC mode pushes a new
+  /// version. Index keys of still-reachable old versions are kept (a
+  /// snapshot reader probing the old key must still find the row);
+  /// IndexLookup re-verifies, so current reads never see them.
+  Status Update(const std::string& table, RowId rid, const Tuple& tuple,
+                TxnId txn = 0);
 
-  /// Resurrects a deleted row under its original RowId (transaction
-  /// rollback only), maintaining indexes.
+  /// Resurrects a deleted row under its original RowId (unversioned
+  /// transaction rollback only), maintaining indexes.
   Status Restore(const std::string& table, RowId rid, const Tuple& tuple);
 
+  /// Stamps every pending version `txn` wrote with one fresh commit
+  /// timestamp (atomic for snapshot readers via the watermark
+  /// protocol), prunes the touched chains against the GC low-water mark
+  /// and retires orphaned index keys. No-op outside MVCC mode or for
+  /// transactions that wrote nothing.
+  Status CommitTxn(TxnId txn);
+
+  /// Discards every pending version `txn` wrote, restoring the chains
+  /// (and indexes) to their pre-transaction state. The MVCC replacement
+  /// for undo-log rollback. No-op outside MVCC mode.
+  Status AbortTxn(TxnId txn);
+
+  /// Head-version read (current read; pending versions included — 2PL
+  /// keeps them writer-private).
   Result<Tuple> Get(const std::string& table, RowId rid) const;
 
-  /// Snapshot scan of live rows.
+  /// Version of `rid` visible at `snapshot_ts` (MVCC snapshot read).
+  Result<Tuple> GetSnapshot(const std::string& table, RowId rid,
+                            Ts snapshot_ts) const;
+
+  /// Materialized scan of current rows.
   Result<std::vector<std::pair<RowId, Tuple>>> Scan(
       const std::string& table) const;
 
-  /// Row ids whose `column` equals `key`, via the hash index.
-  /// NotFound if no such index exists.
+  /// Materialized scan resolving every slot at `snapshot_ts`.
+  Result<std::vector<std::pair<RowId, Tuple>>> ScanSnapshot(
+      const std::string& table, Ts snapshot_ts) const;
+
+  /// Row ids whose `column` currently equals `key`, via the hash index.
+  /// NotFound if no such index exists. In MVCC mode stale postings
+  /// (older versions' keys not yet pruned) are filtered out here, so
+  /// callers keep the exact unversioned contract.
   Result<std::vector<RowId>> IndexLookup(const std::string& table,
                                          const std::string& column,
                                          const Value& key) const;
+
+  /// Index probe at a snapshot: tuples visible at `snapshot_ts` whose
+  /// `column` equals `key`. The index may carry stale or newer keys for
+  /// a row, so each candidate's visible version is re-verified against
+  /// `key` before it is returned.
+  Result<std::vector<std::pair<RowId, Tuple>>> IndexLookupSnapshot(
+      const std::string& table, const std::string& column, const Value& key,
+      Ts snapshot_ts) const;
 
   /// True if `table`.`column` has a hash index.
   bool HasIndex(const std::string& table, const std::string& column) const;
 
   Result<size_t> TableSize(const std::string& table) const;
 
-  /// Allocated heap slots of `table`, live or tombstoned (checkpoints
-  /// persist this so recovery reproduces RowId assignment).
+  /// Allocated heap slots of `table`, live or dead (checkpoints persist
+  /// this so recovery reproduces RowId assignment).
   Result<size_t> TableSlotCount(const std::string& table) const;
 
   /// Bulk-restores a checkpointed table into its (empty) heap, placing
@@ -77,6 +140,13 @@ class StorageEngine {
   /// CreateIndex, so index backfill normally happens afterwards.
   Status LoadTableSnapshot(const std::string& table, size_t slot_count,
                            const std::vector<std::pair<RowId, Tuple>>& rows);
+
+  /// MVCC garbage collection sweep: prunes every chain against the
+  /// current low-water mark and reclaims slots whose committed
+  /// tombstone no snapshot can see (commit-time pruning only revisits
+  /// rows the committing transaction touched, so fully dead slots and
+  /// long-idle chains are reclaimed here). No-op outside MVCC mode.
+  void Vacuum();
 
  private:
   struct TableData {
@@ -91,17 +161,38 @@ class StorageEngine {
   Result<const TableData*> FindTable(const std::string& name) const
       REQUIRES_SHARED(tables_mu_);
 
+  /// Erases index postings for `candidates` tuples of `rid` whose keys
+  /// no longer appear in any retained version (`remaining`).
+  static void EraseOrphanedKeys(TableData* data, RowId rid,
+                                const std::vector<Tuple>& candidates,
+                                const std::vector<Tuple>& remaining);
+
+  /// Records (table, rid) into `txn`'s write set (MVCC mode).
+  void RecordWrite(TxnId txn, const std::string& table, RowId rid)
+      REQUIRES(tables_mu_);
+
+  const size_t num_versions_;
   Catalog catalog_;
+  /// Commit clock + snapshot registry (MVCC mode). Its internal mutex
+  /// (kMvccClock) is only ever held alone; commit stamping calls it
+  /// strictly before and strictly after the tables_mu_ critical
+  /// section.
+  MvccController mvcc_;
   /// Reader/writer latch over the table map and per-table index maps:
-  /// reads (Scan, Get, IndexLookup) take it shared so concurrent
-  /// sessions — and executor-pool workers — read in parallel; anything
-  /// that mutates a heap, an index or the map itself takes it
-  /// exclusive. Row-level consistency within one heap is additionally
-  /// guarded by HeapTable's own latch; this latch is what keeps the
-  /// index maps consistent with the heaps.
+  /// reads (Scan, Get, IndexLookup and their snapshot variants) take it
+  /// shared so concurrent sessions — and executor-pool workers — read
+  /// in parallel; anything that mutates a heap, an index or the map
+  /// itself takes it exclusive. Row-level consistency within one heap
+  /// is additionally guarded by HeapTable's own latch; this latch is
+  /// what keeps the index maps consistent with the heaps.
   mutable SharedMutex tables_mu_{LockRank::kStorageTables,
                                  "storage_tables"};
   std::unordered_map<std::string, TableData> tables_ GUARDED_BY(tables_mu_);
+  /// Pending write sets by transaction (MVCC mode): the (table, rid)
+  /// pairs CommitTxn must stamp or AbortTxn must discard. Guarded by
+  /// tables_mu_ — every writer already holds it exclusive.
+  std::unordered_map<TxnId, std::vector<std::pair<std::string, RowId>>>
+      txn_writes_ GUARDED_BY(tables_mu_);
 };
 
 }  // namespace youtopia

@@ -23,7 +23,7 @@ Result<RowId> TxnManager::Insert(Transaction* txn, const std::string& table,
   YOUTOPIA_RETURN_IF_ERROR(EnsureActive(txn));
   YOUTOPIA_RETURN_IF_ERROR(
       lock_manager_.Acquire(txn->id(), table, LockMode::kExclusive));
-  auto rid = storage_->Insert(table, tuple);
+  auto rid = storage_->Insert(table, tuple, txn->id());
   if (!rid.ok()) return rid.status();
   txn->RecordInsert(table, rid.value());
   // Redo after-image in stored form: the heap may have coerced the
@@ -42,7 +42,7 @@ Status TxnManager::Delete(Transaction* txn, const std::string& table,
       lock_manager_.Acquire(txn->id(), table, LockMode::kExclusive));
   auto old = storage_->Get(table, rid);
   if (!old.ok()) return old.status();
-  YOUTOPIA_RETURN_IF_ERROR(storage_->Delete(table, rid));
+  YOUTOPIA_RETURN_IF_ERROR(storage_->Delete(table, rid, txn->id()));
   txn->RecordDelete(table, rid, old.TakeValue());
   txn->RecordRedo({RedoEntry::Kind::kDelete, table, rid, Tuple()});
   return Status::OK();
@@ -55,7 +55,7 @@ Status TxnManager::Update(Transaction* txn, const std::string& table,
       lock_manager_.Acquire(txn->id(), table, LockMode::kExclusive));
   auto old = storage_->Get(table, rid);
   if (!old.ok()) return old.status();
-  YOUTOPIA_RETURN_IF_ERROR(storage_->Update(table, rid, tuple));
+  YOUTOPIA_RETURN_IF_ERROR(storage_->Update(table, rid, tuple, txn->id()));
   txn->RecordUpdate(table, rid, old.TakeValue());
   auto stored = storage_->Get(table, rid);
   txn->RecordRedo({RedoEntry::Kind::kUpdate, table, rid,
@@ -91,6 +91,13 @@ Result<std::vector<RowId>> TxnManager::IndexLookup(Transaction* txn,
 
 Status TxnManager::Commit(Transaction* txn) {
   YOUTOPIA_RETURN_IF_ERROR(EnsureActive(txn));
+  if (storage_->mvcc_enabled()) {
+    // Stamp the pending versions with one fresh commit timestamp while
+    // the 2PL locks are still held: lock release must not expose a
+    // half-stamped transaction to current readers, and the watermark
+    // protocol hides it from snapshot readers.
+    YOUTOPIA_RETURN_IF_ERROR(storage_->CommitTxn(txn->id()));
+  }
   txn->set_state(TxnState::kCommitted);
   lock_manager_.ReleaseAll(txn->id());
   return Status::OK();
@@ -98,6 +105,18 @@ Status TxnManager::Commit(Transaction* txn) {
 
 Status TxnManager::Abort(Transaction* txn) {
   YOUTOPIA_RETURN_IF_ERROR(EnsureActive(txn));
+  if (storage_->mvcc_enabled()) {
+    // Versioned rollback: pop the transaction's pending versions; the
+    // committed chain underneath is untouched, so no undo replay (and
+    // no Restore) is needed.
+    Status s = storage_->AbortTxn(txn->id());
+    if (!s.ok()) {
+      YOUTOPIA_LOG(kWarning) << "mvcc abort failed: " << s;
+    }
+    txn->set_state(TxnState::kAborted);
+    lock_manager_.ReleaseAll(txn->id());
+    return Status::OK();
+  }
   const auto& log = txn->undo_log();
   for (auto it = log.rbegin(); it != log.rend(); ++it) {
     switch (it->kind) {

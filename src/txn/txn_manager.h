@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "storage/storage_engine.h"
 #include "txn/lock_manager.h"
+#include "txn/mvcc.h"
 #include "txn/transaction.h"
 
 namespace youtopia {
@@ -45,13 +46,29 @@ class TxnManager {
                                          const std::string& column,
                                          const Value& key);
 
-  /// Releases locks; the transaction's effects become permanent.
+  /// Releases locks; the transaction's effects become permanent. In
+  /// MVCC mode this is also where the commit timestamp is issued: the
+  /// storage engine stamps every pending version the transaction wrote
+  /// with one fresh timestamp before the 2PL locks drop, so snapshot
+  /// readers see the whole transaction or none of it.
   Status Commit(Transaction* txn);
 
-  /// Rolls back via the undo log (reverse order), then releases locks.
-  /// Undo of a delete resurrects the row under its original RowId, so
-  /// row identity is preserved across aborts.
+  /// Rolls back, then releases locks. Unversioned mode replays the undo
+  /// log in reverse (undo of a delete resurrects the row under its
+  /// original RowId, so row identity is preserved across aborts); MVCC
+  /// mode discards the transaction's pending versions instead.
   Status Abort(Transaction* txn);
+
+  /// True when the storage engine keeps version chains (num_versions
+  /// >= 2) and snapshot reads are available.
+  bool mvcc_enabled() const { return storage_->mvcc_enabled(); }
+
+  /// Opens a read-only snapshot at the current watermark: the txn
+  /// context for lock-free SELECTs. Closes (and unpins GC) when the
+  /// handle is destroyed.
+  SnapshotHandle OpenSnapshot() {
+    return SnapshotHandle(&storage_->mvcc());
+  }
 
   LockManager& lock_manager() { return lock_manager_; }
 

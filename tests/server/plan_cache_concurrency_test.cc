@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "catalog/catalog.h"
 #include "server/client.h"
 #include "server/plan_cache.h"
 #include "server/youtopia.h"
@@ -20,20 +21,25 @@ namespace {
 
 TEST(PlanCacheConcurrencyTest, RawCacheSurvivesConcurrentMixedTraffic) {
   // Hammer Lookup/Insert/stats from many threads with overlapping keys
-  // and shifting versions; the assertions are TSan's plus basic sanity.
+  // and shifting table versions; the assertions are TSan's plus basic
+  // sanity.
   PlanCache cache(8);
-  auto plan = std::make_shared<PreparedStatement>();
-  std::atomic<uint64_t> version{1};
+  Catalog catalog;
+  ASSERT_TRUE(
+      catalog.CreateTable("t", Schema({{"x", DataType::kInt64, false}})).ok());
   std::vector<std::thread> threads;
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&, t] {
       for (int i = 0; i < 2000; ++i) {
         const std::string key = "stmt-" + std::to_string((t + i) % 12);
-        const uint64_t v = version.load();
-        if (cache.Lookup(key, v) == nullptr) {
-          cache.Insert(key, plan, v);
+        if (cache.Lookup(key, catalog) == nullptr) {
+          // A fresh plan stamped with the current table version, as
+          // PrepareParsed would produce.
+          auto plan = std::make_shared<PreparedStatement>();
+          plan->table_versions.emplace_back("t", catalog.TableVersion("t"));
+          cache.Insert(key, std::move(plan));
         }
-        if (i % 257 == 0) version.fetch_add(1);
+        if (i % 257 == 0) catalog.BumpAllTableVersions();
         if (i % 97 == 0) (void)cache.stats();
       }
     });

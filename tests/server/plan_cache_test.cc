@@ -109,6 +109,37 @@ TEST(PlanCacheTest, CatalogVersionBumpsOnEveryDdl) {
   EXPECT_GT(db.storage().catalog().version(), v2);
 }
 
+TEST(PlanCacheTest, DdlOnOneTableLeavesOtherTablesPlansWarm) {
+  // Relation-granular invalidation: the freshness gate compares
+  // per-table version stamps, so DDL on table A must not discard table
+  // B's cached plan — B's next Prepare is a hit on the very same
+  // shared object.
+  Youtopia db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE a (x INT)").ok());
+  ASSERT_TRUE(db.Execute("CREATE TABLE b (y INT)").ok());
+  auto warm = db.Prepare("SELECT y FROM b");
+  ASSERT_TRUE(warm.ok());
+  const size_t invalidations_before = db.plan_cache().stats().invalidations;
+
+  ASSERT_TRUE(db.Execute("CREATE INDEX ON a (x)").ok());
+  ASSERT_TRUE(db.Execute("DROP TABLE a").ok());
+
+  auto still_warm = db.Prepare("SELECT y FROM b");
+  ASSERT_TRUE(still_warm.ok());
+  EXPECT_EQ(warm->get(), still_warm->get());
+  EXPECT_EQ(db.plan_cache().stats().invalidations, invalidations_before);
+
+  // And a plan over the churned table itself does go stale.
+  ASSERT_TRUE(db.Execute("CREATE TABLE a (x INT, z TEXT)").ok());
+  auto a_plan = db.Prepare("SELECT x FROM a");
+  ASSERT_TRUE(a_plan.ok());
+  ASSERT_TRUE(db.Execute("CREATE INDEX ON a (x)").ok());
+  auto a_replanned = db.Prepare("SELECT x FROM a");
+  ASSERT_TRUE(a_replanned.ok());
+  EXPECT_NE(a_plan->get(), a_replanned->get());
+  EXPECT_GT(db.plan_cache().stats().invalidations, invalidations_before);
+}
+
 TEST(PlanCacheTest, CreateIndexInvalidatesAndReplansToIndexScan) {
   Youtopia db;
   ASSERT_TRUE(db.Execute("CREATE TABLE t (x INT, y TEXT)").ok());
