@@ -64,7 +64,9 @@ int main() {
       travel::FriendGraph::Clique(
           {"Jerry", "Kramer", "Elaine", "George", "Newman", "Susan"}),
       &bus);
-  service.EnableInventoryEnforcement();
+  if (!Check(service.EnableInventoryEnforcement(), "inventory enforcement")) {
+    return 1;
+  }
 
   Banner("Scenario 1: book a flight with a friend");
   auto jerry = service.BookFlightWithFriend("Jerry", "Kramer", "Paris");

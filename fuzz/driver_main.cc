@@ -1,0 +1,224 @@
+// Standalone driver for the fuzz targets when the toolchain has no
+// libFuzzer runtime (gcc builds; clang links -fsanitize=fuzzer and this
+// file is not compiled). It speaks a useful subset of the libFuzzer
+// command line so README instructions work under either compiler:
+//
+//   fuzz_x crash-file ...            run each input once (repro mode)
+//   fuzz_x -runs=N [-seed=S] [-max_len=L] [-dict=F] corpus-dir ...
+//                                    seeded random mutation loop
+//
+// The mutation engine is deliberately simple — bit flips, chunk
+// erase/insert/duplicate, corpus splices and dictionary insertions —
+// enough to shake the decoders locally; coverage-guided exploration is
+// what the clang/libFuzzer CI job is for. On a crash (sanitizer report
+// or FUZZ_ASSERT abort) the dying input is written to crash-<pid>.bin
+// in the working directory for repro.
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+#if defined(__SANITIZE_ADDRESS__)
+extern "C" void __sanitizer_set_death_callback(void (*)());
+#endif
+
+namespace {
+
+std::string g_current;  // Input under test, dumped by the crash handler.
+
+// Signal/death handler: async-signal-safe dump of the dying input.
+void DumpCurrentInput() {
+  char name[64];
+  std::snprintf(name, sizeof(name), "crash-%d.bin", static_cast<int>(getpid()));
+  const int fd = ::open(name, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    ssize_t ignored = ::write(fd, g_current.data(), g_current.size());
+    (void)ignored;
+    ::close(fd);
+  }
+  const char msg[] = "standalone driver: wrote dying input to crash-<pid>.bin\n";
+  ssize_t ignored = ::write(STDERR_FILENO, msg, sizeof(msg) - 1);
+  (void)ignored;
+}
+
+void AbortHandler(int) { DumpCurrentInput(); }
+
+int RunOne(const std::string& input) {
+  g_current = input;
+  return LLVMFuzzerTestOneInput(
+      reinterpret_cast<const uint8_t*>(input.data()), input.size());
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign((std::istreambuf_iterator<char>(in)),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+// Parses a libFuzzer-format dictionary: one optionally `name=`-prefixed
+// quoted token per line, with \\ \" and \xNN escapes; # comments.
+std::vector<std::string> LoadDictionary(const std::string& path) {
+  std::vector<std::string> entries;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t open = line.find('"');
+    if (line.empty() || line[0] == '#' || open == std::string::npos) continue;
+    std::string token;
+    for (size_t i = open + 1; i < line.size() && line[i] != '"'; ++i) {
+      if (line[i] == '\\' && i + 1 < line.size()) {
+        ++i;
+        if (line[i] == 'x' && i + 2 < line.size()) {
+          token.push_back(static_cast<char>(
+              std::stoi(line.substr(i + 1, 2), nullptr, 16)));
+          i += 2;
+        } else {
+          token.push_back(line[i]);
+        }
+      } else {
+        token.push_back(line[i]);
+      }
+    }
+    if (!token.empty()) entries.push_back(std::move(token));
+  }
+  return entries;
+}
+
+std::string Mutate(std::string input, const std::vector<std::string>& corpus,
+                   const std::vector<std::string>& dict, size_t max_len,
+                   std::mt19937_64* rng) {
+  const int rounds = 1 + static_cast<int>((*rng)() % 4);
+  for (int round = 0; round < rounds; ++round) {
+    switch ((*rng)() % 6) {
+      case 0:  // flip bits in one byte
+        if (!input.empty()) {
+          input[(*rng)() % input.size()] ^= static_cast<char>(1u << ((*rng)() % 8));
+        }
+        break;
+      case 1:  // overwrite one byte with anything
+        if (!input.empty()) {
+          input[(*rng)() % input.size()] = static_cast<char>((*rng)());
+        }
+        break;
+      case 2: {  // erase a chunk
+        if (!input.empty()) {
+          const size_t pos = (*rng)() % input.size();
+          input.erase(pos, 1 + (*rng)() % (input.size() - pos));
+        }
+        break;
+      }
+      case 3: {  // insert random bytes
+        std::string chunk(1 + (*rng)() % 8, '\0');
+        for (char& c : chunk) c = static_cast<char>((*rng)());
+        input.insert((*rng)() % (input.size() + 1), chunk);
+        break;
+      }
+      case 4: {  // splice a slice of another corpus entry
+        if (!corpus.empty()) {
+          const std::string& other = corpus[(*rng)() % corpus.size()];
+          if (!other.empty()) {
+            const size_t from = (*rng)() % other.size();
+            const size_t len = 1 + (*rng)() % (other.size() - from);
+            input.insert((*rng)() % (input.size() + 1),
+                         other.substr(from, len));
+          }
+        }
+        break;
+      }
+      case 5:  // insert a dictionary token
+        if (!dict.empty()) {
+          input.insert((*rng)() % (input.size() + 1),
+                       dict[(*rng)() % dict.size()]);
+        }
+        break;
+    }
+  }
+  if (input.size() > max_len) input.resize(max_len);
+  return input;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::signal(SIGABRT, AbortHandler);
+  std::signal(SIGSEGV, AbortHandler);
+#if defined(__SANITIZE_ADDRESS__)
+  // ASan bypasses signal handlers on its own reports; its death
+  // callback covers that path.
+  __sanitizer_set_death_callback(DumpCurrentInput);
+#endif
+
+  long runs = 0;
+  uint64_t seed = 1;
+  size_t max_len = 1 << 16;
+  std::vector<std::string> dict;
+  std::vector<std::string> inputs;  // files and directories
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-runs=", 0) == 0) {
+      runs = std::stol(arg.substr(6));
+    } else if (arg.rfind("-seed=", 0) == 0) {
+      seed = std::stoull(arg.substr(6));
+    } else if (arg.rfind("-max_len=", 0) == 0) {
+      max_len = std::stoul(arg.substr(9));
+    } else if (arg.rfind("-dict=", 0) == 0) {
+      dict = LoadDictionary(arg.substr(6));
+    } else if (arg.rfind("-", 0) == 0) {
+      std::fprintf(stderr, "ignoring unsupported flag %s\n", arg.c_str());
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+
+  std::vector<std::string> corpus;
+  for (const std::string& path : inputs) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        std::string bytes;
+        if (entry.is_regular_file() && ReadFile(entry.path().string(), &bytes)) {
+          corpus.push_back(std::move(bytes));
+        }
+      }
+    } else {
+      std::string bytes;
+      if (!ReadFile(path, &bytes)) {
+        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+        return 2;
+      }
+      corpus.push_back(std::move(bytes));
+    }
+  }
+
+  if (runs == 0) {
+    // Repro mode: libFuzzer semantics — run every input once.
+    std::fprintf(stderr, "running %zu input(s) once each\n", corpus.size());
+    for (const std::string& input : corpus) RunOne(input);
+    std::fprintf(stderr, "done: no crash\n");
+    return 0;
+  }
+
+  std::mt19937_64 rng(seed);
+  for (long i = 0; i < runs; ++i) {
+    std::string base =
+        corpus.empty() ? std::string() : corpus[rng() % corpus.size()];
+    RunOne(Mutate(std::move(base), corpus, dict, max_len, &rng));
+    if ((i + 1) % 100000 == 0) {
+      std::fprintf(stderr, "  %ld/%ld runs\n", i + 1, runs);
+    }
+  }
+  std::fprintf(stderr, "done: %ld mutated runs, no crash\n", runs);
+  return 0;
+}

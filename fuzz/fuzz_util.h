@@ -1,0 +1,24 @@
+#ifndef YOUTOPIA_FUZZ_FUZZ_UTIL_H_
+#define YOUTOPIA_FUZZ_FUZZ_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Shared scaffolding for the libFuzzer targets in fuzz/.
+///
+/// Each target defines `LLVMFuzzerTestOneInput` and asserts its
+/// invariants with FUZZ_ASSERT: unlike the C assert it is active in
+/// every build mode (fuzzing a release binary with assertions compiled
+/// out would be theater) and prints the violated condition before
+/// aborting, so libFuzzer's crash report carries the failed invariant,
+/// not just a SIGABRT.
+#define FUZZ_ASSERT(cond, what)                                          \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "FUZZ_ASSERT failed: %s\n  invariant: %s\n",  \
+                   #cond, what);                                         \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+#endif  // YOUTOPIA_FUZZ_FUZZ_UTIL_H_

@@ -1,0 +1,101 @@
+// Fuzz target: the wire protocol. Bytes are fed to the FrameAssembler
+// in two chunks (exercising the partial-frame resume path), every
+// complete frame is dispatched to the decoder for its announced type,
+// and any accepted message must satisfy a decode -> encode -> decode ->
+// encode fixpoint: re-encoding the re-decoded message must produce the
+// same bytes, or two peers would disagree about what was said.
+//
+// Invariants:
+//   W1  FrameAssembler::Next never crashes or reads out of bounds, and
+//       either yields a frame, asks for more bytes, or rejects the
+//       stream with a Status — on any byte sequence.
+//   W2  Decode(payload) ok  =>  EncodeFrame(msg) re-decodes, and the
+//       second encode equals the first (codec fixpoint).
+//   W3  A decoder never accepts a payload with trailing bytes.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "fuzz_util.h"
+#include "net/protocol.h"
+
+namespace net = youtopia::net;
+
+namespace {
+
+template <typename Message>
+void RoundTrip(std::string_view payload) {
+  auto decoded = net::DecodePayload<Message>(payload);
+  if (!decoded.ok()) return;
+  const std::string once = net::EncodeFrame(*decoded);
+  // Strip the u32 length + type byte to recover the canonical payload.
+  const std::string_view canonical =
+      std::string_view(once).substr(net::kFrameHeaderBytes + 1);
+  auto again = net::DecodePayload<Message>(canonical);
+  FUZZ_ASSERT(again.ok(), "W2: a re-encoded accepted message must decode");
+  FUZZ_ASSERT(net::EncodeFrame(*again) == once,
+              "W2: re-encode must reach a byte-identical fixpoint");
+}
+
+void Dispatch(net::MessageType type, std::string_view payload) {
+  switch (type) {
+    case net::MessageType::kExecuteRequest:
+      return RoundTrip<net::ExecuteRequest>(payload);
+    case net::MessageType::kExecuteResponse:
+      return RoundTrip<net::ExecuteResponse>(payload);
+    case net::MessageType::kScriptRequest:
+      return RoundTrip<net::ScriptRequest>(payload);
+    case net::MessageType::kScriptResponse:
+      return RoundTrip<net::ScriptResponse>(payload);
+    case net::MessageType::kSubmitRequest:
+      return RoundTrip<net::SubmitRequest>(payload);
+    case net::MessageType::kSubmitResponse:
+      return RoundTrip<net::SubmitResponse>(payload);
+    case net::MessageType::kSubmitBatchRequest:
+      return RoundTrip<net::SubmitBatchRequest>(payload);
+    case net::MessageType::kSubmitBatchResponse:
+      return RoundTrip<net::SubmitBatchResponse>(payload);
+    case net::MessageType::kRunRequest:
+      return RoundTrip<net::RunRequest>(payload);
+    case net::MessageType::kRunResponse:
+      return RoundTrip<net::RunResponse>(payload);
+    case net::MessageType::kCancelRequest:
+      return RoundTrip<net::CancelRequest>(payload);
+    case net::MessageType::kCancelResponse:
+      return RoundTrip<net::CancelResponse>(payload);
+    case net::MessageType::kCompletionPush:
+      return RoundTrip<net::CompletionPush>(payload);
+  }
+  // Unknown type byte: the server drops such frames; nothing to check.
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+
+  // Path 1: the stream. A small frame cap keeps hostile length fields
+  // from turning every run into a 64 MiB buffer wait.
+  net::FrameAssembler assembler(/*max_frame_bytes=*/1u << 20);
+  assembler.Append(bytes.substr(0, size / 2));
+  assembler.Append(bytes.substr(size / 2));
+  for (;;) {
+    auto next = assembler.Next();
+    if (!next.ok()) break;              // malformed length: stream dropped
+    if (!next->has_value()) break;      // needs more bytes than we have
+    const net::Frame& frame = **next;
+    Dispatch(frame.type, frame.payload);
+  }
+
+  // Path 2: the payload decoders directly, so coverage does not depend
+  // on the fuzzer first learning the 4-byte framing. First byte selects
+  // the message type, the rest is the payload.
+  if (!bytes.empty()) {
+    Dispatch(static_cast<net::MessageType>(
+                 static_cast<uint8_t>(bytes[0]) % 13 + 1),
+             bytes.substr(1));
+  }
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "common/codec.h"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 
@@ -156,6 +157,13 @@ bool WireReader::GetVarint(uint64_t* v) {
     }
     out |= static_cast<uint64_t>(byte & 0x7f) << shift;
     if ((byte & 0x80) == 0) {
+      // Reject overlong forms (a zero final byte after a continuation,
+      // e.g. 0x80 0x00 for 0): every value has exactly one encoding, so
+      // equal payloads compare equal as bytes. (Found by fuzz_wire.)
+      if (byte == 0 && shift != 0) {
+        ok_ = false;
+        return false;
+      }
       *v = out;
       return true;
     }
@@ -231,7 +239,12 @@ bool WireReader::GetTuple(Tuple* tuple) {
     return false;
   }
   std::vector<Value> values;
-  values.reserve(count);
+  // The remaining-bytes check bounds count, but each Value is ~40 bytes
+  // in memory vs 1 byte minimum on the wire, so reserve(count) still
+  // amplifies a hostile count ~40x (64 MB frame -> 2.5 GB reserve)
+  // before decoding fails. Cap the up-front reservation and let growth
+  // handle honest large tuples. (Found by fuzz_wire.)
+  values.reserve(std::min<uint32_t>(count, kMaxEagerReserve));
   for (uint32_t i = 0; i < count; ++i) {
     Value v;
     if (!GetValue(&v)) return false;
@@ -249,7 +262,7 @@ bool WireReader::GetTuples(std::vector<Tuple>* tuples) {
     return false;
   }
   tuples->clear();
-  tuples->reserve(count);
+  tuples->reserve(std::min<uint32_t>(count, kMaxEagerReserve));
   for (uint32_t i = 0; i < count; ++i) {
     Tuple t;
     if (!GetTuple(&t)) return false;

@@ -42,6 +42,14 @@ class WireWriter {
   std::string bytes_;
 };
 
+/// Cap on up-front vector reservations made from wire-supplied element
+/// counts. A count is validated against the bytes remaining, but
+/// in-memory elements are far larger than their one-byte wire minimum
+/// (a Value is ~40 bytes), so reserve(count) would hand a hostile
+/// 64 MB frame a multi-GB allocation before decoding fails. Decoders
+/// reserve min(count, this) and let vector growth handle honest bulk.
+inline constexpr uint32_t kMaxEagerReserve = 1024;
+
 /// Cursor over a payload. Getters return false on underflow (and on any
 /// later call — the reader is sticky-failed), so decoders can chain
 /// reads and check once. `Error()` renders the failure; decoders also

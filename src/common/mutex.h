@@ -233,7 +233,7 @@ class CAPABILITY("mutex") Mutex {
     lockrank::NoteRelease(this);
   }
 
-  bool TryLock() TRY_ACQUIRE(true) {
+  [[nodiscard]] bool TryLock() TRY_ACQUIRE(true) {
     if (!mu_.try_lock()) return false;
     // A successful try-lock joined the held set; record it so later
     // acquisitions are validated against it. (An out-of-rank try-lock

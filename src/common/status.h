@@ -28,7 +28,11 @@ const char* StatusCodeToString(StatusCode code);
 
 /// A cheap, copyable success-or-error value. All fallible public APIs in
 /// youtopia return `Status` (or `Result<T>` below) instead of throwing.
-class Status {
+/// `[[nodiscard]]` on the class makes silently dropping any returned
+/// Status a compiler warning (an error in CI): an ignored error is a
+/// latent bug, and call sites that genuinely do not care must say so
+/// with an explicit cast to void plus a reason.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -89,9 +93,10 @@ std::ostream& operator<<(std::ostream& os, const Status& s);
 
 /// Holds either a value of type `T` or an error `Status`. Semantics follow
 /// `arrow::Result` / `absl::StatusOr`: access to the value when holding an
-/// error is a programming bug (asserted in debug builds).
+/// error is a programming bug (asserted in debug builds). `[[nodiscard]]`
+/// for the same reason as Status: a dropped Result drops its error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit conversions from both sides keep call sites terse:
   /// `return some_value;` and `return Status::NotFound(...);` both work.

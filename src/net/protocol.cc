@@ -1,5 +1,7 @@
 #include "net/protocol.h"
 
+#include <algorithm>
+
 namespace youtopia::net {
 
 const char* MessageTypeToString(MessageType type) {
@@ -51,7 +53,7 @@ bool GetQueryResult(WireReader* r, QueryResult* result) {
     return false;
   }
   result->column_names.clear();
-  result->column_names.reserve(ncols);
+  result->column_names.reserve(std::min<uint32_t>(ncols, kMaxEagerReserve));
   for (uint32_t i = 0; i < ncols; ++i) {
     std::string name;
     if (!r->GetString(&name)) return false;

@@ -68,8 +68,9 @@ Status Recover(WalManager* wal, StorageEngine* storage, Executor* executor,
   // submission order.
   std::map<uint64_t, CheckpointPending> pending;
 
-  if (wal->checkpoint().has_value()) {
-    const CheckpointState& cp = *wal->checkpoint();
+  const std::optional<CheckpointState>& loaded = wal->checkpoint();
+  if (loaded.has_value()) {
+    const CheckpointState& cp = *loaded;
     YOUTOPIA_RETURN_IF_ERROR(RestoreCheckpoint(storage, cp));
     for (const CheckpointPending& p : cp.pending) pending[p.query_id] = p;
     out->next_query_id = cp.next_query_id;

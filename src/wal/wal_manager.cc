@@ -120,7 +120,13 @@ Status WalManager::Open() {
   for (const auto& entry : std::filesystem::directory_iterator(config_.dir)) {
     unsigned long long seq = 0;
     const std::string name = entry.path().filename().string();
-    if (std::sscanf(name.c_str(), "wal-%llu.log", &seq) == 1) {
+    // Accept only names that round-trip through SegmentPath. sscanf alone
+    // also matches unpadded ("wal-1.log") and suffixed ("wal-1.logx")
+    // names; replay would then reopen the reconstructed padded path and
+    // fail recovery outright — or, with both spellings present, replay
+    // the same sequence number twice. (Found by fuzz_wal_replay.)
+    if (std::sscanf(name.c_str(), "wal-%llu.log", &seq) == 1 &&
+        SegmentPath(seq) == config_.dir + "/" + name) {
       if (seq < first_segment) {
         // Unreachable since the checkpoint; a crash interrupted the
         // post-checkpoint cleanup.

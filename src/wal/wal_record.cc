@@ -1,5 +1,7 @@
 #include "wal/wal_record.h"
 
+#include <algorithm>
+
 namespace youtopia::wal {
 
 WalRecord WalRecord::Statement(std::string sql) {
@@ -82,7 +84,7 @@ bool WalRecord::DecodeFrom(WireReader* r, WalRecord* out) {
         r->MarkFailed();
         return false;
       }
-      out->group.reserve(ngroup);
+      out->group.reserve(std::min<uint64_t>(ngroup, kMaxEagerReserve));
       for (uint64_t i = 0; i < ngroup; ++i) {
         uint64_t id = 0;
         if (!r->GetVarint(&id)) return false;
@@ -93,7 +95,7 @@ bool WalRecord::DecodeFrom(WireReader* r, WalRecord* out) {
         r->MarkFailed();
         return false;
       }
-      out->writes.reserve(nwrites);
+      out->writes.reserve(std::min<uint64_t>(nwrites, kMaxEagerReserve));
       for (uint64_t i = 0; i < nwrites; ++i) {
         WalRedoWrite write;
         uint8_t kind = 0;
@@ -135,7 +137,7 @@ bool DecodeSchema(WireReader* r, Schema* schema) {
     return false;
   }
   std::vector<Column> columns;
-  columns.reserve(ncols);
+  columns.reserve(std::min<uint32_t>(ncols, kMaxEagerReserve));
   for (uint32_t i = 0; i < ncols; ++i) {
     Column column;
     uint8_t type = 0;
@@ -192,7 +194,7 @@ bool CheckpointState::DecodeFrom(WireReader* r, CheckpointState* out) {
     r->MarkFailed();
     return false;
   }
-  out->tables.reserve(ntables);
+  out->tables.reserve(std::min<uint32_t>(ntables, kMaxEagerReserve));
   for (uint32_t i = 0; i < ntables; ++i) {
     CheckpointTable table;
     uint32_t nindexes = 0;
@@ -201,7 +203,7 @@ bool CheckpointState::DecodeFrom(WireReader* r, CheckpointState* out) {
       r->MarkFailed();
       return false;
     }
-    table.indexed_columns.reserve(nindexes);
+    table.indexed_columns.reserve(std::min<uint32_t>(nindexes, kMaxEagerReserve));
     for (uint32_t j = 0; j < nindexes; ++j) {
       std::string column;
       if (!r->GetString(&column)) return false;
@@ -213,7 +215,7 @@ bool CheckpointState::DecodeFrom(WireReader* r, CheckpointState* out) {
       r->MarkFailed();
       return false;
     }
-    table.rows.reserve(nrows);
+    table.rows.reserve(std::min<uint32_t>(nrows, kMaxEagerReserve));
     for (uint32_t j = 0; j < nrows; ++j) {
       uint64_t rid = 0;
       Tuple tuple;
@@ -227,7 +229,7 @@ bool CheckpointState::DecodeFrom(WireReader* r, CheckpointState* out) {
     r->MarkFailed();
     return false;
   }
-  out->pending.reserve(npending);
+  out->pending.reserve(std::min<uint32_t>(npending, kMaxEagerReserve));
   for (uint32_t i = 0; i < npending; ++i) {
     CheckpointPending p;
     if (!r->GetVarint(&p.query_id) || !r->GetString(&p.owner) ||

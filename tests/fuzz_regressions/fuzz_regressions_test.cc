@@ -1,0 +1,214 @@
+// Minimized regressions from the fuzz targets (design decision #11).
+// Each test is the smallest input that demonstrated a defect, kept here
+// so the bug stays fixed even when the fuzzers are not running.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "server/youtopia.h"
+#include "wal/wal_manager.h"
+#include "wal/wal_record.h"
+
+namespace youtopia {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------- varints
+//
+// fuzz_wire: WireReader::GetVarint accepted overlong LEB128 forms
+// ("\x80\x00" for 0), so two different byte strings decoded to the same
+// value and the wire format was not injective. Canonical forms only.
+
+std::string VarintBytes(std::initializer_list<uint8_t> bytes) {
+  std::string out;
+  for (uint8_t b : bytes) out.push_back(static_cast<char>(b));
+  return out;
+}
+
+TEST(VarintRegressionTest, OverlongZeroIsRejected) {
+  const std::string overlong = VarintBytes({0x80, 0x00});
+  WireReader reader(overlong);
+  uint64_t v = 0;
+  EXPECT_FALSE(reader.GetVarint(&v));
+}
+
+TEST(VarintRegressionTest, OverlongSmallValueIsRejected) {
+  // 1 encoded in two bytes instead of one.
+  const std::string overlong = VarintBytes({0x81, 0x00});
+  WireReader reader(overlong);
+  uint64_t v = 0;
+  EXPECT_FALSE(reader.GetVarint(&v));
+}
+
+TEST(VarintRegressionTest, CanonicalFormsRoundTrip) {
+  const uint64_t cases[] = {0,          1,          0x7f,       0x80,
+                            0x3fff,     0x4000,     0xffffffff, 1u << 20,
+                            UINT64_MAX, UINT64_MAX - 1};
+  for (uint64_t value : cases) {
+    WireWriter writer;
+    writer.PutVarint(value);
+    WireReader reader(writer.bytes());
+    uint64_t decoded = 0;
+    ASSERT_TRUE(reader.GetVarint(&decoded)) << value;
+    EXPECT_EQ(decoded, value);
+    EXPECT_TRUE(reader.AtEnd());
+  }
+}
+
+// ------------------------------------------------- reserve amplification
+//
+// fuzz_wire: element counts are validated against the bytes remaining
+// (>= 1 wire byte per element), but reserve(count) allocates the full
+// in-memory element size up front — ~40x amplification, so a 64 MB
+// frame could demand a multi-GB reservation before decoding failed.
+// The fix caps eager reservation at kMaxEagerReserve; these tests pin
+// the correctness side: honest payloads above the cap still decode.
+
+TEST(ReserveRegressionTest, TupleLargerThanEagerCapDecodes) {
+  const uint32_t n = kMaxEagerReserve * 2 + 7;
+  WireWriter writer;
+  Tuple wide;
+  {
+    std::vector<Value> values;
+    for (uint32_t i = 0; i < n; ++i) {
+      values.push_back(Value::Int64(static_cast<int64_t>(i)));
+    }
+    wide = Tuple(std::move(values));
+  }
+  writer.PutTuple(wide);
+  WireReader reader(writer.bytes());
+  Tuple decoded;
+  ASSERT_TRUE(reader.GetTuple(&decoded));
+  ASSERT_EQ(decoded.size(), n);
+  EXPECT_EQ(decoded.at(n - 1).int64_value(), static_cast<int64_t>(n - 1));
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ReserveRegressionTest, HostileCountStillFailsCleanly) {
+  // Count claims one element per remaining byte but the bytes are not
+  // valid values: decode must fail without touching the claimed size.
+  WireWriter writer;
+  writer.PutU32(64);
+  for (int i = 0; i < 64; ++i) writer.PutU8(0xee);  // no such value tag
+  WireReader reader(writer.bytes());
+  Tuple decoded;
+  EXPECT_FALSE(reader.GetTuple(&decoded));
+}
+
+// --------------------------------------------------- wal segment names
+//
+// fuzz_wal_replay: segment discovery parsed names with
+// sscanf("wal-%llu.log"), which also matches unpadded ("wal-1.log") and
+// suffixed ("wal-1.logx") spellings — but replay reopened the segment
+// through SegmentPath(seq), which reconstructs the zero-padded name.
+// A foreign-but-plausible file name in the WAL dir therefore failed
+// recovery outright ("cannot read wal-0000000001.log"), and a dir
+// holding both spellings of one sequence number replayed it twice.
+// Discovery now accepts only names that round-trip through SegmentPath.
+
+class WalSegmentNameTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("fuzz_reg_wal_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void WriteSegment(const std::string& name, const std::string& sql) {
+    WireWriter payload;
+    wal::WalRecord::Statement(sql).EncodeTo(&payload);
+    WireWriter frame;
+    frame.PutU32(static_cast<uint32_t>(payload.bytes().size()));
+    frame.PutU32(Crc32(payload.bytes()));
+    std::ofstream out(dir_ + "/" + name, std::ios::binary);
+    out << frame.bytes() << payload.bytes();
+  }
+
+  size_t ReplayCount() {
+    wal::WalConfig config;
+    config.enabled = true;
+    config.dir = dir_;
+    config.fsync = false;
+    wal::WalManager wal(config);
+    EXPECT_TRUE(wal.Open().ok());
+    size_t records = 0;
+    EXPECT_TRUE(wal.Replay([&](const wal::WalRecord&) {
+                     ++records;
+                     return Status::OK();
+                   })
+                    .ok());
+    return records;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(WalSegmentNameTest, UnpaddedNameIsIgnoredNotFatal) {
+  WriteSegment("wal-1.log", "CREATE TABLE t (x INT)");
+  // Before the fix this failed Open/Replay with "cannot read
+  // wal-0000000001.log"; now the foreign spelling is simply not a
+  // segment.
+  EXPECT_EQ(ReplayCount(), 0u);
+}
+
+TEST_F(WalSegmentNameTest, SuffixedNameIsIgnored) {
+  WriteSegment("wal-0000000001.logx", "CREATE TABLE t (x INT)");
+  EXPECT_EQ(ReplayCount(), 0u);
+}
+
+TEST_F(WalSegmentNameTest, PaddedNameReplays) {
+  WriteSegment("wal-0000000001.log", "CREATE TABLE t (x INT)");
+  EXPECT_EQ(ReplayCount(), 1u);
+}
+
+TEST_F(WalSegmentNameTest, BothSpellingsReplayOnceNotTwice) {
+  WriteSegment("wal-0000000001.log", "CREATE TABLE t (x INT)");
+  WriteSegment("wal-1.log", "CREATE TABLE t (x INT)");
+  // Before the fix both names parsed to seq 1, so the padded file was
+  // replayed twice (duplicate CREATE TABLE on recovery).
+  EXPECT_EQ(ReplayCount(), 1u);
+}
+
+TEST_F(WalSegmentNameTest, EngineRecoversPastForeignNames) {
+  // End to end: a full engine over a dir holding a real log plus a
+  // foreign spelling must recover the real one cleanly.
+  {
+    YoutopiaConfig config;
+    config.wal.enabled = true;
+    config.wal.dir = dir_;
+    config.wal.fsync = false;
+    config.wal.checkpoint_on_shutdown = false;
+    Youtopia db(config);
+    ASSERT_TRUE(db.recovery_status().ok());
+    ASSERT_TRUE(db.Execute("CREATE TABLE t (x INT)").ok());
+    ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (42)").ok());
+  }
+  WriteSegment("wal-7.log", "CREATE TABLE alien (y INT)");
+  YoutopiaConfig config;
+  config.wal.enabled = true;
+  config.wal.dir = dir_;
+  config.wal.fsync = false;
+  Youtopia db(config);
+  ASSERT_TRUE(db.recovery_status().ok()) << db.recovery_status();
+  auto rows = db.Execute("SELECT x FROM t");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->rows.size(), 1u);
+  EXPECT_EQ(rows->rows[0].at(0).int64_value(), 42);
+  EXPECT_FALSE(db.Execute("SELECT * FROM alien").ok());
+}
+
+}  // namespace
+}  // namespace youtopia

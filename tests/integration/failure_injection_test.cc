@@ -99,7 +99,7 @@ TEST_F(FailureInjectionTest, SeatExhaustionLeavesConsistentInventory) {
                   .ok());
   travel::TravelService service(
       &db, travel::FriendGraph::Clique({"A", "B", "C", "D"}), nullptr);
-  service.EnableInventoryEnforcement();
+  ASSERT_TRUE(service.EnableInventoryEnforcement().ok());
 
   auto a = service.BookFlightWithFriend("A", "B", "Paris");
   auto b = service.BookFlightWithFriend("B", "A", "Paris");
@@ -140,7 +140,7 @@ TEST_F(FailureInjectionTest, SeatRaceBetweenAdjacentSeatPairs) {
   ASSERT_TRUE(db.Execute("INSERT INTO Seats VALUES (1, 1), (1, 2)").ok());
   travel::TravelService service(
       &db, travel::FriendGraph::Clique({"A", "B", "C", "D"}), nullptr);
-  service.EnableInventoryEnforcement();
+  ASSERT_TRUE(service.EnableInventoryEnforcement().ok());
 
   auto submit_adjacent = [&service](const std::string& user,
                                     const std::string& companion) {

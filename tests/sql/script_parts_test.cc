@@ -1,0 +1,113 @@
+// Adversarial coverage for Parser::ParseScriptParts offset slicing —
+// the same inputs fuzz_parser seeds with (design decision #11). The
+// invariant mirrors the fuzz target's P3/P4: every accepted script
+// splits into parts whose sliced text reparses to the same statement,
+// and rejection is all-or-nothing.
+
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sql/unparser.h"
+
+namespace youtopia {
+namespace {
+
+struct ScriptCase {
+  const char* name;
+  const char* script;
+  /// Statement count when the script must parse; -1 when it must be
+  /// rejected.
+  int expect_parts;
+};
+
+const ScriptCase kCases[] = {
+    // Comments containing ';' must not terminate a statement.
+    {"semicolon_in_leading_comment",
+     "-- setup; all of it\nSELECT 1; SELECT 2", 2},
+    {"semicolon_in_interior_comment",
+     "SELECT -- not a terminator ;\n 1; SELECT 2", 2},
+    {"comment_only_script", "-- nothing; here\n", 0},
+    {"comment_after_last_statement", "SELECT 1; -- tail; comment", 1},
+    {"comment_between_statements",
+     "SELECT 1;\n-- between; them\nSELECT 2", 2},
+    // ';' inside string literals is data, not a terminator.
+    {"semicolon_in_string", "INSERT INTO t VALUES ('a;b'); SELECT 1", 2},
+    {"quoted_quote_then_semicolon",
+     "INSERT INTO t VALUES ('it''s;fine'); SELECT 1", 2},
+    // Empty statements: stray semicolons collapse, never yield parts.
+    {"only_semicolons", ";;;", 0},
+    {"empty_between_statements", "SELECT 1;;;SELECT 2;", 2},
+    {"leading_semicolons", ";;SELECT 1", 1},
+    {"trailing_semicolons", "SELECT 1;;", 1},
+    {"whitespace_only", "  \n\t ", 0},
+    {"empty_script", "", 0},
+    // Unterminated strings reject the whole script (all-or-nothing),
+    // wherever they appear.
+    {"unterminated_string_first", "SELECT 'oops; SELECT 1", -1},
+    {"unterminated_string_last", "SELECT 1; SELECT 'oops", -1},
+    {"unterminated_after_escape", "SELECT 'a''", -1},
+    // A syntax error in any statement rejects everything before it too.
+    {"error_in_second_statement", "SELECT 1; SELECT FROM FROM", -1},
+    {"missing_separator", "SELECT 1 SELECT 2", -1},
+    // No trailing ';' on the last statement.
+    {"no_trailing_semicolon", "SELECT 1; SELECT 2", 2},
+    {"statement_ends_at_eof_after_comment", "SELECT 1 -- tail\n", 1},
+};
+
+TEST(ScriptPartsTest, AdversarialSlicing) {
+  for (const ScriptCase& c : kCases) {
+    SCOPED_TRACE(c.name);
+    auto parts = Parser::ParseScriptParts(c.script);
+    auto script = Parser::ParseScript(c.script);
+    // ParseScript and ParseScriptParts must agree on accept/reject.
+    EXPECT_EQ(parts.ok(), script.ok());
+    if (c.expect_parts < 0) {
+      EXPECT_FALSE(parts.ok());
+      continue;
+    }
+    ASSERT_TRUE(parts.ok()) << parts.status();
+    EXPECT_EQ(parts->size(), static_cast<size_t>(c.expect_parts));
+    ASSERT_TRUE(script.ok());
+    EXPECT_EQ(script->size(), parts->size());
+    for (const Parser::ScriptPart& part : *parts) {
+      // The sliced text is the plan-cache key for per-step prepare: it
+      // must be nonempty, reparse standalone, and mean the same thing.
+      EXPECT_FALSE(part.text.empty());
+      auto reparsed = Parser::ParseStatement(part.text);
+      ASSERT_TRUE(reparsed.ok())
+          << "slice does not reparse: \"" << part.text << "\": "
+          << reparsed.status();
+      EXPECT_EQ(StatementToSql(**reparsed), StatementToSql(*part.stmt))
+          << "slice drifts from its statement: \"" << part.text << "\"";
+    }
+  }
+}
+
+TEST(ScriptPartsTest, SlicedTextExcludesTerminatorAndNeighbors) {
+  auto parts = Parser::ParseScriptParts(
+      "  SELECT 1 ;\n\tINSERT INTO t VALUES ('x')  ;");
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), 2u);
+  EXPECT_EQ((*parts)[0].text, "SELECT 1");
+  EXPECT_EQ((*parts)[1].text, "INSERT INTO t VALUES ('x')");
+}
+
+TEST(ScriptPartsTest, InteriorCommentStaysInsideItsOwnSlice) {
+  auto parts = Parser::ParseScriptParts(
+      "SELECT -- pick; the\n 1; SELECT 2");
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), 2u);
+  // The first slice carries its interior comment (it reparses fine);
+  // the second must not have absorbed any of the first.
+  EXPECT_EQ((*parts)[1].text, "SELECT 2");
+  auto reparsed = Parser::ParseStatement((*parts)[0].text);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(StatementToSql(**reparsed), "SELECT 1");
+}
+
+}  // namespace
+}  // namespace youtopia

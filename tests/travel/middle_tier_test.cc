@@ -292,7 +292,7 @@ TEST_F(MiddleTierTest, InventoryEnforcementConsumesSeats) {
                   .ok());
   TravelService service2(&db2, FriendGraph::Clique({"A", "B", "C", "D"}),
                          nullptr);
-  service2.EnableInventoryEnforcement();
+  ASSERT_TRUE(service2.EnableInventoryEnforcement().ok());
 
   auto a = service2.BookFlightWithFriend("A", "B", "Paris");
   auto b = service2.BookFlightWithFriend("B", "A", "Paris");
