@@ -82,9 +82,16 @@ int RunConnected(const std::string& endpoint, int sessions, int requests) {
   }
   const std::string host = endpoint.substr(0, colon);
   const int port = std::atoi(endpoint.c_str() + colon + 1);
+  // A middle tier outlives server restarts and rides out admission
+  // sheds: redial a dropped link and retry kOverloaded a few times
+  // before surfacing it to the workload.
+  net::ReconnectPolicy resilience;
+  resilience.reconnect = true;
+  resilience.overload_retry_budget = 4;
   auto client = net::RemoteClient::Connect(
       host, static_cast<uint16_t>(port),
-      ClientOptions("travel", /*record=*/false));
+      ClientOptions("travel", /*record=*/false), net::kMaxFrameBytes,
+      resilience);
   if (!client.ok()) {
     std::fprintf(stderr, "connect %s failed: %s\n", endpoint.c_str(),
                  client.status().ToString().c_str());

@@ -4,7 +4,8 @@
 // entangled-query engine.
 //
 // Usage: youtopia_server [port] [shards] [workers] [--travel]
-//                        [--data-dir <path>]
+//                        [--data-dir <path>] [--admission <n>]
+//                        [--metrics-port <n>]
 //
 //   port      TCP port to bind on 127.0.0.1 (0 = kernel-assigned;
 //             the actual port is printed on the READY line)
@@ -18,6 +19,13 @@
 //             same directory and a half-arrived pair is still waiting
 //             for its partner. With --travel, seeding is skipped when
 //             the recovered state already has the schema.
+//   --admission <n>
+//             shed statements with kOverloaded once the executor queue
+//             reaches n (0 = off, the default): the front door degrades
+//             by rejecting early instead of queueing without bound
+//   --metrics-port <n>
+//             serve the plaintext metrics page on this port (0 =
+//             kernel-assigned; the bound port joins the READY line)
 //
 // Prints "READY port=<n> ..." once accepting, then serves until stdin
 // reaches EOF (pipe-friendly: close the pipe to stop it), shuts down
@@ -39,6 +47,8 @@ int main(int argc, char** argv) {
   int workers = 0;
   bool travel_seed = false;
   const char* data_dir = nullptr;
+  int admission = 0;
+  int metrics_port = -1;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--travel") == 0) {
@@ -47,6 +57,14 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
       data_dir = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--admission") == 0 && i + 1 < argc) {
+      admission = std::atoi(argv[++i]);
+      continue;
+    }
+    if (std::strcmp(argv[i], "--metrics-port") == 0 && i + 1 < argc) {
+      metrics_port = std::atoi(argv[++i]);
       continue;
     }
     const int v = std::atoi(argv[i]);
@@ -61,6 +79,8 @@ int main(int argc, char** argv) {
       shards > 0 ? static_cast<size_t>(shards) : 1;
   config.executor.num_workers =
       workers > 0 ? static_cast<size_t>(workers) : 0;
+  config.executor.admission_high_water =
+      admission > 0 ? static_cast<size_t>(admission) : 0;
   if (data_dir != nullptr) {
     config.wal.enabled = true;
     config.wal.dir = data_dir;
@@ -95,14 +115,18 @@ int main(int argc, char** argv) {
 
   net::ServerConfig server_config;
   server_config.port = static_cast<uint16_t>(port);
+  server_config.metrics_port = metrics_port;
   net::YoutopiaServer server(&db, server_config);
   const Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
     return 1;
   }
-  std::printf("READY port=%u shards=%zu workers=%zu\n", server.port(),
-              config.coordinator.num_shards, config.executor.num_workers);
+  std::printf("READY port=%u shards=%zu workers=%zu admission=%zu "
+              "metrics_port=%u\n",
+              server.port(), config.coordinator.num_shards,
+              config.executor.num_workers,
+              config.executor.admission_high_water, server.metrics_port());
   std::fflush(stdout);
 
   while (std::fgetc(stdin) != EOF) {
@@ -112,8 +136,8 @@ int main(int argc, char** argv) {
   const auto stats = server.stats();
   std::printf(
       "youtopia_server: clean shutdown (connections=%zu requests=%zu "
-      "pushes=%zu protocol_errors=%zu)\n",
-      stats.connections_accepted, stats.requests, stats.pushes,
+      "shed=%zu pushes=%zu protocol_errors=%zu)\n",
+      stats.connections_accepted, stats.requests, stats.shed, stats.pushes,
       stats.protocol_errors);
   return 0;
 }

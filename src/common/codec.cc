@@ -185,7 +185,7 @@ bool WireReader::GetStatus(Status* status) {
   uint8_t code = 0;
   std::string message;
   if (!GetU8(&code) || !GetString(&message)) return false;
-  if (code > static_cast<uint8_t>(StatusCode::kNotImplemented)) {
+  if (code > static_cast<uint8_t>(StatusCode::kOverloaded)) {
     ok_ = false;
     return false;
   }

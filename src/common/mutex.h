@@ -124,6 +124,10 @@ enum class LockRank : uint16_t {
   kExecutorService = 20,
   /// net::YoutopiaServer::mu_ (connection table, lifecycle).
   kNetServer = 30,
+  /// net::MetricsExporter::mu_ (listener lifecycle only; the render
+  /// callback runs with no exporter lock held, so engine stats reads
+  /// nest freely). Started/stopped under kNetServer, hence above it.
+  kMetricsExporter = 34,
   /// net::YoutopiaServer shared stats block (nested under kNetServer).
   kNetServerStats = 40,
   /// net::RemoteClient::mu_ (in-flight requests, pending handles).

@@ -21,6 +21,7 @@ enum class StatusCode {
   kTimedOut,          ///< Lock wait or coordination deadline expired.
   kInternal,          ///< Invariant violation inside the engine.
   kNotImplemented,    ///< Feature intentionally out of scope.
+  kOverloaded,        ///< Shed at admission before any side effect; retryable.
 };
 
 /// Returns a stable human-readable name ("Ok", "InvalidArgument", ...).
@@ -71,6 +72,9 @@ class [[nodiscard]] Status {
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,160 @@
+#include "net/metrics_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace youtopia::net {
+
+namespace {
+
+/// A scraper that neither finishes its request nor drains the response
+/// within this long is dropped; the next scrape starts fresh.
+constexpr int kSocketTimeoutSecs = 2;
+
+/// Upper bound on the request we bother reading. Anything a real
+/// scraper sends ("GET /metrics HTTP/1.x" + a few headers) fits with
+/// room to spare; the rest of an oversized request is simply not read.
+constexpr size_t kMaxRequestBytes = 8 * 1024;
+
+void SetSocketTimeouts(int fd) {
+  timeval tv{};
+  tv.tv_sec = kSocketTimeoutSecs;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+MetricsExporter::MetricsExporter(Renderer renderer)
+    : renderer_(std::move(renderer)) {}
+
+MetricsExporter::~MetricsExporter() { Stop(); }
+
+Status MetricsExporter::Start(const std::string& bind_address,
+                              uint16_t port) {
+  MutexLock lock(mu_);
+  if (started_) return Status::AlreadyExists("metrics exporter already started");
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address: " + bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status status =
+        Status::Internal("bind " + bind_address + ":" + std::to_string(port) +
+                         ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 16) != 0) {
+    const Status status =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const Status status =
+        Status::Internal(std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  started_ = true;
+  // The thread gets its own copy of the descriptor: Stop() nulls the
+  // member while the loop may still be blocked in accept().
+  accept_thread_ = std::thread([this, fd] { ServeLoop(fd); });
+  return Status::OK();
+}
+
+void MetricsExporter::Stop() {
+  std::thread accept_thread;
+  int listen_fd = -1;
+  {
+    MutexLock lock(mu_);
+    if (!started_) return;
+    started_ = false;
+    listen_fd = listen_fd_;
+    listen_fd_ = -1;
+    ::shutdown(listen_fd, SHUT_RDWR);
+    accept_thread = std::move(accept_thread_);
+  }
+  if (accept_thread.joinable()) accept_thread.join();
+  if (listen_fd >= 0) ::close(listen_fd);
+}
+
+uint16_t MetricsExporter::port() const {
+  MutexLock lock(mu_);
+  return port_;
+}
+
+void MetricsExporter::ServeLoop(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // Stop() shut the listener down.
+    }
+    SetSocketTimeouts(fd);
+    // Read until the blank line ending the request headers (or EOF, a
+    // bare-TCP scraper like `nc` that just waits for output). The
+    // request itself is ignored: every path serves the metrics page.
+    std::string request;
+    char buf[1024];
+    while (request.size() < kMaxRequestBytes &&
+           request.find("\r\n\r\n") == std::string::npos &&
+           request.find("\n\n") == std::string::npos) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        break;
+      }
+      request.append(buf, static_cast<size_t>(n));
+    }
+    const std::string body = renderer_ ? renderer_() : std::string();
+    std::string response = "HTTP/1.0 200 OK\r\n";
+    response += "Content-Type: text/plain; version=0.0.4\r\n";
+    response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    response += "Connection: close\r\n\r\n";
+    response += body;
+    SendAll(fd, response);
+    ::close(fd);
+  }
+}
+
+}  // namespace youtopia::net

@@ -1,0 +1,61 @@
+#ifndef YOUTOPIA_NET_METRICS_EXPORTER_H_
+#define YOUTOPIA_NET_METRICS_EXPORTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/mutex.h"
+#include "common/status.h"
+
+namespace youtopia::net {
+
+/// Minimal plaintext metrics endpoint: a side listener that answers any
+/// HTTP/1.0 GET with `Content-Type: text/plain` and whatever the render
+/// callback returns — the Prometheus exposition idiom, small enough to
+/// need no HTTP library. One accept-loop thread serves scrapes inline
+/// (a scrape is one render + one write; scrapers are few and periodic),
+/// with short socket timeouts so a stalled scraper cannot wedge the
+/// loop.
+///
+/// The render callback runs on the exporter thread with no exporter
+/// lock held. It must only touch state that outlives the exporter —
+/// the owner stops the exporter (joining that thread) before tearing
+/// down anything the callback reads.
+class MetricsExporter {
+ public:
+  using Renderer = std::function<std::string()>;
+
+  explicit MetricsExporter(Renderer renderer);
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// Binds `bind_address:port` (port 0 = kernel-assigned) and spawns
+  /// the accept loop. Fails if already started or the address is taken.
+  Status Start(const std::string& bind_address, uint16_t port);
+
+  /// Stops the listener and joins the accept thread (waiting out any
+  /// scrape being served). Idempotent; the destructor calls it.
+  void Stop();
+
+  /// The bound TCP port; valid after a successful Start().
+  uint16_t port() const;
+
+ private:
+  void ServeLoop(int listen_fd);
+
+  const Renderer renderer_;
+
+  mutable Mutex mu_{LockRank::kMetricsExporter, "metrics_exporter"};
+  bool started_ GUARDED_BY(mu_) = false;
+  int listen_fd_ GUARDED_BY(mu_) = -1;
+  uint16_t port_ GUARDED_BY(mu_) = 0;
+  std::thread accept_thread_ GUARDED_BY(mu_);
+};
+
+}  // namespace youtopia::net
+
+#endif  // YOUTOPIA_NET_METRICS_EXPORTER_H_

@@ -11,13 +11,41 @@
 #include <cstring>
 #include <utility>
 
+#include "common/backoff.h"
 #include "common/logging.h"
 
 namespace youtopia::net {
 
-Result<std::unique_ptr<RemoteClient>> RemoteClient::Connect(
-    const std::string& host, uint16_t port, ClientOptions options,
-    uint32_t max_frame_bytes) {
+namespace {
+
+StatusCode CodeOf(const Status& s) { return s.code(); }
+template <typename T>
+StatusCode CodeOf(const Result<T>& r) {
+  return r.status().code();
+}
+
+/// Drives `issue` until it returns anything but kOverloaded or the
+/// policy's retry budget is spent. Shed statements were rejected before
+/// any side effect (design decision #12), so re-issuing is safe; the
+/// pacing is the system-wide ExponentialBackoff schedule.
+template <typename Fn>
+auto RetryOverloaded(const ReconnectPolicy& policy, Fn&& issue)
+    -> decltype(issue()) {
+  for (size_t attempt = 0;; ++attempt) {
+    auto result = issue();
+    if (CodeOf(result) != StatusCode::kOverloaded ||
+        attempt >= policy.overload_retry_budget) {
+      return result;
+    }
+    std::this_thread::sleep_for(ExponentialBackoff(
+        policy.overload_retry_interval, policy.overload_retry_max_interval,
+        attempt));
+  }
+}
+
+}  // namespace
+
+Result<int> RemoteClient::Dial(const std::string& host, uint16_t port) {
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
@@ -47,21 +75,38 @@ Result<std::unique_ptr<RemoteClient>> RemoteClient::Connect(
   if (fd < 0) return last;
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return std::unique_ptr<RemoteClient>(
-      new RemoteClient(fd, std::move(options), max_frame_bytes));
+  return fd;
 }
 
-RemoteClient::RemoteClient(int fd, ClientOptions options,
-                           uint32_t max_frame_bytes)
+Result<std::unique_ptr<RemoteClient>> RemoteClient::Connect(
+    const std::string& host, uint16_t port, ClientOptions options,
+    uint32_t max_frame_bytes, ReconnectPolicy policy) {
+  // The initial dial is strict — a wrong address should fail fast; the
+  // policy governs re-dials of a connection that once worked.
+  auto fd = Dial(host, port);
+  if (!fd.ok()) return fd.status();
+  return std::unique_ptr<RemoteClient>(
+      new RemoteClient(*fd, host, port, std::move(options), max_frame_bytes,
+                       policy));
+}
+
+RemoteClient::RemoteClient(int fd, std::string host, uint16_t port,
+                           ClientOptions options, uint32_t max_frame_bytes,
+                           ReconnectPolicy policy)
     : fd_(fd),
+      host_(std::move(host)),
+      port_(port),
       options_(std::move(options)),
-      max_frame_bytes_(max_frame_bytes) {
+      max_frame_bytes_(max_frame_bytes),
+      policy_(policy) {
   reader_ = std::thread([this] { ReaderLoop(); });
   completion_dispatcher_ = std::thread([this] { CompletionLoop(); });
 }
 
 RemoteClient::~RemoteClient() {
   Close();
+  // Both threads are joined; the lock only satisfies the analysis.
+  MutexLock lock(write_mu_);
   ::close(fd_);
 }
 
@@ -75,7 +120,19 @@ void RemoteClient::Close() {
   // not double-join the threads; late callers block until the first
   // finishes tearing down.
   std::call_once(close_once_, [this] {
-    ::shutdown(fd_, SHUT_RDWR);
+    {
+      // user_closed_ first: the reader checks it under mu_ before
+      // installing a redialed socket, so after this point it either
+      // never installs (sees the flag) or installed already (then the
+      // shutdown below hits the fresh descriptor). Either way it exits.
+      MutexLock lock(mu_);
+      user_closed_ = true;
+    }
+    link_cv_.NotifyAll();
+    {
+      MutexLock lock(write_mu_);
+      ::shutdown(fd_, SHUT_RDWR);
+    }
     if (reader_.joinable()) reader_.join();
     // ReaderLoop's exit path aborted everything already; this covers a
     // Close before the reader noticed the shutdown.
@@ -118,7 +175,14 @@ Status RemoteClient::Call(uint64_t request_id, const std::string& frame,
   }
   {
     MutexLock lock(mu_);
-    if (closed_) return Status::Aborted("client is closed");
+    if (policy_.reconnect) {
+      // A redial in progress is not a dead client: wait for the link
+      // verdict instead of failing calls that raced the drop window.
+      // Bounded — the reader either lands a socket or gives up after
+      // its attempt budget, and Close() interrupts.
+      link_cv_.Wait(mu_, [this]() { return !redialing_ || user_closed_; });
+    }
+    if (closed_ || user_closed_) return Status::Aborted("client is closed");
     in_flight_.emplace(request_id, std::move(handler));
   }
   const Status sent = SendBytes(frame);
@@ -130,35 +194,91 @@ Status RemoteClient::Call(uint64_t request_id, const std::string& frame,
   return sent;
 }
 
-void RemoteClient::ReaderLoop() {
+Status RemoteClient::ReadFromSocket(int fd) {
   FrameAssembler assembler(max_frame_bytes_);
   char buf[1 << 16];
-  Status reason = Status::Aborted("connection closed by server");
   for (;;) {
-    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
-    if (n == 0) break;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) return Status::Aborted("connection closed by server");
     if (n < 0) {
       if (errno == EINTR) continue;
-      reason = Status::Aborted(std::string("connection lost: ") +
-                               std::strerror(errno));
-      break;
+      return Status::Aborted(std::string("connection lost: ") +
+                             std::strerror(errno));
     }
     assembler.Append(buf, static_cast<size_t>(n));
-    bool broken = false;
     for (;;) {
       auto next = assembler.Next();
-      if (!next.ok()) {
-        reason = next.status();
-        broken = true;
-        break;
-      }
+      if (!next.ok()) return next.status();
       if (!next->has_value()) break;
       HandleIncoming(std::move(**next));
     }
-    if (broken) break;
   }
-  ::shutdown(fd_, SHUT_RDWR);
-  AbortEverything(reason);
+}
+
+int RemoteClient::Redial() {
+  for (size_t attempt = 0; attempt < policy_.max_reconnect_attempts;
+       ++attempt) {
+    {
+      MutexLock lock(mu_);
+      const auto pause =
+          ExponentialBackoff(policy_.reconnect_interval,
+                             policy_.reconnect_max_interval, attempt);
+      // The backoff sleep doubles as the Close() observation point.
+      link_cv_.WaitFor(mu_, pause, [this]() { return user_closed_; });
+      if (user_closed_) return -1;
+    }
+    auto fd = Dial(host_, port_);
+    if (fd.ok()) return *fd;
+  }
+  return -1;
+}
+
+void RemoteClient::ReaderLoop() {
+  int fd;
+  {
+    MutexLock lock(write_mu_);
+    fd = fd_;
+  }
+  for (;;) {
+    const Status reason = ReadFromSocket(fd);
+    ::shutdown(fd, SHUT_RDWR);
+    bool redial;
+    {
+      MutexLock lock(mu_);
+      redial = policy_.reconnect && !user_closed_;
+      // Raised before AbortEverything flips closed_, so a Call arriving
+      // after the drop waits for the link verdict instead of failing.
+      redialing_ = redial;
+    }
+    // Every in-flight request and pending handle fails with kAborted
+    // even when a redial follows: the server lost their state with the
+    // connection, and silently re-running a non-idempotent statement is
+    // worse than surfacing a retryable error.
+    AbortEverything(reason);
+    if (!redial) return;
+    const int new_fd = Redial();
+    {
+      MutexLock lock(mu_);
+      if (new_fd < 0 || user_closed_) {
+        redialing_ = false;
+        link_cv_.NotifyAll();
+        if (new_fd >= 0) ::close(new_fd);
+        return;
+      }
+      {
+        // Writers are excluded while the socket swaps; the old
+        // descriptor is closed here (not in the destructor) so a
+        // long-lived reconnecting client never leaks descriptors.
+        MutexLock wlock(write_mu_);
+        ::close(fd_);
+        fd_ = new_fd;
+      }
+      closed_ = false;
+      redialing_ = false;
+    }
+    link_cv_.NotifyAll();
+    fd = new_fd;
+  }
 }
 
 void RemoteClient::HandleIncoming(Frame frame) {
@@ -312,7 +432,8 @@ std::future<Result<QueryResult>> RemoteClient::ExecuteAsync(
 }
 
 Result<QueryResult> RemoteClient::Execute(const std::string& sql) {
-  return ExecuteAsync(sql).get();
+  return RetryOverloaded(policy_,
+                         [&] { return ExecuteAsync(sql).get(); });
 }
 
 std::future<Status> RemoteClient::ExecuteScriptAsync(const std::string& sql) {
@@ -334,7 +455,8 @@ std::future<Status> RemoteClient::ExecuteScriptAsync(const std::string& sql) {
 }
 
 Status RemoteClient::ExecuteScript(const std::string& sql) {
-  return ExecuteScriptAsync(sql).get();
+  return RetryOverloaded(policy_,
+                         [&] { return ExecuteScriptAsync(sql).get(); });
 }
 
 Result<EntangledHandle> RemoteClient::Submit(const std::string& sql,
@@ -342,9 +464,8 @@ Result<EntangledHandle> RemoteClient::Submit(const std::string& sql,
   return SubmitAs(options_.owner, sql, std::move(on_complete));
 }
 
-Result<EntangledHandle> RemoteClient::SubmitAs(
-    const std::string& owner, const std::string& sql,
-    CompletionCallback on_complete) {
+Result<EntangledHandle> RemoteClient::SubmitOnce(const std::string& owner,
+                                                 const std::string& sql) {
   auto promise = std::make_shared<std::promise<Result<EntangledHandle>>>();
   auto future = promise->get_future();
   const uint64_t id = NextRequestId();
@@ -367,7 +488,17 @@ Result<EntangledHandle> RemoteClient::SubmitAs(
         }
       });
   if (!issued.ok()) return issued;
-  auto handle = future.get();
+  return future.get();
+}
+
+Result<EntangledHandle> RemoteClient::SubmitAs(
+    const std::string& owner, const std::string& sql,
+    CompletionCallback on_complete) {
+  // Safe to retry on kOverloaded: a Run of an entangled statement can
+  // be shed at admission, which happens before coordinator
+  // registration — no phantom coordination exists for a shed submit.
+  auto handle =
+      RetryOverloaded(policy_, [&] { return SubmitOnce(owner, sql); });
   if (!handle.ok()) return handle;
   if (on_complete) handle->OnComplete(std::move(on_complete));
   return handle;
@@ -379,10 +510,9 @@ Result<std::vector<EntangledHandle>> RemoteClient::SubmitBatch(
   return SubmitBatchAs({}, statements, std::move(on_complete));
 }
 
-Result<std::vector<EntangledHandle>> RemoteClient::SubmitBatchAs(
+Result<std::vector<EntangledHandle>> RemoteClient::SubmitBatchOnce(
     const std::vector<std::string>& owners,
-    const std::vector<std::string>& statements,
-    CompletionCallback on_complete) {
+    const std::vector<std::string>& statements) {
   SubmitBatchRequest req;
   req.request_id = NextRequestId();
   if (owners.empty()) {
@@ -420,7 +550,15 @@ Result<std::vector<EntangledHandle>> RemoteClient::SubmitBatchAs(
         promise->set_value(std::move(handles));
       });
   if (!issued.ok()) return issued;
-  auto handles = future.get();
+  return future.get();
+}
+
+Result<std::vector<EntangledHandle>> RemoteClient::SubmitBatchAs(
+    const std::vector<std::string>& owners,
+    const std::vector<std::string>& statements,
+    CompletionCallback on_complete) {
+  auto handles = RetryOverloaded(
+      policy_, [&] { return SubmitBatchOnce(owners, statements); });
   if (!handles.ok()) return handles;
   if (on_complete) {
     for (EntangledHandle& handle : *handles) handle.OnComplete(on_complete);
@@ -463,7 +601,7 @@ std::future<Result<RunOutcome>> RemoteClient::RunAsync(
 }
 
 Result<RunOutcome> RemoteClient::Run(const std::string& sql) {
-  return RunAsync(sql).get();
+  return RetryOverloaded(policy_, [&] { return RunAsync(sql).get(); });
 }
 
 // ------------------------------------------------------------- tracking

@@ -2,6 +2,7 @@
 #define YOUTOPIA_NET_REMOTE_CLIENT_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -18,6 +19,33 @@
 #include "server/client_interface.h"
 
 namespace youtopia::net {
+
+/// Resilience policy for a RemoteClient (both knobs off by default —
+/// the seed's fail-fast semantics).
+struct ReconnectPolicy {
+  /// Re-dial a dropped connection from the reader thread with
+  /// exponential backoff instead of staying down. The drop itself
+  /// still fails every in-flight request and pending handle with
+  /// kAborted — a non-idempotent statement must never silently re-run
+  /// — but *later* calls wait out the redial and go over the fresh
+  /// connection, on which push dispatch is re-registered as handles
+  /// are adopted.
+  bool reconnect = false;
+  /// Dial attempts per drop before the client gives up for good.
+  size_t max_reconnect_attempts = 8;
+  std::chrono::milliseconds reconnect_interval{50};
+  std::chrono::milliseconds reconnect_max_interval{2000};
+
+  /// Transparent retries of kOverloaded responses on the synchronous
+  /// surface (Execute/ExecuteScript/Run/Submit*). A shed statement was
+  /// rejected before any side effect, so re-issuing is always safe;
+  /// after the budget the kOverloaded status is surfaced to the
+  /// caller. The async surface never retries — open-loop callers need
+  /// to see every shed.
+  size_t overload_retry_budget = 0;
+  std::chrono::milliseconds overload_retry_interval{5};
+  std::chrono::milliseconds overload_retry_max_interval{250};
+};
 
 /// Wire-protocol counterpart of the in-process `Client`: the same
 /// `ClientInterface` surface, spoken to a `YoutopiaServer` over TCP, so
@@ -52,7 +80,8 @@ class RemoteClient : public ClientInterface {
   /// making the server sever the connection.
   static Result<std::unique_ptr<RemoteClient>> Connect(
       const std::string& host, uint16_t port, ClientOptions options = {},
-      uint32_t max_frame_bytes = kMaxFrameBytes);
+      uint32_t max_frame_bytes = kMaxFrameBytes,
+      ReconnectPolicy policy = {});
 
   ~RemoteClient() override;
 
@@ -61,8 +90,11 @@ class RemoteClient : public ClientInterface {
 
   const ClientOptions& options() const { return options_; }
   const std::string& owner() const override { return options_.owner; }
+  const ReconnectPolicy& reconnect_policy() const { return policy_; }
 
-  /// True until the socket fails or Close() runs.
+  /// True while the link is up: false after Close(), and — with
+  /// reconnect off — after the socket fails. With reconnect on it goes
+  /// false on a drop and true again once the redial lands.
   bool connected() const;
 
   /// Severs the connection: fails in-flight requests, aborts pending
@@ -99,7 +131,12 @@ class RemoteClient : public ClientInterface {
   /// thread (or the thread that discovered the failure).
   using ResponseHandler = std::function<void(Result<Frame>)>;
 
-  RemoteClient(int fd, ClientOptions options, uint32_t max_frame_bytes);
+  RemoteClient(int fd, std::string host, uint16_t port,
+               ClientOptions options, uint32_t max_frame_bytes,
+               ReconnectPolicy policy);
+
+  /// Resolves and connects one TCP socket (no client state touched).
+  static Result<int> Dial(const std::string& host, uint16_t port);
 
   uint64_t NextRequestId() { return next_request_id_.fetch_add(1); }
 
@@ -113,6 +150,23 @@ class RemoteClient : public ClientInterface {
   Status SendBytes(const std::string& bytes);
 
   void ReaderLoop();
+  /// Reads `fd` until it fails or delivers a bad frame; returns the
+  /// reason the connection is done.
+  Status ReadFromSocket(int fd);
+  /// Dials host_:port_ on the ExponentialBackoff schedule until a
+  /// socket connects, the attempt budget runs out (-1) or Close()
+  /// interrupts the backoff (-1). Runs on the reader thread.
+  int Redial();
+
+  /// One-shot wire round trips behind the Submit surfaces, split out so
+  /// the overload-retry wrapper can re-issue them with fresh request
+  /// ids.
+  Result<EntangledHandle> SubmitOnce(const std::string& owner,
+                                     const std::string& sql);
+  Result<std::vector<EntangledHandle>> SubmitBatchOnce(
+      const std::vector<std::string>& owners,
+      const std::vector<std::string>& statements);
+
   void HandleIncoming(Frame frame);
   void ApplyCompletion(const CompletionPush& push);
   /// Fails every in-flight request and pending handle (connection loss).
@@ -131,9 +185,15 @@ class RemoteClient : public ClientInterface {
   /// `handles_` awaiting their CompletionPush.
   EntangledHandle AdoptHandle(const WireHandle& wire);
 
-  int fd_;
+  /// The live socket. Guarded by write_mu_: a redial swaps it while
+  /// writers are excluded; the reader works on a local copy it refreshes
+  /// after each swap (it is the thread doing the swapping).
+  int fd_ GUARDED_BY(write_mu_);
+  const std::string host_;
+  const uint16_t port_;
   ClientOptions options_;
   const uint32_t max_frame_bytes_;
+  const ReconnectPolicy policy_;
   /// Guards teardown: Close() may race the destructor (or another
   /// Close); only one caller runs the join sequence, the rest wait on
   /// it.
@@ -164,6 +224,15 @@ class RemoteClient : public ClientInterface {
   /// write lock (Call registers in_flight_ under mu_, then sends).
   mutable Mutex mu_{LockRank::kRemoteClient, "remote_client"};
   bool closed_ GUARDED_BY(mu_) = false;
+  /// Set by Close(); distinguishes "the user is done" from "the link
+  /// dropped" (closed_), which reconnect may heal.
+  bool user_closed_ GUARDED_BY(mu_) = false;
+  /// True while the reader thread is between a drop and a landed
+  /// redial; Call waits it out instead of failing.
+  bool redialing_ GUARDED_BY(mu_) = false;
+  /// Signals link-state changes: redial landed or failed for good,
+  /// Close() during a backoff sleep.
+  CondVar link_cv_;
   std::map<uint64_t, ResponseHandler> in_flight_ GUARDED_BY(mu_);
   /// Pending detached handles by engine query id.
   std::map<uint64_t, EntangledHandle> handles_ GUARDED_BY(mu_);

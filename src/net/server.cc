@@ -8,10 +8,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
 #include "common/logging.h"
+#include "server/metrics.h"
 #include "service/executor_service.h"
 
 namespace youtopia::net {
@@ -21,6 +23,13 @@ namespace {
 /// Client-side view of `handle` right now. Monotone: once done, outcome
 /// and answers are stable, so a done=true snapshot is complete; a
 /// done=false snapshot is completed later by the push path.
+uint64_t ElapsedMicros(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
 WireHandle SnapshotHandle(const EntangledHandle& handle) {
   WireHandle wire;
   wire.query_id = handle.id();
@@ -146,7 +155,12 @@ struct YoutopiaServer::Connection {
 };
 
 YoutopiaServer::YoutopiaServer(Youtopia* db, ServerConfig config)
-    : db_(db), config_(std::move(config)) {}
+    : db_(db),
+      config_(std::move(config)),
+      // The render callback runs on the exporter thread; Stop() joins
+      // that thread before the server's own teardown, so `this` is
+      // valid for as long as the callback can fire.
+      metrics_exporter_([this] { return MetricsText(); }) {}
 
 YoutopiaServer::~YoutopiaServer() { Stop(); }
 
@@ -193,6 +207,14 @@ Status YoutopiaServer::Start() {
     ::close(fd);
     return status;
   }
+  if (config_.metrics_port >= 0) {
+    const Status metrics_started = metrics_exporter_.Start(
+        config_.bind_address, static_cast<uint16_t>(config_.metrics_port));
+    if (!metrics_started.ok()) {
+      ::close(fd);
+      return metrics_started;
+    }
+  }
   port_ = ntohs(bound.sin_port);
   listen_fd_ = fd;
   started_ = true;
@@ -204,6 +226,10 @@ Status YoutopiaServer::Start() {
 }
 
 void YoutopiaServer::Stop() {
+  // First: no more scrapes. Joining the exporter thread here means no
+  // render callback can observe the teardown below (it reads db_ and
+  // the shared stats block, both still fully alive at this point).
+  metrics_exporter_.Stop();
   std::map<uint64_t, std::shared_ptr<Connection>> connections;
   std::map<uint64_t, std::thread> readers;
   std::thread accept_thread;
@@ -255,6 +281,73 @@ bool YoutopiaServer::running() const {
 YoutopiaServer::Stats YoutopiaServer::stats() const {
   MutexLock lock(shared_stats_->mu);
   return shared_stats_->stats;
+}
+
+uint16_t YoutopiaServer::metrics_port() const {
+  return config_.metrics_port >= 0 ? metrics_exporter_.port() : 0;
+}
+
+Histogram YoutopiaServer::statement_latency() const {
+  return shared_stats_->statement_latency;
+}
+
+std::string YoutopiaServer::MetricsText() const {
+  std::string out;
+  AppendEngineMetrics(*db_, &out);
+
+  Stats s;
+  {
+    MutexLock lock(shared_stats_->mu);
+    s = shared_stats_->stats;
+  }
+  AppendMetric("youtopia_server_connections_accepted_total", "counter",
+               static_cast<double>(s.connections_accepted), &out);
+  AppendMetric("youtopia_server_connections_active", "gauge",
+               static_cast<double>(s.connections_active), &out);
+  AppendMetric("youtopia_server_requests_total", "counter",
+               static_cast<double>(s.requests), &out);
+  AppendMetric("youtopia_server_shed_total", "counter",
+               static_cast<double>(s.shed), &out);
+  AppendMetric("youtopia_server_pushes_total", "counter",
+               static_cast<double>(s.pushes), &out);
+  AppendMetric("youtopia_server_protocol_errors_total", "counter",
+               static_cast<double>(s.protocol_errors), &out);
+
+  char line[192];
+  out += "# TYPE youtopia_server_requests_by_type_total counter\n";
+  for (size_t i = 0; i < s.requests_by_type.size(); ++i) {
+    if (s.requests_by_type[i] == 0) continue;
+    std::snprintf(line, sizeof(line),
+                  "youtopia_server_requests_by_type_total{type=\"%s\"} %llu\n",
+                  MessageTypeToString(static_cast<MessageType>(i)),
+                  static_cast<unsigned long long>(s.requests_by_type[i]));
+    out += line;
+  }
+
+  const Histogram lat = shared_stats_->statement_latency;
+  out += "# TYPE youtopia_server_statement_latency_us summary\n";
+  const struct {
+    const char* label;
+    double p;
+  } quantiles[] = {{"0.5", 50.0}, {"0.9", 90.0}, {"0.99", 99.0}};
+  for (const auto& q : quantiles) {
+    std::snprintf(
+        line, sizeof(line),
+        "youtopia_server_statement_latency_us{quantile=\"%s\"} %llu\n",
+        q.label,
+        static_cast<unsigned long long>(
+            lat.count() == 0 ? 0 : lat.Percentile(q.p)));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "youtopia_server_statement_latency_us_sum %.0f\n",
+                lat.mean() * static_cast<double>(lat.count()));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "youtopia_server_statement_latency_us_count %llu\n",
+                static_cast<unsigned long long>(lat.count()));
+  out += line;
+  return out;
 }
 
 void YoutopiaServer::AcceptLoop(int listen_fd) {
@@ -357,7 +450,12 @@ Status YoutopiaServer::Dispatch(const std::shared_ptr<Connection>& conn,
   {
     MutexLock lock(shared_stats_->mu);
     ++shared_stats_->stats.requests;
+    const size_t type_index = static_cast<size_t>(frame.type);
+    if (type_index < shared_stats_->stats.requests_by_type.size()) {
+      ++shared_stats_->stats.requests_by_type[type_index];
+    }
   }
+  const auto dispatched_at = std::chrono::steady_clock::now();
   switch (frame.type) {
     case MessageType::kExecuteRequest: {
       auto req = DecodePayload<ExecuteRequest>(frame.payload);
@@ -368,12 +466,15 @@ Status YoutopiaServer::Dispatch(const std::shared_ptr<Connection>& conn,
       task.kind = StatementTask::Kind::kExecute;
       const uint64_t request_id = req->request_id;
       const uint32_t max_frame = config_.max_frame_bytes;
-      task.on_done = [conn, request_id, max_frame](Result<RunOutcome> outcome) {
+      auto stats = shared_stats_;
+      task.on_done = [conn, stats, request_id, max_frame,
+                      dispatched_at](Result<RunOutcome> outcome) {
         ExecuteResponse resp;
         resp.request_id = request_id;
         resp.status = outcome.status();
         if (outcome.ok()) resp.result = std::move(outcome->result);
         SendResponseChecked(conn, max_frame, resp);
+        stats->statement_latency.Record(ElapsedMicros(dispatched_at));
       };
       const Status admitted =
           db_->executor_service().Submit(std::move(task));
@@ -382,6 +483,10 @@ Status YoutopiaServer::Dispatch(const std::shared_ptr<Connection>& conn,
         resp.request_id = request_id;
         resp.status = admitted;
         SendResponseChecked(conn, config_.max_frame_bytes, resp);
+        if (admitted.code() == StatusCode::kOverloaded) {
+          MutexLock lock(shared_stats_->mu);
+          ++shared_stats_->stats.shed;
+        }
       }
       return Status::OK();
     }
@@ -394,11 +499,14 @@ Status YoutopiaServer::Dispatch(const std::shared_ptr<Connection>& conn,
       task.kind = StatementTask::Kind::kScript;
       const uint64_t request_id = req->request_id;
       const uint32_t max_frame = config_.max_frame_bytes;
-      task.on_done = [conn, request_id, max_frame](Result<RunOutcome> outcome) {
+      auto stats = shared_stats_;
+      task.on_done = [conn, stats, request_id, max_frame,
+                      dispatched_at](Result<RunOutcome> outcome) {
         ScriptResponse resp;
         resp.request_id = request_id;
         resp.status = outcome.status();
         SendResponseChecked(conn, max_frame, resp);
+        stats->statement_latency.Record(ElapsedMicros(dispatched_at));
       };
       const Status admitted =
           db_->executor_service().Submit(std::move(task));
@@ -407,6 +515,10 @@ Status YoutopiaServer::Dispatch(const std::shared_ptr<Connection>& conn,
         resp.request_id = request_id;
         resp.status = admitted;
         SendResponseChecked(conn, config_.max_frame_bytes, resp);
+        if (admitted.code() == StatusCode::kOverloaded) {
+          MutexLock lock(shared_stats_->mu);
+          ++shared_stats_->stats.shed;
+        }
       }
       return Status::OK();
     }
@@ -425,8 +537,8 @@ Status YoutopiaServer::Dispatch(const std::shared_ptr<Connection>& conn,
       auto stats = shared_stats_;
       const uint32_t max_frame = config_.max_frame_bytes;
       Youtopia* db = db_;
-      task.on_done = [conn, stats, request_id, max_frame,
-                      db](Result<RunOutcome> outcome) {
+      task.on_done = [conn, stats, request_id, max_frame, db,
+                      dispatched_at](Result<RunOutcome> outcome) {
         RunResponse resp;
         resp.request_id = request_id;
         resp.status = outcome.status();
@@ -455,6 +567,7 @@ Status YoutopiaServer::Dispatch(const std::shared_ptr<Connection>& conn,
             (void)db->coordinator().Cancel(pending_handle->id());
           }
         }
+        stats->statement_latency.Record(ElapsedMicros(dispatched_at));
       };
       const Status admitted =
           db_->executor_service().Submit(std::move(task));
@@ -463,6 +576,10 @@ Status YoutopiaServer::Dispatch(const std::shared_ptr<Connection>& conn,
         resp.request_id = request_id;
         resp.status = admitted;
         SendResponseChecked(conn, config_.max_frame_bytes, resp);
+        if (admitted.code() == StatusCode::kOverloaded) {
+          MutexLock lock(shared_stats_->mu);
+          ++shared_stats_->stats.shed;
+        }
       }
       return Status::OK();
     }

@@ -1,6 +1,7 @@
 #ifndef YOUTOPIA_NET_SERVER_H_
 #define YOUTOPIA_NET_SERVER_H_
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -9,8 +10,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/mutex.h"
 #include "common/status.h"
+#include "net/metrics_exporter.h"
 #include "net/protocol.h"
 #include "server/youtopia.h"
 
@@ -30,6 +33,10 @@ struct ServerConfig {
   /// after this long the write fails and the connection is dropped, so
   /// one stalled client can never freeze the shared engine.
   std::chrono::milliseconds send_timeout{5000};
+  /// Plaintext metrics endpoint (`/metrics`-style, Prometheus text
+  /// format) on a side listener. -1 (the default) disables it; 0 binds
+  /// a kernel-assigned port — read the actual one via metrics_port().
+  int metrics_port = -1;
 };
 
 /// The wire-protocol front end over one embedded `Youtopia` — what turns
@@ -64,6 +71,13 @@ class YoutopiaServer {
     size_t connections_active = 0;
     /// Frames decoded and dispatched (requests only, not pushes).
     size_t requests = 0;
+    /// Of `requests`, a breakdown by frame type, indexed by the
+    /// MessageType wire value (so requests_by_type[1] counts
+    /// kExecuteRequest frames).
+    std::array<size_t, 16> requests_by_type{};
+    /// Statements rejected with kOverloaded at the executor's admission
+    /// high-water mark — the wire-visible face of load shedding.
+    size_t shed = 0;
     /// CompletionPush frames sent.
     size_t pushes = 0;
     /// Connections dropped for malformed or unexpected frames.
@@ -94,8 +108,22 @@ class YoutopiaServer {
     return port_;
   }
 
+  /// The bound metrics port; 0 when the endpoint is disabled. Valid
+  /// after a successful Start().
+  uint16_t metrics_port() const;
+
   bool running() const;
   Stats stats() const;
+
+  /// Latency of admitted statements (Execute/Script/Run), dispatch to
+  /// response, in microseconds. Snapshot copy; shed requests excluded.
+  Histogram statement_latency() const;
+
+  /// The page the metrics endpoint serves: engine counters (executor,
+  /// coordinator, plan cache, WAL) plus the server's own request,
+  /// shed and latency series, in Prometheus text format. Public so
+  /// tests and operators can render without a scrape.
+  std::string MetricsText() const;
 
  private:
   struct Connection;
@@ -106,6 +134,10 @@ class YoutopiaServer {
     /// books a connection while holding mu_).
     Mutex mu{LockRank::kNetServerStats, "net_server_stats"};
     Stats stats GUARDED_BY(mu);
+    /// Admitted-statement latency. Internally synchronized (its own
+    /// terminal-rank mutex), recorded from completion continuations
+    /// without taking `mu`.
+    Histogram statement_latency;
   };
 
   void AcceptLoop(int listen_fd);
@@ -126,6 +158,10 @@ class YoutopiaServer {
   const ServerConfig config_;
   std::shared_ptr<SharedStats> shared_stats_ =
       std::make_shared<SharedStats>();
+  /// Side listener for the metrics page. Started after the main
+  /// listener in Start(); stopped (thread joined) first in Stop(), so
+  /// its render callback never runs against a dying server.
+  MetricsExporter metrics_exporter_;
 
   mutable Mutex mu_{LockRank::kNetServer, "net_server"};
   bool started_ GUARDED_BY(mu_) = false;

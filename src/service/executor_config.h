@@ -24,6 +24,17 @@ struct ExecutorServiceConfig {
   /// returns, so the queue never holds anything).
   size_t queue_capacity = 1024;
 
+  /// Admission-control high-water mark (design decision #12). 0 (the
+  /// default) disables shedding: `Submit` blocks for space exactly as
+  /// before. With a pool and a non-zero mark, a submission arriving
+  /// while `queue_depth >= admission_high_water` is rejected
+  /// immediately with the retryable `kOverloaded` status instead of
+  /// queueing behind work it would only time out waiting for. Shedding
+  /// happens strictly before parsing, planning, locking or coordinator
+  /// registration, so a shed statement has had no side effect and is
+  /// always safe to retry. Ignored in inline mode.
+  size_t admission_high_water = 0;
+
   /// Conflict-requeue budget applied to tasks that do not carry their
   /// own statement timeout: a worker whose try-lock loses keeps
   /// requeuing (with exponential backoff) until the task has been

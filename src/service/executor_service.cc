@@ -75,6 +75,14 @@ Status ExecutorService::Submit(StatementTask task) {
     return Status::OK();
   }
   MutexLock lock(mu_);
+  // Admission control: shed before blocking for space. The high-water
+  // check precedes every side effect (parse/plan/locks/registration),
+  // which is what makes kOverloaded safe for callers to retry.
+  if (config_.admission_high_water > 0 && !stopping_ &&
+      stats_.queue_depth >= config_.admission_high_water) {
+    ++stats_.shed;
+    return Status::Overloaded("executor queue above admission high-water");
+  }
   space_cv_.Wait(mu_, [this] {
     return stopping_ || stats_.queue_depth < config_.queue_capacity;
   });
@@ -87,6 +95,11 @@ Status ExecutorService::TrySubmit(StatementTask task) {
   if (config_.num_workers == 0) return Submit(std::move(task));
   MutexLock lock(mu_);
   if (stopping_) return Status::Aborted("executor service shut down");
+  if (config_.admission_high_water > 0 &&
+      stats_.queue_depth >= config_.admission_high_water) {
+    ++stats_.shed;
+    return Status::Overloaded("executor queue above admission high-water");
+  }
   if (stats_.queue_depth >= config_.queue_capacity) {
     ++stats_.rejected;
     return Status::TimedOut("submission queue full");

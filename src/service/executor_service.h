@@ -133,6 +133,9 @@ class ExecutorService {
     size_t entangled_parked = 0;
     /// TrySubmit calls rejected on a full queue.
     size_t rejected = 0;
+    /// Submissions shed with kOverloaded at the admission high-water
+    /// mark — rejected before any side effect (design decision #12).
+    size_t shed = 0;
     /// Wall time workers (or inline submitters) spent executing tasks.
     uint64_t busy_micros = 0;
     /// Wall time since the service started.
@@ -151,8 +154,11 @@ class ExecutorService {
 
   /// Enqueues `task`. With workers, blocks while the queue is at
   /// capacity (backpressure) and returns once the task is admitted;
-  /// kAborted after Shutdown. In inline mode, executes the task to
-  /// completion in the calling thread before returning.
+  /// kAborted after Shutdown. When `admission_high_water` is set and
+  /// the queue is above it, returns kOverloaded immediately instead of
+  /// queueing — the task has had no side effect and may be retried. In
+  /// inline mode, executes the task to completion in the calling
+  /// thread before returning.
   Status Submit(StatementTask task);
 
   /// Non-blocking Submit: kTimedOut when the queue is full (the caller

@@ -1,0 +1,282 @@
+// Client resilience (design decision #12): a RemoteClient with a
+// ReconnectPolicy must survive a server restart — in-flight work fails
+// with kAborted (a non-idempotent statement must never silently re-run)
+// but later calls ride the redialed link — and must transparently retry
+// kOverloaded sheds on the synchronous surface up to its budget.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "net/protocol.h"
+#include "net/remote_client.h"
+#include "net/server.h"
+#include "server/client.h"
+
+namespace youtopia::net {
+namespace {
+
+using std::chrono::milliseconds;
+
+constexpr milliseconds kWait{5000};
+
+std::string PairSql(const std::string& self, const std::string& other) {
+  return "SELECT '" + self + "', fno INTO ANSWER r WHERE fno IN "
+         "(SELECT fno FROM f WHERE dest='Paris') AND ('" + other +
+         "', fno) IN ANSWER r CHOOSE 1";
+}
+
+ReconnectPolicy FastReconnect() {
+  ReconnectPolicy policy;
+  policy.reconnect = true;
+  policy.max_reconnect_attempts = 30;
+  policy.reconnect_interval = milliseconds(20);
+  policy.reconnect_max_interval = milliseconds(100);
+  return policy;
+}
+
+TEST(RemoteClientReconnectTest, SurvivesServerRestartOnSamePort) {
+  YoutopiaConfig config;
+  config.executor.num_workers = 2;
+
+  auto db1 = std::make_unique<Youtopia>(config);
+  auto server1 = std::make_unique<YoutopiaServer>(db1.get());
+  ASSERT_TRUE(server1->Start().ok());
+  const uint16_t port = server1->port();
+
+  auto client = RemoteClient::Connect(
+      "127.0.0.1", port, ClientOptions("Kramer", /*record=*/false),
+      kMaxFrameBytes, FastReconnect());
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  ASSERT_TRUE((*client)
+                  ->ExecuteScript(
+                      "CREATE TABLE f (fno INT, dest TEXT);"
+                      "CREATE TABLE r (traveler TEXT, fno INT);"
+                      "INSERT INTO f VALUES (100, 'Paris');")
+                  .ok());
+
+  // In-flight work at the moment of the drop: a registered entangled
+  // coordination, pending until a partner arrives.
+  auto pending = (*client)->Submit(PairSql("Kramer", "Jerry"));
+  ASSERT_TRUE(pending.ok()) << pending.status();
+  ASSERT_FALSE(pending->Done());
+
+  // Kill the server. The drop must fail the pending handle with
+  // kAborted — reconnect never resurrects lost server-side state.
+  server1->Stop();
+  server1.reset();
+  db1.reset();
+  ASSERT_EQ(pending->Wait(kWait).code(), StatusCode::kAborted);
+
+  // Restart on the same port (fresh engine — the old one is gone, as
+  // after a real crash without a WAL).
+  Youtopia db2(config);
+  ServerConfig restart;
+  restart.port = port;
+  YoutopiaServer server2(&db2, restart);
+  // The old listener may linger briefly; SO_REUSEADDR usually makes
+  // this first-try, but don't flake on a slow kernel.
+  Status restarted = server2.Start();
+  for (int i = 0; i < 50 && !restarted.ok(); ++i) {
+    std::this_thread::sleep_for(milliseconds(100));
+    restarted = server2.Start();
+  }
+  ASSERT_TRUE(restarted.ok()) << restarted;
+
+  // The next call waits out the redial and lands on the new server.
+  ASSERT_TRUE(
+      (*client)->ExecuteScript("CREATE TABLE t2 (x INT)").ok());
+  auto rows = (*client)->Execute("SELECT x FROM t2");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_TRUE((*client)->connected());
+
+  // Push dispatch is re-registered on the fresh link: an entangled
+  // round trip completes end to end.
+  ASSERT_TRUE((*client)
+                  ->ExecuteScript(
+                      "CREATE TABLE f (fno INT, dest TEXT);"
+                      "CREATE TABLE r (traveler TEXT, fno INT);"
+                      "INSERT INTO f VALUES (100, 'Paris');")
+                  .ok());
+  auto kramer = (*client)->Submit(PairSql("Kramer", "Jerry"));
+  ASSERT_TRUE(kramer.ok()) << kramer.status();
+  auto jerry = (*client)->SubmitAs("Jerry", PairSql("Jerry", "Kramer"));
+  ASSERT_TRUE(jerry.ok()) << jerry.status();
+  EXPECT_TRUE(kramer->Wait(kWait).ok());
+  EXPECT_TRUE(jerry->Wait(kWait).ok());
+
+  (*client)->Close();
+}
+
+TEST(RemoteClientReconnectTest, GivesUpAfterAttemptBudget) {
+  Youtopia db;
+  auto server = std::make_unique<YoutopiaServer>(&db);
+  ASSERT_TRUE(server->Start().ok());
+
+  ReconnectPolicy policy = FastReconnect();
+  policy.max_reconnect_attempts = 2;
+  auto client = RemoteClient::Connect(
+      "127.0.0.1", server->port(), ClientOptions("", /*record=*/false),
+      kMaxFrameBytes, policy);
+  ASSERT_TRUE(client.ok()) << client.status();
+  ASSERT_TRUE((*client)->ExecuteScript("CREATE TABLE t (x INT)").ok());
+
+  // Nothing ever comes back on the port: the redial budget runs out and
+  // the client settles into plain closed (fail-fast) state.
+  server->Stop();
+  server.reset();
+  auto result = (*client)->Execute("SELECT x FROM t");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAborted);
+  EXPECT_FALSE((*client)->connected());
+  (*client)->Close();
+}
+
+// ------------------------------------------------------------ overload
+
+/// Minimal scripted peer: accepts one connection and answers every
+/// ExecuteRequest with kOverloaded for the first `sheds` requests, then
+/// with an empty OK result — the wire behavior of a server whose
+/// admission mark the request keeps hitting.
+class OverloadedPeer {
+ public:
+  explicit OverloadedPeer(size_t sheds) : sheds_(sheds) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(listen_fd_, 0);
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    EXPECT_EQ(::listen(listen_fd_, 1), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                            &len),
+              0);
+    port_ = ntohs(addr.sin_port);
+    serve_ = std::thread([this] { Serve(); });
+  }
+
+  ~OverloadedPeer() {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    serve_.join();
+    ::close(listen_fd_);
+  }
+
+  uint16_t port() const { return port_; }
+  size_t requests_seen() const { return requests_seen_.load(); }
+
+ private:
+  void Serve() {
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) return;
+    FrameAssembler assembler;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(conn, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      assembler.Append(buf, static_cast<size_t>(n));
+      for (;;) {
+        auto frame = assembler.Next();
+        if (!frame.ok() || !frame->has_value()) break;
+        if ((*frame)->type != MessageType::kExecuteRequest) continue;
+        auto request = DecodePayload<ExecuteRequest>((*frame)->payload);
+        if (!request.ok()) break;
+        const size_t seen = requests_seen_.fetch_add(1);
+        ExecuteResponse response;
+        response.request_id = request->request_id;
+        response.status = seen < sheds_
+                              ? Status::Overloaded("scripted shed")
+                              : Status::OK();
+        const std::string bytes = EncodeFrame(response);
+        size_t sent = 0;
+        while (sent < bytes.size()) {
+          const ssize_t w =
+              ::send(conn, bytes.data() + sent, bytes.size() - sent, 0);
+          if (w <= 0) { ::close(conn); return; }
+          sent += static_cast<size_t>(w);
+        }
+      }
+    }
+    ::close(conn);
+  }
+
+  const size_t sheds_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<size_t> requests_seen_{0};
+  std::thread serve_;
+};
+
+TEST(RemoteClientOverloadRetryTest, RetriesShedsWithinBudget) {
+  OverloadedPeer peer(/*sheds=*/2);
+  ReconnectPolicy policy;
+  policy.overload_retry_budget = 3;
+  policy.overload_retry_interval = milliseconds(1);
+  policy.overload_retry_max_interval = milliseconds(5);
+  auto client = RemoteClient::Connect(
+      "127.0.0.1", peer.port(), ClientOptions("", /*record=*/false),
+      kMaxFrameBytes, policy);
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  // Two sheds, then OK: the sync surface absorbs both retries.
+  auto result = (*client)->Execute("SELECT 1");
+  EXPECT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(peer.requests_seen(), 3u);
+  (*client)->Close();
+}
+
+TEST(RemoteClientOverloadRetryTest, SurfacesShedPastBudget) {
+  OverloadedPeer peer(/*sheds=*/100);
+  ReconnectPolicy policy;
+  policy.overload_retry_budget = 2;
+  policy.overload_retry_interval = milliseconds(1);
+  policy.overload_retry_max_interval = milliseconds(5);
+  auto client = RemoteClient::Connect(
+      "127.0.0.1", peer.port(), ClientOptions("", /*record=*/false),
+      kMaxFrameBytes, policy);
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  // Initial attempt + 2 retries, all shed: the caller sees kOverloaded.
+  auto result = (*client)->Execute("SELECT 1");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOverloaded);
+  EXPECT_EQ(peer.requests_seen(), 3u);
+  (*client)->Close();
+}
+
+TEST(RemoteClientOverloadRetryTest, AsyncNeverRetries) {
+  OverloadedPeer peer(/*sheds=*/100);
+  ReconnectPolicy policy;
+  policy.overload_retry_budget = 5;
+  auto client = RemoteClient::Connect(
+      "127.0.0.1", peer.port(), ClientOptions("", /*record=*/false),
+      kMaxFrameBytes, policy);
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  // The async surface must expose every raw shed (open-loop drivers
+  // count them), budget or not.
+  auto future = (*client)->ExecuteAsync("SELECT 1");
+  const auto result = future.get();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOverloaded);
+  EXPECT_EQ(peer.requests_seen(), 1u);
+  (*client)->Close();
+}
+
+}  // namespace
+}  // namespace youtopia::net

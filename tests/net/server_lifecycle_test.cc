@@ -2,19 +2,34 @@
 // port_ without the server mutex while Start() wrote it from another
 // thread. The read is now guarded; this test drives concurrent readers
 // through Start so TSan (and the lock-rank validator) watch the path.
+// The shutdown-under-load suites below extend the audit to the paths
+// added with admission control and the metrics endpoint: Stop() racing
+// live shedding traffic, completion pushes firing after Stop, and the
+// metrics listener's own lifecycle.
 
 #include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "net/remote_client.h"
 #include "server/client.h"
 
 namespace youtopia::net {
 namespace {
+
+using std::chrono::milliseconds;
 
 TEST(ServerLifecycleTest, PortIsReadableWhileStarting) {
   Youtopia db;
@@ -60,6 +75,204 @@ TEST(ServerLifecycleTest, StartStopStartRebindsCleanly) {
   ASSERT_TRUE(second.Start().ok());
   EXPECT_NE(second.port(), 0);
   second.Stop();
+}
+
+// ---------------------------------------------------------------------
+// Shutdown under load. Stats live in a shared_ptr precisely so late
+// continuations — a shed booked from a reader mid-drop, a push fired
+// after Stop — land on live memory; ASan/TSan turn any regression here
+// into a hard failure.
+
+TEST(ServerShutdownAuditTest, StopDuringOverloadedTraffic) {
+  // A wedge-prone engine: one worker, admission mark 1, so concurrent
+  // remote load sheds constantly — then Stop() lands in the middle.
+  YoutopiaConfig config;
+  config.executor.num_workers = 1;
+  config.executor.admission_high_water = 1;
+  Youtopia db(config);
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (x INT)").ok());
+
+  YoutopiaServer server(&db);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> hammers;
+  for (int i = 0; i < 3; ++i) {
+    hammers.emplace_back([&, i] {
+      auto client = RemoteClient::Connect(
+          "127.0.0.1", server.port(),
+          ClientOptions("h" + std::to_string(i), /*record=*/false));
+      if (!client.ok()) return;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Sheds, aborts (once Stop severs the link) and successes are
+        // all fine — the test is that none of them crash.
+        auto result = (*client)->Execute("INSERT INTO t VALUES (1)");
+        (void)result;
+      }
+      (*client)->Close();
+    });
+  }
+
+  std::this_thread::sleep_for(milliseconds(100));
+  server.Stop();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : hammers) t.join();
+
+  // Stats stay readable after Stop, and the overload path was actually
+  // exercised while we were tearing down around it.
+  const auto stats = server.stats();
+  EXPECT_GE(stats.requests, 1u);
+}
+
+TEST(ServerShutdownAuditTest, CompletionPushAfterStopDoesNotTouchServer) {
+  Youtopia db;
+  auto server = std::make_unique<YoutopiaServer>(&db);
+  ASSERT_TRUE(server->Start().ok());
+
+  auto client = RemoteClient::Connect("127.0.0.1", server->port(),
+                                      ClientOptions("Kramer",
+                                                    /*record=*/false));
+  ASSERT_TRUE(client.ok()) << client.status();
+  ASSERT_TRUE((*client)
+                  ->ExecuteScript(
+                      "CREATE TABLE f (fno INT, dest TEXT);"
+                      "CREATE TABLE r (traveler TEXT, fno INT);"
+                      "INSERT INTO f VALUES (100, 'Paris');")
+                  .ok());
+
+  // A pending coordination whose CompletionPush continuation holds the
+  // connection and the shared stats.
+  const std::string pair =
+      "SELECT 'Kramer', fno INTO ANSWER r WHERE fno IN "
+      "(SELECT fno FROM f WHERE dest='Paris') AND ('Jerry', fno) IN "
+      "ANSWER r CHOOSE 1";
+  auto pending = (*client)->Submit(pair);
+  ASSERT_TRUE(pending.ok()) << pending.status();
+  ASSERT_FALSE(pending->Done());
+
+  // The engine outlives the server: destroy the server object entirely,
+  // then complete the coordination in-process. The push continuation
+  // fires against a dead connection and destroyed server — it must land
+  // on the shared stats block, not freed server state.
+  server->Stop();
+  server.reset();
+
+  Client jerry(&db, ClientOptions("Jerry"));
+  auto partner = jerry.Submit(
+      "SELECT 'Jerry', fno INTO ANSWER r WHERE fno IN "
+      "(SELECT fno FROM f WHERE dest='Paris') AND ('Kramer', fno) IN "
+      "ANSWER r CHOOSE 1");
+  ASSERT_TRUE(partner.ok()) << partner.status();
+  EXPECT_TRUE(partner->Wait(milliseconds(5000)).ok());
+
+  (*client)->Close();
+}
+
+// ---------------------------------------------------------------------
+// Metrics endpoint lifecycle.
+
+std::string Scrape(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string page;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    page.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return page;
+}
+
+TEST(MetricsEndpointTest, ServesEngineAndServerSeries) {
+  Youtopia db;
+  ServerConfig config;
+  config.metrics_port = 0;  // kernel-assigned
+  YoutopiaServer server(&db, config);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.metrics_port(), 0);
+
+  // Put one request through so the per-type counter is nonzero.
+  auto client = RemoteClient::Connect("127.0.0.1", server.port(),
+                                      ClientOptions("", /*record=*/false));
+  ASSERT_TRUE(client.ok()) << client.status();
+  ASSERT_TRUE((*client)->ExecuteScript("CREATE TABLE t (x INT)").ok());
+  auto rows = (*client)->Execute("SELECT x FROM t");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+
+  const std::string page = Scrape(server.metrics_port());
+  EXPECT_NE(page.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(page.find("youtopia_executor_workers"), std::string::npos);
+  EXPECT_NE(page.find("youtopia_server_requests_total"), std::string::npos);
+  EXPECT_NE(page.find(
+                "youtopia_server_requests_by_type_total{type=\"Execute"),
+            std::string::npos);
+  EXPECT_NE(page.find("youtopia_server_statement_latency_us_count"),
+            std::string::npos);
+  EXPECT_NE(page.find("youtopia_plan_cache_hits_total"), std::string::npos);
+
+  (*client)->Close();
+  server.Stop();
+  // The renderer is callable after Stop (the exporter thread is joined
+  // first, but the method itself only needs the engine).
+  EXPECT_NE(server.MetricsText().find("youtopia_executor_workers"),
+            std::string::npos);
+}
+
+TEST(MetricsEndpointTest, DisabledByDefault) {
+  Youtopia db;
+  YoutopiaServer server(&db);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.metrics_port(), 0);
+  server.Stop();
+}
+
+TEST(MetricsEndpointTest, StopWhileScraping) {
+  Youtopia db;
+  ServerConfig config;
+  config.metrics_port = 0;
+  YoutopiaServer server(&db, config);
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.metrics_port();
+  ASSERT_NE(port, 0);
+
+  // Scrapers race Stop(): each either gets a full page or a reset
+  // socket, never a hang or a crash.
+  std::vector<std::thread> scrapers;
+  for (int i = 0; i < 4; ++i) {
+    scrapers.emplace_back([port] {
+      for (int j = 0; j < 20; ++j) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) return;
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(port);
+        if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) == 0) {
+          const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+          (void)::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+          char buf[4096];
+          while (::recv(fd, buf, sizeof(buf), 0) > 0) {
+          }
+        }
+        ::close(fd);
+      }
+    });
+  }
+  std::this_thread::sleep_for(milliseconds(20));
+  server.Stop();
+  for (auto& t : scrapers) t.join();
 }
 
 }  // namespace

@@ -540,5 +540,137 @@ TEST(ExecutorServiceStatsTest, UtilizationStaysInUnitInterval) {
   EXPECT_GT(stats.busy_micros, 0u);
 }
 
+// ---------------------------------------------------------------------
+// Admission control (design decision #12): queue depth at or above the
+// high-water mark sheds new statements with kOverloaded — before any
+// side effect, so the status is retryable — while entangled
+// submissions, which never ride the statement queue, are never shed.
+
+TEST(ExecutorServiceAdmissionTest, ShedsWithOverloadedAboveHighWater) {
+  // One worker wedged behind a held X lock, high-water 1. Every
+  // admitted statement is stuck, so after at most three Submits two are
+  // parked in the queue (the worker can hold only one), queue depth
+  // stays >= 1, and the next Submit must shed.
+  YoutopiaConfig config = PoolConfig(1, /*capacity=*/16);
+  config.executor.admission_high_water = 1;
+  config.executor.default_statement_timeout = milliseconds(2000);
+  Youtopia db(config);
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (x INT)").ok());
+
+  auto blocker = db.txn_manager().Begin();
+  ASSERT_TRUE(db.txn_manager()
+                  .lock_manager()
+                  .TryAcquire(blocker->id(), "t", LockMode::kExclusive)
+                  .ok());
+
+  std::atomic<int> completions{0};
+  auto make_task = [&](uint64_t session) {
+    StatementTask task;
+    task.sql = "INSERT INTO t VALUES (1)";
+    task.session = session;
+    task.on_done = [&](Result<RunOutcome>) { ++completions; };
+    return task;
+  };
+
+  Status shed = Status::OK();
+  int admitted = 0;
+  for (uint64_t i = 1; i <= 4; ++i) {
+    shed = db.executor_service().Submit(make_task(i));
+    if (shed.code() == StatusCode::kOverloaded) break;
+    ASSERT_TRUE(shed.ok());
+    ++admitted;
+  }
+  EXPECT_EQ(shed.code(), StatusCode::kOverloaded);
+  EXPECT_LE(admitted, 3);
+  EXPECT_GE(db.executor_service().stats().shed, 1u);
+
+  // TrySubmit sheds too — and with kOverloaded (over the mark), not
+  // kTimedOut (full queue): the caller can tell policy from capacity.
+  EXPECT_EQ(db.executor_service().TrySubmit(make_task(9)).code(),
+            StatusCode::kOverloaded);
+
+  ASSERT_TRUE(db.txn_manager().Commit(blocker.get()).ok());
+  ASSERT_TRUE(db.executor_service().Drain(milliseconds(10000)).ok());
+  EXPECT_EQ(completions.load(), admitted);
+}
+
+TEST(ExecutorServiceAdmissionTest, EntangledSubmissionsAreNeverShed) {
+  YoutopiaConfig config = PoolConfig(1, /*capacity=*/16);
+  config.executor.admission_high_water = 1;
+  config.executor.default_statement_timeout = milliseconds(2000);
+  Youtopia db(config);
+  SetupFlights(&db);
+  ASSERT_TRUE(db.Execute("CREATE TABLE wedge (x INT)").ok());
+
+  // Wedge the pool on a table the entangled query never touches, so
+  // only the *queue* is overloaded, not the data the coordination reads.
+  auto blocker = db.txn_manager().Begin();
+  ASSERT_TRUE(db.txn_manager()
+                  .lock_manager()
+                  .TryAcquire(blocker->id(), "wedge", LockMode::kExclusive)
+                  .ok());
+
+  // Drive the statement path over the high-water mark...
+  StatementTask stuck;
+  stuck.sql = "INSERT INTO wedge VALUES (1)";
+  stuck.session = 1;
+  ASSERT_TRUE(db.executor_service().Submit(std::move(stuck)).ok());
+  for (uint64_t i = 2; i <= 4; ++i) {
+    StatementTask task;
+    task.sql = "INSERT INTO wedge VALUES (1)";
+    task.session = i;
+    const Status status = db.executor_service().Submit(std::move(task));
+    ASSERT_TRUE(status.ok() || status.code() == StatusCode::kOverloaded);
+  }
+
+  // ...and an entangled submission still registers: it goes straight to
+  // the coordinator, never through the shedding queue, because a
+  // coordination that is already visible to other parties must not
+  // vanish under load.
+  Client client(&db, ClientOptions("Kramer"));
+  auto handle = client.Submit(PairSql("Kramer", "Jerry"));
+  ASSERT_TRUE(handle.ok());
+  EXPECT_FALSE(handle->Done());
+  EXPECT_GE(db.coordinator().pending_count(), 1u);
+  ASSERT_TRUE(client.CancelAll().ok());
+
+  ASSERT_TRUE(db.txn_manager().Commit(blocker.get()).ok());
+  ASSERT_TRUE(db.executor_service().Drain(milliseconds(10000)).ok());
+}
+
+TEST(ExecutorServiceAdmissionTest, HighWaterOffNeverSheds) {
+  // Default admission_high_water = 0 disables shedding entirely: a full
+  // queue still means TrySubmit -> kTimedOut and Submit -> block, the
+  // seed semantics.
+  YoutopiaConfig config = PoolConfig(1, /*capacity=*/2);
+  config.executor.default_statement_timeout = milliseconds(2000);
+  Youtopia db(config);
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (x INT)").ok());
+
+  auto blocker = db.txn_manager().Begin();
+  ASSERT_TRUE(db.txn_manager()
+                  .lock_manager()
+                  .TryAcquire(blocker->id(), "t", LockMode::kExclusive)
+                  .ok());
+
+  std::atomic<int> completions{0};
+  auto make_task = [&](uint64_t session) {
+    StatementTask task;
+    task.sql = "INSERT INTO t VALUES (1)";
+    task.session = session;
+    task.on_done = [&](Result<RunOutcome>) { ++completions; };
+    return task;
+  };
+  ASSERT_TRUE(db.executor_service().TrySubmit(make_task(1)).ok());
+  ASSERT_TRUE(db.executor_service().TrySubmit(make_task(2)).ok());
+  EXPECT_EQ(db.executor_service().TrySubmit(make_task(3)).code(),
+            StatusCode::kTimedOut);
+  EXPECT_EQ(db.executor_service().stats().shed, 0u);
+
+  ASSERT_TRUE(db.txn_manager().Commit(blocker.get()).ok());
+  ASSERT_TRUE(db.executor_service().Drain(milliseconds(10000)).ok());
+  EXPECT_EQ(completions.load(), 2);
+}
+
 }  // namespace
 }  // namespace youtopia
